@@ -1,0 +1,137 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+// Run with:
+//
+//	go test -bench=. -benchtime=1x
+//
+// Each benchmark reports the figure's headline quantity as a custom metric
+// alongside the wall time of regenerating it. Simulation results are
+// memoized in one shared runner across the benchmarks (exactly as
+// cmd/compbench shares them across figures), so the first benchmarks pay
+// for the underlying runs and later ones reuse them; the whole suite fits
+// comfortably in go test's default timeout.
+package comp
+
+import (
+	"testing"
+
+	"comp/internal/bench"
+)
+
+var sharedRunner = bench.NewRunner()
+
+// figureBench regenerates one figure per iteration and reports a headline
+// metric from it.
+func figureBench(b *testing.B, gen func(*bench.Runner) (*bench.Figure, error), metric string, headline func(*bench.Figure) float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := gen(sharedRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(headline(fig), metric)
+		if i == 0 {
+			b.Log("\n" + fig.Format())
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.Figure1() },
+		"below-1", func(f *bench.Figure) float64 {
+			n := 0.0
+			for _, row := range f.Rows {
+				c := row.Cells["speedup"]
+				if c.Note != "" || c.Value < 1 {
+					n++
+				}
+			}
+			return n
+		})
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.Figure4() },
+		"bs-ratio", func(f *bench.Figure) float64 {
+			c, _ := f.Cell("blackscholes", "ratio")
+			return c.Value
+		})
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.Figure10() },
+		"opt-winners", func(f *bench.Figure) float64 {
+			n := 0.0
+			for _, row := range f.Rows {
+				if c := row.Cells["mic-opt"]; c.Note == "" && c.Value > 1 {
+					n++
+				}
+			}
+			return n
+		})
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.Figure11() },
+		"max-gain", func(f *bench.Figure) float64 {
+			max := 0.0
+			for _, row := range f.Rows {
+				if c := row.Cells["speedup"]; c.Note == "" && c.Value > max {
+					max = c.Value
+				}
+			}
+			return max
+		})
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.Figure12() },
+		"avg-gain", func(f *bench.Figure) float64 { return f.Mean("speedup") })
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.Figure13() },
+		"avg-frac", func(f *bench.Figure) float64 { return f.Mean("fraction") })
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.Figure14() },
+		"avg-gain", func(f *bench.Figure) float64 { return f.Mean("speedup") })
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.Figure15() },
+		"avg-gain", func(f *bench.Figure) float64 { return f.Mean("speedup") })
+}
+
+func BenchmarkTable2(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.Table2() },
+		"rows", func(f *bench.Figure) float64 { return float64(len(f.Rows)) })
+}
+
+func BenchmarkTable3(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.Table3() },
+		"ferret-gain", func(f *bench.Figure) float64 {
+			c, _ := f.Cell("ferret", "speedup")
+			return c.Value
+		})
+}
+
+func BenchmarkBlockSizeSweep(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.BlockSizeSweep() },
+		"rows", func(f *bench.Figure) float64 { return float64(len(f.Rows)) })
+}
+
+func BenchmarkAblationPersistentKernels(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.PersistentKernelAblation() },
+		"rows", func(f *bench.Figure) float64 { return float64(len(f.Rows)) })
+}
+
+func BenchmarkAblationMemoryReduction(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.MemoryReductionAblation() },
+		"rows", func(f *bench.Figure) float64 { return float64(len(f.Rows)) })
+}
+
+func BenchmarkAblationPointerTranslation(b *testing.B) {
+	figureBench(b, func(r *bench.Runner) (*bench.Figure, error) { return r.TranslationAblation() },
+		"rows", func(f *bench.Figure) float64 { return float64(len(f.Rows)) })
+}

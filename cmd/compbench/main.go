@@ -1,0 +1,66 @@
+// Command compbench regenerates the paper's evaluation: every figure and
+// table from §VI plus the design ablations.
+//
+// Usage:
+//
+//	compbench                 # all figures and tables
+//	compbench -only fig12     # one figure (fig1, fig4, fig10..fig15, table2, table3)
+//	compbench -ablations      # block-size sweep and design ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"comp/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "regenerate a single figure/table by id (e.g. fig12, table3)")
+	ablations := flag.Bool("ablations", false, "run the design ablations instead of the paper figures")
+	flag.Parse()
+
+	r := bench.NewRunner()
+	var figs []*bench.Figure
+	var err error
+	switch {
+	case *ablations:
+		figs, err = r.Ablations()
+	case *only != "":
+		figs, err = one(r, *only)
+	default:
+		figs, err = r.All()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compbench:", err)
+		os.Exit(1)
+	}
+	for _, f := range figs {
+		fmt.Println(f.Format())
+	}
+}
+
+func one(r *bench.Runner, id string) ([]*bench.Figure, error) {
+	gens := map[string]func() (*bench.Figure, error){
+		"fig1":   r.Figure1,
+		"fig4":   r.Figure4,
+		"fig10":  r.Figure10,
+		"fig11":  r.Figure11,
+		"fig12":  r.Figure12,
+		"fig13":  r.Figure13,
+		"fig14":  r.Figure14,
+		"fig15":  r.Figure15,
+		"table2": r.Table2,
+		"table3": r.Table3,
+	}
+	gen, ok := gens[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown figure %q (try fig1, fig4, fig10..fig15, table2, table3)", id)
+	}
+	f, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	return []*bench.Figure{f}, nil
+}

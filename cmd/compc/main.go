@@ -1,0 +1,68 @@
+// Command compc is the COMP source-to-source compiler driver: it reads an
+// offload-annotated MiniC file, applies the paper's optimizations, and
+// prints the transformed source plus a report of what was applied.
+//
+// Usage:
+//
+//	compc file.c                       # all optimizations
+//	compc -streaming=false file.c      # disable individual passes
+//	compc -blocks 16 file.c            # fix the streaming block count
+//	compc -report file.c               # report only, no source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"comp/internal/core"
+)
+
+func main() {
+	streaming := flag.Bool("streaming", true, "enable data streaming (SIII)")
+	reduceMem := flag.Bool("reduce-memory", true, "enable the double-buffer memory reduction (SIII-B)")
+	persistent := flag.Bool("persistent", true, "enable MIC thread reuse (SIII-C)")
+	merge := flag.Bool("merge", true, "enable offload merging (SIII-C)")
+	regularize := flag.Bool("regularize", true, "enable regularization (SIV)")
+	blocks := flag.Int("blocks", 0, "streaming block count (0 = default)")
+	reportOnly := flag.Bool("report", false, "print only the optimization report")
+	auto := flag.Bool("auto", false, "insert offload clauses into plain OpenMP code first (Apricot mode)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: compc [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compc:", err)
+		os.Exit(1)
+	}
+	opt := core.Options{
+		Streaming:    *streaming,
+		ReduceMemory: *reduceMem,
+		Persistent:   *persistent,
+		Merge:        *merge,
+		Regularize:   *regularize,
+		Blocks:       *blocks,
+	}
+	optimize := core.Optimize
+	if *auto {
+		optimize = core.OffloadAndOptimize
+	}
+	res, err := optimize(string(src), opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compc:", err)
+		os.Exit(1)
+	}
+	for _, a := range res.Report.Applied {
+		fmt.Fprintf(os.Stderr, "applied: %s\n", a)
+	}
+	for _, n := range res.Report.Notes {
+		fmt.Fprintf(os.Stderr, "note: %s\n", n)
+	}
+	if !*reportOnly {
+		fmt.Print(res.Source())
+	}
+}

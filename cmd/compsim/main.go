@@ -1,0 +1,97 @@
+// Command compsim runs a MiniC program on the simulated CPU + Xeon Phi
+// platform and reports the execution statistics, optionally optimizing the
+// program first and optionally dumping the event timeline.
+//
+// Usage:
+//
+//	compsim file.c              # run as written
+//	compsim -optimize file.c    # run through the COMP compiler first
+//	compsim -cpu file.c         # strip offload pragmas, run host-only
+//	compsim -trace file.c       # print the resource timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"comp/internal/core"
+	"comp/internal/interp"
+	"comp/internal/minic"
+	"comp/internal/runtime"
+	"comp/internal/workloads"
+)
+
+func main() {
+	optimize := flag.Bool("optimize", false, "apply the COMP optimizations before running")
+	cpuOnly := flag.Bool("cpu", false, "strip offload pragmas and run on the host model only")
+	trace := flag.Bool("trace", false, "print the simulated resource timeline")
+	blocks := flag.Int("blocks", 0, "streaming block count when optimizing (0 = default)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: compsim [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	src := string(raw)
+	if *cpuOnly {
+		f, err := minic.Parse(src)
+		if err != nil {
+			fail(err)
+		}
+		workloads.StripOffload(f)
+		src = minic.Print(f)
+	} else if *optimize {
+		opt := core.DefaultOptions()
+		opt.Blocks = *blocks
+		res, err := core.Optimize(src, opt)
+		if err != nil {
+			fail(err)
+		}
+		for _, a := range res.Report.Applied {
+			fmt.Fprintf(os.Stderr, "applied: %s\n", a)
+		}
+		src = res.Source()
+	}
+
+	prog, err := interp.Compile(src)
+	if err != nil {
+		fail(err)
+	}
+	rt := runtime.New(runtime.DefaultConfig())
+	if err := prog.Run(rt); err != nil {
+		fail(err)
+	}
+	st := rt.Finish()
+	if out := prog.Output(); out != "" {
+		fmt.Print(out)
+	}
+	fmt.Printf("time            %v\n", st.Time)
+	fmt.Printf("host busy       %v\n", st.HostBusy)
+	fmt.Printf("device busy     %v\n", st.DeviceBusy)
+	fmt.Printf("transfer busy   %v\n", st.TransferBusy)
+	fmt.Printf("overlap         %v\n", st.Overlap)
+	fmt.Printf("kernel launches %d\n", st.KernelLaunches)
+	fmt.Printf("dma transfers   %d\n", st.Transfers)
+	fmt.Printf("bytes in/out    %d / %d\n", st.BytesIn, st.BytesOut)
+	fmt.Printf("peak device mem %d bytes\n", st.PeakDeviceBytes)
+	for _, w := range st.RaceWarnings {
+		fmt.Printf("WARNING: %s\n", w)
+	}
+	for _, w := range st.DeadlockWarnings {
+		fmt.Printf("WARNING: %s\n", w)
+	}
+	if *trace {
+		fmt.Print(rt.Sim().Trace().String())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "compsim:", err)
+	os.Exit(1)
+}

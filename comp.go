@@ -1,0 +1,93 @@
+// Package comp is a reproduction of "COMP: Compiler Optimizations for
+// Manycore Processors" (MICRO 2014): a source-to-source compiler that
+// optimizes offload-annotated programs for a manycore coprocessor, together
+// with the simulated host+coprocessor platform it is evaluated on.
+//
+// The public surface re-exports the three layers a user composes:
+//
+//   - Optimize applies the paper's optimizations (data streaming, offload
+//     merging, regularization) to MiniC source and returns transformed
+//     source plus a report;
+//   - Run / RunSource execute a MiniC program on the simulated platform
+//     (Xeon E5 host + Xeon Phi coprocessor over PCIe) and return timing,
+//     transfer and memory statistics;
+//   - Benchmarks and NewBenchRunner expose the 12-benchmark evaluation
+//     suite and the harness that regenerates every figure and table in the
+//     paper.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package comp
+
+import (
+	"comp/internal/bench"
+	"comp/internal/core"
+	"comp/internal/interp"
+	"comp/internal/runtime"
+	"comp/internal/workloads"
+)
+
+// Options selects compiler optimizations; see core.Options for fields.
+type Options = core.Options
+
+// Result is a compilation result: transformed AST, printable source, and
+// the report of applied optimizations.
+type Result = core.Result
+
+// Stats summarizes one simulated execution.
+type Stats = runtime.Stats
+
+// RunResult bundles statistics with the executed program (for reading
+// output arrays).
+type RunResult = runtime.Result
+
+// Config assembles the simulated platform.
+type Config = runtime.Config
+
+// Benchmark is one member of the evaluation suite.
+type Benchmark = workloads.Benchmark
+
+// Figure is one regenerated table or figure.
+type Figure = bench.Figure
+
+// DefaultOptions enables the full optimization pipeline.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultConfig returns the calibrated evaluation platform (§VI).
+func DefaultConfig() Config { return runtime.DefaultConfig() }
+
+// Optimize parses, checks and optimizes MiniC source.
+func Optimize(src string, opt Options) (*Result, error) {
+	return core.Optimize(src, opt)
+}
+
+// OffloadAndOptimize first inserts offload clauses into a plain OpenMP
+// program (the Apricot capability the paper builds on), then optimizes.
+func OffloadAndOptimize(src string, opt Options) (*Result, error) {
+	return core.OffloadAndOptimize(src, opt)
+}
+
+// RunSource compiles and executes MiniC source on the default simulated
+// platform.
+func RunSource(src string) (RunResult, error) {
+	return RunSourceOn(src, DefaultConfig())
+}
+
+// RunSourceOn compiles and executes MiniC source on a specific platform.
+func RunSourceOn(src string, cfg Config) (RunResult, error) {
+	p, err := interp.Compile(src)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return runtime.Run(p, cfg)
+}
+
+// Benchmarks returns the 12-benchmark suite in Table II order.
+func Benchmarks() []*Benchmark { return workloads.All() }
+
+// GetBenchmark looks a benchmark up by name.
+func GetBenchmark(name string) (*Benchmark, error) { return workloads.Get(name) }
+
+// NewBenchRunner creates the evaluation harness with an empty result
+// cache.
+func NewBenchRunner() *bench.Runner { return bench.NewRunner() }

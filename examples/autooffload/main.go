@@ -1,0 +1,84 @@
+// Autooffload: the full Apricot + COMP pipeline. A plain OpenMP program —
+// no offload pragmas at all — gets offload clauses inferred by liveness
+// analysis, then the COMP optimizations, then runs on the simulated
+// platform.
+//
+//	go run ./examples/autooffload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"comp"
+)
+
+// Plain OpenMP: the programmer wrote parallel loops and nothing else.
+const src = `
+float signal0[131072];
+float kernel0[64];
+float smoothed[131072];
+float energy;
+int n;
+
+int main(void) {
+    int i;
+    int k;
+    n = 131072;
+    for (i = 0; i < n; i++) {
+        signal0[i] = (i % 37) * 0.5;
+    }
+    for (i = 0; i < 64; i++) {
+        kernel0[i] = 1.0 / (1.0 + i);
+    }
+    // Smoothing pass: every element against a small resident kernel table.
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float acc = 0.0;
+        for (k = 0; k < 64; k++) {
+            acc += signal0[i] * kernel0[k];
+        }
+        smoothed[i] = acc / 64.0 + sqrt(fabs(signal0[i]) + 1.0);
+    }
+    // Energy reduction.
+    energy = 0.0;
+    #pragma omp parallel for reduction(+:energy)
+    for (i = 0; i < n; i++) {
+        energy += smoothed[i] * smoothed[i];
+    }
+    return 0;
+}
+`
+
+func main() {
+	// Baseline: the program as written, on the host only.
+	cpu, err := comp.RunSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Apricot inserts the offload clauses; COMP optimizes the result.
+	res, err := comp.OffloadAndOptimize(src, comp.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range res.Report.Applied {
+		fmt.Println("applied:", a)
+	}
+	mic, err := comp.RunSource(res.Source())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e1, _ := cpu.Program.Scalar("energy")
+	e2, _ := mic.Program.Scalar("energy")
+	if e1 != e2 {
+		log.Fatalf("energy differs: %v vs %v", e1, e2)
+	}
+	fmt.Printf("cpu only:            %v\n", cpu.Stats.Time)
+	fmt.Printf("auto-offload + COMP: %v  (%d launches, %d KiB moved, overlap %v)\n",
+		mic.Stats.Time, mic.Stats.KernelLaunches,
+		(mic.Stats.BytesIn+mic.Stats.BytesOut)/1024, mic.Stats.Overlap)
+	fmt.Printf("speedup:             %.2fx, energy identical (%.3f)\n",
+		float64(cpu.Stats.Time)/float64(mic.Stats.Time), e1)
+}

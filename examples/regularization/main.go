@@ -1,0 +1,108 @@
+// Regularization: demonstrate the two §IV transformations on their paper
+// benchmarks — loop splitting on an srad-style gather loop, and array
+// reordering on an nn-style strided loop (which then unlocks streaming).
+//
+//	go run ./examples/regularization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"comp"
+)
+
+const sradStyle = `
+float J[16500];
+int iN[16384];
+int iS[16384];
+float dN[16384];
+float dS[16384];
+float c[16384];
+int n;
+
+int main(void) {
+    int i;
+    n = 16384;
+    for (i = 0; i < n + 100; i++) {
+        J[i] = 1.0 + (i % 31) * 0.125;
+    }
+    for (i = 0; i < n; i++) {
+        iN[i] = (i + 128) % n;
+        iS[i] = (i * 7 + 3) % n;
+    }
+    #pragma offload target(mic:0) in(J : length(n + 100)) in(iN, iS : length(n)) out(dN, dS, c : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float jc = J[i];
+        float jn = J[iN[i]];
+        float js = J[iS[i]];
+        dN[i] = jn - jc;
+        dS[i] = js - jc;
+        c[i] = exp(-(dN[i] * dN[i] + dS[i] * dS[i]) / (jc * jc + 0.01)) + sqrt(jc) + log(jc + 1.0);
+    }
+    return 0;
+}
+`
+
+const nnStyle = `
+float recs[131072];
+float dist[16384];
+int n;
+
+int main(void) {
+    int i;
+    n = 16384;
+    for (i = 0; i < 8 * n; i++) {
+        recs[i] = i % 180;
+    }
+    #pragma offload target(mic:0) in(recs : length(8 * n)) out(dist : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float dlat = recs[8 * i] - 30.0;
+        float dlng = recs[8 * i + 1] - 50.0;
+        dist[i] = sqrt(dlat * dlat + dlng * dlng);
+    }
+    return 0;
+}
+`
+
+func demo(name, src string, outputs []string) {
+	naive, err := comp.RunSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := comp.Optimize(src, comp.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := comp.RunSource(res.Source())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s ===\n", name)
+	for _, a := range res.Report.Applied {
+		fmt.Println("applied:", a)
+	}
+	for _, out := range outputs {
+		a, _ := naive.Program.ArrayData(out)
+		b, _ := opt.Program.ArrayData(out)
+		for i := range a {
+			if a[i] != b[i] {
+				log.Fatalf("%s: output %s[%d] differs", name, out, i)
+			}
+		}
+	}
+	fmt.Printf("naive     %v  (%d bytes in)\n", naive.Stats.Time, naive.Stats.BytesIn)
+	fmt.Printf("optimized %v  (%d bytes in)\n", opt.Stats.Time, opt.Stats.BytesIn)
+	fmt.Printf("speedup   %.2fx, outputs identical\n\n", float64(naive.Stats.Time)/float64(opt.Stats.Time))
+}
+
+func main() {
+	// srad: the irregular gathers are peeled into their own loop; the heavy
+	// remainder vectorizes. Transfers are unchanged.
+	demo("srad-style loop splitting", sradStyle, []string{"dN", "dS", "c"})
+	// nn: the stride-8 accesses are packed into dense permutation arrays,
+	// cutting the transferred bytes 4x, and the regular loop then streams.
+	demo("nn-style array reordering", nnStyle, []string{"dist"})
+}

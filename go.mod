@@ -1,0 +1,3 @@
+module comp
+
+go 1.22

@@ -1,0 +1,299 @@
+// Package analysis implements the static analyses COMP relies on: loop
+// normalization, affine access classification (the data-streaming legality
+// check from §III-A), irregular-pattern detection (the regularization
+// triggers from §IV), liveness-based in/out clause inference (the Apricot
+// module the paper builds on), vectorizability, and offload footprints.
+package analysis
+
+import (
+	"fmt"
+
+	"comp/internal/minic"
+)
+
+// AccessKind classifies how an array index relates to the loop variable.
+type AccessKind int
+
+// Access kinds.
+const (
+	// AccessAffine indexes are a*i + b with constant a (the offset b may be
+	// a loop-invariant expression; see OffsetConst).
+	AccessAffine AccessKind = iota
+	// AccessIndirect indexes read another array, e.g. A[B[i]].
+	AccessIndirect
+	// AccessOpaque indexes defeat the analysis (non-linear, loop-variant
+	// symbols, calls).
+	AccessOpaque
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessAffine:
+		return "affine"
+	case AccessIndirect:
+		return "indirect"
+	}
+	return "opaque"
+}
+
+// ArrayAccess describes one subscripted access inside a loop body.
+type ArrayAccess struct {
+	// Array is the subscripted variable's name.
+	Array string
+	// Elem is the element type (nil when unresolved).
+	Elem minic.Type
+	// Index is the subscript expression.
+	Index minic.Expr
+	// Write reports whether the access stores.
+	Write bool
+	// Kind classifies the subscript.
+	Kind AccessKind
+	// Stride is the coefficient of the loop variable (valid when affine).
+	Stride int64
+	// Offset is the remainder of the affine form; nil means zero.
+	Offset minic.Expr
+	// OffsetConst reports that Offset is a compile-time integer constant
+	// (or nil). The paper's streaming legality check requires this.
+	OffsetConst bool
+	// IndexArrays lists arrays read inside the subscript (indirect case).
+	IndexArrays []string
+	// Guarded reports the access sits under a branch; the paper's array
+	// reordering declines guarded accesses for safety (§IV).
+	Guarded bool
+	// Field is set for array-of-structures member accesses, pts[i].f.
+	Field string
+}
+
+// ElemSize returns the accessed element size in bytes (struct member
+// accesses report the member size).
+func (a ArrayAccess) ElemSize() int64 {
+	if a.Elem == nil {
+		return 8
+	}
+	return a.Elem.Size()
+}
+
+// Unit reports whether the access walks memory contiguously with the loop.
+func (a ArrayAccess) Unit() bool { return a.Kind == AccessAffine && a.Stride == 1 && a.Field == "" }
+
+// Irregular reports whether the access breaks contiguity: gathers, strides
+// other than one, or AoS member walks.
+func (a ArrayAccess) Irregular() bool {
+	switch a.Kind {
+	case AccessIndirect, AccessOpaque:
+		return true
+	}
+	return a.Stride != 1 && a.Stride != 0 || a.Field != ""
+}
+
+func (a ArrayAccess) String() string {
+	rw := "read"
+	if a.Write {
+		rw = "write"
+	}
+	return fmt.Sprintf("%s %s[%s] (%s, stride %d)", rw, a.Array, minic.ExprString(a.Index), a.Kind, a.Stride)
+}
+
+// linearForm decomposes e as stride*ivar + offset where stride is a
+// compile-time constant. invariant reports whether a symbol may be treated
+// as loop-invariant.
+func linearForm(e minic.Expr, ivar string, invariant func(string) bool) (stride int64, offset minic.Expr, ok bool) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return 0, x, true
+	case *minic.Ident:
+		if x.Name == ivar {
+			return 1, nil, true
+		}
+		if invariant(x.Name) {
+			return 0, x, true
+		}
+		return 0, nil, false
+	case *minic.ParenExpr:
+		return linearForm(x.X, ivar, invariant)
+	case *minic.UnaryExpr:
+		if x.Op != "-" {
+			return 0, nil, false
+		}
+		s, off, ok := linearForm(x.X, ivar, invariant)
+		if !ok {
+			return 0, nil, false
+		}
+		return -s, negate(off), true
+	case *minic.BinaryExpr:
+		switch x.Op {
+		case "+", "-":
+			s1, o1, ok1 := linearForm(x.X, ivar, invariant)
+			s2, o2, ok2 := linearForm(x.Y, ivar, invariant)
+			if !ok1 || !ok2 {
+				return 0, nil, false
+			}
+			if x.Op == "+" {
+				return s1 + s2, addExprs(o1, o2), true
+			}
+			return s1 - s2, addExprs(o1, negate(o2)), true
+		case "*":
+			// One side must be an integer constant.
+			if c, isConst := ConstInt(x.X); isConst {
+				s, o, ok := linearForm(x.Y, ivar, invariant)
+				if !ok {
+					return 0, nil, false
+				}
+				return c * s, mulConst(c, o), true
+			}
+			if c, isConst := ConstInt(x.Y); isConst {
+				s, o, ok := linearForm(x.X, ivar, invariant)
+				if !ok {
+					return 0, nil, false
+				}
+				return c * s, mulConst(c, o), true
+			}
+			return 0, nil, false
+		}
+	}
+	return 0, nil, false
+}
+
+// ConstInt evaluates a compile-time constant integer expression.
+func ConstInt(e minic.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case nil:
+		return 0, true
+	case *minic.IntLit:
+		return x.Value, true
+	case *minic.ParenExpr:
+		return ConstInt(x.X)
+	case *minic.UnaryExpr:
+		if x.Op != "-" {
+			return 0, false
+		}
+		v, ok := ConstInt(x.X)
+		return -v, ok
+	case *minic.BinaryExpr:
+		a, ok1 := ConstInt(x.X)
+		b, ok2 := ConstInt(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case "+":
+			return a + b, true
+		case "-":
+			return a - b, true
+		case "*":
+			return a * b, true
+		case "/":
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case "%":
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		}
+	}
+	return 0, false
+}
+
+func negate(e minic.Expr) minic.Expr {
+	if e == nil {
+		return nil
+	}
+	if lit, ok := e.(*minic.IntLit); ok {
+		return &minic.IntLit{Value: -lit.Value}
+	}
+	return &minic.UnaryExpr{Op: "-", X: e}
+}
+
+func addExprs(a, b minic.Expr) minic.Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	la, aok := a.(*minic.IntLit)
+	lb, bok := b.(*minic.IntLit)
+	if aok && bok {
+		return &minic.IntLit{Value: la.Value + lb.Value}
+	}
+	return &minic.BinaryExpr{Op: "+", X: a, Y: b}
+}
+
+func mulConst(c int64, e minic.Expr) minic.Expr {
+	if e == nil {
+		return nil
+	}
+	if lit, ok := e.(*minic.IntLit); ok {
+		return &minic.IntLit{Value: c * lit.Value}
+	}
+	return &minic.BinaryExpr{Op: "*", X: &minic.IntLit{Value: c}, Y: e}
+}
+
+// indexArrays collects names of arrays subscripted inside e.
+func indexArrays(e minic.Expr) []string {
+	var out []string
+	minic.Inspect(e, func(n minic.Node) bool {
+		if ie, ok := n.(*minic.IndexExpr); ok {
+			if id, ok := baseIdent(ie.X); ok {
+				out = append(out, id)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// baseIdent unwraps an expression to a plain identifier name.
+func baseIdent(e minic.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		return x.Name, true
+	case *minic.ParenExpr:
+		return baseIdent(x.X)
+	}
+	return "", false
+}
+
+// ClassifySite classifies one subscript against a loop index variable,
+// treating every other symbol as loop-invariant. The interpreter uses it at
+// compile time to decide which access sites count as irregular traffic.
+func ClassifySite(idx minic.Expr, ivar string) (AccessKind, int64) {
+	kind, stride, _, _, _ := classifyIndex(idx, ivar, func(string) bool { return true })
+	return kind, stride
+}
+
+// classifyIndex builds the access classification for one subscript.
+func classifyIndex(idx minic.Expr, ivar string, invariant func(string) bool) (AccessKind, int64, minic.Expr, bool, []string) {
+	if arrs := indexArrays(idx); len(arrs) > 0 {
+		return AccessIndirect, 0, nil, false, arrs
+	}
+	stride, offset, ok := linearForm(idx, ivar, invariant)
+	if !ok {
+		// A subscript that never mentions the loop variable (e.g. an
+		// inner-loop walk over a lookup table, centroids[j*d + k]) touches
+		// the same element set in every iteration of the analyzed loop.
+		// For blocking purposes that is a stride-0 access over an array
+		// that must stay whole on the device.
+		if !mentionsIdent(idx, ivar) {
+			return AccessAffine, 0, idx, true, nil
+		}
+		return AccessOpaque, 0, nil, false, nil
+	}
+	_, offsetConst := ConstInt(offset)
+	return AccessAffine, stride, offset, offsetConst, nil
+}
+
+// mentionsIdent reports whether the expression references the name.
+func mentionsIdent(e minic.Expr, name string) bool {
+	found := false
+	minic.Inspect(e, func(n minic.Node) bool {
+		if id, ok := n.(*minic.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

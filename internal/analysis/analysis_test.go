@@ -1,0 +1,637 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"comp/internal/minic"
+)
+
+// parseLoop parses src, checks it, and returns the first pragma-annotated
+// (or any, if none annotated) for loop plus the file.
+func parseLoop(t *testing.T, src string) (*minic.ForStmt, *minic.File) {
+	t.Helper()
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := minic.Check(f).Err(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	var first, annotated *minic.ForStmt
+	minic.Inspect(f, func(n minic.Node) bool {
+		if fs, ok := n.(*minic.ForStmt); ok {
+			if first == nil {
+				first = fs
+			}
+			if len(fs.Pragmas) > 0 && annotated == nil {
+				annotated = fs
+			}
+		}
+		return true
+	})
+	if annotated != nil {
+		return annotated, f
+	}
+	if first == nil {
+		t.Fatal("no for loop found")
+	}
+	return first, f
+}
+
+func analyzeSrc(t *testing.T, src string) (*LoopInfo, *minic.File) {
+	t.Helper()
+	fs, f := parseLoop(t, src)
+	info, err := Analyze(fs, f)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info, f
+}
+
+const regularLoop = `
+float a[1000];
+float b[1000];
+float c[1000];
+int n;
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = a[i] * 2.0 + b[i + 1];
+    }
+}
+`
+
+func TestAnalyzeRegularLoop(t *testing.T) {
+	info, _ := analyzeSrc(t, regularLoop)
+	if info.IndexVar != "i" || info.Step != 1 {
+		t.Fatalf("index=%s step=%d", info.IndexVar, info.Step)
+	}
+	if minic.ExprString(info.Upper) != "n" || minic.ExprString(info.Lower) != "0" {
+		t.Fatalf("bounds = [%s, %s)", minic.ExprString(info.Lower), minic.ExprString(info.Upper))
+	}
+	if !info.Parallel {
+		t.Error("parallel pragma not detected")
+	}
+	if len(info.Accesses) != 3 {
+		t.Fatalf("accesses = %d, want 3", len(info.Accesses))
+	}
+	for _, a := range info.Accesses {
+		if a.Kind != AccessAffine || a.Stride != 1 {
+			t.Errorf("access %v: kind=%v stride=%d, want affine/1", a, a.Kind, a.Stride)
+		}
+	}
+	if !info.StreamLegal() {
+		t.Error("regular loop should pass streaming legality")
+	}
+	if !info.Vectorizable() {
+		t.Error("regular loop should vectorize")
+	}
+	if info.IrregularFraction() != 0 {
+		t.Errorf("irregular fraction = %v, want 0", info.IrregularFraction())
+	}
+}
+
+func TestAnalyzeAffineOffsets(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float a[100];
+float b[100];
+int n;
+void f(void) {
+    int i;
+    for (i = 0; i < n; i++) {
+        b[i] = a[2 * i + 3] + a[i - 1];
+    }
+}
+`)
+	var strides []int64
+	for _, a := range info.Accesses {
+		if a.Array == "a" {
+			strides = append(strides, a.Stride)
+			if !a.OffsetConst {
+				t.Errorf("access %v offset not constant", a)
+			}
+		}
+	}
+	if !reflect.DeepEqual(strides, []int64{2, 1}) {
+		t.Fatalf("strides = %v, want [2 1]", strides)
+	}
+	if info.StreamLegal() {
+		t.Error("stride-2 loop must fail streaming legality")
+	}
+}
+
+func TestAnalyzeGather(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float a[100];
+int b[100];
+float c[100];
+int n;
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = a[b[i]];
+    }
+}
+`)
+	var gather *ArrayAccess
+	for i := range info.Accesses {
+		if info.Accesses[i].Array == "a" {
+			gather = &info.Accesses[i]
+		}
+	}
+	if gather == nil || gather.Kind != AccessIndirect {
+		t.Fatalf("a access = %+v, want indirect", gather)
+	}
+	if len(gather.IndexArrays) != 1 || gather.IndexArrays[0] != "b" {
+		t.Fatalf("index arrays = %v, want [b]", gather.IndexArrays)
+	}
+	if info.Vectorizable() {
+		t.Error("gather loop must not vectorize")
+	}
+	if info.StreamLegal() {
+		t.Error("gather loop must fail streaming legality")
+	}
+	irr := ClassifyIrregular(info)
+	if len(irr) != 1 || irr[0].Pattern != PatternGather {
+		t.Fatalf("irregular = %+v, want one gather", irr)
+	}
+	if f := info.IrregularFraction(); f <= 0 || f >= 1 {
+		t.Errorf("irregular fraction = %v, want in (0,1)", f)
+	}
+}
+
+func TestAnalyzeStridedPattern(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float a[1000];
+float c[100];
+int n;
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = a[8 * i];
+    }
+}
+`)
+	irr := ClassifyIrregular(info)
+	if len(irr) != 1 || irr[0].Pattern != PatternStrided {
+		t.Fatalf("irregular = %+v, want one strided", irr)
+	}
+	cands := ReorderCandidates(info)
+	if len(cands) != 1 {
+		t.Fatalf("reorder candidates = %d, want 1", len(cands))
+	}
+}
+
+func TestAnalyzeAoSPattern(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+struct pt {
+    float x;
+    float y;
+};
+struct pt pts[100];
+float out[100];
+int n;
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        out[i] = pts[i].x + pts[i].y;
+    }
+}
+`)
+	irr := ClassifyIrregular(info)
+	if len(irr) != 2 {
+		t.Fatalf("irregular = %d accesses, want 2 AoS", len(irr))
+	}
+	for _, x := range irr {
+		if x.Pattern != PatternAoS {
+			t.Errorf("pattern = %v, want aos", x.Pattern)
+		}
+	}
+	// AoS member access of a float should report 4-byte elements.
+	for _, x := range irr {
+		if x.Access.ElemSize() != 4 {
+			t.Errorf("elem size = %d, want 4", x.Access.ElemSize())
+		}
+	}
+}
+
+func TestAnalyzeGuardedAccessExcluded(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float a[100];
+int b[100];
+float c[100];
+int n;
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        if (i % 2 == 0) {
+            c[i] = a[b[i]];
+        }
+    }
+}
+`)
+	if got := len(ReorderCandidates(info)); got != 0 {
+		t.Fatalf("guarded gather produced %d reorder candidates, want 0", got)
+	}
+}
+
+func TestInferClauses(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float a[100];
+float b[100];
+float c[100];
+int n;
+float scale;
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = a[i] * scale;
+        b[i] = b[i] + c[i];
+    }
+}
+`)
+	c := InferClauses(info)
+	if !reflect.DeepEqual(c.In, []string{"a"}) {
+		t.Errorf("In = %v, want [a]", c.In)
+	}
+	if !reflect.DeepEqual(c.InOut, []string{"b", "c"}) {
+		t.Errorf("InOut = %v, want [b c]", c.InOut)
+	}
+	if len(c.Out) != 0 {
+		t.Errorf("Out = %v, want empty", c.Out)
+	}
+	wantScalars := []string{"n", "scale"}
+	if !reflect.DeepEqual(c.Scalars, wantScalars) {
+		t.Errorf("Scalars = %v, want %v", c.Scalars, wantScalars)
+	}
+}
+
+func TestInferClausesPureOutput(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float c[100];
+int n;
+void f(void) {
+    int i;
+    for (i = 0; i < n; i++) {
+        c[i] = 1.0;
+    }
+}
+`)
+	c := InferClauses(info)
+	if !reflect.DeepEqual(c.Out, []string{"c"}) || len(c.In) != 0 || len(c.InOut) != 0 {
+		t.Fatalf("clauses = %+v, want only Out=[c]", c)
+	}
+}
+
+func TestClausesUnion(t *testing.T) {
+	u := Union(
+		Clauses{In: []string{"a", "w"}, Out: []string{"b"}, Scalars: []string{"n"}},
+		Clauses{In: []string{"b"}, Out: []string{"a"}, Scalars: []string{"n", "k"}},
+	)
+	if !reflect.DeepEqual(u.InOut, []string{"a", "b"}) {
+		t.Errorf("InOut = %v, want [a b]", u.InOut)
+	}
+	if !reflect.DeepEqual(u.In, []string{"w"}) {
+		t.Errorf("In = %v, want [w]", u.In)
+	}
+	if !reflect.DeepEqual(u.Scalars, []string{"k", "n"}) {
+		t.Errorf("Scalars = %v, want [k n]", u.Scalars)
+	}
+}
+
+func TestClausesMatches(t *testing.T) {
+	info, _ := analyzeSrc(t, regularLoop)
+	c := InferClauses(info)
+	p, err := minic.ParsePragma("#pragma offload target(mic:0) in(a : length(n)) out(c : length(n))", minic.Pos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := c.Matches(p)
+	if !reflect.DeepEqual(missing, []string{"b"}) {
+		t.Fatalf("missing = %v, want [b]", missing)
+	}
+}
+
+func TestSplitPointSradShape(t *testing.T) {
+	// The srad pattern: irregular gathers first, regular compute after.
+	info, f := analyzeSrc(t, `
+float J[10000];
+int iN[100];
+int iS[100];
+float dN[100];
+float dS[100];
+float c[100];
+int n;
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float jc = J[i];
+        float jn = J[iN[i]];
+        float js = J[iS[i]];
+        dN[i] = jn - jc;
+        dS[i] = js - jc;
+        c[i] = (dN[i] * dN[i] + dS[i] * dS[i]) / (jc * jc + 1.0);
+    }
+}
+`)
+	sp := SplitPoint(info, f)
+	if sp != 3 {
+		t.Fatalf("split point = %d, want 3 (after the three J loads)", sp)
+	}
+}
+
+func TestSplitPointDeclinesIrregularWrite(t *testing.T) {
+	info, f := analyzeSrc(t, `
+float a[100];
+int b[100];
+int n;
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        a[b[i]] = 1.0;
+        a[i] = a[i] + 1.0;
+    }
+}
+`)
+	if sp := SplitPoint(info, f); sp != 0 {
+		t.Fatalf("split point = %d, want 0 (irregular write)", sp)
+	}
+}
+
+func TestSplitPointNoRegularSuffix(t *testing.T) {
+	info, f := analyzeSrc(t, `
+float a[100];
+int b[100];
+float c[100];
+int n;
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = a[b[i]];
+    }
+}
+`)
+	if sp := SplitPoint(info, f); sp != 0 {
+		t.Fatalf("split point = %d, want 0 (no regular suffix)", sp)
+	}
+}
+
+func TestAnalyzeCallTargets(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float prices[100];
+float sptprice[100];
+int n;
+float kern(float x) {
+    return sqrt(x) * exp(x);
+}
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        prices[i] = kern(sptprice[i]);
+    }
+}
+`)
+	if !info.HasCalls || len(info.CallTargets) != 1 || info.CallTargets[0] != "kern" {
+		t.Fatalf("calls = %v", info.CallTargets)
+	}
+	// sqrt/exp are builtins, not user calls; loop stays vectorizable.
+	if !info.Vectorizable() {
+		t.Error("loop with inlinable call should vectorize")
+	}
+}
+
+func TestAnalyzeCalleeGlobalAccesses(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float table[100];
+float out[100];
+int n;
+float lookup(int k) {
+    return table[k];
+}
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        out[i] = lookup(i);
+    }
+}
+`)
+	if !info.ArraysRead["table"] {
+		t.Fatal("interprocedural access to table not found")
+	}
+}
+
+func TestAnalyzeLoopNormalizationErrors(t *testing.T) {
+	cases := []string{
+		"int n; void f(void) { int i; for (i = n; i > 0; i--) { n = n; } }",
+		"int n; void f(void) { int i; int j; for (i = 0; j < n; i++) { n = n; } }",
+		"int n; void f(void) { int i; for (i = 0; i != n; i++) { n = n; } }",
+		"int n; void f(void) { int i; for (i = 0; i < n; i *= 2) { n = n; } }",
+		"int n; void f(void) { int i; for (i = 0; i < n; i += n) { n = n; } }",
+	}
+	for _, src := range cases {
+		fs, f := parseLoop(t, src)
+		if _, err := Analyze(fs, f); err == nil {
+			t.Errorf("no normalization error for %q", src)
+		}
+	}
+}
+
+func TestAnalyzeStepAndInclusiveBound(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+int n;
+float a[100];
+void f(void) {
+    int i;
+    for (i = 2; i <= n; i += 4) {
+        a[i] = 0.0;
+    }
+}
+`)
+	if info.Step != 4 {
+		t.Fatalf("step = %d, want 4", info.Step)
+	}
+	if got := minic.ExprString(info.Upper); got != "n + 1" {
+		t.Fatalf("upper = %q, want n + 1", got)
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+int n;
+float a[100];
+void f(void) {
+    int i;
+    for (i = 0; i < n; i += 3) {
+        a[i] = 0.0;
+    }
+}
+`)
+	eval := func(e minic.Expr) (int64, error) {
+		if id, ok := e.(*minic.Ident); ok && id.Name == "n" {
+			return 10, nil
+		}
+		if v, ok := ConstInt(e); ok {
+			return v, nil
+		}
+		t.Fatalf("unexpected expr %s", minic.ExprString(e))
+		return 0, nil
+	}
+	got, err := TripCount(info, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 { // 0,3,6,9
+		t.Fatalf("trip count = %d, want 4", got)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	p, err := minic.ParsePragma("#pragma offload target(mic:0) in(a, b : length(n)) out(c : length(2 * n)) in(s)", minic.Pos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(e minic.Expr) (int64, error) {
+		switch x := e.(type) {
+		case *minic.Ident:
+			return 100, nil // n = 100
+		case *minic.IntLit:
+			return x.Value, nil
+		case *minic.BinaryExpr:
+			a, _ := ConstInt(x.X)
+			return a * 100, nil
+		}
+		return 0, nil
+	}
+	sizes := func(name string) (int64, error) {
+		if name == "s" {
+			return 8, nil
+		}
+		return 4, nil
+	}
+	got, err := Footprint(p, eval, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(100*4 + 100*4 + 200*4 + 8)
+	if got != want {
+		t.Fatalf("footprint = %d, want %d", got, want)
+	}
+}
+
+func TestConstInt(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+		ok   bool
+	}{
+		{"int x = 6;", 6, true},
+		{"int x = 2 + 3 * 4;", 14, true},
+		{"int x = (10 - 2) / 4;", 2, true},
+		{"int x = -5;", -5, true},
+		{"int x = 7 % 3;", 1, true},
+	}
+	for _, c := range cases {
+		f := minic.MustParse(c.src)
+		vd := f.Decls[0].(*minic.VarDecl)
+		got, ok := ConstInt(vd.Init)
+		if ok != c.ok || got != c.want {
+			t.Errorf("%s: ConstInt = %d,%v want %d,%v", c.src, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestAccessStringAndKindString(t *testing.T) {
+	info, _ := analyzeSrc(t, regularLoop)
+	s := info.Accesses[0].String()
+	if !strings.Contains(s, "affine") {
+		t.Errorf("access string %q missing kind", s)
+	}
+	if AccessOpaque.String() != "opaque" || PatternOpaque.String() != "opaque" {
+		t.Error("string methods broken")
+	}
+}
+
+func TestWhileDisablesVectorization(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float a[100];
+int n;
+void f(void) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int k = i;
+        while (k > 0) {
+            k = k / 2;
+        }
+        a[i] = k;
+    }
+}
+`)
+	if info.Vectorizable() {
+		t.Error("loop containing while must not vectorize")
+	}
+	if !info.HasWhile {
+		t.Error("HasWhile not set")
+	}
+}
+
+func TestCompoundAssignmentCountsReadAndWrite(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float a[100];
+int n;
+void f(void) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] += 1.0;
+    }
+}
+`)
+	if !info.ArraysRead["a"] || !info.ArraysWritten["a"] {
+		t.Fatalf("a read=%v written=%v, want both", info.ArraysRead["a"], info.ArraysWritten["a"])
+	}
+	c := InferClauses(info)
+	if !reflect.DeepEqual(c.InOut, []string{"a"}) {
+		t.Fatalf("InOut = %v, want [a]", c.InOut)
+	}
+}
+
+func TestTernaryAccessesCollected(t *testing.T) {
+	info, _ := analyzeSrc(t, `
+float a[100];
+float b[100];
+float c[100];
+int n;
+void f(void) {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = a[i] > 0.0 ? a[i] : b[i];
+    }
+}
+`)
+	if !info.ArraysRead["a"] || !info.ArraysRead["b"] {
+		t.Fatalf("ternary branch accesses missed: %v", info.ArraysRead)
+	}
+	// Branch accesses are guarded, like accesses under an if.
+	guarded := 0
+	for _, acc := range info.Accesses {
+		if acc.Guarded {
+			guarded++
+		}
+	}
+	if guarded != 2 {
+		t.Fatalf("guarded accesses = %d, want 2 (the two branches)", guarded)
+	}
+}

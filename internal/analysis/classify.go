@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"comp/internal/minic"
+)
+
+// IrregularPattern enumerates the §IV access patterns COMP regularizes.
+type IrregularPattern int
+
+// Patterns.
+const (
+	// PatternGather is A[B[i]]: the subscript reads another array.
+	// Regularized by array reordering (a permutation array A1 sorted by
+	// access order).
+	PatternGather IrregularPattern = iota
+	// PatternStrided is A[c*i] with constant c > 1 (the nn benchmark).
+	// Regularized by packing the used elements into a new dense array.
+	PatternStrided
+	// PatternAoS is pts[i].f: array-of-structures member walks.
+	// Regularized by AoS -> SoA conversion.
+	PatternAoS
+	// PatternOpaque subscripts defeat classification; no transformation
+	// applies and the loop keeps its irregular cost.
+	PatternOpaque
+)
+
+func (p IrregularPattern) String() string {
+	switch p {
+	case PatternGather:
+		return "gather"
+	case PatternStrided:
+		return "strided"
+	case PatternAoS:
+		return "aos"
+	}
+	return "opaque"
+}
+
+// Irregularity pairs an access with its pattern.
+type Irregularity struct {
+	Access  ArrayAccess
+	Pattern IrregularPattern
+}
+
+// ClassifyIrregular maps each irregular access in the loop to the §IV
+// pattern that handles it.
+func ClassifyIrregular(info *LoopInfo) []Irregularity {
+	var out []Irregularity
+	for _, a := range info.IrregularAccesses() {
+		out = append(out, Irregularity{Access: a, Pattern: patternOf(a)})
+	}
+	return out
+}
+
+func patternOf(a ArrayAccess) IrregularPattern {
+	if a.Field != "" && a.Kind == AccessAffine {
+		return PatternAoS
+	}
+	switch a.Kind {
+	case AccessIndirect:
+		return PatternGather
+	case AccessAffine:
+		if a.Stride > 1 || a.Stride < -1 {
+			return PatternStrided
+		}
+	}
+	return PatternOpaque
+}
+
+// SplitPoint looks for the srad shape (§IV "splitting loops"): a prefix of
+// the loop body performs all the irregular reads into locally declared
+// scalars or regularly indexed temporaries, and the remaining statements
+// are fully regular. It returns the number of leading statements to peel
+// into the gather loop, or 0 when splitting does not apply.
+func SplitPoint(info *LoopInfo, file *minic.File) int {
+	body := info.For.Body.Stmts
+	if len(body) < 2 {
+		return 0
+	}
+	invariantNames := assignedVars(info.For.Body)
+	invariant := func(name string) bool { return name != info.IndexVar && !invariantNames[name] }
+
+	stmtIrregular := make([]bool, len(body))
+	stmtGuarded := make([]bool, len(body))
+	for i, s := range body {
+		sub := &LoopInfo{
+			IndexVar:      info.IndexVar,
+			ArraysRead:    map[string]bool{},
+			ArraysWritten: map[string]bool{},
+		}
+		collectAccesses(s, sub, invariant, false, file, 0)
+		for _, a := range sub.Accesses {
+			if a.Irregular() {
+				stmtIrregular[i] = true
+				// Splitting an irregular *write* is unsafe without a
+				// scatter epilogue; decline.
+				if a.Write {
+					return 0
+				}
+			}
+			if a.Guarded && a.Irregular() {
+				stmtGuarded[i] = true
+			}
+		}
+		if sub.HasWhile {
+			return 0
+		}
+	}
+	// Find the last irregular statement; everything before and including it
+	// must be peelable, everything after must be regular.
+	last := -1
+	for i, irr := range stmtIrregular {
+		if irr {
+			if stmtGuarded[i] {
+				return 0 // §IV: only unguarded accesses are transformed
+			}
+			last = i
+		}
+	}
+	if last < 0 || last == len(body)-1 {
+		return 0 // nothing irregular, or no regular suffix to vectorize
+	}
+	// The peeled prefix communicates with the suffix through values it
+	// defines. Those definitions must be buffered per iteration, which the
+	// transform does by promoting scalars to temporary arrays indexed by i.
+	// That is always possible for scalar and regular array definitions, so
+	// the split point is simply after the last irregular statement.
+	return last + 1
+}
+
+// ReorderCandidates returns gather/strided read accesses eligible for the
+// array-reordering transformation: unguarded irregular reads (§IV applies
+// the transformation "only on arrays whose accesses are not guarded by any
+// branch"; writes need a copy-back epilogue which applies only when the
+// loop is parallel).
+func ReorderCandidates(info *LoopInfo) []Irregularity {
+	var out []Irregularity
+	for _, ir := range ClassifyIrregular(info) {
+		if ir.Access.Guarded {
+			continue
+		}
+		if ir.Pattern != PatternGather && ir.Pattern != PatternStrided {
+			continue
+		}
+		if ir.Access.Write && !info.Parallel {
+			continue
+		}
+		out = append(out, ir)
+	}
+	return out
+}

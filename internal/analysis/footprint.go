@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"fmt"
+
+	"comp/internal/minic"
+)
+
+// Evaluator resolves an expression to a runtime integer value. The offload
+// runtime supplies one bound to its variable store; tests supply simple
+// maps.
+type Evaluator func(minic.Expr) (int64, error)
+
+// SizeTable resolves a variable name to its element size in bytes (for
+// arrays/pointers) or its scalar size.
+type SizeTable func(name string) (int64, error)
+
+// ItemBytes returns the transfer size in bytes of one pragma item.
+func ItemBytes(it minic.TransferItem, eval Evaluator, sizes SizeTable) (int64, error) {
+	elem, err := sizes(it.Name)
+	if err != nil {
+		return 0, err
+	}
+	if it.Length == nil {
+		return elem, nil // scalar, copied by value
+	}
+	n, err := eval(it.Length)
+	if err != nil {
+		return 0, fmt.Errorf("length of %s: %w", it.Name, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative length %d for %s", n, it.Name)
+	}
+	return n * elem, nil
+}
+
+// Footprint returns the total device memory an offload pragma requires:
+// the sum of all item sizes. With LEO default lifetimes this is what must
+// fit on the card simultaneously; the paper's §III-B memory-reduction
+// transform exists to shrink it.
+func Footprint(p *minic.Pragma, eval Evaluator, sizes SizeTable) (int64, error) {
+	var total int64
+	for _, it := range p.AllItems() {
+		b, err := ItemBytes(it, eval, sizes)
+		if err != nil {
+			return 0, err
+		}
+		total += b
+	}
+	return total, nil
+}
+
+// TripCount evaluates a normalized loop's iteration count.
+func TripCount(info *LoopInfo, eval Evaluator) (int64, error) {
+	lo, err := eval(info.Lower)
+	if err != nil {
+		return 0, fmt.Errorf("loop lower bound: %w", err)
+	}
+	hi, err := eval(info.Upper)
+	if err != nil {
+		return 0, fmt.Errorf("loop upper bound: %w", err)
+	}
+	if hi <= lo {
+		return 0, nil
+	}
+	return (hi - lo + info.Step - 1) / info.Step, nil
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"sort"
+
+	"comp/internal/minic"
+)
+
+// Clauses is the inferred data-movement requirement of an offload region:
+// which arrays must be copied in, out, or both, and which scalars are read.
+// This reimplements the Apricot liveness module the paper builds on:
+// programmers write plain OpenMP loops and the compiler populates the
+// offload clauses.
+type Clauses struct {
+	In    []string
+	Out   []string
+	InOut []string
+	// Scalars are loop-invariant scalar reads, copied by value at offload.
+	Scalars []string
+}
+
+// InferClauses derives in/out/inout sets for a loop from its access
+// summary: arrays only read go in; arrays only written come out; arrays
+// both read and written go inout. (A written array whose first access in
+// some iteration might be a read must be transferred in as well; without
+// path-sensitive analysis we conservatively treat read+written as inout,
+// which is also what Apricot emits.)
+func InferClauses(info *LoopInfo) Clauses {
+	var c Clauses
+	arrays := map[string]bool{}
+	for _, a := range info.Accesses {
+		arrays[a.Array] = true
+	}
+	for name := range arrays {
+		r := info.ArraysRead[name]
+		w := info.ArraysWritten[name]
+		switch {
+		case r && w:
+			c.InOut = append(c.InOut, name)
+		case w:
+			c.Out = append(c.Out, name)
+		default:
+			c.In = append(c.In, name)
+		}
+	}
+	c.Scalars = append(c.Scalars, info.ScalarReads...)
+	sort.Strings(c.In)
+	sort.Strings(c.Out)
+	sort.Strings(c.InOut)
+	sort.Strings(c.Scalars)
+	return c
+}
+
+// Union merges clause sets (used by offload merging, which combines the
+// in/out/inout clauses of each inner loop to populate the hoisted outer
+// offload, §III-C). A name appearing as input in one loop and output in
+// another becomes inout.
+func Union(sets ...Clauses) Clauses {
+	type rw struct{ r, w bool }
+	arr := map[string]*rw{}
+	mark := func(names []string, r, w bool) {
+		for _, n := range names {
+			e := arr[n]
+			if e == nil {
+				e = &rw{}
+				arr[n] = e
+			}
+			e.r = e.r || r
+			e.w = e.w || w
+		}
+	}
+	scalars := map[string]bool{}
+	for _, s := range sets {
+		mark(s.In, true, false)
+		mark(s.Out, false, true)
+		mark(s.InOut, true, true)
+		for _, sc := range s.Scalars {
+			scalars[sc] = true
+		}
+	}
+	var out Clauses
+	for n, e := range arr {
+		switch {
+		case e.r && e.w:
+			out.InOut = append(out.InOut, n)
+		case e.w:
+			out.Out = append(out.Out, n)
+		default:
+			out.In = append(out.In, n)
+		}
+	}
+	for sc := range scalars {
+		out.Scalars = append(out.Scalars, sc)
+	}
+	sort.Strings(out.In)
+	sort.Strings(out.Out)
+	sort.Strings(out.InOut)
+	sort.Strings(out.Scalars)
+	return out
+}
+
+// Matches reports whether an explicit offload pragma covers at least the
+// inferred requirement (every inferred array appears in some clause).
+// Used as a diagnostic: a pragma missing an inferred array is a likely
+// source of wrong results on the device.
+func (c Clauses) Matches(p *minic.Pragma) (missing []string) {
+	have := map[string]bool{}
+	for _, it := range p.AllItems() {
+		have[it.Name] = true
+	}
+	for _, group := range [][]string{c.In, c.Out, c.InOut} {
+		for _, n := range group {
+			if !have[n] {
+				missing = append(missing, n)
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

@@ -1,0 +1,400 @@
+package analysis
+
+import (
+	"fmt"
+
+	"comp/internal/minic"
+)
+
+// LoopInfo is the analysis summary of one (candidate offload) loop.
+type LoopInfo struct {
+	For *minic.ForStmt
+
+	// Normalized iteration space: for (IndexVar = Lower; IndexVar < Upper;
+	// IndexVar += Step).
+	IndexVar string
+	Lower    minic.Expr
+	Upper    minic.Expr
+	Step     int64
+
+	// Parallel reports an `omp parallel for` annotation; the paper's
+	// transformations assume no cross-iteration dependences in such loops.
+	Parallel bool
+	// Reductions lists omp reduction variables.
+	Reductions []string
+	// Offload is the offload pragma, nil when the loop runs on the host.
+	Offload *minic.Pragma
+
+	// Accesses lists every subscripted access in the body.
+	Accesses []ArrayAccess
+	// ScalarReads lists scalar variables read but not written (candidates
+	// for by-value in clauses).
+	ScalarReads []string
+	// ArraysRead / ArraysWritten index Accesses by array name.
+	ArraysRead    map[string]bool
+	ArraysWritten map[string]bool
+
+	// HasInnerLoops, HasWhile, HasCalls describe body structure.
+	HasInnerLoops bool
+	HasWhile      bool
+	HasCalls      bool
+	CallTargets   []string
+}
+
+// Analyze normalizes and classifies the loop. file provides function
+// bodies for interprocedural access collection (one level of inlining, the
+// common benchmark shape: the loop body calls one kernel function).
+func Analyze(fs *minic.ForStmt, file *minic.File) (*LoopInfo, error) {
+	info := &LoopInfo{
+		For:           fs,
+		Step:          1,
+		ArraysRead:    map[string]bool{},
+		ArraysWritten: map[string]bool{},
+	}
+	for _, p := range fs.Pragmas {
+		switch p.Kind {
+		case minic.PragmaOmpParallelFor:
+			info.Parallel = true
+			info.Reductions = append(info.Reductions, p.Reductions...)
+		case minic.PragmaOffload:
+			info.Offload = p
+		}
+	}
+	if err := normalize(fs, info); err != nil {
+		return nil, err
+	}
+	assigned := assignedVars(fs.Body)
+	invariant := func(name string) bool { return name != info.IndexVar && !assigned[name] }
+
+	collectAccesses(fs.Body, info, invariant, false, file, 0)
+	collectScalarReads(fs, info, assigned)
+	return info, nil
+}
+
+// normalize extracts the canonical (i = lo; i < hi; i += step) form.
+func normalize(fs *minic.ForStmt, info *LoopInfo) error {
+	// Init: `i = lo` or `int i = lo`.
+	switch init := fs.Init.(type) {
+	case *minic.AssignStmt:
+		id, ok := init.LHS.(*minic.Ident)
+		if !ok || init.Op != "=" {
+			return errAt(fs, "loop init must assign the index variable")
+		}
+		info.IndexVar = id.Name
+		info.Lower = init.RHS
+	case *minic.DeclStmt:
+		if init.Decl.Init == nil {
+			return errAt(fs, "loop index declaration needs an initializer")
+		}
+		info.IndexVar = init.Decl.Name
+		info.Lower = init.Decl.Init
+	default:
+		return errAt(fs, "unsupported loop init")
+	}
+	// Cond: `i < hi` (or <=, normalized to < hi+1).
+	cond, ok := fs.Cond.(*minic.BinaryExpr)
+	if !ok {
+		return errAt(fs, "unsupported loop condition")
+	}
+	lhs, lok := baseIdent(cond.X)
+	if !lok || lhs != info.IndexVar {
+		return errAt(fs, "loop condition must test the index variable")
+	}
+	switch cond.Op {
+	case "<":
+		info.Upper = cond.Y
+	case "<=":
+		info.Upper = addExprs(cond.Y, &minic.IntLit{Value: 1})
+	default:
+		return errAt(fs, "unsupported loop comparison %q", cond.Op)
+	}
+	// Post: `i++` or `i += c`.
+	switch post := fs.Post.(type) {
+	case *minic.IncDecStmt:
+		id, ok := post.X.(*minic.Ident)
+		if !ok || id.Name != info.IndexVar || post.Op != "++" {
+			return errAt(fs, "unsupported loop post statement")
+		}
+		info.Step = 1
+	case *minic.AssignStmt:
+		id, ok := post.LHS.(*minic.Ident)
+		if !ok || id.Name != info.IndexVar || post.Op != "+=" {
+			return errAt(fs, "unsupported loop post statement")
+		}
+		c, isConst := ConstInt(post.RHS)
+		if !isConst || c <= 0 {
+			return errAt(fs, "loop step must be a positive constant")
+		}
+		info.Step = c
+	default:
+		return errAt(fs, "unsupported loop post statement")
+	}
+	return nil
+}
+
+func errAt(n minic.Node, format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %s", n.Pos(), fmt.Sprintf(format, args...))
+}
+
+// assignedVars returns the set of scalar names assigned anywhere in the block.
+func assignedVars(b *minic.Block) map[string]bool {
+	out := map[string]bool{}
+	minic.Inspect(b, func(n minic.Node) bool {
+		switch x := n.(type) {
+		case *minic.AssignStmt:
+			if id, ok := baseIdent(x.LHS); ok {
+				out[id] = true
+			}
+		case *minic.IncDecStmt:
+			if id, ok := baseIdent(x.X); ok {
+				out[id] = true
+			}
+		case *minic.DeclStmt:
+			out[x.Decl.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+const maxInlineDepth = 3
+
+// collectAccesses walks the body recording array accesses. guarded is true
+// under conditionals. file enables descending into called functions.
+func collectAccesses(n minic.Node, info *LoopInfo, invariant func(string) bool, guarded bool, file *minic.File, depth int) {
+	switch x := n.(type) {
+	case nil:
+		return
+	case *minic.Block:
+		for _, s := range x.Stmts {
+			collectAccesses(s, info, invariant, guarded, file, depth)
+		}
+	case *minic.DeclStmt:
+		if x.Decl.Init != nil {
+			collectExprAccesses(x.Decl.Init, info, invariant, guarded, false, file, depth)
+		}
+	case *minic.ExprStmt:
+		collectExprAccesses(x.X, info, invariant, guarded, false, file, depth)
+	case *minic.AssignStmt:
+		collectExprAccesses(x.LHS, info, invariant, guarded, true, file, depth)
+		if x.Op != "=" {
+			// Compound assignment also reads the LHS.
+			collectExprAccesses(x.LHS, info, invariant, guarded, false, file, depth)
+		}
+		collectExprAccesses(x.RHS, info, invariant, guarded, false, file, depth)
+	case *minic.IncDecStmt:
+		collectExprAccesses(x.X, info, invariant, guarded, true, file, depth)
+		collectExprAccesses(x.X, info, invariant, guarded, false, file, depth)
+	case *minic.IfStmt:
+		collectExprAccesses(x.Cond, info, invariant, guarded, false, file, depth)
+		collectAccesses(x.Then, info, invariant, true, file, depth)
+		if x.Else != nil {
+			collectAccesses(x.Else, info, invariant, true, file, depth)
+		}
+	case *minic.ForStmt:
+		info.HasInnerLoops = true
+		if x.Init != nil {
+			collectAccesses(x.Init, info, invariant, guarded, file, depth)
+		}
+		if x.Cond != nil {
+			collectExprAccesses(x.Cond, info, invariant, guarded, false, file, depth)
+		}
+		if x.Post != nil {
+			collectAccesses(x.Post, info, invariant, guarded, file, depth)
+		}
+		// Inner loop induction variables are not invariant; the invariant
+		// callback already handles this via assignedVars.
+		collectAccesses(x.Body, info, invariant, guarded, file, depth)
+	case *minic.WhileStmt:
+		info.HasWhile = true
+		collectExprAccesses(x.Cond, info, invariant, guarded, false, file, depth)
+		collectAccesses(x.Body, info, invariant, guarded, file, depth)
+	case *minic.ReturnStmt:
+		if x.X != nil {
+			collectExprAccesses(x.X, info, invariant, guarded, false, file, depth)
+		}
+	case *minic.PragmaStmt, *minic.BreakStmt, *minic.ContinueStmt:
+	}
+}
+
+// collectExprAccesses records subscripted accesses inside an expression.
+func collectExprAccesses(e minic.Expr, info *LoopInfo, invariant func(string) bool, guarded, write bool, file *minic.File, depth int) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *minic.IndexExpr:
+		recordAccess(x, "", info, invariant, guarded, write)
+		collectExprAccesses(x.Index, info, invariant, guarded, false, file, depth)
+		// A[i][j] style nesting: the base may itself subscript.
+		if inner, ok := x.X.(*minic.IndexExpr); ok {
+			collectExprAccesses(inner, info, invariant, guarded, false, file, depth)
+		}
+	case *minic.MemberExpr:
+		// pts[i].f — array-of-structures access.
+		if ie, ok := x.X.(*minic.IndexExpr); ok {
+			recordAccess(ie, x.Field, info, invariant, guarded, write)
+			collectExprAccesses(ie.Index, info, invariant, guarded, false, file, depth)
+			return
+		}
+		collectExprAccesses(x.X, info, invariant, guarded, write, file, depth)
+	case *minic.BinaryExpr:
+		collectExprAccesses(x.X, info, invariant, guarded, false, file, depth)
+		collectExprAccesses(x.Y, info, invariant, guarded, false, file, depth)
+	case *minic.UnaryExpr:
+		collectExprAccesses(x.X, info, invariant, guarded, x.Op == "*" && write, file, depth)
+	case *minic.ParenExpr:
+		collectExprAccesses(x.X, info, invariant, guarded, write, file, depth)
+	case *minic.CondExpr:
+		collectExprAccesses(x.Cond, info, invariant, guarded, false, file, depth)
+		// Branch accesses are conditional, like accesses under an if.
+		collectExprAccesses(x.Then, info, invariant, true, false, file, depth)
+		collectExprAccesses(x.Else, info, invariant, true, false, file, depth)
+	case *minic.CallExpr:
+		for _, a := range x.Args {
+			collectExprAccesses(a, info, invariant, guarded, false, file, depth)
+		}
+		if _, builtin := minic.Builtins[x.Fun.Name]; builtin {
+			return
+		}
+		info.HasCalls = true
+		info.CallTargets = append(info.CallTargets, x.Fun.Name)
+		// Descend one level into user functions to find accesses to
+		// globals (common shape: kernel body in a helper function).
+		if file != nil && depth < maxInlineDepth {
+			if fd := file.Func(x.Fun.Name); fd != nil && fd.Body != nil {
+				collectAccesses(fd.Body, info, func(string) bool { return false }, guarded, file, depth+1)
+			}
+		}
+	}
+}
+
+func recordAccess(ie *minic.IndexExpr, field string, info *LoopInfo, invariant func(string) bool, guarded, write bool) {
+	name, ok := baseIdent(ie.X)
+	if !ok {
+		return
+	}
+	kind, stride, offset, offConst, idxArrays := classifyIndex(ie.Index, info.IndexVar, invariant)
+	var elem minic.Type
+	if t := ie.Type(); t != nil {
+		elem = t
+	}
+	if field != "" {
+		if st, ok := elem.(*minic.StructType); ok {
+			if f := st.Field(field); f != nil {
+				elem = f.Type
+			}
+		}
+	}
+	acc := ArrayAccess{
+		Array:       name,
+		Elem:        elem,
+		Index:       ie.Index,
+		Write:       write,
+		Kind:        kind,
+		Stride:      stride,
+		Offset:      offset,
+		OffsetConst: offConst,
+		IndexArrays: idxArrays,
+		Guarded:     guarded,
+		Field:       field,
+	}
+	info.Accesses = append(info.Accesses, acc)
+	if write {
+		info.ArraysWritten[name] = true
+	} else {
+		info.ArraysRead[name] = true
+	}
+}
+
+// collectScalarReads finds loop-invariant scalars the body reads; these
+// become by-value in() items.
+func collectScalarReads(fs *minic.ForStmt, info *LoopInfo, assigned map[string]bool) {
+	seen := map[string]bool{}
+	// Walk the whole loop, not just the body: bound variables (e.g. `n` in
+	// `i < n`) must reach the device too.
+	minic.Inspect(fs, func(n minic.Node) bool {
+		id, ok := n.(*minic.Ident)
+		if !ok || id.Name == info.IndexVar || assigned[id.Name] || seen[id.Name] {
+			return true
+		}
+		if id.Sym != nil {
+			if _, isArr := id.Sym.Type.(*minic.Array); isArr {
+				return true
+			}
+			if _, isPtr := id.Sym.Type.(*minic.Pointer); isPtr {
+				return true
+			}
+			if id.Sym.Kind == minic.SymFunc {
+				return true
+			}
+		} else if info.ArraysRead[id.Name] || info.ArraysWritten[id.Name] {
+			return true
+		}
+		seen[id.Name] = true
+		info.ScalarReads = append(info.ScalarReads, id.Name)
+		return true
+	})
+}
+
+// IrregularAccesses returns the accesses that break contiguity.
+func (info *LoopInfo) IrregularAccesses() []ArrayAccess {
+	var out []ArrayAccess
+	for _, a := range info.Accesses {
+		if a.Irregular() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Vectorizable reports whether the auto-vectorizer would succeed on the
+// body: affine unit-or-zero-stride accesses only (branches are masked on
+// 512-bit SIMD, so plain ifs are allowed), no while loops, and no opaque
+// or indirect subscripts.
+func (info *LoopInfo) Vectorizable() bool {
+	if info.HasWhile {
+		return false
+	}
+	for _, a := range info.Accesses {
+		if a.Irregular() {
+			return false
+		}
+	}
+	return true
+}
+
+// StreamLegal implements the paper's §III-A legality check: data streaming
+// applies when every array subscript is a*i + b with constant a and b, and
+// the loop is a parallel loop. Stride magnitude above 1 leaves holes in
+// blocks, so only |a| <= 1 with constant offsets passes.
+func (info *LoopInfo) StreamLegal() bool {
+	if !info.Parallel {
+		return false
+	}
+	for _, a := range info.Accesses {
+		if a.Kind != AccessAffine || !a.OffsetConst || a.Field != "" {
+			return false
+		}
+		if a.Stride != 1 && a.Stride != 0 {
+			return false
+		}
+	}
+	return len(info.Accesses) > 0
+}
+
+// IrregularFraction returns the fraction of per-iteration traffic moved by
+// irregular accesses, feeding the machine model's bandwidth derating.
+func (info *LoopInfo) IrregularFraction() float64 {
+	var total, irr int64
+	for _, a := range info.Accesses {
+		sz := a.ElemSize()
+		total += sz
+		if a.Irregular() {
+			irr += sz
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(irr) / float64(total)
+}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHeadlineClaims regenerates the full evaluation once and checks the
+// paper's headline results hold in shape. This is the repository's main
+// integration test; it takes ~30s, so -short skips it.
+func TestHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation harness skipped in -short mode")
+	}
+	r := NewRunner()
+
+	fig1, err := r.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := 0
+	for _, row := range fig1.Rows {
+		c := row.Cells["speedup"]
+		if c.Note != "" || c.Value < 1 {
+			below++
+		}
+	}
+	if below != 8 {
+		t.Errorf("fig1: %d of 12 benchmarks below CPU, paper reports 8\n%s", below, fig1.Format())
+	}
+
+	fig4, err := r.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := fig4.Cell("blackscholes", "ratio"); c.Value < 2 || c.Value > 4.5 {
+		t.Errorf("fig4: blackscholes transfer/compute = %.2f, paper shows ~3", c.Value)
+	}
+
+	fig10, err := r.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	winNaive, winOpt := 0, 0
+	for _, row := range fig10.Rows {
+		if c := row.Cells["mic-naive"]; c.Note == "" && c.Value > 1 {
+			winNaive++
+		}
+		if c := row.Cells["mic-opt"]; c.Note == "" && c.Value > 1 {
+			winOpt++
+		}
+	}
+	if winNaive != 4 {
+		t.Errorf("fig10: %d naive winners, paper reports 4\n%s", winNaive, fig10.Format())
+	}
+	if winOpt != 9 {
+		t.Errorf("fig10: %d optimized winners, paper reports 9\n%s", winOpt, fig10.Format())
+	}
+
+	fig11, err := r.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxGain float64
+	for _, row := range fig11.Rows {
+		c := row.Cells["speedup"]
+		if c.Note != "" {
+			continue
+		}
+		if c.Value > maxGain {
+			maxGain = c.Value
+		}
+		if c.Value < 0.99 {
+			t.Errorf("fig11: %s regressed to %.2f; the compiler must never hurt", row.Name, c.Value)
+		}
+	}
+	if maxGain < 15 {
+		t.Errorf("fig11: max gain %.1f, paper reports up to 52x", maxGain)
+	}
+	for _, name := range []string{"dedup", "bfs", "hotspot"} {
+		if c, _ := fig11.Cell(name, "speedup"); c.Value > 1.05 {
+			t.Errorf("fig11: %s gained %.2f; the paper reports no benefit", name, c.Value)
+		}
+	}
+
+	fig12, err := r.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := fig12.Mean("speedup"); avg < 1.1 || avg > 1.7 {
+		t.Errorf("fig12: streaming average %.2f, paper reports 1.45", avg)
+	}
+	for _, row := range fig12.Rows {
+		if row.Name == "average" {
+			continue
+		}
+		if c := row.Cells["speedup"]; c.Value < 1.05 {
+			t.Errorf("fig12: %s streaming gain %.2f, want > 1.05", row.Name, c.Value)
+		}
+	}
+
+	fig13, err := r.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := fig13.Mean("fraction"); avg > 0.45 {
+		t.Errorf("fig13: average memory fraction %.2f, paper reports >80%% reduction", avg)
+	}
+
+	fig14, err := r.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := fig14.Mean("speedup"); avg < 10 {
+		t.Errorf("fig14: merging average %.1f, paper reports 27.13", avg)
+	}
+
+	fig15, err := r.Figure15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := fig15.Mean("speedup"); avg < 1.1 || avg > 2.0 {
+		t.Errorf("fig15: regularization average %.2f, paper reports 1.25", avg)
+	}
+
+	t3, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := t3.Cell("ferret", "speedup"); c.Value < 6 || c.Value > 10 {
+		t.Errorf("table3: ferret %.2f, paper reports 7.81", c.Value)
+	}
+	if c, _ := t3.Cell("freqmine", "speedup"); c.Value < 1.08 || c.Value > 1.3 {
+		t.Errorf("table3: freqmine %.2f, paper reports 1.16", c.Value)
+	}
+	joined := strings.Join(t3.Notes, " ")
+	if !strings.Contains(joined, "cannot run under MYO") {
+		t.Errorf("table3: missing the ferret cannot-run note: %v", t3.Notes)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations skipped in -short mode")
+	}
+	r := NewRunner()
+	figs, err := r.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 7 {
+		t.Fatalf("ablations = %d figures, want 7", len(figs))
+	}
+	// MYO stays well behind a bulk copy at every page size.
+	for _, row := range figs[5].Rows {
+		if c := row.Cells["vs-bulk"]; c.Note == "" && c.Value < 5 {
+			t.Errorf("MYO at %s only %.1fx slower than bulk; expected a large gap", row.Name, c.Value)
+		}
+	}
+	// The segment sweep records the bid-space failure at 256 KiB.
+	if c, ok := figs[6].Cell("256KiB", "segments"); !ok || c.Note != "FAIL" {
+		t.Errorf("segment sweep missing the 256KiB bid-space failure")
+	}
+	// Persistent kernels never hurt.
+	for _, row := range figs[1].Rows {
+		if c := row.Cells["gain"]; c.Value < 0.99 {
+			t.Errorf("persistent kernels slowed %s to %.2f", row.Name, c.Value)
+		}
+	}
+	// Double buffering uses (much) less device memory than whole arrays.
+	for _, row := range figs[2].Rows {
+		if row.Cells["mem-5c-kb"].Value >= row.Cells["mem-5b-kb"].Value {
+			t.Errorf("%s: 5c memory %.0f not below 5b %.0f", row.Name,
+				row.Cells["mem-5c-kb"].Value, row.Cells["mem-5b-kb"].Value)
+		}
+	}
+	// Linear translation cost grows with segment count; bid stays flat.
+	var prev float64
+	for _, row := range figs[3].Rows {
+		s := row.Cells["slowdown"].Value
+		if s <= prev {
+			t.Errorf("translation slowdown not increasing with segments: %s = %.2f after %.2f", row.Name, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestFigureFormatting(t *testing.T) {
+	f := &Figure{
+		ID:      "x",
+		Title:   "test figure",
+		Columns: []string{"a", "b"},
+	}
+	f.AddRow("one", map[string]Cell{"a": {Value: 1.5}, "b": {Note: "DNF"}})
+	f.AddRow("two", map[string]Cell{"a": {Value: 2.5}})
+	f.Notes = append(f.Notes, "hello")
+	out := f.Format()
+	for _, want := range []string{"test figure", "1.50", "DNF", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted figure missing %q:\n%s", want, out)
+		}
+	}
+	if got := f.Mean("a"); got != 2.0 {
+		t.Errorf("Mean = %v, want 2.0", got)
+	}
+	if _, ok := f.Cell("one", "b"); !ok {
+		t.Error("Cell lookup failed")
+	}
+	if _, ok := f.Cell("three", "a"); ok {
+		t.Error("Cell lookup found missing row")
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache test uses a real run")
+	}
+	r := NewRunner()
+	if _, err := r.Figure4(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.SortedCacheKeys())
+	if n == 0 {
+		t.Fatal("no cached results after Figure4")
+	}
+	if _, err := r.Figure4(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SortedCacheKeys()) != n {
+		t.Fatal("second Figure4 added cache entries; memoization broken")
+	}
+}

@@ -1,0 +1,399 @@
+package bench
+
+import (
+	"fmt"
+
+	"comp/internal/core"
+	"comp/internal/workloads"
+)
+
+// Figure1 regenerates "Speedups of OpenMP codes on a Xeon Phi coprocessor
+// compared with a multicore CPU": the naive offload versus the 4-thread
+// CPU baseline. Values below 1 mean the Phi loses.
+func (r *Runner) Figure1() (*Figure, error) {
+	f := &Figure{
+		ID:      "fig1",
+		Title:   "naive MIC offload speedup over CPU (paper: 8 of 12 below 1)",
+		Columns: []string{"speedup"},
+	}
+	below := 0
+	for _, b := range workloads.All() {
+		if b.SharedMem {
+			naive, _, err := r.sharedSpeedups(b)
+			if err != nil {
+				return nil, err
+			}
+			f.AddRow(b.Name, map[string]Cell{"speedup": naive})
+			if naive.Note != "" || naive.Value < 1 {
+				below++
+			}
+			continue
+		}
+		cpu, err := r.run(b, workloads.CPU, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		naive, err := r.run(b, workloads.MICNaive, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s := speedup(cpu, naive)
+		f.AddRow(b.Name, map[string]Cell{"speedup": {Value: s}})
+		if s < 1 {
+			below++
+		}
+	}
+	f.Notes = append(f.Notes, fmt.Sprintf("%d of 12 benchmarks below 1 (paper: 8)", below))
+	return f, nil
+}
+
+// Figure4 regenerates the transfer:compute ratio plot for blackscholes,
+// kmeans and nn: DMA busy time over device compute busy time in the naive
+// offload.
+func (r *Runner) Figure4() (*Figure, error) {
+	f := &Figure{
+		ID:      "fig4",
+		Title:   "data transfer time normalized to device computation (naive offload)",
+		Columns: []string{"transfer", "compute", "ratio"},
+	}
+	for _, name := range []string{"blackscholes", "kmeans", "nn"} {
+		b, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := r.run(b, workloads.MICNaive, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tr := res.Stats.TransferBusy.Seconds()
+		cp := res.Stats.DeviceBusy.Seconds()
+		ratio := 0.0
+		if cp > 0 {
+			ratio = tr / cp
+		}
+		f.AddRow(name, map[string]Cell{
+			"transfer": {Value: tr * 1e6},
+			"compute":  {Value: cp * 1e6},
+			"ratio":    {Value: ratio},
+		})
+	}
+	f.Notes = append(f.Notes, "transfer/compute in microseconds of busy time; paper shows ratios up to ~3")
+	return f, nil
+}
+
+// Figure10 regenerates the application speedups over the CPU baseline:
+// CPU (1.0), MIC without optimizations, MIC with the full optimization
+// set.
+func (r *Runner) Figure10() (*Figure, error) {
+	f := &Figure{
+		ID:      "fig10",
+		Title:   "speedup over CPU: naive MIC vs optimized MIC",
+		Columns: []string{"cpu", "mic-naive", "mic-opt"},
+	}
+	winnersNaive, winnersOpt := 0, 0
+	for _, b := range workloads.All() {
+		cells := map[string]Cell{"cpu": {Value: 1.0}}
+		if b.SharedMem {
+			naive, opt, err := r.sharedSpeedups(b)
+			if err != nil {
+				return nil, err
+			}
+			cells["mic-naive"] = naive
+			cells["mic-opt"] = opt
+			if naive.Note == "" && naive.Value > 1 {
+				winnersNaive++
+			}
+			if opt.Value > 1 {
+				winnersOpt++
+			}
+			f.AddRow(b.Name, cells)
+			continue
+		}
+		cpu, err := r.run(b, workloads.CPU, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		naive, err := r.run(b, workloads.MICNaive, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		opt, err := r.combined(b)
+		if err != nil {
+			return nil, err
+		}
+		sN, sO := speedup(cpu, naive), speedup(cpu, opt)
+		cells["mic-naive"] = Cell{Value: sN}
+		cells["mic-opt"] = Cell{Value: sO}
+		if sN > 1 {
+			winnersNaive++
+		}
+		if sO > 1 {
+			winnersOpt++
+		}
+		f.AddRow(b.Name, cells)
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("%d benchmarks beat the CPU without optimizations (paper: 4)", winnersNaive),
+		fmt.Sprintf("%d benchmarks beat the CPU with optimizations (paper: 9)", winnersOpt))
+	return f, nil
+}
+
+// Figure11 regenerates the relative speedups of the optimized MIC
+// versions over the unoptimized MIC versions (paper: 1.16x-52.21x for the
+// 9 benchmarks that improve).
+func (r *Runner) Figure11() (*Figure, error) {
+	f := &Figure{
+		ID:      "fig11",
+		Title:   "optimized MIC speedup over unoptimized MIC",
+		Columns: []string{"speedup"},
+	}
+	for _, b := range workloads.All() {
+		if b.SharedMem {
+			cell := Cell{}
+			myoRes, err := r.runShared(b, workloads.MechMYO, b.Shared.MYOScale)
+			if err != nil {
+				cell = Cell{Note: "DNF"}
+			} else {
+				compRes, cerr := r.runShared(b, workloads.MechCOMP, b.Shared.MYOScale)
+				if cerr != nil {
+					return nil, cerr
+				}
+				cell = Cell{Value: float64(myoRes.Time) / float64(compRes.Time)}
+			}
+			f.AddRow(b.Name, map[string]Cell{"speedup": cell})
+			continue
+		}
+		naive, err := r.run(b, workloads.MICNaive, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		opt, err := r.combined(b)
+		if err != nil {
+			return nil, err
+		}
+		f.AddRow(b.Name, map[string]Cell{"speedup": {Value: speedup(naive, opt)}})
+	}
+	return f, nil
+}
+
+// streamingBenchmarks are Figure 12's subjects.
+var streamingBenchmarks = []string{"blackscholes", "streamcluster", "kmeans", "cg", "nn"}
+
+// Figure12 regenerates the data-streaming speedups: each benchmark's
+// streamed version (best block count from the sweep) over its
+// streaming-free baseline.
+func (r *Runner) Figure12() (*Figure, error) {
+	f := &Figure{
+		ID:      "fig12",
+		Title:   "performance gains by data streaming (paper avg: 1.45x)",
+		Columns: []string{"speedup", "blocks"},
+	}
+	for _, name := range streamingBenchmarks {
+		b, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := r.streamingBaseline(b)
+		if err != nil {
+			return nil, err
+		}
+		best, n, err := r.bestStreaming(b)
+		if err != nil {
+			return nil, err
+		}
+		f.AddRow(name, map[string]Cell{
+			"speedup": {Value: speedup(base, best)},
+			"blocks":  {Value: float64(n)},
+		})
+	}
+	f.AddRow("average", map[string]Cell{"speedup": {Value: f.Mean("speedup")}})
+	return f, nil
+}
+
+// Figure13 regenerates the device-memory usage of the streamed versions,
+// normalized to the unoptimized versions (paper: reduced by more than
+// 80%).
+func (r *Runner) Figure13() (*Figure, error) {
+	f := &Figure{
+		ID:      "fig13",
+		Title:   "device memory usage with data streaming (fraction of naive)",
+		Columns: []string{"fraction"},
+	}
+	for _, name := range streamingBenchmarks {
+		b, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := r.streamingBaseline(b)
+		if err != nil {
+			return nil, err
+		}
+		best, _, err := r.bestStreaming(b)
+		if err != nil {
+			return nil, err
+		}
+		frac := 0.0
+		if base.Stats.PeakDeviceBytes > 0 {
+			frac = float64(best.Stats.PeakDeviceBytes) / float64(base.Stats.PeakDeviceBytes)
+		}
+		f.AddRow(name, map[string]Cell{"fraction": {Value: frac}})
+	}
+	f.AddRow("average", map[string]Cell{"fraction": {Value: f.Mean("fraction")}})
+	return f, nil
+}
+
+// Figure14 regenerates the offload-merging speedups (paper avg: 27.13x).
+func (r *Runner) Figure14() (*Figure, error) {
+	f := &Figure{
+		ID:      "fig14",
+		Title:   "performance gains by offload merging (paper avg: 27.13x)",
+		Columns: []string{"speedup"},
+	}
+	for _, name := range []string{"streamcluster", "cg", "cfd"} {
+		b, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := r.run(b, workloads.MICNaive, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		merged, err := r.run(b, workloads.MICOptimized, core.Options{Merge: true})
+		if err != nil {
+			return nil, err
+		}
+		f.AddRow(name, map[string]Cell{"speedup": {Value: speedup(naive, merged)}})
+	}
+	f.AddRow("average", map[string]Cell{"speedup": {Value: f.Mean("speedup")}})
+	return f, nil
+}
+
+// Figure15 regenerates the regularization speedups (paper avg: 1.25x).
+func (r *Runner) Figure15() (*Figure, error) {
+	f := &Figure{
+		ID:      "fig15",
+		Title:   "performance gains by regularization (paper avg: 1.25x)",
+		Columns: []string{"speedup"},
+	}
+	for _, name := range []string{"nn", "srad"} {
+		b, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		naive, err := r.run(b, workloads.MICNaive, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		reg, err := r.run(b, workloads.MICOptimized, core.Options{Regularize: true})
+		if err != nil {
+			return nil, err
+		}
+		f.AddRow(name, map[string]Cell{"speedup": {Value: speedup(naive, reg)}})
+	}
+	f.AddRow("average", map[string]Cell{"speedup": {Value: f.Mean("speedup")}})
+	return f, nil
+}
+
+// Table2 regenerates the benchmark-information table: suite, input, and
+// the measured speedup of each applicable optimization in isolation.
+func (r *Runner) Table2() (*Figure, error) {
+	f := &Figure{
+		ID:      "table2",
+		Title:   "benchmark information and per-optimization speedups",
+		Columns: []string{"streaming", "merging", "regular.", "sharedmem"},
+	}
+	fig12, err := r.Figure12()
+	if err != nil {
+		return nil, err
+	}
+	fig14, err := r.Figure14()
+	if err != nil {
+		return nil, err
+	}
+	fig15, err := r.Figure15()
+	if err != nil {
+		return nil, err
+	}
+	t3, err := r.Table3()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range workloads.All() {
+		cells := map[string]Cell{}
+		if b.Has("streaming") {
+			if c, ok := fig12.Cell(b.Name, "speedup"); ok {
+				cells["streaming"] = c
+			}
+		}
+		if b.Has("merging") {
+			if c, ok := fig14.Cell(b.Name, "speedup"); ok {
+				cells["merging"] = c
+			}
+		}
+		if b.Has("regularization") {
+			if c, ok := fig15.Cell(b.Name, "speedup"); ok {
+				cells["regular."] = c
+			}
+		}
+		if b.Has("sharedmem") {
+			if c, ok := t3.Cell(b.Name, "speedup"); ok {
+				cells["sharedmem"] = c
+			}
+		}
+		f.AddRow(b.Name, cells)
+	}
+	return f, nil
+}
+
+// Table3 regenerates the shared-memory results: static and dynamic
+// allocation counts and the speedup of the COMP mechanism over MYO
+// (ferret measured at the reduced input where MYO can run at all).
+func (r *Runner) Table3() (*Figure, error) {
+	f := &Figure{
+		ID:      "table3",
+		Title:   "shared memory mechanism vs Intel MYO",
+		Columns: []string{"static", "dynamic", "speedup"},
+	}
+	for _, name := range []string{"ferret", "freqmine"} {
+		b, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		w := b.Shared
+		cells := map[string]Cell{
+			"static":  {Value: float64(w.StaticSites)},
+			"dynamic": {Value: float64(w.Allocations)},
+		}
+		if _, err := r.runShared(b, workloads.MechMYO, 1.0); err != nil {
+			f.Notes = append(f.Notes, fmt.Sprintf("%s cannot run under MYO at full input: %v", name, err))
+		}
+		myoRes, err := r.runShared(b, workloads.MechMYO, w.MYOScale)
+		if err != nil {
+			return nil, err
+		}
+		compRes, err := r.runShared(b, workloads.MechCOMP, w.MYOScale)
+		if err != nil {
+			return nil, err
+		}
+		cells["speedup"] = Cell{Value: float64(myoRes.Time) / float64(compRes.Time)}
+		f.AddRow(name, cells)
+	}
+	return f, nil
+}
+
+// All regenerates every figure and table in paper order.
+func (r *Runner) All() ([]*Figure, error) {
+	var out []*Figure
+	for _, gen := range []func() (*Figure, error){
+		r.Figure1, r.Figure4, r.Figure10, r.Figure11,
+		r.Figure12, r.Figure13, r.Figure14, r.Figure15,
+		r.Table2, r.Table3,
+	} {
+		fig, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"comp/internal/minic"
+	"comp/internal/transform"
+)
+
+const plainOpenMP = `
+float a[4096];
+float b[4096];
+float c[4096];
+float total;
+int n;
+int main(void) {
+    int i;
+    n = 4096;
+    for (i = 0; i < n; i++) {
+        a[i] = i;
+        b[i] = 2 * i;
+    }
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = a[i] + b[i];
+    }
+    total = 0.0;
+    #pragma omp parallel for reduction(+:total)
+    for (i = 0; i < n; i++) {
+        total += c[i];
+    }
+    return 0;
+}
+`
+
+func TestAutoOffloadInsertsClauses(t *testing.T) {
+	f, err := minic.Parse(plainOpenMP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	n, err := AutoOffload(f, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("annotated %d loops, want 2", n)
+	}
+	loops := transform.FindOffloadLoops(f)
+	if len(loops) != 2 {
+		t.Fatalf("offloaded loops = %d, want 2", len(loops))
+	}
+	// First loop: a, b in; c out.
+	p1 := transform.OffloadPragma(loops[0])
+	if len(p1.In) != 2 || len(p1.Out) != 1 || p1.Out[0].Name != "c" {
+		t.Fatalf("first pragma = %s", p1)
+	}
+	// Second loop: c in; total (reduction scalar) inout.
+	p2 := transform.OffloadPragma(loops[1])
+	if len(p2.In) != 1 || p2.In[0].Name != "c" {
+		t.Fatalf("second pragma in = %s", p2)
+	}
+	foundTotal := false
+	for _, it := range p2.InOut {
+		if it.Name == "total" && it.Length == nil {
+			foundTotal = true
+		}
+	}
+	if !foundTotal {
+		t.Fatalf("reduction scalar not in inout: %s", p2)
+	}
+	// The annotated program must still check and print.
+	out := minic.Print(f)
+	if !strings.Contains(out, "#pragma offload target(mic:0)") {
+		t.Fatalf("printed source missing pragma:\n%s", out)
+	}
+}
+
+func TestAutoOffloadSemanticsPreserved(t *testing.T) {
+	// CPU run of the plain program vs simulated run of the auto-offloaded
+	// program: identical results.
+	base := runSource(t, plainOpenMP)
+
+	f, _ := minic.Parse(plainOpenMP)
+	if _, err := AutoOffload(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	offloaded := runSource(t, minic.Print(f))
+	if offloaded.Stats.KernelLaunches != 2 {
+		t.Fatalf("offloaded launches = %d, want 2", offloaded.Stats.KernelLaunches)
+	}
+	c1, _ := base.Program.ArrayData("c")
+	c2, _ := offloaded.Program.ArrayData("c")
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("c[%d] differs: %v vs %v", i, c1[i], c2[i])
+		}
+	}
+	t1, _ := base.Program.Scalar("total")
+	t2, _ := offloaded.Program.Scalar("total")
+	if t1 != t2 {
+		t.Fatalf("reduction differs: %v vs %v", t1, t2)
+	}
+}
+
+func TestAutoOffloadSkipsUnknownExtent(t *testing.T) {
+	src := `
+float *p;
+int n;
+int main(void) {
+    int i;
+    n = 64;
+    p = (float *) malloc(n * sizeof(float));
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        p[i] = i;
+    }
+    return 0;
+}
+`
+	f, _ := minic.Parse(src)
+	var rep Report
+	n, err := AutoOffload(f, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("annotated %d loops, want 0 (unknown extent)", n)
+	}
+	if len(rep.Notes) == 0 || !strings.Contains(rep.Notes[0], "extent") {
+		t.Fatalf("missing skip note: %v", rep.Notes)
+	}
+}
+
+func TestAutoOffloadIdempotentOnAnnotated(t *testing.T) {
+	f, _ := minic.Parse(streamable)
+	if err := minic.Check(f).Err(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := AutoOffload(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("re-annotated %d already-offloaded loops", n)
+	}
+}
+
+func TestOffloadAndOptimizePipeline(t *testing.T) {
+	res, err := OffloadAndOptimize(plainOpenMP, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Has("auto-offload") {
+		t.Fatalf("auto-offload not reported: %+v", res.Report.Applied)
+	}
+	if !res.Report.Has("stream") {
+		t.Fatalf("streaming not applied after auto-offload: %+v", res.Report.Applied)
+	}
+	// End-to-end equivalence.
+	base := runSource(t, plainOpenMP)
+	opt := runSource(t, res.Source())
+	c1, _ := base.Program.ArrayData("c")
+	c2, _ := opt.Program.ArrayData("c")
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("c[%d] differs after full pipeline", i)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package core is the COMP compiler driver: it runs the analyses over a
+// MiniC translation unit, decides which of the paper's optimizations apply
+// to each offload region, applies them in the profitable order
+// (merging → regularization → streaming), and reports what it did.
+//
+// This corresponds to the source-to-source tool the paper builds on the
+// Apricot framework: input is offload-annotated source, output is
+// transformed source (printable via minic.Print) plus a per-loop report.
+package core
+
+import (
+	"fmt"
+
+	"comp/internal/analysis"
+	"comp/internal/minic"
+	"comp/internal/runtime"
+	"comp/internal/sim/engine"
+	"comp/internal/transform"
+)
+
+// Options selects optimizations. The zero value disables everything;
+// DefaultOptions enables the full pipeline.
+type Options struct {
+	// Streaming enables §III data streaming on legal offloaded loops.
+	Streaming bool
+	// ReduceMemory applies the §III-B double-buffer variant when streaming.
+	ReduceMemory bool
+	// Persistent enables §III-C MIC-thread reuse for streamed kernels.
+	Persistent bool
+	// Merge enables §III-C offload merging on host loops with multiple
+	// inner offloads.
+	Merge bool
+	// Regularize enables the §IV transformations (loop splitting, array
+	// reordering, AoS→SoA).
+	Regularize bool
+	// Blocks fixes the streaming block count; 0 uses transform.DefaultBlocks
+	// or, if Profile is set, the §III-B analytic model.
+	Blocks int
+	// Profile optionally carries measurements from an unoptimized run for
+	// the block-count model.
+	Profile *Profile
+}
+
+// DefaultOptions enables every optimization.
+func DefaultOptions() Options {
+	return Options{
+		Streaming:    true,
+		ReduceMemory: true,
+		Persistent:   true,
+		Merge:        true,
+		Regularize:   true,
+	}
+}
+
+// Profile carries the measurements the §III-B block-count model needs,
+// typically from one unoptimized simulated run.
+type Profile struct {
+	TransferTime engine.Duration // D
+	ComputeTime  engine.Duration // C (kernel time, launch overhead excluded)
+	LaunchCost   engine.Duration // K
+}
+
+// ProfileFromStats derives the model inputs from an unoptimized run.
+func ProfileFromStats(st runtime.Stats, launchCost engine.Duration) *Profile {
+	c := st.DeviceBusy - engine.Duration(st.KernelLaunches)*launchCost
+	if c < 0 {
+		c = 0
+	}
+	return &Profile{TransferTime: st.TransferBusy, ComputeTime: c, LaunchCost: launchCost}
+}
+
+// Blocks evaluates the analytic model on the profile.
+func (p *Profile) Blocks() int {
+	return transform.OptimalBlocks(p.TransferTime, p.ComputeTime, p.LaunchCost)
+}
+
+// Applied records one optimization application.
+type Applied struct {
+	Opt    string
+	At     minic.Pos
+	Detail string
+}
+
+func (a Applied) String() string {
+	return fmt.Sprintf("%s at %s: %s", a.Opt, a.At, a.Detail)
+}
+
+// Report summarizes a compilation.
+type Report struct {
+	Applied []Applied
+	Notes   []string
+}
+
+func (r *Report) apply(opt string, at minic.Pos, format string, args ...interface{}) {
+	r.Applied = append(r.Applied, Applied{Opt: opt, At: at, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Report) note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Has reports whether an optimization with the given name was applied.
+func (r *Report) Has(opt string) bool {
+	for _, a := range r.Applied {
+		if a.Opt == opt {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the output of Optimize.
+type Result struct {
+	File   *minic.File
+	Report Report
+}
+
+// Source prints the transformed translation unit.
+func (r *Result) Source() string { return minic.Print(r.File) }
+
+// Optimize parses, checks, and optimizes a MiniC source text.
+func Optimize(src string, opt Options) (*Result, error) {
+	f, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := minic.Check(f).Err(); err != nil {
+		return nil, err
+	}
+	return OptimizeFile(f, opt)
+}
+
+// OptimizeFile optimizes a parsed and checked file in place.
+func OptimizeFile(f *minic.File, opt Options) (*Result, error) {
+	res := &Result{File: f}
+	rep := &res.Report
+
+	// Phase 1 — offload merging (§III-C). Hoisting first exposes the big
+	// picture: loops that stay separate offloads go on to streaming.
+	if opt.Merge {
+		for _, outer := range transform.MergeCandidates(f, 2) {
+			inner := len(innerOffloads(outer))
+			if err := transform.MergeOffloads(f, outer); err != nil {
+				rep.note("merge declined at %s: %v", outer.Pos(), err)
+				continue
+			}
+			rep.apply("merge", outer.Pos(), "hoisted %d inner offloads into one region", inner)
+		}
+	}
+
+	// Phase 2 — regularization (§IV), then Phase 3 — streaming (§III) on
+	// whatever is (or became) legal.
+	for _, loop := range transform.FindOffloadLoops(f) {
+		if transform.OmpPragma(loop) == nil {
+			// Merged regions: serial outer loop on the device; neither
+			// regularization nor streaming applies to the region itself.
+			continue
+		}
+		info, err := analysis.Analyze(loop, f)
+		if err != nil {
+			rep.note("analysis failed at %s: %v", loop.Pos(), err)
+			continue
+		}
+		var pendingGathers []transform.GatherInfo
+		if opt.Regularize && len(info.IrregularAccesses()) > 0 {
+			// Gathers with a regular remainder prefer splitting (free at
+			// runtime, §IV); strided and leftover patterns prefer array
+			// reordering, which also unlocks streaming. Splitting is only
+			// attempted when a gather is present so that pure strided
+			// loops (nn) take the reordering path.
+			hasGather := false
+			for _, ir := range analysis.ClassifyIrregular(info) {
+				if ir.Pattern == analysis.PatternGather {
+					hasGather = true
+				}
+			}
+			if hasGather {
+				if split, err := transform.SplitLoop(f, loop); err != nil {
+					rep.note("split declined at %s: %v", loop.Pos(), err)
+				} else if split {
+					rep.apply("split", loop.Pos(), "peeled irregular prefix; regular remainder vectorizes")
+					continue // the loop was replaced by the wrapped pair
+				}
+			}
+			if n, err := transform.AoSToSoA(f, loop); err != nil {
+				rep.note("soa declined at %s: %v", loop.Pos(), err)
+			} else if n > 0 {
+				rep.apply("soa", loop.Pos(), "converted %d struct arrays to SoA", n)
+			}
+			if opt.Streaming {
+				// Defer read-only gathers into the streaming pipeline (§IV
+				// "pipelining regularization"): the gather of block i+1
+				// overlaps the computation of block i.
+				n, gathers, err := transform.ReorderArraysPipelined(f, loop)
+				switch {
+				case err != nil:
+					rep.note("pipelined reorder declined at %s: %v", loop.Pos(), err)
+				case n > 0:
+					pendingGathers = gathers
+					rep.apply("reorder", loop.Pos(), "regularized %d accesses (gathers pipelined into streaming)", n)
+				}
+			}
+			if n, err := transform.ReorderArrays(f, loop); err != nil {
+				rep.note("reorder declined at %s: %v", loop.Pos(), err)
+			} else if n > 0 {
+				rep.apply("reorder", loop.Pos(), "regularized %d irregular accesses", n)
+			}
+		}
+		if !opt.Streaming {
+			continue
+		}
+		blocks := opt.Blocks
+		if blocks == 0 && opt.Profile != nil {
+			blocks = opt.Profile.Blocks()
+		}
+		err = transform.Stream(f, loop, transform.StreamOptions{
+			Blocks:       blocks,
+			ReduceMemory: opt.ReduceMemory,
+			Persistent:   opt.Persistent,
+			Gathers:      pendingGathers,
+		})
+		if err != nil {
+			rep.note("streaming declined at %s: %v", loop.Pos(), err)
+			if len(pendingGathers) > 0 {
+				// The permutation arrays still need filling; fall back to
+				// the upfront whole-array gather.
+				postInfo, aerr := analysis.Analyze(loop, f)
+				if aerr != nil {
+					return nil, fmt.Errorf("core: pipelined gathers stranded at %s: %v", loop.Pos(), aerr)
+				}
+				if gerr := transform.UpfrontGathers(f, loop, pendingGathers, postInfo.Upper); gerr != nil {
+					return nil, fmt.Errorf("core: %v", gerr)
+				}
+				rep.note("pipelined gathers at %s fell back to upfront gathering", loop.Pos())
+			}
+			continue
+		}
+		if len(pendingGathers) > 0 {
+			rep.apply("pipeline-gather", loop.Pos(), "%d gathers overlapped with transfer and compute", len(pendingGathers))
+		}
+		n := blocks
+		if n == 0 {
+			n = transform.DefaultBlocks
+		}
+		rep.apply("stream", loop.Pos(), "pipelined into %d blocks (reduceMemory=%v persistent=%v)",
+			n, opt.ReduceMemory, opt.Persistent)
+	}
+
+	// The transformed AST must still check.
+	if err := minic.Check(f).Err(); err != nil {
+		return nil, fmt.Errorf("core: transformed program fails checking: %w", err)
+	}
+	return res, nil
+}
+
+func innerOffloads(outer *minic.ForStmt) []*minic.ForStmt {
+	var out []*minic.ForStmt
+	minic.Inspect(outer.Body, func(n minic.Node) bool {
+		if fs, ok := n.(*minic.ForStmt); ok && transform.OffloadPragma(fs) != nil {
+			out = append(out, fs)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"comp/internal/interp"
+	rt "comp/internal/runtime"
+)
+
+// progGen builds random offload-annotated MiniC programs whose loops are
+// sometimes stream-legal, sometimes gathered, sometimes strided, sometimes
+// reduced — the whole space the optimizer dispatches over. Every generated
+// program is run unoptimized and fully optimized; outputs must match
+// bitwise. This is the compiler's main randomized correctness net.
+type progGen struct {
+	r   *rand.Rand
+	n   int
+	buf strings.Builder
+}
+
+// expr emits a random arithmetic expression over the given input terms.
+func (g *progGen) expr(depth int, terms []string) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return terms[g.r.Intn(len(terms))]
+		case 1:
+			return fmt.Sprintf("%d.%d", g.r.Intn(9)+1, g.r.Intn(10))
+		default:
+			return terms[g.r.Intn(len(terms))]
+		}
+	}
+	a := g.expr(depth-1, terms)
+	b := g.expr(depth-1, terms)
+	switch g.r.Intn(7) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * 0.5 + %s * 0.25)", a, b)
+	case 3:
+		return fmt.Sprintf("sqrt(fabs(%s) + 1.0)", a)
+	case 4:
+		return fmt.Sprintf("exp(-fabs(%s) * 0.001)", a)
+	case 5:
+		return fmt.Sprintf("(%s / (fabs(%s) + 2.0))", a, b)
+	default:
+		return fmt.Sprintf("(%s > %s ? %s : %s)", a, b, g.expr(depth-1, terms), g.expr(depth-1, terms))
+	}
+}
+
+// generate returns a complete program plus the list of output arrays.
+func (g *progGen) generate() (string, []string) {
+	nIn := g.r.Intn(3) + 1  // 1..3 inputs
+	nOut := g.r.Intn(2) + 1 // 1..2 outputs
+	gather := g.r.Intn(3) == 0
+	strided := !gather && g.r.Intn(3) == 0
+	reduce := g.r.Intn(3) == 0
+	guarded := g.r.Intn(3) == 0
+
+	w := &g.buf
+	var ins, outs []string
+	for i := 0; i < nIn; i++ {
+		name := fmt.Sprintf("in%d", i)
+		size := g.n
+		if strided && i == 0 {
+			size = 4 * g.n
+		}
+		fmt.Fprintf(w, "float %s[%d];\n", name, size)
+		ins = append(ins, name)
+	}
+	if gather {
+		fmt.Fprintf(w, "int idx0[%d];\n", g.n)
+	}
+	for i := 0; i < nOut; i++ {
+		name := fmt.Sprintf("out%d", i)
+		fmt.Fprintf(w, "float %s[%d];\n", name, g.n)
+		outs = append(outs, name)
+	}
+	if reduce {
+		fmt.Fprintf(w, "float acc;\n")
+	}
+	fmt.Fprintf(w, "int n;\nint main(void) {\n    int i;\n    n = %d;\n", g.n)
+
+	// Deterministic initialization on the host.
+	for i, name := range ins {
+		size := g.n
+		if strided && i == 0 {
+			size = 4 * g.n
+		}
+		fmt.Fprintf(w, "    for (i = 0; i < %d; i++) {\n        %s[i] = (i * %d) %% %d + 0.5;\n    }\n",
+			size, name, g.r.Intn(13)+1, g.r.Intn(90)+7)
+	}
+	if gather {
+		fmt.Fprintf(w, "    for (i = 0; i < n; i++) {\n        idx0[i] = (i * %d) %% n;\n    }\n", g.r.Intn(97)+3)
+	}
+
+	// Offload clauses.
+	var inClause []string
+	for i, name := range ins {
+		if strided && i == 0 {
+			inClause = append(inClause, fmt.Sprintf("%s : length(4 * n)", name))
+		} else {
+			inClause = append(inClause, fmt.Sprintf("%s : length(n)", name))
+		}
+	}
+	if gather {
+		inClause = append(inClause, "idx0 : length(n)")
+	}
+	pragma := "    #pragma offload target(mic:0)"
+	for _, c := range inClause {
+		pragma += fmt.Sprintf(" in(%s)", c)
+	}
+	pragma += fmt.Sprintf(" out(%s : length(n))", strings.Join(outs, ", "))
+	if reduce {
+		pragma += " inout(acc)"
+	}
+	fmt.Fprintln(w, pragma)
+	if reduce {
+		fmt.Fprintln(w, "    #pragma omp parallel for reduction(+:acc)")
+	} else {
+		fmt.Fprintln(w, "    #pragma omp parallel for")
+	}
+	fmt.Fprintln(w, "    for (i = 0; i < n; i++) {")
+
+	// Loop body: terms the expressions can draw from.
+	terms := []string{}
+	for i, name := range ins {
+		switch {
+		case strided && i == 0:
+			terms = append(terms, fmt.Sprintf("%s[4 * i]", name))
+		case gather && i == 0:
+			terms = append(terms, fmt.Sprintf("%s[idx0[i]]", name))
+		default:
+			terms = append(terms, fmt.Sprintf("%s[i]", name))
+		}
+	}
+	for oi, name := range outs {
+		e := g.expr(3, terms)
+		if guarded && oi == 0 {
+			fmt.Fprintf(w, "        if (i %% %d == 0) {\n            %s[i] = %s;\n        } else {\n            %s[i] = %s;\n        }\n",
+				g.r.Intn(5)+2, name, e, name, g.expr(2, terms))
+		} else {
+			fmt.Fprintf(w, "        %s[i] = %s;\n", name, e)
+		}
+	}
+	if reduce {
+		fmt.Fprintf(w, "        acc += %s[i] * 0.001;\n", outs[0])
+	}
+	fmt.Fprintln(w, "    }")
+	fmt.Fprintln(w, "    return 0;\n}")
+	return w.String(), outs
+}
+
+func runFuzz(t *testing.T, src string) rt.Result {
+	t.Helper()
+	p, err := interp.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	res, err := rt.Run(p, rt.DefaultConfig())
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	if len(res.Stats.RaceWarnings) != 0 {
+		t.Fatalf("races: %v\n%s", res.Stats.RaceWarnings, src)
+	}
+	return res
+}
+
+func TestFuzzOptimizeEquivalence(t *testing.T) {
+	seeds := 48
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			g := &progGen{r: rand.New(rand.NewSource(int64(seed) + 1000)), n: 1536}
+			src, outs := g.generate()
+
+			base := runFuzz(t, src)
+
+			opt := DefaultOptions()
+			opt.Blocks = []int{0, 2, 5, 7, 16}[seed%5]
+			res, err := Optimize(src, opt)
+			if err != nil {
+				t.Fatalf("optimize: %v\n%s", err, src)
+			}
+			optimized := runFuzz(t, res.Source())
+
+			for _, name := range outs {
+				a, err := base.Program.ArrayData(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := optimized.Program.ArrayData(name)
+				if err != nil {
+					t.Fatalf("optimized program lost output %s: %v\nreport: %+v\n%s",
+						name, err, res.Report.Applied, res.Source())
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%s[%d]: %v != %v\napplied: %+v\noriginal:\n%s\ntransformed:\n%s",
+							name, i, a[i], b[i], res.Report.Applied, src, res.Source())
+					}
+				}
+			}
+			// Reduction scalar, if present.
+			if v1, err := base.Program.Scalar("acc"); err == nil {
+				v2, err := optimized.Program.Scalar("acc")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v1 != v2 {
+					t.Fatalf("acc: %v != %v\n%s", v1, v2, res.Source())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,34 @@
+package interp
+
+import "testing"
+
+// BenchmarkKernelThroughput measures interpreted loop iterations per
+// second on a blackscholes-weight body — the figure that bounds how large
+// the evaluation workloads can be.
+func BenchmarkKernelThroughput(b *testing.B) {
+	p := MustCompile(`
+float a[16384];
+float out[16384];
+int n;
+int main(void) {
+    int i;
+    n = 16384;
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float v = a[i] + 1.0;
+        out[i] = sqrt(v) * exp(-v * 0.001) + log(v + 2.0);
+    }
+    return 0;
+}
+`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Run(NullBackend{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(16384*float64(b.N)/b.Elapsed().Seconds(), "iters/s")
+}

@@ -1,0 +1,641 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"comp/internal/minic"
+)
+
+// compileExpr compiles a numeric-valued expression.
+func (c *compiler) compileExpr(e minic.Expr) (cx, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		v := float64(x.Value)
+		return cx{f: func(*Env) float64 { return v }}, nil
+	case *minic.FloatLit:
+		v := x.Value
+		return cx{f: func(*Env) float64 { return v }}, nil
+	case *minic.SizeofExpr:
+		v := float64(x.Of.Size())
+		return cx{f: func(*Env) float64 { return v }}, nil
+	case *minic.ParenExpr:
+		return c.compileExpr(x.X)
+	case *minic.Ident:
+		return c.compileIdent(x)
+	case *minic.UnaryExpr:
+		return c.compileUnary(x)
+	case *minic.BinaryExpr:
+		return c.compileBinary(x)
+	case *minic.IndexExpr:
+		return c.compileIndexRead(x, "")
+	case *minic.MemberExpr:
+		ie, ok := x.X.(*minic.IndexExpr)
+		if !ok {
+			return cx{}, c.errf(x.Pos(), "member access requires an indexed struct array")
+		}
+		return c.compileIndexRead(ie, x.Field)
+	case *minic.CallExpr:
+		return c.compileCall(x)
+	case *minic.CondExpr:
+		cond, err := c.compileExpr(x.Cond)
+		if err != nil {
+			return cx{}, err
+		}
+		then, err := c.compileExpr(x.Then)
+		if err != nil {
+			return cx{}, err
+		}
+		els, err := c.compileExpr(x.Else)
+		if err != nil {
+			return cx{}, err
+		}
+		// Vectorized hardware evaluates both sides under a mask; charge
+		// both for cost, evaluate lazily for values.
+		out := cx{
+			w:   cond.w + then.w + els.w + 1,
+			b:   cond.b + then.b + els.b,
+			irr: cond.irr + then.irr + els.irr,
+		}
+		out.f = func(env *Env) float64 {
+			if cond.f(env) != 0 {
+				return then.f(env)
+			}
+			return els.f(env)
+		}
+		return out, nil
+	case *minic.StringLit:
+		return cx{f: func(*Env) float64 { return 0 }}, nil
+	}
+	return cx{}, c.errf(e.Pos(), "unsupported expression %T", e)
+}
+
+func (c *compiler) compileIdent(x *minic.Ident) (cx, error) {
+	bnd, ok := c.lookup(x.Name)
+	if !ok {
+		return cx{}, c.errf(x.Pos(), "undefined %s", x.Name)
+	}
+	switch bnd.kind {
+	case bindLocal:
+		slot := bnd.slot
+		return cx{f: func(env *Env) float64 { return env.f[slot] }}, nil
+	case bindGlobal:
+		if bnd.g.arrayly {
+			return cx{}, c.errf(x.Pos(), "array %s used as a scalar", x.Name)
+		}
+		g := bnd.g
+		name := g.name
+		return cx{f: func(env *Env) float64 {
+			if env.onDevice {
+				if cell := env.p.devCell[name]; cell != nil {
+					return cell.V
+				}
+			}
+			return g.cell.V
+		}}, nil
+	}
+	return cx{}, c.errf(x.Pos(), "pointer %s used as a scalar", x.Name)
+}
+
+func (c *compiler) compileUnary(x *minic.UnaryExpr) (cx, error) {
+	if x.Op == "*" {
+		// *p == p[0]
+		idx := &minic.IndexExpr{X: x.X, Index: &minic.IntLit{Value: 0}}
+		return c.compileIndexRead(idx, "")
+	}
+	if x.Op == "&" {
+		return cx{}, c.errf(x.Pos(), "address-of is only supported inside pragma clauses")
+	}
+	sub, err := c.compileExpr(x.X)
+	if err != nil {
+		return cx{}, err
+	}
+	op := x.Op
+	out := cx{w: sub.w + 1, b: sub.b, irr: sub.irr}
+	switch op {
+	case "-":
+		out.f = func(env *Env) float64 { return -sub.f(env) }
+	case "!":
+		out.f = func(env *Env) float64 { return boolToF(sub.f(env) == 0) }
+	default:
+		return cx{}, c.errf(x.Pos(), "unsupported unary %q", op)
+	}
+	return out, nil
+}
+
+func (c *compiler) compileBinary(x *minic.BinaryExpr) (cx, error) {
+	a, err := c.compileExpr(x.X)
+	if err != nil {
+		return cx{}, err
+	}
+	b, err := c.compileExpr(x.Y)
+	if err != nil {
+		return cx{}, err
+	}
+	intCtx := false
+	if t, ok := x.Type().(*minic.Basic); ok && t.IsInteger() {
+		intCtx = true
+	}
+	out := cx{w: a.w + b.w + 1, b: a.b + b.b, irr: a.irr + b.irr}
+	af, bf := a.f, b.f
+	switch x.Op {
+	case "+":
+		out.f = func(env *Env) float64 { return af(env) + bf(env) }
+	case "-":
+		out.f = func(env *Env) float64 { return af(env) - bf(env) }
+	case "*":
+		out.f = func(env *Env) float64 { return af(env) * bf(env) }
+	case "/":
+		if intCtx {
+			pos := x.Pos()
+			out.f = func(env *Env) float64 {
+				d := bf(env)
+				if d == 0 {
+					throw(rtErrf(pos, "integer division by zero"))
+				}
+				return math.Trunc(af(env) / d)
+			}
+		} else {
+			out.f = func(env *Env) float64 { return af(env) / bf(env) }
+		}
+	case "%":
+		pos := x.Pos()
+		out.f = func(env *Env) float64 {
+			d := int64(bf(env))
+			if d == 0 {
+				throw(rtErrf(pos, "integer modulus by zero"))
+			}
+			return float64(int64(af(env)) % d)
+		}
+	case "<<":
+		out.f = func(env *Env) float64 { return float64(int64(af(env)) << uint(int64(bf(env)))) }
+	case ">>":
+		out.f = func(env *Env) float64 { return float64(int64(af(env)) >> uint(int64(bf(env)))) }
+	case "==":
+		out.f = func(env *Env) float64 { return boolToF(af(env) == bf(env)) }
+	case "!=":
+		out.f = func(env *Env) float64 { return boolToF(af(env) != bf(env)) }
+	case "<":
+		out.f = func(env *Env) float64 { return boolToF(af(env) < bf(env)) }
+	case "<=":
+		out.f = func(env *Env) float64 { return boolToF(af(env) <= bf(env)) }
+	case ">":
+		out.f = func(env *Env) float64 { return boolToF(af(env) > bf(env)) }
+	case ">=":
+		out.f = func(env *Env) float64 { return boolToF(af(env) >= bf(env)) }
+	case "&&":
+		out.f = func(env *Env) float64 {
+			if af(env) == 0 {
+				return 0
+			}
+			return boolToF(bf(env) != 0)
+		}
+	case "||":
+		out.f = func(env *Env) float64 {
+			if af(env) != 0 {
+				return 1
+			}
+			return boolToF(bf(env) != 0)
+		}
+	default:
+		return cx{}, c.errf(x.Pos(), "unsupported operator %q", x.Op)
+	}
+	return out, nil
+}
+
+// resolveArray builds a side-aware array resolver for a binding.
+func (c *compiler) resolveArray(bnd binding, name string, pos minic.Pos) refFn {
+	switch bnd.kind {
+	case bindLocalRef:
+		slot := bnd.slot
+		return func(env *Env) *Array {
+			a := env.r[slot]
+			if a == nil {
+				throw(rtErrf(pos, "nil pointer %s", name))
+			}
+			return a
+		}
+	case bindGlobal:
+		g := bnd.g
+		return func(env *Env) *Array {
+			if env.onDevice {
+				a := env.p.devArr[name]
+				if a == nil {
+					throw(rtErrf(pos, "array %s is not present on the device (missing in/nocopy clause?)", name))
+				}
+				return a
+			}
+			if g.arr == nil {
+				throw(rtErrf(pos, "array %s has no storage (not allocated)", name))
+			}
+			return g.arr
+		}
+	}
+	return nil
+}
+
+// compileAccess builds the shared pieces of an array element access. The
+// final bool reports whether the base is a global (device-trackable)
+// array.
+func (c *compiler) compileAccess(x *minic.IndexExpr, field string) (refFn, cx, int, float64, bool, bool, error) {
+	id, ok := x.X.(*minic.Ident)
+	if !ok {
+		if p, isParen := x.X.(*minic.ParenExpr); isParen {
+			if id2, ok2 := p.X.(*minic.Ident); ok2 {
+				id = id2
+				ok = true
+			}
+		}
+	}
+	if !ok {
+		return nil, cx{}, 0, 0, false, false, c.errf(x.Pos(), "unsupported array base expression")
+	}
+	bnd, found := c.lookup(id.Name)
+	if !found {
+		return nil, cx{}, 0, 0, false, false, c.errf(id.Pos(), "undefined %s", id.Name)
+	}
+	if !isRefType(bnd.typ) {
+		return nil, cx{}, 0, 0, false, false, c.errf(id.Pos(), "%s is not an array", id.Name)
+	}
+	isGlobal := bnd.kind == bindGlobal
+	res := c.resolveArray(bnd, id.Name, x.Pos())
+	idx, err := c.compileExpr(x.Index)
+	if err != nil {
+		return nil, cx{}, 0, 0, false, false, err
+	}
+	elem := minic.ElemOf(bnd.typ)
+	elemBytes := float64(elem.Size())
+	fieldOff := -1
+	if field != "" {
+		st, ok := elem.(*minic.StructType)
+		if !ok {
+			return nil, cx{}, 0, 0, false, false, c.errf(x.Pos(), "%s is not a struct array", id.Name)
+		}
+		f := st.Field(field)
+		if f == nil {
+			return nil, cx{}, 0, 0, false, false, c.errf(x.Pos(), "struct %s has no field %s", st.Name, field)
+		}
+		off := 0
+		for _, sf := range st.Fields {
+			if sf.Name == field {
+				break
+			}
+			off++
+		}
+		fieldOff = off
+		elemBytes = float64(f.Type.Size())
+	}
+	// Member walks over struct arrays (AoS) use only part of each cache
+	// line even when the subscript is contiguous; charge them as irregular
+	// traffic alongside gathered/strided subscripts.
+	irregular := c.classifySite(x.Index) || field != ""
+	return res, idx, fieldOff, elemBytes, irregular, isGlobal, nil
+}
+
+func (c *compiler) compileIndexRead(x *minic.IndexExpr, field string) (cx, error) {
+	res, idx, fieldOff, elemBytes, irregular, isGlobal, err := c.compileAccess(x, field)
+	if err != nil {
+		return cx{}, err
+	}
+	pos := x.Pos()
+	out := cx{w: idx.w + 1, b: idx.b + elemBytes, irr: idx.irr}
+	if irregular {
+		out.irr += elemBytes
+	}
+	out.f = func(env *Env) float64 {
+		a := res(env)
+		i := int64(idx.f(env))
+		if i < 0 || i >= int64(a.Len()) {
+			throw(rtErrf(pos, "index %d out of range for %s (len %d)", i, a.Name, a.Len()))
+		}
+		if isGlobal && env.devTouched != nil {
+			env.touchDev(a.Name, i)
+		}
+		off := 0
+		if fieldOff >= 0 {
+			off = fieldOff
+		}
+		return a.Data[int(i)*a.Fields+off]
+	}
+	return out, nil
+}
+
+// compileLValue compiles the store and load halves of an assignable
+// location. It returns (store, load, weight, bytes, irrBytes, intTyped).
+func (c *compiler) compileLValue(e minic.Expr) (func(*Env, float64), func(*Env) float64, float64, float64, float64, bool, error) {
+	switch x := e.(type) {
+	case *minic.ParenExpr:
+		return c.compileLValue(x.X)
+	case *minic.Ident:
+		bnd, ok := c.lookup(x.Name)
+		if !ok {
+			return nil, nil, 0, 0, 0, false, c.errf(x.Pos(), "undefined %s", x.Name)
+		}
+		intTyped := isIntType(bnd.typ)
+		switch bnd.kind {
+		case bindLocal:
+			slot := bnd.slot
+			return func(env *Env, v float64) { env.f[slot] = v },
+				func(env *Env) float64 { return env.f[slot] }, 0, 0, 0, intTyped, nil
+		case bindGlobal:
+			if bnd.g.arrayly {
+				return nil, nil, 0, 0, 0, false, c.errf(x.Pos(), "cannot assign scalar to array %s", x.Name)
+			}
+			g := bnd.g
+			name := g.name
+			store := func(env *Env, v float64) {
+				if env.onDevice {
+					cell := env.p.devCell[name]
+					if cell == nil {
+						cell = &Cell{}
+						env.p.devCell[name] = cell
+					}
+					cell.V = v
+					return
+				}
+				g.cell.V = v
+			}
+			load := func(env *Env) float64 {
+				if env.onDevice {
+					if cell := env.p.devCell[name]; cell != nil {
+						return cell.V
+					}
+				}
+				return g.cell.V
+			}
+			return store, load, 0, 0, 0, intTyped, nil
+		}
+		return nil, nil, 0, 0, 0, false, c.errf(x.Pos(), "cannot assign to pointer %s here", x.Name)
+	case *minic.UnaryExpr:
+		if x.Op == "*" {
+			idx := &minic.IndexExpr{X: x.X, Index: &minic.IntLit{Value: 0}}
+			return c.compileLValue(idx)
+		}
+	case *minic.IndexExpr:
+		return c.compileIndexLValue(x, "")
+	case *minic.MemberExpr:
+		if ie, ok := x.X.(*minic.IndexExpr); ok {
+			return c.compileIndexLValue(ie, x.Field)
+		}
+	}
+	return nil, nil, 0, 0, 0, false, c.errf(e.Pos(), "unsupported assignment target")
+}
+
+func (c *compiler) compileIndexLValue(x *minic.IndexExpr, field string) (func(*Env, float64), func(*Env) float64, float64, float64, float64, bool, error) {
+	res, idx, fieldOff, elemBytes, irregular, isGlobal, err := c.compileAccess(x, field)
+	if err != nil {
+		return nil, nil, 0, 0, 0, false, err
+	}
+	pos := x.Pos()
+	locate := func(env *Env) (*Array, int) {
+		a := res(env)
+		i := int64(idx.f(env))
+		if i < 0 || i >= int64(a.Len()) {
+			throw(rtErrf(pos, "index %d out of range for %s (len %d)", i, a.Name, a.Len()))
+		}
+		if isGlobal && env.devTouched != nil {
+			env.touchDev(a.Name, i)
+		}
+		off := 0
+		if fieldOff >= 0 {
+			off = fieldOff
+		}
+		return a, int(i)*a.Fields + off
+	}
+	store := func(env *Env, v float64) {
+		a, k := locate(env)
+		a.Data[k] = v
+	}
+	load := func(env *Env) float64 {
+		a, k := locate(env)
+		return a.Data[k]
+	}
+	irr := 0.0
+	if irregular {
+		irr = elemBytes
+	}
+	intTyped := false
+	if t := x.Type(); t != nil {
+		intTyped = isIntType(t)
+	}
+	return store, load, idx.w + 1, idx.b + elemBytes, idx.irr + irr, intTyped, nil
+}
+
+// compileRef compiles a pointer/array-valued expression. elemHint supplies
+// the element type for malloc-family calls.
+func (c *compiler) compileRef(e minic.Expr, elemHint minic.Type) (refFn, error) {
+	switch x := e.(type) {
+	case *minic.ParenExpr:
+		return c.compileRef(x.X, elemHint)
+	case *minic.Ident:
+		bnd, ok := c.lookup(x.Name)
+		if !ok {
+			return nil, c.errf(x.Pos(), "undefined %s", x.Name)
+		}
+		if !isRefType(bnd.typ) {
+			return nil, c.errf(x.Pos(), "%s is not a pointer or array", x.Name)
+		}
+		res := c.resolveArray(bnd, x.Name, x.Pos())
+		return res, nil
+	case *minic.IntLit:
+		if x.Value == 0 {
+			return func(*Env) *Array { return nil }, nil // NULL
+		}
+	case *minic.CallExpr:
+		switch x.Fun.Name {
+		case "malloc", "offload_shared_malloc":
+			if elemHint == nil {
+				elemHint = minic.DoubleType
+			}
+			if len(x.Args) != 1 {
+				return nil, c.errf(x.Pos(), "%s takes one argument", x.Fun.Name)
+			}
+			sz, err := c.compileExpr(x.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			elem := elemHint
+			shared := x.Fun.Name == "offload_shared_malloc"
+			pos := x.Pos()
+			return func(env *Env) *Array {
+				bytes := int64(sz.f(env))
+				if bytes < 0 {
+					throw(rtErrf(pos, "negative allocation size %d", bytes))
+				}
+				n := bytes / elem.Size()
+				if shared {
+					env.p.sharedAllocs++
+				}
+				return NewArrayFor("malloc", elem, n)
+			}, nil
+		}
+	}
+	return nil, c.errf(e.Pos(), "unsupported pointer expression %T", e)
+}
+
+func (c *compiler) compileCall(x *minic.CallExpr) (cx, error) {
+	name := x.Fun.Name
+	// free / offload_shared_free are value-level no-ops.
+	if name == "free" || name == "offload_shared_free" {
+		return cx{f: func(*Env) float64 { return 0 }}, nil
+	}
+	if name == "printf" {
+		return c.compilePrintf(x)
+	}
+	if b, ok := minic.Builtins[name]; ok {
+		return c.compileBuiltin(x, b)
+	}
+	cf, ok := c.prog.funcs[name]
+	if !ok {
+		return cx{}, c.errf(x.Pos(), "call to undefined function %s", name)
+	}
+	// Compile arguments, splitting numeric from reference arguments by the
+	// callee's parameter types.
+	fd := cf.decl
+	if len(x.Args) != len(fd.Params) {
+		return cx{}, c.errf(x.Pos(), "%s expects %d args, got %d", name, len(fd.Params), len(x.Args))
+	}
+	var numArgs []cx
+	var refArgs []refFn
+	var order []bool // true = ref
+	out := cx{w: 5}
+	for i, a := range x.Args {
+		if isRefType(fd.Params[i].Type) {
+			rf, err := c.compileRef(a, minic.ElemOf(fd.Params[i].Type))
+			if err != nil {
+				return cx{}, err
+			}
+			refArgs = append(refArgs, rf)
+			order = append(order, true)
+			continue
+		}
+		ca, err := c.compileExpr(a)
+		if err != nil {
+			return cx{}, err
+		}
+		out.w += ca.w
+		out.b += ca.b
+		out.irr += ca.irr
+		numArgs = append(numArgs, ca)
+		order = append(order, false)
+	}
+	_ = order
+	out.f = func(env *Env) float64 {
+		args := make([]float64, len(numArgs))
+		for i, a := range numArgs {
+			args[i] = a.f(env)
+		}
+		refs := make([]*Array, len(refArgs))
+		for i, r := range refArgs {
+			refs[i] = r(env)
+		}
+		return env.call(cf, args, refs)
+	}
+	return out, nil
+}
+
+func (c *compiler) compileBuiltin(x *minic.CallExpr, b minic.Builtin) (cx, error) {
+	var args []cx
+	out := cx{w: b.FlopCost}
+	for _, a := range x.Args {
+		ca, err := c.compileExpr(a)
+		if err != nil {
+			return cx{}, err
+		}
+		out.w += ca.w
+		out.b += ca.b
+		out.irr += ca.irr
+		args = append(args, ca)
+	}
+	switch b.Name {
+	case "sqrt":
+		a0 := args[0].f
+		out.f = func(env *Env) float64 { return math.Sqrt(a0(env)) }
+	case "exp":
+		a0 := args[0].f
+		out.f = func(env *Env) float64 { return math.Exp(a0(env)) }
+	case "log":
+		a0 := args[0].f
+		out.f = func(env *Env) float64 { return math.Log(a0(env)) }
+	case "pow":
+		a0, a1 := args[0].f, args[1].f
+		out.f = func(env *Env) float64 { return math.Pow(a0(env), a1(env)) }
+	case "fabs":
+		a0 := args[0].f
+		out.f = func(env *Env) float64 { return math.Abs(a0(env)) }
+	case "floor":
+		a0 := args[0].f
+		out.f = func(env *Env) float64 { return math.Floor(a0(env)) }
+	case "ceil":
+		a0 := args[0].f
+		out.f = func(env *Env) float64 { return math.Ceil(a0(env)) }
+	case "fmin":
+		a0, a1 := args[0].f, args[1].f
+		out.f = func(env *Env) float64 { return math.Min(a0(env), a1(env)) }
+	case "fmax":
+		a0, a1 := args[0].f, args[1].f
+		out.f = func(env *Env) float64 { return math.Max(a0(env), a1(env)) }
+	case "malloc", "offload_shared_malloc":
+		return cx{}, c.errf(x.Pos(), "%s result must be assigned to a pointer", b.Name)
+	default:
+		return cx{}, c.errf(x.Pos(), "builtin %s not supported here", b.Name)
+	}
+	return out, nil
+}
+
+func (c *compiler) compilePrintf(x *minic.CallExpr) (cx, error) {
+	if len(x.Args) == 0 {
+		return cx{}, c.errf(x.Pos(), "printf needs a format string")
+	}
+	lit, ok := x.Args[0].(*minic.StringLit)
+	if !ok {
+		return cx{}, c.errf(x.Pos(), "printf format must be a string literal")
+	}
+	format := lit.Value
+	var args []cx
+	for _, a := range x.Args[1:] {
+		ca, err := c.compileExpr(a)
+		if err != nil {
+			return cx{}, err
+		}
+		args = append(args, ca)
+	}
+	return cx{f: func(env *Env) float64 {
+		vals := make([]interface{}, len(args))
+		ai := 0
+		// Translate %d to integer rendering; everything else passes through.
+		out := make([]byte, 0, len(format)+16)
+		for i := 0; i < len(format); i++ {
+			ch := format[i]
+			if ch != '%' || i+1 >= len(format) {
+				out = append(out, ch)
+				continue
+			}
+			i++
+			verb := format[i]
+			if verb == '%' {
+				out = append(out, '%')
+				continue
+			}
+			if ai >= len(args) {
+				out = append(out, '%', verb)
+				continue
+			}
+			v := args[ai].f(env)
+			switch verb {
+			case 'd', 'i':
+				out = append(out, '%', 'd')
+				vals[ai] = int64(v)
+			case 'f', 'g', 'e':
+				out = append(out, '%', verb)
+				vals[ai] = v
+			default:
+				out = append(out, '%', 'v')
+				vals[ai] = v
+			}
+			ai++
+		}
+		fmt.Fprintf(&env.p.out, string(out), vals[:ai]...)
+		return 0
+	}}, nil
+}

@@ -1,0 +1,724 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// recordBackend captures the operation stream for assertions.
+type recordBackend struct {
+	host       []Work
+	offloads   []*OffloadOp
+	transfers  []*TransferOp
+	waits      []string
+	offloadErr error
+}
+
+func (r *recordBackend) HostCompute(w Work) { r.host = append(r.host, w) }
+func (r *recordBackend) Offload(op *OffloadOp) error {
+	r.offloads = append(r.offloads, op)
+	return r.offloadErr
+}
+func (r *recordBackend) Transfer(op *TransferOp) error {
+	r.transfers = append(r.transfers, op)
+	return nil
+}
+func (r *recordBackend) OffloadWait(tag string) { r.waits = append(r.waits, tag) }
+
+func run(t *testing.T, src string) (*Program, *recordBackend) {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	b := &recordBackend{}
+	if err := p.Run(b); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return p, b
+}
+
+func scalar(t *testing.T, p *Program, name string) float64 {
+	t.Helper()
+	v, err := p.Scalar(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	p, _ := run(t, `
+int result;
+int main(void) {
+    int s = 0;
+    int i;
+    for (i = 1; i <= 10; i++) {
+        if (i % 2 == 0) {
+            s += i;
+        } else {
+            s -= 1;
+        }
+    }
+    result = s;
+    return 0;
+}
+`)
+	// evens 2+4+6+8+10 = 30, minus 5 odds = 25
+	if got := scalar(t, p, "result"); got != 25 {
+		t.Fatalf("result = %v, want 25", got)
+	}
+}
+
+func TestFloatMathBuiltins(t *testing.T) {
+	p, _ := run(t, `
+double r1;
+double r2;
+double r3;
+int main(void) {
+    r1 = sqrt(16.0) + pow(2.0, 10.0);
+    r2 = fabs(-3.5) + fmax(1.0, 2.0) + fmin(1.0, 2.0);
+    r3 = floor(2.7) + ceil(2.1) + log(exp(3.0));
+    return 0;
+}
+`)
+	if got := scalar(t, p, "r1"); got != 4+1024 {
+		t.Fatalf("r1 = %v", got)
+	}
+	if got := scalar(t, p, "r2"); got != 3.5+2+1 {
+		t.Fatalf("r2 = %v", got)
+	}
+	if got := scalar(t, p, "r3"); math.Abs(got-(2+3+3)) > 1e-12 {
+		t.Fatalf("r3 = %v", got)
+	}
+}
+
+func TestWhileAndBreakContinue(t *testing.T) {
+	p, _ := run(t, `
+int result;
+int main(void) {
+    int k = 100;
+    int steps = 0;
+    while (k > 1) {
+        k = k / 2;
+        steps++;
+        if (steps > 50) break;
+    }
+    int j;
+    int sum = 0;
+    for (j = 0; j < 10; j++) {
+        if (j == 5) continue;
+        sum += j;
+    }
+    result = steps * 100 + sum;
+    return 0;
+}
+`)
+	// 100 -> 50 -> 25 -> 12 -> 6 -> 3 -> 1 : 6 steps; sum 0..9 minus 5 = 40
+	if got := scalar(t, p, "result"); got != 640 {
+		t.Fatalf("result = %v, want 640", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	p, _ := run(t, `
+int result;
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main(void) {
+    result = fib(15);
+    return 0;
+}
+`)
+	if got := scalar(t, p, "result"); got != 610 {
+		t.Fatalf("fib(15) = %v, want 610", got)
+	}
+}
+
+func TestArraysAndPointerParams(t *testing.T) {
+	p, _ := run(t, `
+float data[8];
+float total;
+void fill(float *a, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        a[i] = i * 2.0;
+    }
+}
+float sum(float *a, int n) {
+    float s = 0.0;
+    int i;
+    for (i = 0; i < n; i++) {
+        s += a[i];
+    }
+    return s;
+}
+int main(void) {
+    fill(data, 8);
+    total = sum(data, 8);
+    return 0;
+}
+`)
+	if got := scalar(t, p, "total"); got != 56 { // 2*(0+..+7)
+		t.Fatalf("total = %v, want 56", got)
+	}
+	d, err := p.ArrayData("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[3] != 6 {
+		t.Fatalf("data[3] = %v, want 6", d[3])
+	}
+}
+
+func TestMallocAndLocalArrays(t *testing.T) {
+	p, _ := run(t, `
+float result;
+int main(void) {
+    float *buf = (float *) malloc(10 * sizeof(float));
+    int i;
+    for (i = 0; i < 10; i++) {
+        buf[i] = i;
+    }
+    float tmp[5];
+    for (i = 0; i < 5; i++) {
+        tmp[i] = buf[2 * i];
+    }
+    result = tmp[4] + buf[9];
+    free(buf);
+    return 0;
+}
+`)
+	if got := scalar(t, p, "result"); got != 8+9 {
+		t.Fatalf("result = %v, want 17", got)
+	}
+}
+
+func TestStructArrays(t *testing.T) {
+	p, _ := run(t, `
+struct point {
+    float x;
+    float y;
+};
+struct point pts[4];
+float result;
+int main(void) {
+    int i;
+    for (i = 0; i < 4; i++) {
+        pts[i].x = i;
+        pts[i].y = i * 10.0;
+    }
+    result = pts[3].x + pts[2].y;
+    return 0;
+}
+`)
+	if got := scalar(t, p, "result"); got != 3+20 {
+		t.Fatalf("result = %v, want 23", got)
+	}
+}
+
+func TestPrintf(t *testing.T) {
+	p, _ := run(t, `
+int main(void) {
+    printf("n=%d f=%f\n", 42, 2.5);
+    return 0;
+}
+`)
+	if got := p.Output(); got != "n=42 f=2.500000\n" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	p, _ := run(t, `
+int n = 5;
+double pi = 3.25;
+int result;
+int main(void) {
+    result = n * 2;
+    return 0;
+}
+`)
+	if got := scalar(t, p, "result"); got != 10 {
+		t.Fatalf("result = %v", got)
+	}
+	if got := scalar(t, p, "pi"); got != 3.25 {
+		t.Fatalf("pi = %v", got)
+	}
+}
+
+const offloadSrc = `
+float a[16];
+float b[16];
+int n;
+int main(void) {
+    int i;
+    n = 16;
+    for (i = 0; i < n; i++) {
+        a[i] = i;
+    }
+    #pragma offload target(mic:0) in(a : length(n)) out(b : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        b[i] = a[i] * 2.0;
+    }
+    return 0;
+}
+`
+
+func TestOffloadSemantics(t *testing.T) {
+	p, bk := run(t, offloadSrc)
+	bv, err := p.ArrayData("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range bv {
+		if v != float64(i)*2 {
+			t.Fatalf("b[%d] = %v, want %v", i, v, float64(i)*2)
+		}
+	}
+	if len(bk.offloads) != 1 {
+		t.Fatalf("offloads = %d, want 1", len(bk.offloads))
+	}
+	op := bk.offloads[0]
+	if op.InBytes() != 16*4 || op.OutBytes() != 16*4 {
+		t.Fatalf("in/out bytes = %d/%d, want 64/64", op.InBytes(), op.OutBytes())
+	}
+	if op.Work.ParIters != 16 {
+		t.Fatalf("kernel parallel iters = %d, want 16", op.Work.ParIters)
+	}
+	if op.Work.Vec.Flops <= 0 {
+		t.Fatalf("kernel flops = %v, want > 0 (vectorizable bucket)", op.Work.Vec.Flops)
+	}
+	if op.Work.Serial.Flops != 0 {
+		t.Fatalf("kernel serial flops = %v, want 0", op.Work.Serial.Flops)
+	}
+	// Default LEO lifetime: buffers freed after offload.
+	if p.DeviceArray("a") != nil || p.DeviceArray("b") != nil {
+		t.Fatal("device buffers not freed with default lifetimes")
+	}
+	// Host work flushed before offload.
+	if len(bk.host) == 0 {
+		t.Fatal("host work not reported")
+	}
+}
+
+func TestOffloadMissingArrayFails(t *testing.T) {
+	p, err := Compile(`
+float a[8];
+float b[8];
+int main(void) {
+    int i;
+    #pragma offload target(mic:0) in(a : length(8))
+    #pragma omp parallel for
+    for (i = 0; i < 8; i++) {
+        b[i] = a[i];
+    }
+    return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Run(NullBackend{})
+	if err == nil || !strings.Contains(err.Error(), "not present on the device") {
+		t.Fatalf("err = %v, want device-missing error", err)
+	}
+}
+
+func TestOffloadScalarInOut(t *testing.T) {
+	p, _ := run(t, `
+float sum;
+float a[8];
+int n;
+int main(void) {
+    int i;
+    n = 8;
+    for (i = 0; i < n; i++) {
+        a[i] = 1.5;
+    }
+    sum = 100.0;
+    #pragma offload target(mic:0) in(a : length(n)) inout(sum)
+    #pragma omp parallel for reduction(+:sum)
+    for (i = 0; i < n; i++) {
+        sum += a[i];
+    }
+    return 0;
+}
+`)
+	if got := scalar(t, p, "sum"); got != 112 {
+		t.Fatalf("sum = %v, want 112", got)
+	}
+}
+
+func TestOffloadScalarReadFallsBackToHost(t *testing.T) {
+	// Scalars not in any clause are implicitly visible (copied at launch).
+	p, _ := run(t, `
+float scale;
+float a[4];
+float b[4];
+int main(void) {
+    int i;
+    scale = 3.0;
+    for (i = 0; i < 4; i++) {
+        a[i] = i;
+    }
+    #pragma offload target(mic:0) in(a : length(4)) out(b : length(4))
+    #pragma omp parallel for
+    for (i = 0; i < 4; i++) {
+        b[i] = a[i] * scale;
+    }
+    return 0;
+}
+`)
+	bv, _ := p.ArrayData("b")
+	if bv[2] != 6 {
+		t.Fatalf("b[2] = %v, want 6", bv[2])
+	}
+}
+
+func TestOffloadDeviceScalarWriteDoesNotLeakToHost(t *testing.T) {
+	p, _ := run(t, `
+float flag;
+float a[4];
+int main(void) {
+    int i;
+    flag = 1.0;
+    #pragma offload target(mic:0) out(a : length(4))
+    #pragma omp parallel for
+    for (i = 0; i < 4; i++) {
+        flag = 99.0;
+        a[i] = flag;
+    }
+    return 0;
+}
+`)
+	if got := scalar(t, p, "flag"); got != 1 {
+		t.Fatalf("flag = %v, want 1 (device writes must not leak without out clause)", got)
+	}
+	av, _ := p.ArrayData("a")
+	if av[0] != 99 {
+		t.Fatalf("a[0] = %v, want 99", av[0])
+	}
+}
+
+func TestOffloadTransferWithSectionsAndSignals(t *testing.T) {
+	// Double-buffer shape: transfer halves into separate device buffers.
+	p, bk := run(t, `
+float src[8];
+float *buf1;
+float *buf2;
+float dst[8];
+int sig0;
+int sig1;
+int main(void) {
+    int i;
+    for (i = 0; i < 8; i++) {
+        src[i] = i + 1;
+    }
+    #pragma offload_transfer target(mic:0) nocopy(buf1 : length(4) alloc_if(1) free_if(0)) nocopy(buf2 : length(4) alloc_if(1) free_if(0))
+    #pragma offload_transfer target(mic:0) in(src[0 : 4] : into(buf1) alloc_if(0) free_if(0)) signal(&sig0)
+    #pragma offload_transfer target(mic:0) in(src[4 : 4] : into(buf2) alloc_if(0) free_if(0)) signal(&sig1)
+    #pragma offload target(mic:0) nocopy(buf1 : length(4) alloc_if(0) free_if(0)) out(buf1[0 : 4] : into(dst[0 : 4]) alloc_if(0) free_if(0)) wait(&sig0)
+    #pragma omp parallel for
+    for (i = 0; i < 4; i++) {
+        buf1[i] = buf1[i] * 10.0;
+    }
+    #pragma offload target(mic:0) nocopy(buf2 : length(4) alloc_if(0) free_if(0)) out(buf2[0 : 4] : into(dst[4 : 4]) alloc_if(0) free_if(0)) wait(&sig1)
+    #pragma omp parallel for
+    for (i = 0; i < 4; i++) {
+        buf2[i] = buf2[i] * 10.0;
+    }
+    return 0;
+}
+`)
+	dv, _ := p.ArrayData("dst")
+	for i := 0; i < 8; i++ {
+		want := float64(i+1) * 10
+		if dv[i] != want {
+			t.Fatalf("dst[%d] = %v, want %v", i, dv[i], want)
+		}
+	}
+	if len(bk.transfers) != 3 {
+		t.Fatalf("transfers = %d, want 3", len(bk.transfers))
+	}
+	if bk.transfers[1].Signal != "sig0" || bk.transfers[2].Signal != "sig1" {
+		t.Fatalf("signals = %q/%q", bk.transfers[1].Signal, bk.transfers[2].Signal)
+	}
+	if len(bk.offloads) != 2 || bk.offloads[0].Wait != "sig0" {
+		t.Fatalf("offload waits wrong: %+v", bk.offloads)
+	}
+	// Buffers persist (free_if(0) everywhere).
+	if p.DeviceArray("buf1") == nil || p.DeviceArray("buf2") == nil {
+		t.Fatal("persistent device buffers were freed")
+	}
+}
+
+func TestAllocIfZeroWithoutAllocationFails(t *testing.T) {
+	p, err := Compile(`
+float a[4];
+int main(void) {
+    #pragma offload_transfer target(mic:0) in(a[0 : 4] : into(a) alloc_if(0) free_if(0))
+    return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Run(NullBackend{})
+	if err == nil || !strings.Contains(err.Error(), "before allocation") {
+		t.Fatalf("err = %v, want allocation error", err)
+	}
+}
+
+func TestOffloadWaitStatement(t *testing.T) {
+	_, bk := run(t, `
+float a[4];
+int tag;
+int main(void) {
+    #pragma offload_transfer target(mic:0) in(a : length(4)) signal(&tag)
+    #pragma offload_wait target(mic:0) wait(&tag)
+    return 0;
+}
+`)
+	if len(bk.waits) != 1 || bk.waits[0] != "tag" {
+		t.Fatalf("waits = %v", bk.waits)
+	}
+}
+
+func TestWorkBucketsSplitSerialParallel(t *testing.T) {
+	_, bk := run(t, `
+float a[100];
+float b[100];
+int main(void) {
+    int i;
+    int j;
+    // Serial host loop.
+    for (i = 0; i < 100; i++) {
+        a[i] = i;
+    }
+    // Parallel vectorizable host loop.
+    #pragma omp parallel for
+    for (j = 0; j < 100; j++) {
+        b[j] = a[j] * 2.0;
+    }
+    return 0;
+}
+`)
+	if len(bk.host) != 1 {
+		t.Fatalf("host flushes = %d, want 1", len(bk.host))
+	}
+	w := bk.host[0]
+	if w.Serial.Flops <= 0 || w.Vec.Flops <= 0 {
+		t.Fatalf("work = %+v, want both serial and vec flops", w)
+	}
+	if w.ParIters != 100 {
+		t.Fatalf("ParIters = %d, want 100", w.ParIters)
+	}
+}
+
+func TestIrregularTrafficMeasured(t *testing.T) {
+	_, bk := run(t, `
+float a[64];
+int idx[64];
+float c[64];
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        a[i] = i;
+        idx[i] = 63 - i;
+    }
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        c[i] = a[idx[i]];
+    }
+    return 0;
+}
+`)
+	w := bk.host[0]
+	// Gather loop is not vectorizable -> Scalar bucket, with irregular bytes.
+	if w.Scalar.Bytes <= 0 || w.Scalar.IrrBytes <= 0 {
+		t.Fatalf("scalar bucket = %+v, want irregular traffic", w.Scalar)
+	}
+	if w.Scalar.IrrBytes >= w.Scalar.Bytes {
+		t.Fatalf("irregular %v should be a strict subset of total %v", w.Scalar.IrrBytes, w.Scalar.Bytes)
+	}
+	if w.Vec.Flops != 0 {
+		t.Fatalf("gather loop must not land in the vectorizable bucket: %+v", w)
+	}
+}
+
+func TestMergedOffloadSerialOnDevice(t *testing.T) {
+	_, bk := run(t, `
+float a[32];
+float b[32];
+int steps;
+int main(void) {
+    int s;
+    int i;
+    steps = 4;
+    #pragma offload target(mic:0) inout(a, b : length(32))
+    for (s = 0; s < steps; s++) {
+        // serial on device
+        b[0] = b[0] + 1.0;
+        #pragma omp parallel for
+        for (i = 0; i < 32; i++) {
+            a[i] = a[i] + b[0];
+        }
+    }
+    return 0;
+}
+`)
+	if len(bk.offloads) != 1 {
+		t.Fatalf("offloads = %d, want 1 (merged)", len(bk.offloads))
+	}
+	w := bk.offloads[0].Work
+	if w.Serial.Flops <= 0 {
+		t.Fatalf("merged offload should have serial device work: %+v", w)
+	}
+	if w.Vec.Flops <= 0 {
+		t.Fatalf("merged offload should have parallel device work: %+v", w)
+	}
+	if w.ParIters != 4*32 {
+		t.Fatalf("ParIters = %d, want 128", w.ParIters)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`int main(void) { int x = 1 / 0; return x; }`, "division by zero"},
+		{`int main(void) { int x = 1 % 0; return x; }`, "modulus by zero"},
+		{`float a[4]; int main(void) { a[9] = 1.0; return 0; }`, "out of range"},
+		{`float *p; float r; int main(void) { r = p[0]; return 0; }`, "no storage"},
+	}
+	for _, c := range cases {
+		p, err := Compile(c.src)
+		if err != nil {
+			t.Errorf("%q: compile: %v", c.src, err)
+			continue
+		}
+		err = p.Run(NullBackend{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestResetRestoresCleanState(t *testing.T) {
+	p, _ := run(t, offloadSrc)
+	before, _ := p.ArrayData("b")
+	if before[5] == 0 {
+		t.Fatal("sanity: run should have written b")
+	}
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := p.ArrayData("b")
+	if after[5] != 0 {
+		t.Fatal("Reset did not clear array state")
+	}
+	if err := p.Run(&recordBackend{}); err != nil {
+		t.Fatalf("rerun after reset: %v", err)
+	}
+	again, _ := p.ArrayData("b")
+	if again[5] != 10 {
+		t.Fatalf("rerun b[5] = %v, want 10", again[5])
+	}
+}
+
+func TestSetArrayAndSetScalarInjection(t *testing.T) {
+	p, err := Compile(`
+float data[4];
+float total;
+int n;
+int main(void) {
+    int i;
+    total = 0.0;
+    for (i = 0; i < n; i++) {
+        total += data[i];
+    }
+    return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetArray("data", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetScalar("n", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(NullBackend{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := scalar(t, p, "total"); got != 10 {
+		t.Fatalf("total = %v, want 10", got)
+	}
+}
+
+func TestSharedMallocCounted(t *testing.T) {
+	p, _ := run(t, `
+float *p1;
+float *p2;
+int main(void) {
+    int i;
+    for (i = 0; i < 5; i++) {
+        p1 = (float *) offload_shared_malloc(64);
+    }
+    p2 = (float *) malloc(64);
+    return 0;
+}
+`)
+	if got := p.SharedAllocs(); got != 5 {
+		t.Fatalf("shared allocs = %d, want 5", got)
+	}
+}
+
+func TestOffloadBackendErrorAborts(t *testing.T) {
+	p, err := Compile(offloadSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := &recordBackend{offloadErr: errOOM{}}
+	err = p.Run(bk)
+	if err == nil || !strings.Contains(err.Error(), "device OOM") {
+		t.Fatalf("err = %v, want propagated OOM", err)
+	}
+}
+
+type errOOM struct{}
+
+func (errOOM) Error() string { return "device OOM" }
+
+func TestMainRequired(t *testing.T) {
+	p, err := Compile("int foo(void) { return 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(NullBackend{}); err == nil {
+		t.Fatal("Run without main succeeded")
+	}
+}
+
+func TestIntTruncationSemantics(t *testing.T) {
+	p, _ := run(t, `
+int result;
+int main(void) {
+    int a = 7 / 2;
+    float f = 7.9;
+    int b = f;
+    result = a * 10 + b;
+    return 0;
+}
+`)
+	if got := scalar(t, p, "result"); got != 37 {
+		t.Fatalf("result = %v, want 37 (3*10 + 7)", got)
+	}
+}

@@ -1,0 +1,63 @@
+package interp
+
+import "testing"
+
+func TestTernaryOperator(t *testing.T) {
+	p, _ := run(t, `
+float a[8];
+float b[8];
+int n;
+int main(void) {
+    int i;
+    n = 8;
+    for (i = 0; i < n; i++) {
+        a[i] = i;
+    }
+    #pragma offload target(mic:0) in(a : length(n)) out(b : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        b[i] = a[i] > 3.0 ? a[i] * 2.0 : -a[i];
+    }
+    return 0;
+}
+`)
+	bv, _ := p.ArrayData("b")
+	for i := 0; i < 8; i++ {
+		want := -float64(i)
+		if i > 3 {
+			want = float64(i) * 2
+		}
+		if bv[i] != want {
+			t.Fatalf("b[%d] = %v, want %v", i, bv[i], want)
+		}
+	}
+}
+
+func TestTernaryNested(t *testing.T) {
+	p, _ := run(t, `
+float r;
+int main(void) {
+    int x = 5;
+    r = x > 10 ? 1.0 : x > 3 ? 2.0 : 3.0;
+    return 0;
+}
+`)
+	if got := scalar(t, p, "r"); got != 2 {
+		t.Fatalf("nested ternary = %v, want 2", got)
+	}
+}
+
+func TestTernaryLazyEvaluation(t *testing.T) {
+	// The untaken branch must not evaluate (guarded division).
+	p, _ := run(t, `
+float r;
+int main(void) {
+    int z = 0;
+    r = z == 0 ? 7.0 : 10 / z;
+    return 0;
+}
+`)
+	if got := scalar(t, p, "r"); got != 7 {
+		t.Fatalf("r = %v, want 7", got)
+	}
+}

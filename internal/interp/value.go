@@ -1,0 +1,142 @@
+// Package interp executes MiniC programs for their values while reporting
+// offload activity and measured work to a pluggable Backend.
+//
+// The interpreter is the "functional" half of the simulator: it runs both
+// original and COMP-transformed programs over concrete data (so transforms
+// are checked for semantic equivalence), maintains separate host and device
+// memories with LEO copy semantics (so a kernel touching an untransferred
+// array fails loudly, as it would on the card), and dynamically profiles
+// every loop (operation counts, memory traffic, irregular-traffic fraction)
+// for the performance model. Timing itself lives in the Backend
+// implementation (internal/runtime), which maps the reported operations
+// onto the discrete-event machine.
+package interp
+
+import (
+	"fmt"
+
+	"comp/internal/minic"
+)
+
+// Array is the storage for an array or malloc'd buffer. Struct arrays are
+// stored field-interleaved: element i's field f lives at
+// Data[i*Fields + FieldOff[f]].
+type Array struct {
+	Name      string
+	Data      []float64
+	Fields    int            // float64 slots per logical element (>=1)
+	FieldOff  map[string]int // field name -> slot offset (struct arrays)
+	ElemBytes int64          // modelled bytes per logical element
+}
+
+// Len returns the logical element count.
+func (a *Array) Len() int { return len(a.Data) / a.Fields }
+
+// Bytes returns the modelled byte size of the whole array.
+func (a *Array) Bytes() int64 { return int64(a.Len()) * a.ElemBytes }
+
+// NewArrayFor builds storage for n elements of the given MiniC type.
+func NewArrayFor(name string, elem minic.Type, n int64) *Array {
+	if n < 0 {
+		panic(fmt.Sprintf("interp: negative array length %d for %s", n, name))
+	}
+	a := &Array{Name: name, Fields: 1, ElemBytes: elem.Size()}
+	if st, ok := elem.(*minic.StructType); ok {
+		a.Fields = len(st.Fields)
+		a.FieldOff = map[string]int{}
+		for i, f := range st.Fields {
+			a.FieldOff[f.Name] = i
+		}
+	}
+	a.Data = make([]float64, n*int64(a.Fields))
+	return a
+}
+
+// CloneShape returns an empty array with the same element layout.
+func (a *Array) CloneShape(name string, n int64) *Array {
+	return &Array{
+		Name:      name,
+		Data:      make([]float64, n*int64(a.Fields)),
+		Fields:    a.Fields,
+		FieldOff:  a.FieldOff,
+		ElemBytes: a.ElemBytes,
+	}
+}
+
+// Cell is scalar storage.
+type Cell struct{ V float64 }
+
+// RuntimeError aborts execution with source context; it models the runtime
+// failures the paper discusses (device OOM, missing device data) as well as
+// plain interpreter faults (bounds).
+type RuntimeError struct {
+	Pos minic.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("runtime: %s: %s", e.Pos, e.Msg)
+	}
+	return "runtime: " + e.Msg
+}
+
+func rtErrf(pos minic.Pos, format string, args ...interface{}) *RuntimeError {
+	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// throw unwinds to Run's recover.
+func throw(err *RuntimeError) { panic(err) }
+
+// Bucket accumulates modelled work of one kind.
+type Bucket struct {
+	Flops    float64
+	Bytes    float64
+	IrrBytes float64
+}
+
+// Add merges o into b.
+func (b *Bucket) Add(o Bucket) {
+	b.Flops += o.Flops
+	b.Bytes += o.Bytes
+	b.IrrBytes += o.IrrBytes
+}
+
+// IrregularFrac returns the irregular share of traffic.
+func (b Bucket) IrregularFrac() float64 {
+	if b.Bytes == 0 {
+		return 0
+	}
+	return b.IrrBytes / b.Bytes
+}
+
+// Work is the dynamic profile of a code region, split by how the hardware
+// can execute it: Serial work runs on one thread; Vec work runs in parallel
+// loops the vectorizer accepts; Scalar work runs in parallel loops it
+// rejects (irregular bodies).
+type Work struct {
+	Serial Bucket
+	Vec    Bucket
+	Scalar Bucket
+	// ParIters counts iterations of top-level parallel loops in the region.
+	ParIters int64
+}
+
+// Add merges o into w.
+func (w *Work) Add(o Work) {
+	w.Serial.Add(o.Serial)
+	w.Vec.Add(o.Vec)
+	w.Scalar.Add(o.Scalar)
+	w.ParIters += o.ParIters
+}
+
+// Zero reports whether no work was recorded.
+func (w Work) Zero() bool {
+	return w.Serial == Bucket{} && w.Vec == Bucket{} && w.Scalar == Bucket{} && w.ParIters == 0
+}
+
+// TotalFlops sums operation counts across buckets.
+func (w Work) TotalFlops() float64 { return w.Serial.Flops + w.Vec.Flops + w.Scalar.Flops }
+
+// TotalBytes sums traffic across buckets.
+func (w Work) TotalBytes() float64 { return w.Serial.Bytes + w.Vec.Bytes + w.Scalar.Bytes }

@@ -1,0 +1,201 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"comp/internal/minic"
+)
+
+func TestWorkAccounting(t *testing.T) {
+	var w Work
+	if !w.Zero() {
+		t.Fatal("zero Work not Zero")
+	}
+	w.Add(Work{
+		Serial:   Bucket{Flops: 10, Bytes: 4},
+		Vec:      Bucket{Flops: 100, Bytes: 40, IrrBytes: 8},
+		Scalar:   Bucket{Flops: 1},
+		ParIters: 7,
+	})
+	w.Add(Work{Vec: Bucket{Flops: 50}})
+	if w.Zero() {
+		t.Fatal("non-empty Work reports Zero")
+	}
+	if w.TotalFlops() != 161 {
+		t.Fatalf("TotalFlops = %v, want 161", w.TotalFlops())
+	}
+	if w.TotalBytes() != 44 {
+		t.Fatalf("TotalBytes = %v, want 44", w.TotalBytes())
+	}
+	if w.ParIters != 7 {
+		t.Fatalf("ParIters = %d", w.ParIters)
+	}
+	if got := w.Vec.IrregularFrac(); got != 8.0/40 {
+		t.Fatalf("IrregularFrac = %v, want 0.2", got)
+	}
+	if (Bucket{}).IrregularFrac() != 0 {
+		t.Fatal("empty bucket IrregularFrac != 0")
+	}
+}
+
+func TestArrayShapes(t *testing.T) {
+	st := &minic.StructType{Name: "p", Fields: []minic.StructField{
+		{Name: "x", Type: minic.FloatType},
+		{Name: "y", Type: minic.FloatType},
+		{Name: "m", Type: minic.DoubleType},
+	}}
+	a := NewArrayFor("pts", st, 10)
+	if a.Len() != 10 || a.Fields != 3 {
+		t.Fatalf("len=%d fields=%d", a.Len(), a.Fields)
+	}
+	if a.Bytes() != 10*16 {
+		t.Fatalf("Bytes = %d, want 160", a.Bytes())
+	}
+	if a.FieldOff["m"] != 2 {
+		t.Fatalf("field offset m = %d", a.FieldOff["m"])
+	}
+	c := a.CloneShape("pts2", 4)
+	if c.Len() != 4 || c.Fields != 3 || c.ElemBytes != a.ElemBytes {
+		t.Fatalf("CloneShape = %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative length array accepted")
+		}
+	}()
+	NewArrayFor("bad", minic.FloatType, -1)
+}
+
+func TestMustCompileAndFile(t *testing.T) {
+	p := MustCompile("int main(void) { return 0; }")
+	if p.File() == nil {
+		t.Fatal("File() nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile on bad source did not panic")
+		}
+	}()
+	MustCompile("int main( {")
+}
+
+func TestCompoundAssignmentOperators(t *testing.T) {
+	p, _ := run(t, `
+float fr;
+int ir;
+int main(void) {
+    float f = 10.0;
+    f += 2.5;
+    f -= 0.5;
+    f *= 2.0;
+    f /= 4.0;
+    fr = f;
+    int k = 13;
+    k %= 5;
+    ir = k;
+    return 0;
+}
+`)
+	if got := scalar(t, p, "fr"); got != 6.0 {
+		t.Fatalf("float compound chain = %v, want 6", got)
+	}
+	if got := scalar(t, p, "ir"); got != 3 {
+		t.Fatalf("int %%= result = %v, want 3", got)
+	}
+}
+
+func TestShiftOperators(t *testing.T) {
+	p, _ := run(t, `
+int a;
+int b;
+int main(void) {
+    a = 3 << 4;
+    b = 256 >> 3;
+    return 0;
+}
+`)
+	if scalar(t, p, "a") != 48 || scalar(t, p, "b") != 32 {
+		t.Fatalf("shifts = %v, %v", scalar(t, p, "a"), scalar(t, p, "b"))
+	}
+}
+
+func TestLogicalOperatorsShortCircuit(t *testing.T) {
+	// The right side of && must not evaluate when the left is false:
+	// otherwise the guarded division faults.
+	p, _ := run(t, `
+float r;
+int main(void) {
+    int z = 0;
+    if (z != 0 && 10 / z > 1) {
+        r = 1.0;
+    } else {
+        r = 2.0;
+    }
+    if (z == 0 || 10 / z > 1) {
+        r = r + 10.0;
+    }
+    return 0;
+}
+`)
+	if got := scalar(t, p, "r"); got != 12 {
+		t.Fatalf("r = %v, want 12", got)
+	}
+}
+
+func TestUnaryNotAndNegation(t *testing.T) {
+	p, _ := run(t, `
+float r;
+int main(void) {
+    float x = -3.5;
+    if (!(x > 0.0)) {
+        r = -x;
+    }
+    return 0;
+}
+`)
+	if got := scalar(t, p, "r"); got != 3.5 {
+		t.Fatalf("r = %v, want 3.5", got)
+	}
+}
+
+func TestRuntimeErrorFormatting(t *testing.T) {
+	e := &RuntimeError{Pos: minic.Pos{Line: 3, Col: 7}, Msg: "boom"}
+	if e.Error() != "runtime: 3:7: boom" {
+		t.Fatalf("error = %q", e.Error())
+	}
+	e2 := &RuntimeError{Msg: "nowhere"}
+	if e2.Error() != "runtime: nowhere" {
+		t.Fatalf("error = %q", e2.Error())
+	}
+}
+
+func TestGlobalConstInitializers(t *testing.T) {
+	p, _ := run(t, `
+double a = 2.0 * (3.0 + 1.0);
+double b = -5.5;
+double c = 10.0 / 4.0;
+double d = 7.0 - 2.0;
+int main(void) { return 0; }
+`)
+	for name, want := range map[string]float64{"a": 8, "b": -5.5, "c": 2.5, "d": 5} {
+		if got := scalar(t, p, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestNaNSafety(t *testing.T) {
+	// log of a negative number yields NaN; the interpreter must pass it
+	// through rather than corrupt control flow.
+	p, _ := run(t, `
+double r;
+int main(void) {
+    r = log(-1.0);
+    return 0;
+}
+`)
+	if got := scalar(t, p, "r"); !math.IsNaN(got) {
+		t.Fatalf("log(-1) = %v, want NaN", got)
+	}
+}

@@ -1,0 +1,396 @@
+package minic
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() Pos
+}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes. Type() returns the type
+// assigned by the checker (nil before Check runs).
+type Expr interface {
+	Node
+	Type() Type
+	exprNode()
+}
+
+type exprBase struct {
+	pos Pos
+	typ Type
+}
+
+func (e *exprBase) Pos() Pos       { return e.pos }
+func (e *exprBase) Type() Type     { return e.typ }
+func (e *exprBase) SetType(t Type) { e.typ = t }
+func (e *exprBase) exprNode()      {}
+
+// Ident is a reference to a named entity. After checking, Sym points to the
+// symbol it resolves to.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *Symbol
+}
+
+// NewIdent constructs an identifier expression.
+func NewIdent(pos Pos, name string) *Ident { return &Ident{exprBase: exprBase{pos: pos}, Name: name} }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+	Text  string // original spelling, preserved by the printer
+}
+
+// StringLit is a string literal (only used as call arguments, e.g. printf).
+type StringLit struct {
+	exprBase
+	Value string
+}
+
+// BinaryExpr is a binary operation; Op is the operator spelling.
+type BinaryExpr struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// UnaryExpr is a prefix operation: -, !, * (deref), & (address-of).
+type UnaryExpr struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// CallExpr is a function call.
+type CallExpr struct {
+	exprBase
+	Fun  *Ident
+	Args []Expr
+}
+
+// IndexExpr is an array subscript X[Index].
+type IndexExpr struct {
+	exprBase
+	X     Expr
+	Index Expr
+}
+
+// MemberExpr is a field access; Arrow distinguishes `->` from `.`.
+type MemberExpr struct {
+	exprBase
+	X     Expr
+	Field string
+	Arrow bool
+}
+
+// ParenExpr preserves explicit parentheses for the printer.
+type ParenExpr struct {
+	exprBase
+	X Expr
+}
+
+// SizeofExpr is sizeof(type).
+type SizeofExpr struct {
+	exprBase
+	Of Type
+}
+
+// CondExpr is the conditional operator `Cond ? Then : Else`.
+type CondExpr struct {
+	exprBase
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+type stmtBase struct{ pos Pos }
+
+func (s *stmtBase) Pos() Pos  { return s.pos }
+func (s *stmtBase) stmtNode() {}
+
+// DeclStmt declares a local variable.
+type DeclStmt struct {
+	stmtBase
+	Decl *VarDecl
+}
+
+// ExprStmt evaluates an expression for effect (calls, ++/--).
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// AssignStmt is `LHS op RHS;` with op one of = += -= *= /=.
+type AssignStmt struct {
+	stmtBase
+	Op  string
+	LHS Expr
+	RHS Expr
+}
+
+// IncDecStmt is `X++;` or `X--;`.
+type IncDecStmt struct {
+	stmtBase
+	Op string // "++" or "--"
+	X  Expr
+}
+
+// Block is `{ stmts }`.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// ForStmt is a C for loop. Pragmas holds the pragma lines that
+// syntactically precede the loop (omp parallel for, offload, ...).
+type ForStmt struct {
+	stmtBase
+	Pragmas []*Pragma
+	Init    Stmt // DeclStmt or AssignStmt or nil
+	Cond    Expr // nil means forever
+	Post    Stmt // AssignStmt or IncDecStmt or nil
+	Body    *Block
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body *Block
+}
+
+// IfStmt is if/else; Else is a *Block, an *IfStmt, or nil.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then *Block
+	Else Stmt
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // nil for void return
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ stmtBase }
+
+// PragmaStmt is a pragma not attached to a for loop (offload_transfer,
+// offload_wait). It acts as a standalone statement.
+type PragmaStmt struct {
+	stmtBase
+	P *Pragma
+}
+
+// ---- Declarations ----
+
+// Decl is implemented by top-level declarations.
+type Decl interface {
+	Node
+	declNode()
+}
+
+type declBase struct{ pos Pos }
+
+func (d *declBase) Pos() Pos  { return d.pos }
+func (d *declBase) declNode() {}
+
+// VarDecl declares a variable (global or local via DeclStmt).
+type VarDecl struct {
+	declBase
+	Name   string
+	Type   Type
+	Init   Expr // may be nil
+	Shared bool // declared _Cilk_shared
+	Sym    *Symbol
+}
+
+// Param is a function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+// FuncDecl defines a function.
+type FuncDecl struct {
+	declBase
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   *Block // nil for a prototype
+	Shared bool   // declared _Cilk_shared (compiled for both sides)
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	declBase
+	Type *StructType
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Decls []Decl
+}
+
+// Pos implements Node; a file starts at line 1.
+func (f *File) Pos() Pos { return Pos{Line: 1, Col: 1} }
+
+// Funcs returns the function declarations in order.
+func (f *File) Funcs() []*FuncDecl {
+	var out []*FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// Func returns the named function, or nil.
+func (f *File) Func(name string) *FuncDecl {
+	for _, fd := range f.Funcs() {
+		if fd.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+// Struct returns the named struct type, or nil.
+func (f *File) Struct(name string) *StructType {
+	for _, d := range f.Decls {
+		if sd, ok := d.(*StructDecl); ok && sd.Type.Name == name {
+			return sd.Type
+		}
+	}
+	return nil
+}
+
+// SymbolKind classifies symbols.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymVar SymbolKind = iota
+	SymParam
+	SymFunc
+)
+
+// Symbol is a named entity produced by the checker.
+type Symbol struct {
+	Name   string
+	Kind   SymbolKind
+	Type   Type
+	Shared bool
+	Global bool
+	Decl   Node // *VarDecl, *Param position holder, or *FuncDecl
+}
+
+// ---- AST walking ----
+
+// Inspect walks the AST rooted at n in depth-first order, calling f for
+// every node. If f returns false for a node, its children are skipped.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+	case *FuncDecl:
+		if x.Body != nil {
+			Inspect(x.Body, f)
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+		if arr, ok := x.Type.(*Array); ok && arr.Len != nil {
+			Inspect(arr.Len, f)
+		}
+	case *StructDecl:
+	case *DeclStmt:
+		Inspect(x.Decl, f)
+	case *ExprStmt:
+		Inspect(x.X, f)
+	case *AssignStmt:
+		Inspect(x.LHS, f)
+		Inspect(x.RHS, f)
+	case *IncDecStmt:
+		Inspect(x.X, f)
+	case *Block:
+		for _, s := range x.Stmts {
+			Inspect(s, f)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			Inspect(x.Init, f)
+		}
+		if x.Cond != nil {
+			Inspect(x.Cond, f)
+		}
+		if x.Post != nil {
+			Inspect(x.Post, f)
+		}
+		Inspect(x.Body, f)
+	case *WhileStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Body, f)
+	case *IfStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		if x.Else != nil {
+			Inspect(x.Else, f)
+		}
+	case *ReturnStmt:
+		if x.X != nil {
+			Inspect(x.X, f)
+		}
+	case *BinaryExpr:
+		Inspect(x.X, f)
+		Inspect(x.Y, f)
+	case *UnaryExpr:
+		Inspect(x.X, f)
+	case *CallExpr:
+		Inspect(x.Fun, f)
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *IndexExpr:
+		Inspect(x.X, f)
+		Inspect(x.Index, f)
+	case *MemberExpr:
+		Inspect(x.X, f)
+	case *ParenExpr:
+		Inspect(x.X, f)
+	case *CondExpr:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		Inspect(x.Else, f)
+	case *Ident, *IntLit, *FloatLit, *StringLit, *SizeofExpr,
+		*BreakStmt, *ContinueStmt, *PragmaStmt:
+	}
+}

@@ -1,0 +1,22 @@
+package minic
+
+import "testing"
+
+// BenchmarkParse measures front-end throughput on the blackscholes fixture.
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(blackscholesSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(blackscholesSrc)))
+}
+
+// BenchmarkPrint measures the source printer.
+func BenchmarkPrint(b *testing.B) {
+	f := MustParse(blackscholesSrc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Print(f)
+	}
+}

@@ -1,0 +1,241 @@
+package minic
+
+// Deep-copy utilities for AST rewriting. Transformation passes clone
+// subtrees before substituting so the original program stays intact.
+
+// CloneExpr returns a deep copy of e (nil-safe). Type annotations are
+// dropped; re-run Check on the transformed file.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		return NewIdent(x.Pos(), x.Name)
+	case *IntLit:
+		return &IntLit{exprBase: exprBase{pos: x.Pos()}, Value: x.Value}
+	case *FloatLit:
+		return &FloatLit{exprBase: exprBase{pos: x.Pos()}, Value: x.Value, Text: x.Text}
+	case *StringLit:
+		return &StringLit{exprBase: exprBase{pos: x.Pos()}, Value: x.Value}
+	case *BinaryExpr:
+		return &BinaryExpr{exprBase: exprBase{pos: x.Pos()}, Op: x.Op, X: CloneExpr(x.X), Y: CloneExpr(x.Y)}
+	case *UnaryExpr:
+		return &UnaryExpr{exprBase: exprBase{pos: x.Pos()}, Op: x.Op, X: CloneExpr(x.X)}
+	case *CallExpr:
+		out := &CallExpr{exprBase: exprBase{pos: x.Pos()}, Fun: NewIdent(x.Fun.Pos(), x.Fun.Name)}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, CloneExpr(a))
+		}
+		return out
+	case *IndexExpr:
+		return &IndexExpr{exprBase: exprBase{pos: x.Pos()}, X: CloneExpr(x.X), Index: CloneExpr(x.Index)}
+	case *MemberExpr:
+		return &MemberExpr{exprBase: exprBase{pos: x.Pos()}, X: CloneExpr(x.X), Field: x.Field, Arrow: x.Arrow}
+	case *ParenExpr:
+		return &ParenExpr{exprBase: exprBase{pos: x.Pos()}, X: CloneExpr(x.X)}
+	case *SizeofExpr:
+		return &SizeofExpr{exprBase: exprBase{pos: x.Pos()}, Of: x.Of}
+	case *CondExpr:
+		return &CondExpr{exprBase: exprBase{pos: x.Pos()}, Cond: CloneExpr(x.Cond), Then: CloneExpr(x.Then), Else: CloneExpr(x.Else)}
+	}
+	panic("minic: CloneExpr: unknown expression")
+}
+
+// CloneStmt returns a deep copy of s (nil-safe).
+func CloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *DeclStmt:
+		return &DeclStmt{stmtBase: stmtBase{pos: x.Pos()}, Decl: CloneVarDecl(x.Decl)}
+	case *ExprStmt:
+		return &ExprStmt{stmtBase: stmtBase{pos: x.Pos()}, X: CloneExpr(x.X)}
+	case *AssignStmt:
+		return &AssignStmt{stmtBase: stmtBase{pos: x.Pos()}, Op: x.Op, LHS: CloneExpr(x.LHS), RHS: CloneExpr(x.RHS)}
+	case *IncDecStmt:
+		return &IncDecStmt{stmtBase: stmtBase{pos: x.Pos()}, Op: x.Op, X: CloneExpr(x.X)}
+	case *Block:
+		return CloneBlock(x)
+	case *ForStmt:
+		out := &ForStmt{
+			stmtBase: stmtBase{pos: x.Pos()},
+			Init:     CloneStmt(x.Init),
+			Cond:     CloneExpr(x.Cond),
+			Post:     CloneStmt(x.Post),
+			Body:     CloneBlock(x.Body),
+		}
+		for _, p := range x.Pragmas {
+			out.Pragmas = append(out.Pragmas, ClonePragma(p))
+		}
+		return out
+	case *WhileStmt:
+		return &WhileStmt{stmtBase: stmtBase{pos: x.Pos()}, Cond: CloneExpr(x.Cond), Body: CloneBlock(x.Body)}
+	case *IfStmt:
+		return &IfStmt{stmtBase: stmtBase{pos: x.Pos()}, Cond: CloneExpr(x.Cond), Then: CloneBlock(x.Then), Else: CloneStmt(x.Else)}
+	case *ReturnStmt:
+		return &ReturnStmt{stmtBase: stmtBase{pos: x.Pos()}, X: CloneExpr(x.X)}
+	case *BreakStmt:
+		return &BreakStmt{stmtBase{pos: x.Pos()}}
+	case *ContinueStmt:
+		return &ContinueStmt{stmtBase{pos: x.Pos()}}
+	case *PragmaStmt:
+		return &PragmaStmt{stmtBase: stmtBase{pos: x.Pos()}, P: ClonePragma(x.P)}
+	}
+	panic("minic: CloneStmt: unknown statement")
+}
+
+// CloneBlock returns a deep copy of b (nil-safe).
+func CloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	out := &Block{stmtBase: stmtBase{pos: b.Pos()}}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, CloneStmt(s))
+	}
+	return out
+}
+
+// CloneVarDecl returns a deep copy of vd.
+func CloneVarDecl(vd *VarDecl) *VarDecl {
+	out := &VarDecl{
+		declBase: declBase{pos: vd.Pos()},
+		Name:     vd.Name,
+		Type:     vd.Type,
+		Init:     CloneExpr(vd.Init),
+		Shared:   vd.Shared,
+	}
+	if arr, ok := vd.Type.(*Array); ok {
+		out.Type = &Array{Elem: arr.Elem, Len: CloneExpr(arr.Len)}
+	}
+	return out
+}
+
+// ClonePragma returns a deep copy of p.
+func ClonePragma(p *Pragma) *Pragma {
+	out := &Pragma{
+		Pos:     p.Pos,
+		Kind:    p.Kind,
+		Target:  p.Target,
+		Signal:  p.Signal,
+		Wait:    p.Wait,
+		Persist: p.Persist,
+	}
+	out.Reductions = append(out.Reductions, p.Reductions...)
+	cloneItems := func(items []TransferItem) []TransferItem {
+		var outs []TransferItem
+		for _, it := range items {
+			outs = append(outs, TransferItem{
+				Name:      it.Name,
+				Start:     CloneExpr(it.Start),
+				Length:    CloneExpr(it.Length),
+				Into:      it.Into,
+				IntoStart: CloneExpr(it.IntoStart),
+				AllocIf:   CloneExpr(it.AllocIf),
+				FreeIf:    CloneExpr(it.FreeIf),
+			})
+		}
+		return outs
+	}
+	out.In = cloneItems(p.In)
+	out.Out = cloneItems(p.Out)
+	out.InOut = cloneItems(p.InOut)
+	out.NoCopy = cloneItems(p.NoCopy)
+	return out
+}
+
+// CloneFile returns a deep copy of the whole translation unit.
+func CloneFile(f *File) *File {
+	out := &File{}
+	for _, d := range f.Decls {
+		switch x := d.(type) {
+		case *VarDecl:
+			out.Decls = append(out.Decls, CloneVarDecl(x))
+		case *StructDecl:
+			out.Decls = append(out.Decls, &StructDecl{declBase: declBase{pos: x.Pos()}, Type: x.Type})
+		case *FuncDecl:
+			nf := &FuncDecl{
+				declBase: declBase{pos: x.Pos()},
+				Name:     x.Name,
+				Ret:      x.Ret,
+				Shared:   x.Shared,
+				Body:     CloneBlock(x.Body),
+			}
+			nf.Params = append(nf.Params, x.Params...)
+			out.Decls = append(out.Decls, nf)
+		}
+	}
+	return out
+}
+
+// Substitute rewrites expressions in-place throughout a statement tree,
+// replacing each expression for which repl returns non-nil. Children of
+// replaced expressions are not revisited.
+func Substitute(s Stmt, repl func(Expr) Expr) {
+	var doExpr func(e Expr) Expr
+	doExpr = func(e Expr) Expr {
+		if e == nil {
+			return nil
+		}
+		if r := repl(e); r != nil {
+			return r
+		}
+		switch x := e.(type) {
+		case *BinaryExpr:
+			x.X = doExpr(x.X)
+			x.Y = doExpr(x.Y)
+		case *UnaryExpr:
+			x.X = doExpr(x.X)
+		case *CallExpr:
+			for i := range x.Args {
+				x.Args[i] = doExpr(x.Args[i])
+			}
+		case *IndexExpr:
+			x.X = doExpr(x.X)
+			x.Index = doExpr(x.Index)
+		case *MemberExpr:
+			x.X = doExpr(x.X)
+		case *ParenExpr:
+			x.X = doExpr(x.X)
+		case *CondExpr:
+			x.Cond = doExpr(x.Cond)
+			x.Then = doExpr(x.Then)
+			x.Else = doExpr(x.Else)
+		}
+		return e
+	}
+	var doStmt func(st Stmt)
+	doStmt = func(st Stmt) {
+		switch x := st.(type) {
+		case nil:
+		case *DeclStmt:
+			x.Decl.Init = doExpr(x.Decl.Init)
+		case *ExprStmt:
+			x.X = doExpr(x.X)
+		case *AssignStmt:
+			x.LHS = doExpr(x.LHS)
+			x.RHS = doExpr(x.RHS)
+		case *IncDecStmt:
+			x.X = doExpr(x.X)
+		case *Block:
+			for _, s2 := range x.Stmts {
+				doStmt(s2)
+			}
+		case *ForStmt:
+			doStmt(x.Init)
+			x.Cond = doExpr(x.Cond)
+			doStmt(x.Post)
+			doStmt(x.Body)
+		case *WhileStmt:
+			x.Cond = doExpr(x.Cond)
+			doStmt(x.Body)
+		case *IfStmt:
+			x.Cond = doExpr(x.Cond)
+			doStmt(x.Then)
+			doStmt(x.Else)
+		case *ReturnStmt:
+			x.X = doExpr(x.X)
+		}
+	}
+	doStmt(s)
+}

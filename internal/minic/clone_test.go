@@ -1,0 +1,190 @@
+package minic
+
+import (
+	"testing"
+)
+
+const cloneSrc = `
+struct pt {
+    float x;
+    float y;
+};
+struct pt pts[16];
+float a[64];
+float b[64];
+int tag;
+int n = 64;
+
+float helper(float v, float *arr) {
+    if (v > 0.0) {
+        return sqrt(v) + arr[0];
+    }
+    return -v;
+}
+
+int main(void) {
+    int i;
+    #pragma offload_transfer target(mic:0) in(a[0 : 32] : into(b) alloc_if(1) free_if(0)) signal(&tag)
+    #pragma offload target(mic:0) in(a : length(n)) out(b : length(n)) wait(&tag) persist(1)
+    #pragma omp parallel for reduction(+:n)
+    for (i = 0; i < n; i++) {
+        b[i] = helper(a[i], a) * 2.0 + pts[i % 16].x;
+        while (b[i] > 100.0) {
+            b[i] = b[i] / 2.0;
+        }
+        if (b[i] < 0.0) {
+            b[i] = 0.0;
+        } else if (b[i] > 50.0) {
+            continue;
+        } else {
+            break;
+        }
+    }
+    return 0;
+}
+`
+
+func TestCloneFilePrintsIdentically(t *testing.T) {
+	f := MustParse(cloneSrc)
+	clone := CloneFile(f)
+	if got, want := Print(clone), Print(f); got != want {
+		t.Fatalf("clone prints differently:\n--- original ---\n%s\n--- clone ---\n%s", want, got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := MustParse(cloneSrc)
+	before := Print(f)
+	clone := CloneFile(f)
+	// Mutate the clone aggressively: rename every identifier.
+	for _, fd := range clone.Funcs() {
+		if fd.Body == nil {
+			continue
+		}
+		Substitute(fd.Body, func(e Expr) Expr {
+			if id, ok := e.(*Ident); ok {
+				return NewIdent(id.Pos(), id.Name+"_x")
+			}
+			return nil
+		})
+	}
+	if Print(f) != before {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if Print(clone) == before {
+		t.Fatal("mutation had no effect on the clone")
+	}
+}
+
+func TestClonePragmaIndependent(t *testing.T) {
+	f := MustParse(cloneSrc)
+	var loop *ForStmt
+	Inspect(f, func(n Node) bool {
+		if fs, ok := n.(*ForStmt); ok {
+			loop = fs
+		}
+		return true
+	})
+	orig := loop.Pragmas[0]
+	c := ClonePragma(orig)
+	if c.String() != orig.String() {
+		t.Fatalf("pragma clone differs: %s vs %s", c.String(), orig.String())
+	}
+	c.In[0].Name = "other"
+	c.Persist = !c.Persist
+	if orig.In[0].Name == "other" {
+		t.Fatal("pragma clone shares item storage")
+	}
+}
+
+func TestSubstituteDoesNotRevisitReplacement(t *testing.T) {
+	// Replacing a[i] with perm[i] must not then rewrite perm's index if the
+	// replacement also matches the predicate (children of replacements are
+	// skipped by contract).
+	f := MustParse(`
+float a[8];
+float perm[8];
+void f(int i) {
+    a[i] = a[i] + 1.0;
+}
+`)
+	body := f.Func("f").Body
+	count := 0
+	Substitute(body, func(e Expr) Expr {
+		if ie, ok := e.(*IndexExpr); ok {
+			if id, ok := ie.X.(*Ident); ok && id.Name == "a" {
+				count++
+				return &IndexExpr{X: NewIdent(Pos{}, "a"), Index: ie.Index}
+			}
+		}
+		return nil
+	})
+	// LHS + one RHS occurrence; the replacements themselves (also a[...])
+	// must not recurse infinitely or double-count.
+	if count != 2 {
+		t.Fatalf("substitution visited %d sites, want 2", count)
+	}
+}
+
+func TestSubstituteCoversAllStatementKinds(t *testing.T) {
+	f := MustParse(cloneSrc)
+	renamed := 0
+	for _, fd := range f.Funcs() {
+		Substitute(fd.Body, func(e Expr) Expr {
+			if id, ok := e.(*Ident); ok && id.Name == "b" {
+				renamed++
+				return NewIdent(id.Pos(), "bb")
+			}
+			return nil
+		})
+	}
+	if renamed == 0 {
+		t.Fatal("no identifiers substituted")
+	}
+	out := Print(f)
+	// Every expression occurrence of plain `b` must be gone.
+	reparsed := MustParse(out)
+	Inspect(reparsed, func(n Node) bool {
+		if id, ok := n.(*Ident); ok && id.Name == "b" {
+			t.Fatalf("residual identifier b in:\n%s", out)
+		}
+		return true
+	})
+}
+
+func TestCloneStmtNilSafety(t *testing.T) {
+	if CloneStmt(nil) != nil {
+		t.Fatal("CloneStmt(nil) != nil")
+	}
+	if CloneExpr(nil) != nil {
+		t.Fatal("CloneExpr(nil) != nil")
+	}
+	if CloneBlock(nil) != nil {
+		t.Fatal("CloneBlock(nil) != nil")
+	}
+}
+
+func TestFuncTypeStringAndEqual(t *testing.T) {
+	f1 := &FuncType{Params: []Type{FloatType, IntType}, Ret: DoubleType}
+	f2 := &FuncType{Params: []Type{FloatType, IntType}, Ret: DoubleType}
+	f3 := &FuncType{Params: []Type{FloatType}, Ret: DoubleType}
+	if !f1.Equal(f2) || f1.Equal(f3) || f1.Equal(IntType) {
+		t.Fatal("FuncType equality broken")
+	}
+	if f1.String() != "double (*)(float, int)" {
+		t.Fatalf("FuncType string = %q", f1.String())
+	}
+	if f1.Size() != 8 {
+		t.Fatalf("FuncType size = %d", f1.Size())
+	}
+}
+
+func TestArrayUnsizedString(t *testing.T) {
+	a := &Array{Elem: FloatType}
+	if a.Size() != 8 {
+		t.Fatalf("unsized array Size = %d, want pointer size", a.Size())
+	}
+	if a.String() != "float []" {
+		t.Fatalf("unsized array String = %q", a.String())
+	}
+}

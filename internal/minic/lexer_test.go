@@ -1,0 +1,198 @@
+package minic
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex("int x = 42;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "int"}, {TokIdent, "x"}, {TokPunct, "="},
+		{TokIntLit, "42"}, {TokPunct, ";"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v, want %s %q", i, toks[i], w.kind, w.text)
+		}
+	}
+}
+
+func TestLexFloats(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokenKind
+		text string
+	}{
+		{"3.14", TokFloatLit, "3.14"},
+		{"1e10", TokFloatLit, "1e10"},
+		{"2.5e-3", TokFloatLit, "2.5e-3"},
+		{"1.0f", TokFloatLit, "1.0"},
+		{"7", TokIntLit, "7"},
+		{"100L", TokIntLit, "100"},
+		{".5", TokFloatLit, ".5"},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if toks[0].Kind != c.kind || toks[0].Text != c.text {
+			t.Errorf("%q lexed to %v, want %s %q", c.src, toks[0], c.kind, c.text)
+		}
+	}
+}
+
+func TestLexMalformedExponent(t *testing.T) {
+	if _, err := Lex("1e+"); err == nil {
+		t.Fatal("malformed exponent accepted")
+	}
+}
+
+func TestLexMultiCharOperators(t *testing.T) {
+	src := "== != <= >= && || += -= *= /= ++ -- -> << >>"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{"==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "++", "--", "->", "<<", ">>"}
+	for i, w := range wants {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+int a; // line comment
+/* block
+   comment */ int b;`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idents []string
+	for _, tk := range toks {
+		if tk.Kind == TokIdent {
+			idents = append(idents, tk.Text)
+		}
+	}
+	if len(idents) != 2 || idents[0] != "a" || idents[1] != "b" {
+		t.Fatalf("idents = %v, want [a b]", idents)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := Lex("/* never closed"); err == nil {
+		t.Fatal("unterminated comment accepted")
+	}
+}
+
+func TestLexPragmaLine(t *testing.T) {
+	src := "#pragma offload target(mic:0) in(x : length(n))\nint y;"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokPragma {
+		t.Fatalf("first token = %v, want pragma", toks[0])
+	}
+	if toks[0].Text != "#pragma offload target(mic:0) in(x : length(n))" {
+		t.Fatalf("pragma text = %q", toks[0].Text)
+	}
+	if toks[1].Kind != TokKeyword || toks[1].Text != "int" {
+		t.Fatalf("token after pragma = %v", toks[1])
+	}
+}
+
+func TestLexIncludeSkipped(t *testing.T) {
+	toks, err := Lex("#include <stdio.h>\nint x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "int" {
+		t.Fatalf("include not skipped: %v", toks[0])
+	}
+}
+
+func TestLexIndentedPragma(t *testing.T) {
+	toks, err := Lex("    #pragma omp parallel for\nfor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokPragma {
+		t.Fatalf("indented pragma not recognized: %v", toks[0])
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`"hello\nworld"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokStringLit || toks[0].Text != "hello\nworld" {
+		t.Fatalf("string token = %v", toks[0])
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("int x @ y;"); err == nil {
+		t.Fatal("unexpected character accepted")
+	}
+}
+
+func TestLexCilkShared(t *testing.T) {
+	toks, err := Lex("_Cilk_shared int v;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "_Cilk_shared" {
+		t.Fatalf("_Cilk_shared token = %v", toks[0])
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := TokEOF; k <= TokKeyword; k++ {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("kind %d has bad or duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+	_ = kinds(nil)
+}

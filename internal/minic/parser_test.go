@@ -1,0 +1,382 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// blackscholesSrc mirrors the structure of Figure 5(a): an offloaded OpenMP
+// loop with in/out clauses.
+const blackscholesSrc = `
+float BlkSchlsEqEuroNoDiv(float spt, float strike, float rate, float volatility, float time, int otype) {
+    float d1 = (log(spt / strike) + (rate + volatility * volatility / 2.0) * time) / (volatility * sqrt(time));
+    float d2 = d1 - volatility * sqrt(time);
+    if (otype == 0) {
+        return spt * d1 - strike * exp(-rate * time) * d2;
+    }
+    return strike * exp(-rate * time) * d2 - spt * d1;
+}
+
+int numOptions;
+float sptprice[1000000];
+float strike[1000000];
+float rate[1000000];
+float volatility[1000000];
+float otime[1000000];
+float prices[1000000];
+
+void bs_thread(void) {
+    int i;
+    #pragma offload target(mic:0) in(sptprice, strike, rate, volatility, otime : length(numOptions)) out(prices : length(numOptions))
+    #pragma omp parallel for
+    for (i = 0; i < numOptions; i++) {
+        prices[i] = BlkSchlsEqEuroNoDiv(sptprice[i], strike[i], rate[i], volatility[i], otime[i], 0);
+    }
+}
+`
+
+func TestParseBlackscholes(t *testing.T) {
+	f, err := Parse(blackscholesSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Funcs()); got != 2 {
+		t.Fatalf("functions = %d, want 2", got)
+	}
+	bs := f.Func("bs_thread")
+	if bs == nil {
+		t.Fatal("bs_thread not found")
+	}
+	var loop *ForStmt
+	Inspect(bs.Body, func(n Node) bool {
+		if fs, ok := n.(*ForStmt); ok && loop == nil {
+			loop = fs
+		}
+		return true
+	})
+	if loop == nil {
+		t.Fatal("offloaded loop not found")
+	}
+	if len(loop.Pragmas) != 2 {
+		t.Fatalf("pragmas = %d, want 2", len(loop.Pragmas))
+	}
+	off := loop.Pragmas[0]
+	if off.Kind != PragmaOffload {
+		t.Fatalf("first pragma = %v, want offload", off.Kind)
+	}
+	if off.Target != "mic:0" {
+		t.Errorf("target = %q, want mic:0", off.Target)
+	}
+	if len(off.In) != 5 {
+		t.Errorf("in items = %d, want 5", len(off.In))
+	}
+	if len(off.Out) != 1 || off.Out[0].Name != "prices" {
+		t.Errorf("out items = %+v, want [prices]", off.Out)
+	}
+	if off.In[0].Length == nil || ExprString(off.In[0].Length) != "numOptions" {
+		t.Errorf("in length = %v, want numOptions", off.In[0].Length)
+	}
+	if loop.Pragmas[1].Kind != PragmaOmpParallelFor {
+		t.Errorf("second pragma = %v, want omp parallel for", loop.Pragmas[1].Kind)
+	}
+}
+
+func TestParseStruct(t *testing.T) {
+	src := `
+struct point {
+    float x;
+    float y;
+    int id;
+};
+struct point pts[100];
+float dist(struct point *p) {
+    return sqrt(p->x * p->x + p->y * p->y);
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Struct("point")
+	if st == nil {
+		t.Fatal("struct point not found")
+	}
+	if len(st.Fields) != 3 {
+		t.Fatalf("fields = %d, want 3", len(st.Fields))
+	}
+	if st.Size() != 12 {
+		t.Errorf("size = %d, want 12", st.Size())
+	}
+	if st.Offset("y") != 4 || st.Offset("id") != 8 {
+		t.Errorf("offsets y=%d id=%d, want 4,8", st.Offset("y"), st.Offset("id"))
+	}
+}
+
+func TestParsePointerAndArrayDecls(t *testing.T) {
+	src := `
+float *p;
+double **q;
+int grid[64];
+int m[10];
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls := map[string]Type{}
+	for _, d := range f.Decls {
+		vd := d.(*VarDecl)
+		decls[vd.Name] = vd.Type
+	}
+	if _, ok := decls["p"].(*Pointer); !ok {
+		t.Errorf("p type = %T, want *Pointer", decls["p"])
+	}
+	if pp, ok := decls["q"].(*Pointer); !ok {
+		t.Errorf("q type = %T", decls["q"])
+	} else if _, ok := pp.Elem.(*Pointer); !ok {
+		t.Errorf("q elem = %T, want *Pointer", pp.Elem)
+	}
+	arr, ok := decls["grid"].(*Array)
+	if !ok {
+		t.Fatalf("grid type = %T, want *Array", decls["grid"])
+	}
+	if lit, ok := arr.Len.(*IntLit); !ok || lit.Value != 64 {
+		t.Errorf("grid len = %v", arr.Len)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+int f(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        if (i % 2 == 0) {
+            s += i;
+        } else if (i % 3 == 0) {
+            s -= i;
+        } else {
+            continue;
+        }
+        if (s > 100) break;
+    }
+    while (s > 0) {
+        s = s - 7;
+    }
+    return s;
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fors, whiles, ifs, breaks, conts int
+	Inspect(f, func(n Node) bool {
+		switch n.(type) {
+		case *ForStmt:
+			fors++
+		case *WhileStmt:
+			whiles++
+		case *IfStmt:
+			ifs++
+		case *BreakStmt:
+			breaks++
+		case *ContinueStmt:
+			conts++
+		}
+		return true
+	})
+	if fors != 1 || whiles != 1 || ifs != 3 || breaks != 1 || conts != 1 {
+		t.Fatalf("fors=%d whiles=%d ifs=%d breaks=%d conts=%d", fors, whiles, ifs, breaks, conts)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse("int x = 1 + 2 * 3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := f.Decls[0].(*VarDecl).Init
+	be, ok := init.(*BinaryExpr)
+	if !ok || be.Op != "+" {
+		t.Fatalf("top op = %v", init)
+	}
+	inner, ok := be.Y.(*BinaryExpr)
+	if !ok || inner.Op != "*" {
+		t.Fatalf("rhs = %v, want 2*3", ExprString(be.Y))
+	}
+}
+
+func TestParseUnaryAndMembers(t *testing.T) {
+	src := `
+struct node {
+    int val;
+    struct node *next;
+};
+int get(struct node *n) {
+    return -n->next->val + (*n).val;
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCastIgnored(t *testing.T) {
+	src := `
+void f(void) {
+    float *p = (float *) malloc(100 * sizeof(float));
+    free(p);
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSingleStmtBodies(t *testing.T) {
+	src := `
+int f(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) s += i;
+    if (s > 0) return s;
+    return 0;
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *ForStmt
+	Inspect(f, func(n Node) bool {
+		if fs, ok := n.(*ForStmt); ok {
+			loop = fs
+		}
+		return true
+	})
+	if loop == nil || len(loop.Body.Stmts) != 1 {
+		t.Fatal("single-statement for body not wrapped in block")
+	}
+}
+
+func TestParseForWithDeclInit(t *testing.T) {
+	src := `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += i;
+    }
+    return s;
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int ;",                            // missing name
+		"int f( {",                         // bad params
+		"int f(void) { return 1 }",         // missing semicolon
+		"int f(void) { for i; ; ) }",       // bad for
+		"#pragma omp parallel for\nint x;", // pragma not before for (at top level)
+		"int f(void) { x = ; }",            // missing rhs
+		"int f(void) { (1+2 ; }",           // unbalanced paren
+		"struct s { int x; } ",             // missing semicolon after struct
+		"int f(void) {",                    // unterminated block
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParsePragmaStandaloneTransfer(t *testing.T) {
+	src := `
+float data[100];
+int tag;
+void f(void) {
+    #pragma offload_transfer target(mic:0) in(data : length(100)) signal(&tag)
+    #pragma offload_wait target(mic:0) wait(&tag)
+    return;
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Func("f")
+	ps, ok := fn.Body.Stmts[0].(*PragmaStmt)
+	if !ok {
+		t.Fatalf("first stmt = %T, want PragmaStmt", fn.Body.Stmts[0])
+	}
+	if ps.P.Kind != PragmaOffloadTransfer || ps.P.Signal != "tag" {
+		t.Fatalf("pragma = %+v", ps.P)
+	}
+	ws := fn.Body.Stmts[1].(*PragmaStmt)
+	if ws.P.Kind != PragmaOffloadWait || ws.P.Wait != "tag" {
+		t.Fatalf("wait pragma = %+v", ws.P)
+	}
+}
+
+func TestParseCilkSharedDecls(t *testing.T) {
+	src := `
+_Cilk_shared int count;
+_Cilk_shared void foo(void) {
+    count = count + 1;
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := f.Decls[0].(*VarDecl)
+	if !vd.Shared {
+		t.Error("variable not marked shared")
+	}
+	fd := f.Func("foo")
+	if !fd.Shared {
+		t.Error("function not marked shared")
+	}
+}
+
+func TestMustParsePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("int f( {")
+}
+
+func TestParsePragmaErrors(t *testing.T) {
+	cases := []string{
+		"#pragma vectorize",                    // unknown pragma
+		"#pragma offload target(mic in(x)",     // unbalanced
+		"#pragma offload badclause(x)",         // unknown clause
+		"#pragma offload in(x : size(10))",     // not length
+		"#pragma offload in( : length(10))",    // empty
+		"#pragma offload in(x y : length(10))", // missing comma
+	}
+	for _, src := range cases {
+		if _, err := ParsePragma(src, Pos{Line: 1, Col: 1}); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestPragmaString(t *testing.T) {
+	p, err := ParsePragma("#pragma offload target(mic:0) in(a, b : length(n * 2)) out(c : length(n)) signal(&tag)", Pos{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"offload", "target(mic:0)", "in(a : length(n * 2), b : length(n * 2))", "out(c : length(n))", "signal(&tag)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("pragma string %q missing %q", s, want)
+		}
+	}
+}

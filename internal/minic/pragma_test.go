@@ -1,0 +1,133 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPragma(t *testing.T, raw string) *Pragma {
+	t.Helper()
+	p, err := ParsePragma(raw, Pos{Line: 1, Col: 1})
+	if err != nil {
+		t.Fatalf("%s: %v", raw, err)
+	}
+	return p
+}
+
+func TestPragmaSections(t *testing.T) {
+	p := mustPragma(t, "#pragma offload_transfer target(mic:0) in(sptprice[off + bs : bs] : into(sptprice2) alloc_if(0) free_if(0)) signal(&sig1)")
+	if len(p.In) != 1 {
+		t.Fatalf("in items = %d, want 1", len(p.In))
+	}
+	it := p.In[0]
+	if it.Name != "sptprice" || it.Into != "sptprice2" || it.Dest() != "sptprice2" {
+		t.Fatalf("item = %+v", it)
+	}
+	if ExprString(it.Start) != "off + bs" || ExprString(it.Length) != "bs" {
+		t.Fatalf("section = [%s : %s]", ExprString(it.Start), ExprString(it.Length))
+	}
+	if ExprString(it.AllocIf) != "0" || ExprString(it.FreeIf) != "0" {
+		t.Fatalf("alloc_if/free_if = %v/%v", it.AllocIf, it.FreeIf)
+	}
+	if p.Signal != "sig1" {
+		t.Fatalf("signal = %q", p.Signal)
+	}
+}
+
+func TestPragmaNoCopy(t *testing.T) {
+	p := mustPragma(t, "#pragma offload_transfer target(mic:0) nocopy(buf : length(2 * bs) alloc_if(1) free_if(0))")
+	if len(p.NoCopy) != 1 {
+		t.Fatalf("nocopy items = %d", len(p.NoCopy))
+	}
+	it := p.NoCopy[0]
+	if it.Name != "buf" || ExprString(it.Length) != "2 * bs" {
+		t.Fatalf("item = %+v", it)
+	}
+}
+
+func TestPragmaDestDefaultsToName(t *testing.T) {
+	p := mustPragma(t, "#pragma offload target(mic:0) in(a : length(n))")
+	if p.In[0].Dest() != "a" {
+		t.Fatalf("Dest = %q, want a", p.In[0].Dest())
+	}
+}
+
+func TestPragmaReduction(t *testing.T) {
+	p := mustPragma(t, "#pragma omp parallel for reduction(+:sum, count)")
+	if len(p.Reductions) != 2 || p.Reductions[0] != "sum" || p.Reductions[1] != "count" {
+		t.Fatalf("reductions = %v", p.Reductions)
+	}
+}
+
+func TestPragmaListFormSharedModifier(t *testing.T) {
+	p := mustPragma(t, "#pragma offload target(mic:0) in(a, b, c : length(n) alloc_if(0))")
+	if len(p.In) != 3 {
+		t.Fatalf("in items = %d, want 3", len(p.In))
+	}
+	for _, it := range p.In {
+		if it.Length == nil || ExprString(it.Length) != "n" {
+			t.Fatalf("item %s missing shared length", it.Name)
+		}
+		if it.AllocIf == nil {
+			t.Fatalf("item %s missing shared alloc_if", it.Name)
+		}
+	}
+}
+
+func TestPragmaMixedModifierRuns(t *testing.T) {
+	p := mustPragma(t, "#pragma offload target(mic:0) in(a : length(n), b, c : length(m))")
+	if ExprString(p.In[0].Length) != "n" {
+		t.Fatalf("a length = %s", ExprString(p.In[0].Length))
+	}
+	if ExprString(p.In[1].Length) != "m" || ExprString(p.In[2].Length) != "m" {
+		t.Fatalf("b/c lengths = %v/%v", p.In[1].Length, p.In[2].Length)
+	}
+}
+
+func TestPragmaRoundTripRich(t *testing.T) {
+	raws := []string{
+		"#pragma offload_transfer target(mic:0) in(x[0 : bs] : into(x1) alloc_if(0) free_if(0)) signal(&s0)",
+		"#pragma offload target(mic:0) nocopy(x1 : length(bs) alloc_if(1) free_if(0)) wait(&s0)",
+		"#pragma omp parallel for reduction(+:sum)",
+		"#pragma offload_wait target(mic:0) wait(&s1)",
+	}
+	for _, raw := range raws {
+		p1 := mustPragma(t, raw)
+		s1 := p1.String()
+		p2 := mustPragma(t, s1)
+		s2 := p2.String()
+		if s1 != s2 {
+			t.Errorf("round trip changed pragma:\n in: %s\nout: %s", s1, s2)
+		}
+	}
+}
+
+func TestPragmaKindStrings(t *testing.T) {
+	for k := PragmaOmpParallelFor; k <= PragmaOffloadWait; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no string", k)
+		}
+	}
+}
+
+func TestPragmaUnknownModifier(t *testing.T) {
+	if _, err := ParsePragma("#pragma offload in(x : weird(1))", Pos{}); err == nil {
+		t.Fatal("unknown modifier accepted")
+	}
+	if _, err := ParsePragma("#pragma omp parallel for schedule(static)", Pos{}); err == nil {
+		t.Fatal("unsupported omp clause accepted")
+	}
+}
+
+func TestPragmaAllItemsOrder(t *testing.T) {
+	p := mustPragma(t, "#pragma offload target(mic:0) in(a : length(1)) inout(b : length(1)) out(c : length(1)) nocopy(d : length(1))")
+	items := p.AllItems()
+	got := make([]string, len(items))
+	for i, it := range items {
+		got[i] = it.Name
+	}
+	want := "a b c d"
+	if strings.Join(got, " ") != want {
+		t.Fatalf("AllItems order = %v, want %s", got, want)
+	}
+}

@@ -1,0 +1,324 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a file back to MiniC source. The output of Print on a
+// parsed file re-parses to an equivalent AST (tested by a round-trip
+// property test), which is what makes the transformation passes genuinely
+// source-to-source.
+func Print(f *File) string {
+	var pr printer
+	for i, d := range f.Decls {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.decl(d)
+	}
+	return pr.b.String()
+}
+
+// ExprString renders a single expression.
+func ExprString(e Expr) string {
+	var pr printer
+	pr.expr(e)
+	return pr.b.String()
+}
+
+// StmtString renders a single statement at zero indentation.
+func StmtString(s Stmt) string {
+	var pr printer
+	pr.stmt(s)
+	return pr.b.String()
+}
+
+// TypeString renders a declaration of name with the given type, e.g.
+// "float *prices" or "double J[n]".
+func TypeString(t Type, name string) string {
+	switch tt := t.(type) {
+	case *Array:
+		if tt.Len != nil {
+			return fmt.Sprintf("%s[%s]", TypeString(tt.Elem, name), ExprString(tt.Len))
+		}
+		return fmt.Sprintf("%s[]", TypeString(tt.Elem, name))
+	case *Pointer:
+		return fmt.Sprintf("%s *%s", tt.Elem.String(), name)
+	default:
+		return fmt.Sprintf("%s %s", t.String(), name)
+	}
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) line(format string, args ...interface{}) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.nl()
+}
+
+func (p *printer) decl(d Decl) {
+	switch x := d.(type) {
+	case *StructDecl:
+		p.line("struct %s {", x.Type.Name)
+		p.indent++
+		for _, f := range x.Type.Fields {
+			p.line("%s;", TypeString(f.Type, f.Name))
+		}
+		p.indent--
+		p.line("};")
+	case *VarDecl:
+		p.line("%s;", p.varDeclString(x))
+	case *FuncDecl:
+		var sig strings.Builder
+		if x.Shared {
+			sig.WriteString("_Cilk_shared ")
+		}
+		sig.WriteString(x.Ret.String())
+		sig.WriteString(" ")
+		sig.WriteString(x.Name)
+		sig.WriteString("(")
+		for i, pa := range x.Params {
+			if i > 0 {
+				sig.WriteString(", ")
+			}
+			sig.WriteString(TypeString(pa.Type, pa.Name))
+		}
+		sig.WriteString(")")
+		if x.Body == nil {
+			p.line("%s;", sig.String())
+			return
+		}
+		p.line("%s {", sig.String())
+		p.indent++
+		for _, s := range x.Body.Stmts {
+			p.stmt(s)
+		}
+		p.indent--
+		p.line("}")
+	}
+}
+
+func (p *printer) varDeclString(v *VarDecl) string {
+	var b strings.Builder
+	if v.Shared {
+		b.WriteString("_Cilk_shared ")
+	}
+	b.WriteString(TypeString(v.Type, v.Name))
+	if v.Init != nil {
+		b.WriteString(" = ")
+		b.WriteString(ExprString(v.Init))
+	}
+	return b.String()
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *DeclStmt:
+		p.line("%s;", p.varDeclString(x.Decl))
+	case *ExprStmt:
+		p.line("%s;", ExprString(x.X))
+	case *AssignStmt:
+		p.line("%s %s %s;", ExprString(x.LHS), x.Op, ExprString(x.RHS))
+	case *IncDecStmt:
+		p.line("%s%s;", ExprString(x.X), x.Op)
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, st := range x.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *ForStmt:
+		for _, pr := range x.Pragmas {
+			p.line("%s", pr.String())
+		}
+		var init, post string
+		if x.Init != nil {
+			init = p.inlineSimple(x.Init)
+		}
+		if x.Post != nil {
+			post = p.inlineSimple(x.Post)
+		}
+		cond := ""
+		if x.Cond != nil {
+			cond = ExprString(x.Cond)
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		for _, st := range x.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (%s) {", ExprString(x.Cond))
+		p.indent++
+		for _, st := range x.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *IfStmt:
+		p.ifStmt(x, "if")
+	case *ReturnStmt:
+		if x.X == nil {
+			p.line("return;")
+		} else {
+			p.line("return %s;", ExprString(x.X))
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *PragmaStmt:
+		p.line("%s", x.P.String())
+	default:
+		p.line("/* unknown statement %T */", s)
+	}
+}
+
+func (p *printer) ifStmt(x *IfStmt, kw string) {
+	p.line("%s (%s) {", kw, ExprString(x.Cond))
+	p.indent++
+	for _, st := range x.Then.Stmts {
+		p.stmt(st)
+	}
+	p.indent--
+	switch e := x.Else.(type) {
+	case nil:
+		p.line("}")
+	case *IfStmt:
+		p.b.WriteString(strings.Repeat("    ", p.indent))
+		p.b.WriteString("} else ")
+		// Re-render the chained if without leading indentation.
+		sub := printer{indent: p.indent}
+		sub.ifStmt(e, "if")
+		out := sub.b.String()
+		p.b.WriteString(strings.TrimLeft(out, " "))
+	case *Block:
+		p.line("} else {")
+		p.indent++
+		for _, st := range e.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	default:
+		p.line("} else {")
+		p.indent++
+		p.stmt(e)
+		p.indent--
+		p.line("}")
+	}
+}
+
+// inlineSimple renders Init/Post statements without newline or semicolon.
+func (p *printer) inlineSimple(s Stmt) string {
+	switch x := s.(type) {
+	case *DeclStmt:
+		return p.varDeclString(x.Decl)
+	case *AssignStmt:
+		return fmt.Sprintf("%s %s %s", ExprString(x.LHS), x.Op, ExprString(x.RHS))
+	case *IncDecStmt:
+		return ExprString(x.X) + x.Op
+	case *ExprStmt:
+		return ExprString(x.X)
+	}
+	return "/* ? */"
+}
+
+func (p *printer) expr(e Expr) {
+	switch x := e.(type) {
+	case *Ident:
+		p.b.WriteString(x.Name)
+	case *IntLit:
+		p.b.WriteString(strconv.FormatInt(x.Value, 10))
+	case *FloatLit:
+		if x.Text != "" {
+			p.b.WriteString(x.Text)
+		} else {
+			p.b.WriteString(strconv.FormatFloat(x.Value, 'g', -1, 64))
+		}
+	case *StringLit:
+		p.b.WriteString(strconv.Quote(x.Value))
+	case *BinaryExpr:
+		p.exprPrec(x.X, precOf(x))
+		p.b.WriteString(" " + x.Op + " ")
+		p.exprPrec(x.Y, precOf(x)+1)
+	case *UnaryExpr:
+		p.b.WriteString(x.Op)
+		p.exprPrec(x.X, 100)
+	case *CallExpr:
+		p.b.WriteString(x.Fun.Name)
+		p.b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(a)
+		}
+		p.b.WriteString(")")
+	case *IndexExpr:
+		p.exprPrec(x.X, 100)
+		p.b.WriteString("[")
+		p.expr(x.Index)
+		p.b.WriteString("]")
+	case *MemberExpr:
+		p.exprPrec(x.X, 100)
+		if x.Arrow {
+			p.b.WriteString("->")
+		} else {
+			p.b.WriteString(".")
+		}
+		p.b.WriteString(x.Field)
+	case *ParenExpr:
+		p.b.WriteString("(")
+		p.expr(x.X)
+		p.b.WriteString(")")
+	case *CondExpr:
+		// Lowest precedence: exprPrec parenthesizes when embedded.
+		p.exprPrec(x.Cond, 1)
+		p.b.WriteString(" ? ")
+		p.expr(x.Then)
+		p.b.WriteString(" : ")
+		p.expr(x.Else)
+	case *SizeofExpr:
+		p.b.WriteString("sizeof(")
+		p.b.WriteString(x.Of.String())
+		p.b.WriteString(")")
+	default:
+		fmt.Fprintf(&p.b, "/* %T */", e)
+	}
+}
+
+func precOf(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		return binPrec[x.Op]
+	case *CondExpr:
+		return 0
+	}
+	return 100
+}
+
+// exprPrec prints e, parenthesizing when its precedence is below min.
+func (p *printer) exprPrec(e Expr, min int) {
+	if precOf(e) < min {
+		p.b.WriteString("(")
+		p.expr(e)
+		p.b.WriteString(")")
+		return
+	}
+	p.expr(e)
+}

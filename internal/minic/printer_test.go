@@ -1,0 +1,208 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrintRoundTrip is the core printer property: printing a parsed file
+// and re-parsing it yields a file that prints identically (the printed form
+// is a fixed point).
+func TestPrintRoundTrip(t *testing.T) {
+	sources := []string{
+		blackscholesSrc,
+		`
+struct cell {
+    double temp;
+    double power;
+};
+struct cell grid[4096];
+double delta;
+void step(int n) {
+    int i;
+    #pragma omp parallel for
+    for (i = 1; i < n - 1; i++) {
+        grid[i].temp = grid[i].temp + delta * (grid[i - 1].temp + grid[i + 1].temp - 2.0 * grid[i].temp) + grid[i].power;
+    }
+}
+`,
+		`
+int a[100];
+int b[100];
+int c[100];
+int n;
+void gather(void) {
+    int i;
+    #pragma offload target(mic:0) in(a, b : length(n)) out(c : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = a[b[i]];
+    }
+}
+`,
+		`
+int f(int x) {
+    if (x > 10) {
+        return 1;
+    } else if (x > 5) {
+        return 2;
+    } else {
+        return 3;
+    }
+}
+`,
+		`
+float data[10];
+int tag;
+void g(void) {
+    #pragma offload_transfer target(mic:0) in(data : length(10)) signal(&tag)
+    while (tag > 0) {
+        tag--;
+    }
+}
+`,
+	}
+	for i, src := range sources {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("source %d: parse: %v", i, err)
+		}
+		p1 := Print(f1)
+		f2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("source %d: reparse of printed output: %v\n%s", i, err, p1)
+		}
+		p2 := Print(f2)
+		if p1 != p2 {
+			t.Fatalf("source %d: print not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", i, p1, p2)
+		}
+	}
+}
+
+func TestPrintPreservesPrecedence(t *testing.T) {
+	cases := []string{
+		"int x = (1 + 2) * 3;",
+		"int y = 1 + 2 * 3;",
+		"int z = -(1 + 2);",
+		"int w = (1 + 2) % 5;",
+		"int v = 10 / (5 - 3);",
+	}
+	for _, src := range cases {
+		f1 := MustParse(src)
+		v1 := evalConstDecl(t, f1)
+		f2 := MustParse(Print(f1))
+		v2 := evalConstDecl(t, f2)
+		if v1 != v2 {
+			t.Errorf("%s: value changed across print: %d vs %d\nprinted: %s", src, v1, v2, Print(f1))
+		}
+	}
+}
+
+// evalConstDecl evaluates the constant integer initializer of the first
+// declaration, for checking that printing preserves semantics.
+func evalConstDecl(t *testing.T, f *File) int64 {
+	t.Helper()
+	vd := f.Decls[0].(*VarDecl)
+	v, ok := evalConst(vd.Init)
+	if !ok {
+		t.Fatalf("not a constant: %s", ExprString(vd.Init))
+	}
+	return v
+}
+
+func evalConst(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Value, true
+	case *ParenExpr:
+		return evalConst(x.X)
+	case *UnaryExpr:
+		v, ok := evalConst(x.X)
+		if !ok {
+			return 0, false
+		}
+		if x.Op == "-" {
+			return -v, true
+		}
+		return 0, false
+	case *BinaryExpr:
+		a, ok1 := evalConst(x.X)
+		b, ok2 := evalConst(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case "+":
+			return a + b, true
+		case "-":
+			return a - b, true
+		case "*":
+			return a * b, true
+		case "/":
+			return a / b, true
+		case "%":
+			return a % b, true
+		}
+	}
+	return 0, false
+}
+
+func TestPrintPragmas(t *testing.T) {
+	f := MustParse(blackscholesSrc)
+	out := Print(f)
+	if !strings.Contains(out, "#pragma offload target(mic:0)") {
+		t.Errorf("printed output missing offload pragma:\n%s", out)
+	}
+	if !strings.Contains(out, "#pragma omp parallel for") {
+		t.Errorf("printed output missing omp pragma")
+	}
+	if !strings.Contains(out, "out(prices : length(numOptions))") {
+		t.Errorf("printed output missing out clause:\n%s", out)
+	}
+}
+
+func TestPrintSharedQualifiers(t *testing.T) {
+	src := `
+_Cilk_shared int v;
+_Cilk_shared void foo(void) {
+    v = v + 1;
+}
+`
+	out := Print(MustParse(src))
+	if !strings.Contains(out, "_Cilk_shared int v;") {
+		t.Errorf("shared variable lost:\n%s", out)
+	}
+	if !strings.Contains(out, "_Cilk_shared void foo()") {
+		t.Errorf("shared function lost:\n%s", out)
+	}
+}
+
+func TestTypeStringDeclarations(t *testing.T) {
+	cases := []struct {
+		t    Type
+		name string
+		want string
+	}{
+		{FloatType, "x", "float x"},
+		{&Pointer{Elem: FloatType}, "p", "float *p"},
+		{&Array{Elem: IntType, Len: &IntLit{Value: 8}}, "a", "int a[8]"},
+		{&Array{Elem: DoubleType}, "b", "double b[]"},
+		{&StructType{Name: "pt"}, "s", "struct pt s"},
+	}
+	for _, c := range cases {
+		if got := TypeString(c.t, c.name); got != c.want {
+			t.Errorf("TypeString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	f := MustParse("void f(void) { int x = 1; x += 2; x++; }")
+	body := f.Func("f").Body
+	wants := []string{"int x = 1;\n", "x += 2;\n", "x++;\n"}
+	for i, w := range wants {
+		if got := StmtString(body.Stmts[i]); got != w {
+			t.Errorf("stmt %d = %q, want %q", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,459 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Builtin describes a built-in function known to the checker and the
+// interpreter. Transcendental weights feed the performance model: a call
+// to exp costs more "flops" than an add.
+type Builtin struct {
+	Name     string
+	Params   int // -1 means variadic
+	Ret      Type
+	FlopCost float64
+}
+
+// Builtins is the table of built-in functions.
+var Builtins = map[string]Builtin{
+	"sqrt":   {Name: "sqrt", Params: 1, Ret: DoubleType, FlopCost: 15},
+	"exp":    {Name: "exp", Params: 1, Ret: DoubleType, FlopCost: 20},
+	"log":    {Name: "log", Params: 1, Ret: DoubleType, FlopCost: 20},
+	"pow":    {Name: "pow", Params: 2, Ret: DoubleType, FlopCost: 30},
+	"fabs":   {Name: "fabs", Params: 1, Ret: DoubleType, FlopCost: 1},
+	"floor":  {Name: "floor", Params: 1, Ret: DoubleType, FlopCost: 2},
+	"ceil":   {Name: "ceil", Params: 1, Ret: DoubleType, FlopCost: 2},
+	"fmin":   {Name: "fmin", Params: 2, Ret: DoubleType, FlopCost: 1},
+	"fmax":   {Name: "fmax", Params: 2, Ret: DoubleType, FlopCost: 1},
+	"printf": {Name: "printf", Params: -1, Ret: IntType, FlopCost: 0},
+	// Allocation intrinsics. malloc-family calls return untyped pointers
+	// that may be assigned to any pointer variable.
+	"malloc":                {Name: "malloc", Params: 1, Ret: &Pointer{Elem: VoidType}, FlopCost: 0},
+	"free":                  {Name: "free", Params: 1, Ret: VoidType, FlopCost: 0},
+	"offload_shared_malloc": {Name: "offload_shared_malloc", Params: 1, Ret: &Pointer{Elem: VoidType}, FlopCost: 0},
+	"offload_shared_free":   {Name: "offload_shared_free", Params: 1, Ret: VoidType, FlopCost: 0},
+}
+
+// CheckResult carries the symbol information produced by Check.
+type CheckResult struct {
+	File    *File
+	Globals map[string]*Symbol
+	Errors  []error
+}
+
+// Err returns the combined error, or nil when checking succeeded.
+func (r *CheckResult) Err() error {
+	if len(r.Errors) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(r.Errors))
+	for i, e := range r.Errors {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("minic: %d errors:\n%s", len(r.Errors), strings.Join(msgs, "\n"))
+}
+
+type checker struct {
+	res    *CheckResult
+	scopes []map[string]*Symbol
+	funcs  map[string]*FuncDecl
+	cur    *FuncDecl
+}
+
+// Check resolves identifiers and types the whole file. It is tolerant:
+// it records every error it finds and keeps going, so a single pass
+// reports all problems in a source file.
+func Check(f *File) *CheckResult {
+	res := &CheckResult{File: f, Globals: map[string]*Symbol{}}
+	c := &checker{res: res, funcs: map[string]*FuncDecl{}}
+	c.push() // global scope
+
+	// Pass 1: declare globals and functions.
+	for _, d := range f.Decls {
+		switch x := d.(type) {
+		case *FuncDecl:
+			c.funcs[x.Name] = x
+			sig := &FuncType{Ret: x.Ret}
+			for _, p := range x.Params {
+				sig.Params = append(sig.Params, p.Type)
+			}
+			sym := &Symbol{Name: x.Name, Kind: SymFunc, Type: sig, Global: true, Shared: x.Shared, Decl: x}
+			c.declare(x.Pos(), sym)
+		case *VarDecl:
+			sym := &Symbol{Name: x.Name, Kind: SymVar, Type: x.Type, Global: true, Shared: x.Shared, Decl: x}
+			x.Sym = sym
+			c.declare(x.Pos(), sym)
+			res.Globals[x.Name] = sym
+		}
+	}
+
+	// Pass 2: check bodies.
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok && fd.Body != nil {
+			c.checkFunc(fd)
+		}
+	}
+	for _, d := range f.Decls {
+		if vd, ok := d.(*VarDecl); ok && vd.Init != nil {
+			c.expr(vd.Init)
+		}
+	}
+	return res
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...interface{}) {
+	c.res.Errors = append(c.res.Errors, errf(pos, format, args...))
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos Pos, s *Symbol) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[s.Name]; dup {
+		c.errorf(pos, "redeclaration of %q", s.Name)
+		return
+	}
+	top[s.Name] = s
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fd *FuncDecl) {
+	c.cur = fd
+	c.push()
+	for i := range fd.Params {
+		p := &fd.Params[i]
+		c.declare(p.Pos, &Symbol{Name: p.Name, Kind: SymParam, Type: p.Type})
+	}
+	c.block(fd.Body)
+	c.pop()
+	c.cur = nil
+}
+
+func (c *checker) block(b *Block) {
+	c.push()
+	for _, s := range b.Stmts {
+		c.stmt(s)
+	}
+	c.pop()
+}
+
+func (c *checker) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *DeclStmt:
+		c.declStmt(x)
+	case *ExprStmt:
+		c.expr(x.X)
+	case *AssignStmt:
+		lt := c.expr(x.LHS)
+		rt := c.expr(x.RHS)
+		if !isLvalue(x.LHS) {
+			c.errorf(x.Pos(), "cannot assign to %s", ExprString(x.LHS))
+		}
+		c.checkAssignable(x.Pos(), lt, rt, x.RHS)
+	case *IncDecStmt:
+		t := c.expr(x.X)
+		if !isLvalue(x.X) {
+			c.errorf(x.Pos(), "cannot modify %s", ExprString(x.X))
+		}
+		if b, ok := t.(*Basic); ok && !b.IsNumeric() {
+			c.errorf(x.Pos(), "%s requires a numeric operand", x.Op)
+		}
+	case *Block:
+		c.block(x)
+	case *ForStmt:
+		c.push()
+		if x.Init != nil {
+			c.stmt(x.Init)
+		}
+		if x.Cond != nil {
+			c.expr(x.Cond)
+		}
+		if x.Post != nil {
+			c.stmt(x.Post)
+		}
+		c.block(x.Body)
+		c.checkPragmas(x)
+		c.pop()
+	case *WhileStmt:
+		c.expr(x.Cond)
+		c.block(x.Body)
+	case *IfStmt:
+		c.expr(x.Cond)
+		c.block(x.Then)
+		if x.Else != nil {
+			c.stmt(x.Else)
+		}
+	case *ReturnStmt:
+		if x.X != nil {
+			c.expr(x.X)
+		} else if c.cur != nil && !c.cur.Ret.Equal(VoidType) {
+			c.errorf(x.Pos(), "missing return value in %s", c.cur.Name)
+		}
+	case *PragmaStmt:
+		c.pragmaItems(x.P)
+	case *BreakStmt, *ContinueStmt:
+	}
+}
+
+func (c *checker) declStmt(x *DeclStmt) {
+	vd := x.Decl
+	if arr, ok := vd.Type.(*Array); ok && arr.Len != nil {
+		c.expr(arr.Len)
+	}
+	if vd.Init != nil {
+		it := c.expr(vd.Init)
+		c.checkAssignable(vd.Pos(), vd.Type, it, vd.Init)
+	}
+	sym := &Symbol{Name: vd.Name, Kind: SymVar, Type: vd.Type, Shared: vd.Shared, Decl: vd}
+	vd.Sym = sym
+	c.declare(vd.Pos(), sym)
+}
+
+// checkPragmas verifies that pragma clause variables resolve in scope.
+func (c *checker) checkPragmas(f *ForStmt) {
+	for _, p := range f.Pragmas {
+		c.pragmaItems(p)
+	}
+}
+
+func (c *checker) pragmaItems(p *Pragma) {
+	for _, it := range p.AllItems() {
+		if c.lookup(it.Name) == nil {
+			c.errorf(p.Pos, "pragma references undefined variable %q", it.Name)
+		}
+		for _, e := range []Expr{it.Start, it.Length, it.AllocIf, it.FreeIf} {
+			if e != nil {
+				c.expr(e)
+			}
+		}
+		// it.Into names a device-side buffer; it need not exist on the host.
+	}
+	for _, r := range p.Reductions {
+		if c.lookup(r) == nil {
+			c.errorf(p.Pos, "reduction references undefined variable %q", r)
+		}
+	}
+}
+
+func (c *checker) checkAssignable(pos Pos, lt, rt Type, rhs Expr) {
+	if lt == nil || rt == nil {
+		return
+	}
+	lb, lok := lt.(*Basic)
+	rb, rok := rt.(*Basic)
+	if lok && rok && lb.IsNumeric() && rb.IsNumeric() {
+		return
+	}
+	if lp, ok := lt.(*Pointer); ok {
+		// void* converts to any pointer (malloc), and NULL-style 0 literals.
+		if rp, ok := rt.(*Pointer); ok {
+			if rp.Elem.Equal(VoidType) || lp.Elem.Equal(VoidType) || lp.Elem.Equal(rp.Elem) {
+				return
+			}
+		}
+		if ra, ok := rt.(*Array); ok && (lp.Elem.Equal(ra.Elem) || lp.Elem.Equal(VoidType)) {
+			return // array decays to pointer
+		}
+		if lit, ok := rhs.(*IntLit); ok && lit.Value == 0 {
+			return
+		}
+	}
+	if lt.Equal(rt) {
+		return
+	}
+	c.errorf(pos, "cannot assign %s to %s", rt, lt)
+}
+
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *IndexExpr, *MemberExpr:
+		return true
+	case *UnaryExpr:
+		return x.Op == "*"
+	case *ParenExpr:
+		return isLvalue(x.X)
+	}
+	return false
+}
+
+// expr types an expression and returns its type (nil on error).
+func (c *checker) expr(e Expr) Type {
+	switch x := e.(type) {
+	case *Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errorf(x.Pos(), "undefined: %s", x.Name)
+			return nil
+		}
+		x.Sym = sym
+		x.SetType(sym.Type)
+		return sym.Type
+	case *IntLit:
+		return x.Type()
+	case *FloatLit:
+		return x.Type()
+	case *StringLit:
+		return x.Type()
+	case *SizeofExpr:
+		return x.Type()
+	case *ParenExpr:
+		t := c.expr(x.X)
+		x.SetType(t)
+		return t
+	case *UnaryExpr:
+		t := c.expr(x.X)
+		if t == nil {
+			return nil
+		}
+		switch x.Op {
+		case "-":
+			x.SetType(t)
+		case "!":
+			x.SetType(IntType)
+		case "*":
+			el := ElemOf(t)
+			if el == nil {
+				c.errorf(x.Pos(), "cannot dereference %s", t)
+				return nil
+			}
+			x.SetType(el)
+		case "&":
+			if !isLvalue(x.X) {
+				c.errorf(x.Pos(), "cannot take address of %s", ExprString(x.X))
+				return nil
+			}
+			x.SetType(&Pointer{Elem: t})
+		}
+		return x.Type()
+	case *BinaryExpr:
+		lt := c.expr(x.X)
+		rt := c.expr(x.Y)
+		if lt == nil || rt == nil {
+			return nil
+		}
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			x.SetType(IntType)
+		case "%", "<<", ">>":
+			x.SetType(IntType)
+			for _, t := range []Type{lt, rt} {
+				if b, ok := t.(*Basic); !ok || !b.IsInteger() {
+					c.errorf(x.Pos(), "operator %s requires integer operands, got %s", x.Op, t)
+				}
+			}
+		default:
+			// Pointer arithmetic: ptr + int.
+			if IsIndexable(lt) {
+				x.SetType(lt)
+				return lt
+			}
+			pt, err := Promote(lt, rt)
+			if err != nil {
+				c.errorf(x.Pos(), "invalid operands to %s: %s and %s", x.Op, lt, rt)
+				return nil
+			}
+			x.SetType(pt)
+		}
+		return x.Type()
+	case *IndexExpr:
+		bt := c.expr(x.X)
+		it := c.expr(x.Index)
+		if bt == nil {
+			return nil
+		}
+		el := ElemOf(bt)
+		if el == nil {
+			c.errorf(x.Pos(), "cannot index %s", bt)
+			return nil
+		}
+		if ib, ok := it.(*Basic); it != nil && (!ok || !ib.IsInteger()) {
+			c.errorf(x.Pos(), "array index must be integer, got %s", it)
+		}
+		x.SetType(el)
+		return el
+	case *MemberExpr:
+		bt := c.expr(x.X)
+		if bt == nil {
+			return nil
+		}
+		var st *StructType
+		if x.Arrow {
+			pt, ok := bt.(*Pointer)
+			if !ok {
+				c.errorf(x.Pos(), "-> requires a pointer, got %s", bt)
+				return nil
+			}
+			st, ok = pt.Elem.(*StructType)
+			if !ok {
+				c.errorf(x.Pos(), "-> requires pointer to struct, got %s", bt)
+				return nil
+			}
+		} else {
+			var ok bool
+			st, ok = bt.(*StructType)
+			if !ok {
+				c.errorf(x.Pos(), ". requires a struct, got %s", bt)
+				return nil
+			}
+		}
+		fl := st.Field(x.Field)
+		if fl == nil {
+			c.errorf(x.Pos(), "struct %s has no field %q", st.Name, x.Field)
+			return nil
+		}
+		x.SetType(fl.Type)
+		return fl.Type
+	case *CondExpr:
+		c.expr(x.Cond)
+		tt := c.expr(x.Then)
+		et := c.expr(x.Else)
+		if tt == nil || et == nil {
+			return nil
+		}
+		pt, err := Promote(tt, et)
+		if err != nil {
+			c.errorf(x.Pos(), "conditional branches have incompatible types %s and %s", tt, et)
+			return nil
+		}
+		x.SetType(pt)
+		return pt
+	case *CallExpr:
+		return c.call(x)
+	}
+	return nil
+}
+
+func (c *checker) call(x *CallExpr) Type {
+	for _, a := range x.Args {
+		c.expr(a)
+	}
+	if b, ok := Builtins[x.Fun.Name]; ok {
+		if b.Params >= 0 && len(x.Args) != b.Params {
+			c.errorf(x.Pos(), "%s expects %d arguments, got %d", b.Name, b.Params, len(x.Args))
+		}
+		x.SetType(b.Ret)
+		return b.Ret
+	}
+	fd, ok := c.funcs[x.Fun.Name]
+	if !ok {
+		c.errorf(x.Pos(), "call to undefined function %q", x.Fun.Name)
+		return nil
+	}
+	if len(x.Args) != len(fd.Params) {
+		c.errorf(x.Pos(), "%s expects %d arguments, got %d", fd.Name, len(fd.Params), len(x.Args))
+	}
+	x.SetType(fd.Ret)
+	return fd.Ret
+}

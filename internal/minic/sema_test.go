@@ -1,0 +1,285 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkOK(t *testing.T, src string) *CheckResult {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res := Check(f)
+	if err := res.Err(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return res
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res := Check(f)
+	err = res.Err()
+	if err == nil {
+		t.Fatalf("no check error, want %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestCheckBlackscholes(t *testing.T) {
+	res := checkOK(t, blackscholesSrc)
+	if res.Globals["numOptions"] == nil || res.Globals["prices"] == nil {
+		t.Fatal("globals not registered")
+	}
+}
+
+func TestCheckUndefinedVariable(t *testing.T) {
+	checkErr(t, "int f(void) { return missing; }", "undefined: missing")
+}
+
+func TestCheckUndefinedFunction(t *testing.T) {
+	checkErr(t, "int f(void) { return g(); }", "undefined function")
+}
+
+func TestCheckRedeclaration(t *testing.T) {
+	checkErr(t, "int f(void) { int x; int x; return x; }", "redeclaration")
+}
+
+func TestCheckShadowingAllowed(t *testing.T) {
+	checkOK(t, `
+int x;
+int f(void) {
+    int x = 1;
+    if (x > 0) {
+        int x = 2;
+        return x;
+    }
+    return x;
+}
+`)
+}
+
+func TestCheckArgCount(t *testing.T) {
+	checkErr(t, `
+int g(int a, int b) { return a + b; }
+int f(void) { return g(1); }
+`, "expects 2 arguments")
+}
+
+func TestCheckBuiltinArgCount(t *testing.T) {
+	checkErr(t, "double f(void) { return sqrt(1.0, 2.0); }", "sqrt expects 1 arguments")
+}
+
+func TestCheckIndexNonArray(t *testing.T) {
+	checkErr(t, "int f(int x) { return x[0]; }", "cannot index")
+}
+
+func TestCheckDerefNonPointer(t *testing.T) {
+	checkErr(t, "int f(int x) { return *x; }", "cannot dereference")
+}
+
+func TestCheckMemberOnNonStruct(t *testing.T) {
+	checkErr(t, "int f(int x) { return x.val; }", "requires a struct")
+}
+
+func TestCheckUnknownField(t *testing.T) {
+	checkErr(t, `
+struct p { int x; };
+int f(struct p *q) { return q->y; }
+`, "no field")
+}
+
+func TestCheckArrowOnValue(t *testing.T) {
+	checkErr(t, `
+struct p { int x; };
+int f(struct p q) { return q->x; }
+`, "-> requires a pointer")
+}
+
+func TestCheckAssignToRvalue(t *testing.T) {
+	checkErr(t, "void f(int x) { x + 1 = 2; }", "cannot assign")
+}
+
+func TestCheckPragmaUndefinedVar(t *testing.T) {
+	checkErr(t, `
+int n;
+void f(void) {
+    int i;
+    #pragma offload target(mic:0) in(ghost : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        n = n;
+    }
+}
+`, "undefined variable \"ghost\"")
+}
+
+func TestCheckTypesOnExpressions(t *testing.T) {
+	src := `
+float a[10];
+int f(int i) {
+    return i;
+}
+void g(void) {
+    float x = a[2] * 2.0;
+    int y = f(3) % 2;
+    x = x;
+    y = y;
+}
+`
+	res := checkOK(t, src)
+	f := res.File
+	var idx *IndexExpr
+	Inspect(f, func(n Node) bool {
+		if ie, ok := n.(*IndexExpr); ok {
+			idx = ie
+		}
+		return true
+	})
+	if idx == nil || !idx.Type().Equal(FloatType) {
+		t.Fatalf("a[2] type = %v, want float", idx.Type())
+	}
+}
+
+func TestCheckPointerFromMalloc(t *testing.T) {
+	checkOK(t, `
+void f(void) {
+    float *p = (float *) malloc(400);
+    double *q = malloc(800);
+    p[0] = 1.0;
+    q[1] = 2.0;
+    free(p);
+    free(q);
+}
+`)
+}
+
+func TestCheckModulusNeedsIntegers(t *testing.T) {
+	checkErr(t, "int f(float x) { return x % 2; }", "integer operands")
+}
+
+func TestCheckMissingReturnValue(t *testing.T) {
+	checkErr(t, "int f(void) { return; }", "missing return value")
+}
+
+func TestCheckComparisonYieldsInt(t *testing.T) {
+	res := checkOK(t, "int f(float a, float b) { return a < b; }")
+	var cmp *BinaryExpr
+	Inspect(res.File, func(n Node) bool {
+		if be, ok := n.(*BinaryExpr); ok && be.Op == "<" {
+			cmp = be
+		}
+		return true
+	})
+	if cmp == nil || !cmp.Type().Equal(IntType) {
+		t.Fatal("comparison type is not int")
+	}
+}
+
+func TestCheckPromotion(t *testing.T) {
+	res := checkOK(t, "double f(int i, double d) { return i + d; }")
+	var add *BinaryExpr
+	Inspect(res.File, func(n Node) bool {
+		if be, ok := n.(*BinaryExpr); ok && be.Op == "+" {
+			add = be
+		}
+		return true
+	})
+	if add == nil || !add.Type().Equal(DoubleType) {
+		t.Fatalf("int + double type = %v, want double", add.Type())
+	}
+}
+
+func TestCheckMultipleErrorsReported(t *testing.T) {
+	f, err := Parse("int f(void) { return a + b; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Check(f)
+	if len(res.Errors) != 2 {
+		t.Fatalf("errors = %d, want 2 (both a and b undefined)", len(res.Errors))
+	}
+}
+
+func TestCheckSymbolLinkage(t *testing.T) {
+	res := checkOK(t, `
+int n;
+int f(int k) { return k + n; }
+`)
+	var ids []*Ident
+	Inspect(res.File, func(nd Node) bool {
+		if id, ok := nd.(*Ident); ok {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	for _, id := range ids {
+		if id.Sym == nil {
+			t.Errorf("ident %q has no symbol", id.Name)
+			continue
+		}
+		switch id.Name {
+		case "n":
+			if !id.Sym.Global || id.Sym.Kind != SymVar {
+				t.Errorf("n symbol = %+v", id.Sym)
+			}
+		case "k":
+			if id.Sym.Global || id.Sym.Kind != SymParam {
+				t.Errorf("k symbol = %+v", id.Sym)
+			}
+		}
+	}
+}
+
+func TestPromoteErrors(t *testing.T) {
+	if _, err := Promote(IntType, VoidType); err == nil {
+		t.Error("promote with void succeeded")
+	}
+	if _, err := Promote(&Pointer{Elem: IntType}, IntType); err == nil {
+		t.Error("promote with pointer succeeded")
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want int64
+	}{
+		{IntType, 4}, {FloatType, 4}, {DoubleType, 8}, {LongType, 8},
+		{CharType, 1}, {VoidType, 0},
+		{&Pointer{Elem: DoubleType}, 8},
+		{&Array{Elem: FloatType, Len: &IntLit{Value: 10}}, 40},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.want {
+			t.Errorf("%s size = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTypeEquality(t *testing.T) {
+	if !(&Pointer{Elem: FloatType}).Equal(&Pointer{Elem: FloatType}) {
+		t.Error("identical pointers unequal")
+	}
+	if (&Pointer{Elem: FloatType}).Equal(&Pointer{Elem: DoubleType}) {
+		t.Error("different pointers equal")
+	}
+	a := &Array{Elem: IntType, Len: &IntLit{Value: 5}}
+	b := &Array{Elem: IntType, Len: &IntLit{Value: 9}}
+	if !a.Equal(b) {
+		t.Error("arrays with same elem should be equal regardless of length")
+	}
+	s1 := &StructType{Name: "p"}
+	s2 := &StructType{Name: "q"}
+	if s1.Equal(s2) {
+		t.Error("different structs equal")
+	}
+}

@@ -1,0 +1,53 @@
+package minic
+
+import "testing"
+
+func TestTernaryParsePrintRoundTrip(t *testing.T) {
+	src := `
+float a[4];
+int main(void) {
+    int i;
+    for (i = 0; i < 4; i++) {
+        a[i] = i > 2 ? 1.0 + i : (i == 0 ? -1.0 : 0.5);
+    }
+    return 0;
+}
+`
+	f1 := MustParse(src)
+	if err := Check(f1).Err(); err != nil {
+		t.Fatal(err)
+	}
+	p1 := Print(f1)
+	f2 := MustParse(p1)
+	if p2 := Print(f2); p1 != p2 {
+		t.Fatalf("ternary print not a fixed point:\n%s\nvs\n%s", p1, p2)
+	}
+	// Clone must cover CondExpr.
+	if Print(CloneFile(f1)) != p1 {
+		t.Fatal("clone of ternary differs")
+	}
+}
+
+func TestTernaryTypePromotion(t *testing.T) {
+	f := MustParse("double f(int i) { return i > 0 ? 1 : 2.5; }")
+	if err := Check(f).Err(); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CondExpr
+	Inspect(f, func(n Node) bool {
+		if x, ok := n.(*CondExpr); ok {
+			ce = x
+		}
+		return true
+	})
+	if ce == nil || !ce.Type().Equal(DoubleType) {
+		t.Fatalf("ternary type = %v, want double", ce.Type())
+	}
+}
+
+func TestTernaryIncompatibleBranches(t *testing.T) {
+	f := MustParse("float *p; float g(int i) { return i > 0 ? p : 1.0; }")
+	if Check(f).Err() == nil {
+		t.Fatal("pointer/float ternary passed checking")
+	}
+}

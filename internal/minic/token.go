@@ -1,0 +1,104 @@
+// Package minic implements the front end for a small C-like language with
+// OpenMP and LEO offload pragmas.
+//
+// MiniC stands in for the C + pycparser + Apricot front end the paper
+// builds on: enough of C to express the evaluation benchmarks' offloaded
+// loops — scalar and array declarations, structs, pointers, functions,
+// for/if/while, and the pragma dialect (`#pragma omp parallel for`,
+// `#pragma offload target(mic) in/out/inout(...)`, asynchronous
+// offload_transfer with signal/wait) plus the `_Cilk_shared` qualifier used
+// by the shared-memory benchmarks. The compiler's transformations operate
+// on this package's AST and print transformed source, exactly as a
+// source-to-source compiler does.
+package minic
+
+import "fmt"
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokStringLit
+	TokPragma // whole `#pragma ...` line, raw text in Token.Text
+	TokPunct  // operators and punctuation; Token.Text holds the spelling
+	TokKeyword
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokIntLit:
+		return "integer literal"
+	case TokFloatLit:
+		return "float literal"
+	case TokStringLit:
+		return "string literal"
+	case TokPragma:
+		return "pragma"
+	case TokPunct:
+		return "punctuation"
+	case TokKeyword:
+		return "keyword"
+	}
+	return "unknown"
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position was set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "EOF"
+	}
+	return fmt.Sprintf("%s %q", t.Kind, t.Text)
+}
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "double": true, "long": true, "void": true,
+	"char": true, "struct": true, "for": true, "while": true, "if": true,
+	"else": true, "return": true, "break": true, "continue": true,
+	"sizeof": true, "_Cilk_shared": true, "static": true, "const": true,
+}
+
+// IsKeyword reports whether s is a reserved word.
+func IsKeyword(s string) bool { return keywords[s] }
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return e.Msg
+}
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

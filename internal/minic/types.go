@@ -1,0 +1,249 @@
+package minic
+
+import "fmt"
+
+// Type is the interface implemented by all MiniC types.
+type Type interface {
+	// Size returns the storage size in bytes (C layout: int/float 4,
+	// long/double/pointer 8).
+	Size() int64
+	// String renders the type in C syntax.
+	String() string
+	// Equal reports structural type equality.
+	Equal(Type) bool
+}
+
+// BasicKind enumerates the scalar types.
+type BasicKind int
+
+// Scalar type kinds.
+const (
+	Int BasicKind = iota
+	Long
+	Float
+	Double
+	Void
+	Char
+)
+
+// Basic is a scalar type.
+type Basic struct{ Kind BasicKind }
+
+// Predefined scalar types.
+var (
+	IntType    = &Basic{Int}
+	LongType   = &Basic{Long}
+	FloatType  = &Basic{Float}
+	DoubleType = &Basic{Double}
+	VoidType   = &Basic{Void}
+	CharType   = &Basic{Char}
+)
+
+// Size implements Type.
+func (b *Basic) Size() int64 {
+	switch b.Kind {
+	case Int, Float:
+		return 4
+	case Long, Double:
+		return 8
+	case Char:
+		return 1
+	}
+	return 0
+}
+
+func (b *Basic) String() string {
+	switch b.Kind {
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	case Char:
+		return "char"
+	}
+	return "void"
+}
+
+// Equal implements Type.
+func (b *Basic) Equal(o Type) bool {
+	ob, ok := o.(*Basic)
+	return ok && ob.Kind == b.Kind
+}
+
+// IsNumeric reports whether the type supports arithmetic.
+func (b *Basic) IsNumeric() bool { return b.Kind != Void }
+
+// IsInteger reports whether the type is an integer type.
+func (b *Basic) IsInteger() bool { return b.Kind == Int || b.Kind == Long || b.Kind == Char }
+
+// Pointer is a pointer type.
+type Pointer struct{ Elem Type }
+
+// Size implements Type.
+func (p *Pointer) Size() int64    { return 8 }
+func (p *Pointer) String() string { return p.Elem.String() + " *" }
+
+// Equal implements Type.
+func (p *Pointer) Equal(o Type) bool {
+	op, ok := o.(*Pointer)
+	return ok && p.Elem.Equal(op.Elem)
+}
+
+// Array is a fixed- or runtime-length array type. Len is nil for
+// pointer-style declarations whose extent comes from pragma length clauses.
+type Array struct {
+	Elem Type
+	Len  Expr // may be nil (unsized)
+}
+
+// Size implements Type; unsized arrays report the pointer size.
+func (a *Array) Size() int64 {
+	if lit, ok := a.Len.(*IntLit); ok {
+		return a.Elem.Size() * lit.Value
+	}
+	return 8
+}
+
+func (a *Array) String() string { return a.Elem.String() + " []" }
+
+// Equal implements Type. Array lengths are not compared: the front end
+// treats T[n] and T[m] as the same type and leaves extent checking to the
+// analyses that know the runtime lengths.
+func (a *Array) Equal(o Type) bool {
+	oa, ok := o.(*Array)
+	return ok && a.Elem.Equal(oa.Elem)
+}
+
+// StructType is a record type.
+type StructType struct {
+	Name   string
+	Fields []StructField
+}
+
+// StructField is one member of a struct.
+type StructField struct {
+	Name string
+	Type Type
+}
+
+// Size implements Type with no padding (all our fields are 4/8-byte
+// scalars; alignment padding would only add noise to the transfer model).
+func (s *StructType) Size() int64 {
+	var n int64
+	for _, f := range s.Fields {
+		n += f.Type.Size()
+	}
+	return n
+}
+
+func (s *StructType) String() string { return "struct " + s.Name }
+
+// Equal implements Type (nominal equality).
+func (s *StructType) Equal(o Type) bool {
+	os, ok := o.(*StructType)
+	return ok && os.Name == s.Name
+}
+
+// Field returns the named field, or nil.
+func (s *StructType) Field(name string) *StructField {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Offset returns the byte offset of the named field, or -1.
+func (s *StructType) Offset(name string) int64 {
+	var off int64
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return off
+		}
+		off += f.Type.Size()
+	}
+	return -1
+}
+
+// ElemOf returns the element type of an array or pointer, or nil.
+func ElemOf(t Type) Type {
+	switch tt := t.(type) {
+	case *Array:
+		return tt.Elem
+	case *Pointer:
+		return tt.Elem
+	}
+	return nil
+}
+
+// IsIndexable reports whether t supports subscripting.
+func IsIndexable(t Type) bool { return ElemOf(t) != nil }
+
+// FuncType describes a function signature.
+type FuncType struct {
+	Params []Type
+	Ret    Type
+}
+
+// Size implements Type (functions are not first-class values in MiniC).
+func (f *FuncType) Size() int64 { return 8 }
+
+func (f *FuncType) String() string {
+	s := f.Ret.String() + " (*)("
+	for i, p := range f.Params {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	return s + ")"
+}
+
+// Equal implements Type.
+func (f *FuncType) Equal(o Type) bool {
+	of, ok := o.(*FuncType)
+	if !ok || len(of.Params) != len(f.Params) || !f.Ret.Equal(of.Ret) {
+		return false
+	}
+	for i := range f.Params {
+		if !f.Params[i].Equal(of.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// numericRank orders scalar types for usual-arithmetic-conversion.
+func numericRank(b *Basic) int {
+	switch b.Kind {
+	case Char:
+		return 0
+	case Int:
+		return 1
+	case Long:
+		return 2
+	case Float:
+		return 3
+	case Double:
+		return 4
+	}
+	return -1
+}
+
+// Promote returns the common type of two numeric operands.
+func Promote(a, b Type) (Type, error) {
+	ab, aok := a.(*Basic)
+	bb, bok := b.(*Basic)
+	if !aok || !bok || !ab.IsNumeric() || !bb.IsNumeric() {
+		return nil, fmt.Errorf("cannot promote %s and %s", a, b)
+	}
+	if numericRank(ab) >= numericRank(bb) {
+		return ab, nil
+	}
+	return bb, nil
+}

@@ -1,0 +1,137 @@
+// Package myo models Intel's MYO virtual shared memory, the baseline the
+// paper's §V mechanism replaces.
+//
+// MYO keeps shared data coherent with a page-fault-style protocol: when a
+// shared page is first touched on the coprocessor, the access faults, the
+// runtime handles the fault, and the page is copied over PCIe — one small
+// DMA per page, paying the setup latency every time. The paper identifies
+// three costs this package reproduces: page granularity is too small for
+// large structures, DMA is underutilized, and fault handling itself is
+// expensive. MYO also caps the number of shared allocations and the total
+// shared size; ferret exceeds the allocation cap and "cannot run
+// correctly using Intel MYO".
+package myo
+
+import (
+	"errors"
+	"fmt"
+
+	"comp/internal/sim/engine"
+	"comp/internal/sim/pcie"
+)
+
+// Config holds MYO's parameters.
+type Config struct {
+	// PageBytes is the coherence granularity.
+	PageBytes int64
+	// FaultCost is the handling overhead per device page fault, on top of
+	// the page's DMA time.
+	FaultCost engine.Duration
+	// MaxAllocations caps Offload_shared_malloc calls.
+	MaxAllocations int64
+	// MaxTotalBytes caps the shared arena size.
+	MaxTotalBytes int64
+}
+
+// DefaultConfig mirrors the runtime the paper measured: 4 KiB pages, a
+// fault cost scaled with the platform's other fixed costs, and the
+// allocation/size caps that ferret overflows.
+func DefaultConfig() Config {
+	return Config{
+		PageBytes:      4096,
+		FaultCost:      43 * engine.Microsecond,
+		MaxAllocations: 65536,
+		MaxTotalBytes:  512 << 20,
+	}
+}
+
+// Errors mirroring MYO's failure modes.
+var (
+	ErrTooManyAllocations = errors.New("myo: shared allocation limit exceeded")
+	ErrArenaFull          = errors.New("myo: shared memory arena exhausted")
+)
+
+// Heap is the MYO shared arena.
+type Heap struct {
+	cfg    Config
+	used   int64
+	allocs int64
+	// resident marks pages already copied to the device.
+	resident map[int64]bool
+	faults   int64
+}
+
+// NewHeap creates an empty arena.
+func NewHeap(cfg Config) *Heap {
+	if cfg.PageBytes <= 0 {
+		panic("myo: page size must be positive")
+	}
+	return &Heap{cfg: cfg, resident: map[int64]bool{}}
+}
+
+// Malloc performs Offload_shared_malloc with MYO's limits.
+func (h *Heap) Malloc(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("myo: invalid allocation size %d", size)
+	}
+	if h.allocs+1 > h.cfg.MaxAllocations {
+		return 0, fmt.Errorf("%w (%d)", ErrTooManyAllocations, h.cfg.MaxAllocations)
+	}
+	if h.used+size > h.cfg.MaxTotalBytes {
+		return 0, fmt.Errorf("%w (%d bytes)", ErrArenaFull, h.cfg.MaxTotalBytes)
+	}
+	base := h.used
+	h.used += size
+	h.allocs++
+	return base, nil
+}
+
+// AllocCount returns the number of shared allocations.
+func (h *Heap) AllocCount() int64 { return h.allocs }
+
+// Used returns bytes allocated in the arena.
+func (h *Heap) Used() int64 { return h.used }
+
+// Faults returns the device page faults taken so far.
+func (h *Heap) Faults() int64 { return h.faults }
+
+// PageOf returns the page index of an arena offset.
+func (h *Heap) PageOf(addr int64) int64 { return addr / h.cfg.PageBytes }
+
+// TouchOnDevice models the device accessing [addr, addr+size): every
+// non-resident page faults, is handled, and is copied host-to-device as
+// its own DMA on the bus. The returned event fires when the last fault
+// completes (the kernel stalls for each fault in turn). If the range is
+// fully resident the returned event is already fired.
+func (h *Heap) TouchOnDevice(sim *engine.Sim, bus *pcie.Bus, after *engine.Event, addr, size int64) *engine.Event {
+	if after == nil {
+		after = sim.FiredEvent()
+	}
+	last := after
+	first := h.PageOf(addr)
+	lastPage := h.PageOf(addr + size - 1)
+	for pg := first; pg <= lastPage; pg++ {
+		if h.resident[pg] {
+			continue
+		}
+		h.resident[pg] = true
+		h.faults++
+		// Fault handling stalls, then the page moves as one small DMA.
+		faultDone := sim.NewEvent("myo-fault")
+		prev := last
+		prev.OnFire(func(engine.Time) {
+			sim.After(h.cfg.FaultCost, faultDone.Fire)
+		})
+		last = bus.TransferAfter(faultDone, pcie.HostToDevice, "myo-page", h.cfg.PageBytes)
+	}
+	return last
+}
+
+// InvalidateDevice drops residency, as MYO does at offload boundaries when
+// the host writes shared data (the data must fault over again next time).
+func (h *Heap) InvalidateDevice() {
+	h.resident = map[int64]bool{}
+}
+
+// ResidentPages returns the number of pages currently on the device.
+func (h *Heap) ResidentPages() int { return len(h.resident) }

@@ -1,0 +1,188 @@
+package myo
+
+import (
+	"errors"
+	"testing"
+
+	"comp/internal/sim/engine"
+	"comp/internal/sim/pcie"
+)
+
+func testCfg() Config {
+	return Config{
+		PageBytes:      4096,
+		FaultCost:      3 * engine.Microsecond,
+		MaxAllocations: 100,
+		MaxTotalBytes:  1 << 20,
+	}
+}
+
+func TestMallocAccounting(t *testing.T) {
+	h := NewHeap(testCfg())
+	a, err := h.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Malloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0 || b != 100 {
+		t.Fatalf("bases = %d,%d, want 0,100", a, b)
+	}
+	if h.AllocCount() != 2 || h.Used() != 300 {
+		t.Fatalf("allocs=%d used=%d", h.AllocCount(), h.Used())
+	}
+}
+
+func TestAllocationLimit(t *testing.T) {
+	cfg := testCfg()
+	cfg.MaxAllocations = 3
+	h := NewHeap(cfg)
+	for i := 0; i < 3; i++ {
+		if _, err := h.Malloc(16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := h.Malloc(16)
+	if !errors.Is(err, ErrTooManyAllocations) {
+		t.Fatalf("err = %v, want allocation limit (the ferret failure mode)", err)
+	}
+}
+
+func TestArenaSizeLimit(t *testing.T) {
+	cfg := testCfg()
+	cfg.MaxTotalBytes = 1000
+	h := NewHeap(cfg)
+	if _, err := h.Malloc(600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Malloc(600); !errors.Is(err, ErrArenaFull) {
+		t.Fatalf("err = %v, want arena full", err)
+	}
+}
+
+func TestInvalidSizes(t *testing.T) {
+	h := NewHeap(testCfg())
+	if _, err := h.Malloc(0); err == nil {
+		t.Error("zero malloc accepted")
+	}
+	if _, err := h.Malloc(-1); err == nil {
+		t.Error("negative malloc accepted")
+	}
+}
+
+func TestTouchFaultsOncePerPage(t *testing.T) {
+	sim := engine.New()
+	bus := pcie.New(sim, pcie.Default())
+	h := NewHeap(testCfg())
+	base, _ := h.Malloc(3 * 4096)
+
+	done := h.TouchOnDevice(sim, bus, nil, base, 3*4096)
+	sim.Run()
+	if !done.Fired() {
+		t.Fatal("touch did not complete")
+	}
+	if h.Faults() != 3 {
+		t.Fatalf("faults = %d, want 3", h.Faults())
+	}
+	if h.ResidentPages() != 3 {
+		t.Fatalf("resident = %d, want 3", h.ResidentPages())
+	}
+	// Touching again is free: already resident.
+	before := sim.Now()
+	done2 := h.TouchOnDevice(sim, bus, nil, base, 3*4096)
+	sim.Run()
+	if h.Faults() != 3 {
+		t.Fatalf("re-touch faulted: %d", h.Faults())
+	}
+	if done2.Time() > before {
+		t.Fatalf("re-touch took time: %v", done2.Time())
+	}
+}
+
+func TestTouchSerializesFaults(t *testing.T) {
+	sim := engine.New()
+	bus := pcie.New(sim, pcie.Default())
+	cfg := testCfg()
+	h := NewHeap(cfg)
+	const pages = 10
+	base, _ := h.Malloc(pages * 4096)
+	done := h.TouchOnDevice(sim, bus, nil, base, pages*4096)
+	sim.Run()
+	perPage := cfg.FaultCost + bus.TransferTime(cfg.PageBytes)
+	want := engine.Time(pages * int64(perPage))
+	if done.Time() != want {
+		t.Fatalf("touch completed at %v, want %v (strictly serialized faults)", done.Time(), want)
+	}
+}
+
+func TestTouchPartialPageSpan(t *testing.T) {
+	sim := engine.New()
+	bus := pcie.New(sim, pcie.Default())
+	h := NewHeap(testCfg())
+	base, _ := h.Malloc(10000)
+	// A 100-byte object straddling a page boundary touches two pages.
+	h.TouchOnDevice(sim, bus, nil, base+4000, 200)
+	sim.Run()
+	if h.Faults() != 2 {
+		t.Fatalf("faults = %d, want 2 (straddling object)", h.Faults())
+	}
+}
+
+func TestInvalidateForcesRefault(t *testing.T) {
+	sim := engine.New()
+	bus := pcie.New(sim, pcie.Default())
+	h := NewHeap(testCfg())
+	base, _ := h.Malloc(4096)
+	h.TouchOnDevice(sim, bus, nil, base, 4096)
+	sim.Run()
+	h.InvalidateDevice()
+	if h.ResidentPages() != 0 {
+		t.Fatal("invalidate left pages resident")
+	}
+	h.TouchOnDevice(sim, bus, nil, base, 4096)
+	sim.Run()
+	if h.Faults() != 2 {
+		t.Fatalf("faults = %d, want 2 after invalidate", h.Faults())
+	}
+}
+
+func TestMYOSlowerThanBulkCopy(t *testing.T) {
+	// The §V headline: page-fault transfer of a large structure is far
+	// slower than one bulk DMA of the same bytes.
+	const total = 8 << 20 // 8 MiB
+	cfg := DefaultConfig()
+
+	simA := engine.New()
+	busA := pcie.New(simA, pcie.Default())
+	h := NewHeap(cfg)
+	base, err := h.Malloc(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := h.TouchOnDevice(simA, busA, nil, base, total)
+	simA.Run()
+	myoTime := done.Time()
+
+	simB := engine.New()
+	busB := pcie.New(simB, pcie.Default())
+	bulk := busB.Transfer(pcie.HostToDevice, "bulk", total)
+	simB.Run()
+	bulkTime := bulk.Time()
+
+	ratio := float64(myoTime) / float64(bulkTime)
+	if ratio < 3 {
+		t.Fatalf("MYO/bulk ratio %.2f, want >= 3 (paper: 7.81x for ferret)", ratio)
+	}
+	t.Logf("MYO %v vs bulk %v (%.1fx)", myoTime, bulkTime, ratio)
+}
+
+func TestBadPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero page size accepted")
+		}
+	}()
+	NewHeap(Config{})
+}

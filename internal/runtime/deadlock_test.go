@@ -1,0 +1,81 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"comp/internal/interp"
+)
+
+func TestDeadlockDetectedOnUnsignalledWait(t *testing.T) {
+	// The kernel waits on `ghost`, which nothing ever signals: on real
+	// hardware this hangs forever. The simulator must surface it.
+	src := `
+float a[64];
+float b[64];
+int ghost;
+int main(void) {
+    int i;
+    #pragma offload target(mic:0) in(a : length(64)) out(b : length(64)) wait(&ghost)
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        b[i] = a[i] + 1.0;
+    }
+    return 0;
+}
+`
+	p, err := interp.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.DeadlockWarnings) == 0 {
+		t.Fatal("unsignalled wait produced no deadlock warning")
+	}
+	joined := strings.Join(res.Stats.DeadlockWarnings, "; ")
+	if !strings.Contains(joined, "ghost") && !strings.Contains(joined, "kernel") {
+		t.Fatalf("warnings do not identify the stall: %v", res.Stats.DeadlockWarnings)
+	}
+}
+
+func TestNoDeadlockOnCorrectPrograms(t *testing.T) {
+	for _, src := range []string{simpleOffload, streamedSource(1<<15, 4, true)} {
+		p, err := interp.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(p, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Stats.DeadlockWarnings) != 0 {
+			t.Fatalf("correct program flagged: %v", res.Stats.DeadlockWarnings)
+		}
+	}
+}
+
+func TestDeadlockOnOffloadWaitWithoutSignal(t *testing.T) {
+	src := `
+float a[64];
+int tag;
+int main(void) {
+    a[0] = 1.0;
+    #pragma offload_wait target(mic:0) wait(&tag)
+    return 0;
+}
+`
+	p, err := interp.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.DeadlockWarnings) == 0 {
+		t.Fatal("offload_wait on unsignalled tag not flagged")
+	}
+}

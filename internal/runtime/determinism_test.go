@@ -1,0 +1,90 @@
+package runtime
+
+import (
+	"testing"
+
+	"comp/internal/interp"
+)
+
+// TestRunsAreDeterministic: the entire stack — input generation,
+// interpretation, event scheduling — is deterministic, so two runs of the
+// same program must agree on every statistic bit-for-bit. This is the
+// property that makes the paper's figures reproducible from `go test`.
+func TestRunsAreDeterministic(t *testing.T) {
+	run := func() Stats {
+		p, err := interp.Compile(streamedSource(1<<16, 8, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(p, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	a, b := run(), run()
+	if a.Time != b.Time || a.HostBusy != b.HostBusy || a.DeviceBusy != b.DeviceBusy ||
+		a.TransferBusy != b.TransferBusy || a.Overlap != b.Overlap ||
+		a.KernelLaunches != b.KernelLaunches || a.Transfers != b.Transfers ||
+		a.BytesIn != b.BytesIn || a.BytesOut != b.BytesOut ||
+		a.PeakDeviceBytes != b.PeakDeviceBytes {
+		t.Fatalf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestResetIsolation: rerunning one compiled program after Reset is
+// equivalent to a fresh compile — no state leaks across runs.
+func TestResetIsolation(t *testing.T) {
+	p, err := interp.Compile(simpleOffload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Time != r2.Stats.Time || r1.Stats.PeakDeviceBytes != r2.Stats.PeakDeviceBytes {
+		t.Fatalf("rerun differs: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+	b1, _ := r1.Program.ArrayData("b")
+	p2, _ := interp.Compile(simpleOffload)
+	r3, err := Run(p2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := r3.Program.ArrayData("b")
+	for i := range b1 {
+		if b1[i] != b3[i] {
+			t.Fatalf("reused program diverges from fresh compile at %d", i)
+		}
+	}
+}
+
+// TestScaledPlatformSanity pins the calibration constants the evaluation
+// depends on; changing them silently would invalidate EXPERIMENTS.md.
+func TestScaledPlatformSanity(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MIC.Cores != 60 || cfg.MIC.ThreadsPerCore != 4 {
+		t.Errorf("MIC core config changed: %d x %d", cfg.MIC.Cores, cfg.MIC.ThreadsPerCore)
+	}
+	if cfg.MICThreads != 200 || cfg.CPUThreads != 4 {
+		t.Errorf("thread counts changed: %d/%d", cfg.MICThreads, cfg.CPUThreads)
+	}
+	if cfg.MIC.MemBytes != 8<<30 {
+		t.Errorf("device memory changed: %d", cfg.MIC.MemBytes)
+	}
+	if cfg.PCIe.BandwidthGBs != 6.0 {
+		t.Errorf("PCIe bandwidth changed: %v", cfg.PCIe.BandwidthGBs)
+	}
+	// D/K regime: a full-array blackscholes-sized transfer must cost a few
+	// hundred launch overheads (the paper's regime; see params.go).
+	d := New(cfg).bus.TransferTime(32768 * 20)
+	ratio := float64(d) / float64(cfg.MIC.LaunchOverhead)
+	if ratio < 50 || ratio > 1000 {
+		t.Errorf("D/K ratio %.0f outside the calibrated regime [50,1000]", ratio)
+	}
+}

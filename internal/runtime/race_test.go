@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"comp/internal/interp"
+)
+
+// racySingleBuffer is a broken hand-written pipeline: it prefetches the
+// next block into the SAME device buffer the current kernel reads. The
+// interpreter's sequential execution still computes correct values, but
+// on real hardware the DMA would overwrite data mid-kernel; the runtime's
+// timing-domain race detector must flag it.
+const racySingleBuffer = `
+float src[65536];
+float dst[65536];
+float *buf;
+float *outb;
+int sig;
+int n;
+
+int main(void) {
+    int i;
+    int blk;
+    n = 65536;
+    int bs = n / 8;
+    #pragma offload_transfer target(mic:0) nocopy(buf : length(bs) alloc_if(1) free_if(0)) nocopy(outb : length(bs) alloc_if(1) free_if(0))
+    #pragma offload_transfer target(mic:0) in(src[0 : bs] : into(buf) alloc_if(0) free_if(0)) signal(&sig)
+    for (blk = 0; blk < 8; blk++) {
+        if (blk + 1 < 8) {
+            // BUG: prefetch into the buffer the kernel is about to read.
+            #pragma offload_transfer target(mic:0) in(src[(blk + 1) * bs : bs] : into(buf) alloc_if(0) free_if(0)) signal(&sig)
+        }
+        #pragma offload target(mic:0) out(outb[0 : bs] : into(dst[blk * bs : bs]) alloc_if(0) free_if(0))
+        #pragma omp parallel for
+        for (i = 0; i < bs; i++) {
+            outb[i] = sqrt(buf[i] + 1.0) * 2.0 + exp(buf[i] * 0.0001);
+        }
+    }
+    return 0;
+}
+`
+
+func TestRaceDetectorFlagsSingleBufferPipeline(t *testing.T) {
+	p, err := interp.Compile(racySingleBuffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.RaceWarnings) == 0 {
+		t.Fatal("single-buffer pipeline produced no race warnings")
+	}
+	w := res.Stats.RaceWarnings[0]
+	if !strings.Contains(w, `device buffer "buf"`) {
+		t.Fatalf("warning does not name the racy buffer: %s", w)
+	}
+}
+
+func TestRaceDetectorCleanOnCorrectPipeline(t *testing.T) {
+	// The correctly double-buffered pipeline from the streaming tests.
+	p, err := interp.Compile(streamedSource(1<<17, 8, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.RaceWarnings) != 0 {
+		t.Fatalf("correct pipeline flagged: %v", res.Stats.RaceWarnings)
+	}
+}
+
+func TestRaceDetectorCleanOnSynchronousOffload(t *testing.T) {
+	p, err := interp.Compile(simpleOffload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.RaceWarnings) != 0 {
+		t.Fatalf("synchronous offload flagged: %v", res.Stats.RaceWarnings)
+	}
+}
+
+func TestRaceWarningsCapped(t *testing.T) {
+	p, err := interp.Compile(strings.ReplaceAll(racySingleBuffer, "n / 8", "n / 64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := strings.ReplaceAll(racySingleBuffer, "blk < 8", "blk < 64")
+	src2 = strings.ReplaceAll(src2, "blk + 1 < 8", "blk + 1 < 64")
+	src2 = strings.ReplaceAll(src2, "n / 8", "n / 64")
+	p, err = interp.Compile(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.RaceWarnings) == 0 || len(res.Stats.RaceWarnings) > maxRaceWarnings {
+		t.Fatalf("warnings = %d, want in (0, %d]", len(res.Stats.RaceWarnings), maxRaceWarnings)
+	}
+}

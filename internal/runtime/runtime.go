@@ -1,0 +1,501 @@
+// Package runtime is the offload runtime: it implements interp.Backend by
+// mapping the interpreter's operation stream (host compute segments,
+// offloads, asynchronous transfers, waits) onto the discrete-event machine
+// — PCIe DMA channels, the device compute fabric with launch overhead and
+// persistent kernels, and the capacity-limited device memory.
+//
+// It is the analogue of Intel's LEO runtime plus the lower-level COI layer
+// the paper drops to for signal-based kernel reuse (§III-C).
+package runtime
+
+import (
+	"fmt"
+
+	"comp/internal/interp"
+	"comp/internal/minic"
+	"comp/internal/sim/devmem"
+	"comp/internal/sim/engine"
+	"comp/internal/sim/kernel"
+	"comp/internal/sim/machine"
+	"comp/internal/sim/pcie"
+)
+
+// Config assembles the simulated platform.
+type Config struct {
+	CPU        machine.Config
+	MIC        machine.Config
+	PCIe       pcie.Config
+	CPUThreads int
+	MICThreads int
+}
+
+// DefaultConfig returns the calibrated evaluation platform (§VI): a Xeon
+// E5-2660 host with 4 worker threads and a Xeon Phi with 200 threads.
+func DefaultConfig() Config {
+	return Config{
+		CPU:        machine.XeonE5(),
+		MIC:        machine.XeonPhi(),
+		PCIe:       pcie.Default(),
+		CPUThreads: machine.DefaultCPUThreads,
+		MICThreads: machine.DefaultMICThreads,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.MIC.Validate(); err != nil {
+		return err
+	}
+	if err := c.PCIe.Validate(); err != nil {
+		return err
+	}
+	if c.CPUThreads < 1 || c.MICThreads < 1 {
+		return fmt.Errorf("runtime: thread counts must be positive")
+	}
+	return nil
+}
+
+// Stats summarizes one simulated run.
+type Stats struct {
+	// Time is the end-to-end makespan.
+	Time engine.Duration
+	// HostBusy, DeviceBusy are busy times of the compute resources.
+	HostBusy   engine.Duration
+	DeviceBusy engine.Duration
+	// TransferBusy is total DMA channel busy time (both directions).
+	TransferBusy engine.Duration
+	// Overlap is the time transfers and device compute proceeded
+	// concurrently — the quantity data streaming maximizes.
+	Overlap engine.Duration
+	// KernelLaunches counts kernel starts (persistent kernels count once).
+	KernelLaunches int64
+	// Transfers counts DMA operations; BytesIn/BytesOut their payloads.
+	Transfers int64
+	BytesIn   int64
+	BytesOut  int64
+	// PeakDeviceBytes is the device memory high-water mark.
+	PeakDeviceBytes uint64
+	// RaceWarnings lists pipelining races detected after the run: DMAs
+	// that overwrote a device buffer while a kernel using that buffer was
+	// still in flight. The interpreter's sequential value execution hides
+	// such races, so a non-empty list means the (possibly hand-written)
+	// pipelined code is incorrect on real hardware even though its
+	// simulated outputs look right.
+	RaceWarnings []string
+	// DeadlockWarnings lists operations that never completed because a
+	// signal tag they waited on never fired. On real hardware the program
+	// hangs; in the simulator the stalled work silently drops out of the
+	// makespan, so it is surfaced here instead.
+	DeadlockWarnings []string
+}
+
+// Runtime implements interp.Backend over the discrete-event simulator.
+type Runtime struct {
+	cfg      Config
+	sim      *engine.Sim
+	bus      *pcie.Bus
+	launcher *kernel.Launcher
+	mem      *devmem.Allocator
+	host     *engine.Resource
+
+	// hostTail is the event after which the host thread is free again.
+	hostTail *engine.Event
+	// tags maps signal names to their completion events.
+	tags map[string]*engine.Event
+	// persistent kernels keyed by offload pragma identity.
+	persist map[*minic.Pragma]*kernel.Persistent
+	// device buffer blocks by name.
+	bufs map[string]*devmem.Block
+
+	// Intervals for post-run race detection.
+	bufWrites  []interval // DMA writes into device buffers
+	kernelUses []interval // kernel executions touching device buffers
+
+	// kernelDone tracks every kernel completion event for deadlock checks.
+	kernelDone []*engine.Event
+
+	finished bool
+}
+
+// interval is a resource occupation tied to a buffer, resolved after the
+// simulation runs (the event fires at the interval's end; the duration is
+// known at submission).
+type interval struct {
+	buf    string
+	label  string
+	done   *engine.Event
+	dur    engine.Duration
+	loByte int64
+	hiByte int64 // exclusive
+}
+
+func (iv interval) bounds() (engine.Time, engine.Time) {
+	end := iv.done.Time()
+	return end - engine.Time(iv.dur), end
+}
+
+// New builds a runtime over a fresh simulation.
+func New(cfg Config) *Runtime {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sim := engine.New()
+	memBytes := cfg.MIC.MemBytes
+	if memBytes == 0 {
+		memBytes = 8 << 30
+	}
+	r := &Runtime{
+		cfg:      cfg,
+		sim:      sim,
+		bus:      pcie.New(sim, cfg.PCIe),
+		launcher: kernel.NewLauncher(sim, cfg.MIC.LaunchOverhead),
+		mem:      devmem.New(memBytes, cfg.MIC.OSReservedBytes),
+		host:     sim.NewResource("cpu", 1),
+		tags:     map[string]*engine.Event{},
+		persist:  map[*minic.Pragma]*kernel.Persistent{},
+		bufs:     map[string]*devmem.Block{},
+	}
+	r.hostTail = sim.FiredEvent()
+	return r
+}
+
+// Sim exposes the simulation (tests inspect the trace).
+func (r *Runtime) Sim() *engine.Sim { return r.sim }
+
+// Memory exposes the device allocator.
+func (r *Runtime) Memory() *devmem.Allocator { return r.mem }
+
+// regionTime converts a measured Work into wall time on a machine.
+func regionTime(m machine.Config, w interp.Work, threads int) engine.Duration {
+	d := m.SerialTime(w.Serial.Flops)
+	d += m.WorkTime(w.Vec.Flops, w.Vec.Bytes, w.Vec.IrregularFrac(), true, threads)
+	d += m.WorkTime(w.Scalar.Flops, w.Scalar.Bytes, w.Scalar.IrregularFrac(), false, threads)
+	return d
+}
+
+// HostCompute implements interp.Backend.
+func (r *Runtime) HostCompute(w interp.Work) {
+	d := regionTime(r.cfg.CPU, w, r.cfg.CPUThreads)
+	r.hostTail = r.host.SubmitAfter(r.hostTail, "compute", d)
+}
+
+// tag returns the event for a signal tag, creating an unfired placeholder
+// if the tag has not been signalled yet (waiting on a never-signalled tag
+// deadlocks on real hardware; here it simply never gates anything, and
+// Finish reports it).
+func (r *Runtime) tag(name string) *engine.Event {
+	if ev, ok := r.tags[name]; ok {
+		return ev
+	}
+	ev := r.sim.NewEvent("tag:" + name)
+	r.tags[name] = ev
+	return ev
+}
+
+// allocSpecs performs device allocations for an op's specs in program
+// order, returning an OOM error if capacity is exceeded. Each allocation
+// costs AllocOverhead of host time — the §III-A overhead the streaming
+// transform hoists out of the loop.
+func (r *Runtime) allocSpecs(specs []interp.TransferSpec) error {
+	allocs := 0
+	for _, sp := range specs {
+		if sp.Scalar || !sp.Alloc {
+			continue
+		}
+		if old := r.bufs[sp.Dest]; old != nil {
+			r.mem.Free(old)
+			delete(r.bufs, sp.Dest)
+		}
+		if sp.AllocBytes == 0 {
+			continue
+		}
+		b, err := r.mem.Alloc(uint64(sp.AllocBytes), sp.Dest)
+		if err != nil {
+			return err
+		}
+		r.bufs[sp.Dest] = b
+		allocs++
+	}
+	if allocs > 0 && r.cfg.MIC.AllocOverhead > 0 {
+		d := engine.Duration(allocs) * r.cfg.MIC.AllocOverhead
+		r.hostTail = r.host.SubmitAfter(r.hostTail, "alloc", d)
+	}
+	return nil
+}
+
+// freeSpecs releases buffers whose specs request freeing.
+func (r *Runtime) freeSpecs(specs []interp.TransferSpec) {
+	for _, sp := range specs {
+		if sp.Scalar || !sp.Free {
+			continue
+		}
+		if b := r.bufs[sp.Dest]; b != nil {
+			r.mem.Free(b)
+			delete(r.bufs, sp.Dest)
+		}
+	}
+}
+
+// submitInputs schedules the host-to-device DMAs of an op. Scalar items
+// are batched into one descriptor; each array item is its own DMA.
+func (r *Runtime) submitInputs(specs []interp.TransferSpec, after *engine.Event) []*engine.Event {
+	var events []*engine.Event
+	var scalarBytes int64
+	for _, sp := range specs {
+		if sp.Dir != interp.DirIn {
+			continue
+		}
+		if sp.Scalar {
+			scalarBytes += sp.Bytes
+			continue
+		}
+		ev := r.bus.TransferAfter(after, pcie.HostToDevice, sp.Item.Name+"->"+sp.Dest, sp.Bytes)
+		r.bufWrites = append(r.bufWrites, interval{
+			buf:    sp.Dest,
+			label:  sp.Item.Name + "->" + sp.Dest,
+			done:   ev,
+			dur:    r.bus.TransferTime(sp.Bytes),
+			loByte: sp.DestOffsetBytes,
+			hiByte: sp.DestOffsetBytes + sp.Bytes,
+		})
+		events = append(events, ev)
+	}
+	if scalarBytes > 0 {
+		events = append(events, r.bus.TransferAfter(after, pcie.HostToDevice, "scalars", scalarBytes))
+	}
+	return events
+}
+
+// submitOutputs schedules the device-to-host DMAs of an op.
+func (r *Runtime) submitOutputs(specs []interp.TransferSpec, after *engine.Event) []*engine.Event {
+	var events []*engine.Event
+	var scalarBytes int64
+	for _, sp := range specs {
+		if sp.Dir != interp.DirOut {
+			continue
+		}
+		if sp.Scalar {
+			scalarBytes += sp.Bytes
+			continue
+		}
+		events = append(events, r.bus.TransferAfter(after, pcie.DeviceToHost, sp.Dest+"->host", sp.Bytes))
+	}
+	if scalarBytes > 0 {
+		events = append(events, r.bus.TransferAfter(after, pcie.DeviceToHost, "scalars", scalarBytes))
+	}
+	return events
+}
+
+// Offload implements interp.Backend: allocate, move inputs, run the
+// kernel (gated on the wait tag and input DMAs), move outputs, free.
+func (r *Runtime) Offload(op *interp.OffloadOp) error {
+	if err := r.allocSpecs(op.Specs); err != nil {
+		return err
+	}
+	inputs := r.submitInputs(op.Specs, r.hostTail)
+	deps := append([]*engine.Event{r.hostTail}, inputs...)
+	if op.Wait != "" {
+		deps = append(deps, r.tag(op.Wait))
+	}
+	ready := engine.AllOf(r.sim, deps...)
+
+	dur := regionTime(r.cfg.MIC, op.Work, r.cfg.MICThreads)
+	var done *engine.Event
+	if op.Persist {
+		p := r.persist[op.Pragma]
+		if p == nil {
+			p = r.launcher.LaunchPersistent(pragmaLabel(op.Pragma))
+			r.persist[op.Pragma] = p
+		}
+		done = p.RunBlock(ready, "block", dur)
+	} else {
+		done = r.launcher.Launch(ready, pragmaLabel(op.Pragma), dur)
+	}
+	for _, br := range op.DevTouched {
+		r.kernelUses = append(r.kernelUses, interval{
+			buf:    br.Name,
+			label:  pragmaLabel(op.Pragma),
+			done:   done,
+			dur:    dur,
+			loByte: br.StartByte,
+			hiByte: br.EndByte,
+		})
+	}
+
+	r.kernelDone = append(r.kernelDone, done)
+	outputs := r.submitOutputs(op.Specs, done)
+	all := engine.AllOf(r.sim, append([]*engine.Event{done}, outputs...)...)
+	if op.Signal != "" {
+		// Asynchronous offload: the host continues; completion fires the tag.
+		r.tags[op.Signal] = all
+	} else {
+		r.hostTail = all
+	}
+	r.freeSpecs(op.Specs)
+	return nil
+}
+
+// Transfer implements interp.Backend: asynchronous DMA issue.
+func (r *Runtime) Transfer(op *interp.TransferOp) error {
+	if err := r.allocSpecs(op.Specs); err != nil {
+		return err
+	}
+	after := r.hostTail
+	if op.Wait != "" {
+		after = engine.AllOf(r.sim, r.hostTail, r.tag(op.Wait))
+	}
+	events := r.submitInputs(op.Specs, after)
+	events = append(events, r.submitOutputs(op.Specs, after)...)
+	if op.Signal != "" {
+		if len(events) == 0 {
+			r.tags[op.Signal] = after
+		} else {
+			r.tags[op.Signal] = engine.AllOf(r.sim, events...)
+		}
+	}
+	// offload_transfer returns immediately on the host; the DMA proceeds
+	// in the background. Freeing (free_if(1)) applies once the DMAs drain.
+	r.freeSpecs(op.Specs)
+	return nil
+}
+
+// OffloadWait implements interp.Backend: block the host on a tag.
+func (r *Runtime) OffloadWait(tagName string) {
+	r.hostTail = engine.AllOf(r.sim, r.hostTail, r.tag(tagName))
+}
+
+func pragmaLabel(p *minic.Pragma) string {
+	return fmt.Sprintf("offload@%s", p.Pos)
+}
+
+// Finish exits persistent kernels, drains the simulation, and returns the
+// run's statistics. It must be called exactly once.
+func (r *Runtime) Finish() Stats {
+	if r.finished {
+		panic("runtime: Finish called twice")
+	}
+	r.finished = true
+	for _, p := range r.persist {
+		p.Exit()
+	}
+	end := r.sim.Run()
+	// The makespan also covers the host reaching its final point.
+	if r.hostTail.Fired() && r.hostTail.Time() > end {
+		end = r.hostTail.Time()
+	}
+	tr := r.sim.Trace()
+	return Stats{
+		RaceWarnings:     r.detectRaces(),
+		DeadlockWarnings: r.detectDeadlocks(),
+		Time:             engine.Duration(end),
+		HostBusy:         r.host.BusyTime(),
+		DeviceBusy:       r.launcher.ComputeBusy(),
+		TransferBusy:     r.bus.BusyTime(pcie.HostToDevice) + r.bus.BusyTime(pcie.DeviceToHost),
+		Overlap:          tr.Overlap("pcie-h2d", "mic-compute") + tr.Overlap("pcie-d2h", "mic-compute"),
+		KernelLaunches:   r.launcher.Launches(),
+		Transfers:        r.bus.TotalTransfers(),
+		BytesIn:          r.bus.BytesMoved(pcie.HostToDevice),
+		BytesOut:         r.bus.BytesMoved(pcie.DeviceToHost),
+		PeakDeviceBytes:  r.mem.Peak(),
+	}
+}
+
+// maxRaceWarnings caps the reported races; one real pipelining bug
+// typically races on every block.
+const maxRaceWarnings = 16
+
+// detectDeadlocks reports, after the simulation drained, any kernel or
+// signal tag that never completed — the signature of a wait on a tag no
+// transfer or offload ever signals.
+func (r *Runtime) detectDeadlocks() []string {
+	var warns []string
+	for i, done := range r.kernelDone {
+		if !done.Fired() {
+			warns = append(warns, fmt.Sprintf("kernel %d never ran (waiting on a signal that never fires?)", i))
+		}
+	}
+	for name, ev := range r.tags {
+		if !ev.Fired() {
+			warns = append(warns, fmt.Sprintf("signal tag %q was waited on but never signalled", name))
+		}
+	}
+	if !r.hostTail.Fired() {
+		warns = append(warns, "host never reached the end of the program")
+	}
+	return warns
+}
+
+// detectRaces scans, after the simulation has run, for DMA writes into a
+// device buffer that overlap in simulated time with a kernel that touched
+// the same buffer. A correctly double-buffered pipeline never triggers
+// this: the prefetch always targets the buffer the kernel is NOT using.
+func (r *Runtime) detectRaces() []string {
+	var warns []string
+	for _, w := range r.bufWrites {
+		if !w.done.Fired() {
+			continue
+		}
+		ws, we := w.bounds()
+		for _, k := range r.kernelUses {
+			if k.buf != w.buf || !k.done.Fired() {
+				continue
+			}
+			// Disjoint byte ranges (Figure 5(b): prefetch into a different
+			// section of the same device array) are not a race.
+			if w.hiByte <= k.loByte || k.hiByte <= w.loByte {
+				continue
+			}
+			ks, ke := k.bounds()
+			if ws < ke && ks < we {
+				warns = append(warns, fmt.Sprintf(
+					"race on device buffer %q: transfer %s [%v,%v) overlaps kernel %s [%v,%v)",
+					w.buf, w.label, ws, we, k.label, ks, ke))
+				if len(warns) >= maxRaceWarnings {
+					return warns
+				}
+			}
+		}
+	}
+	return warns
+}
+
+// Result bundles a program execution with its simulated statistics.
+type Result struct {
+	Stats   Stats
+	Program *interp.Program
+}
+
+// Run executes a compiled program on a fresh runtime and returns the
+// statistics. The program is Reset first so repeated Runs are independent.
+func Run(p *interp.Program, cfg Config) (Result, error) {
+	if err := p.Reset(); err != nil {
+		return Result{}, err
+	}
+	rt := New(cfg)
+	if err := p.Run(rt); err != nil {
+		return Result{}, err
+	}
+	return Result{Stats: rt.Finish(), Program: p}, nil
+}
+
+// RunWithSetup executes a compiled program after applying an input-
+// injection hook (workloads use it to load generated data between Reset
+// and execution).
+func RunWithSetup(p *interp.Program, cfg Config, setup func(*interp.Program) error) (Result, error) {
+	if err := p.Reset(); err != nil {
+		return Result{}, err
+	}
+	if setup != nil {
+		if err := setup(p); err != nil {
+			return Result{}, err
+		}
+	}
+	rt := New(cfg)
+	if err := p.Run(rt); err != nil {
+		return Result{}, err
+	}
+	return Result{Stats: rt.Finish(), Program: p}, nil
+}

@@ -1,0 +1,242 @@
+// Package shmem implements COMP's shared-memory mechanism for large
+// pointer-based data structures (§V), replacing Intel MYO.
+//
+// Design, per the paper:
+//
+//   - Buffer allocation (§V-A): objects are allocated bump-style inside a
+//     set of equal-sized segments. A new segment is created only when the
+//     current one fills, so memory usage stays proportional to the data
+//     when it is small, the whole device memory is usable when it is
+//     large, and growth never moves data (unlike a realloc-and-copy
+//     buffer, whose size is also bounded by the largest contiguous chunk
+//     the OS will hand out).
+//
+//   - Pointer translation (§V-B, Table I): every shared pointer carries a
+//     one-byte buffer id (bid) beside the address. Copying segments to the
+//     device fills a delta table (device base − host base per segment);
+//     dereferencing on the device adds delta[bid] to the stored host
+//     address. Without the bid, translation must search the segment list.
+package shmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooManyBuffers is returned when the 1-byte bid space is exhausted.
+var ErrTooManyBuffers = errors.New("shmem: more than 256 segments")
+
+// Config sizes the heap.
+type Config struct {
+	// SegmentBytes is the fixed size of each buffer (§V-A "predefined
+	// size").
+	SegmentBytes int64
+}
+
+// DefaultConfig uses 4 MiB segments, large enough to amortize DMA setup
+// and small enough to keep unused reservations low.
+func DefaultConfig() Config { return Config{SegmentBytes: 4 << 20} }
+
+// Ptr is an augmented shared pointer: the host virtual address plus the id
+// of the segment the pointee lives in (Table I).
+type Ptr struct {
+	Addr uint64
+	BID  uint8
+}
+
+// IsNil reports whether the pointer is null.
+func (p Ptr) IsNil() bool { return p.Addr == 0 }
+
+// Segment is one preallocated buffer.
+type Segment struct {
+	ID   uint8
+	Base uint64 // host base address
+	Size int64
+	Used int64
+	// DevBase is the device copy's base address; zero before CopyToDevice.
+	DevBase uint64
+}
+
+// End returns the first host address past the segment.
+func (s *Segment) End() uint64 { return s.Base + uint64(s.Size) }
+
+// Heap is the host-side shared allocator.
+type Heap struct {
+	cfg      Config
+	segments []*Segment
+	nextBase uint64
+	allocs   int64
+	// delta[bid] = device base - host base, valid after CopyToDevice.
+	delta     []int64
+	deltaOK   bool
+	translate int64 // count of translations, for diagnostics
+	searches  int64 // count of linear-search steps (baseline strategy)
+}
+
+// NewHeap creates an empty heap. Host addresses are synthetic (the heap is
+// simulated) but behave like real addresses: distinct, ordered, stable.
+func NewHeap(cfg Config) *Heap {
+	if cfg.SegmentBytes <= 0 {
+		panic("shmem: segment size must be positive")
+	}
+	// Leave address 0 unused so Ptr{0,0} is a genuine null.
+	return &Heap{cfg: cfg, nextBase: 1 << 20}
+}
+
+// SegmentCount returns the number of segments allocated so far.
+func (h *Heap) SegmentCount() int { return len(h.segments) }
+
+// AllocCount returns the number of Malloc calls.
+func (h *Heap) AllocCount() int64 { return h.allocs }
+
+// TotalReserved returns bytes reserved across all segments.
+func (h *Heap) TotalReserved() int64 { return int64(len(h.segments)) * h.cfg.SegmentBytes }
+
+// TotalUsed returns bytes actually occupied by objects.
+func (h *Heap) TotalUsed() int64 {
+	var n int64
+	for _, s := range h.segments {
+		n += s.Used
+	}
+	return n
+}
+
+// Segments returns the segment list (read-only use).
+func (h *Heap) Segments() []*Segment { return h.segments }
+
+func (h *Heap) addSegment() (*Segment, error) {
+	if len(h.segments) >= 256 {
+		return nil, ErrTooManyBuffers
+	}
+	s := &Segment{
+		ID:   uint8(len(h.segments)),
+		Base: h.nextBase,
+		Size: h.cfg.SegmentBytes,
+	}
+	// Keep host segments non-adjacent so address arithmetic cannot
+	// accidentally cross segments undetected.
+	h.nextBase += uint64(h.cfg.SegmentBytes) + (1 << 20)
+	h.segments = append(h.segments, s)
+	return s, nil
+}
+
+// Malloc allocates size bytes of shared memory, returning an augmented
+// pointer. Objects never span segments; a fresh segment is created when
+// the current one cannot fit the request (§V-A: no data movement, no
+// up-front reservation).
+func (h *Heap) Malloc(size int64) (Ptr, error) {
+	if size <= 0 {
+		return Ptr{}, fmt.Errorf("shmem: invalid allocation size %d", size)
+	}
+	if size > h.cfg.SegmentBytes {
+		return Ptr{}, fmt.Errorf("shmem: object of %d bytes exceeds segment size %d", size, h.cfg.SegmentBytes)
+	}
+	var seg *Segment
+	if n := len(h.segments); n > 0 {
+		last := h.segments[n-1]
+		if last.Size-last.Used >= size {
+			seg = last
+		}
+	}
+	if seg == nil {
+		var err error
+		seg, err = h.addSegment()
+		if err != nil {
+			return Ptr{}, err
+		}
+	}
+	p := Ptr{Addr: seg.Base + uint64(seg.Used), BID: seg.ID}
+	seg.Used += size
+	h.allocs++
+	h.deltaOK = false // device copy is stale
+	return p, nil
+}
+
+// AddressOf implements Table I's `p = &obj`: it builds a pointer to a host
+// address, deriving the bid from the owning segment (the obj.bid field in
+// the paper's augmented objects).
+func (h *Heap) AddressOf(addr uint64) (Ptr, error) {
+	seg := h.findSegment(addr)
+	if seg == nil {
+		return Ptr{}, fmt.Errorf("shmem: address %#x is not in shared memory", addr)
+	}
+	return Ptr{Addr: addr, BID: seg.ID}, nil
+}
+
+// findSegment locates the segment containing a host address (linear scan;
+// this is exactly the cost the bid field avoids on the hot path).
+func (h *Heap) findSegment(addr uint64) *Segment {
+	for _, s := range h.segments {
+		h.searches++
+		if addr >= s.Base && addr < s.End() {
+			return s
+		}
+	}
+	return nil
+}
+
+// CopyToDevice simulates copying every segment to device memory at the
+// given base addresses and rebuilds the delta table. devBases must have
+// one entry per segment. Returns the total bytes that must move (the
+// caller charges DMA time for them).
+func (h *Heap) CopyToDevice(devBases []uint64) (int64, error) {
+	if len(devBases) != len(h.segments) {
+		return 0, fmt.Errorf("shmem: %d device bases for %d segments", len(devBases), len(h.segments))
+	}
+	h.delta = make([]int64, len(h.segments))
+	var bytes int64
+	for i, s := range h.segments {
+		s.DevBase = devBases[i]
+		h.delta[i] = int64(devBases[i]) - int64(s.Base)
+		bytes += s.Used
+	}
+	h.deltaOK = true
+	return bytes, nil
+}
+
+// DeltaTable returns the translation table (device − host base per bid).
+func (h *Heap) DeltaTable() ([]int64, error) {
+	if !h.deltaOK {
+		return nil, errors.New("shmem: delta table stale; call CopyToDevice first")
+	}
+	return h.delta, nil
+}
+
+// Translate implements the device-side dereference of Table I:
+// *(p.addr + delta[p.bid]). Constant time thanks to the bid field.
+func (h *Heap) Translate(p Ptr) (uint64, error) {
+	if !h.deltaOK {
+		return 0, errors.New("shmem: translate before CopyToDevice")
+	}
+	if int(p.BID) >= len(h.delta) {
+		return 0, fmt.Errorf("shmem: pointer bid %d out of range", p.BID)
+	}
+	h.translate++
+	return uint64(int64(p.Addr) + h.delta[p.BID]), nil
+}
+
+// TranslateLinear is the baseline §V-B strawman: identify the buffer by
+// comparing against every segment's bounds, then apply its delta. Used by
+// the ablation benchmark; TranslationSearchSteps exposes the cost.
+func (h *Heap) TranslateLinear(addr uint64) (uint64, error) {
+	if !h.deltaOK {
+		return 0, errors.New("shmem: translate before CopyToDevice")
+	}
+	seg := h.findSegment(addr)
+	if seg == nil {
+		return 0, fmt.Errorf("shmem: address %#x is not in shared memory", addr)
+	}
+	h.translate++
+	return uint64(int64(addr) + h.delta[seg.ID]), nil
+}
+
+// TranslationCount returns the number of pointer translations performed.
+func (h *Heap) TranslationCount() int64 { return h.translate }
+
+// TranslationSearchSteps returns the cumulative segment comparisons made
+// by linear lookups (AddressOf and TranslateLinear).
+func (h *Heap) TranslationSearchSteps() int64 { return h.searches }
+
+// DeviceAddrStable verifies Table I's `p1 = p2` invariant: pointers copy
+// bit-for-bit because they keep storing host addresses on both sides.
+func DeviceAddrStable(p1, p2 Ptr) bool { return p1 == p2 }

@@ -1,0 +1,310 @@
+package shmem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func heap(segBytes int64) *Heap {
+	return NewHeap(Config{SegmentBytes: segBytes})
+}
+
+func TestMallocBumpAllocates(t *testing.T) {
+	h := heap(1024)
+	p1, err := h.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := h.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.BID != 0 || p2.BID != 0 {
+		t.Fatalf("bids = %d,%d, want 0,0", p1.BID, p2.BID)
+	}
+	if p2.Addr != p1.Addr+100 {
+		t.Fatalf("second object at %#x, want %#x", p2.Addr, p1.Addr+100)
+	}
+	if h.SegmentCount() != 1 || h.AllocCount() != 2 {
+		t.Fatalf("segments=%d allocs=%d", h.SegmentCount(), h.AllocCount())
+	}
+}
+
+func TestSegmentGrowthWithoutDataMovement(t *testing.T) {
+	h := heap(256)
+	var first Ptr
+	for i := 0; i < 8; i++ {
+		p, err := h.Malloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = p
+		}
+	}
+	// 100-byte objects, 256-byte segments: 2 per segment, 8 objects -> 4 segments.
+	if h.SegmentCount() != 4 {
+		t.Fatalf("segments = %d, want 4", h.SegmentCount())
+	}
+	// Growth must not move earlier objects (§V-A).
+	p, err := h.AddressOf(first.Addr)
+	if err != nil || p != first {
+		t.Fatalf("first object moved: %+v vs %+v (%v)", p, first, err)
+	}
+}
+
+func TestMemoryProportionalWhenSmall(t *testing.T) {
+	h := heap(4 << 20)
+	if _, err := h.Malloc(1024); err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalReserved() != 4<<20 {
+		t.Fatalf("reserved = %d, want one segment", h.TotalReserved())
+	}
+	if h.TotalUsed() != 1024 {
+		t.Fatalf("used = %d, want 1024", h.TotalUsed())
+	}
+}
+
+func TestMallocErrors(t *testing.T) {
+	h := heap(1024)
+	if _, err := h.Malloc(0); err == nil {
+		t.Error("zero-size malloc accepted")
+	}
+	if _, err := h.Malloc(-5); err == nil {
+		t.Error("negative malloc accepted")
+	}
+	if _, err := h.Malloc(2048); err == nil {
+		t.Error("object larger than segment accepted")
+	}
+}
+
+func TestBidSpaceExhaustion(t *testing.T) {
+	h := heap(64)
+	var err error
+	for i := 0; i < 257; i++ {
+		_, err = h.Malloc(64)
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrTooManyBuffers) {
+		t.Fatalf("err = %v, want ErrTooManyBuffers", err)
+	}
+}
+
+func TestPointerTranslation(t *testing.T) {
+	h := heap(256)
+	var ptrs []Ptr
+	for i := 0; i < 6; i++ {
+		p, err := h.Malloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	// Device bases: arbitrary distinct values per segment.
+	bases := make([]uint64, h.SegmentCount())
+	for i := range bases {
+		bases[i] = uint64(0x10000000 + i*0x100000)
+	}
+	moved, err := h.CopyToDevice(bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != h.TotalUsed() {
+		t.Fatalf("moved %d bytes, want used %d", moved, h.TotalUsed())
+	}
+	for _, p := range ptrs {
+		dev, err := h.Translate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg := h.Segments()[p.BID]
+		want := seg.DevBase + (p.Addr - seg.Base)
+		if dev != want {
+			t.Fatalf("translate %+v = %#x, want %#x", p, dev, want)
+		}
+		// Linear translation must agree with bid-based translation.
+		lin, err := h.TranslateLinear(p.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lin != dev {
+			t.Fatalf("linear %#x != bid %#x", lin, dev)
+		}
+	}
+}
+
+func TestTranslateBeforeCopyFails(t *testing.T) {
+	h := heap(256)
+	p, _ := h.Malloc(10)
+	if _, err := h.Translate(p); err == nil {
+		t.Fatal("translate before CopyToDevice succeeded")
+	}
+	if _, err := h.DeltaTable(); err == nil {
+		t.Fatal("DeltaTable before CopyToDevice succeeded")
+	}
+}
+
+func TestDeltaStaleAfterNewAllocation(t *testing.T) {
+	h := heap(256)
+	h.Malloc(10)
+	if _, err := h.CopyToDevice([]uint64{0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	h.Malloc(10) // invalidates the device copy
+	p := Ptr{}
+	if _, err := h.Translate(p); err == nil {
+		t.Fatal("translation with stale delta table succeeded")
+	}
+}
+
+func TestAddressOfDerivesBid(t *testing.T) {
+	h := heap(128)
+	h.Malloc(128) // fill segment 0
+	p2, _ := h.Malloc(50)
+	if p2.BID != 1 {
+		t.Fatalf("second segment bid = %d, want 1", p2.BID)
+	}
+	got, err := h.AddressOf(p2.Addr + 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BID != 1 {
+		t.Fatalf("AddressOf bid = %d, want 1", got.BID)
+	}
+	if _, err := h.AddressOf(3); err == nil {
+		t.Fatal("AddressOf outside shared memory succeeded")
+	}
+}
+
+func TestLinearSearchCostGrowsWithSegments(t *testing.T) {
+	h := heap(64)
+	for i := 0; i < 32; i++ {
+		h.Malloc(64)
+	}
+	bases := make([]uint64, h.SegmentCount())
+	for i := range bases {
+		bases[i] = uint64(0x40000000 + i*0x100000)
+	}
+	h.CopyToDevice(bases)
+	before := h.TranslationSearchSteps()
+	// Translate an address in the last segment: the scan walks everything.
+	last := h.Segments()[31]
+	if _, err := h.TranslateLinear(last.Base); err != nil {
+		t.Fatal(err)
+	}
+	steps := h.TranslationSearchSteps() - before
+	if steps != 32 {
+		t.Fatalf("linear search took %d steps, want 32", steps)
+	}
+	// The bid path takes none.
+	before = h.TranslationSearchSteps()
+	if _, err := h.Translate(Ptr{Addr: last.Base, BID: 31}); err != nil {
+		t.Fatal(err)
+	}
+	if h.TranslationSearchSteps() != before {
+		t.Fatal("bid-based translation performed a search")
+	}
+}
+
+func TestPointerAssignmentStable(t *testing.T) {
+	// Table I: `p1 = p2` is a plain copy on both host and device because
+	// pointers always store host addresses.
+	p2 := Ptr{Addr: 0xdead, BID: 3}
+	p1 := p2
+	if !DeviceAddrStable(p1, p2) {
+		t.Fatal("pointer copy changed representation")
+	}
+}
+
+func TestNilPointer(t *testing.T) {
+	if !(Ptr{}).IsNil() {
+		t.Fatal("zero pointer not nil")
+	}
+	if (Ptr{Addr: 1}).IsNil() {
+		t.Fatal("non-zero pointer is nil")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero segment size accepted")
+		}
+	}()
+	NewHeap(Config{})
+}
+
+// Property: objects never overlap and each lies inside its segment.
+func TestNoOverlapProperty(t *testing.T) {
+	f := func(sizesRaw []uint8) bool {
+		h := heap(512)
+		type obj struct {
+			p    Ptr
+			size int64
+		}
+		var objs []obj
+		for _, s := range sizesRaw {
+			size := int64(s%200) + 1
+			p, err := h.Malloc(size)
+			if err != nil {
+				return errors.Is(err, ErrTooManyBuffers)
+			}
+			objs = append(objs, obj{p, size})
+		}
+		for i, a := range objs {
+			seg := h.Segments()[a.p.BID]
+			if a.p.Addr < seg.Base || a.p.Addr+uint64(a.size) > seg.End() {
+				return false
+			}
+			for _, b := range objs[i+1:] {
+				if a.p.Addr < b.p.Addr+uint64(b.size) && b.p.Addr < a.p.Addr+uint64(a.size) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bid-based and linear translation always agree.
+func TestTranslationAgreementProperty(t *testing.T) {
+	f := func(sizesRaw []uint8, devSeed uint32) bool {
+		h := heap(256)
+		var ptrs []Ptr
+		for _, s := range sizesRaw {
+			p, err := h.Malloc(int64(s%100) + 1)
+			if err != nil {
+				return errors.Is(err, ErrTooManyBuffers)
+			}
+			ptrs = append(ptrs, p)
+		}
+		if len(ptrs) == 0 {
+			return true
+		}
+		bases := make([]uint64, h.SegmentCount())
+		for i := range bases {
+			bases[i] = uint64(devSeed)<<12 + uint64(i)*uint64(h.cfg.SegmentBytes+64)
+		}
+		if _, err := h.CopyToDevice(bases); err != nil {
+			return false
+		}
+		for _, p := range ptrs {
+			a, err1 := h.Translate(p)
+			b, err2 := h.TranslateLinear(p.Addr)
+			if err1 != nil || err2 != nil || a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package devmem models the coprocessor's on-board memory.
+//
+// The Xeon Phi in the paper has 8 GB of GDDR5, no disk, and no swap: an
+// offload whose working set does not fit simply fails at runtime (§III-B).
+// This allocator reproduces that behaviour — a hard capacity, first-fit
+// allocation with coalescing frees, and peak-usage tracking so experiments
+// can report the memory-reduction results of Figure 13.
+package devmem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrOutOfMemory is returned when an allocation cannot be satisfied. It
+// corresponds to the runtime error the MIC raises when offloaded data does
+// not fit in device memory.
+var ErrOutOfMemory = errors.New("devmem: out of device memory")
+
+// Block is an allocated region of device memory.
+type Block struct {
+	Base  uint64
+	Size  uint64
+	Label string
+	freed bool
+}
+
+// End returns the first address past the block.
+func (b *Block) End() uint64 { return b.Base + b.Size }
+
+type hole struct{ base, size uint64 }
+
+// Allocator is a first-fit device-memory allocator with a hard capacity.
+// The zero value is unusable; construct with New.
+type Allocator struct {
+	capacity uint64
+	holes    []hole // sorted by base, non-adjacent
+	inUse    uint64
+	peak     uint64
+	reserved uint64 // OS-reserved portion, unavailable to applications
+	nAllocs  int64
+	nFrees   int64
+}
+
+// New creates an allocator with the given total capacity and an OS-reserved
+// region carved off the top (the paper notes part of the 8 GB is reserved
+// for the card's OS).
+func New(capacity, osReserved uint64) *Allocator {
+	if osReserved >= capacity {
+		panic(fmt.Sprintf("devmem: reserved %d >= capacity %d", osReserved, capacity))
+	}
+	usable := capacity - osReserved
+	return &Allocator{
+		capacity: usable,
+		reserved: osReserved,
+		holes:    []hole{{base: 0, size: usable}},
+	}
+}
+
+// Capacity returns the application-usable capacity in bytes.
+func (a *Allocator) Capacity() uint64 { return a.capacity }
+
+// InUse returns the bytes currently allocated.
+func (a *Allocator) InUse() uint64 { return a.inUse }
+
+// Peak returns the high-water mark of allocated bytes.
+func (a *Allocator) Peak() uint64 { return a.peak }
+
+// ResetPeak sets the high-water mark to the current usage, for measuring a
+// phase in isolation.
+func (a *Allocator) ResetPeak() { a.peak = a.inUse }
+
+// Available returns the free space in bytes (possibly fragmented).
+func (a *Allocator) Available() uint64 { return a.capacity - a.inUse }
+
+// AllocCount returns the number of successful allocations performed.
+func (a *Allocator) AllocCount() int64 { return a.nAllocs }
+
+// Alloc carves size bytes out of the first hole that fits. A zero-size
+// request is rejected: it always indicates a footprint-computation bug in
+// the caller.
+func (a *Allocator) Alloc(size uint64, label string) (*Block, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("devmem: zero-size allocation for %q", label)
+	}
+	for i, h := range a.holes {
+		if h.size < size {
+			continue
+		}
+		b := &Block{Base: h.base, Size: size, Label: label}
+		if h.size == size {
+			a.holes = append(a.holes[:i], a.holes[i+1:]...)
+		} else {
+			a.holes[i] = hole{base: h.base + size, size: h.size - size}
+		}
+		a.inUse += size
+		if a.inUse > a.peak {
+			a.peak = a.inUse
+		}
+		a.nAllocs++
+		return b, nil
+	}
+	if size <= a.Available() {
+		return nil, fmt.Errorf("devmem: %w: %d bytes for %q (free %d, fragmented)", ErrOutOfMemory, size, label, a.Available())
+	}
+	return nil, fmt.Errorf("devmem: %w: %d bytes for %q (free %d of %d)", ErrOutOfMemory, size, label, a.Available(), a.capacity)
+}
+
+// MustAlloc is Alloc for callers that have already verified the footprint
+// fits; it panics on failure.
+func (a *Allocator) MustAlloc(size uint64, label string) *Block {
+	b, err := a.Alloc(size, label)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Free returns a block to the allocator, coalescing with adjacent holes.
+// Double frees panic: they always indicate a lifetime bug in a transform.
+func (a *Allocator) Free(b *Block) {
+	if b.freed {
+		panic(fmt.Sprintf("devmem: double free of %q [%d,%d)", b.Label, b.Base, b.End()))
+	}
+	b.freed = true
+	a.inUse -= b.Size
+	a.nFrees++
+	i := sort.Search(len(a.holes), func(i int) bool { return a.holes[i].base >= b.Base })
+	a.holes = append(a.holes, hole{})
+	copy(a.holes[i+1:], a.holes[i:])
+	a.holes[i] = hole{base: b.Base, size: b.Size}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.holes) && a.holes[i].base+a.holes[i].size == a.holes[i+1].base {
+		a.holes[i].size += a.holes[i+1].size
+		a.holes = append(a.holes[:i+1], a.holes[i+2:]...)
+	}
+	if i > 0 && a.holes[i-1].base+a.holes[i-1].size == a.holes[i].base {
+		a.holes[i-1].size += a.holes[i].size
+		a.holes = append(a.holes[:i], a.holes[i+1:]...)
+	}
+}
+
+// LargestHole returns the size of the biggest contiguous free region. The
+// paper's §V-A motivates segmented buffers by the OS bounding the largest
+// contiguous chunk; experiments use this to set that bound.
+func (a *Allocator) LargestHole() uint64 {
+	var max uint64
+	for _, h := range a.holes {
+		if h.size > max {
+			max = h.size
+		}
+	}
+	return max
+}
+
+// CheckInvariants verifies internal consistency: holes sorted, non-empty,
+// non-overlapping, non-adjacent, and accounting matches. Used by tests.
+func (a *Allocator) CheckInvariants() error {
+	var free uint64
+	for i, h := range a.holes {
+		if h.size == 0 {
+			return fmt.Errorf("hole %d empty", i)
+		}
+		if i > 0 {
+			prev := a.holes[i-1]
+			if prev.base+prev.size > h.base {
+				return fmt.Errorf("holes %d,%d overlap", i-1, i)
+			}
+			if prev.base+prev.size == h.base {
+				return fmt.Errorf("holes %d,%d not coalesced", i-1, i)
+			}
+		}
+		free += h.size
+	}
+	if free+a.inUse != a.capacity {
+		return fmt.Errorf("accounting: free %d + inUse %d != capacity %d", free, a.inUse, a.capacity)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package devmem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const MiB = 1 << 20
+const GiB = 1 << 30
+
+func TestNewReservesOSMemory(t *testing.T) {
+	a := New(8*GiB, 1*GiB)
+	if a.Capacity() != 7*GiB {
+		t.Fatalf("usable capacity = %d, want 7 GiB", a.Capacity())
+	}
+	if a.Available() != 7*GiB {
+		t.Fatalf("free = %d, want 7 GiB", a.Available())
+	}
+}
+
+func TestReservedAtLeastCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with reserved >= capacity did not panic")
+		}
+	}()
+	New(GiB, GiB)
+}
+
+func TestAllocAndFree(t *testing.T) {
+	a := New(GiB, 0)
+	b, err := a.Alloc(100*MiB, "sptprice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size != 100*MiB || b.Label != "sptprice" {
+		t.Fatalf("block = %+v", b)
+	}
+	if a.InUse() != 100*MiB {
+		t.Fatalf("InUse = %d", a.InUse())
+	}
+	a.Free(b)
+	if a.InUse() != 0 || a.Available() != GiB {
+		t.Fatalf("after free: inUse=%d free=%d", a.InUse(), a.Available())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSizeAllocRejected(t *testing.T) {
+	a := New(GiB, 0)
+	if _, err := a.Alloc(0, "empty"); err == nil {
+		t.Fatal("zero-size alloc succeeded")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	a := New(GiB, 0)
+	_, err := a.Alloc(2*GiB, "big")
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestOOMAfterFill(t *testing.T) {
+	a := New(GiB, 0)
+	if _, err := a.Alloc(GiB, "all"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1, "one"); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	a := New(GiB, 0)
+	b1 := a.MustAlloc(300*MiB, "x")
+	b2 := a.MustAlloc(200*MiB, "y")
+	a.Free(b1)
+	a.MustAlloc(100*MiB, "z")
+	if a.Peak() != 500*MiB {
+		t.Fatalf("peak = %d, want 500 MiB", a.Peak())
+	}
+	a.ResetPeak()
+	if a.Peak() != a.InUse() {
+		t.Fatalf("after ResetPeak, peak=%d inUse=%d", a.Peak(), a.InUse())
+	}
+	_ = b2
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(GiB, 0)
+	b := a.MustAlloc(MiB, "x")
+	a.Free(b)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	a.Free(b)
+}
+
+func TestCoalescingBothSides(t *testing.T) {
+	a := New(3*MiB, 0)
+	b1 := a.MustAlloc(MiB, "a")
+	b2 := a.MustAlloc(MiB, "b")
+	b3 := a.MustAlloc(MiB, "c")
+	// Free outer blocks first, then the middle: must coalesce into one hole.
+	a.Free(b1)
+	a.Free(b3)
+	a.Free(b2)
+	if a.LargestHole() != 3*MiB {
+		t.Fatalf("largest hole = %d, want 3 MiB (coalescing failed)", a.LargestHole())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentationBlocksLargeAlloc(t *testing.T) {
+	a := New(4*MiB, 0)
+	blocks := make([]*Block, 4)
+	for i := range blocks {
+		blocks[i] = a.MustAlloc(MiB, "x")
+	}
+	a.Free(blocks[0])
+	a.Free(blocks[2])
+	// 2 MiB free but split into two 1 MiB holes.
+	if _, err := a.Alloc(2*MiB, "big"); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected fragmentation OOM, got %v", err)
+	}
+	if a.LargestHole() != MiB {
+		t.Fatalf("largest hole = %d, want 1 MiB", a.LargestHole())
+	}
+}
+
+func TestFirstFitReusesFreedBlock(t *testing.T) {
+	a := New(10*MiB, 0)
+	b1 := a.MustAlloc(2*MiB, "a")
+	a.MustAlloc(MiB, "b")
+	a.Free(b1)
+	b3 := a.MustAlloc(MiB, "c")
+	if b3.Base != 0 {
+		t.Fatalf("first-fit should reuse hole at 0, got base %d", b3.Base)
+	}
+}
+
+func TestAllocCount(t *testing.T) {
+	a := New(GiB, 0)
+	for i := 0; i < 5; i++ {
+		a.MustAlloc(MiB, "x")
+	}
+	if a.AllocCount() != 5 {
+		t.Fatalf("AllocCount = %d, want 5", a.AllocCount())
+	}
+}
+
+func TestMustAllocPanicsOnOOM(t *testing.T) {
+	a := New(MiB, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAlloc OOM did not panic")
+		}
+	}()
+	a.MustAlloc(2*MiB, "big")
+}
+
+// Property: blocks returned by a random alloc/free workload never overlap,
+// and invariants hold after every operation.
+func TestRandomWorkloadInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(64*MiB, 0)
+	var live []*Block
+	for op := 0; op < 3000; op++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			size := uint64(rng.Intn(4*MiB) + 1)
+			b, err := a.Alloc(size, "r")
+			if err == nil {
+				for _, o := range live {
+					if b.Base < o.End() && o.Base < b.End() {
+						t.Fatalf("overlap: [%d,%d) and [%d,%d)", b.Base, b.End(), o.Base, o.End())
+					}
+				}
+				live = append(live, b)
+			}
+		} else {
+			i := rng.Intn(len(live))
+			a.Free(live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+	}
+}
+
+// Property: after freeing everything, the allocator returns to one hole
+// covering the whole capacity.
+func TestFreeAllRestoresFullCapacity(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := New(1<<24, 0)
+		var live []*Block
+		for _, s := range sizes {
+			if b, err := a.Alloc(uint64(s)+1, "x"); err == nil {
+				live = append(live, b)
+			}
+		}
+		for _, b := range live {
+			a.Free(b)
+		}
+		return a.InUse() == 0 && a.LargestHole() == a.Capacity() && a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package engine
+
+import "testing"
+
+// BenchmarkScheduling measures raw event throughput: the figure harness
+// schedules hundreds of thousands of events per evaluation run.
+func BenchmarkScheduling(b *testing.B) {
+	s := New()
+	s.Trace().SetEnabled(false)
+	for i := 0; i < b.N; i++ {
+		s.After(Duration(i%1000), func() {})
+		if i%4096 == 4095 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkPipeline measures a transfer-compute pipeline of 1000 blocks.
+func BenchmarkPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		s.Trace().SetEnabled(false)
+		xfer := s.NewResource("x", 1)
+		comp := s.NewResource("c", 1)
+		for j := 0; j < 1000; j++ {
+			t := xfer.Submit("t", 100)
+			comp.SubmitAfter(t, "k", 90)
+		}
+		s.Run()
+	}
+}

@@ -1,0 +1,228 @@
+// Package engine implements a deterministic discrete-event simulation core.
+//
+// The engine provides a virtual clock, an event calendar, one-shot events
+// (futures) and FIFO resources with a fixed number of servers. All higher
+// simulator layers (PCIe DMA, device memory, kernel launch) are built on
+// these primitives. Determinism is guaranteed by a strict (time, sequence)
+// ordering of scheduled callbacks: two callbacks scheduled for the same
+// virtual instant run in submission order.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds from simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds converts d to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Seconds converts t to floating-point seconds since simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}
+
+func (t Time) String() string { return Duration(t).String() }
+
+// DurationOf converts floating-point seconds to a Duration, rounding to the
+// nearest nanosecond. Negative inputs clamp to zero: the cost model never
+// produces a meaningful negative span, and clamping keeps resource timelines
+// monotone.
+func DurationOf(seconds float64) Duration {
+	if seconds <= 0 {
+		return 0
+	}
+	return Duration(seconds*float64(Second) + 0.5)
+}
+
+type scheduled struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type calendar []scheduled
+
+func (c calendar) Len() int { return len(c) }
+func (c calendar) Less(i, j int) bool {
+	if c[i].at != c[j].at {
+		return c[i].at < c[j].at
+	}
+	return c[i].seq < c[j].seq
+}
+func (c calendar) Swap(i, j int)       { c[i], c[j] = c[j], c[i] }
+func (c *calendar) Push(x interface{}) { *c = append(*c, x.(scheduled)) }
+func (c *calendar) Pop() interface{} {
+	old := *c
+	n := len(old)
+	it := old[n-1]
+	*c = old[:n-1]
+	return it
+}
+
+// Sim is a discrete-event simulation instance. The zero value is not usable;
+// construct with New.
+type Sim struct {
+	now   Time
+	seq   uint64
+	cal   calendar
+	trace *Trace
+	steps int64
+}
+
+// New returns an empty simulation positioned at time zero.
+func New() *Sim {
+	return &Sim{trace: NewTrace()}
+}
+
+// Now reports the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Trace returns the span recorder attached to this simulation.
+func (s *Sim) Trace() *Trace { return s.trace }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would break the monotone clock invariant.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("engine: schedule at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.cal, scheduled{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+Time(d), fn)
+}
+
+// Run executes scheduled callbacks in (time, sequence) order until the
+// calendar is empty, advancing the clock. It returns the final time.
+func (s *Sim) Run() Time {
+	for len(s.cal) > 0 {
+		it := heap.Pop(&s.cal).(scheduled)
+		s.now = it.at
+		s.steps++
+		it.fn()
+	}
+	return s.now
+}
+
+// Steps reports the number of callbacks executed so far; useful for
+// asserting that a model stays within an expected event budget.
+func (s *Sim) Steps() int64 { return s.steps }
+
+// Event is a one-shot future. Callbacks registered with OnFire run when the
+// event fires; registering on an already-fired event runs the callback
+// immediately (synchronously) with the original fire time.
+type Event struct {
+	sim     *Sim
+	name    string
+	fired   bool
+	at      Time
+	waiters []func(Time)
+}
+
+// NewEvent creates an unfired event. The name is used in diagnostics only.
+func (s *Sim) NewEvent(name string) *Event {
+	return &Event{sim: s, name: name}
+}
+
+// FiredEvent returns an event that is already fired at the current time.
+// It is the identity for AllOf and a convenient "no dependency" marker.
+func (s *Sim) FiredEvent() *Event {
+	return &Event{sim: s, name: "fired", fired: true, at: s.now}
+}
+
+// Fire marks the event fired at the current simulation time and runs all
+// registered callbacks. Firing twice panics: events are one-shot by design
+// and a double fire always indicates a protocol bug in the caller.
+func (e *Event) Fire() {
+	if e.fired {
+		panic("engine: event " + e.name + " fired twice")
+	}
+	e.fired = true
+	e.at = e.sim.now
+	ws := e.waiters
+	e.waiters = nil
+	for _, w := range ws {
+		w(e.at)
+	}
+}
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Time returns the fire time; it panics if the event has not fired.
+func (e *Event) Time() Time {
+	if !e.fired {
+		panic("engine: Time on unfired event " + e.name)
+	}
+	return e.at
+}
+
+// OnFire registers fn to run when the event fires. If the event already
+// fired, fn runs immediately with the original fire time.
+func (e *Event) OnFire(fn func(Time)) {
+	if e.fired {
+		fn(e.at)
+		return
+	}
+	e.waiters = append(e.waiters, fn)
+}
+
+// AllOf returns an event that fires when every input has fired. With no
+// inputs the result fires immediately.
+func AllOf(s *Sim, evs ...*Event) *Event {
+	out := s.NewEvent("all")
+	pending := 0
+	for _, e := range evs {
+		if !e.Fired() {
+			pending++
+		}
+	}
+	if pending == 0 {
+		out.fired = true
+		out.at = s.now
+		return out
+	}
+	remaining := pending
+	for _, e := range evs {
+		if e.Fired() {
+			continue
+		}
+		e.OnFire(func(Time) {
+			remaining--
+			if remaining == 0 {
+				out.Fire()
+			}
+		})
+	}
+	return out
+}

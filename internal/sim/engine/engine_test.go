@@ -1,0 +1,414 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", s.Now())
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	s := New()
+	var at Time
+	s.After(5*Microsecond, func() { at = s.Now() })
+	end := s.Run()
+	if at != Time(5*Microsecond) {
+		t.Errorf("callback ran at %v, want 5us", at)
+	}
+	if end != Time(5*Microsecond) {
+		t.Errorf("Run returned %v, want 5us", end)
+	}
+}
+
+func TestSameInstantRunsInSubmissionOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (ties must run FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestEventsInterleaveByTime(t *testing.T) {
+	s := New()
+	var order []string
+	s.At(30, func() { order = append(order, "c") })
+	s.At(10, func() { order = append(order, "a") })
+	s.At(20, func() { order = append(order, "b") })
+	s.Run()
+	got := order[0] + order[1] + order[2]
+	if got != "abc" {
+		t.Fatalf("execution order %q, want abc", got)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var fired []Time
+	s.After(10, func() {
+		s.After(10, func() {
+			fired = append(fired, s.Now())
+			s.After(10, func() { fired = append(fired, s.Now()) })
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 20 || fired[1] != 30 {
+		t.Fatalf("nested fire times = %v, want [20 30]", fired)
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	s := New()
+	s.At(50, func() {
+		ran := false
+		s.After(-10, func() { ran = true })
+		_ = ran
+	})
+	var at Time = -1
+	s.At(60, func() { at = s.Now() })
+	s.Run()
+	if at != 60 {
+		t.Fatalf("final event at %v, want 60", at)
+	}
+}
+
+func TestEventFireRunsWaiters(t *testing.T) {
+	s := New()
+	e := s.NewEvent("x")
+	var got Time = -1
+	e.OnFire(func(at Time) { got = at })
+	s.At(42, func() { e.Fire() })
+	s.Run()
+	if got != 42 {
+		t.Fatalf("waiter saw %v, want 42", got)
+	}
+	if !e.Fired() || e.Time() != 42 {
+		t.Fatalf("Fired=%v Time=%v, want true/42", e.Fired(), e.Time())
+	}
+}
+
+func TestOnFireAfterFiredRunsImmediately(t *testing.T) {
+	s := New()
+	e := s.FiredEvent()
+	ran := false
+	e.OnFire(func(Time) { ran = true })
+	if !ran {
+		t.Fatal("OnFire on fired event did not run synchronously")
+	}
+}
+
+func TestDoubleFirePanics(t *testing.T) {
+	s := New()
+	e := s.NewEvent("x")
+	e.Fire()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Fire did not panic")
+		}
+	}()
+	e.Fire()
+}
+
+func TestTimeOnUnfiredPanics(t *testing.T) {
+	s := New()
+	e := s.NewEvent("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("Time on unfired event did not panic")
+		}
+	}()
+	_ = e.Time()
+}
+
+func TestAllOfWaitsForEveryInput(t *testing.T) {
+	s := New()
+	a := s.NewEvent("a")
+	b := s.NewEvent("b")
+	all := AllOf(s, a, b)
+	var at Time = -1
+	all.OnFire(func(x Time) { at = x })
+	s.At(10, func() { a.Fire() })
+	s.At(25, func() { b.Fire() })
+	s.Run()
+	if at != 25 {
+		t.Fatalf("AllOf fired at %v, want 25 (latest input)", at)
+	}
+}
+
+func TestAllOfEmptyFiresImmediately(t *testing.T) {
+	s := New()
+	if !AllOf(s).Fired() {
+		t.Fatal("AllOf() with no inputs should be fired")
+	}
+}
+
+func TestAllOfWithPreFired(t *testing.T) {
+	s := New()
+	a := s.FiredEvent()
+	b := s.NewEvent("b")
+	all := AllOf(s, a, b)
+	if all.Fired() {
+		t.Fatal("AllOf fired before pending input")
+	}
+	s.At(7, func() { b.Fire() })
+	s.Run()
+	if !all.Fired() || all.Time() != 7 {
+		t.Fatalf("AllOf fired=%v time=%v, want true/7", all.Fired(), all.Time())
+	}
+}
+
+func TestResourceSerializesJobs(t *testing.T) {
+	s := New()
+	r := s.NewResource("pcie", 1)
+	d1 := r.Submit("a", 100)
+	d2 := r.Submit("b", 50)
+	s.Run()
+	if d1.Time() != 100 {
+		t.Errorf("job a done at %v, want 100", d1.Time())
+	}
+	if d2.Time() != 150 {
+		t.Errorf("job b done at %v, want 150 (must wait for a)", d2.Time())
+	}
+}
+
+func TestResourceParallelServers(t *testing.T) {
+	s := New()
+	r := s.NewResource("cores", 2)
+	d1 := r.Submit("a", 100)
+	d2 := r.Submit("b", 100)
+	d3 := r.Submit("c", 100)
+	s.Run()
+	if d1.Time() != 100 || d2.Time() != 100 {
+		t.Errorf("parallel jobs done at %v,%v, want 100,100", d1.Time(), d2.Time())
+	}
+	if d3.Time() != 200 {
+		t.Errorf("third job done at %v, want 200", d3.Time())
+	}
+}
+
+func TestSubmitAfterHonorsDependency(t *testing.T) {
+	s := New()
+	r := s.NewResource("mic", 1)
+	ready := s.NewEvent("ready")
+	done := r.SubmitAfter(ready, "k", 40)
+	s.At(60, func() { ready.Fire() })
+	s.Run()
+	if done.Time() != 100 {
+		t.Fatalf("dependent job done at %v, want 100", done.Time())
+	}
+}
+
+func TestPipelineOverlap(t *testing.T) {
+	// Two resources: transfers feed kernels. Classic streaming pipeline:
+	// with equal stage times the makespan is (N+1) stages, not 2N.
+	s := New()
+	xfer := s.NewResource("pcie", 1)
+	comp := s.NewResource("mic", 1)
+	const n = 8
+	const stage = 100
+	var last *Event
+	for i := 0; i < n; i++ {
+		tEv := xfer.Submit("t", stage)
+		last = comp.SubmitAfter(tEv, "k", stage)
+	}
+	s.Run()
+	want := Time((n + 1) * stage)
+	if last.Time() != want {
+		t.Fatalf("pipeline makespan %v, want %v", last.Time(), want)
+	}
+	if ov := s.Trace().Overlap("pcie", "mic"); ov <= 0 {
+		t.Fatal("expected transfer/compute overlap, got none")
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := New()
+	r := s.NewResource("bus", 1)
+	r.Submit("a", 50)
+	s.At(100, func() {}) // extend the clock to 100
+	s.Run()
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if r.BusyTime() != 50 {
+		t.Fatalf("busy time = %v, want 50", r.BusyTime())
+	}
+}
+
+func TestResourceZeroServersPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("NewResource(0) did not panic")
+		}
+	}()
+	s.NewResource("x", 0)
+}
+
+func TestTraceByResourceSorted(t *testing.T) {
+	s := New()
+	r := s.NewResource("r", 2)
+	r.Submit("b", 30)
+	r.Submit("a", 10)
+	s.Run()
+	spans := s.Trace().ByResource("r")
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Start > spans[1].Start {
+		t.Fatal("spans not sorted by start")
+	}
+}
+
+func TestTraceOverlapDisjoint(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Span{Resource: "a", Label: "x", Start: 0, End: 10})
+	tr.Add(Span{Resource: "b", Label: "y", Start: 10, End: 20})
+	if ov := tr.Overlap("a", "b"); ov != 0 {
+		t.Fatalf("overlap of adjacent spans = %v, want 0", ov)
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	s := New()
+	s.Trace().SetEnabled(false)
+	r := s.NewResource("r", 1)
+	r.Submit("a", 5)
+	s.Run()
+	if n := len(s.Trace().Spans()); n != 0 {
+		t.Fatalf("disabled trace recorded %d spans", n)
+	}
+}
+
+func TestDurationOf(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want Duration
+	}{
+		{0, 0},
+		{-1, 0},
+		{1e-9, 1},
+		{1, Second},
+		{0.5, 500 * Millisecond},
+	}
+	for _, c := range cases {
+		if got := DurationOf(c.sec); got != c.want {
+			t.Errorf("DurationOf(%v) = %v, want %v", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{5, "5ns"},
+		{1500, "1.500us"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+// Property: for any set of job durations on a single-server resource, the
+// completion time of the last job equals the sum of all durations (FIFO,
+// work-conserving, no preemption).
+func TestResourceWorkConservingProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		s := New()
+		r := s.NewResource("r", 1)
+		var last *Event
+		var sum Duration
+		for _, d := range durs {
+			dd := Duration(d)
+			sum += dd
+			last = r.Submit("j", dd)
+		}
+		s.Run()
+		return last.Time() == Time(sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with k servers and equal-duration jobs, makespan is
+// ceil(n/k) * d.
+func TestResourceParallelMakespanProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		k := int(kRaw%8) + 1
+		const d = 100
+		s := New()
+		r := s.NewResource("r", k)
+		var last *Event
+		for i := 0; i < n; i++ {
+			last = r.Submit("j", d)
+		}
+		s.Run()
+		waves := (n + k - 1) / k
+		return last.Time() == Time(waves*d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AllOf fires at the max of its inputs' fire times.
+func TestAllOfMaxProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		s := New()
+		evs := make([]*Event, len(times))
+		var max Time
+		for i, tt := range times {
+			evs[i] = s.NewEvent("e")
+			at := Time(tt)
+			if at > max {
+				max = at
+			}
+			e := evs[i]
+			s.At(at, func() { e.Fire() })
+		}
+		all := AllOf(s, evs...)
+		s.Run()
+		return all.Fired() && all.Time() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package engine
+
+// Resource models a set of identical FIFO servers (e.g. a DMA channel, the
+// device compute fabric, a host core pool). Jobs submitted to a resource run
+// in submission order as servers become free; each job occupies one server
+// for its stated duration. Completion is reported through an Event so that
+// dependent work can be chained without polling.
+type Resource struct {
+	sim     *Sim
+	name    string
+	servers int
+	busy    int
+	queue   []job
+	busyTot Duration // aggregate busy time across servers, for utilization
+}
+
+type job struct {
+	label string
+	dur   Duration
+	ready *Event // job may not start before this fires (already satisfied when queued)
+	done  *Event
+}
+
+// NewResource creates a resource with the given number of parallel servers.
+// servers must be at least 1.
+func (s *Sim) NewResource(name string, servers int) *Resource {
+	if servers < 1 {
+		panic("engine: resource " + name + " needs at least one server")
+	}
+	return &Resource{sim: s, name: name, servers: servers}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// BusyTime returns the total busy time accumulated across all servers.
+func (r *Resource) BusyTime() Duration { return r.busyTot }
+
+// Utilization returns busy time divided by (elapsed × servers); zero before
+// any time has passed.
+func (r *Resource) Utilization() float64 {
+	elapsed := r.sim.Now()
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(r.busyTot) / (float64(elapsed) * float64(r.servers))
+}
+
+// Submit enqueues a job of duration d and returns the event that fires when
+// the job completes.
+func (r *Resource) Submit(label string, d Duration) *Event {
+	return r.SubmitAfter(r.sim.FiredEvent(), label, d)
+}
+
+// SubmitAfter enqueues a job that becomes eligible to start only once ready
+// has fired. Ordering is by eligibility: the job joins the FIFO queue at the
+// moment ready fires.
+func (r *Resource) SubmitAfter(ready *Event, label string, d Duration) *Event {
+	if d < 0 {
+		d = 0
+	}
+	done := r.sim.NewEvent(r.name + ":" + label)
+	ready.OnFire(func(Time) {
+		r.queue = append(r.queue, job{label: label, dur: d, done: done})
+		r.dispatch()
+	})
+	return done
+}
+
+func (r *Resource) dispatch() {
+	for r.busy < r.servers && len(r.queue) > 0 {
+		j := r.queue[0]
+		r.queue = r.queue[1:]
+		r.busy++
+		start := r.sim.Now()
+		r.sim.After(j.dur, func() {
+			r.busy--
+			r.busyTot += j.dur
+			r.sim.trace.Add(Span{Resource: r.name, Label: j.label, Start: start, End: r.sim.Now()})
+			j.done.Fire()
+			r.dispatch()
+		})
+	}
+}
+
+// QueueLen reports the number of jobs waiting (not yet started).
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// InService reports the number of jobs currently occupying servers.
+func (r *Resource) InService() int { return r.busy }

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span records one completed job on a resource timeline.
+type Span struct {
+	Resource string
+	Label    string
+	Start    Time
+	End      Time
+}
+
+// Duration returns the span's length.
+func (sp Span) Duration() Duration { return Duration(sp.End - sp.Start) }
+
+// Trace accumulates completed spans for post-run inspection. It exists for
+// tests ("did the transfer of block i+1 overlap the compute of block i?")
+// and for the -trace flag of cmd/compsim.
+type Trace struct {
+	spans   []Span
+	enabled bool
+}
+
+// NewTrace returns an enabled trace recorder.
+func NewTrace() *Trace { return &Trace{enabled: true} }
+
+// SetEnabled toggles recording; disabling keeps existing spans.
+func (t *Trace) SetEnabled(on bool) { t.enabled = on }
+
+// Add records a span if recording is enabled.
+func (t *Trace) Add(sp Span) {
+	if t.enabled {
+		t.spans = append(t.spans, sp)
+	}
+}
+
+// Spans returns all recorded spans in completion order.
+func (t *Trace) Spans() []Span { return t.spans }
+
+// ByResource returns the spans recorded for one resource, sorted by start.
+func (t *Trace) ByResource(name string) []Span {
+	var out []Span
+	for _, sp := range t.spans {
+		if sp.Resource == name {
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Overlap reports the total time during which both a-labelled and b-labelled
+// spans were simultaneously active. It is the measurement behind the
+// paper's central claim: data streaming overlaps transfer with compute.
+func (t *Trace) Overlap(aResource, bResource string) Duration {
+	a := t.ByResource(aResource)
+	b := t.ByResource(bResource)
+	var total Duration
+	for _, x := range a {
+		for _, y := range b {
+			lo := x.Start
+			if y.Start > lo {
+				lo = y.Start
+			}
+			hi := x.End
+			if y.End < hi {
+				hi = y.End
+			}
+			if hi > lo {
+				total += Duration(hi - lo)
+			}
+		}
+	}
+	return total
+}
+
+// String renders a compact textual timeline, one line per span.
+func (t *Trace) String() string {
+	var b strings.Builder
+	spans := append([]Span(nil), t.spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Resource < spans[j].Resource
+	})
+	for _, sp := range spans {
+		fmt.Fprintf(&b, "%12v %12v  %-10s %s\n", sp.Start, sp.End, sp.Resource, sp.Label)
+	}
+	return b.String()
+}

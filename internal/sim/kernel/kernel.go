@@ -1,0 +1,99 @@
+// Package kernel models kernel execution on the coprocessor.
+//
+// A Launcher wraps the device's compute fabric as a single FIFO resource
+// (offloaded kernels from one process serialize on the card) and charges a
+// fixed launch overhead per kernel start. Persistent kernels — the paper's
+// "reusing MIC threads" optimization (§III-C) — pay the overhead once and
+// then process successive blocks on COI-style signals with no further
+// launch cost.
+package kernel
+
+import (
+	"comp/internal/sim/engine"
+)
+
+// Launcher schedules kernels on the device compute resource.
+type Launcher struct {
+	sim      *engine.Sim
+	compute  *engine.Resource
+	overhead engine.Duration
+	launches int64
+}
+
+// NewLauncher creates a launcher with the given per-launch overhead.
+func NewLauncher(sim *engine.Sim, overhead engine.Duration) *Launcher {
+	return &Launcher{
+		sim:      sim,
+		compute:  sim.NewResource("mic-compute", 1),
+		overhead: overhead,
+	}
+}
+
+// Overhead returns the per-launch cost.
+func (l *Launcher) Overhead() engine.Duration { return l.overhead }
+
+// Launches returns the number of kernel launches performed so far. Offload
+// merging and persistent kernels exist to shrink this number.
+func (l *Launcher) Launches() int64 { return l.launches }
+
+// ComputeBusy returns accumulated device compute busy time.
+func (l *Launcher) ComputeBusy() engine.Duration { return l.compute.BusyTime() }
+
+// Launch starts a kernel of the given duration once ready fires (nil means
+// immediately), paying the launch overhead. It returns the completion event.
+func (l *Launcher) Launch(ready *engine.Event, label string, dur engine.Duration) *engine.Event {
+	l.launches++
+	if ready == nil {
+		return l.compute.Submit(label, l.overhead+dur)
+	}
+	return l.compute.SubmitAfter(ready, label, l.overhead+dur)
+}
+
+// Persistent is a kernel launched once whose threads stay resident,
+// processing successive blocks as the host signals that their data is
+// ready. Blocks run in submission order; each runs after both its ready
+// event and the previous block have completed. Only the initial launch
+// pays the overhead.
+type Persistent struct {
+	l       *Launcher
+	label   string
+	prev    *engine.Event
+	blocks  int64
+	started bool
+}
+
+// LaunchPersistent starts a persistent kernel. The launch overhead is paid
+// before the first block runs.
+func (l *Launcher) LaunchPersistent(label string) *Persistent {
+	l.launches++
+	// The launch itself occupies the device for the overhead period.
+	startup := l.compute.Submit(label+":launch", l.overhead)
+	return &Persistent{l: l, label: label, prev: startup, started: true}
+}
+
+// RunBlock schedules one computation block; it begins when both ready has
+// fired and all earlier blocks are done. Returns the block's completion
+// event.
+func (p *Persistent) RunBlock(ready *engine.Event, label string, dur engine.Duration) *engine.Event {
+	if !p.started {
+		panic("kernel: RunBlock on exited persistent kernel " + p.label)
+	}
+	p.blocks++
+	deps := p.prev
+	if ready != nil {
+		deps = engine.AllOf(p.l.sim, p.prev, ready)
+	}
+	done := p.l.compute.SubmitAfter(deps, label, dur)
+	p.prev = done
+	return done
+}
+
+// Exit marks the kernel finished; the returned event fires when the last
+// block completes and the device threads are released.
+func (p *Persistent) Exit() *engine.Event {
+	p.started = false
+	return p.prev
+}
+
+// Blocks returns the number of blocks processed.
+func (p *Persistent) Blocks() int64 { return p.blocks }

@@ -1,0 +1,152 @@
+package kernel
+
+import (
+	"testing"
+
+	"comp/internal/sim/engine"
+)
+
+const ovh = 100 * engine.Microsecond
+
+func TestLaunchPaysOverhead(t *testing.T) {
+	s := engine.New()
+	l := NewLauncher(s, ovh)
+	done := l.Launch(nil, "k", engine.Millisecond)
+	s.Run()
+	want := engine.Time(ovh + engine.Millisecond)
+	if done.Time() != want {
+		t.Fatalf("kernel done at %v, want %v", done.Time(), want)
+	}
+	if l.Launches() != 1 {
+		t.Fatalf("launches = %d, want 1", l.Launches())
+	}
+}
+
+func TestKernelsSerialize(t *testing.T) {
+	s := engine.New()
+	l := NewLauncher(s, ovh)
+	l.Launch(nil, "a", engine.Millisecond)
+	d2 := l.Launch(nil, "b", engine.Millisecond)
+	s.Run()
+	want := engine.Time(2 * (ovh + engine.Millisecond))
+	if d2.Time() != want {
+		t.Fatalf("second kernel done at %v, want %v", d2.Time(), want)
+	}
+}
+
+func TestLaunchAfterWaits(t *testing.T) {
+	s := engine.New()
+	l := NewLauncher(s, ovh)
+	ready := s.NewEvent("data")
+	done := l.Launch(ready, "k", engine.Millisecond)
+	s.At(engine.Time(5*engine.Millisecond), func() { ready.Fire() })
+	s.Run()
+	want := engine.Time(5*engine.Millisecond + ovh + engine.Millisecond)
+	if done.Time() != want {
+		t.Fatalf("gated kernel done at %v, want %v", done.Time(), want)
+	}
+}
+
+func TestPersistentPaysOverheadOnce(t *testing.T) {
+	const n = 20
+	blockDur := engine.Millisecond
+
+	// Relaunching per block: n × (overhead + dur).
+	s1 := engine.New()
+	l1 := NewLauncher(s1, ovh)
+	var last *engine.Event
+	for i := 0; i < n; i++ {
+		last = l1.Launch(nil, "k", blockDur)
+	}
+	s1.Run()
+	relaunch := last.Time()
+	if l1.Launches() != n {
+		t.Fatalf("relaunch count = %d, want %d", l1.Launches(), n)
+	}
+
+	// Persistent kernel: overhead + n × dur.
+	s2 := engine.New()
+	l2 := NewLauncher(s2, ovh)
+	p := l2.LaunchPersistent("k")
+	for i := 0; i < n; i++ {
+		p.RunBlock(nil, "blk", blockDur)
+	}
+	exit := p.Exit()
+	s2.Run()
+	persistent := exit.Time()
+	if l2.Launches() != 1 {
+		t.Fatalf("persistent launches = %d, want 1", l2.Launches())
+	}
+	if p.Blocks() != n {
+		t.Fatalf("blocks = %d, want %d", p.Blocks(), n)
+	}
+
+	wantRelaunch := engine.Time(n * (ovh + blockDur))
+	wantPersistent := engine.Time(ovh + n*blockDur)
+	if relaunch != wantRelaunch {
+		t.Fatalf("relaunch makespan %v, want %v", relaunch, wantRelaunch)
+	}
+	if persistent != wantPersistent {
+		t.Fatalf("persistent makespan %v, want %v", persistent, wantPersistent)
+	}
+	saved := relaunch - persistent
+	if saved != engine.Time((n-1)*ovh) {
+		t.Fatalf("saved %v, want %v", saved, (n-1)*ovh)
+	}
+}
+
+func TestPersistentBlockWaitsForSignal(t *testing.T) {
+	s := engine.New()
+	l := NewLauncher(s, ovh)
+	p := l.LaunchPersistent("k")
+	sig := s.NewEvent("block2-data")
+	p.RunBlock(nil, "b1", engine.Millisecond)
+	d2 := p.RunBlock(sig, "b2", engine.Millisecond)
+	s.At(engine.Time(10*engine.Millisecond), func() { sig.Fire() })
+	s.Run()
+	want := engine.Time(10*engine.Millisecond + engine.Millisecond)
+	if d2.Time() != want {
+		t.Fatalf("signalled block done at %v, want %v", d2.Time(), want)
+	}
+}
+
+func TestPersistentBlocksStayOrdered(t *testing.T) {
+	// Even if a later block's data is ready first, blocks run in order.
+	s := engine.New()
+	l := NewLauncher(s, 0)
+	p := l.LaunchPersistent("k")
+	slow := s.NewEvent("slow")
+	d1 := p.RunBlock(slow, "b1", engine.Millisecond)
+	d2 := p.RunBlock(nil, "b2", engine.Millisecond)
+	s.At(engine.Time(4*engine.Millisecond), func() { slow.Fire() })
+	s.Run()
+	if d2.Time() <= d1.Time() {
+		t.Fatalf("block2 at %v before block1 at %v; persistent kernel must stay FIFO", d2.Time(), d1.Time())
+	}
+}
+
+func TestRunBlockAfterExitPanics(t *testing.T) {
+	s := engine.New()
+	l := NewLauncher(s, 0)
+	p := l.LaunchPersistent("k")
+	p.Exit()
+	defer func() {
+		if recover() == nil {
+			t.Error("RunBlock after Exit did not panic")
+		}
+	}()
+	p.RunBlock(nil, "b", engine.Millisecond)
+}
+
+func TestComputeBusyAccounting(t *testing.T) {
+	s := engine.New()
+	l := NewLauncher(s, ovh)
+	l.Launch(nil, "k", engine.Millisecond)
+	s.Run()
+	if got := l.ComputeBusy(); got != ovh+engine.Millisecond {
+		t.Fatalf("compute busy %v, want %v", got, ovh+engine.Millisecond)
+	}
+	if l.Overhead() != ovh {
+		t.Fatalf("Overhead() = %v, want %v", l.Overhead(), ovh)
+	}
+}

@@ -1,0 +1,205 @@
+// Package machine provides the performance model of the host CPU and the
+// manycore coprocessor used by the simulator.
+//
+// The model is deliberately simple and documented: a loop's execution time
+// is the maximum of its compute time (a roofline over cores × clock × IPC ×
+// SIMD lanes) and its memory time (bytes over effective bandwidth), plus
+// any serial portion executed on a single thread. Irregular (gathered)
+// accesses disable vectorization and waste cache-line bandwidth, which is
+// exactly the coupling the paper's regularization optimization exploits.
+package machine
+
+import (
+	"fmt"
+
+	"comp/internal/sim/engine"
+)
+
+// Profile summarizes the per-iteration behaviour of a loop body as derived
+// by static analysis (see internal/analysis). It is the interface between
+// the compiler and the performance model.
+type Profile struct {
+	// FlopsPerIter counts arithmetic operations per iteration; transcendental
+	// calls are pre-weighted by the analysis.
+	FlopsPerIter float64
+	// BytesPerIter counts bytes of memory traffic per iteration.
+	BytesPerIter float64
+	// Vectorizable reports whether the loop passes the vectorizer's checks
+	// (unit-stride accesses, no irregular gathers, no loop-carried deps).
+	Vectorizable bool
+	// Irregular reports whether the loop performs gathered/strided accesses
+	// that touch non-contiguous cache lines.
+	Irregular bool
+	// IrregularFrac is the fraction of BytesPerIter moved by irregular
+	// accesses (only meaningful when Irregular is true).
+	IrregularFrac float64
+}
+
+// Scaled returns a copy of p with flops and bytes multiplied by f; used when
+// a transformation splits or fuses loop bodies.
+func (p Profile) Scaled(f float64) Profile {
+	p.FlopsPerIter *= f
+	p.BytesPerIter *= f
+	return p
+}
+
+// Config describes one processor (host CPU or coprocessor).
+type Config struct {
+	Name           string
+	Cores          int
+	ThreadsPerCore int
+	ClockGHz       float64
+	// IPCPerCore is per-core sustained scalar operations per cycle when
+	// enough hardware threads are resident to fill the pipeline.
+	IPCPerCore float64
+	// SingleThreadIPC is the sustained IPC of a single software thread on
+	// one core. For the in-order MIC core this is far below IPCPerCore,
+	// which is why native mode and serial sections on the card are slow.
+	SingleThreadIPC float64
+	// VectorLanes is the SIMD width in 32-bit lanes (16 for MIC's 512-bit
+	// units, 8 for AVX on the host).
+	VectorLanes int
+	// VectorEff is the fraction of peak SIMD speedup achieved in practice.
+	VectorEff float64
+	// ScalarEff derates non-vectorizable parallel work. In-order cores
+	// (the Phi's Pentium-derived cores) lose far more than out-of-order
+	// hosts on branchy, irregular scalar code; this is why several
+	// benchmarks run slower on 200 MIC threads than on 4 CPU threads
+	// (Figure 1) even though peak scalar throughput favours the MIC.
+	ScalarEff float64
+	// MemBandwidthGBs is the aggregate DRAM bandwidth in GB/s.
+	MemBandwidthGBs float64
+	// CacheLineBytes is the line size used for irregular-access accounting.
+	CacheLineBytes int
+	// RandomAccessBytes is the useful payload per line on a gathered access
+	// (e.g. one 4-byte element per 64-byte line).
+	RandomAccessBytes int
+	// MemBytes and OSReservedBytes size the device memory (zero for host).
+	MemBytes        uint64
+	OSReservedBytes uint64
+	// LaunchOverhead is the fixed cost of launching one kernel (device only).
+	LaunchOverhead engine.Duration
+	// AllocOverhead is the host-visible cost of allocating one device
+	// buffer. §III-A hoists allocation out of streamed loops because "the
+	// allocation procedure will be invoked many times".
+	AllocOverhead engine.Duration
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("machine %s: cores %d < 1", c.Name, c.Cores)
+	case c.ThreadsPerCore < 1:
+		return fmt.Errorf("machine %s: threads/core %d < 1", c.Name, c.ThreadsPerCore)
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("machine %s: clock %v <= 0", c.Name, c.ClockGHz)
+	case c.IPCPerCore <= 0 || c.SingleThreadIPC <= 0:
+		return fmt.Errorf("machine %s: IPC must be positive", c.Name)
+	case c.VectorLanes < 1:
+		return fmt.Errorf("machine %s: vector lanes %d < 1", c.Name, c.VectorLanes)
+	case c.VectorEff <= 0 || c.VectorEff > 1:
+		return fmt.Errorf("machine %s: vector efficiency %v outside (0,1]", c.Name, c.VectorEff)
+	case c.ScalarEff <= 0 || c.ScalarEff > 1:
+		return fmt.Errorf("machine %s: scalar efficiency %v outside (0,1]", c.Name, c.ScalarEff)
+	case c.MemBandwidthGBs <= 0:
+		return fmt.Errorf("machine %s: memory bandwidth %v <= 0", c.Name, c.MemBandwidthGBs)
+	case c.CacheLineBytes <= 0 || c.RandomAccessBytes <= 0:
+		return fmt.Errorf("machine %s: cache line/random payload must be positive", c.Name)
+	case c.RandomAccessBytes > c.CacheLineBytes:
+		return fmt.Errorf("machine %s: random payload %d > line %d", c.Name, c.RandomAccessBytes, c.CacheLineBytes)
+	}
+	return nil
+}
+
+// MaxThreads returns the hardware thread count.
+func (c Config) MaxThreads() int { return c.Cores * c.ThreadsPerCore }
+
+// coresFor returns the number of cores engaged by the given thread count.
+func (c Config) coresFor(threads int) int {
+	if threads < 1 {
+		threads = 1
+	}
+	cores := (threads + c.ThreadsPerCore - 1) / c.ThreadsPerCore
+	if cores > c.Cores {
+		cores = c.Cores
+	}
+	return cores
+}
+
+// ScalarThroughput returns sustained scalar op/s with the given threads.
+func (c Config) ScalarThroughput(threads int) float64 {
+	cores := c.coresFor(threads)
+	perCore := c.IPCPerCore
+	// A core running fewer software threads than needed to fill its
+	// pipeline sustains only the single-thread rate.
+	if threads < cores*c.ThreadsPerCore && threads <= c.Cores {
+		perCore = c.SingleThreadIPC
+	}
+	return float64(cores) * c.ClockGHz * 1e9 * perCore
+}
+
+// SerialTime returns the time for `flops` operations on one thread. This is
+// the model behind the paper's observation that serial code hoisted onto the
+// MIC by offload merging runs much slower than on the host.
+func (c Config) SerialTime(flops float64) engine.Duration {
+	return engine.DurationOf(flops / (c.ClockGHz * 1e9 * c.SingleThreadIPC))
+}
+
+// EffectiveBandwidth returns memory bandwidth in bytes/s given the fraction
+// of traffic that is irregular. Each irregular element drags a whole cache
+// line across the memory system but uses only RandomAccessBytes of it.
+func (c Config) EffectiveBandwidth(irregularFrac float64) float64 {
+	if irregularFrac < 0 {
+		irregularFrac = 0
+	}
+	if irregularFrac > 1 {
+		irregularFrac = 1
+	}
+	peak := c.MemBandwidthGBs * 1e9
+	lineWaste := float64(c.CacheLineBytes) / float64(c.RandomAccessBytes)
+	// Weighted harmonic combination of regular and irregular traffic.
+	denom := (1 - irregularFrac) + irregularFrac*lineWaste
+	return peak / denom
+}
+
+// LoopTime estimates the wall time of iters loop iterations with profile p
+// using the given number of software threads. The estimate is a roofline:
+// max(compute, memory), with vectorization gating the compute leg.
+func (c Config) LoopTime(p Profile, iters int64, threads int) engine.Duration {
+	if iters <= 0 {
+		return 0
+	}
+	irr := 0.0
+	if p.Irregular {
+		irr = p.IrregularFrac
+		if irr == 0 {
+			irr = 1
+		}
+	}
+	return c.WorkTime(
+		p.FlopsPerIter*float64(iters),
+		p.BytesPerIter*float64(iters),
+		irr,
+		p.Vectorizable && !p.Irregular,
+		threads,
+	)
+}
+
+// WorkTime is the totals form of LoopTime, used with dynamically profiled
+// operation and traffic counts.
+func (c Config) WorkTime(flops, bytes, irregularFrac float64, vectorizable bool, threads int) engine.Duration {
+	tp := c.ScalarThroughput(threads)
+	if vectorizable {
+		tp *= float64(c.VectorLanes) * c.VectorEff
+	} else {
+		tp *= c.ScalarEff
+	}
+	computeSec := flops / tp
+	memSec := bytes / c.EffectiveBandwidth(irregularFrac)
+	sec := computeSec
+	if memSec > sec {
+		sec = memSec
+	}
+	return engine.DurationOf(sec)
+}

@@ -1,0 +1,129 @@
+// Package pcie models the PCIe link between the host and the coprocessor.
+//
+// The link is full duplex: host-to-device and device-to-host transfers use
+// independent DMA channels and can proceed concurrently (asynchronous
+// offload_transfer in LEO). Each DMA transfer pays a fixed setup latency
+// plus bytes/bandwidth. The fixed latency is what makes page-granularity
+// shared memory (MYO) slow — millions of tiny transfers each pay it — and
+// what the data-streaming block-size model trades against pipeline depth.
+package pcie
+
+import (
+	"fmt"
+
+	"comp/internal/sim/engine"
+)
+
+// Direction selects a DMA channel.
+type Direction int
+
+// Transfer directions.
+const (
+	HostToDevice Direction = iota
+	DeviceToHost
+)
+
+func (d Direction) String() string {
+	if d == HostToDevice {
+		return "h2d"
+	}
+	return "d2h"
+}
+
+// Config holds the link parameters.
+type Config struct {
+	// BandwidthGBs is the sustained per-direction DMA bandwidth in GB/s.
+	BandwidthGBs float64
+	// SetupLatency is the fixed cost of initiating one DMA transfer
+	// (driver call, descriptor setup, doorbell, completion interrupt).
+	SetupLatency engine.Duration
+}
+
+// Default returns the calibrated PCIe gen2 x16 parameters used in the
+// paper's evaluation platform. The setup latency is scaled down with the
+// workload sizes (see the note in internal/sim/machine/params.go) so that
+// the DMA-count effects — MYO's page-fault storm, per-offload descriptor
+// costs — keep their paper-scale ratios.
+func Default() Config {
+	return Config{BandwidthGBs: 6.0, SetupLatency: 100 * engine.Nanosecond}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BandwidthGBs <= 0 {
+		return fmt.Errorf("pcie: bandwidth %v <= 0", c.BandwidthGBs)
+	}
+	if c.SetupLatency < 0 {
+		return fmt.Errorf("pcie: negative setup latency %v", c.SetupLatency)
+	}
+	return nil
+}
+
+// Bus is the simulated link. Construct with New.
+type Bus struct {
+	cfg   Config
+	chans [2]*engine.Resource
+	bytes [2]int64
+	count [2]int64
+}
+
+// New attaches a bus to the simulation.
+func New(sim *engine.Sim, cfg Config) *Bus {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Bus{
+		cfg: cfg,
+		chans: [2]*engine.Resource{
+			sim.NewResource("pcie-h2d", 1),
+			sim.NewResource("pcie-d2h", 1),
+		},
+	}
+}
+
+// Config returns the bus parameters.
+func (b *Bus) Config() Config { return b.cfg }
+
+// TransferTime returns the duration of a single DMA of the given size.
+func (b *Bus) TransferTime(bytes int64) engine.Duration {
+	if bytes < 0 {
+		panic(fmt.Sprintf("pcie: negative transfer size %d", bytes))
+	}
+	wire := engine.DurationOf(float64(bytes) / (b.cfg.BandwidthGBs * 1e9))
+	return b.cfg.SetupLatency + wire
+}
+
+// Transfer starts a DMA in the given direction as soon as the channel is
+// free, returning the completion event.
+func (b *Bus) Transfer(dir Direction, label string, bytes int64) *engine.Event {
+	return b.TransferAfter(nil, dir, label, bytes)
+}
+
+// TransferAfter starts a DMA once ready has fired (nil means immediately).
+// Transfers in the same direction serialize on the channel FIFO; opposite
+// directions overlap freely.
+func (b *Bus) TransferAfter(ready *engine.Event, dir Direction, label string, bytes int64) *engine.Event {
+	ch := b.chans[dir]
+	b.bytes[dir] += bytes
+	b.count[dir]++
+	d := b.TransferTime(bytes)
+	if ready == nil {
+		return ch.Submit(label, d)
+	}
+	return ch.SubmitAfter(ready, label, d)
+}
+
+// BytesMoved returns the total bytes queued in the given direction.
+func (b *Bus) BytesMoved(dir Direction) int64 { return b.bytes[dir] }
+
+// TotalBytes returns bytes moved in both directions.
+func (b *Bus) TotalBytes() int64 { return b.bytes[0] + b.bytes[1] }
+
+// TransferCount returns the number of DMA operations in the direction.
+func (b *Bus) TransferCount(dir Direction) int64 { return b.count[dir] }
+
+// TotalTransfers returns the number of DMA operations in both directions.
+func (b *Bus) TotalTransfers() int64 { return b.count[0] + b.count[1] }
+
+// BusyTime returns accumulated busy time of the given channel.
+func (b *Bus) BusyTime(dir Direction) engine.Duration { return b.chans[dir].BusyTime() }

@@ -1,0 +1,165 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"comp/internal/sim/engine"
+)
+
+func cfg() Config {
+	return Config{BandwidthGBs: 1.0, SetupLatency: 10 * engine.Microsecond}
+}
+
+func TestTransferTime(t *testing.T) {
+	s := engine.New()
+	b := New(s, cfg())
+	// 1 GB at 1 GB/s = 1 s + 10 us setup.
+	got := b.TransferTime(1e9)
+	want := engine.Second + 10*engine.Microsecond
+	if got != want {
+		t.Fatalf("TransferTime(1e9) = %v, want %v", got, want)
+	}
+}
+
+func TestZeroByteTransferPaysSetupOnly(t *testing.T) {
+	s := engine.New()
+	b := New(s, cfg())
+	if got := b.TransferTime(0); got != 10*engine.Microsecond {
+		t.Fatalf("zero-byte transfer = %v, want setup latency only", got)
+	}
+}
+
+func TestNegativeTransferPanics(t *testing.T) {
+	s := engine.New()
+	b := New(s, cfg())
+	defer func() {
+		if recover() == nil {
+			t.Error("negative transfer size did not panic")
+		}
+	}()
+	b.TransferTime(-1)
+}
+
+func TestSameDirectionSerializes(t *testing.T) {
+	s := engine.New()
+	b := New(s, cfg())
+	e1 := b.Transfer(HostToDevice, "a", 1e9)
+	e2 := b.Transfer(HostToDevice, "b", 1e9)
+	s.Run()
+	if e2.Time() <= e1.Time() {
+		t.Fatalf("second h2d transfer finished at %v, first at %v; must serialize", e2.Time(), e1.Time())
+	}
+	per := engine.Second + 10*engine.Microsecond
+	if e2.Time() != engine.Time(2*per) {
+		t.Fatalf("second transfer done at %v, want %v", e2.Time(), 2*per)
+	}
+}
+
+func TestOppositeDirectionsOverlap(t *testing.T) {
+	s := engine.New()
+	b := New(s, cfg())
+	e1 := b.Transfer(HostToDevice, "in", 1e9)
+	e2 := b.Transfer(DeviceToHost, "out", 1e9)
+	s.Run()
+	if e1.Time() != e2.Time() {
+		t.Fatalf("full-duplex transfers finished at %v and %v, want equal", e1.Time(), e2.Time())
+	}
+}
+
+func TestTransferAfterWaits(t *testing.T) {
+	s := engine.New()
+	b := New(s, cfg())
+	ready := s.NewEvent("ready")
+	done := b.TransferAfter(ready, HostToDevice, "x", 0)
+	s.At(engine.Time(engine.Millisecond), func() { ready.Fire() })
+	s.Run()
+	want := engine.Time(engine.Millisecond + 10*engine.Microsecond)
+	if done.Time() != want {
+		t.Fatalf("gated transfer done at %v, want %v", done.Time(), want)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	s := engine.New()
+	b := New(s, cfg())
+	b.Transfer(HostToDevice, "a", 100)
+	b.Transfer(HostToDevice, "b", 200)
+	b.Transfer(DeviceToHost, "c", 50)
+	s.Run()
+	if b.BytesMoved(HostToDevice) != 300 || b.BytesMoved(DeviceToHost) != 50 {
+		t.Fatalf("bytes h2d=%d d2h=%d, want 300/50", b.BytesMoved(HostToDevice), b.BytesMoved(DeviceToHost))
+	}
+	if b.TotalBytes() != 350 || b.TotalTransfers() != 3 {
+		t.Fatalf("total bytes=%d transfers=%d, want 350/3", b.TotalBytes(), b.TotalTransfers())
+	}
+	if b.TransferCount(HostToDevice) != 2 {
+		t.Fatalf("h2d count = %d, want 2", b.TransferCount(HostToDevice))
+	}
+}
+
+func TestManySmallTransfersSlowerThanOneBig(t *testing.T) {
+	// The MYO pathology: the same bytes in page-sized pieces pay the setup
+	// latency per piece.
+	total := int64(1 << 28)
+	page := int64(4096)
+	s1 := engine.New()
+	b1 := New(s1, Default())
+	big := b1.Transfer(HostToDevice, "bulk", total)
+	s1.Run()
+
+	s2 := engine.New()
+	b2 := New(s2, Default())
+	var last *engine.Event
+	for off := int64(0); off < total; off += page {
+		last = b2.Transfer(HostToDevice, "page", page)
+	}
+	s2.Run()
+	ratio := float64(last.Time()) / float64(big.Time())
+	// The scaled setup latency alone costs each 4 KiB page ~15% of its
+	// wire time; MYO's much larger fault-handling overhead sits on top of
+	// this (covered in internal/myo's tests).
+	if ratio < 1.1 {
+		t.Fatalf("paged/bulk transfer ratio %.2f, want >= 1.1", ratio)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with zero bandwidth did not panic")
+		}
+	}()
+	New(engine.New(), Config{BandwidthGBs: 0})
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := (Config{BandwidthGBs: 1, SetupLatency: -1}).Validate(); err == nil {
+		t.Error("negative latency passed Validate")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if HostToDevice.String() != "h2d" || DeviceToHost.String() != "d2h" {
+		t.Fatal("direction strings wrong")
+	}
+}
+
+// Property: transfer time is additive in splits up to per-piece setup cost:
+// time(a+b) + setup == time(a) + time(b).
+func TestTransferTimeAdditiveProperty(t *testing.T) {
+	s := engine.New()
+	b := New(s, cfg())
+	f := func(a, bb uint32) bool {
+		whole := b.TransferTime(int64(a) + int64(bb))
+		split := b.TransferTime(int64(a)) + b.TransferTime(int64(bb))
+		diff := split - whole - cfg().SetupLatency
+		return diff >= -1 && diff <= 1 // nanosecond rounding
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

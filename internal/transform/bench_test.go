@@ -1,0 +1,24 @@
+package transform
+
+import (
+	"testing"
+
+	"comp/internal/minic"
+)
+
+// BenchmarkStreamTransform measures one full streaming code generation.
+func BenchmarkStreamTransform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := minic.Parse(streamCandidate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := minic.Check(f).Err(); err != nil {
+			b.Fatal(err)
+		}
+		loops := FindOffloadLoops(f)
+		if err := Stream(f, loops[0], StreamOptions{Blocks: 20, ReduceMemory: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

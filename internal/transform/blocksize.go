@@ -1,0 +1,80 @@
+package transform
+
+import (
+	"math"
+
+	"comp/internal/sim/engine"
+)
+
+// The §III-B block-count model. With total transfer time D, total
+// computation time C, per-launch overhead K and N blocks, streamed
+// execution takes
+//
+//	T(N) = D/N + max(C/N + K, D/N) * (N-1) + C/N + K.
+//
+// When compute dominates (C/N + K > D/N) the optimum is N = sqrt(D/K);
+// when transfer dominates it is N = (D - C)/K.
+
+// ModelTime evaluates T(N).
+func ModelTime(d, c, k engine.Duration, n int) engine.Duration {
+	if n < 1 {
+		n = 1
+	}
+	dn := float64(d) / float64(n)
+	cn := float64(c)/float64(n) + float64(k)
+	inner := cn
+	if dn > inner {
+		inner = dn
+	}
+	return engine.Duration(dn + inner*float64(n-1) + cn)
+}
+
+// OptimalBlocks returns the model's best block count, clamped to
+// [minBlocks, maxBlocks]. The clamp reflects the paper's observation that
+// the best N for most benchmarks lies between 10 and 40; outside that
+// range either launch overhead (large N) or lost overlap (small N)
+// dominates.
+func OptimalBlocks(d, c, k engine.Duration) int {
+	const (
+		minBlocks = 2
+		maxBlocks = 64
+	)
+	if k <= 0 {
+		return maxBlocks
+	}
+	if d <= 0 {
+		return minBlocks
+	}
+	var n float64
+	if c >= d {
+		// Compute-bound: N* = sqrt(D/K).
+		n = math.Sqrt(float64(d) / float64(k))
+	} else {
+		// Transfer-bound: N* = (D - C)/K, but never below the
+		// compute-bound answer.
+		n = float64(d-c) / float64(k)
+		if s := math.Sqrt(float64(d) / float64(k)); n < s {
+			n = s
+		}
+	}
+	best := int(n + 0.5)
+	if best < minBlocks {
+		best = minBlocks
+	}
+	if best > maxBlocks {
+		best = maxBlocks
+	}
+	// The model is coarse; refine by direct evaluation around the analytic
+	// answer (cheap, and robust to the max() kink).
+	bestT := ModelTime(d, c, k, best)
+	for cand := minBlocks; cand <= maxBlocks; cand++ {
+		if t := ModelTime(d, c, k, cand); t < bestT {
+			best, bestT = cand, t
+		}
+	}
+	return best
+}
+
+// DefaultBlocks is used when no profile is available; the paper sweeps
+// N in {10, 20, 40, 50} and finds 10–40 best for most benchmarks.
+const DefaultBlocks = 20

@@ -1,0 +1,192 @@
+package transform
+
+import (
+	"fmt"
+
+	"comp/internal/analysis"
+	"comp/internal/minic"
+)
+
+// MergeOffloads implements §III-C "merging offload": a host loop whose body
+// performs several small offloads is rewritten so the whole loop runs in
+// one offload. The inner loops' in/out/inout clauses are combined to
+// populate the hoisted clause set; the serial glue between the inner loops
+// then executes (slowly, single-threaded) on the device, which the paper
+// accepts in exchange for eliminating per-iteration kernel launches and
+// transfers.
+func MergeOffloads(f *minic.File, outer *minic.ForStmt) error {
+	if OffloadPragma(outer) != nil {
+		return fmt.Errorf("transform: loop at %s is already offloaded", outer.Pos())
+	}
+	inner := innerOffloadLoops(outer)
+	if len(inner) == 0 {
+		return fmt.Errorf("transform: loop at %s contains no offloaded inner loops", outer.Pos())
+	}
+
+	// Union the inner clauses, remembering each array's length expression.
+	lengths := map[string]minic.Expr{}
+	var sets []analysis.Clauses
+	for _, il := range inner {
+		p := OffloadPragma(il)
+		var c analysis.Clauses
+		record := func(items []minic.TransferItem, dst *[]string) {
+			for _, it := range items {
+				if it.Length == nil {
+					c.Scalars = append(c.Scalars, it.Name)
+					continue
+				}
+				*dst = append(*dst, it.Name)
+				if _, ok := lengths[it.Name]; !ok {
+					lengths[it.Name] = it.Length
+				}
+			}
+		}
+		record(p.In, &c.In)
+		record(p.Out, &c.Out)
+		record(p.InOut, &c.InOut)
+		sets = append(sets, c)
+	}
+
+	// Host statements inside the outer loop also move to the device; their
+	// array accesses must be covered too.
+	outerInfo, err := analysis.Analyze(outer, f)
+	if err != nil {
+		return fmt.Errorf("transform: outer loop: %v", err)
+	}
+	hostClauses := analysis.InferClauses(outerInfo)
+	for _, name := range append(append(append([]string{}, hostClauses.In...), hostClauses.Out...), hostClauses.InOut...) {
+		if _, ok := lengths[name]; ok {
+			continue
+		}
+		ln := declaredArrayLen(f, name)
+		if ln == nil {
+			return fmt.Errorf("transform: cannot infer transfer length for array %s", name)
+		}
+		lengths[name] = ln
+	}
+	union := analysis.Union(append(sets, hostClauses)...)
+
+	// Build the hoisted pragma.
+	mp := &minic.Pragma{Kind: minic.PragmaOffload, Target: innerTarget(inner)}
+	addItems := func(names []string, dst *[]minic.TransferItem) {
+		for _, n := range names {
+			*dst = append(*dst, minic.TransferItem{Name: n, Length: minic.CloneExpr(lengths[n])})
+		}
+	}
+	addItems(union.In, &mp.In)
+	addItems(union.Out, &mp.Out)
+	addItems(union.InOut, &mp.InOut)
+	// Global scalars written inside the region must round-trip.
+	for _, s := range scalarWrites(f, outer) {
+		mp.InOut = append(mp.InOut, minic.TransferItem{Name: s})
+	}
+
+	// Strip the inner offload pragmas (keep omp) and attach the merged one.
+	for _, il := range inner {
+		var kept []*minic.Pragma
+		for _, p := range il.Pragmas {
+			if p.Kind != minic.PragmaOffload {
+				kept = append(kept, p)
+			}
+		}
+		il.Pragmas = kept
+	}
+	outer.Pragmas = append([]*minic.Pragma{mp}, outer.Pragmas...)
+	return nil
+}
+
+// innerOffloadLoops finds offloaded loops strictly inside outer.
+func innerOffloadLoops(outer *minic.ForStmt) []*minic.ForStmt {
+	var out []*minic.ForStmt
+	minic.Inspect(outer.Body, func(n minic.Node) bool {
+		if fs, ok := n.(*minic.ForStmt); ok && OffloadPragma(fs) != nil {
+			out = append(out, fs)
+		}
+		return true
+	})
+	return out
+}
+
+func innerTarget(inner []*minic.ForStmt) string {
+	for _, il := range inner {
+		if p := OffloadPragma(il); p != nil && p.Target != "" {
+			return p.Target
+		}
+	}
+	return "mic:0"
+}
+
+// declaredArrayLen returns the declared constant length of a global array.
+func declaredArrayLen(f *minic.File, name string) minic.Expr {
+	for _, d := range f.Decls {
+		if vd, ok := d.(*minic.VarDecl); ok && vd.Name == name {
+			if arr, ok := vd.Type.(*minic.Array); ok && arr.Len != nil {
+				return arr.Len
+			}
+		}
+	}
+	return nil
+}
+
+// scalarWrites lists global scalars assigned anywhere inside the loop.
+func scalarWrites(f *minic.File, loop *minic.ForStmt) []string {
+	globals := map[string]bool{}
+	for _, d := range f.Decls {
+		if vd, ok := d.(*minic.VarDecl); ok {
+			if minic.ElemOf(vd.Type) == nil {
+				globals[vd.Name] = true
+			}
+		}
+	}
+	// Locals shadow globals; collect declared locals.
+	locals := map[string]bool{}
+	minic.Inspect(loop, func(n minic.Node) bool {
+		if ds, ok := n.(*minic.DeclStmt); ok {
+			locals[ds.Decl.Name] = true
+		}
+		return true
+	})
+	seen := map[string]bool{}
+	var out []string
+	record := func(e minic.Expr) {
+		id, ok := e.(*minic.Ident)
+		if !ok {
+			return
+		}
+		if globals[id.Name] && !locals[id.Name] && !seen[id.Name] {
+			seen[id.Name] = true
+			out = append(out, id.Name)
+		}
+	}
+	minic.Inspect(loop, func(n minic.Node) bool {
+		switch x := n.(type) {
+		case *minic.AssignStmt:
+			record(x.LHS)
+		case *minic.IncDecStmt:
+			record(x.X)
+		}
+		return true
+	})
+	return out
+}
+
+// MergeCandidates returns host loops that contain at least minInner
+// offloaded inner loops — the streamcluster pattern (Figure 6).
+func MergeCandidates(f *minic.File, minInner int) []*minic.ForStmt {
+	var out []*minic.ForStmt
+	minic.Inspect(f, func(n minic.Node) bool {
+		fs, ok := n.(*minic.ForStmt)
+		if !ok {
+			return true
+		}
+		if OffloadPragma(fs) != nil {
+			return false // already a device loop
+		}
+		if len(innerOffloadLoops(fs)) >= minInner {
+			out = append(out, fs)
+			return false // do not nest candidates
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,171 @@
+package transform
+
+import (
+	"fmt"
+
+	"comp/internal/analysis"
+	"comp/internal/minic"
+)
+
+// GatherInfo describes one deferred regularization gather: the permutation
+// array that must be filled from the source array before each block of it
+// transfers. Index is the original irregular subscript expressed in terms
+// of IndexVar.
+type GatherInfo struct {
+	Perm     string
+	Src      string
+	Index    minic.Expr
+	IndexVar string
+}
+
+// ReorderArraysPipelined is the §IV "pipelining regularization with data
+// transfer and computation" variant of ReorderArrays: the permutation
+// arrays are allocated up front but filled block-by-block inside the
+// streamed loop, so the gather of block i+1 overlaps the computation of
+// block i. Only unguarded read accesses qualify (a scatter-back epilogue
+// would need the whole array finished).
+//
+// The loop body and offload clauses are rewritten exactly as ReorderArrays
+// does; the returned GatherInfo list must be handed to Stream (via
+// StreamOptions.Gathers), which emits the per-block gather loops. Without
+// a subsequent successful Stream the permutation arrays are never filled,
+// so callers must only commit this transformation when streaming follows
+// (see core.OptimizeFile, which falls back to the upfront gather).
+func ReorderArraysPipelined(f *minic.File, loop *minic.ForStmt) (int, []GatherInfo, error) {
+	info, err := analysis.Analyze(loop, f)
+	if err != nil {
+		return 0, nil, err
+	}
+	var cands []analysis.Irregularity
+	for _, c := range analysis.ReorderCandidates(info) {
+		if c.Access.Write {
+			continue // scatter-back cannot be pipelined blockwise
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return 0, nil, nil
+	}
+	if lo, ok := analysis.ConstInt(info.Lower); !ok || lo != 0 {
+		return 0, nil, fmt.Errorf("transform: pipelined reordering requires a zero lower bound")
+	}
+	off := OffloadPragma(loop)
+	if off == nil {
+		return 0, nil, fmt.Errorf("transform: pipelined reordering requires an offloaded loop")
+	}
+
+	type group struct {
+		array string
+		idx   minic.Expr
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, c := range cands {
+		key := c.Access.Array + "[" + minic.ExprString(c.Access.Index) + "]"
+		if groups[key] == nil {
+			groups[key] = &group{array: c.Access.Array, idx: c.Access.Index}
+			order = append(order, key)
+		}
+	}
+
+	seq := &nameSeq{}
+	nExpr := info.Upper
+	var prologue, epilogue []minic.Stmt
+	var newGlobals []*minic.VarDecl
+	var gathers []GatherInfo
+	taken := map[string]bool{}
+
+	for _, key := range order {
+		g := groups[key]
+		elem := globalElemType(f, g.array)
+		if elem == nil {
+			continue
+		}
+		permName := "__" + g.array + "_r"
+		for declaredGlobal(f, permName) || taken[permName] {
+			permName = seq.fresh(g.array + "_r")
+		}
+		taken[permName] = true
+		newGlobals = append(newGlobals, &minic.VarDecl{Name: permName, Type: &minic.Pointer{Elem: elem}})
+
+		prologue = append(prologue, &minic.AssignStmt{
+			Op:  "=",
+			LHS: ident(permName),
+			RHS: &minic.CallExpr{
+				Fun:  ident("malloc"),
+				Args: []minic.Expr{bin("*", paren(minic.CloneExpr(nExpr)), &minic.SizeofExpr{Of: elem})},
+			},
+		})
+		epilogue = append(epilogue, &minic.ExprStmt{X: &minic.CallExpr{Fun: ident("free"), Args: []minic.Expr{ident(permName)}}})
+
+		// Rewrite the body; defer the gather to the streaming pass.
+		want := minic.ExprString(g.idx)
+		arr := g.array
+		minic.Substitute(loop.Body, func(e minic.Expr) minic.Expr {
+			ie, ok := e.(*minic.IndexExpr)
+			if !ok {
+				return nil
+			}
+			id, ok := ie.X.(*minic.Ident)
+			if !ok || id.Name != arr || minic.ExprString(ie.Index) != want {
+				return nil
+			}
+			return index(permName, ident(info.IndexVar))
+		})
+		if off != nil {
+			off.In = append(off.In, minic.TransferItem{Name: permName, Length: minic.CloneExpr(nExpr)})
+		}
+		gathers = append(gathers, GatherInfo{
+			Perm:     permName,
+			Src:      g.array,
+			Index:    minic.CloneExpr(g.idx),
+			IndexVar: info.IndexVar,
+		})
+	}
+	if len(gathers) == 0 {
+		return 0, nil, nil
+	}
+	addGlobals(f, newGlobals...)
+	pruneUnusedItems(off, loop)
+	if !replaceStmt(f, loop, append(append(prologue, loop), epilogue...)) {
+		return 0, nil, fmt.Errorf("transform: loop not found in file")
+	}
+	return len(gathers), gathers, nil
+}
+
+// UpfrontGathers materializes deferred gathers as whole-array host loops
+// before the given statement — the fallback when streaming (which would
+// have pipelined them) does not apply after all.
+func UpfrontGathers(f *minic.File, loop minic.Stmt, gathers []GatherInfo, n minic.Expr) error {
+	seq := &nameSeq{}
+	var stmts []minic.Stmt
+	for _, gi := range gathers {
+		gv := seq.fresh("gv")
+		idx := cloneWithIndexVar(gi.Index, gi.IndexVar, gv)
+		lp := forLoop(gv, intLit(0), minic.CloneExpr(n), nil,
+			&minic.AssignStmt{Op: "=", LHS: index(gi.Perm, ident(gv)), RHS: index(gi.Src, idx)})
+		lp.Init = declInt(gv, intLit(0))
+		stmts = append(stmts, lp)
+	}
+	if !replaceStmt(f, loop, append(stmts, loop)) {
+		return fmt.Errorf("transform: loop not found for upfront gathers")
+	}
+	return nil
+}
+
+// gatherBlock emits the host-side gather of one block:
+//
+//	for (gv = start; gv < start + len; gv++) { perm[gv] = src[idx(gv)]; }
+func gatherBlock(g GatherInfo, gVar string, start minic.Expr, lenName string) minic.Stmt {
+	idx := cloneWithIndexVar(g.Index, g.IndexVar, gVar)
+	lo := paren(minic.CloneExpr(start))
+	hi := bin("+", paren(minic.CloneExpr(start)), ident(lenName))
+	body := &minic.AssignStmt{
+		Op:  "=",
+		LHS: index(g.Perm, ident(gVar)),
+		RHS: index(g.Src, idx),
+	}
+	lp := forLoop(gVar, lo, hi, nil, body)
+	lp.Init = declInt(gVar, lo)
+	return lp
+}

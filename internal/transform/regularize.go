@@ -1,0 +1,529 @@
+package transform
+
+import (
+	"fmt"
+
+	"comp/internal/analysis"
+	"comp/internal/minic"
+)
+
+// ReorderArrays implements §IV "reordering arrays": for each unguarded
+// gathered (A[B[i]]) or strided (A[c*i], c>1) access in a parallel loop, a
+// permutation array sorted by access order is built on the host before the
+// loop, and the loop reads the permutation array contiguously instead.
+// Written irregular arrays are scattered back after the loop. The loop
+// becomes regular, enabling data streaming and vectorization.
+//
+// It returns the number of accesses regularized (0 if none applied).
+func ReorderArrays(f *minic.File, loop *minic.ForStmt) (int, error) {
+	info, err := analysis.Analyze(loop, f)
+	if err != nil {
+		return 0, err
+	}
+	cands := analysis.ReorderCandidates(info)
+	if len(cands) == 0 {
+		return 0, nil
+	}
+	if lo, ok := analysis.ConstInt(info.Lower); !ok || lo != 0 {
+		return 0, fmt.Errorf("transform: reordering requires a zero lower bound")
+	}
+	off := OffloadPragma(loop)
+
+	// Group candidate accesses by (array, index expression).
+	type group struct {
+		array string
+		idx   minic.Expr
+		key   string
+		read  bool
+		write bool
+		elem  minic.Type
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, c := range cands {
+		key := c.Access.Array + "[" + minic.ExprString(c.Access.Index) + "]"
+		g := groups[key]
+		if g == nil {
+			g = &group{array: c.Access.Array, idx: c.Access.Index, key: key}
+			groups[key] = g
+			order = append(order, key)
+		}
+		if c.Access.Write {
+			g.write = true
+		} else {
+			g.read = true
+		}
+	}
+
+	seq := &nameSeq{}
+	nExpr := info.Upper
+	var prologue, epilogue []minic.Stmt
+	var newGlobals []*minic.VarDecl
+	gVar := seq.fresh("g")
+	prologue = append(prologue, declInt(gVar, intLit(0)))
+
+	count := 0
+	taken := map[string]bool{}
+	for _, key := range order {
+		g := groups[key]
+		g.elem = globalElemType(f, g.array)
+		if g.elem == nil {
+			continue
+		}
+		permName := "__" + g.array + "_r"
+		for declaredGlobal(f, permName) || taken[permName] {
+			permName = seq.fresh(g.array + "_r")
+		}
+		taken[permName] = true
+		newGlobals = append(newGlobals, &minic.VarDecl{Name: permName, Type: &minic.Pointer{Elem: g.elem}})
+
+		// permName = malloc(n * sizeof(elem));
+		alloc := &minic.AssignStmt{
+			Op:  "=",
+			LHS: ident(permName),
+			RHS: &minic.CallExpr{
+				Fun:  ident("malloc"),
+				Args: []minic.Expr{bin("*", paren(minic.CloneExpr(nExpr)), &minic.SizeofExpr{Of: g.elem})},
+			},
+		}
+		prologue = append(prologue, alloc)
+
+		// Gather in access order: perm[g] = A[idx(i->g)].
+		if g.read {
+			gatherIdx := cloneWithIndexVar(g.idx, info.IndexVar, gVar)
+			prologue = append(prologue, forLoop(gVar, intLit(0), minic.CloneExpr(nExpr), nil,
+				&minic.AssignStmt{Op: "=", LHS: index(permName, ident(gVar)), RHS: index(g.array, gatherIdx)},
+			))
+		}
+		// Scatter back for written irregular arrays.
+		if g.write {
+			scatterIdx := cloneWithIndexVar(g.idx, info.IndexVar, gVar)
+			epilogue = append(epilogue, forLoop(gVar, intLit(0), minic.CloneExpr(nExpr), nil,
+				&minic.AssignStmt{Op: "=", LHS: index(g.array, scatterIdx), RHS: index(permName, ident(gVar))},
+			))
+		}
+
+		// Rewrite the loop body.
+		want := minic.ExprString(g.idx)
+		arr := g.array
+		minic.Substitute(loop.Body, func(e minic.Expr) minic.Expr {
+			ie, ok := e.(*minic.IndexExpr)
+			if !ok {
+				return nil
+			}
+			id, ok := ie.X.(*minic.Ident)
+			if !ok || id.Name != arr || minic.ExprString(ie.Index) != want {
+				return nil
+			}
+			return index(permName, ident(info.IndexVar))
+		})
+
+		// Update the offload clauses.
+		if off != nil {
+			item := minic.TransferItem{Name: permName, Length: minic.CloneExpr(nExpr)}
+			switch {
+			case g.read && g.write:
+				off.InOut = append(off.InOut, item)
+			case g.write:
+				off.Out = append(off.Out, item)
+			default:
+				off.In = append(off.In, item)
+			}
+		}
+		epilogue = append(epilogue, &minic.ExprStmt{X: &minic.CallExpr{Fun: ident("free"), Args: []minic.Expr{ident(permName)}}})
+		count++
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	addGlobals(f, newGlobals...)
+	if off != nil {
+		pruneUnusedItems(off, loop)
+	}
+	if !replaceStmt(f, loop, append(append(prologue, loop), epilogue...)) {
+		return 0, fmt.Errorf("transform: loop not found in file")
+	}
+	return count, nil
+}
+
+// cloneWithIndexVar clones idx replacing the loop variable with newVar.
+func cloneWithIndexVar(idx minic.Expr, ivar, newVar string) minic.Expr {
+	c := minic.CloneExpr(idx)
+	wrap := &minic.ExprStmt{X: c}
+	minic.Substitute(wrap, func(e minic.Expr) minic.Expr {
+		if id, ok := e.(*minic.Ident); ok && id.Name == ivar {
+			return ident(newVar)
+		}
+		return nil
+	})
+	return wrap.X
+}
+
+// pruneUnusedItems drops pragma items whose arrays the (rewritten) loop no
+// longer touches — e.g. the original gathered array and its index array
+// once the permutation array replaces them (the nn effect: unnecessary
+// transfer removed).
+func pruneUnusedItems(p *minic.Pragma, loop *minic.ForStmt) {
+	used := map[string]bool{}
+	minic.Inspect(loop, func(n minic.Node) bool {
+		if ie, ok := n.(*minic.IndexExpr); ok {
+			if id, ok := ie.X.(*minic.Ident); ok {
+				used[id.Name] = true
+			}
+		}
+		return true
+	})
+	filter := func(items []minic.TransferItem) []minic.TransferItem {
+		var out []minic.TransferItem
+		for _, it := range items {
+			if it.Length == nil || used[it.Name] {
+				out = append(out, it)
+			}
+		}
+		return out
+	}
+	p.In = filter(p.In)
+	p.Out = filter(p.Out)
+	p.InOut = filter(p.InOut)
+}
+
+// SplitLoop implements §IV "splitting loops" (the srad shape): the
+// irregular prefix of the body is peeled into its own (non-vectorizable)
+// loop whose per-iteration scalar results are buffered in temporary
+// arrays; the regular remainder becomes a second, vectorizable loop. Both
+// loops stay in a single offload region so no extra transfers appear —
+// "this optimization is done statically, and there is no runtime
+// overhead".
+//
+// Returns false if the split pattern does not apply.
+func SplitLoop(f *minic.File, loop *minic.ForStmt) (bool, error) {
+	info, err := analysis.Analyze(loop, f)
+	if err != nil {
+		return false, err
+	}
+	sp := analysis.SplitPoint(info, f)
+	if sp == 0 {
+		return false, nil
+	}
+	off := OffloadPragma(loop)
+	omp := OmpPragma(loop)
+	if omp == nil {
+		return false, nil
+	}
+
+	prefix := loop.Body.Stmts[:sp]
+	suffix := loop.Body.Stmts[sp:]
+
+	// Locals declared in the prefix and referenced in the suffix are
+	// promoted to device-resident temporary arrays indexed by i.
+	promoted := map[string]minic.Type{}
+	var promotedOrder []string
+	for _, s := range prefix {
+		ds, ok := s.(*minic.DeclStmt)
+		if !ok {
+			continue
+		}
+		name := ds.Decl.Name
+		if usesIdent(suffix, name) {
+			promoted[name] = ds.Decl.Type
+			promotedOrder = append(promotedOrder, name)
+		}
+	}
+	if len(promoted) == 0 {
+		return false, nil
+	}
+
+	seq := &nameSeq{}
+	tmpOf := map[string]string{}
+	var newGlobals []*minic.VarDecl
+	for _, name := range promotedOrder {
+		tmp := "__t_" + name
+		for declaredGlobal(f, tmp) {
+			tmp = seq.fresh("t_" + name)
+		}
+		tmpOf[name] = tmp
+		newGlobals = append(newGlobals, &minic.VarDecl{Name: tmp, Type: &minic.Pointer{Elem: promoted[name]}})
+	}
+	addGlobals(f, newGlobals...)
+
+	ivar := info.IndexVar
+	substPromoted := func(stmts []minic.Stmt) []minic.Stmt {
+		blockStmts := make([]minic.Stmt, 0, len(stmts))
+		for _, s := range stmts {
+			cs := minic.CloneStmt(s)
+			// decl `T x = e;` becomes `__t_x[i] = e;`
+			if ds, ok := cs.(*minic.DeclStmt); ok {
+				if tmp, isPromoted := tmpOf[ds.Decl.Name]; isPromoted {
+					cs = &minic.AssignStmt{
+						Op:  "=",
+						LHS: index(tmp, ident(ivar)),
+						RHS: ds.Decl.Init,
+					}
+				}
+			}
+			minic.Substitute(cs, func(e minic.Expr) minic.Expr {
+				if id, ok := e.(*minic.Ident); ok {
+					if tmp, isPromoted := tmpOf[id.Name]; isPromoted {
+						return index(tmp, ident(ivar))
+					}
+				}
+				return nil
+			})
+			blockStmts = append(blockStmts, cs)
+		}
+		return blockStmts
+	}
+
+	mkLoop := func(stmts []minic.Stmt) *minic.ForStmt {
+		nl := &minic.ForStmt{
+			Pragmas: []*minic.Pragma{minic.ClonePragma(omp)},
+			Init:    minic.CloneStmt(loop.Init),
+			Cond:    minic.CloneExpr(loop.Cond),
+			Post:    minic.CloneStmt(loop.Post),
+			Body:    &minic.Block{Stmts: stmts},
+		}
+		return nl
+	}
+	loop1 := mkLoop(substPromoted(prefix))
+	loop2 := mkLoop(substPromoted(suffix))
+
+	// One offload region wraps both loops; the temporaries are device-only
+	// nocopy buffers sized to the iteration space.
+	wrapPragmas := []*minic.Pragma{}
+	if off != nil {
+		mp := minic.ClonePragma(off)
+		for _, name := range promotedOrder {
+			mp.NoCopy = append(mp.NoCopy, minic.TransferItem{
+				Name:    tmpOf[name],
+				Length:  minic.CloneExpr(info.Upper),
+				AllocIf: intLit(1),
+				FreeIf:  intLit(1),
+			})
+		}
+		wrapPragmas = append(wrapPragmas, mp)
+	}
+	onceVar := seq.fresh("once")
+	wrapper := forLoop(onceVar, intLit(0), intLit(1), wrapPragmas, loop1, loop2)
+	wrapper.Init = declInt(onceVar, intLit(0))
+
+	if !replaceStmt(f, loop, []minic.Stmt{wrapper}) {
+		return false, fmt.Errorf("transform: loop not found in file")
+	}
+	return true, nil
+}
+
+func usesIdent(stmts []minic.Stmt, name string) bool {
+	found := false
+	for _, s := range stmts {
+		minic.Inspect(s, func(n minic.Node) bool {
+			if id, ok := n.(*minic.Ident); ok && id.Name == name {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// AoSToSoA implements §IV "handling arrays of structures": the paper
+// converts arrays of structures to structures of arrays *statically* —
+// the layout itself changes at the declaration, so no runtime conversion
+// is needed. Every use of the struct array program-wide must be a member
+// access through a subscript (pts[e].f); anything else (whole-element
+// copies, pointers into the array) makes the transformation decline.
+//
+// The trigger is an AoS access pattern in the given loop; the rewrite then
+// applies to the whole file: the declaration splits into one array per
+// field, all accesses are rewritten, and every pragma item naming the
+// struct array is replaced by per-field items.
+//
+// Returns the number of struct arrays converted.
+func AoSToSoA(f *minic.File, loop *minic.ForStmt) (int, error) {
+	info, err := analysis.Analyze(loop, f)
+	if err != nil {
+		return 0, err
+	}
+	targets := map[string]*minic.StructType{}
+	var arrays []string
+	for _, ir := range analysis.ClassifyIrregular(info) {
+		if ir.Pattern != analysis.PatternAoS {
+			continue
+		}
+		name := ir.Access.Array
+		if _, seen := targets[name]; seen {
+			continue
+		}
+		st, _ := globalElemType(f, name).(*minic.StructType)
+		if st == nil {
+			continue
+		}
+		targets[name] = st
+		arrays = append(arrays, name)
+	}
+	if len(arrays) == 0 {
+		return 0, nil
+	}
+
+	converted := 0
+	for _, arrName := range arrays {
+		st := targets[arrName]
+		if !aosOnlyMemberUses(f, arrName) {
+			continue
+		}
+		// Build per-field declarations mirroring the original shape.
+		fieldArr := map[string]string{}
+		var newDecls []*minic.VarDecl
+		origLen := declaredArrayLen(f, arrName)
+		for _, fl := range st.Fields {
+			fa := "__" + arrName + "_" + fl.Name
+			for declaredGlobal(f, fa) {
+				fa = fa + "_"
+			}
+			fieldArr[fl.Name] = fa
+			var ft minic.Type
+			if origLen != nil {
+				ft = &minic.Array{Elem: fl.Type, Len: minic.CloneExpr(origLen)}
+			} else {
+				ft = &minic.Pointer{Elem: fl.Type}
+			}
+			newDecls = append(newDecls, &minic.VarDecl{Name: fa, Type: ft})
+		}
+		// Swap the declaration.
+		replaced := false
+		for i, d := range f.Decls {
+			vd, ok := d.(*minic.VarDecl)
+			if !ok || vd.Name != arrName {
+				continue
+			}
+			var nd []minic.Decl
+			nd = append(nd, f.Decls[:i]...)
+			for _, dd := range newDecls {
+				nd = append(nd, dd)
+			}
+			nd = append(nd, f.Decls[i+1:]...)
+			f.Decls = nd
+			replaced = true
+			break
+		}
+		if !replaced {
+			continue
+		}
+		// Rewrite every access program-wide.
+		for _, fd := range f.Funcs() {
+			if fd.Body == nil {
+				continue
+			}
+			minic.Substitute(fd.Body, func(e minic.Expr) minic.Expr {
+				me, ok := e.(*minic.MemberExpr)
+				if !ok {
+					return nil
+				}
+				ie, ok := me.X.(*minic.IndexExpr)
+				if !ok {
+					return nil
+				}
+				id, ok := ie.X.(*minic.Ident)
+				if !ok || id.Name != arrName {
+					return nil
+				}
+				return index(fieldArr[me.Field], minic.CloneExpr(ie.Index))
+			})
+		}
+		// Rewrite pragma items everywhere.
+		rewritePragmas(f, func(p *minic.Pragma) {
+			expand := func(items []minic.TransferItem) []minic.TransferItem {
+				var out []minic.TransferItem
+				for _, it := range items {
+					if it.Name != arrName {
+						out = append(out, it)
+						continue
+					}
+					for _, fl := range st.Fields {
+						nit := it
+						nit.Name = fieldArr[fl.Name]
+						nit.Length = minic.CloneExpr(it.Length)
+						out = append(out, nit)
+					}
+				}
+				return out
+			}
+			p.In = expand(p.In)
+			p.Out = expand(p.Out)
+			p.InOut = expand(p.InOut)
+			p.NoCopy = expand(p.NoCopy)
+		})
+		converted++
+	}
+	return converted, nil
+}
+
+// aosOnlyMemberUses verifies every use of the array is pts[e].f or a
+// pragma item — the precondition for the static layout change.
+func aosOnlyMemberUses(f *minic.File, name string) bool {
+	ok := true
+	var walk func(e minic.Expr, parentMemberIndex bool)
+	walk = func(e minic.Expr, parentMemberIndex bool) {
+		switch x := e.(type) {
+		case nil:
+		case *minic.Ident:
+			if x.Name == name && !parentMemberIndex {
+				ok = false
+			}
+		case *minic.MemberExpr:
+			if ie, isIdx := x.X.(*minic.IndexExpr); isIdx {
+				if id, isID := ie.X.(*minic.Ident); isID && id.Name == name {
+					walk(ie.Index, false)
+					return
+				}
+			}
+			walk(x.X, false)
+		case *minic.IndexExpr:
+			walk(x.X, false)
+			walk(x.Index, false)
+		case *minic.BinaryExpr:
+			walk(x.X, false)
+			walk(x.Y, false)
+		case *minic.UnaryExpr:
+			walk(x.X, false)
+		case *minic.ParenExpr:
+			walk(x.X, false)
+		case *minic.CallExpr:
+			for _, a := range x.Args {
+				walk(a, false)
+			}
+		}
+	}
+	for _, fd := range f.Funcs() {
+		if fd.Body == nil {
+			continue
+		}
+		minic.Inspect(fd.Body, func(n minic.Node) bool {
+			switch x := n.(type) {
+			case *minic.MemberExpr:
+				walk(x, false)
+				return false
+			case minic.Expr:
+				if id, isID := x.(*minic.Ident); isID && id.Name == name {
+					ok = false
+				}
+			}
+			return true
+		})
+	}
+	return ok
+}
+
+// rewritePragmas applies fn to every pragma in the file.
+func rewritePragmas(f *minic.File, fn func(*minic.Pragma)) {
+	minic.Inspect(f, func(n minic.Node) bool {
+		switch x := n.(type) {
+		case *minic.ForStmt:
+			for _, p := range x.Pragmas {
+				fn(p)
+			}
+		case *minic.PragmaStmt:
+			fn(x.P)
+		}
+		return true
+	})
+}

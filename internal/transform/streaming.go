@@ -1,0 +1,589 @@
+package transform
+
+import (
+	"fmt"
+
+	"comp/internal/analysis"
+	"comp/internal/minic"
+)
+
+// StreamOptions configures the data-streaming transformation.
+type StreamOptions struct {
+	// Blocks is the block count N; 0 selects DefaultBlocks. Use
+	// OptimalBlocks with profiled D/C/K to apply the §III-B model.
+	Blocks int
+	// ReduceMemory selects the Figure 5(c) variant: two device blocks per
+	// streamed input and one per output, instead of whole-array device
+	// buffers (Figure 5(b)).
+	ReduceMemory bool
+	// Persistent marks the generated kernels persist(1) so the runtime
+	// reuses MIC threads instead of relaunching per block (§III-C).
+	Persistent bool
+	// Gathers carries deferred regularization gathers (§IV "pipelining
+	// regularization"): before each block of the named permutation array
+	// transfers, the generated code fills that block on the host, so the
+	// gather of block i+1 overlaps the computation of block i.
+	Gathers []GatherInfo
+}
+
+type streamRole int
+
+const (
+	roleIn streamRole = iota
+	roleOut
+	roleInOut
+)
+
+type streamArray struct {
+	name   string
+	role   streamRole
+	length minic.Expr // full-array element count from the pragma
+	// streamed is false for arrays whose accesses are all loop-invariant
+	// (stride 0); those transfer once, whole, before the loop.
+	streamed bool
+	// device buffer names (memory-reduction variant).
+	buf1, buf2, outBuf string
+	elem               minic.Type
+}
+
+func (a *streamArray) reads() bool  { return a.role == roleIn || a.role == roleInOut }
+func (a *streamArray) writes() bool { return a.role == roleOut || a.role == roleInOut }
+
+// curBuf returns the buffer the kernel of the given parity uses.
+func (a *streamArray) curBuf(parity int) string {
+	if !a.reads() {
+		return a.outBuf
+	}
+	if parity == 0 {
+		return a.buf1
+	}
+	return a.buf2
+}
+
+// nextBuf returns the buffer the prefetch of the given parity fills.
+func (a *streamArray) nextBuf(parity int) string {
+	if parity == 0 {
+		return a.buf2
+	}
+	return a.buf1
+}
+
+// Stream rewrites one offloaded parallel loop into the pipelined,
+// double-buffered form of Figure 5, replacing the loop in f. The loop
+// must pass the §III-A legality check (all subscripts i with unit or zero
+// stride and constant zero offset, unit step).
+func Stream(f *minic.File, loop *minic.ForStmt, opt StreamOptions) error {
+	off := OffloadPragma(loop)
+	if off == nil {
+		return fmt.Errorf("transform: loop at %s has no offload pragma", loop.Pos())
+	}
+	omp := OmpPragma(loop)
+	if omp == nil {
+		return fmt.Errorf("transform: loop at %s is not a parallel loop", loop.Pos())
+	}
+	info, err := analysis.Analyze(loop, f)
+	if err != nil {
+		return fmt.Errorf("transform: %v", err)
+	}
+	if !info.StreamLegal() {
+		return fmt.Errorf("transform: loop at %s fails the streaming legality check", loop.Pos())
+	}
+	if info.Step != 1 {
+		return fmt.Errorf("transform: streaming requires unit step, got %d", info.Step)
+	}
+	for _, a := range info.Accesses {
+		if a.Stride == 1 {
+			if v, ok := analysis.ConstInt(a.Offset); !ok || v != 0 {
+				return fmt.Errorf("transform: access %s has a nonzero offset; halo streaming is not supported", a)
+			}
+		}
+	}
+
+	arrays, err := classifyStreamArrays(info, off)
+	if err != nil {
+		return err
+	}
+	nblocks := opt.Blocks
+	if nblocks <= 0 {
+		nblocks = DefaultBlocks
+	}
+
+	g := &streamGen{
+		f: f, loop: loop, info: info, off: off, omp: omp,
+		opt: opt, arrays: arrays, nblocks: nblocks,
+		seq: &nameSeq{},
+	}
+	for _, gi := range opt.Gathers {
+		found := false
+		for _, sa := range arrays {
+			if sa.name == gi.Perm && sa.streamed && sa.reads() {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("transform: pipelined gather targets %s, which is not a streamed input", gi.Perm)
+		}
+	}
+	return g.generate()
+}
+
+// classifyStreamArrays pairs pragma items with the loop's access summary.
+func classifyStreamArrays(info *analysis.LoopInfo, off *minic.Pragma) ([]*streamArray, error) {
+	strideOf := map[string]int64{}
+	for _, a := range info.Accesses {
+		prev, seen := strideOf[a.Array]
+		if seen && prev != a.Stride {
+			return nil, fmt.Errorf("transform: array %s mixes strides %d and %d", a.Array, prev, a.Stride)
+		}
+		strideOf[a.Array] = a.Stride
+	}
+	var out []*streamArray
+	addItems := func(items []minic.TransferItem, role streamRole) error {
+		for _, it := range items {
+			if it.Length == nil {
+				continue // scalar item; reattached to the alloc pragma
+			}
+			if it.Into != "" || it.Start != nil {
+				return fmt.Errorf("transform: item %s already uses sections; loop appears transformed", it.Name)
+			}
+			stride, accessed := strideOf[it.Name]
+			sa := &streamArray{
+				name:     it.Name,
+				role:     role,
+				length:   it.Length,
+				streamed: accessed && stride == 1,
+			}
+			out = append(out, sa)
+			delete(strideOf, it.Name)
+		}
+		return nil
+	}
+	if err := addItems(off.In, roleIn); err != nil {
+		return nil, err
+	}
+	if err := addItems(off.Out, roleOut); err != nil {
+		return nil, err
+	}
+	if err := addItems(off.InOut, roleInOut); err != nil {
+		return nil, err
+	}
+	for name := range strideOf {
+		return nil, fmt.Errorf("transform: array %s is accessed but missing from the offload clauses", name)
+	}
+	return out, nil
+}
+
+type streamGen struct {
+	f       *minic.File
+	loop    *minic.ForStmt
+	info    *analysis.LoopInfo
+	off     *minic.Pragma
+	omp     *minic.Pragma
+	opt     StreamOptions
+	arrays  []*streamArray
+	nblocks int
+	seq     *nameSeq
+
+	// generated names
+	nVar, bsVar, baseVar, blkVar string
+	sig                          [2]string
+	ksig                         string
+}
+
+func (g *streamGen) generate() error {
+	g.nVar = g.seq.fresh("n")
+	g.bsVar = g.seq.fresh("bs")
+	g.baseVar = g.seq.fresh("base")
+	g.blkVar = g.seq.fresh("blk")
+	g.sig[0] = g.uniqueGlobal("sig_a")
+	g.sig[1] = g.uniqueGlobal("sig_b")
+
+	var newGlobals []*minic.VarDecl
+	newGlobals = append(newGlobals,
+		&minic.VarDecl{Name: g.sig[0], Type: minic.IntType},
+		&minic.VarDecl{Name: g.sig[1], Type: minic.IntType},
+	)
+	if len(g.opt.Gathers) > 0 {
+		g.ksig = g.uniqueGlobal("ksig")
+		newGlobals = append(newGlobals, &minic.VarDecl{Name: g.ksig, Type: minic.IntType})
+	}
+	for _, sa := range g.arrays {
+		sa.elem = globalElemType(g.f, sa.name)
+		if sa.elem == nil {
+			return fmt.Errorf("transform: cannot determine element type of %s", sa.name)
+		}
+		if !g.opt.ReduceMemory || !sa.streamed {
+			continue
+		}
+		ptr := &minic.Pointer{Elem: sa.elem}
+		if sa.reads() {
+			sa.buf1 = g.uniqueGlobal(sa.name + "_s1")
+			sa.buf2 = g.uniqueGlobal(sa.name + "_s2")
+			newGlobals = append(newGlobals,
+				&minic.VarDecl{Name: sa.buf1, Type: ptr},
+				&minic.VarDecl{Name: sa.buf2, Type: ptr},
+			)
+		} else {
+			sa.outBuf = g.uniqueGlobal(sa.name + "_o")
+			newGlobals = append(newGlobals, &minic.VarDecl{Name: sa.outBuf, Type: ptr})
+		}
+	}
+	addGlobals(g.f, newGlobals...)
+
+	var stmts []minic.Stmt
+	// int __n = (hi) - (lo); int __base = lo; int __bs = (__n + NB - 1)/NB;
+	stmts = append(stmts,
+		declInt(g.nVar, bin("-", paren(minic.CloneExpr(g.info.Upper)), paren(minic.CloneExpr(g.info.Lower)))),
+		declInt(g.baseVar, paren(minic.CloneExpr(g.info.Lower))),
+		declInt(g.bsVar, bin("/", paren(bin("+", ident(g.nVar), intLit(int64(g.nblocks-1)))), intLit(int64(g.nblocks)))),
+	)
+	stmts = append(stmts, g.allocPragma())
+	stmts = append(stmts, g.firstTransfer()...)
+	stmts = append(stmts, g.blockLoop())
+	stmts = append(stmts, g.freePragma())
+
+	if !replaceStmt(g.f, g.loop, []minic.Stmt{block(stmts...)}) {
+		return fmt.Errorf("transform: loop not found in file")
+	}
+	return nil
+}
+
+func (g *streamGen) uniqueGlobal(base string) string {
+	name := "__" + base
+	for declaredGlobal(g.f, name) {
+		name = g.seq.fresh(base)
+	}
+	return name
+}
+
+// allocPragma performs the hoisted one-shot allocation (§III-A "memory
+// allocation and deallocation"): device buffers for every streamed array,
+// full transfers for loop-invariant arrays, and by-value scalar copies.
+func (g *streamGen) allocPragma() minic.Stmt {
+	p := &minic.Pragma{Kind: minic.PragmaOffloadTransfer, Target: g.off.Target}
+	one, zero := intLit(1), intLit(0)
+	for _, sa := range g.arrays {
+		if !sa.streamed {
+			// Loop-invariant array: transfer whole, keep resident.
+			p.In = append(p.In, minic.TransferItem{
+				Name: sa.name, Length: minic.CloneExpr(sa.length),
+				AllocIf: one, FreeIf: zero,
+			})
+			continue
+		}
+		if g.opt.ReduceMemory {
+			if sa.reads() {
+				for _, b := range []string{sa.buf1, sa.buf2} {
+					p.NoCopy = append(p.NoCopy, minic.TransferItem{
+						Name: b, Length: ident(g.bsVar), AllocIf: one, FreeIf: zero,
+					})
+				}
+			} else {
+				p.NoCopy = append(p.NoCopy, minic.TransferItem{
+					Name: sa.outBuf, Length: ident(g.bsVar), AllocIf: one, FreeIf: zero,
+				})
+			}
+			continue
+		}
+		// Figure 5(b): allocate the entire array on the device once.
+		p.NoCopy = append(p.NoCopy, minic.TransferItem{
+			Name: sa.name, Length: minic.CloneExpr(sa.length), AllocIf: one, FreeIf: zero,
+		})
+	}
+	// Scalars are copied at the allocation site (§III-A).
+	for _, s := range g.info.ScalarReads {
+		if declaredGlobal(g.f, s) {
+			p.In = append(p.In, minic.TransferItem{Name: s})
+		}
+	}
+	return &minic.PragmaStmt{P: p}
+}
+
+// sectionIn builds the in item moving block [base+off, base+off+len) of a
+// streamed input.
+func (g *streamGen) sectionIn(sa *streamArray, offExpr minic.Expr, lenName, buf string) minic.TransferItem {
+	it := minic.TransferItem{
+		Name:    sa.name,
+		Start:   bin("+", ident(g.baseVar), paren(minic.CloneExpr(offExpr))),
+		Length:  ident(lenName),
+		AllocIf: intLit(0),
+		FreeIf:  intLit(0),
+	}
+	if buf != "" {
+		it.Into = buf
+		it.IntoStart = intLit(0)
+	}
+	return it
+}
+
+// firstTransfer moves block 0 before entering the loop, gathering any
+// pipelined permutation blocks first.
+func (g *streamGen) firstTransfer() []minic.Stmt {
+	len0 := g.seq.fresh("len")
+	stmts := clampLen(len0, g.bsVar, g.nVar, intLit(0))
+	if len(g.opt.Gathers) > 0 {
+		// Prime the pipeline: blocks 0 and 1 are gathered up front; block
+		// i+2 is gathered while kernel i computes ("the only extra
+		// overhead is the time taken to regularize the first data block").
+		stmts = append(stmts, g.gatherStmts(ident(g.baseVar), len0)...)
+		len1 := g.seq.fresh("len")
+		stmts = append(stmts, clampLen(len1, g.bsVar, g.nVar, ident(g.bsVar))...)
+		gatherOne := g.gatherStmts(bin("+", ident(g.baseVar), ident(g.bsVar)), len1)
+		stmts = append(stmts, &minic.IfStmt{
+			Cond: bin(">", ident(len1), intLit(0)),
+			Then: block(gatherOne...),
+		})
+	}
+	p := &minic.Pragma{Kind: minic.PragmaOffloadTransfer, Target: g.off.Target, Signal: g.sig[0]}
+	for _, sa := range g.arrays {
+		if !sa.streamed || !sa.reads() {
+			continue
+		}
+		buf := ""
+		if g.opt.ReduceMemory {
+			buf = sa.buf1
+		}
+		p.In = append(p.In, g.sectionIn(sa, intLit(0), len0, buf))
+	}
+	if len(p.In) == 0 {
+		// Output-only loop: nothing to prefetch, but the kernels still
+		// wait on the tag; fire it by transferring zero inputs.
+		return stmts
+	}
+	return append(stmts, &minic.PragmaStmt{P: p})
+}
+
+// gatherStmts emits the pipelined-regularization gathers for one block
+// [start, start+len).
+func (g *streamGen) gatherStmts(start minic.Expr, lenName string) []minic.Stmt {
+	var out []minic.Stmt
+	for _, gi := range g.opt.Gathers {
+		gv := g.seq.fresh("gv")
+		out = append(out, gatherBlock(gi, gv, start, lenName))
+	}
+	return out
+}
+
+// hasStreamedInputs reports whether any streamed array is read.
+func (g *streamGen) hasStreamedInputs() bool {
+	for _, sa := range g.arrays {
+		if sa.streamed && sa.reads() {
+			return true
+		}
+	}
+	return false
+}
+
+// blockLoop builds the two-level pipelined loop with even/odd parity
+// bodies (Figure 5(c)).
+func (g *streamGen) blockLoop() minic.Stmt {
+	offVar := g.seq.fresh("off")
+	lenVar := g.seq.fresh("len")
+	var body []minic.Stmt
+	body = append(body, declInt(offVar, bin("*", ident(g.blkVar), ident(g.bsVar))))
+	body = append(body, clampLen(lenVar, g.bsVar, g.nVar, ident(offVar))...)
+	even := g.parityBody(0, offVar, lenVar)
+	odd := g.parityBody(1, offVar, lenVar)
+	body = append(body, &minic.IfStmt{
+		Cond: bin(">", ident(lenVar), intLit(0)),
+		Then: block(&minic.IfStmt{
+			Cond: bin("==", bin("%", ident(g.blkVar), intLit(2)), intLit(0)),
+			Then: block(even...),
+			Else: block(odd...),
+		}),
+	})
+	lp := forLoop(g.blkVar, intLit(0), intLit(int64(g.nblocks)), nil, body...)
+	lp.Init = declInt(g.blkVar, intLit(0))
+	return lp
+}
+
+// parityBody emits the prefetch of block blk+1 and the kernel of block blk
+// for one parity.
+func (g *streamGen) parityBody(parity int, offVar, lenVar string) []minic.Stmt {
+	var stmts []minic.Stmt
+	// Prefetch next block (asynchronously) into the other buffer.
+	if g.hasStreamedInputs() {
+		noff := g.seq.fresh("noff")
+		nlen := g.seq.fresh("nlen")
+		pre := []minic.Stmt{
+			declInt(noff, bin("*", paren(bin("+", ident(g.blkVar), intLit(1))), ident(g.bsVar))),
+		}
+		pre = append(pre, clampLen(nlen, g.bsVar, g.nVar, ident(noff))...)
+		tp := &minic.Pragma{Kind: minic.PragmaOffloadTransfer, Target: g.off.Target, Signal: g.sig[1-parity]}
+		for _, sa := range g.arrays {
+			if !sa.streamed || !sa.reads() {
+				continue
+			}
+			buf := ""
+			if g.opt.ReduceMemory {
+				buf = sa.nextBuf(parity)
+			}
+			tp.In = append(tp.In, g.sectionIn(sa, ident(noff), nlen, buf))
+		}
+		pre = append(pre, &minic.IfStmt{
+			Cond: bin(">", ident(nlen), intLit(0)),
+			Then: block(&minic.PragmaStmt{P: tp}),
+		})
+		stmts = append(stmts, &minic.IfStmt{
+			Cond: bin("<", bin("+", ident(g.blkVar), intLit(1)), intLit(int64(g.nblocks))),
+			Then: block(pre...),
+		})
+	}
+	if len(g.opt.Gathers) == 0 {
+		stmts = append(stmts, g.kernel(parity, offVar, lenVar))
+		return stmts
+	}
+	// Pipelined regularization: launch the kernel asynchronously, gather
+	// block i+2 on the host while it computes, then wait.
+	kstmt := g.kernel(parity, offVar, lenVar)
+	markKernelAsync(kstmt, g.ksig)
+	stmts = append(stmts, kstmt)
+	g2off := g.seq.fresh("goff")
+	g2len := g.seq.fresh("glen")
+	gath := []minic.Stmt{
+		declInt(g2off, bin("*", paren(bin("+", ident(g.blkVar), intLit(2))), ident(g.bsVar))),
+	}
+	gath = append(gath, clampLen(g2len, g.bsVar, g.nVar, ident(g2off))...)
+	gatherTwo := g.gatherStmts(bin("+", ident(g.baseVar), ident(g2off)), g2len)
+	gath = append(gath, &minic.IfStmt{
+		Cond: bin(">", ident(g2len), intLit(0)),
+		Then: block(gatherTwo...),
+	})
+	stmts = append(stmts, &minic.IfStmt{
+		Cond: bin("<", bin("+", ident(g.blkVar), intLit(2)), intLit(int64(g.nblocks))),
+		Then: block(gath...),
+	})
+	stmts = append(stmts, &minic.PragmaStmt{P: &minic.Pragma{
+		Kind:   minic.PragmaOffloadWait,
+		Target: g.off.Target,
+		Wait:   g.ksig,
+	}})
+	return stmts
+}
+
+// markKernelAsync turns the generated block kernel into an asynchronous
+// offload signalling the given tag.
+func markKernelAsync(st minic.Stmt, tag string) {
+	fs, ok := st.(*minic.ForStmt)
+	if !ok {
+		return
+	}
+	for _, p := range fs.Pragmas {
+		if p.Kind == minic.PragmaOffload {
+			p.Signal = tag
+		}
+	}
+}
+
+// kernel emits the per-block offload and its rewritten loop.
+func (g *streamGen) kernel(parity int, offVar, lenVar string) minic.Stmt {
+	kp := &minic.Pragma{Kind: minic.PragmaOffload, Target: g.off.Target, Persist: g.opt.Persistent}
+	if g.hasStreamedInputs() {
+		kp.Wait = g.sig[parity]
+	}
+	for _, sa := range g.arrays {
+		if !sa.streamed || !sa.writes() {
+			continue
+		}
+		// Stream the block's output back, synchronously.
+		it := minic.TransferItem{
+			Length:  ident(lenVar),
+			AllocIf: intLit(0),
+			FreeIf:  intLit(0),
+		}
+		if g.opt.ReduceMemory {
+			it.Name = sa.curBuf(parity)
+			it.Start = intLit(0)
+			it.Into = sa.name
+			it.IntoStart = bin("+", ident(g.baseVar), ident(offVar))
+		} else {
+			it.Name = sa.name
+			it.Start = bin("+", ident(g.baseVar), ident(offVar))
+		}
+		kp.Out = append(kp.Out, it)
+	}
+	ompClone := minic.ClonePragma(g.omp)
+	pragmas := []*minic.Pragma{kp, ompClone}
+
+	ivar := g.info.IndexVar
+	if !g.opt.ReduceMemory {
+		// Figure 5(b): device holds whole arrays, so the body is unchanged;
+		// only the bounds narrow to this block.
+		lo := bin("+", ident(g.baseVar), ident(offVar))
+		hi := bin("+", bin("+", ident(g.baseVar), ident(offVar)), ident(lenVar))
+		inner := forLoop(ivar, lo, hi, pragmas, minic.CloneBlock(g.loop.Body).Stmts...)
+		inner.Init = g.remakeInit(lo)
+		return inner
+	}
+	// Figure 5(c): rewrite accesses onto the block buffers and rebase the
+	// index variable.
+	j := g.seq.fresh("j")
+	bodyClone := minic.CloneBlock(g.loop.Body)
+	bufOf := map[string]string{}
+	for _, sa := range g.arrays {
+		if sa.streamed {
+			bufOf[sa.name] = sa.curBuf(parity)
+		}
+	}
+	minic.Substitute(bodyClone, func(e minic.Expr) minic.Expr {
+		switch x := e.(type) {
+		case *minic.IndexExpr:
+			if id, ok := x.X.(*minic.Ident); ok {
+				if buf, streamed := bufOf[id.Name]; streamed {
+					return index(buf, ident(j))
+				}
+			}
+		case *minic.Ident:
+			if x.Name == ivar {
+				return paren(bin("+", bin("+", ident(g.baseVar), ident(offVar)), ident(j)))
+			}
+		}
+		return nil
+	})
+	inner := forLoop(j, intLit(0), ident(lenVar), pragmas, bodyClone.Stmts...)
+	inner.Init = &minic.DeclStmt{Decl: &minic.VarDecl{Name: j, Type: minic.IntType, Init: intLit(0)}}
+	return inner
+}
+
+// remakeInit rebuilds the loop init in the original style (declaration vs
+// assignment) with a new lower bound.
+func (g *streamGen) remakeInit(lo minic.Expr) minic.Stmt {
+	if ds, ok := g.loop.Init.(*minic.DeclStmt); ok {
+		return &minic.DeclStmt{Decl: &minic.VarDecl{Name: ds.Decl.Name, Type: ds.Decl.Type, Init: lo}}
+	}
+	return &minic.AssignStmt{Op: "=", LHS: ident(g.info.IndexVar), RHS: lo}
+}
+
+// freePragma releases every hoisted device buffer and copies reduction
+// scalars back.
+func (g *streamGen) freePragma() minic.Stmt {
+	p := &minic.Pragma{Kind: minic.PragmaOffloadTransfer, Target: g.off.Target}
+	zero, one := intLit(0), intLit(1)
+	addFree := func(name string) {
+		p.NoCopy = append(p.NoCopy, minic.TransferItem{
+			Name: name, Length: intLit(1), AllocIf: zero, FreeIf: one,
+		})
+	}
+	for _, sa := range g.arrays {
+		if !sa.streamed {
+			addFree(sa.name)
+			continue
+		}
+		if g.opt.ReduceMemory {
+			if sa.reads() {
+				addFree(sa.buf1)
+				addFree(sa.buf2)
+			} else {
+				addFree(sa.outBuf)
+			}
+		} else {
+			addFree(sa.name)
+		}
+	}
+	for _, r := range g.omp.Reductions {
+		if declaredGlobal(g.f, r) {
+			p.Out = append(p.Out, minic.TransferItem{Name: r})
+		}
+	}
+	return &minic.PragmaStmt{P: p}
+}

@@ -1,0 +1,193 @@
+// Package transform implements COMP's three source-to-source optimization
+// families (MICRO 2014):
+//
+//   - data streaming (§III): pipelined block transfer with hoisted
+//     allocation, the memory-reduction double-buffer variant, the analytic
+//     block-count model, persistent kernels, and offload merging;
+//   - regularization (§IV): array reordering for gathered and strided
+//     accesses, loop splitting, and AoS→SoA conversion;
+//   - shared-memory lowering support for pointer-based structures (§V)
+//     lives in internal/shmem; this package only carries the pointer-
+//     augmentation rewriting used by the compiler side.
+//
+// All passes consume and produce minic ASTs, so the output of every pass
+// is printable source (minic.Print) and directly executable on the
+// simulated runtime.
+package transform
+
+import (
+	"fmt"
+
+	"comp/internal/minic"
+)
+
+// nameSeq hands out fresh identifiers per transformed file.
+type nameSeq struct{ n int }
+
+func (s *nameSeq) fresh(base string) string {
+	s.n++
+	return fmt.Sprintf("__%s%d", base, s.n)
+}
+
+// FindOffloadLoops returns every for loop carrying an offload pragma, in
+// source order.
+func FindOffloadLoops(f *minic.File) []*minic.ForStmt {
+	var out []*minic.ForStmt
+	minic.Inspect(f, func(n minic.Node) bool {
+		fs, ok := n.(*minic.ForStmt)
+		if !ok {
+			return true
+		}
+		for _, p := range fs.Pragmas {
+			if p.Kind == minic.PragmaOffload {
+				out = append(out, fs)
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// OffloadPragma returns the loop's offload pragma, or nil.
+func OffloadPragma(fs *minic.ForStmt) *minic.Pragma {
+	for _, p := range fs.Pragmas {
+		if p.Kind == minic.PragmaOffload {
+			return p
+		}
+	}
+	return nil
+}
+
+// OmpPragma returns the loop's omp parallel for pragma, or nil.
+func OmpPragma(fs *minic.ForStmt) *minic.Pragma {
+	for _, p := range fs.Pragmas {
+		if p.Kind == minic.PragmaOmpParallelFor {
+			return p
+		}
+	}
+	return nil
+}
+
+// replaceStmt swaps old for the given statements wherever old appears as a
+// direct child of a block in the file. Returns false if old was not found.
+func replaceStmt(f *minic.File, old minic.Stmt, with []minic.Stmt) bool {
+	found := false
+	minic.Inspect(f, func(n minic.Node) bool {
+		b, ok := n.(*minic.Block)
+		if !ok || found {
+			return !found
+		}
+		for i, s := range b.Stmts {
+			if s == old {
+				rest := append([]minic.Stmt{}, b.Stmts[i+1:]...)
+				b.Stmts = append(b.Stmts[:i], append(with, rest...)...)
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// addGlobals inserts variable declarations before the first function.
+func addGlobals(f *minic.File, decls ...*minic.VarDecl) {
+	insert := len(f.Decls)
+	for i, d := range f.Decls {
+		if fd, ok := d.(*minic.FuncDecl); ok && fd.Body != nil {
+			insert = i
+			break
+		}
+	}
+	var nd []minic.Decl
+	nd = append(nd, f.Decls[:insert]...)
+	for _, d := range decls {
+		nd = append(nd, d)
+	}
+	nd = append(nd, f.Decls[insert:]...)
+	f.Decls = nd
+}
+
+// declaredGlobal reports whether a global with the name exists.
+func declaredGlobal(f *minic.File, name string) bool {
+	for _, d := range f.Decls {
+		if vd, ok := d.(*minic.VarDecl); ok && vd.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// globalElemType returns the element type of a global array/pointer.
+func globalElemType(f *minic.File, name string) minic.Type {
+	for _, d := range f.Decls {
+		if vd, ok := d.(*minic.VarDecl); ok && vd.Name == name {
+			return minic.ElemOf(vd.Type)
+		}
+	}
+	return nil
+}
+
+// ident builds an identifier expression.
+func ident(name string) *minic.Ident { return minic.NewIdent(minic.Pos{}, name) }
+
+// intLit builds an integer literal.
+func intLit(v int64) *minic.IntLit { return &minic.IntLit{Value: v} }
+
+// bin builds a binary expression.
+func bin(op string, x, y minic.Expr) *minic.BinaryExpr {
+	return &minic.BinaryExpr{Op: op, X: x, Y: y}
+}
+
+// paren wraps an expression for safe embedding.
+func paren(x minic.Expr) minic.Expr {
+	switch x.(type) {
+	case *minic.Ident, *minic.IntLit, *minic.ParenExpr:
+		return x
+	}
+	return &minic.ParenExpr{X: x}
+}
+
+// assign builds `name = expr;`.
+func assign(name string, x minic.Expr) *minic.AssignStmt {
+	return &minic.AssignStmt{Op: "=", LHS: ident(name), RHS: x}
+}
+
+// declInt builds `int name = expr;`.
+func declInt(name string, x minic.Expr) *minic.DeclStmt {
+	return &minic.DeclStmt{Decl: &minic.VarDecl{Name: name, Type: minic.IntType, Init: x}}
+}
+
+// index builds `arr[idx]`.
+func index(arr string, idx minic.Expr) *minic.IndexExpr {
+	return &minic.IndexExpr{X: ident(arr), Index: idx}
+}
+
+// forLoop builds `for (name = lo; name < hi; name++) { body }`.
+func forLoop(name string, lo, hi minic.Expr, pragmas []*minic.Pragma, body ...minic.Stmt) *minic.ForStmt {
+	return &minic.ForStmt{
+		Pragmas: pragmas,
+		Init:    &minic.AssignStmt{Op: "=", LHS: ident(name), RHS: lo},
+		Cond:    bin("<", ident(name), hi),
+		Post:    &minic.IncDecStmt{Op: "++", X: ident(name)},
+		Body:    &minic.Block{Stmts: body},
+	}
+}
+
+// block wraps statements.
+func block(stmts ...minic.Stmt) *minic.Block { return &minic.Block{Stmts: stmts} }
+
+// clampLen builds:
+//
+//	int lenName = bs;
+//	if (offExpr + bs > n) { lenName = n - offExpr; }
+func clampLen(lenName, bsName, nName string, offExpr minic.Expr) []minic.Stmt {
+	return []minic.Stmt{
+		declInt(lenName, ident(bsName)),
+		&minic.IfStmt{
+			Cond: bin(">", bin("+", minic.CloneExpr(offExpr), ident(bsName)), ident(nName)),
+			Then: block(assign(lenName, bin("-", ident(nName), minic.CloneExpr(offExpr)))),
+		},
+	}
+}

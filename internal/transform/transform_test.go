@@ -1,0 +1,784 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"comp/internal/analysis"
+	"comp/internal/interp"
+	"comp/internal/minic"
+	rt "comp/internal/runtime"
+	"comp/internal/sim/engine"
+)
+
+// pipeline helpers -----------------------------------------------------
+
+func parse(t *testing.T, src string) *minic.File {
+	t.Helper()
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := minic.Check(f).Err(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return f
+}
+
+// runFile compiles and runs a file on the simulated runtime.
+func runFile(t *testing.T, f *minic.File) rt.Result {
+	t.Helper()
+	// Round-trip through the printer: transforms must produce valid source.
+	printed := minic.Print(f)
+	p, err := interp.Compile(printed)
+	if err != nil {
+		t.Fatalf("compile transformed source: %v\n%s", err, printed)
+	}
+	res, err := rt.Run(p, rt.DefaultConfig())
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, printed)
+	}
+	// Invariant: no transformation may generate a pipelining race.
+	if len(res.Stats.RaceWarnings) != 0 {
+		t.Fatalf("transformed program races: %v\n%s", res.Stats.RaceWarnings, printed)
+	}
+	return res
+}
+
+func arrayOf(t *testing.T, res rt.Result, name string) []float64 {
+	t.Helper()
+	d, err := res.Program.ArrayData(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func assertSame(t *testing.T, a, b []float64, label string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: lengths differ %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s[%d]: %v != %v", label, i, a[i], b[i])
+		}
+	}
+}
+
+// ---- block-size model (§III-B) ----
+
+func TestModelTimeMatchesUnstreamedAtN1(t *testing.T) {
+	d, c, k := engine.Duration(1000), engine.Duration(500), engine.Duration(10)
+	if got, want := ModelTime(d, c, k, 1), d+c+k; got != want {
+		t.Fatalf("T(1) = %v, want %v", got, want)
+	}
+}
+
+func TestModelTimeImprovesWithPipelining(t *testing.T) {
+	d, c, k := engine.Duration(1000000), engine.Duration(1000000), engine.Duration(100)
+	t1 := ModelTime(d, c, k, 1)
+	t20 := ModelTime(d, c, k, 20)
+	if t20 >= t1 {
+		t.Fatalf("T(20)=%v not better than T(1)=%v", t20, t1)
+	}
+	// With D == C and tiny K, pipelined time approaches max(D,C) = D.
+	if t20 > engine.Duration(float64(d)*1.2) {
+		t.Fatalf("T(20)=%v should approach D=%v", t20, d)
+	}
+}
+
+func TestOptimalBlocksComputeBound(t *testing.T) {
+	// C >> D: optimum near sqrt(D/K).
+	d, c, k := engine.Duration(10000), engine.Duration(1000000), engine.Duration(100)
+	n := OptimalBlocks(d, c, k)
+	// sqrt(10000/100) = 10.
+	if n < 5 || n > 20 {
+		t.Fatalf("compute-bound optimum %d, want near 10", n)
+	}
+}
+
+func TestOptimalBlocksIsArgmin(t *testing.T) {
+	cases := []struct{ d, c, k engine.Duration }{
+		{1000000, 100000, 50},
+		{50000, 500000, 100},
+		{1000000, 1000000, 1},
+		{100, 100, 1000},
+	}
+	for _, cse := range cases {
+		best := OptimalBlocks(cse.d, cse.c, cse.k)
+		bt := ModelTime(cse.d, cse.c, cse.k, best)
+		for n := 2; n <= 64; n++ {
+			if ModelTime(cse.d, cse.c, cse.k, n) < bt {
+				t.Fatalf("d=%v c=%v k=%v: N=%d beats chosen N=%d", cse.d, cse.c, cse.k, n, best)
+			}
+		}
+	}
+}
+
+func TestOptimalBlocksDegenerate(t *testing.T) {
+	if n := OptimalBlocks(0, 100, 10); n != 2 {
+		t.Fatalf("zero transfer: N = %d, want 2", n)
+	}
+	if n := OptimalBlocks(100, 100, 0); n != 64 {
+		t.Fatalf("zero launch cost: N = %d, want 64 (max)", n)
+	}
+}
+
+// ---- data streaming (§III) ----
+
+const streamCandidate = `
+float sptprice[262144];
+float strike[262144];
+float prices[262144];
+int numOptions;
+int main(void) {
+    int i;
+    numOptions = 262144;
+    for (i = 0; i < numOptions; i++) {
+        sptprice[i] = 10.0 + i % 100;
+        strike[i] = 12.0 + i % 90;
+    }
+    #pragma offload target(mic:0) in(sptprice, strike : length(numOptions)) out(prices : length(numOptions))
+    #pragma omp parallel for
+    for (i = 0; i < numOptions; i++) {
+        prices[i] = sqrt(sptprice[i]) * exp(strike[i] / 100.0) + sptprice[i] * 0.5;
+    }
+    return 0;
+}
+`
+
+func findOffload(t *testing.T, f *minic.File) *minic.ForStmt {
+	t.Helper()
+	loops := FindOffloadLoops(f)
+	if len(loops) == 0 {
+		t.Fatal("no offloaded loop found")
+	}
+	return loops[0]
+}
+
+func TestStreamSemanticEquivalence(t *testing.T) {
+	for _, reduce := range []bool{false, true} {
+		base := runFile(t, parse(t, streamCandidate))
+		f := parse(t, streamCandidate)
+		if err := Stream(f, findOffload(t, f), StreamOptions{Blocks: 16, ReduceMemory: reduce}); err != nil {
+			t.Fatalf("reduce=%v: %v", reduce, err)
+		}
+		streamed := runFile(t, f)
+		assertSame(t, arrayOf(t, base, "prices"), arrayOf(t, streamed, "prices"), "prices")
+
+		if streamed.Stats.Overlap <= 0 {
+			t.Errorf("reduce=%v: no transfer/compute overlap", reduce)
+		}
+		if streamed.Stats.Time >= base.Stats.Time {
+			t.Errorf("reduce=%v: streamed %v not faster than base %v", reduce, streamed.Stats.Time, base.Stats.Time)
+		}
+		if reduce {
+			// Figure 13: >80%% memory reduction at N=16.
+			if streamed.Stats.PeakDeviceBytes*5 > base.Stats.PeakDeviceBytes {
+				t.Errorf("peak %d not reduced by 80%% vs %d", streamed.Stats.PeakDeviceBytes, base.Stats.PeakDeviceBytes)
+			}
+		}
+	}
+}
+
+func TestStreamPrintedFormMatchesFigure5(t *testing.T) {
+	f := parse(t, streamCandidate)
+	if err := Stream(f, findOffload(t, f), StreamOptions{Blocks: 8, ReduceMemory: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := minic.Print(f)
+	for _, want := range []string{
+		"__sptprice_s1 : length",
+		"__sptprice_s2 : length",
+		"__prices_o : length",
+		"signal(&__sig_a)",
+		"signal(&__sig_b)",
+		"wait(&__sig_a)",
+		"wait(&__sig_b)",
+		"alloc_if(1) free_if(0)",
+		"alloc_if(0) free_if(1)",
+		"% 2 == 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transformed source missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestStreamRemainderBlocks(t *testing.T) {
+	// Size not divisible by block count: remainder logic must hold.
+	src := strings.ReplaceAll(streamCandidate, "262144", "100003")
+	base := runFile(t, parse(t, src))
+	f := parse(t, src)
+	if err := Stream(f, findOffload(t, f), StreamOptions{Blocks: 7, ReduceMemory: true}); err != nil {
+		t.Fatal(err)
+	}
+	streamed := runFile(t, f)
+	assertSame(t, arrayOf(t, base, "prices"), arrayOf(t, streamed, "prices"), "prices")
+}
+
+func TestStreamInoutArray(t *testing.T) {
+	src := `
+float data[65536];
+int n;
+int main(void) {
+    int i;
+    n = 65536;
+    for (i = 0; i < n; i++) {
+        data[i] = i % 17;
+    }
+    #pragma offload target(mic:0) inout(data : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        data[i] = data[i] * 2.0 + 1.0;
+    }
+    return 0;
+}
+`
+	base := runFile(t, parse(t, src))
+	f := parse(t, src)
+	if err := Stream(f, findOffload(t, f), StreamOptions{Blocks: 8, ReduceMemory: true}); err != nil {
+		t.Fatal(err)
+	}
+	streamed := runFile(t, f)
+	assertSame(t, arrayOf(t, base, "data"), arrayOf(t, streamed, "data"), "data")
+}
+
+func TestStreamInvariantArrayTransferredOnce(t *testing.T) {
+	src := `
+float table[64];
+float in1[65536];
+float out1[65536];
+int n;
+int main(void) {
+    int i;
+    n = 65536;
+    for (i = 0; i < 64; i++) {
+        table[i] = i * 0.5;
+    }
+    for (i = 0; i < n; i++) {
+        in1[i] = i % 64;
+    }
+    #pragma offload target(mic:0) in(in1 : length(n)) in(table : length(64)) out(out1 : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        out1[i] = in1[i] + table[3];
+    }
+    return 0;
+}
+`
+	base := runFile(t, parse(t, src))
+	f := parse(t, src)
+	if err := Stream(f, findOffload(t, f), StreamOptions{Blocks: 8, ReduceMemory: true}); err != nil {
+		t.Fatal(err)
+	}
+	streamed := runFile(t, f)
+	assertSame(t, arrayOf(t, base, "out1"), arrayOf(t, streamed, "out1"), "out1")
+}
+
+func TestStreamReductionScalar(t *testing.T) {
+	src := `
+float data[65536];
+float total;
+int n;
+int main(void) {
+    int i;
+    n = 65536;
+    for (i = 0; i < n; i++) {
+        data[i] = 0.5;
+    }
+    total = 0.0;
+    #pragma offload target(mic:0) in(data : length(n)) inout(total)
+    #pragma omp parallel for reduction(+:total)
+    for (i = 0; i < n; i++) {
+        total += data[i];
+    }
+    return 0;
+}
+`
+	base := runFile(t, parse(t, src))
+	f := parse(t, src)
+	if err := Stream(f, findOffload(t, f), StreamOptions{Blocks: 8, ReduceMemory: true}); err != nil {
+		t.Fatal(err)
+	}
+	streamed := runFile(t, f)
+	bt, _ := base.Program.Scalar("total")
+	st, _ := streamed.Program.Scalar("total")
+	if bt != st {
+		t.Fatalf("reduction total: streamed %v != base %v", st, bt)
+	}
+	if bt != 0.5*65536 {
+		t.Fatalf("total = %v, want %v", bt, 0.5*65536)
+	}
+}
+
+func TestStreamPersistentReducesLaunches(t *testing.T) {
+	f1 := parse(t, streamCandidate)
+	if err := Stream(f1, findOffload(t, f1), StreamOptions{Blocks: 16, ReduceMemory: true}); err != nil {
+		t.Fatal(err)
+	}
+	relaunch := runFile(t, f1)
+
+	f2 := parse(t, streamCandidate)
+	if err := Stream(f2, findOffload(t, f2), StreamOptions{Blocks: 16, ReduceMemory: true, Persistent: true}); err != nil {
+		t.Fatal(err)
+	}
+	persist := runFile(t, f2)
+
+	if relaunch.Stats.KernelLaunches != 16 {
+		t.Fatalf("relaunch launches = %d, want 16", relaunch.Stats.KernelLaunches)
+	}
+	if persist.Stats.KernelLaunches >= relaunch.Stats.KernelLaunches {
+		t.Fatalf("persistent launches = %d, want < %d", persist.Stats.KernelLaunches, relaunch.Stats.KernelLaunches)
+	}
+	if persist.Stats.Time >= relaunch.Stats.Time {
+		t.Fatalf("persistent %v not faster than relaunch %v", persist.Stats.Time, relaunch.Stats.Time)
+	}
+}
+
+func TestStreamLegalityRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"gather", `
+float a[100];
+int b[100];
+float c[100];
+int main(void) {
+    int i;
+    #pragma offload target(mic:0) in(a, b : length(100)) out(c : length(100))
+    #pragma omp parallel for
+    for (i = 0; i < 100; i++) {
+        c[i] = a[b[i]];
+    }
+    return 0;
+}
+`},
+		{"halo offset", `
+float a[100];
+float c[100];
+int main(void) {
+    int i;
+    #pragma offload target(mic:0) in(a : length(100)) out(c : length(100))
+    #pragma omp parallel for
+    for (i = 0; i < 99; i++) {
+        c[i] = a[i + 1];
+    }
+    return 0;
+}
+`},
+		{"not parallel", `
+float a[100];
+float c[100];
+int main(void) {
+    int i;
+    #pragma offload target(mic:0) in(a : length(100)) out(c : length(100))
+    for (i = 0; i < 100; i++) {
+        c[i] = a[i];
+    }
+    return 0;
+}
+`},
+	}
+	for _, cse := range cases {
+		f := parse(t, cse.src)
+		err := Stream(f, findOffload(t, f), StreamOptions{Blocks: 4})
+		if err == nil {
+			t.Errorf("%s: streaming accepted illegal loop", cse.name)
+		}
+	}
+}
+
+// ---- offload merging (§III-C) ----
+
+const mergeCandidate = `
+float a[32768];
+float b[32768];
+float centers[64];
+int n;
+int iters;
+int main(void) {
+    int it;
+    int i;
+    n = 32768;
+    iters = 12;
+    for (i = 0; i < n; i++) {
+        a[i] = i % 100;
+    }
+    for (i = 0; i < 64; i++) {
+        centers[i] = i;
+    }
+    for (it = 0; it < iters; it++) {
+        #pragma offload target(mic:0) in(a : length(n)) in(centers : length(64)) out(b : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            b[i] = a[i] + centers[i % 64];
+        }
+        #pragma offload target(mic:0) in(b : length(n)) inout(a : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            a[i] = a[i] * 0.5 + b[i] * 0.25;
+        }
+        centers[0] = centers[0] + 1.0;
+    }
+    return 0;
+}
+`
+
+func findMergeOuter(t *testing.T, f *minic.File) *minic.ForStmt {
+	t.Helper()
+	cands := MergeCandidates(f, 2)
+	if len(cands) != 1 {
+		t.Fatalf("merge candidates = %d, want 1", len(cands))
+	}
+	return cands[0]
+}
+
+func TestMergeSemanticEquivalence(t *testing.T) {
+	base := runFile(t, parse(t, mergeCandidate))
+	f := parse(t, mergeCandidate)
+	if err := MergeOffloads(f, findMergeOuter(t, f)); err != nil {
+		t.Fatal(err)
+	}
+	merged := runFile(t, f)
+	assertSame(t, arrayOf(t, base, "a"), arrayOf(t, merged, "a"), "a")
+	assertSame(t, arrayOf(t, base, "b"), arrayOf(t, merged, "b"), "b")
+	assertSame(t, arrayOf(t, base, "centers"), arrayOf(t, merged, "centers"), "centers")
+
+	if merged.Stats.KernelLaunches != 1 {
+		t.Fatalf("merged launches = %d, want 1 (base had %d)", merged.Stats.KernelLaunches, base.Stats.KernelLaunches)
+	}
+	if base.Stats.KernelLaunches != 24 {
+		t.Fatalf("base launches = %d, want 24", base.Stats.KernelLaunches)
+	}
+	if merged.Stats.Time >= base.Stats.Time {
+		t.Fatalf("merged %v not faster than base %v", merged.Stats.Time, base.Stats.Time)
+	}
+	// Bytes moved collapse: one round trip instead of iters round trips.
+	if merged.Stats.BytesIn >= base.Stats.BytesIn/4 {
+		t.Fatalf("merged bytes in %d, want far below base %d", merged.Stats.BytesIn, base.Stats.BytesIn)
+	}
+}
+
+func TestMergeRejectsLoopWithoutInnerOffloads(t *testing.T) {
+	f := parse(t, streamCandidate)
+	var hostLoop *minic.ForStmt
+	minic.Inspect(f, func(n minic.Node) bool {
+		if fs, ok := n.(*minic.ForStmt); ok && OffloadPragma(fs) == nil && hostLoop == nil {
+			hostLoop = fs
+		}
+		return true
+	})
+	if err := MergeOffloads(f, hostLoop); err == nil {
+		t.Fatal("merge accepted loop without inner offloads")
+	}
+}
+
+// ---- regularization (§IV) ----
+
+const gatherCandidate = `
+float a[65536];
+int idx[65536];
+float c[65536];
+int n;
+int main(void) {
+    int i;
+    n = 65536;
+    for (i = 0; i < n; i++) {
+        a[i] = i * 0.25;
+        idx[i] = (i * 7919) % n;
+    }
+    #pragma offload target(mic:0) in(a, idx : length(n)) out(c : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = a[idx[i]] * 2.0;
+    }
+    return 0;
+}
+`
+
+func TestReorderArraysEquivalenceAndSpeedup(t *testing.T) {
+	base := runFile(t, parse(t, gatherCandidate))
+	f := parse(t, gatherCandidate)
+	nreg, err := ReorderArrays(f, findOffload(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nreg != 1 {
+		t.Fatalf("regularized %d accesses, want 1", nreg)
+	}
+	reg := runFile(t, f)
+	assertSame(t, arrayOf(t, base, "c"), arrayOf(t, reg, "c"), "c")
+
+	// After reordering the kernel loop is streamable and vectorizable.
+	f2 := parse(t, gatherCandidate)
+	if _, err := ReorderArrays(f2, findOffload(t, f2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Stream(f2, findOffload(t, f2), StreamOptions{Blocks: 8, ReduceMemory: true}); err != nil {
+		t.Fatalf("streaming after regularization: %v", err)
+	}
+	both := runFile(t, f2)
+	assertSame(t, arrayOf(t, base, "c"), arrayOf(t, both, "c"), "c")
+}
+
+func TestReorderDropsUnneededTransfers(t *testing.T) {
+	// The nn effect: after reordering a strided access, only the used
+	// elements transfer.
+	src := `
+float big[524288];
+float c[65536];
+int n;
+int main(void) {
+    int i;
+    n = 65536;
+    for (i = 0; i < 8 * n; i++) {
+        big[i] = i;
+    }
+    #pragma offload target(mic:0) in(big : length(8 * n)) out(c : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = big[8 * i] + 1.0;
+    }
+    return 0;
+}
+`
+	base := runFile(t, parse(t, src))
+	f := parse(t, src)
+	if _, err := ReorderArrays(f, findOffload(t, f)); err != nil {
+		t.Fatal(err)
+	}
+	reg := runFile(t, f)
+	assertSame(t, arrayOf(t, base, "c"), arrayOf(t, reg, "c"), "c")
+	if reg.Stats.BytesIn >= base.Stats.BytesIn/4 {
+		t.Fatalf("regularized transfers %d bytes, want < base %d / 4", reg.Stats.BytesIn, base.Stats.BytesIn)
+	}
+}
+
+func TestReorderScatterForWrites(t *testing.T) {
+	src := `
+float a[4096];
+int idx[4096];
+int n;
+int main(void) {
+    int i;
+    n = 4096;
+    for (i = 0; i < n; i++) {
+        a[i] = i;
+        idx[i] = (n - 1) - i;
+    }
+    #pragma offload target(mic:0) in(idx : length(n)) inout(a : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        a[idx[i]] = i * 2.0;
+    }
+    return 0;
+}
+`
+	base := runFile(t, parse(t, src))
+	f := parse(t, src)
+	nreg, err := ReorderArrays(f, findOffload(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nreg != 1 {
+		t.Fatalf("regularized = %d, want 1", nreg)
+	}
+	reg := runFile(t, f)
+	assertSame(t, arrayOf(t, base, "a"), arrayOf(t, reg, "a"), "a")
+}
+
+const sradCandidate = `
+float J[66000];
+int iN[65536];
+int iS[65536];
+float dN[65536];
+float dS[65536];
+float c[65536];
+int n;
+int main(void) {
+    int i;
+    n = 65536;
+    for (i = 0; i < n + 400; i++) {
+        J[i] = (i % 97) * 0.125 + 1.0;
+    }
+    for (i = 0; i < n; i++) {
+        iN[i] = (i + 37) % n;
+        iS[i] = (i * 13 + 5) % n;
+    }
+    #pragma offload target(mic:0) in(J : length(n + 400)) in(iN, iS : length(n)) out(dN, dS, c : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float jc = J[i];
+        float jn = J[iN[i]];
+        float js = J[iS[i]];
+        dN[i] = jn - jc;
+        dS[i] = js - jc;
+        float g2 = (dN[i] * dN[i] + dS[i] * dS[i]) / (jc * jc + 1.0);
+        float l2 = sqrt(fabs(g2)) + exp(-g2) + log(g2 + 2.0);
+        c[i] = 1.0 / (1.0 + exp(l2) * (g2 - l2) / (1.0 + l2 + sqrt(l2 + 3.0)));
+    }
+    return 0;
+}
+`
+
+func TestSplitLoopEquivalenceAndVectorization(t *testing.T) {
+	base := runFile(t, parse(t, sradCandidate))
+	f := parse(t, sradCandidate)
+	ok, err := SplitLoop(f, findOffload(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("split did not apply to the srad shape")
+	}
+	split := runFile(t, f)
+	for _, arr := range []string{"dN", "dS", "c"} {
+		assertSame(t, arrayOf(t, base, arr), arrayOf(t, split, arr), arr)
+	}
+	// The split version must be faster: the regular suffix vectorizes.
+	if split.Stats.Time >= base.Stats.Time {
+		t.Fatalf("split %v not faster than base %v", split.Stats.Time, base.Stats.Time)
+	}
+	// Still a single offload region (no extra transfers).
+	if split.Stats.KernelLaunches != 1 {
+		t.Fatalf("split launches = %d, want 1", split.Stats.KernelLaunches)
+	}
+	if split.Stats.BytesIn != base.Stats.BytesIn {
+		t.Fatalf("split moved %d bytes in, base %d; splitting must not add transfers",
+			split.Stats.BytesIn, base.Stats.BytesIn)
+	}
+}
+
+func TestSplitLoopPrintedShape(t *testing.T) {
+	f := parse(t, sradCandidate)
+	if _, err := SplitLoop(f, findOffload(t, f)); err != nil {
+		t.Fatal(err)
+	}
+	out := minic.Print(f)
+	for _, want := range []string{"__t_jc", "__t_jn", "__t_js"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("split source missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestSplitLoopDoesNotApplyToRegularLoop(t *testing.T) {
+	f := parse(t, streamCandidate)
+	ok, err := SplitLoop(f, findOffload(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("split applied to a fully regular loop")
+	}
+}
+
+const aosCandidate = `
+struct body {
+    float x;
+    float y;
+    float m;
+};
+struct body bodies[32768];
+float ke[32768];
+int n;
+int main(void) {
+    int i;
+    n = 32768;
+    for (i = 0; i < n; i++) {
+        bodies[i].x = i * 0.5;
+        bodies[i].y = i * 0.25;
+        bodies[i].m = 1.0 + i % 7;
+    }
+    #pragma offload target(mic:0) in(bodies : length(n)) out(ke : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        ke[i] = bodies[i].m * (bodies[i].x * bodies[i].x + bodies[i].y * bodies[i].y);
+    }
+    return 0;
+}
+`
+
+func TestAoSToSoAEquivalence(t *testing.T) {
+	base := runFile(t, parse(t, aosCandidate))
+	f := parse(t, aosCandidate)
+	nConv, err := AoSToSoA(f, findOffload(t, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nConv != 1 {
+		t.Fatalf("converted %d arrays, want 1", nConv)
+	}
+	soa := runFile(t, f)
+	assertSame(t, arrayOf(t, base, "ke"), arrayOf(t, soa, "ke"), "ke")
+	// SoA loop vectorizes; it must not be slower.
+	if soa.Stats.Time > base.Stats.Time {
+		t.Fatalf("SoA %v slower than AoS %v", soa.Stats.Time, base.Stats.Time)
+	}
+	// After conversion the loop passes streaming legality.
+	f2 := parse(t, aosCandidate)
+	if _, err := AoSToSoA(f2, findOffload(t, f2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Stream(f2, findOffload(t, f2), StreamOptions{Blocks: 8, ReduceMemory: true}); err != nil {
+		t.Fatalf("streaming after SoA: %v", err)
+	}
+	both := runFile(t, f2)
+	assertSame(t, arrayOf(t, base, "ke"), arrayOf(t, both, "ke"), "ke")
+}
+
+func TestAoSWrittenFieldsCopyBack(t *testing.T) {
+	src := `
+struct cell {
+    float v;
+    float p;
+};
+struct cell cells[8192];
+int n;
+int main(void) {
+    int i;
+    n = 8192;
+    for (i = 0; i < n; i++) {
+        cells[i].v = i;
+        cells[i].p = 0.0;
+    }
+    #pragma offload target(mic:0) inout(cells : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        cells[i].p = cells[i].v * 3.0;
+    }
+    return 0;
+}
+`
+	base := runFile(t, parse(t, src))
+	f := parse(t, src)
+	if _, err := AoSToSoA(f, findOffload(t, f)); err != nil {
+		t.Fatal(err)
+	}
+	soa := runFile(t, f)
+	// The layout changed statically: compare the p field against the
+	// interleaved original.
+	cells := arrayOf(t, base, "cells") // [v0 p0 v1 p1 ...]
+	pArr := arrayOf(t, soa, "__cells_p")
+	if len(pArr)*2 != len(cells) {
+		t.Fatalf("field array length %d vs struct array %d", len(pArr), len(cells))
+	}
+	for i := range pArr {
+		if pArr[i] != cells[2*i+1] {
+			t.Fatalf("p[%d] = %v, want %v", i, pArr[i], cells[2*i+1])
+		}
+	}
+}
+
+// mustAnalyze runs the loop analysis, failing the test on error.
+func mustAnalyze(t *testing.T, f *minic.File, loop *minic.ForStmt) *analysis.LoopInfo {
+	t.Helper()
+	info, err := analysis.Analyze(loop, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}

@@ -1,0 +1,381 @@
+package workloads
+
+import (
+	"comp/internal/interp"
+)
+
+// ---- cfd (Rodinia) -----------------------------------------------------
+//
+// An unstructured-mesh solver: every time step launches three small
+// kernels (step factor, flux, time integration). The flux kernel gathers
+// neighbour values through an index array, guarded by boundary checks, so
+// neither streaming (indirect subscripts) nor reordering (guarded
+// accesses) applies — but hoisting the whole time loop into one offload
+// removes hundreds of launches and re-transfers (Table II: 27.19x).
+
+const (
+	cfdN     = 3072
+	cfdIters = 200
+)
+
+const cfdSrc = `
+float density[3072];
+float momentum[3072];
+float energy[3072];
+float stepf[3072];
+float flux[3072];
+int nb[3072];
+int n;
+int iters;
+
+int main(void) {
+    int it;
+    int i;
+    n = 3072;
+    iters = 200;
+    for (it = 0; it < iters; it++) {
+        #pragma offload target(mic:0) in(density, momentum : length(n)) out(stepf : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            stepf[i] = 0.5 / (sqrt(fabs(density[i]) + 1.0) + momentum[i] * momentum[i]);
+        }
+        #pragma offload target(mic:0) in(density, stepf : length(n)) in(nb : length(n)) out(flux : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            float f = density[i] * stepf[i];
+            if (nb[i] >= 0) {
+                f += density[nb[i]] * 0.25;
+            }
+            flux[i] = f;
+        }
+        #pragma offload target(mic:0) in(flux, stepf : length(n)) inout(density, momentum, energy : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            density[i] = density[i] + flux[i] * stepf[i];
+            momentum[i] = momentum[i] * 0.9995;
+            energy[i] = energy[i] + flux[i] * 0.125;
+        }
+    }
+    return 0;
+}
+`
+
+func init() {
+	register(&Benchmark{
+		Name:       "cfd",
+		Suite:      "Rodinia",
+		InputDesc:  "3072 cells x 200 steps x 3 kernels (paper: 2.0*10^8 points)",
+		Source:     cfdSrc,
+		Outputs:    []string{"density", "momentum", "energy"},
+		Applicable: []string{"merging"},
+		Setup: func(p *interp.Program) error {
+			r := seededRand("cfd", 1)
+			if err := setArray(p, "density", uniform(r, cfdN, 0.5, 2)); err != nil {
+				return err
+			}
+			if err := setArray(p, "momentum", uniform(r, cfdN, -1, 1)); err != nil {
+				return err
+			}
+			if err := setArray(p, "energy", uniform(r, cfdN, 1, 3)); err != nil {
+				return err
+			}
+			nbs := permutedIndices(r, cfdN, cfdN)
+			for i := range nbs {
+				if i%7 == 0 {
+					nbs[i] = -1 // boundary face
+				}
+			}
+			return setArray(p, "nb", nbs)
+		},
+	})
+}
+
+// ---- nn (Rodinia) ------------------------------------------------------
+//
+// Nearest-neighbour search over flat records: each record holds 8 fields
+// but the kernel reads only two (latitude, longitude) with stride 8 — the
+// §IV strided pattern. Regularization packs the used fields into dense
+// permutation arrays, cutting the transfer 4x (Table II: 1.23x whole-
+// program); streaming the regularized loop overlaps what remains (1.24x).
+
+const (
+	nnN      = 32768
+	nnStride = 8
+)
+
+const nnSrc = `
+float recs[262144];
+float dist[32768];
+float tlat;
+float tlng;
+int n;
+
+int main(void) {
+    int i;
+    n = 32768;
+    tlat = 30.0;
+    tlng = 50.0;
+    // Host-side record parsing (serial).
+    float seen = 0.0;
+    for (i = 0; i < n; i++) {
+        seen = seen + recs[8 * i] * 0.001;
+        seen = seen - floor(seen);
+    }
+    #pragma offload target(mic:0) in(recs : length(8 * n)) out(dist : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float dlat = recs[8 * i] - tlat;
+        float dlng = recs[8 * i + 1] - tlng;
+        dist[i] = sqrt(dlat * dlat + dlng * dlng) + exp(-fabs(dlat) * 0.01);
+    }
+    printf("seen %f\n", seen);
+    return 0;
+}
+`
+
+func init() {
+	register(&Benchmark{
+		Name:       "nn",
+		Suite:      "Rodinia",
+		InputDesc:  "32768 records, 8 fields, 2 used (paper: 53 M data)",
+		Source:     nnSrc,
+		Outputs:    []string{"dist"},
+		Applicable: []string{"streaming", "regularization"},
+		Setup: func(p *interp.Program) error {
+			r := seededRand("nn", 1)
+			return setArray(p, "recs", uniform(r, nnN*nnStride, 0, 90))
+		},
+	})
+}
+
+// ---- srad (Rodinia) ----------------------------------------------------
+//
+// Speckle-reducing anisotropic diffusion (the Figure 7 example): each
+// iteration gathers the four neighbours of a cell through index arrays,
+// then runs a heavy regular update. Loop splitting peels the gathers into
+// their own loop and vectorizes the remainder (Table II: 1.25x); there is
+// no streaming because the gathers stay irregular.
+
+const sradN = 24576
+
+const sradSrc = `
+float J[25000];
+int iN[24576];
+int iS[24576];
+int jW[24576];
+int jE[24576];
+float dN[24576];
+float dS[24576];
+float dW[24576];
+float dE[24576];
+float c[24576];
+int n;
+
+int main(void) {
+    int i;
+    n = 24576;
+    #pragma offload target(mic:0) in(J : length(25000)) in(iN, iS, jW, jE : length(n)) out(dN, dS, dW, dE, c : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float jc = J[i];
+        float jn = J[iN[i]];
+        float js = J[iS[i]];
+        float jw = J[jW[i]];
+        float je = J[jE[i]];
+        dN[i] = jn - jc;
+        dS[i] = js - jc;
+        dW[i] = jw - jc;
+        dE[i] = je - jc;
+        float g2 = (dN[i] * dN[i] + dS[i] * dS[i] + dW[i] * dW[i] + dE[i] * dE[i]) / (jc * jc + 0.001);
+        float l = (dN[i] + dS[i] + dW[i] + dE[i]) / (jc + 0.001);
+        float num = 0.5 * g2 - 0.0625 * l * l;
+        float den = 1.0 + 0.25 * l;
+        float qsqr = num / (den * den + 0.001);
+        den = (qsqr - 0.25) / (0.25 * (1.0 + 0.25) + 0.001);
+        c[i] = 1.0 / (1.0 + den) + exp(-qsqr) * 0.001 + sqrt(fabs(den) + 0.001) * 0.01 + log(fabs(qsqr) + 1.0) * 0.001 + sqrt(g2 + 1.0) * 0.0001 + exp(-l * l) * 0.0001 + exp(-g2 * 0.5) * 0.0001 + sqrt(fabs(l) + 1.0) * 0.0001;
+    }
+    return 0;
+}
+`
+
+func init() {
+	register(&Benchmark{
+		Name:       "srad",
+		Suite:      "Rodinia",
+		InputDesc:  "24576 cells with 4-neighbour gathers (paper: 32 M points)",
+		Source:     sradSrc,
+		Outputs:    []string{"dN", "dS", "dW", "dE", "c"},
+		Applicable: []string{"regularization"},
+		Setup: func(p *interp.Program) error {
+			r := seededRand("srad", 1)
+			if err := setArray(p, "J", uniform(r, 25000, 0.2, 2)); err != nil {
+				return err
+			}
+			for _, name := range []string{"iN", "iS", "jW", "jE"} {
+				if err := setArray(p, name, permutedIndices(r, sradN, 25000)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+}
+
+// ---- bfs (Rodinia) -----------------------------------------------------
+//
+// Level-synchronous BFS over a CSR graph: one offload per level, guarded
+// gathers through the edge array, and a serial frontier update on the
+// host between levels. No optimization applies — the row-pointer access
+// rs[i+1] is a halo offset (streaming declines), the gathers are guarded
+// (reordering declines), and there is only one offload per level (merging
+// declines) — reproducing the paper's "bfs does not benefit" row.
+
+const (
+	bfsN      = 16384
+	bfsDegree = 6
+	bfsLevels = 10
+)
+
+const bfsSrc = `
+int rs[16385];
+int col[98304];
+float dist[16384];
+float front[16384];
+float next[16384];
+int n;
+int levels;
+
+int main(void) {
+    int lvl;
+    int i;
+    int e;
+    n = 16384;
+    levels = 10;
+    for (lvl = 0; lvl < levels; lvl++) {
+        #pragma offload target(mic:0) in(rs : length(n + 1)) in(col : length(98304)) in(front, dist : length(n)) out(next : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            float nd = 0.0;
+            if (front[i] > 0.0) {
+                for (e = rs[i]; e < rs[i + 1]; e++) {
+                    float dn = dist[col[e]];
+                    if (dn > dist[i] + 1.0) {
+                        nd = nd + 1.0;
+                    }
+                }
+            }
+            next[i] = nd;
+        }
+        // Serial frontier compaction on the host.
+        for (i = 0; i < n; i++) {
+            if (next[i] > 0.0) {
+                front[i] = 1.0;
+                dist[i] = dist[i] + exp(-next[i] * 0.125);
+            } else {
+                front[i] = front[i] * 0.5;
+            }
+        }
+    }
+    return 0;
+}
+`
+
+func init() {
+	register(&Benchmark{
+		Name:       "bfs",
+		Suite:      "Rodinia",
+		InputDesc:  "16384 nodes, degree 6, 10 levels (paper: 1M nodes)",
+		Source:     bfsSrc,
+		Outputs:    []string{"dist", "front", "next"},
+		Applicable: nil,
+		Setup: func(p *interp.Program) error {
+			r := seededRand("bfs", 1)
+			rsv := make([]float64, bfsN+1)
+			for i := 1; i <= bfsN; i++ {
+				rsv[i] = rsv[i-1] + float64(bfsDegree)
+			}
+			if err := setArray(p, "rs", rsv); err != nil {
+				return err
+			}
+			if err := setArray(p, "col", permutedIndices(r, bfsN*bfsDegree, bfsN)); err != nil {
+				return err
+			}
+			if err := setArray(p, "dist", uniform(r, bfsN, 0, 8)); err != nil {
+				return err
+			}
+			front := make([]float64, bfsN)
+			for i := range front {
+				if r.Intn(4) == 0 {
+					front[i] = 1
+				}
+			}
+			return setArray(p, "front", front)
+		},
+	})
+}
+
+// ---- hotspot (Rodinia) -------------------------------------------------
+//
+// Thermal stencil: the whole time loop is offloaded once (the natural MIC
+// port), with ping-pong grids updated by vectorizable inner loops. The
+// stencil's i-1/i+1 halo accesses fail the streaming legality check, the
+// single offload leaves merging nothing to do, and the accesses are
+// regular — so no optimization applies, but the naive port is already
+// faster than the CPU (one of the four Figure 1 winners).
+
+const (
+	hotspotN     = 32768
+	hotspotSteps = 50
+)
+
+const hotspotSrc = `
+float temp[32768];
+float temp2[32768];
+float power[32768];
+int n;
+int steps;
+
+int main(void) {
+    int s;
+    int i;
+    n = 32768;
+    steps = 50;
+    // Host-side floorplan parsing (serial).
+    float acc = 0.0;
+    for (i = 0; i < n; i++) {
+        acc = acc + power[i] * 0.01 + exp(-power[i]) + log(power[i] + 1.5) + pow(power[i] + 0.5, 0.3);
+        acc = acc - floor(acc) + sqrt(acc + 2.0) * 0.001;
+    }
+    #pragma offload target(mic:0) inout(temp, temp2 : length(n)) in(power : length(n))
+    for (s = 0; s < steps; s++) {
+        #pragma omp parallel for
+        for (i = 1; i < n - 1; i++) {
+            temp2[i] = temp[i] + 0.1 * (temp[i - 1] + temp[i + 1] - 2.0 * temp[i]) + 0.05 * power[i];
+        }
+        #pragma omp parallel for
+        for (i = 1; i < n - 1; i++) {
+            temp[i] = temp2[i] + 0.1 * (temp2[i - 1] + temp2[i + 1] - 2.0 * temp2[i]) + 0.05 * power[i];
+        }
+    }
+    printf("acc %f\n", acc);
+    return 0;
+}
+`
+
+func init() {
+	register(&Benchmark{
+		Name:       "hotspot",
+		Suite:      "Rodinia",
+		InputDesc:  "32768 cells x 50 steps (paper: 1024x1024 grid)",
+		Source:     hotspotSrc,
+		Outputs:    []string{"temp", "temp2"},
+		Applicable: nil,
+		Setup: func(p *interp.Program) error {
+			r := seededRand("hotspot", 1)
+			if err := setArray(p, "temp", uniform(r, hotspotN, 300, 340)); err != nil {
+				return err
+			}
+			return setArray(p, "power", uniform(r, hotspotN, 0, 1))
+		},
+	})
+}

@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"testing"
+
+	"comp/internal/interp"
+	"comp/internal/minic"
+)
+
+// TestBenchmarkSourcesRoundTrip: every benchmark source parses, checks,
+// and survives a print/reparse cycle unchanged — the property that lets
+// the optimizer treat them as plain source files.
+func TestBenchmarkSourcesRoundTrip(t *testing.T) {
+	for _, b := range All() {
+		if b.SharedMem {
+			continue
+		}
+		f1, err := minic.Parse(b.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", b.Name, err)
+		}
+		if err := minic.Check(f1).Err(); err != nil {
+			t.Fatalf("%s: check: %v", b.Name, err)
+		}
+		p1 := minic.Print(f1)
+		f2, err := minic.Parse(p1)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", b.Name, err)
+		}
+		if p2 := minic.Print(f2); p1 != p2 {
+			t.Fatalf("%s: print not a fixed point", b.Name)
+		}
+		if b.CPUOverride != "" {
+			if _, err := minic.Parse(b.CPUOverride); err != nil {
+				t.Fatalf("%s: CPU override parse: %v", b.Name, err)
+			}
+		}
+	}
+}
+
+// TestSetupDeterministic: two Setups of the same benchmark inject
+// identical data — the property behind reproducible figures.
+func TestSetupDeterministic(t *testing.T) {
+	for _, b := range All() {
+		if b.SharedMem {
+			continue
+		}
+		load := func() map[string][]float64 {
+			p, err := interp.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			if err := b.Setup(p); err != nil {
+				t.Fatalf("%s: setup: %v", b.Name, err)
+			}
+			out := map[string][]float64{}
+			for _, d := range p.File().Decls {
+				vd, ok := d.(*minic.VarDecl)
+				if !ok || minic.ElemOf(vd.Type) == nil {
+					continue
+				}
+				if data, err := p.ArrayData(vd.Name); err == nil {
+					out[vd.Name] = data
+				}
+			}
+			return out
+		}
+		a, c := load(), load()
+		for name, av := range a {
+			cv := c[name]
+			if len(av) != len(cv) {
+				t.Fatalf("%s: %s lengths differ", b.Name, name)
+			}
+			for i := range av {
+				if av[i] != cv[i] {
+					t.Fatalf("%s: %s[%d] differs across setups", b.Name, name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedObjectSizesDeterministic pins the synthetic structure layout.
+func TestSharedObjectSizesDeterministic(t *testing.T) {
+	ferret, _ := Get("ferret")
+	a := ferret.Shared.objectSizes("ferret", 0.25)
+	b := ferret.Shared.objectSizes("ferret", 0.25)
+	if len(a) != len(b) {
+		t.Fatal("object counts differ")
+	}
+	var total int64
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("size[%d] differs", i)
+		}
+		total += a[i]
+	}
+	want := int64(float64(ferret.Shared.TotalBytes) * 0.25)
+	// Rescaling is approximate; stay within 2%.
+	if total < want*98/100 || total > want*102/100 {
+		t.Fatalf("total %d not within 2%% of %d", total, want)
+	}
+}
