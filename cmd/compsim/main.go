@@ -8,6 +8,7 @@
 //	compsim -optimize file.c    # run through the COMP compiler first
 //	compsim -cpu file.c         # strip offload pragmas, run host-only
 //	compsim -trace file.c       # print the resource timeline
+//	compsim -faults 0.2 file.c  # inject faults at rate 0.2 per operation
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"comp/internal/interp"
 	"comp/internal/minic"
 	"comp/internal/runtime"
+	"comp/internal/sim/fault"
 	"comp/internal/workloads"
 )
 
@@ -27,6 +29,8 @@ func main() {
 	cpuOnly := flag.Bool("cpu", false, "strip offload pragmas and run on the host model only")
 	trace := flag.Bool("trace", false, "print the simulated resource timeline")
 	blocks := flag.Int("blocks", 0, "streaming block count when optimizing (0 = default)")
+	faults := flag.Float64("faults", 0, "uniform fault injection rate in [0,1] for DMA/launch/hang/alloc (0 = off)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -63,7 +67,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	rt := runtime.New(runtime.DefaultConfig())
+	cfg := runtime.DefaultConfig()
+	if *faults != 0 {
+		cfg.Faults = fault.Uniform(*faultSeed, *faults)
+	}
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
+	rt := runtime.New(cfg)
 	if err := prog.Run(rt); err != nil {
 		fail(err)
 	}
@@ -80,6 +91,17 @@ func main() {
 	fmt.Printf("dma transfers   %d\n", st.Transfers)
 	fmt.Printf("bytes in/out    %d / %d\n", st.BytesIn, st.BytesOut)
 	fmt.Printf("peak device mem %d bytes\n", st.PeakDeviceBytes)
+	if *faults > 0 {
+		fmt.Printf("faults injected %d\n", st.FaultsInjected)
+		fmt.Printf("retries         %d\n", st.Retries)
+		fmt.Printf("watchdog fires  %d\n", st.WatchdogFires)
+	}
+	for _, w := range st.Fallbacks {
+		fmt.Printf("FALLBACK: %s\n", w)
+	}
+	for _, w := range st.FaultWarnings {
+		fmt.Printf("FAULT: %s\n", w)
+	}
 	for _, w := range st.RaceWarnings {
 		fmt.Printf("WARNING: %s\n", w)
 	}

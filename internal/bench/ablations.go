@@ -287,6 +287,7 @@ func (r *Runner) Ablations() ([]*Figure, error) {
 		r.StreamingProfitability,
 		r.MYOPageSweep,
 		r.SegmentSweep,
+		r.ResilienceAblation,
 	} {
 		fig, err := gen()
 		if err != nil {

@@ -148,8 +148,24 @@ func TestAblationsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 7 {
-		t.Fatalf("ablations = %d figures, want 7", len(figs))
+	if len(figs) != 8 {
+		t.Fatalf("ablations = %d figures, want 8", len(figs))
+	}
+	// The resilience sweep aborts without recovery at every non-zero rate
+	// and stays bounded with it.
+	for _, row := range figs[7].Rows {
+		if row.Name == "rate=0.00" {
+			continue
+		}
+		if c := row.Cells["no-recovery-us"]; c.Note != "ABORT" {
+			t.Errorf("resilience %s: run without recovery did not abort", row.Name)
+		}
+		if c := row.Cells["slowdown"]; c.Note == "" && c.Value > 50 {
+			t.Errorf("resilience %s: recovered slowdown %.1fx unbounded", row.Name, c.Value)
+		}
+		if c := row.Cells["faults"]; c.Value < 1 {
+			t.Errorf("resilience %s: injected no faults", row.Name)
+		}
 	}
 	// MYO stays well behind a bulk copy at every page size.
 	for _, row := range figs[5].Rows {

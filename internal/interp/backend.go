@@ -102,7 +102,10 @@ type Backend interface {
 	HostCompute(w Work)
 	// Offload reports a synchronous offload region (allocate, move inputs,
 	// run kernel, move outputs, free). An error aborts the program; the
-	// canonical one is device OOM.
+	// canonical one is device OOM. A backend is free to recover instead of
+	// erroring — retry transient failures, or run the region some other
+	// way (internal/runtime degrades to a staging buffer and then to the
+	// host) — as long as any signal tag the program expects still fires.
 	Offload(op *OffloadOp) error
 	// Transfer reports an asynchronous offload_transfer.
 	Transfer(op *TransferOp) error

@@ -57,6 +57,67 @@ func TestNoDeadlockOnCorrectPrograms(t *testing.T) {
 	}
 }
 
+// TestWatchdogRecoversUnsignalledWait: a hand-written pipeline whose wait
+// tag never fires is a deadlock on real hardware. With recovery enabled
+// (the default) the watchdog must abort the stalled kernel, re-run it on
+// the host, and produce a finite makespan that includes that recovery —
+// while still reporting the program bug as a deadlock warning.
+func TestWatchdogRecoversUnsignalledWait(t *testing.T) {
+	src := `
+float src[4096];
+float dst[4096];
+float *buf;
+float *outb;
+int never;
+int main(void) {
+    int i;
+    #pragma offload_transfer target(mic:0) nocopy(buf : length(4096) alloc_if(1) free_if(0)) nocopy(outb : length(4096) alloc_if(1) free_if(0))
+    #pragma offload_transfer target(mic:0) in(src[0 : 4096] : into(buf) alloc_if(0) free_if(0))
+    #pragma offload target(mic:0) out(outb[0 : 4096] : into(dst[0 : 4096]) alloc_if(0) free_if(0)) wait(&never)
+    #pragma omp parallel for
+    for (i = 0; i < 4096; i++) {
+        outb[i] = buf[i] * 2.0;
+    }
+    return 0;
+}
+`
+	p, err := interp.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatalf("watchdog run errored instead of completing: %v", err)
+	}
+	st := res.Stats
+	if st.WatchdogFires == 0 {
+		t.Fatal("stalled wait fired no watchdog")
+	}
+	if len(st.FaultWarnings) == 0 || !strings.Contains(strings.Join(st.FaultWarnings, "; "), "watchdog") {
+		t.Fatalf("no watchdog fault warning recorded: %v", st.FaultWarnings)
+	}
+	if len(st.DeadlockWarnings) == 0 {
+		t.Fatal("recovery must not hide the deadlock diagnosis")
+	}
+	// The recovered makespan covers the watchdog period plus the host
+	// re-run of the stalled kernel.
+	if st.Time < DefaultWatchdog {
+		t.Fatalf("makespan %v does not include the watchdog period %v", st.Time, DefaultWatchdog)
+	}
+
+	// With recovery disabled the stall is only diagnosed, not recovered.
+	cfg := DefaultConfig()
+	cfg.Recovery.Disabled = true
+	p2, _ := interp.Compile(src)
+	res2, err := Run(p2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.WatchdogFires != 0 {
+		t.Fatalf("disabled recovery still fired the watchdog %d times", res2.Stats.WatchdogFires)
+	}
+}
+
 func TestDeadlockOnOffloadWaitWithoutSignal(t *testing.T) {
 	src := `
 float a[64];

@@ -1,0 +1,195 @@
+package runtime
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"comp/internal/interp"
+	"comp/internal/sim/fault"
+)
+
+// ladderSource runs three offloads with growing working sets: 32 KiB
+// (fits), 64 KiB (forces the sync fallback on a 40 KiB device), and one
+// 64 KiB inout buffer (too big even for the staging buffer, forcing the
+// host fallback).
+const ladderSource = `
+float a[4096];
+float b[4096];
+float c[8192];
+float d[8192];
+float e[16384];
+int main(void) {
+    int i;
+    for (i = 0; i < 4096; i++) {
+        a[i] = i;
+    }
+    for (i = 0; i < 8192; i++) {
+        c[i] = i;
+    }
+    for (i = 0; i < 16384; i++) {
+        e[i] = i;
+    }
+    #pragma offload target(mic:0) in(a : length(4096)) out(b : length(4096))
+    #pragma omp parallel for
+    for (i = 0; i < 4096; i++) {
+        b[i] = a[i] * 2.0;
+    }
+    #pragma offload target(mic:0) in(c : length(8192)) out(d : length(8192))
+    #pragma omp parallel for
+    for (i = 0; i < 8192; i++) {
+        d[i] = c[i] + 1.0;
+    }
+    #pragma offload target(mic:0) inout(e : length(16384))
+    #pragma omp parallel for
+    for (i = 0; i < 16384; i++) {
+        e[i] = e[i] * 3.0;
+    }
+    return 0;
+}
+`
+
+// TestDegradationLadderEndToEnd is the acceptance test for the graceful
+// degradation ladder: one run walks pipelined -> synchronous single-buffer
+// -> host-only, each step visible in Stats.Fallbacks, with outputs intact.
+func TestDegradationLadderEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MIC.MemBytes = 40 << 10 // 40 KiB device
+	cfg.MIC.OSReservedBytes = 0
+
+	p, err := interp.Compile(ladderSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("ladder run failed instead of degrading: %v", err)
+	}
+	st := res.Stats
+
+	if len(st.Fallbacks) != 2 {
+		t.Fatalf("fallbacks = %d, want 2 (sync then host):\n%s",
+			len(st.Fallbacks), strings.Join(st.Fallbacks, "\n"))
+	}
+	if !strings.Contains(st.Fallbacks[0], "synchronous") {
+		t.Errorf("first fallback is not the sync rung: %q", st.Fallbacks[0])
+	}
+	if !strings.Contains(st.Fallbacks[1], "host-only") {
+		t.Errorf("second fallback is not the host rung: %q", st.Fallbacks[1])
+	}
+	// Offload 1 launches normally, offload 2 launches on the sync rung,
+	// offload 3 runs on the host: two launches total.
+	if st.KernelLaunches != 2 {
+		t.Errorf("launches = %d, want 2", st.KernelLaunches)
+	}
+	if len(st.DeadlockWarnings) != 0 {
+		t.Errorf("degraded run flagged deadlocks: %v", st.DeadlockWarnings)
+	}
+
+	// Values survive every rung: the interpreter computes them regardless
+	// of where the timing model ran the region.
+	b, _ := res.Program.ArrayData("b")
+	d, _ := res.Program.ArrayData("d")
+	e, _ := res.Program.ArrayData("e")
+	if b[7] != 14 || d[9] != 10 || e[11] != 33 {
+		t.Errorf("outputs corrupted: b[7]=%v d[9]=%v e[11]=%v, want 14 10 33", b[7], d[9], e[11])
+	}
+
+	// Without recovery the same platform fails hard at the second offload.
+	cfg.Recovery.Disabled = true
+	p2, _ := interp.Compile(ladderSource)
+	if _, err := Run(p2, cfg); err == nil || !strings.Contains(err.Error(), "out of device memory") {
+		t.Fatalf("disabled recovery: err = %v, want device OOM", err)
+	}
+}
+
+func TestDMAFaultsRetryAndComplete(t *testing.T) {
+	clean := mustRun(t, simpleOffload, DefaultConfig())
+
+	cfg := DefaultConfig()
+	cfg.Faults = fault.Config{Seed: 7, DMARate: 0.5}
+	res := mustRun(t, simpleOffload, cfg)
+	st := res.Stats
+	if st.FaultsInjected == 0 {
+		t.Fatal("DMARate 0.5 injected nothing")
+	}
+	if st.Retries == 0 {
+		t.Fatal("injected DMA faults produced no retries")
+	}
+	if st.Time <= clean.Stats.Time {
+		t.Fatalf("faulted run %v not slower than clean %v", st.Time, clean.Stats.Time)
+	}
+	// Payload accounting must not count failed attempts.
+	if st.BytesIn != clean.Stats.BytesIn || st.BytesOut != clean.Stats.BytesOut {
+		t.Fatalf("failed attempts moved payload: in %d/%d out %d/%d",
+			st.BytesIn, clean.Stats.BytesIn, st.BytesOut, clean.Stats.BytesOut)
+	}
+}
+
+func TestKernelHangsFireWatchdog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = fault.Config{Seed: 3, HangRate: 1} // every launch attempt hangs
+	res := mustRun(t, simpleOffload, cfg)
+	st := res.Stats
+	if st.WatchdogFires == 0 {
+		t.Fatal("hung kernels fired no watchdog")
+	}
+	if len(st.FaultWarnings) == 0 {
+		t.Fatal("hang recovery recorded no fault warnings")
+	}
+	// HangRate 1 exhausts the retry budget, so the escalation must appear.
+	joined := strings.Join(st.FaultWarnings, "; ")
+	if !strings.Contains(joined, "retries") {
+		t.Fatalf("no escalation warning after exhausted retries: %v", st.FaultWarnings)
+	}
+}
+
+func TestPersistentBlockHangsRecover(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = fault.Config{Seed: 11, HangRate: 0.3}
+	res := mustRun(t, streamedSource(1<<16, 8, true), cfg)
+	if res.Stats.FaultsInjected == 0 {
+		t.Fatal("no hangs injected into the persistent pipeline")
+	}
+	if res.Stats.WatchdogFires == 0 {
+		t.Fatal("persistent block hangs fired no watchdog")
+	}
+	if len(res.Stats.DeadlockWarnings) != 0 {
+		t.Fatalf("recovered pipeline flagged deadlocks: %v", res.Stats.DeadlockWarnings)
+	}
+}
+
+func TestFaultsAbortWhenRecoveryDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = fault.Config{Seed: 7, DMARate: 0.5}
+	cfg.Recovery.Disabled = true
+	p, err := interp.Compile(simpleOffload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(p, cfg); err == nil {
+		t.Fatal("faults with recovery disabled did not abort the run")
+	}
+}
+
+// TestFaultedRunsAreDeterministic: same seed, same Stats — field for
+// field, including the warning lists.
+func TestFaultedRunsAreDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = fault.Config{Seed: 23, DMARate: 0.4, LaunchRate: 0.2, HangRate: 0.1, AllocRate: 0.1}
+	a := mustRun(t, streamedSource(1<<16, 8, false), cfg)
+	b := mustRun(t, streamedSource(1<<16, 8, false), cfg)
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Fatalf("same seed, different Stats:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+	if a.Stats.FaultsInjected == 0 {
+		t.Fatal("determinism test injected no faults; weaken the rates check")
+	}
+
+	cfg2 := cfg
+	cfg2.Faults.Seed = 24
+	c := mustRun(t, streamedSource(1<<16, 8, false), cfg2)
+	if reflect.DeepEqual(a.Stats, c.Stats) {
+		t.Fatal("different seeds produced identical Stats; schedule ignores the seed")
+	}
+}

@@ -105,7 +105,12 @@ func TestRaceWarningsCapped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Stats.RaceWarnings) == 0 || len(res.Stats.RaceWarnings) > maxRaceWarnings {
-		t.Fatalf("warnings = %d, want in (0, %d]", len(res.Stats.RaceWarnings), maxRaceWarnings)
+	warns := res.Stats.RaceWarnings
+	if len(warns) == 0 || len(warns) > maxRaceWarnings+1 {
+		t.Fatalf("warnings = %d, want in (0, %d]", len(warns), maxRaceWarnings+1)
+	}
+	// Truncation must say how much it dropped rather than dropping silently.
+	if len(warns) == maxRaceWarnings+1 && !strings.Contains(warns[len(warns)-1], "more") {
+		t.Fatalf("truncated list lacks the '... and N more' sentinel: %q", warns[len(warns)-1])
 	}
 }

@@ -9,12 +9,15 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"comp/internal/interp"
 	"comp/internal/minic"
 	"comp/internal/sim/devmem"
 	"comp/internal/sim/engine"
+	"comp/internal/sim/fault"
 	"comp/internal/sim/kernel"
 	"comp/internal/sim/machine"
 	"comp/internal/sim/pcie"
@@ -27,6 +30,62 @@ type Config struct {
 	PCIe       pcie.Config
 	CPUThreads int
 	MICThreads int
+	// Faults is the injected-failure schedule; the zero value injects
+	// nothing.
+	Faults fault.Config
+	// Recovery controls the resilience layer; the zero value enables
+	// recovery with the default policy.
+	Recovery RecoveryConfig
+}
+
+// RecoveryConfig tunes the runtime's fault-recovery policy.
+type RecoveryConfig struct {
+	// Disabled turns recovery off entirely: any injected fault aborts the
+	// run with an error. Used by the resilience ablation as the baseline.
+	Disabled bool
+	// MaxRetries bounds reissues of a failed DMA or kernel launch before
+	// the runtime escalates to a blocking driver reset (0 = default).
+	MaxRetries int
+	// Backoff is the delay before the first retry; it doubles on each
+	// subsequent attempt (0 = default).
+	Backoff engine.Duration
+	// Watchdog is how long a hung kernel or stalled wait may hold on
+	// before it is aborted (0 = default).
+	Watchdog engine.Duration
+}
+
+// Default recovery policy.
+const (
+	DefaultMaxRetries                 = 4
+	DefaultBackoff    engine.Duration = 2 * engine.Microsecond
+	DefaultWatchdog   engine.Duration = 100 * engine.Microsecond
+)
+
+// recoveryParams is RecoveryConfig with defaults resolved.
+type recoveryParams struct {
+	disabled   bool
+	maxRetries int
+	backoff    engine.Duration
+	watchdog   engine.Duration
+}
+
+func (c RecoveryConfig) resolve() recoveryParams {
+	p := recoveryParams{
+		disabled:   c.Disabled,
+		maxRetries: c.MaxRetries,
+		backoff:    c.Backoff,
+		watchdog:   c.Watchdog,
+	}
+	if p.maxRetries == 0 {
+		p.maxRetries = DefaultMaxRetries
+	}
+	if p.backoff == 0 {
+		p.backoff = DefaultBackoff
+	}
+	if p.watchdog == 0 {
+		p.watchdog = DefaultWatchdog
+	}
+	return p
 }
 
 // DefaultConfig returns the calibrated evaluation platform (§VI): a Xeon
@@ -41,7 +100,7 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors, naming the offending field.
 func (c Config) Validate() error {
 	if err := c.CPU.Validate(); err != nil {
 		return err
@@ -49,11 +108,35 @@ func (c Config) Validate() error {
 	if err := c.MIC.Validate(); err != nil {
 		return err
 	}
+	if c.PCIe == (pcie.Config{}) {
+		return fmt.Errorf("runtime: Config.PCIe is zero-valued; start from pcie.Default()")
+	}
 	if err := c.PCIe.Validate(); err != nil {
 		return err
 	}
-	if c.CPUThreads < 1 || c.MICThreads < 1 {
-		return fmt.Errorf("runtime: thread counts must be positive")
+	if c.CPUThreads < 1 {
+		return fmt.Errorf("runtime: Config.CPUThreads %d must be positive", c.CPUThreads)
+	}
+	if c.MICThreads < 1 {
+		return fmt.Errorf("runtime: Config.MICThreads %d must be positive", c.MICThreads)
+	}
+	if max := c.CPU.MaxThreads(); c.CPUThreads > max {
+		return fmt.Errorf("runtime: Config.CPUThreads %d exceeds the host machine's maximum %d", c.CPUThreads, max)
+	}
+	if max := c.MIC.MaxThreads(); c.MICThreads > max {
+		return fmt.Errorf("runtime: Config.MICThreads %d exceeds the device's maximum %d", c.MICThreads, max)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("runtime: Config.Faults: %w", err)
+	}
+	if c.Recovery.MaxRetries < 0 {
+		return fmt.Errorf("runtime: Config.Recovery.MaxRetries %d < 0", c.Recovery.MaxRetries)
+	}
+	if c.Recovery.Backoff < 0 {
+		return fmt.Errorf("runtime: Config.Recovery.Backoff %v < 0", c.Recovery.Backoff)
+	}
+	if c.Recovery.Watchdog < 0 {
+		return fmt.Errorf("runtime: Config.Recovery.Watchdog %v < 0", c.Recovery.Watchdog)
 	}
 	return nil
 }
@@ -90,6 +173,19 @@ type Stats struct {
 	// hangs; in the simulator the stalled work silently drops out of the
 	// makespan, so it is surfaced here instead.
 	DeadlockWarnings []string
+	// FaultsInjected counts failures the fault schedule fired this run.
+	FaultsInjected int64
+	// Retries counts reissued DMAs, kernel launches and allocations.
+	Retries int64
+	// WatchdogFires counts hung kernels and stalled waits the watchdog
+	// aborted.
+	WatchdogFires int64
+	// Fallbacks records each step taken down the degradation ladder
+	// (pipelined streaming -> synchronous single-buffer -> host-only).
+	Fallbacks []string
+	// FaultWarnings records recovery escalations: exhausted retry budgets
+	// and watchdog aborts.
+	FaultWarnings []string
 }
 
 // Runtime implements interp.Backend over the discrete-event simulator.
@@ -114,10 +210,48 @@ type Runtime struct {
 	bufWrites  []interval // DMA writes into device buffers
 	kernelUses []interval // kernel executions touching device buffers
 
-	// kernelDone tracks every kernel completion event for deadlock checks.
-	kernelDone []*engine.Event
+	// kernels tracks every kernel for deadlock checks and watchdog
+	// recovery of end-of-run stalls.
+	kernels []kernelRec
+
+	// Resilience state.
+	inj           *fault.Injector // nil when no faults are configured
+	rec           recoveryParams
+	mode          offloadMode
+	staging       *devmem.Block // single bounce buffer of the sync mode
+	retries       int64
+	watchdogFires int64
+	fallbacks     []string
+	faultWarns    []string
 
 	finished bool
+}
+
+// offloadMode is the rung of the degradation ladder the runtime is on.
+// Degradation is sticky: once device memory has proven too small (or too
+// broken) for the resident plan, later offloads do not climb back up.
+type offloadMode int
+
+const (
+	// modeNormal is the full plan: resident device buffers, pipelined
+	// transfers, persistent kernels.
+	modeNormal offloadMode = iota
+	// modeSync bounces every transfer through one staging buffer and
+	// serializes DMA-kernel-DMA per offload: slower, but it survives
+	// device memory that cannot hold the working set.
+	modeSync
+	// modeHost runs offload regions on the host CPU; the device is not
+	// used at all.
+	modeHost
+)
+
+// kernelRec ties a kernel completion event to what the watchdog needs for
+// recovery: a label for diagnostics and the region's work so a stalled
+// kernel can be re-run on the host.
+type kernelRec struct {
+	done  *engine.Event
+	label string
+	work  interp.Work
 }
 
 // interval is a resource occupation tied to a buffer, resolved after the
@@ -157,6 +291,13 @@ func New(cfg Config) *Runtime {
 		tags:     map[string]*engine.Event{},
 		persist:  map[*minic.Pragma]*kernel.Persistent{},
 		bufs:     map[string]*devmem.Block{},
+		rec:      cfg.Recovery.resolve(),
+	}
+	if cfg.Faults.Enabled() {
+		r.inj = fault.New(cfg.Faults)
+		r.bus.SetInjector(r.inj)
+		r.launcher.SetFaults(r.inj, r.rec.watchdog)
+		r.mem.SetInjector(r.inj)
 	}
 	r.hostTail = sim.FiredEvent()
 	return r
@@ -195,6 +336,184 @@ func (r *Runtime) tag(name string) *engine.Event {
 	return ev
 }
 
+// backoffDur returns the exponential backoff before retry `attempt`
+// (1-based): backoff, 2·backoff, 4·backoff, ...
+func (r *Runtime) backoffDur(attempt int) engine.Duration {
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20
+	}
+	return r.rec.backoff << shift
+}
+
+// dma issues one DMA under the fault schedule, retrying failed attempts
+// with exponential backoff. After the retry budget it models a blocking
+// driver-level channel reset that always succeeds, so a DMA never fails
+// permanently unless recovery is disabled.
+func (r *Runtime) dma(after *engine.Event, dir pcie.Direction, label string, bytes int64) (*engine.Event, error) {
+	if r.inj == nil {
+		return r.bus.TransferAfter(after, dir, label, bytes), nil
+	}
+	ev, ok := r.bus.TryTransferAfter(after, dir, label, bytes)
+	if ok {
+		return ev, nil
+	}
+	if r.rec.disabled {
+		return nil, fmt.Errorf("runtime: DMA %q failed (injected fault, recovery disabled)", label)
+	}
+	for attempt := 1; attempt <= r.rec.maxRetries; attempt++ {
+		r.retries++
+		ready := engine.Delay(r.sim, ev, r.backoffDur(attempt))
+		if ev, ok = r.bus.TryTransferAfter(ready, dir, label, bytes); ok {
+			return ev, nil
+		}
+	}
+	r.retries++
+	r.faultWarns = append(r.faultWarns, fmt.Sprintf(
+		"DMA %q failed %d retries; escalated to a blocking channel reset", label, r.rec.maxRetries))
+	ready := engine.Delay(r.sim, ev, r.backoffDur(r.rec.maxRetries+1))
+	return r.bus.TransferAfter(ready, dir, label, bytes), nil
+}
+
+// launchKernel starts a kernel under the fault schedule. Failed launches
+// retry after backoff; hangs hold the device until the watchdog aborts
+// them, then relaunch. After the retry budget a blocking device reset
+// guarantees the final launch.
+func (r *Runtime) launchKernel(ready *engine.Event, label string, dur engine.Duration) (*engine.Event, error) {
+	if r.inj == nil {
+		return r.launcher.Launch(ready, label, dur), nil
+	}
+	ev, out := r.launcher.TryLaunch(ready, label, dur)
+	for attempt := 1; out != kernel.OK; attempt++ {
+		if r.rec.disabled {
+			return nil, fmt.Errorf("runtime: kernel %q did not run (injected %v, recovery disabled)", label, out)
+		}
+		if out == kernel.Hang {
+			r.watchdogFires++
+			r.faultWarns = append(r.faultWarns, fmt.Sprintf(
+				"watchdog: kernel %q hung; aborted after %v", label, r.rec.watchdog))
+		}
+		r.retries++
+		next := engine.Delay(r.sim, ev, r.backoffDur(attempt))
+		if attempt > r.rec.maxRetries {
+			r.faultWarns = append(r.faultWarns, fmt.Sprintf(
+				"kernel %q failed %d retries; escalated to a blocking device reset", label, r.rec.maxRetries))
+			return r.launcher.Launch(next, label, dur), nil
+		}
+		ev, out = r.launcher.TryLaunch(next, label, dur)
+	}
+	return ev, nil
+}
+
+// runBlock is launchKernel for a block on a persistent kernel; resident
+// threads cannot fail to launch, but they can hang.
+func (r *Runtime) runBlock(p *kernel.Persistent, ready *engine.Event, label string, dur engine.Duration) (*engine.Event, error) {
+	if r.inj == nil {
+		return p.RunBlock(ready, label, dur), nil
+	}
+	ev, out := p.TryRunBlock(ready, label, dur)
+	for attempt := 1; out != kernel.OK; attempt++ {
+		if r.rec.disabled {
+			return nil, fmt.Errorf("runtime: persistent block %q did not run (injected %v, recovery disabled)", label, out)
+		}
+		r.watchdogFires++
+		r.faultWarns = append(r.faultWarns, fmt.Sprintf(
+			"watchdog: persistent block %q hung; aborted after %v", label, r.rec.watchdog))
+		r.retries++
+		next := engine.Delay(r.sim, ev, r.backoffDur(attempt))
+		if attempt > r.rec.maxRetries {
+			r.faultWarns = append(r.faultWarns, fmt.Sprintf(
+				"block %q failed %d retries; escalated to a blocking re-signal", label, r.rec.maxRetries))
+			return p.RunBlock(next, label, dur), nil
+		}
+		ev, out = p.TryRunBlock(next, label, dur)
+	}
+	return ev, nil
+}
+
+// allocBlock allocates device memory, retrying injected transient failures
+// (capacity exhaustion is not retried — it cannot succeed).
+func (r *Runtime) allocBlock(size uint64, label string) (*devmem.Block, error) {
+	b, err := r.mem.Alloc(size, label)
+	if err == nil || r.rec.disabled || !errors.Is(err, devmem.ErrFaultInjected) {
+		return b, err
+	}
+	for attempt := 1; attempt <= r.rec.maxRetries; attempt++ {
+		r.retries++
+		if b, err = r.mem.Alloc(size, label); err == nil || !errors.Is(err, devmem.ErrFaultInjected) {
+			return b, err
+		}
+	}
+	return nil, err
+}
+
+// allocFailure reports whether err means device memory could not be had —
+// the trigger for stepping down the degradation ladder.
+func allocFailure(err error) bool {
+	return errors.Is(err, devmem.ErrOutOfMemory) || errors.Is(err, devmem.ErrFaultInjected)
+}
+
+// degrade steps down one rung after an allocation failure: the resident
+// buffer plan is abandoned for the staging-buffer sync mode, and the sync
+// mode for host-only execution. Already-submitted device work still
+// drains; only future offloads use the new mode.
+func (r *Runtime) degrade(cause error) {
+	switch r.mode {
+	case modeNormal:
+		r.mode = modeSync
+		for _, p := range r.persist {
+			p.Exit()
+		}
+		r.persist = map[*minic.Pragma]*kernel.Persistent{}
+		r.freeAllBufs()
+		r.fallbacks = append(r.fallbacks, fmt.Sprintf(
+			"device allocation failed (%v); pipelined streaming -> synchronous single-buffer offload", cause))
+	case modeSync:
+		r.mode = modeHost
+		if r.staging != nil {
+			r.mem.Free(r.staging)
+			r.staging = nil
+		}
+		r.fallbacks = append(r.fallbacks, fmt.Sprintf(
+			"staging allocation failed (%v); synchronous offload -> host-only execution", cause))
+	}
+}
+
+// freeAllBufs releases every resident device buffer, in sorted name order
+// so the allocator's hole layout stays deterministic.
+func (r *Runtime) freeAllBufs() {
+	names := make([]string, 0, len(r.bufs))
+	for n := range r.bufs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.mem.Free(r.bufs[n])
+		delete(r.bufs, n)
+	}
+}
+
+// ensureStaging guarantees the sync-mode bounce buffer holds at least size
+// bytes, growing it by reallocation.
+func (r *Runtime) ensureStaging(size uint64) error {
+	if r.staging != nil && r.staging.Size >= size {
+		return nil
+	}
+	if r.staging != nil {
+		r.mem.Free(r.staging)
+		r.staging = nil
+	}
+	b, err := r.allocBlock(size, "staging")
+	if err != nil {
+		return err
+	}
+	r.staging = b
+	if r.cfg.MIC.AllocOverhead > 0 {
+		r.hostTail = r.host.SubmitAfter(r.hostTail, "alloc", r.cfg.MIC.AllocOverhead)
+	}
+	return nil
+}
+
 // allocSpecs performs device allocations for an op's specs in program
 // order, returning an OOM error if capacity is exceeded. Each allocation
 // costs AllocOverhead of host time — the §III-A overhead the streaming
@@ -212,7 +531,7 @@ func (r *Runtime) allocSpecs(specs []interp.TransferSpec) error {
 		if sp.AllocBytes == 0 {
 			continue
 		}
-		b, err := r.mem.Alloc(uint64(sp.AllocBytes), sp.Dest)
+		b, err := r.allocBlock(uint64(sp.AllocBytes), sp.Dest)
 		if err != nil {
 			return err
 		}
@@ -241,7 +560,7 @@ func (r *Runtime) freeSpecs(specs []interp.TransferSpec) {
 
 // submitInputs schedules the host-to-device DMAs of an op. Scalar items
 // are batched into one descriptor; each array item is its own DMA.
-func (r *Runtime) submitInputs(specs []interp.TransferSpec, after *engine.Event) []*engine.Event {
+func (r *Runtime) submitInputs(specs []interp.TransferSpec, after *engine.Event) ([]*engine.Event, error) {
 	var events []*engine.Event
 	var scalarBytes int64
 	for _, sp := range specs {
@@ -252,7 +571,10 @@ func (r *Runtime) submitInputs(specs []interp.TransferSpec, after *engine.Event)
 			scalarBytes += sp.Bytes
 			continue
 		}
-		ev := r.bus.TransferAfter(after, pcie.HostToDevice, sp.Item.Name+"->"+sp.Dest, sp.Bytes)
+		ev, err := r.dma(after, pcie.HostToDevice, sp.Item.Name+"->"+sp.Dest, sp.Bytes)
+		if err != nil {
+			return nil, err
+		}
 		r.bufWrites = append(r.bufWrites, interval{
 			buf:    sp.Dest,
 			label:  sp.Item.Name + "->" + sp.Dest,
@@ -264,13 +586,17 @@ func (r *Runtime) submitInputs(specs []interp.TransferSpec, after *engine.Event)
 		events = append(events, ev)
 	}
 	if scalarBytes > 0 {
-		events = append(events, r.bus.TransferAfter(after, pcie.HostToDevice, "scalars", scalarBytes))
+		ev, err := r.dma(after, pcie.HostToDevice, "scalars", scalarBytes)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
 	}
-	return events
+	return events, nil
 }
 
 // submitOutputs schedules the device-to-host DMAs of an op.
-func (r *Runtime) submitOutputs(specs []interp.TransferSpec, after *engine.Event) []*engine.Event {
+func (r *Runtime) submitOutputs(specs []interp.TransferSpec, after *engine.Event) ([]*engine.Event, error) {
 	var events []*engine.Event
 	var scalarBytes int64
 	for _, sp := range specs {
@@ -281,21 +607,59 @@ func (r *Runtime) submitOutputs(specs []interp.TransferSpec, after *engine.Event
 			scalarBytes += sp.Bytes
 			continue
 		}
-		events = append(events, r.bus.TransferAfter(after, pcie.DeviceToHost, sp.Dest+"->host", sp.Bytes))
+		ev, err := r.dma(after, pcie.DeviceToHost, sp.Dest+"->host", sp.Bytes)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
 	}
 	if scalarBytes > 0 {
-		events = append(events, r.bus.TransferAfter(after, pcie.DeviceToHost, "scalars", scalarBytes))
+		ev, err := r.dma(after, pcie.DeviceToHost, "scalars", scalarBytes)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
 	}
-	return events
+	return events, nil
 }
 
-// Offload implements interp.Backend: allocate, move inputs, run the
-// kernel (gated on the wait tag and input DMAs), move outputs, free.
+// Offload implements interp.Backend. On the normal rung it allocates,
+// moves inputs, runs the kernel (gated on the wait tag and input DMAs),
+// moves outputs, and frees. An allocation failure steps down the
+// degradation ladder and re-dispatches the op on the new rung, so an
+// offload only errors when recovery is disabled.
 func (r *Runtime) Offload(op *interp.OffloadOp) error {
+	for {
+		var err error
+		switch r.mode {
+		case modeNormal:
+			err = r.offloadPipelined(op)
+		case modeSync:
+			err = r.offloadSync(op)
+		default:
+			r.offloadHost(op)
+			return nil
+		}
+		if err == nil {
+			return nil
+		}
+		if r.rec.disabled || !allocFailure(err) {
+			return err
+		}
+		r.degrade(err)
+	}
+}
+
+// offloadPipelined is the full plan: resident buffers, overlap-friendly
+// DMA issue, persistent kernels.
+func (r *Runtime) offloadPipelined(op *interp.OffloadOp) error {
 	if err := r.allocSpecs(op.Specs); err != nil {
 		return err
 	}
-	inputs := r.submitInputs(op.Specs, r.hostTail)
+	inputs, err := r.submitInputs(op.Specs, r.hostTail)
+	if err != nil {
+		return err
+	}
 	deps := append([]*engine.Event{r.hostTail}, inputs...)
 	if op.Wait != "" {
 		deps = append(deps, r.tag(op.Wait))
@@ -310,9 +674,13 @@ func (r *Runtime) Offload(op *interp.OffloadOp) error {
 			p = r.launcher.LaunchPersistent(pragmaLabel(op.Pragma))
 			r.persist[op.Pragma] = p
 		}
-		done = p.RunBlock(ready, "block", dur)
+		if done, err = r.runBlock(p, ready, "block", dur); err != nil {
+			return err
+		}
 	} else {
-		done = r.launcher.Launch(ready, pragmaLabel(op.Pragma), dur)
+		if done, err = r.launchKernel(ready, pragmaLabel(op.Pragma), dur); err != nil {
+			return err
+		}
 	}
 	for _, br := range op.DevTouched {
 		r.kernelUses = append(r.kernelUses, interval{
@@ -325,8 +693,11 @@ func (r *Runtime) Offload(op *interp.OffloadOp) error {
 		})
 	}
 
-	r.kernelDone = append(r.kernelDone, done)
-	outputs := r.submitOutputs(op.Specs, done)
+	r.kernels = append(r.kernels, kernelRec{done: done, label: pragmaLabel(op.Pragma), work: op.Work})
+	outputs, err := r.submitOutputs(op.Specs, done)
+	if err != nil {
+		return err
+	}
 	all := engine.AllOf(r.sim, append([]*engine.Event{done}, outputs...)...)
 	if op.Signal != "" {
 		// Asynchronous offload: the host continues; completion fires the tag.
@@ -338,8 +709,127 @@ func (r *Runtime) Offload(op *interp.OffloadOp) error {
 	return nil
 }
 
-// Transfer implements interp.Backend: asynchronous DMA issue.
+// offloadSync is the first fallback rung: every array bounces through one
+// staging buffer, and the op runs strictly DMA-in, kernel, DMA-out with no
+// overlap with other work. Per-buffer alloc/free requests are ignored —
+// the staging buffer is the only resident allocation — so working sets far
+// beyond device capacity still run, just slowly. Race intervals are not
+// recorded: the serial chain cannot overlap by construction.
+func (r *Runtime) offloadSync(op *interp.OffloadOp) error {
+	var need int64
+	for _, sp := range op.Specs {
+		if !sp.Scalar && sp.Bytes > need {
+			need = sp.Bytes
+		}
+	}
+	if need > 0 {
+		if err := r.ensureStaging(uint64(need)); err != nil {
+			return err
+		}
+	}
+	tail := r.hostTail
+	if op.Wait != "" {
+		tail = engine.AllOf(r.sim, tail, r.tag(op.Wait))
+	}
+	tail, err := r.syncDMAs(op.Specs, interp.DirIn, pcie.HostToDevice, tail)
+	if err != nil {
+		return err
+	}
+	dur := regionTime(r.cfg.MIC, op.Work, r.cfg.MICThreads)
+	done, err := r.launchKernel(tail, pragmaLabel(op.Pragma)+"!sync", dur)
+	if err != nil {
+		return err
+	}
+	r.kernels = append(r.kernels, kernelRec{done: done, label: pragmaLabel(op.Pragma), work: op.Work})
+	tail, err = r.syncDMAs(op.Specs, interp.DirOut, pcie.DeviceToHost, done)
+	if err != nil {
+		return err
+	}
+	if op.Signal != "" {
+		r.tags[op.Signal] = tail
+	} else {
+		r.hostTail = tail
+	}
+	return nil
+}
+
+// syncDMAs issues the specs of one direction as a serial chain through the
+// staging buffer, returning the chain's tail.
+func (r *Runtime) syncDMAs(specs []interp.TransferSpec, want interp.Direction, dir pcie.Direction, tail *engine.Event) (*engine.Event, error) {
+	var scalarBytes int64
+	for _, sp := range specs {
+		if sp.Dir != want {
+			continue
+		}
+		if sp.Scalar {
+			scalarBytes += sp.Bytes
+			continue
+		}
+		ev, err := r.dma(tail, dir, sp.Dest+"!staged", sp.Bytes)
+		if err != nil {
+			return nil, err
+		}
+		tail = ev
+	}
+	if scalarBytes > 0 {
+		ev, err := r.dma(tail, dir, "scalars", scalarBytes)
+		if err != nil {
+			return nil, err
+		}
+		tail = ev
+	}
+	return tail, nil
+}
+
+// offloadHost is the last rung: the offload region runs on the host CPU.
+// Signal tags still fire — downstream waits must not deadlock just because
+// the device is gone.
+func (r *Runtime) offloadHost(op *interp.OffloadOp) {
+	after := r.hostTail
+	if op.Wait != "" {
+		after = engine.AllOf(r.sim, after, r.tag(op.Wait))
+	}
+	d := regionTime(r.cfg.CPU, op.Work, r.cfg.CPUThreads)
+	done := r.host.SubmitAfter(after, "offload-host", d)
+	if op.Signal != "" {
+		r.tags[op.Signal] = done
+	} else {
+		r.hostTail = done
+	}
+}
+
+// Transfer implements interp.Backend: asynchronous DMA issue. On degraded
+// rungs prefetch transfers lose their purpose (sync mode serializes, host
+// mode has no device) but their signal tags must still fire.
 func (r *Runtime) Transfer(op *interp.TransferOp) error {
+	for {
+		var err error
+		switch r.mode {
+		case modeNormal:
+			err = r.transferPipelined(op)
+		case modeSync:
+			err = r.transferSync(op)
+		default:
+			after := r.hostTail
+			if op.Wait != "" {
+				after = engine.AllOf(r.sim, r.hostTail, r.tag(op.Wait))
+			}
+			if op.Signal != "" {
+				r.tags[op.Signal] = after
+			}
+			return nil
+		}
+		if err == nil {
+			return nil
+		}
+		if r.rec.disabled || !allocFailure(err) {
+			return err
+		}
+		r.degrade(err)
+	}
+}
+
+func (r *Runtime) transferPipelined(op *interp.TransferOp) error {
 	if err := r.allocSpecs(op.Specs); err != nil {
 		return err
 	}
@@ -347,8 +837,15 @@ func (r *Runtime) Transfer(op *interp.TransferOp) error {
 	if op.Wait != "" {
 		after = engine.AllOf(r.sim, r.hostTail, r.tag(op.Wait))
 	}
-	events := r.submitInputs(op.Specs, after)
-	events = append(events, r.submitOutputs(op.Specs, after)...)
+	events, err := r.submitInputs(op.Specs, after)
+	if err != nil {
+		return err
+	}
+	outs, err := r.submitOutputs(op.Specs, after)
+	if err != nil {
+		return err
+	}
+	events = append(events, outs...)
 	if op.Signal != "" {
 		if len(events) == 0 {
 			r.tags[op.Signal] = after
@@ -359,6 +856,38 @@ func (r *Runtime) Transfer(op *interp.TransferOp) error {
 	// offload_transfer returns immediately on the host; the DMA proceeds
 	// in the background. Freeing (free_if(1)) applies once the DMAs drain.
 	r.freeSpecs(op.Specs)
+	return nil
+}
+
+// transferSync bounces the op's DMAs through the staging buffer as one
+// serial chain.
+func (r *Runtime) transferSync(op *interp.TransferOp) error {
+	var need int64
+	for _, sp := range op.Specs {
+		if !sp.Scalar && sp.Bytes > need {
+			need = sp.Bytes
+		}
+	}
+	if need > 0 {
+		if err := r.ensureStaging(uint64(need)); err != nil {
+			return err
+		}
+	}
+	tail := r.hostTail
+	if op.Wait != "" {
+		tail = engine.AllOf(r.sim, r.hostTail, r.tag(op.Wait))
+	}
+	tail, err := r.syncDMAs(op.Specs, interp.DirIn, pcie.HostToDevice, tail)
+	if err != nil {
+		return err
+	}
+	tail, err = r.syncDMAs(op.Specs, interp.DirOut, pcie.DeviceToHost, tail)
+	if err != nil {
+		return err
+	}
+	if op.Signal != "" {
+		r.tags[op.Signal] = tail
+	}
 	return nil
 }
 
@@ -386,7 +915,12 @@ func (r *Runtime) Finish() Stats {
 	if r.hostTail.Fired() && r.hostTail.Time() > end {
 		end = r.hostTail.Time()
 	}
+	end = r.recoverStalls(end)
 	tr := r.sim.Trace()
+	var injected int64
+	if r.inj != nil {
+		injected = r.inj.Injected()
+	}
 	return Stats{
 		RaceWarnings:     r.detectRaces(),
 		DeadlockWarnings: r.detectDeadlocks(),
@@ -400,32 +934,83 @@ func (r *Runtime) Finish() Stats {
 		BytesIn:          r.bus.BytesMoved(pcie.HostToDevice),
 		BytesOut:         r.bus.BytesMoved(pcie.DeviceToHost),
 		PeakDeviceBytes:  r.mem.Peak(),
+		FaultsInjected:   injected,
+		Retries:          r.retries,
+		WatchdogFires:    r.watchdogFires,
+		Fallbacks:        truncateWarnings(r.fallbacks),
+		FaultWarnings:    truncateWarnings(r.faultWarns),
 	}
 }
 
-// maxRaceWarnings caps the reported races; one real pipelining bug
+// recoverStalls is the end-of-run watchdog: work that never completed
+// because a signal never fired would hang real hardware forever. With
+// recovery enabled, each stalled kernel is aborted after the watchdog
+// period and re-run on the host, and a stalled final wait is abandoned;
+// the returned makespan includes that recovery time. The stalls are still
+// reported as DeadlockWarnings — recovery does not make the program
+// correct, it makes the run finish.
+func (r *Runtime) recoverStalls(end engine.Time) engine.Time {
+	if r.rec.disabled {
+		return end
+	}
+	for _, k := range r.kernels {
+		if k.done.Fired() {
+			continue
+		}
+		r.watchdogFires++
+		rerun := regionTime(r.cfg.CPU, k.work, r.cfg.CPUThreads)
+		end += engine.Time(r.rec.watchdog + rerun)
+		r.faultWarns = append(r.faultWarns, fmt.Sprintf(
+			"watchdog: kernel %s stalled on a signal that never fired; aborted after %v and re-run on the host (%v)",
+			k.label, r.rec.watchdog, rerun))
+	}
+	if !r.hostTail.Fired() {
+		r.watchdogFires++
+		end += engine.Time(r.rec.watchdog)
+		r.faultWarns = append(r.faultWarns, fmt.Sprintf(
+			"watchdog: host wait stalled; abandoned after %v", r.rec.watchdog))
+	}
+	return end
+}
+
+// maxRaceWarnings caps each reported warning list; one real pipelining bug
 // typically races on every block.
 const maxRaceWarnings = 16
+
+// truncateWarnings caps a warning list at maxRaceWarnings entries,
+// appending a final "... and N more" entry in place of the dropped ones.
+func truncateWarnings(warns []string) []string {
+	if len(warns) <= maxRaceWarnings {
+		return warns
+	}
+	out := append([]string(nil), warns[:maxRaceWarnings]...)
+	return append(out, fmt.Sprintf("... and %d more", len(warns)-maxRaceWarnings))
+}
 
 // detectDeadlocks reports, after the simulation drained, any kernel or
 // signal tag that never completed — the signature of a wait on a tag no
 // transfer or offload ever signals.
 func (r *Runtime) detectDeadlocks() []string {
 	var warns []string
-	for i, done := range r.kernelDone {
-		if !done.Fired() {
+	for i, k := range r.kernels {
+		if !k.done.Fired() {
 			warns = append(warns, fmt.Sprintf("kernel %d never ran (waiting on a signal that never fires?)", i))
 		}
 	}
-	for name, ev := range r.tags {
-		if !ev.Fired() {
+	names := make([]string, 0, len(r.tags))
+	for name := range r.tags {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !r.tags[name].Fired() {
 			warns = append(warns, fmt.Sprintf("signal tag %q was waited on but never signalled", name))
 		}
 	}
 	if !r.hostTail.Fired() {
 		warns = append(warns, "host never reached the end of the program")
 	}
-	return warns
+	return truncateWarnings(warns)
 }
 
 // detectRaces scans, after the simulation has run, for DMA writes into a
@@ -453,13 +1038,10 @@ func (r *Runtime) detectRaces() []string {
 				warns = append(warns, fmt.Sprintf(
 					"race on device buffer %q: transfer %s [%v,%v) overlaps kernel %s [%v,%v)",
 					w.buf, w.label, ws, we, k.label, ks, ke))
-				if len(warns) >= maxRaceWarnings {
-					return warns
-				}
 			}
 		}
 	}
-	return warns
+	return truncateWarnings(warns)
 }
 
 // Result bundles a program execution with its simulated statistics.

@@ -7,6 +7,7 @@ import (
 
 	"comp/internal/interp"
 	"comp/internal/sim/engine"
+	"comp/internal/sim/pcie"
 )
 
 func mustRun(t *testing.T, src string, cfg Config) Result {
@@ -99,14 +100,42 @@ func TestOffloadOOM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(p, cfg); err != nil {
-		t.Fatalf("512 KiB footprint should fit in 1 MiB: %v", err)
+	if res, errRun := Run(p, cfg); errRun != nil {
+		t.Fatalf("512 KiB footprint should fit in 1 MiB: %v", errRun)
+	} else if len(res.Stats.Fallbacks) != 0 {
+		t.Fatalf("fitting run degraded: %v", res.Stats.Fallbacks)
 	}
-	cfg.MIC.MemBytes = 1 << 18 // 256 KiB: too small
+
+	// 256 KiB: the working set no longer fits. With recovery disabled the
+	// run fails hard, exactly as the old runtime did.
+	cfg.MIC.MemBytes = 1 << 18
+	cfg.Recovery.Disabled = true
 	p2, _ := interp.Compile(simpleOffload)
 	_, err = Run(p2, cfg)
 	if err == nil || !strings.Contains(err.Error(), "out of device memory") {
 		t.Fatalf("err = %v, want device OOM", err)
+	}
+
+	// With recovery (the default) the runtime degrades to the synchronous
+	// staging plan and the run completes with correct outputs.
+	cfg.Recovery.Disabled = false
+	p3, _ := interp.Compile(simpleOffload)
+	res, err := Run(p3, cfg)
+	if err != nil {
+		t.Fatalf("recovery should survive OOM: %v", err)
+	}
+	if len(res.Stats.Fallbacks) == 0 {
+		t.Fatal("OOM recovery recorded no Fallbacks entry")
+	}
+	if !strings.Contains(res.Stats.Fallbacks[0], "synchronous") {
+		t.Fatalf("fallback does not name the sync rung: %q", res.Stats.Fallbacks[0])
+	}
+	b, err := res.Program.ArrayData("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[9] != 6 { // sqrt(9) * 2
+		t.Fatalf("degraded run corrupted outputs: b[9] = %v, want 6", b[9])
 	}
 }
 
@@ -341,6 +370,43 @@ func TestConfigValidate(t *testing.T) {
 	bad2.MIC.ClockGHz = 0
 	if err := bad2.Validate(); err == nil {
 		t.Fatal("invalid MIC config passed validation")
+	}
+	bad3 := cfg
+	bad3.PCIe = pcie.Config{}
+	err := bad3.Validate()
+	if err == nil {
+		t.Fatal("zero-value PCIe config passed validation")
+	}
+	if !strings.Contains(err.Error(), "Config.PCIe") {
+		t.Fatalf("PCIe error does not name the field: %v", err)
+	}
+	bad4 := cfg
+	bad4.CPUThreads = cfg.CPU.MaxThreads() + 1
+	err = bad4.Validate()
+	if err == nil {
+		t.Fatal("CPUThreads beyond the machine maximum passed validation")
+	}
+	if !strings.Contains(err.Error(), "Config.CPUThreads") {
+		t.Fatalf("CPUThreads error does not name the field: %v", err)
+	}
+	bad5 := cfg
+	bad5.MICThreads = cfg.MIC.MaxThreads() + 1
+	err = bad5.Validate()
+	if err == nil {
+		t.Fatal("MICThreads beyond the device maximum passed validation")
+	}
+	if !strings.Contains(err.Error(), "Config.MICThreads") {
+		t.Fatalf("MICThreads error does not name the field: %v", err)
+	}
+	bad6 := cfg
+	bad6.Faults.DMARate = 2
+	if err := bad6.Validate(); err == nil {
+		t.Fatal("out-of-range fault rate passed validation")
+	}
+	bad7 := cfg
+	bad7.Recovery.MaxRetries = -1
+	if err := bad7.Validate(); err == nil {
+		t.Fatal("negative MaxRetries passed validation")
 	}
 }
 

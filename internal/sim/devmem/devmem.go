@@ -11,12 +11,19 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"comp/internal/sim/fault"
 )
 
 // ErrOutOfMemory is returned when an allocation cannot be satisfied. It
 // corresponds to the runtime error the MIC raises when offloaded data does
 // not fit in device memory.
 var ErrOutOfMemory = errors.New("devmem: out of device memory")
+
+// ErrFaultInjected is returned when an allocation fails by fault injection
+// rather than capacity: the simulated driver error that occurs even with
+// free memory (fragmentation races, COI handle exhaustion).
+var ErrFaultInjected = errors.New("devmem: injected allocation failure")
 
 // Block is an allocated region of device memory.
 type Block struct {
@@ -41,6 +48,8 @@ type Allocator struct {
 	reserved uint64 // OS-reserved portion, unavailable to applications
 	nAllocs  int64
 	nFrees   int64
+	inj      *fault.Injector
+	faults   int64
 }
 
 // New creates an allocator with the given total capacity and an OS-reserved
@@ -77,12 +86,23 @@ func (a *Allocator) Available() uint64 { return a.capacity - a.inUse }
 // AllocCount returns the number of successful allocations performed.
 func (a *Allocator) AllocCount() int64 { return a.nAllocs }
 
+// SetInjector attaches a fault injector; subsequent Alloc calls may fail
+// with ErrFaultInjected. A nil injector (the default) never fails this way.
+func (a *Allocator) SetInjector(inj *fault.Injector) { a.inj = inj }
+
+// FaultCount returns the number of injected allocation failures so far.
+func (a *Allocator) FaultCount() int64 { return a.faults }
+
 // Alloc carves size bytes out of the first hole that fits. A zero-size
 // request is rejected: it always indicates a footprint-computation bug in
 // the caller.
 func (a *Allocator) Alloc(size uint64, label string) (*Block, error) {
 	if size == 0 {
 		return nil, fmt.Errorf("devmem: zero-size allocation for %q", label)
+	}
+	if a.inj != nil && a.inj.Next(fault.Alloc) {
+		a.faults++
+		return nil, fmt.Errorf("%w: %d bytes for %q", ErrFaultInjected, size, label)
 	}
 	for i, h := range a.holes {
 		if h.size < size {

@@ -197,6 +197,26 @@ func (e *Event) OnFire(fn func(Time)) {
 	e.waiters = append(e.waiters, fn)
 }
 
+// Delay returns an event that fires d after ev does. It is the backoff
+// primitive: retry chains are built as Delay(sim, failed, backoff) without
+// the caller needing calendar access.
+func Delay(s *Sim, ev *Event, d Duration) *Event {
+	if d < 0 {
+		d = 0
+	}
+	out := s.NewEvent("delay")
+	ev.OnFire(func(t Time) {
+		at := t + Time(d)
+		// OnFire on an already-fired event reports the original fire time,
+		// which may be in the simulated past; clamp to keep the clock monotone.
+		if at < s.now {
+			at = s.now
+		}
+		s.At(at, out.Fire)
+	})
+	return out
+}
+
 // AllOf returns an event that fires when every input has fired. With no
 // inputs the result fires immediately.
 func AllOf(s *Sim, evs ...*Event) *Event {

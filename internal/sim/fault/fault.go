@@ -1,0 +1,163 @@
+// Package fault provides deterministic, seeded fault injection for the
+// simulated platform.
+//
+// The paper's platform — LEO offloads over PCIe to a Xeon Phi — fails in
+// practice: DMA transfers abort transiently, kernel launches fail, device
+// threads wedge, and the 8 GB card runs out of memory. This package turns
+// those failure modes into a reproducible schedule: every component that
+// can fail asks the shared Injector for a per-kind decision, and the
+// decision for the Nth query of a kind is a pure function of (seed, kind,
+// N). The same seed therefore yields the same fault schedule, the same
+// recovery actions, and bit-identical Stats — which is what makes chaos
+// runs regressions instead of flakes.
+package fault
+
+import "fmt"
+
+// Kind identifies one injectable failure mode.
+type Kind int
+
+// Failure modes.
+const (
+	// DMA is a transient PCIe transfer failure: the attempt occupies the
+	// channel for a latency penalty, then reports an error.
+	DMA Kind = iota
+	// Launch is a kernel launch failure: the launch overhead is paid but
+	// the kernel never starts.
+	Launch
+	// Hang is a device hang: the kernel starts and never completes; only a
+	// watchdog abort frees the device.
+	Hang
+	// Alloc is a device-memory allocation failure independent of capacity
+	// (fragmentation, driver error).
+	Alloc
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DMA:
+		return "dma"
+	case Launch:
+		return "launch"
+	case Hang:
+		return "hang"
+	case Alloc:
+		return "alloc"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// Config is a fault schedule: a seed plus one failure probability per kind.
+// The zero value injects nothing.
+type Config struct {
+	// Seed selects the schedule; every rate-equal config with the same seed
+	// produces identical decisions.
+	Seed int64
+	// Per-attempt failure probabilities in [0, 1].
+	DMARate    float64
+	LaunchRate float64
+	HangRate   float64
+	AllocRate  float64
+	// MaxFaults caps the total number of injected faults (0 = unlimited).
+	MaxFaults int64
+}
+
+// Uniform returns a schedule with every kind failing at the same rate.
+func Uniform(seed int64, rate float64) Config {
+	return Config{Seed: seed, DMARate: rate, LaunchRate: rate, HangRate: rate, AllocRate: rate}
+}
+
+// Enabled reports whether any fault kind can fire.
+func (c Config) Enabled() bool {
+	return c.DMARate > 0 || c.LaunchRate > 0 || c.HangRate > 0 || c.AllocRate > 0
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"DMARate", c.DMARate},
+		{"LaunchRate", c.LaunchRate},
+		{"HangRate", c.HangRate},
+		{"AllocRate", c.AllocRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if c.MaxFaults < 0 {
+		return fmt.Errorf("fault: MaxFaults %d < 0", c.MaxFaults)
+	}
+	return nil
+}
+
+// Injector hands out fault decisions. One injector is shared by every sim
+// component of a run so MaxFaults is a global budget; construct with New.
+type Injector struct {
+	cfg      Config
+	rates    [numKinds]float64
+	queries  [numKinds]int64
+	injected [numKinds]int64
+	total    int64
+}
+
+// New creates an injector for the given schedule; it panics on an invalid
+// config (matching the other sim constructors).
+func New(cfg Config) *Injector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	inj := &Injector{cfg: cfg}
+	inj.rates[DMA] = cfg.DMARate
+	inj.rates[Launch] = cfg.LaunchRate
+	inj.rates[Hang] = cfg.HangRate
+	inj.rates[Alloc] = cfg.AllocRate
+	return inj
+}
+
+// Next decides whether the current attempt of the given kind fails. The
+// decision for the Nth query of a kind depends only on (seed, kind, N), so
+// kinds do not perturb each other and the schedule survives unrelated
+// reordering of other kinds' queries.
+func (i *Injector) Next(k Kind) bool {
+	n := i.queries[k]
+	i.queries[k]++
+	if i.rates[k] <= 0 {
+		return false
+	}
+	if i.cfg.MaxFaults > 0 && i.total >= i.cfg.MaxFaults {
+		return false
+	}
+	if sample(i.cfg.Seed, k, n) >= i.rates[k] {
+		return false
+	}
+	i.injected[k]++
+	i.total++
+	return true
+}
+
+// Injected returns the total number of faults fired so far.
+func (i *Injector) Injected() int64 { return i.total }
+
+// InjectedKind returns the faults fired for one kind.
+func (i *Injector) InjectedKind(k Kind) int64 { return i.injected[k] }
+
+// Queries returns the number of decisions requested for one kind.
+func (i *Injector) Queries(k Kind) int64 { return i.queries[k] }
+
+// sample maps (seed, kind, n) to a uniform value in [0, 1) with a
+// splitmix64-style finalizer. No mutable PRNG state: the Nth decision of a
+// kind is a pure function of its inputs.
+func sample(seed int64, k Kind, n int64) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(k+1)*0xD1B54A32D192ED03 + uint64(n)*0x8CB92BA72F3D8DD7
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(uint64(1)<<53)
+}

@@ -1,0 +1,130 @@
+package fault
+
+import "testing"
+
+func decisions(cfg Config, k Kind, n int) []bool {
+	inj := New(cfg)
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = inj.Next(k)
+	}
+	return out
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	cfg := Uniform(42, 0.3)
+	a := decisions(cfg, DMA, 1000)
+	b := decisions(cfg, DMA, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical injectors", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := decisions(Uniform(1, 0.3), DMA, 1000)
+	b := decisions(Uniform(2, 0.3), DMA, 1000)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 1000-decision schedules")
+	}
+}
+
+func TestKindsIndependent(t *testing.T) {
+	// The Nth DMA decision must not depend on how many Launch decisions
+	// happened in between.
+	a := New(Uniform(7, 0.4))
+	b := New(Uniform(7, 0.4))
+	var seqA, seqB []bool
+	for i := 0; i < 200; i++ {
+		seqA = append(seqA, a.Next(DMA))
+	}
+	for i := 0; i < 200; i++ {
+		if i%3 == 0 {
+			b.Next(Launch)
+			b.Next(Hang)
+		}
+		seqB = append(seqB, b.Next(DMA))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("DMA decision %d perturbed by interleaved Launch/Hang queries", i)
+		}
+	}
+}
+
+func TestRateZeroAndOne(t *testing.T) {
+	for _, d := range decisions(Uniform(5, 0), Launch, 500) {
+		if d {
+			t.Fatal("rate 0 injected a fault")
+		}
+	}
+	for i, d := range decisions(Uniform(5, 1), Launch, 500) {
+		if !d {
+			t.Fatalf("rate 1 skipped decision %d", i)
+		}
+	}
+}
+
+func TestRateRoughlyHonored(t *testing.T) {
+	inj := New(Uniform(99, 0.25))
+	n := 10000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if inj.Next(Alloc) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.2 || got > 0.3 {
+		t.Fatalf("rate 0.25 fired at %.3f over %d samples", got, n)
+	}
+	if inj.Injected() != int64(hits) || inj.InjectedKind(Alloc) != int64(hits) {
+		t.Fatalf("counters disagree: total=%d kind=%d hits=%d",
+			inj.Injected(), inj.InjectedKind(Alloc), hits)
+	}
+	if inj.Queries(Alloc) != int64(n) {
+		t.Fatalf("queries = %d, want %d", inj.Queries(Alloc), n)
+	}
+}
+
+func TestMaxFaultsCapsBudget(t *testing.T) {
+	cfg := Uniform(3, 1)
+	cfg.MaxFaults = 5
+	inj := New(cfg)
+	for i := 0; i < 100; i++ {
+		inj.Next(DMA)
+		inj.Next(Hang)
+	}
+	if inj.Injected() != 5 {
+		t.Fatalf("injected %d faults, budget was 5", inj.Injected())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	if err := (Config{DMARate: 1.5}).Validate(); err == nil {
+		t.Fatal("DMARate 1.5 accepted")
+	}
+	if err := (Config{LaunchRate: -0.1}).Validate(); err == nil {
+		t.Fatal("LaunchRate -0.1 accepted")
+	}
+	if err := (Config{MaxFaults: -1}).Validate(); err == nil {
+		t.Fatal("MaxFaults -1 accepted")
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+	if !Uniform(0, 0.1).Enabled() {
+		t.Fatal("uniform 0.1 config reports disabled")
+	}
+}

@@ -10,7 +10,35 @@ package kernel
 
 import (
 	"comp/internal/sim/engine"
+	"comp/internal/sim/fault"
 )
+
+// Outcome classifies one launch attempt under fault injection.
+type Outcome int
+
+// Launch attempt outcomes.
+const (
+	// OK: the kernel ran to completion.
+	OK Outcome = iota
+	// LaunchFail: the launch overhead was paid but the kernel never
+	// started; the device is free again when the returned event fires.
+	LaunchFail
+	// Hang: the kernel started and wedged; it holds the device until the
+	// watchdog occupancy elapses, then the returned event fires.
+	Hang
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case LaunchFail:
+		return "launch-fail"
+	case Hang:
+		return "hang"
+	}
+	return "outcome?"
+}
 
 // Launcher schedules kernels on the device compute resource.
 type Launcher struct {
@@ -18,6 +46,10 @@ type Launcher struct {
 	compute  *engine.Resource
 	overhead engine.Duration
 	launches int64
+
+	inj    *fault.Injector
+	hangDt engine.Duration // device occupancy of a hung kernel until watchdog abort
+	faults int64
 }
 
 // NewLauncher creates a launcher with the given per-launch overhead.
@@ -39,14 +71,47 @@ func (l *Launcher) Launches() int64 { return l.launches }
 // ComputeBusy returns accumulated device compute busy time.
 func (l *Launcher) ComputeBusy() engine.Duration { return l.compute.BusyTime() }
 
+// SetFaults attaches a fault injector and sets how long a hung kernel
+// occupies the device before the watchdog aborts it. A nil injector (the
+// default) makes every TryLaunch succeed.
+func (l *Launcher) SetFaults(inj *fault.Injector, hangOccupancy engine.Duration) {
+	l.inj = inj
+	l.hangDt = hangOccupancy
+}
+
+// FaultCount returns the number of injected launch failures and hangs.
+func (l *Launcher) FaultCount() int64 { return l.faults }
+
+// TryLaunch is Launch under fault injection. A failed launch occupies the
+// device for the overhead only and does not count as a launch; a hang
+// counts as a launch and holds the device for overhead plus the watchdog
+// occupancy. In both cases the returned event fires when the device is
+// released so the caller can chain a retry.
+func (l *Launcher) TryLaunch(ready *engine.Event, label string, dur engine.Duration) (*engine.Event, Outcome) {
+	if l.inj != nil && l.inj.Next(fault.Launch) {
+		l.faults++
+		return l.submit(ready, label+"!launchfail", l.overhead), LaunchFail
+	}
+	if l.inj != nil && l.inj.Next(fault.Hang) {
+		l.faults++
+		l.launches++
+		return l.submit(ready, label+"!hang", l.overhead+l.hangDt), Hang
+	}
+	return l.Launch(ready, label, dur), OK
+}
+
+func (l *Launcher) submit(ready *engine.Event, label string, d engine.Duration) *engine.Event {
+	if ready == nil {
+		return l.compute.Submit(label, d)
+	}
+	return l.compute.SubmitAfter(ready, label, d)
+}
+
 // Launch starts a kernel of the given duration once ready fires (nil means
 // immediately), paying the launch overhead. It returns the completion event.
 func (l *Launcher) Launch(ready *engine.Event, label string, dur engine.Duration) *engine.Event {
 	l.launches++
-	if ready == nil {
-		return l.compute.Submit(label, l.overhead+dur)
-	}
-	return l.compute.SubmitAfter(ready, label, l.overhead+dur)
+	return l.submit(ready, label, l.overhead+dur)
 }
 
 // Persistent is a kernel launched once whose threads stay resident,
@@ -86,6 +151,28 @@ func (p *Persistent) RunBlock(ready *engine.Event, label string, dur engine.Dura
 	done := p.l.compute.SubmitAfter(deps, label, dur)
 	p.prev = done
 	return done
+}
+
+// TryRunBlock is RunBlock under fault injection: the resident threads may
+// wedge on a block (launch failures do not apply — there is no launch).
+// A hang holds the device for the watchdog occupancy and becomes the new
+// tail of the block chain, so a retried block naturally runs after the
+// abort. The returned event fires when the device is released.
+func (p *Persistent) TryRunBlock(ready *engine.Event, label string, dur engine.Duration) (*engine.Event, Outcome) {
+	if !p.started {
+		panic("kernel: TryRunBlock on exited persistent kernel " + p.label)
+	}
+	if p.l.inj != nil && p.l.inj.Next(fault.Hang) {
+		p.l.faults++
+		deps := p.prev
+		if ready != nil {
+			deps = engine.AllOf(p.l.sim, p.prev, ready)
+		}
+		done := p.l.compute.SubmitAfter(deps, label+"!hang", p.l.hangDt)
+		p.prev = done
+		return done, Hang
+	}
+	return p.RunBlock(ready, label, dur), OK
 }
 
 // Exit marks the kernel finished; the returned event fires when the last

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"comp/internal/sim/engine"
+	"comp/internal/sim/fault"
 )
 
 // Direction selects a DMA channel.
@@ -37,6 +38,10 @@ type Config struct {
 	// SetupLatency is the fixed cost of initiating one DMA transfer
 	// (driver call, descriptor setup, doorbell, completion interrupt).
 	SetupLatency engine.Duration
+	// FaultLatency is the extra channel occupancy of a failed DMA attempt
+	// (error interrupt, driver cleanup) beyond the setup cost. Only used
+	// when a fault injector is attached.
+	FaultLatency engine.Duration
 }
 
 // Default returns the calibrated PCIe gen2 x16 parameters used in the
@@ -45,7 +50,11 @@ type Config struct {
 // the DMA-count effects — MYO's page-fault storm, per-offload descriptor
 // costs — keep their paper-scale ratios.
 func Default() Config {
-	return Config{BandwidthGBs: 6.0, SetupLatency: 100 * engine.Nanosecond}
+	return Config{
+		BandwidthGBs: 6.0,
+		SetupLatency: 100 * engine.Nanosecond,
+		FaultLatency: 2 * engine.Microsecond,
+	}
 }
 
 // Validate reports configuration errors.
@@ -56,15 +65,20 @@ func (c Config) Validate() error {
 	if c.SetupLatency < 0 {
 		return fmt.Errorf("pcie: negative setup latency %v", c.SetupLatency)
 	}
+	if c.FaultLatency < 0 {
+		return fmt.Errorf("pcie: negative fault latency %v", c.FaultLatency)
+	}
 	return nil
 }
 
 // Bus is the simulated link. Construct with New.
 type Bus struct {
-	cfg   Config
-	chans [2]*engine.Resource
-	bytes [2]int64
-	count [2]int64
+	cfg    Config
+	chans  [2]*engine.Resource
+	bytes  [2]int64
+	count  [2]int64
+	inj    *fault.Injector
+	faults int64
 }
 
 // New attaches a bus to the simulation.
@@ -112,6 +126,31 @@ func (b *Bus) TransferAfter(ready *engine.Event, dir Direction, label string, by
 	}
 	return ch.SubmitAfter(ready, label, d)
 }
+
+// SetInjector attaches a fault injector; subsequent TryTransferAfter calls
+// consult it. A nil injector (the default) never fails.
+func (b *Bus) SetInjector(inj *fault.Injector) { b.inj = inj }
+
+// TryTransferAfter is TransferAfter under fault injection: the attempt may
+// fail transiently. A failed attempt occupies the channel for the setup
+// plus fault latency (error interrupt, driver cleanup) and moves no data;
+// the returned event fires when the channel is released and ok is false.
+// With no injector attached it is exactly TransferAfter.
+func (b *Bus) TryTransferAfter(ready *engine.Event, dir Direction, label string, bytes int64) (done *engine.Event, ok bool) {
+	if b.inj == nil || !b.inj.Next(fault.DMA) {
+		return b.TransferAfter(ready, dir, label, bytes), true
+	}
+	b.faults++
+	ch := b.chans[dir]
+	d := b.cfg.SetupLatency + b.cfg.FaultLatency
+	if ready == nil {
+		return ch.Submit(label+"!fault", d), false
+	}
+	return ch.SubmitAfter(ready, label+"!fault", d), false
+}
+
+// FaultCount returns the number of injected DMA failures so far.
+func (b *Bus) FaultCount() int64 { return b.faults }
 
 // BytesMoved returns the total bytes queued in the given direction.
 func (b *Bus) BytesMoved(dir Direction) int64 { return b.bytes[dir] }

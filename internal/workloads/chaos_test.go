@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"comp/internal/runtime"
+	"comp/internal/sim/engine"
+	"comp/internal/sim/fault"
+)
+
+// chaosSeeds are the fault schedules every workload must survive. The
+// whole platform is deterministic, so these are regression pins, not
+// random draws: a behavior change under any seed is a real change.
+var chaosSeeds = []int64{11, 23, 47}
+
+// chaosConfig is an aggressive schedule: half of DMA attempts fail, a
+// quarter of launches, plus hangs and allocation faults.
+func chaosConfig(seed int64) fault.Config {
+	return fault.Config{Seed: seed, DMARate: 0.5, LaunchRate: 0.25, HangRate: 0.15, AllocRate: 0.1}
+}
+
+// TestChaosAllWorkloads runs every benchmark under every chaos seed and
+// asserts the resilience contract: the run completes, outputs are
+// bitwise-identical to the fault-free run, the slowdown is bounded, and
+// the same seed reproduces the same Stats.
+func TestChaosAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if b.SharedMem {
+				chaosShared(t, b)
+				return
+			}
+			clean, err := b.Run(RunOptions{Variant: MICNaive})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, seed := range chaosSeeds {
+				cfg := runtime.DefaultConfig()
+				cfg.Faults = chaosConfig(seed)
+				res, err := b.Run(RunOptions{Variant: MICNaive, Config: &cfg})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				st := res.Stats
+				if st.FaultsInjected < 1 {
+					t.Errorf("seed %d: no faults injected; the schedule is too weak to test anything", seed)
+				}
+				if err := b.CompareOutputs(clean, res); err != nil {
+					t.Errorf("seed %d: outputs diverged from the fault-free run: %v", seed, err)
+				}
+				if limit := 50*clean.Stats.Time + 50*engine.Millisecond; st.Time > limit {
+					t.Errorf("seed %d: makespan %v exceeds bound %v (clean %v)", seed, st.Time, limit, clean.Stats.Time)
+				}
+				if len(st.DeadlockWarnings) != 0 {
+					t.Errorf("seed %d: recovery left deadlocks: %v", seed, st.DeadlockWarnings)
+				}
+				if i == 0 {
+					again, err := b.Run(RunOptions{Variant: MICNaive, Config: &cfg})
+					if err != nil {
+						t.Fatalf("seed %d rerun: %v", seed, err)
+					}
+					if !reflect.DeepEqual(st, again.Stats) {
+						t.Errorf("seed %d: rerun produced different Stats:\n%+v\n%+v", seed, st, again.Stats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// chaosShared is the chaos contract for the two shared-memory benchmarks:
+// segment DMAs fail and are retried; payload accounting and the analytic
+// result stay identical, and the run is reproducible per seed.
+func chaosShared(t *testing.T, b *Benchmark) {
+	clean, err := RunShared(b, MechCOMP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range chaosSeeds {
+		fc := fault.Config{Seed: seed, DMARate: 0.5}
+		res, err := RunSharedFaulted(b, 1.0, fc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.FaultsInjected < 1 {
+			t.Errorf("seed %d: no faults injected", seed)
+		}
+		if res.Retries < 1 {
+			t.Errorf("seed %d: faults injected but nothing retried", seed)
+		}
+		if res.Bytes != clean.Bytes || res.Segments != clean.Segments || res.Allocs != clean.Allocs {
+			t.Errorf("seed %d: faulted run changed the workload: %+v vs clean %+v", seed, res, clean)
+		}
+		if res.Time <= clean.Time {
+			t.Errorf("seed %d: faulted %v not slower than clean %v", seed, res.Time, clean.Time)
+		}
+		if res.Time > 50*clean.Time {
+			t.Errorf("seed %d: slowdown unbounded: %v vs clean %v", seed, res.Time, clean.Time)
+		}
+		if i == 0 {
+			again, err := RunSharedFaulted(b, 1.0, fc)
+			if err != nil {
+				t.Fatalf("seed %d rerun: %v", seed, err)
+			}
+			if !reflect.DeepEqual(res, again) {
+				t.Errorf("seed %d: rerun differs:\n%+v\n%+v", seed, res, again)
+			}
+		}
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"comp/internal/myo"
+	"comp/internal/runtime"
 	"comp/internal/shmem"
 	"comp/internal/sim/engine"
+	"comp/internal/sim/fault"
 	"comp/internal/sim/machine"
 	"comp/internal/sim/pcie"
 )
@@ -87,6 +89,10 @@ type SharedResult struct {
 	Allocs    int64
 	// Reserved is the total segment reservation (COMP mechanism only).
 	Reserved int64
+	// Retries and FaultsInjected report recovery activity under an
+	// injected fault schedule (RunSharedFaulted).
+	Retries        int64
+	FaultsInjected int64
 }
 
 // objectSizes deterministically spreads TotalBytes over Allocations
@@ -126,22 +132,30 @@ func (w *SharedWorkload) objectSizes(name string, scale float64) []int64 {
 // given input scale (1.0 = full input). MYO at full ferret input returns
 // its allocation-limit error — the paper's "cannot run" result.
 func RunShared(b *Benchmark, mech Mechanism, scale float64) (SharedResult, error) {
-	return runShared(b, mech, scale, myo.DefaultConfig(), shmem.DefaultConfig())
+	return runShared(b, mech, scale, myo.DefaultConfig(), shmem.DefaultConfig(), fault.Config{})
 }
 
 // RunSharedMYOConfig runs the MYO mechanism with a custom configuration
 // (page-size ablation).
 func RunSharedMYOConfig(b *Benchmark, scale float64, cfg myo.Config) (SharedResult, error) {
-	return runShared(b, MechMYO, scale, cfg, shmem.DefaultConfig())
+	return runShared(b, MechMYO, scale, cfg, shmem.DefaultConfig(), fault.Config{})
 }
 
 // RunSharedSegment runs the COMP mechanism with a custom segment size
 // (§V-A ablation).
 func RunSharedSegment(b *Benchmark, scale float64, segmentBytes int64) (SharedResult, error) {
-	return runShared(b, MechCOMP, scale, myo.DefaultConfig(), shmem.Config{SegmentBytes: segmentBytes})
+	return runShared(b, MechCOMP, scale, myo.DefaultConfig(), shmem.Config{SegmentBytes: segmentBytes}, fault.Config{})
 }
 
-func runShared(b *Benchmark, mech Mechanism, scale float64, myoCfg myo.Config, shmemCfg shmem.Config) (SharedResult, error) {
+// RunSharedFaulted runs the COMP mechanism under a seeded fault schedule:
+// segment DMAs fail transiently and are retried with the offload runtime's
+// exponential-backoff policy. The analytic result is unaffected; only
+// timing and the recovery counters change, deterministically per seed.
+func RunSharedFaulted(b *Benchmark, scale float64, fc fault.Config) (SharedResult, error) {
+	return runShared(b, MechCOMP, scale, myo.DefaultConfig(), shmem.DefaultConfig(), fc)
+}
+
+func runShared(b *Benchmark, mech Mechanism, scale float64, myoCfg myo.Config, shmemCfg shmem.Config, fc fault.Config) (SharedResult, error) {
 	if !b.SharedMem || b.Shared == nil {
 		return SharedResult{}, fmt.Errorf("workloads: %s is not a shared-memory benchmark", b.Name)
 	}
@@ -213,9 +227,13 @@ func runShared(b *Benchmark, mech Mechanism, scale float64, myoCfg myo.Config, s
 		if _, err := heap.CopyToDevice(devBases); err != nil {
 			return SharedResult{}, err
 		}
+		if fc.Enabled() {
+			bus.SetInjector(fault.New(fc))
+		}
+		var retries int64
 		last := sim.FiredEvent()
 		for _, seg := range heap.Segments() {
-			last = bus.TransferAfter(last, pcie.HostToDevice, "segment", seg.Used)
+			last = segmentDMA(sim, bus, last, seg.Used, &retries)
 		}
 		// Kernel: traversal plus per-dereference translation overhead.
 		derefs := float64(int64(len(sizes)) * w.DerefsPerObject)
@@ -234,15 +252,33 @@ func runShared(b *Benchmark, mech Mechanism, scale float64, myoCfg myo.Config, s
 		sim.Run()
 		total := engine.Duration(doneAt) + cpu.SerialTime(serial)
 		return SharedResult{
-			Time:      total,
-			Transfers: bus.TotalTransfers(),
-			Bytes:     bus.TotalBytes(),
-			Segments:  heap.SegmentCount(),
-			Allocs:    heap.AllocCount(),
-			Reserved:  heap.TotalReserved(),
+			Time:           total,
+			Transfers:      bus.TotalTransfers(),
+			Bytes:          bus.TotalBytes(),
+			Segments:       heap.SegmentCount(),
+			Allocs:         heap.AllocCount(),
+			Reserved:       heap.TotalReserved(),
+			Retries:        retries,
+			FaultsInjected: bus.FaultCount(),
 		}, nil
 	}
 	return SharedResult{}, fmt.Errorf("workloads: unknown mechanism %v", mech)
+}
+
+// segmentDMA issues one segment copy under the fault schedule, retrying
+// failed attempts with exponential backoff and escalating to a guaranteed
+// transfer once the runtime's retry budget is exhausted.
+func segmentDMA(sim *engine.Sim, bus *pcie.Bus, after *engine.Event, bytes int64, retries *int64) *engine.Event {
+	ev, ok := bus.TryTransferAfter(after, pcie.HostToDevice, "segment", bytes)
+	for attempt := 1; !ok; attempt++ {
+		*retries++
+		ready := engine.Delay(sim, ev, runtime.DefaultBackoff<<min(attempt-1, 20))
+		if attempt > runtime.DefaultMaxRetries {
+			return bus.TransferAfter(ready, pcie.HostToDevice, "segment", bytes)
+		}
+		ev, ok = bus.TryTransferAfter(ready, pcie.HostToDevice, "segment", bytes)
+	}
+	return ev
 }
 
 // ---- ferret (PARSEC) ---------------------------------------------------
