@@ -19,9 +19,13 @@ import (
 func main() {
 	only := flag.String("only", "", "regenerate a single figure/table by id (e.g. fig12, table3)")
 	ablations := flag.Bool("ablations", false, "run the design ablations instead of the paper figures")
+	traceDir := flag.String("tracedir", "", "dump each run's Chrome trace + metrics report into this directory")
 	flag.Parse()
 
 	r := bench.NewRunner()
+	if *traceDir != "" {
+		r.SetTraceDir(*traceDir)
+	}
 	var figs []*bench.Figure
 	var err error
 	switch {

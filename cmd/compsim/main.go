@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	compsim file.c              # run as written
-//	compsim -optimize file.c    # run through the COMP compiler first
-//	compsim -cpu file.c         # strip offload pragmas, run host-only
-//	compsim -trace file.c       # print the resource timeline
-//	compsim -faults 0.2 file.c  # inject faults at rate 0.2 per operation
+//	compsim file.c                  # run as written
+//	compsim -optimize file.c        # run through the COMP compiler first
+//	compsim -cpu file.c             # strip offload pragmas, run host-only
+//	compsim -trace out.json file.c  # dump the Chrome trace_event timeline
+//	compsim -timeline file.c        # print an ASCII timeline
+//	compsim -spans file.c           # print the raw span list
+//	compsim -report file.c          # print derived utilization metrics
+//	compsim -faults 0.2 file.c      # inject faults at rate 0.2 per operation
+//
+// A -trace file loads directly in chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
@@ -20,14 +25,20 @@ import (
 	"comp/internal/interp"
 	"comp/internal/minic"
 	"comp/internal/runtime"
+	"comp/internal/sim/engine"
 	"comp/internal/sim/fault"
+	"comp/internal/sim/metrics"
 	"comp/internal/workloads"
 )
 
 func main() {
 	optimize := flag.Bool("optimize", false, "apply the COMP optimizations before running")
 	cpuOnly := flag.Bool("cpu", false, "strip offload pragmas and run on the host model only")
-	trace := flag.Bool("trace", false, "print the simulated resource timeline")
+	trace := flag.String("trace", "", "write the timeline as Chrome trace_event JSON to this file (\"-\" = stdout)")
+	timeline := flag.Bool("timeline", false, "print an ASCII timeline of the run")
+	spans := flag.Bool("spans", false, "print the raw simulated span list")
+	report := flag.Bool("report", false, "print derived per-resource utilization metrics")
+	width := flag.Int("timeline-width", 100, "column width of the -timeline chart")
 	blocks := flag.Int("blocks", 0, "streaming block count when optimizing (0 = default)")
 	faults := flag.Float64("faults", 0, "uniform fault injection rate in [0,1] for DMA/launch/hang/alloc (0 = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
@@ -108,9 +119,38 @@ func main() {
 	for _, w := range st.DeadlockWarnings {
 		fmt.Printf("WARNING: %s\n", w)
 	}
-	if *trace {
-		fmt.Print(rt.Sim().Trace().String())
+	tr := rt.Trace()
+	if *spans {
+		fmt.Print(tr.String())
 	}
+	if *timeline {
+		tr.Timeline(os.Stdout, *width)
+	}
+	if *report {
+		fmt.Print(metrics.FromTrace(tr, st.Time).Format())
+	}
+	if *trace != "" {
+		if err := writeChromeTrace(*trace, tr); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// writeChromeTrace dumps the trace in Chrome trace_event JSON to the given
+// path, or to stdout for "-".
+func writeChromeTrace(path string, tr *engine.Trace) error {
+	if path == "-" {
+		return tr.ChromeJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.ChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -16,11 +16,14 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"comp/internal/core"
 	"comp/internal/runtime"
+	"comp/internal/sim/metrics"
 	"comp/internal/workloads"
 )
 
@@ -116,8 +119,9 @@ var SweepBlocks = []int{2, 4, 8, 10, 20, 40, 50}
 
 // Runner executes and caches benchmark runs.
 type Runner struct {
-	results map[string]runtime.Result
-	shared  map[string]workloads.SharedResult
+	results  map[string]runtime.Result
+	shared   map[string]workloads.SharedResult
+	traceDir string
 }
 
 // NewRunner creates an empty cache.
@@ -126,6 +130,55 @@ func NewRunner() *Runner {
 		results: map[string]runtime.Result{},
 		shared:  map[string]workloads.SharedResult{},
 	}
+}
+
+// SetTraceDir makes every subsequent (uncached) run dump its execution
+// timeline as <key>.trace.json (Chrome trace_event format, loadable in
+// Perfetto) plus a <key>.report.json derived-metrics summary into dir, so
+// each ablation's timeline can be inspected, not just its aggregates.
+func (r *Runner) SetTraceDir(dir string) { r.traceDir = dir }
+
+// dumpTrace writes the timeline and metrics report for one run; failures
+// are reported but do not abort the measurement.
+func (r *Runner) dumpTrace(key string, res runtime.Result) {
+	if r.traceDir == "" || res.Trace == nil {
+		return
+	}
+	if err := os.MkdirAll(r.traceDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: trace dir: %v\n", err)
+		return
+	}
+	base := filepath.Join(r.traceDir, sanitizeKey(key))
+	tf, err := os.Create(base + ".trace.json")
+	if err == nil {
+		err = res.Trace.ChromeJSON(tf)
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err == nil {
+		var rf *os.File
+		if rf, err = os.Create(base + ".report.json"); err == nil {
+			err = metrics.FromTrace(res.Trace, res.Stats.Time).WriteJSON(rf)
+			if cerr := rf.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: trace dump %s: %v\n", key, err)
+	}
+}
+
+// sanitizeKey maps a cache key to a safe file name.
+func sanitizeKey(key string) string {
+	return strings.Map(func(c rune) rune {
+		switch c {
+		case '|', '/', '\\', ':', ' ':
+			return '_'
+		}
+		return c
+	}, key)
 }
 
 func optKey(o core.Options) string {
@@ -143,6 +196,7 @@ func (r *Runner) run(b *workloads.Benchmark, variant workloads.Variant, opt core
 		return runtime.Result{}, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	r.results[key] = res
+	r.dumpTrace(key, res)
 	return res, nil
 }
 

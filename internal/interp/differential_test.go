@@ -1,0 +1,121 @@
+package interp_test
+
+import (
+	"testing"
+
+	"comp/internal/core"
+	"comp/internal/interp"
+	"comp/internal/workloads"
+)
+
+// The differential suite proves the backend boundary clean: the
+// interpreter computes every value itself, so running a workload against
+// the full simulated platform and against NullBackend (which discards all
+// machine operations) must produce bit-identical outputs. Any divergence
+// means a backend leaked into value execution — the simulator would be
+// "computing" answers instead of timing them.
+
+// nullRun executes a source through the interpreter with NullBackend,
+// applying the benchmark's input setup.
+func nullRun(t *testing.T, b *workloads.Benchmark, src string) *interp.Program {
+	t.Helper()
+	p, err := interp.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Setup != nil {
+		if err := b.Setup(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Run(interp.NullBackend{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return p
+}
+
+// compareArrays checks the benchmark's output arrays bit-for-bit.
+func compareArrays(t *testing.T, b *workloads.Benchmark, sim, null *interp.Program) {
+	t.Helper()
+	for _, name := range b.Outputs {
+		x, err := sim.ArrayData(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := null.ArrayData(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(x) != len(y) {
+			t.Fatalf("%s: length %d vs %d", name, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s[%d]: simulated %v vs null %v", name, i, x[i], y[i])
+			}
+		}
+	}
+	if a, c := sim.Output(), null.Output(); a != c {
+		t.Errorf("printed output differs: %q vs %q", a, c)
+	}
+}
+
+// TestSimulatedVsNullBackend runs every MiniC workload, naive and fully
+// optimized, under both backends.
+func TestSimulatedVsNullBackend(t *testing.T) {
+	for _, b := range workloads.All() {
+		if b.SharedMem {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			opt, err := core.Optimize(b.Source, core.DefaultOptions())
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			variants := []struct {
+				name string
+				src  string
+				ro   workloads.RunOptions
+			}{
+				{"naive", b.Source, workloads.RunOptions{Variant: workloads.MICNaive}},
+				{"optimized", opt.Source(), workloads.RunOptions{Variant: workloads.MICOptimized, Opt: core.DefaultOptions()}},
+			}
+			for _, v := range variants {
+				simRes, err := b.Run(v.ro)
+				if err != nil {
+					t.Fatalf("%s: simulated run: %v", v.name, err)
+				}
+				null := nullRun(t, b, v.src)
+				compareArrays(t, b, simRes.Program, null)
+			}
+		})
+	}
+}
+
+// TestHostOnlyVsNullBackend closes the triangle: the pragma-stripped CPU
+// baseline under the simulated host model must also match NullBackend
+// value execution.
+func TestHostOnlyVsNullBackend(t *testing.T) {
+	for _, b := range workloads.All() {
+		if b.SharedMem {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			src, err := b.CPUSource()
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRes, err := b.Run(workloads.RunOptions{Variant: workloads.CPU})
+			if err != nil {
+				t.Fatalf("simulated CPU run: %v", err)
+			}
+			null := nullRun(t, b, src)
+			compareArrays(t, b, simRes.Program, null)
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"comp/internal/minic"
+	"comp/internal/workloads"
+)
+
+// seedCorpus feeds the fuzzer every real MiniC program in the repo — the
+// ten workload sources plus their CPU baselines — and a few handwritten
+// edge fragments. The fuzzer mutates from there.
+func seedCorpus(f *testing.F) {
+	for _, b := range workloads.All() {
+		if b.Source != "" {
+			f.Add(b.Source)
+		}
+		if b.CPUOverride != "" {
+			f.Add(b.CPUOverride)
+		}
+	}
+	for _, s := range []string{
+		"",
+		"int main() { return 0; }",
+		"float x[10]; void f() { x[0] = 1.5e-3; }",
+		"#pragma offload target(mic:0) in(a : length(n))\n",
+		"void f() { for (i = 0; i < n; i++) { a[i] = a[i] + 1; } }",
+		"/* unterminated",
+		"\"unterminated string",
+		"int a = 1 ? 2 : 3;",
+		"void f() { if (x) { } else { while (y) { break; } } }",
+		"#pragma omp parallel for\n#pragma offload\n",
+		"int x = 0x", // dangling numeric prefix
+		"}}}((()",
+	} {
+		f.Add(s)
+	}
+}
+
+// FuzzLex: the lexer must terminate and never panic on arbitrary bytes,
+// and every token it produces must carry a valid position inside the input.
+func FuzzLex(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := minic.Lex(src)
+		if err != nil {
+			return
+		}
+		lines := 1 + strings.Count(src, "\n")
+		for _, tok := range toks {
+			if !tok.Pos.IsValid() || tok.Pos.Col < 1 {
+				t.Fatalf("token %v has invalid position %v", tok, tok.Pos)
+			}
+			if tok.Pos.Line > lines+1 {
+				t.Fatalf("token %v at line %d, input has %d lines", tok, tok.Pos.Line, lines)
+			}
+		}
+	})
+}
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// survive a print→reparse→print round trip (the printer emits valid MiniC
+// and printing is a fixed point) and semantic checking.
+func FuzzParse(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := minic.Parse(src)
+		if err != nil {
+			return
+		}
+		printed := minic.Print(file)
+		again, err := minic.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed output does not reparse: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if p2 := minic.Print(again); p2 != printed {
+			t.Fatalf("print is not a fixed point:\nfirst:  %q\nsecond: %q", printed, p2)
+		}
+		// Sema must not panic on any parseable file.
+		minic.Check(file)
+	})
+}

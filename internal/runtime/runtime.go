@@ -36,6 +36,11 @@ type Config struct {
 	// Recovery controls the resilience layer; the zero value enables
 	// recovery with the default policy.
 	Recovery RecoveryConfig
+	// DisableTrace turns off span recording. Stats and program outputs are
+	// identical either way — the observability layer is strictly read-only
+	// with respect to the simulation; disabling only saves the span
+	// allocations on hot benchmarking loops.
+	DisableTrace bool
 }
 
 // RecoveryConfig tunes the runtime's fault-recovery policy.
@@ -214,6 +219,12 @@ type Runtime struct {
 	// recovery of end-of-run stalls.
 	kernels []kernelRec
 
+	// Overlap meters: transfer↔compute concurrency measured online from
+	// resource busy counters, so Stats.Overlap does not depend on whether
+	// trace recording is enabled.
+	ovIn  *engine.OverlapMeter
+	ovOut *engine.OverlapMeter
+
 	// Resilience state.
 	inj           *fault.Injector // nil when no faults are configured
 	rec           recoveryParams
@@ -277,24 +288,33 @@ func New(cfg Config) *Runtime {
 		panic(err)
 	}
 	sim := engine.New()
+	if cfg.DisableTrace {
+		sim.Trace().SetEnabled(false)
+	}
 	memBytes := cfg.MIC.MemBytes
 	if memBytes == 0 {
 		memBytes = 8 << 30
 	}
+	host := sim.NewResource("cpu", 1)
+	host.SetCategory(engine.CatHost)
 	r := &Runtime{
 		cfg:      cfg,
 		sim:      sim,
 		bus:      pcie.New(sim, cfg.PCIe),
 		launcher: kernel.NewLauncher(sim, cfg.MIC.LaunchOverhead),
 		mem:      devmem.New(memBytes, cfg.MIC.OSReservedBytes),
-		host:     sim.NewResource("cpu", 1),
+		host:     host,
 		tags:     map[string]*engine.Event{},
 		persist:  map[*minic.Pragma]*kernel.Persistent{},
 		bufs:     map[string]*devmem.Block{},
 		rec:      cfg.Recovery.resolve(),
 	}
+	r.ovIn = sim.MeterOverlap(r.bus.Resource(pcie.HostToDevice), r.launcher.Resource())
+	r.ovOut = sim.MeterOverlap(r.bus.Resource(pcie.DeviceToHost), r.launcher.Resource())
+	r.mem.SetTrace(sim.Trace(), sim.Now)
 	if cfg.Faults.Enabled() {
 		r.inj = fault.New(cfg.Faults)
+		r.inj.SetTrace(sim.Trace(), sim.Now)
 		r.bus.SetInjector(r.inj)
 		r.launcher.SetFaults(r.inj, r.rec.watchdog)
 		r.mem.SetInjector(r.inj)
@@ -305,6 +325,9 @@ func New(cfg Config) *Runtime {
 
 // Sim exposes the simulation (tests inspect the trace).
 func (r *Runtime) Sim() *engine.Sim { return r.sim }
+
+// Trace exposes the span recorder of the underlying simulation.
+func (r *Runtime) Trace() *engine.Trace { return r.sim.Trace() }
 
 // Memory exposes the device allocator.
 func (r *Runtime) Memory() *devmem.Allocator { return r.mem }
@@ -346,6 +369,21 @@ func (r *Runtime) backoffDur(attempt int) engine.Duration {
 	return r.rec.backoff << shift
 }
 
+// traceRecovery records a recovery instant on the "runtime" pseudo-resource
+// at the moment the triggering event fires — the simulated time the failed
+// attempt released its resource — so retries and watchdog aborts appear
+// where they happen on the timeline rather than at issue time. Recording is
+// observation only; it never alters scheduling.
+func (r *Runtime) traceRecovery(trigger *engine.Event, label string, cat engine.Category, args map[string]any) {
+	tr := r.sim.Trace()
+	if !tr.Enabled() {
+		return
+	}
+	trigger.OnFire(func(t engine.Time) {
+		tr.Instant("runtime", label, cat, t, args)
+	})
+}
+
 // dma issues one DMA under the fault schedule, retrying failed attempts
 // with exponential backoff. After the retry budget it models a blocking
 // driver-level channel reset that always succeeds, so a DMA never fails
@@ -363,12 +401,16 @@ func (r *Runtime) dma(after *engine.Event, dir pcie.Direction, label string, byt
 	}
 	for attempt := 1; attempt <= r.rec.maxRetries; attempt++ {
 		r.retries++
+		r.traceRecovery(ev, "retry:"+label, engine.CatRetry,
+			map[string]any{"op": "dma", "attempt": attempt, "bytes": bytes})
 		ready := engine.Delay(r.sim, ev, r.backoffDur(attempt))
 		if ev, ok = r.bus.TryTransferAfter(ready, dir, label, bytes); ok {
 			return ev, nil
 		}
 	}
 	r.retries++
+	r.traceRecovery(ev, "reset:"+label, engine.CatRetry,
+		map[string]any{"op": "dma-channel-reset", "bytes": bytes})
 	r.faultWarns = append(r.faultWarns, fmt.Sprintf(
 		"DMA %q failed %d retries; escalated to a blocking channel reset", label, r.rec.maxRetries))
 	ready := engine.Delay(r.sim, ev, r.backoffDur(r.rec.maxRetries+1))
@@ -390,12 +432,18 @@ func (r *Runtime) launchKernel(ready *engine.Event, label string, dur engine.Dur
 		}
 		if out == kernel.Hang {
 			r.watchdogFires++
+			r.traceRecovery(ev, "watchdog:"+label, engine.CatFault,
+				map[string]any{"op": "kernel-hang-abort", "watchdog": int64(r.rec.watchdog)})
 			r.faultWarns = append(r.faultWarns, fmt.Sprintf(
 				"watchdog: kernel %q hung; aborted after %v", label, r.rec.watchdog))
 		}
 		r.retries++
+		r.traceRecovery(ev, "retry:"+label, engine.CatRetry,
+			map[string]any{"op": "launch", "attempt": attempt})
 		next := engine.Delay(r.sim, ev, r.backoffDur(attempt))
 		if attempt > r.rec.maxRetries {
+			r.traceRecovery(ev, "reset:"+label, engine.CatRetry,
+				map[string]any{"op": "device-reset"})
 			r.faultWarns = append(r.faultWarns, fmt.Sprintf(
 				"kernel %q failed %d retries; escalated to a blocking device reset", label, r.rec.maxRetries))
 			return r.launcher.Launch(next, label, dur), nil
@@ -417,9 +465,13 @@ func (r *Runtime) runBlock(p *kernel.Persistent, ready *engine.Event, label stri
 			return nil, fmt.Errorf("runtime: persistent block %q did not run (injected %v, recovery disabled)", label, out)
 		}
 		r.watchdogFires++
+		r.traceRecovery(ev, "watchdog:"+label, engine.CatFault,
+			map[string]any{"op": "block-hang-abort", "watchdog": int64(r.rec.watchdog)})
 		r.faultWarns = append(r.faultWarns, fmt.Sprintf(
 			"watchdog: persistent block %q hung; aborted after %v", label, r.rec.watchdog))
 		r.retries++
+		r.traceRecovery(ev, "retry:"+label, engine.CatRetry,
+			map[string]any{"op": "block", "attempt": attempt})
 		next := engine.Delay(r.sim, ev, r.backoffDur(attempt))
 		if attempt > r.rec.maxRetries {
 			r.faultWarns = append(r.faultWarns, fmt.Sprintf(
@@ -466,6 +518,8 @@ func (r *Runtime) degrade(cause error) {
 		}
 		r.persist = map[*minic.Pragma]*kernel.Persistent{}
 		r.freeAllBufs()
+		r.sim.Trace().Instant("runtime", "fallback:sync", engine.CatFallback, r.sim.Now(),
+			map[string]any{"from": "pipelined", "to": "sync", "cause": cause.Error()})
 		r.fallbacks = append(r.fallbacks, fmt.Sprintf(
 			"device allocation failed (%v); pipelined streaming -> synchronous single-buffer offload", cause))
 	case modeSync:
@@ -474,6 +528,8 @@ func (r *Runtime) degrade(cause error) {
 			r.mem.Free(r.staging)
 			r.staging = nil
 		}
+		r.sim.Trace().Instant("runtime", "fallback:host", engine.CatFallback, r.sim.Now(),
+			map[string]any{"from": "sync", "to": "host", "cause": cause.Error()})
 		r.fallbacks = append(r.fallbacks, fmt.Sprintf(
 			"staging allocation failed (%v); synchronous offload -> host-only execution", cause))
 	}
@@ -509,7 +565,8 @@ func (r *Runtime) ensureStaging(size uint64) error {
 	}
 	r.staging = b
 	if r.cfg.MIC.AllocOverhead > 0 {
-		r.hostTail = r.host.SubmitAfter(r.hostTail, "alloc", r.cfg.MIC.AllocOverhead)
+		r.hostTail = r.host.SubmitTagged(r.hostTail, "alloc", engine.CatAlloc,
+			r.cfg.MIC.AllocOverhead, map[string]any{"bytes": size, "buf": "staging"})
 	}
 	return nil
 }
@@ -540,7 +597,8 @@ func (r *Runtime) allocSpecs(specs []interp.TransferSpec) error {
 	}
 	if allocs > 0 && r.cfg.MIC.AllocOverhead > 0 {
 		d := engine.Duration(allocs) * r.cfg.MIC.AllocOverhead
-		r.hostTail = r.host.SubmitAfter(r.hostTail, "alloc", d)
+		r.hostTail = r.host.SubmitTagged(r.hostTail, "alloc", engine.CatAlloc,
+			d, map[string]any{"allocs": allocs})
 	}
 	return nil
 }
@@ -916,7 +974,6 @@ func (r *Runtime) Finish() Stats {
 		end = r.hostTail.Time()
 	}
 	end = r.recoverStalls(end)
-	tr := r.sim.Trace()
 	var injected int64
 	if r.inj != nil {
 		injected = r.inj.Injected()
@@ -928,7 +985,7 @@ func (r *Runtime) Finish() Stats {
 		HostBusy:         r.host.BusyTime(),
 		DeviceBusy:       r.launcher.ComputeBusy(),
 		TransferBusy:     r.bus.BusyTime(pcie.HostToDevice) + r.bus.BusyTime(pcie.DeviceToHost),
-		Overlap:          tr.Overlap("pcie-h2d", "mic-compute") + tr.Overlap("pcie-d2h", "mic-compute"),
+		Overlap:          r.ovIn.Total() + r.ovOut.Total(),
 		KernelLaunches:   r.launcher.Launches(),
 		Transfers:        r.bus.TotalTransfers(),
 		BytesIn:          r.bus.BytesMoved(pcie.HostToDevice),
@@ -960,6 +1017,8 @@ func (r *Runtime) recoverStalls(end engine.Time) engine.Time {
 		r.watchdogFires++
 		rerun := regionTime(r.cfg.CPU, k.work, r.cfg.CPUThreads)
 		end += engine.Time(r.rec.watchdog + rerun)
+		r.sim.Trace().Instant("runtime", "watchdog:"+k.label, engine.CatFault, end,
+			map[string]any{"op": "stall-rerun-on-host", "rerun": int64(rerun)})
 		r.faultWarns = append(r.faultWarns, fmt.Sprintf(
 			"watchdog: kernel %s stalled on a signal that never fired; aborted after %v and re-run on the host (%v)",
 			k.label, r.rec.watchdog, rerun))
@@ -967,6 +1026,8 @@ func (r *Runtime) recoverStalls(end engine.Time) engine.Time {
 	if !r.hostTail.Fired() {
 		r.watchdogFires++
 		end += engine.Time(r.rec.watchdog)
+		r.sim.Trace().Instant("runtime", "watchdog:host-wait", engine.CatFault, end,
+			map[string]any{"op": "stall-abandoned"})
 		r.faultWarns = append(r.faultWarns, fmt.Sprintf(
 			"watchdog: host wait stalled; abandoned after %v", r.rec.watchdog))
 	}
@@ -1044,23 +1105,18 @@ func (r *Runtime) detectRaces() []string {
 	return truncateWarnings(warns)
 }
 
-// Result bundles a program execution with its simulated statistics.
+// Result bundles a program execution with its simulated statistics and the
+// recorded execution timeline (empty when Config.DisableTrace is set).
 type Result struct {
 	Stats   Stats
 	Program *interp.Program
+	Trace   *engine.Trace
 }
 
 // Run executes a compiled program on a fresh runtime and returns the
 // statistics. The program is Reset first so repeated Runs are independent.
 func Run(p *interp.Program, cfg Config) (Result, error) {
-	if err := p.Reset(); err != nil {
-		return Result{}, err
-	}
-	rt := New(cfg)
-	if err := p.Run(rt); err != nil {
-		return Result{}, err
-	}
-	return Result{Stats: rt.Finish(), Program: p}, nil
+	return RunWithSetup(p, cfg, nil)
 }
 
 // RunWithSetup executes a compiled program after applying an input-
@@ -1079,5 +1135,5 @@ func RunWithSetup(p *interp.Program, cfg Config, setup func(*interp.Program) err
 	if err := p.Run(rt); err != nil {
 		return Result{}, err
 	}
-	return Result{Stats: rt.Finish(), Program: p}, nil
+	return Result{Stats: rt.Finish(), Program: p, Trace: rt.Trace()}, nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"comp/internal/sim/engine"
 	"comp/internal/sim/fault"
 )
 
@@ -50,6 +51,8 @@ type Allocator struct {
 	nFrees   int64
 	inj      *fault.Injector
 	faults   int64
+	tr       *engine.Trace
+	now      func() engine.Time
 }
 
 // New creates an allocator with the given total capacity and an OS-reserved
@@ -93,6 +96,23 @@ func (a *Allocator) SetInjector(inj *fault.Injector) { a.inj = inj }
 // FaultCount returns the number of injected allocation failures so far.
 func (a *Allocator) FaultCount() int64 { return a.faults }
 
+// SetTrace attaches a span recorder and a clock. Allocations, frees, and
+// allocation failures are then recorded as instant events on the "devmem"
+// pseudo-resource. Because allocation happens while the host issues
+// operations (not on a simulated server), the instants carry issue-order
+// time — typically the host's current virtual time — rather than a span.
+func (a *Allocator) SetTrace(tr *engine.Trace, now func() engine.Time) {
+	a.tr = tr
+	a.now = now
+}
+
+func (a *Allocator) traceInstant(label string, cat engine.Category, args map[string]any) {
+	if a.tr == nil {
+		return
+	}
+	a.tr.Instant("devmem", label, cat, a.now(), args)
+}
+
 // Alloc carves size bytes out of the first hole that fits. A zero-size
 // request is rejected: it always indicates a footprint-computation bug in
 // the caller.
@@ -102,6 +122,7 @@ func (a *Allocator) Alloc(size uint64, label string) (*Block, error) {
 	}
 	if a.inj != nil && a.inj.Next(fault.Alloc) {
 		a.faults++
+		a.traceInstant("alloc:"+label, engine.CatFault, map[string]any{"kind": "alloc", "bytes": size})
 		return nil, fmt.Errorf("%w: %d bytes for %q", ErrFaultInjected, size, label)
 	}
 	for i, h := range a.holes {
@@ -119,8 +140,14 @@ func (a *Allocator) Alloc(size uint64, label string) (*Block, error) {
 			a.peak = a.inUse
 		}
 		a.nAllocs++
+		a.traceInstant("alloc:"+label, engine.CatAlloc, map[string]any{
+			"bytes": size, "base": b.Base, "inUse": a.inUse, "peak": a.peak,
+		})
 		return b, nil
 	}
+	a.traceInstant("alloc:"+label, engine.CatFault, map[string]any{
+		"kind": "oom", "bytes": size, "free": a.Available(),
+	})
 	if size <= a.Available() {
 		return nil, fmt.Errorf("devmem: %w: %d bytes for %q (free %d, fragmented)", ErrOutOfMemory, size, label, a.Available())
 	}
@@ -146,6 +173,7 @@ func (a *Allocator) Free(b *Block) {
 	b.freed = true
 	a.inUse -= b.Size
 	a.nFrees++
+	a.traceInstant("free:"+b.Label, engine.CatAlloc, map[string]any{"bytes": b.Size, "inUse": a.inUse})
 	i := sort.Search(len(a.holes), func(i int) bool { return a.holes[i].base >= b.Base })
 	a.holes = append(a.holes, hole{})
 	copy(a.holes[i+1:], a.holes[i:])

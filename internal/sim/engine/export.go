@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format. Complete
+// spans use phase "X" (ts + dur); instants use phase "i". Times are in
+// microseconds, the unit chrome://tracing and Perfetto expect.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object flavour of the format, which lets us set
+// the display unit alongside the event array.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePid = 1
+
+func toMicros(t Time) float64      { return float64(t) / float64(Microsecond) }
+func durMicros(d Duration) float64 { return float64(d) / float64(Microsecond) }
+
+// ChromeJSON writes the trace in Chrome trace_event JSON, loadable in
+// chrome://tracing and https://ui.perfetto.dev. Each simulated resource
+// becomes one named thread; spans become complete ("X") events and
+// instants become instant ("i") events. Output is deterministic: threads
+// are ordered by resource name and events by (start, resource, label).
+func (t *Trace) ChromeJSON(w io.Writer) error {
+	resources := t.Resources()
+	tids := make(map[string]int, len(resources))
+	events := make([]chromeEvent, 0, len(t.spans)+len(resources))
+	for i, name := range resources {
+		tid := i + 1
+		tids[name] = tid
+		events = append(events, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			Pid:   chromePid,
+			Tid:   tid,
+			Args:  map[string]any{"name": name},
+		})
+	}
+	for _, sp := range t.sorted() {
+		ev := chromeEvent{
+			Name: sp.Label,
+			Cat:  string(sp.Cat),
+			Ts:   toMicros(sp.Start),
+			Pid:  chromePid,
+			Tid:  tids[sp.Resource],
+			Args: sp.Args,
+		}
+		if sp.Instant {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		} else {
+			ev.Phase = "X"
+			d := durMicros(sp.Duration())
+			ev.Dur = &d
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+// timelineGlyphs maps categories to the cell glyph of the ASCII renderer.
+var timelineGlyphs = map[Category]byte{
+	CatDMAIn:  '<',
+	CatDMAOut: '>',
+	CatKernel: '#',
+	CatHost:   '=',
+	CatAlloc:  'a',
+	CatFault:  'X',
+	CatRetry:  'r',
+}
+
+// Timeline renders the trace as an ASCII chart, one lane per resource,
+// scaled to the given width in columns (minimum 20). Span cells are drawn
+// with a per-category glyph ('<' dma-in, '>' dma-out, '#' kernel, '='
+// host, 'a' alloc, 'X' fault, 'r' retry, '*' other); instants overprint a
+// '!'. It is the terminal-friendly counterpart of ChromeJSON.
+func (t *Trace) Timeline(w io.Writer, width int) {
+	if width < 20 {
+		width = 20
+	}
+	var end Time
+	for _, sp := range t.spans {
+		if sp.End > end {
+			end = sp.End
+		}
+	}
+	if end == 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	resources := t.Resources()
+	nameW := 0
+	for _, r := range resources {
+		if len(r) > nameW {
+			nameW = len(r)
+		}
+	}
+	cell := func(tm Time) int {
+		c := int(int64(tm) * int64(width) / int64(end))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	fmt.Fprintf(w, "%-*s 0%*s\n", nameW, "timeline", width, end)
+	lanes := make(map[string][]byte, len(resources))
+	for _, r := range resources {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		lanes[r] = lane
+	}
+	for _, sp := range t.sorted() {
+		lane := lanes[sp.Resource]
+		if sp.Instant {
+			lane[cell(sp.Start)] = '!'
+			continue
+		}
+		glyph, ok := timelineGlyphs[sp.Cat]
+		if !ok {
+			glyph = '*'
+		}
+		lo, hi := cell(sp.Start), cell(sp.End)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		for i := lo; i < hi && i < width; i++ {
+			lane[i] = glyph
+		}
+	}
+	for _, r := range resources {
+		fmt.Fprintf(w, "%-*s |%s|\n", nameW, r, lanes[r])
+	}
+	var cats []string
+	seen := map[Category]bool{}
+	for _, sp := range t.spans {
+		if sp.Cat != "" && !seen[sp.Cat] && !sp.Instant {
+			seen[sp.Cat] = true
+			glyph, ok := timelineGlyphs[sp.Cat]
+			if !ok {
+				glyph = '*'
+			}
+			cats = append(cats, fmt.Sprintf("%c %s", glyph, sp.Cat))
+		}
+	}
+	sort.Strings(cats)
+	if len(cats) > 0 {
+		fmt.Fprintf(w, "%-*s  %s\n", nameW, "legend", strings.Join(cats, "  "))
+	}
+}

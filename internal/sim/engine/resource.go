@@ -8,14 +8,18 @@ package engine
 type Resource struct {
 	sim     *Sim
 	name    string
+	cat     Category // default span category for jobs on this resource
 	servers int
 	busy    int
 	queue   []job
 	busyTot Duration // aggregate busy time across servers, for utilization
+	meters  []*OverlapMeter
 }
 
 type job struct {
 	label string
+	cat   Category
+	args  map[string]any
 	dur   Duration
 	ready *Event // job may not start before this fires (already satisfied when queued)
 	done  *Event
@@ -33,6 +37,13 @@ func (s *Sim) NewResource(name string, servers int) *Resource {
 // Name returns the resource's diagnostic name.
 func (r *Resource) Name() string { return r.name }
 
+// SetCategory sets the default span category for jobs submitted without an
+// explicit one (Submit/SubmitAfter).
+func (r *Resource) SetCategory(c Category) { r.cat = c }
+
+// Category returns the resource's default span category.
+func (r *Resource) Category() Category { return r.cat }
+
 // BusyTime returns the total busy time accumulated across all servers.
 func (r *Resource) BusyTime() Duration { return r.busyTot }
 
@@ -49,19 +60,31 @@ func (r *Resource) Utilization() float64 {
 // Submit enqueues a job of duration d and returns the event that fires when
 // the job completes.
 func (r *Resource) Submit(label string, d Duration) *Event {
-	return r.SubmitAfter(r.sim.FiredEvent(), label, d)
+	return r.SubmitTagged(r.sim.FiredEvent(), label, r.cat, d, nil)
 }
 
 // SubmitAfter enqueues a job that becomes eligible to start only once ready
 // has fired. Ordering is by eligibility: the job joins the FIFO queue at the
 // moment ready fires.
 func (r *Resource) SubmitAfter(ready *Event, label string, d Duration) *Event {
+	return r.SubmitTagged(ready, label, r.cat, d, nil)
+}
+
+// SubmitTagged is SubmitAfter with an explicit span category and structured
+// args recorded on the job's trace span. It is how emitters distinguish,
+// e.g., a failed DMA attempt (CatFault) from a real transfer on the same
+// channel, and how payload sizes reach the trace. A nil ready means the job
+// is eligible immediately.
+func (r *Resource) SubmitTagged(ready *Event, label string, cat Category, d Duration, args map[string]any) *Event {
+	if ready == nil {
+		ready = r.sim.FiredEvent()
+	}
 	if d < 0 {
 		d = 0
 	}
 	done := r.sim.NewEvent(r.name + ":" + label)
 	ready.OnFire(func(Time) {
-		r.queue = append(r.queue, job{label: label, dur: d, done: done})
+		r.queue = append(r.queue, job{label: label, cat: cat, args: args, dur: d, done: done})
 		r.dispatch()
 	})
 	return done
@@ -72,11 +95,20 @@ func (r *Resource) dispatch() {
 		j := r.queue[0]
 		r.queue = r.queue[1:]
 		r.busy++
+		r.notifyMeters()
 		start := r.sim.Now()
 		r.sim.After(j.dur, func() {
 			r.busy--
+			r.notifyMeters()
 			r.busyTot += j.dur
-			r.sim.trace.Add(Span{Resource: r.name, Label: j.label, Start: start, End: r.sim.Now()})
+			r.sim.trace.Add(Span{
+				Resource: r.name,
+				Label:    j.label,
+				Cat:      j.cat,
+				Start:    start,
+				End:      r.sim.Now(),
+				Args:     j.args,
+			})
 			j.done.Fire()
 			r.dispatch()
 		})
@@ -88,3 +120,52 @@ func (r *Resource) QueueLen() int { return len(r.queue) }
 
 // InService reports the number of jobs currently occupying servers.
 func (r *Resource) InService() int { return r.busy }
+
+func (r *Resource) notifyMeters() {
+	for _, m := range r.meters {
+		m.update()
+	}
+}
+
+// OverlapMeter measures the total virtual time during which two resources
+// are simultaneously busy. Unlike Trace.Overlap it is computed online from
+// the resources' busy counters, so it works — and yields identical numbers
+// for single-server resources — even when trace recording is disabled.
+// This keeps Stats independent of the observability layer; the consistency
+// suite cross-checks the two.
+type OverlapMeter struct {
+	sim    *Sim
+	a, b   *Resource
+	total  Duration
+	since  Time
+	active bool
+}
+
+// MeterOverlap attaches an overlap meter to two resources. Meters must be
+// created before any job is submitted to either resource.
+func (s *Sim) MeterOverlap(a, b *Resource) *OverlapMeter {
+	m := &OverlapMeter{sim: s, a: a, b: b}
+	a.meters = append(a.meters, m)
+	b.meters = append(b.meters, m)
+	return m
+}
+
+func (m *OverlapMeter) update() {
+	both := m.a.busy > 0 && m.b.busy > 0
+	switch {
+	case both && !m.active:
+		m.active = true
+		m.since = m.sim.now
+	case !both && m.active:
+		m.active = false
+		m.total += Duration(m.sim.now - m.since)
+	}
+}
+
+// Total returns the accumulated overlap, including any interval still open.
+func (m *OverlapMeter) Total() Duration {
+	if m.active {
+		return m.total + Duration(m.sim.now-m.since)
+	}
+	return m.total
+}

@@ -6,20 +6,65 @@ import (
 	"strings"
 )
 
-// Span records one completed job on a resource timeline.
+// Category classifies a span for the observability layer: what kind of
+// activity the span represents, independent of which resource it ran on.
+// Categories are the unit of aggregation for the derived-metrics layer
+// (internal/sim/metrics) and the "cat" field of the Chrome trace export.
+type Category string
+
+// Span categories.
+const (
+	// CatDMAIn is a host-to-device DMA occupying a PCIe channel.
+	CatDMAIn Category = "dma-in"
+	// CatDMAOut is a device-to-host DMA occupying a PCIe channel.
+	CatDMAOut Category = "dma-out"
+	// CatKernel is device compute: a kernel execution or persistent-kernel
+	// block on the coprocessor fabric.
+	CatKernel Category = "kernel"
+	// CatHost is host-side work: compute segments and per-offload driver
+	// overheads charged to the host thread.
+	CatHost Category = "host"
+	// CatAlloc is device-memory management: allocations, frees, and the
+	// host-side allocation overhead spans.
+	CatAlloc Category = "alloc"
+	// CatFault is an injected failure or its direct cost: a failed DMA
+	// attempt occupying the channel, a failed launch, a hang, a watchdog
+	// abort.
+	CatFault Category = "fault"
+	// CatRetry is a recovery reissue of a previously failed operation.
+	CatRetry Category = "retry"
+	// CatFallback is a step down the runtime's degradation ladder.
+	CatFallback Category = "fallback"
+)
+
+// Span records one completed job on a resource timeline, or (when Instant
+// is set) a point event such as a fault decision or a fallback.
 type Span struct {
 	Resource string
 	Label    string
-	Start    Time
-	End      Time
+	// Cat classifies the activity; empty for spans recorded before the
+	// emitter was categorised (treated as uncategorised by the metrics
+	// layer).
+	Cat   Category
+	Start Time
+	End   Time
+	// Instant marks a zero-duration point event (Chrome "i" phase) as
+	// opposed to a genuine job that happened to take zero time.
+	Instant bool
+	// Args carries structured details (payload bytes, retry attempt,
+	// fault kind, ...). Values must be JSON-serializable; keys are
+	// emitter-defined.
+	Args map[string]any
 }
 
 // Duration returns the span's length.
 func (sp Span) Duration() Duration { return Duration(sp.End - sp.Start) }
 
 // Trace accumulates completed spans for post-run inspection. It exists for
-// tests ("did the transfer of block i+1 overlap the compute of block i?")
-// and for the -trace flag of cmd/compsim.
+// tests ("did the transfer of block i+1 overlap the compute of block i?"),
+// for the Chrome trace export of cmd/compsim, and as the input of the
+// derived-metrics layer. Disabling a trace must never change simulation
+// outcomes: recording is strictly write-only with respect to the engine.
 type Trace struct {
 	spans   []Span
 	enabled bool
@@ -31,11 +76,30 @@ func NewTrace() *Trace { return &Trace{enabled: true} }
 // SetEnabled toggles recording; disabling keeps existing spans.
 func (t *Trace) SetEnabled(on bool) { t.enabled = on }
 
+// Enabled reports whether the trace is recording.
+func (t *Trace) Enabled() bool { return t.enabled }
+
 // Add records a span if recording is enabled.
 func (t *Trace) Add(sp Span) {
 	if t.enabled {
 		t.spans = append(t.spans, sp)
 	}
+}
+
+// Instant records a point event at the given time if recording is enabled.
+func (t *Trace) Instant(resource, label string, cat Category, at Time, args map[string]any) {
+	if !t.enabled {
+		return
+	}
+	t.spans = append(t.spans, Span{
+		Resource: resource,
+		Label:    label,
+		Cat:      cat,
+		Start:    at,
+		End:      at,
+		Instant:  true,
+		Args:     args,
+	})
 }
 
 // Spans returns all recorded spans in completion order.
@@ -53,9 +117,49 @@ func (t *Trace) ByResource(name string) []Span {
 	return out
 }
 
+// ByCategory returns the spans of one category, sorted by start.
+func (t *Trace) ByCategory(cat Category) []Span {
+	var out []Span
+	for _, sp := range t.spans {
+		if sp.Cat == cat {
+			out = append(out, sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Resources returns the sorted set of resource names with recorded spans.
+func (t *Trace) Resources() []string {
+	seen := map[string]bool{}
+	for _, sp := range t.spans {
+		seen[sp.Resource] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BusyTime sums the durations of the non-instant spans recorded for one
+// resource — the trace-derived counterpart of Resource.BusyTime, used by
+// the Stats↔Trace consistency suite.
+func (t *Trace) BusyTime(resource string) Duration {
+	var total Duration
+	for _, sp := range t.spans {
+		if sp.Resource == resource && !sp.Instant {
+			total += sp.Duration()
+		}
+	}
+	return total
+}
+
 // Overlap reports the total time during which both a-labelled and b-labelled
 // spans were simultaneously active. It is the measurement behind the
 // paper's central claim: data streaming overlaps transfer with compute.
+// Instant spans contribute nothing.
 func (t *Trace) Overlap(aResource, bResource string) Duration {
 	a := t.ByResource(aResource)
 	b := t.ByResource(bResource)
@@ -78,18 +182,35 @@ func (t *Trace) Overlap(aResource, bResource string) Duration {
 	return total
 }
 
-// String renders a compact textual timeline, one line per span.
-func (t *Trace) String() string {
-	var b strings.Builder
+// sorted returns a copy of the spans in (start, resource, label) order —
+// the canonical order of every renderer and exporter.
+func (t *Trace) sorted() []Span {
 	spans := append([]Span(nil), t.spans...)
-	sort.Slice(spans, func(i, j int) bool {
+	sort.SliceStable(spans, func(i, j int) bool {
 		if spans[i].Start != spans[j].Start {
 			return spans[i].Start < spans[j].Start
 		}
-		return spans[i].Resource < spans[j].Resource
+		if spans[i].Resource != spans[j].Resource {
+			return spans[i].Resource < spans[j].Resource
+		}
+		return spans[i].Label < spans[j].Label
 	})
-	for _, sp := range spans {
-		fmt.Fprintf(&b, "%12v %12v  %-10s %s\n", sp.Start, sp.End, sp.Resource, sp.Label)
+	return spans
+}
+
+// String renders a compact textual timeline, one line per span.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, sp := range t.sorted() {
+		cat := string(sp.Cat)
+		if cat == "" {
+			cat = "-"
+		}
+		marker := ""
+		if sp.Instant {
+			marker = " !"
+		}
+		fmt.Fprintf(&b, "%12v %12v  %-10s %-9s %s%s\n", sp.Start, sp.End, sp.Resource, cat, sp.Label, marker)
 	}
 	return b.String()
 }

@@ -1,0 +1,275 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceInstantRecordsPointEvent(t *testing.T) {
+	tr := NewTrace()
+	tr.Instant("runtime", "fallback:sync", CatFallback, 42, map[string]any{"cause": "dma"})
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if !sp.Instant || sp.Start != 42 || sp.End != 42 {
+		t.Errorf("instant span = %+v, want Instant at 42", sp)
+	}
+	if sp.Cat != CatFallback || sp.Args["cause"] != "dma" {
+		t.Errorf("cat/args = %v/%v, want fallback/dma", sp.Cat, sp.Args)
+	}
+	if sp.Duration() != 0 {
+		t.Errorf("instant duration = %v, want 0", sp.Duration())
+	}
+}
+
+func TestTraceInstantDisabledRecordsNothing(t *testing.T) {
+	tr := NewTrace()
+	tr.SetEnabled(false)
+	tr.Instant("r", "x", CatFault, 1, nil)
+	if n := len(tr.Spans()); n != 0 {
+		t.Fatalf("disabled trace recorded %d instants", n)
+	}
+}
+
+func TestTraceBusyTimeSumsSpansNotInstants(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Span{Resource: "pcie", Label: "a", Start: 0, End: 30})
+	tr.Add(Span{Resource: "pcie", Label: "b", Start: 50, End: 70})
+	tr.Add(Span{Resource: "mic", Label: "k", Start: 0, End: 100})
+	tr.Instant("pcie", "fault", CatFault, 10, nil)
+	if got := tr.BusyTime("pcie"); got != 50 {
+		t.Errorf("BusyTime(pcie) = %v, want 50", got)
+	}
+	if got := tr.BusyTime("mic"); got != 100 {
+		t.Errorf("BusyTime(mic) = %v, want 100", got)
+	}
+	if got := tr.BusyTime("absent"); got != 0 {
+		t.Errorf("BusyTime(absent) = %v, want 0", got)
+	}
+}
+
+func TestTraceByCategoryAndResources(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Span{Resource: "b", Label: "x", Cat: CatKernel, Start: 10, End: 20})
+	tr.Add(Span{Resource: "a", Label: "y", Cat: CatDMAIn, Start: 0, End: 5})
+	tr.Add(Span{Resource: "a", Label: "z", Cat: CatKernel, Start: 5, End: 8})
+	ks := tr.ByCategory(CatKernel)
+	if len(ks) != 2 || ks[0].Label != "z" || ks[1].Label != "x" {
+		t.Errorf("ByCategory(kernel) = %v, want [z x] sorted by start", ks)
+	}
+	res := tr.Resources()
+	if len(res) != 2 || res[0] != "a" || res[1] != "b" {
+		t.Errorf("Resources() = %v, want [a b]", res)
+	}
+}
+
+// TestChromeJSONRoundTrip is the acceptance check: the exporter emits valid
+// Chrome trace_event JSON that round-trips through json.Unmarshal with the
+// expected structure.
+func TestChromeJSONRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Span{Resource: "pcie-h2d", Label: "dma", Cat: CatDMAIn, Start: 0, End: Time(2 * Microsecond),
+		Args: map[string]any{"bytes": 4096}})
+	tr.Add(Span{Resource: "mic-compute", Label: "kern", Cat: CatKernel, Start: Time(Microsecond), End: Time(3 * Microsecond)})
+	tr.Instant("runtime", "retry:dma", CatRetry, Time(2*Microsecond), map[string]any{"attempt": 1})
+
+	var buf bytes.Buffer
+	if err := tr.ChromeJSON(&buf); err != nil {
+		t.Fatalf("ChromeJSON: %v", err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if file.DisplayUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", file.DisplayUnit)
+	}
+	// 3 resources -> 3 metadata events, plus 3 span/instant events.
+	if len(file.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(file.TraceEvents))
+	}
+	var phases = map[string]int{}
+	for _, ev := range file.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		switch ph {
+		case "M":
+			if ev["name"] != "thread_name" {
+				t.Errorf("metadata event name = %v, want thread_name", ev["name"])
+			}
+		case "X":
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Errorf("complete event missing dur: %v", ev)
+			}
+		case "i":
+			if ev["s"] != "t" {
+				t.Errorf("instant event scope = %v, want t", ev["s"])
+			}
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	if phases["M"] != 3 || phases["X"] != 2 || phases["i"] != 1 {
+		t.Errorf("phase counts = %v, want M:3 X:2 i:1", phases)
+	}
+	// The DMA complete event: ts 0, dur 2us, args carried through.
+	for _, ev := range file.TraceEvents {
+		if ev["name"] == "dma" {
+			if ev["ts"].(float64) != 0 || ev["dur"].(float64) != 2 {
+				t.Errorf("dma ts/dur = %v/%v, want 0/2 (microseconds)", ev["ts"], ev["dur"])
+			}
+			args := ev["args"].(map[string]any)
+			if args["bytes"].(float64) != 4096 {
+				t.Errorf("dma args = %v, want bytes 4096", args)
+			}
+			if ev["cat"] != "dma-in" {
+				t.Errorf("dma cat = %v, want dma-in", ev["cat"])
+			}
+		}
+	}
+}
+
+func TestChromeJSONDeterministic(t *testing.T) {
+	build := func() *Trace {
+		tr := NewTrace()
+		tr.Add(Span{Resource: "b", Label: "x", Cat: CatKernel, Start: 10, End: 20})
+		tr.Add(Span{Resource: "a", Label: "y", Cat: CatDMAIn, Start: 10, End: 15})
+		tr.Instant("c", "f", CatFault, 12, nil)
+		return tr
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().ChromeJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().ChromeJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("ChromeJSON output is not deterministic")
+	}
+}
+
+func TestTimelineRendersLanesAndLegend(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(Span{Resource: "pcie-h2d", Label: "dma", Cat: CatDMAIn, Start: 0, End: 50})
+	tr.Add(Span{Resource: "mic-compute", Label: "k", Cat: CatKernel, Start: 50, End: 100})
+	tr.Instant("runtime", "fault", CatFault, 75, nil)
+	var buf bytes.Buffer
+	tr.Timeline(&buf, 20)
+	out := buf.String()
+	for _, want := range []string{"pcie-h2d", "mic-compute", "runtime", "legend", "<", "#", "!"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 3 lanes + legend
+	if len(lines) != 5 {
+		t.Errorf("timeline has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTimelineEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	NewTrace().Timeline(&buf, 40)
+	if !strings.Contains(buf.String(), "empty trace") {
+		t.Errorf("empty trace rendered %q", buf.String())
+	}
+}
+
+// TestOverlapMeterMatchesTraceOverlap is the core consistency invariant: for
+// single-server resources the online meter and the pairwise span overlap
+// measure the same quantity.
+func TestOverlapMeterMatchesTraceOverlap(t *testing.T) {
+	s := New()
+	xfer := s.NewResource("pcie", 1)
+	comp := s.NewResource("mic", 1)
+	m := s.MeterOverlap(xfer, comp)
+	// Pipeline: transfer i feeds kernel i; kernels overlap later transfers.
+	for i := 0; i < 6; i++ {
+		tEv := xfer.Submit("t", 100)
+		comp.SubmitAfter(tEv, "k", 130)
+	}
+	s.Run()
+	want := s.Trace().Overlap("pcie", "mic")
+	if want == 0 {
+		t.Fatal("expected nonzero overlap in pipeline")
+	}
+	if got := m.Total(); got != want {
+		t.Errorf("OverlapMeter.Total() = %v, Trace.Overlap = %v", got, want)
+	}
+}
+
+func TestOverlapMeterWorksWithTraceDisabled(t *testing.T) {
+	run := func(disable bool) Duration {
+		s := New()
+		if disable {
+			s.Trace().SetEnabled(false)
+		}
+		a := s.NewResource("a", 1)
+		b := s.NewResource("b", 1)
+		m := s.MeterOverlap(a, b)
+		a.Submit("x", 100)
+		ready := s.NewEvent("ready")
+		s.At(30, func() { ready.Fire() })
+		b.SubmitAfter(ready, "y", 100)
+		s.Run()
+		return m.Total()
+	}
+	on, off := run(false), run(true)
+	if on != off {
+		t.Errorf("meter with trace on = %v, off = %v; must be identical", on, off)
+	}
+	if on != 70 {
+		t.Errorf("overlap = %v, want 70", on)
+	}
+}
+
+func TestOverlapMeterDisjointIsZero(t *testing.T) {
+	s := New()
+	a := s.NewResource("a", 1)
+	b := s.NewResource("b", 1)
+	m := s.MeterOverlap(a, b)
+	done := a.Submit("x", 50)
+	b.SubmitAfter(done, "y", 50)
+	s.Run()
+	if got := m.Total(); got != 0 {
+		t.Errorf("disjoint overlap = %v, want 0", got)
+	}
+}
+
+func TestSubmitTaggedRecordsCategoryAndArgs(t *testing.T) {
+	s := New()
+	r := s.NewResource("pcie", 1)
+	r.SubmitTagged(nil, "dma", CatDMAIn, 10, map[string]any{"bytes": 512})
+	s.Run()
+	spans := s.Trace().Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Cat != CatDMAIn || sp.Args["bytes"] != 512 {
+		t.Errorf("span = %+v, want dma-in with bytes 512", sp)
+	}
+}
+
+func TestResourceDefaultCategory(t *testing.T) {
+	s := New()
+	r := s.NewResource("mic", 1)
+	r.SetCategory(CatKernel)
+	if r.Category() != CatKernel {
+		t.Fatalf("Category() = %v, want kernel", r.Category())
+	}
+	r.Submit("k", 5)
+	s.Run()
+	if sp := s.Trace().Spans()[0]; sp.Cat != CatKernel {
+		t.Errorf("default-category span cat = %v, want kernel", sp.Cat)
+	}
+}

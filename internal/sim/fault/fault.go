@@ -12,7 +12,11 @@
 // runs regressions instead of flakes.
 package fault
 
-import "fmt"
+import (
+	"fmt"
+
+	"comp/internal/sim/engine"
+)
 
 // Kind identifies one injectable failure mode.
 type Kind int
@@ -103,6 +107,17 @@ type Injector struct {
 	queries  [numKinds]int64
 	injected [numKinds]int64
 	total    int64
+	tr       *engine.Trace
+	now      func() engine.Time
+}
+
+// SetTrace attaches a span recorder and a clock; every injected fault is
+// then recorded as an instant event on the "fault" pseudo-resource at the
+// time the decision is handed out (issue time). Recording never influences
+// the schedule: decisions stay a pure function of (seed, kind, N).
+func (i *Injector) SetTrace(tr *engine.Trace, now func() engine.Time) {
+	i.tr = tr
+	i.now = now
 }
 
 // New creates an injector for the given schedule; it panics on an invalid
@@ -137,6 +152,11 @@ func (i *Injector) Next(k Kind) bool {
 	}
 	i.injected[k]++
 	i.total++
+	if i.tr != nil {
+		i.tr.Instant("fault", "inject:"+k.String(), engine.CatFault, i.now(), map[string]any{
+			"kind": k.String(), "query": n, "nth": i.total,
+		})
+	}
 	return true
 }
 

@@ -54,12 +54,18 @@ type Launcher struct {
 
 // NewLauncher creates a launcher with the given per-launch overhead.
 func NewLauncher(sim *engine.Sim, overhead engine.Duration) *Launcher {
+	compute := sim.NewResource("mic-compute", 1)
+	compute.SetCategory(engine.CatKernel)
 	return &Launcher{
 		sim:      sim,
-		compute:  sim.NewResource("mic-compute", 1),
+		compute:  compute,
 		overhead: overhead,
 	}
 }
+
+// Resource exposes the device compute fabric; the runtime attaches
+// engine.OverlapMeters to it so Stats.Overlap is trace-independent.
+func (l *Launcher) Resource() *engine.Resource { return l.compute }
 
 // Overhead returns the per-launch cost.
 func (l *Launcher) Overhead() engine.Duration { return l.overhead }
@@ -90,28 +96,26 @@ func (l *Launcher) FaultCount() int64 { return l.faults }
 func (l *Launcher) TryLaunch(ready *engine.Event, label string, dur engine.Duration) (*engine.Event, Outcome) {
 	if l.inj != nil && l.inj.Next(fault.Launch) {
 		l.faults++
-		return l.submit(ready, label+"!launchfail", l.overhead), LaunchFail
+		args := map[string]any{"kind": "launch-fail"}
+		return l.compute.SubmitTagged(ready, label+"!launchfail", engine.CatFault, l.overhead, args), LaunchFail
 	}
 	if l.inj != nil && l.inj.Next(fault.Hang) {
 		l.faults++
 		l.launches++
-		return l.submit(ready, label+"!hang", l.overhead+l.hangDt), Hang
+		// A hang counts as a launch, so its span carries the launch marker
+		// the Stats↔Trace consistency suite counts.
+		args := map[string]any{"kind": "hang", "launch": true}
+		return l.compute.SubmitTagged(ready, label+"!hang", engine.CatFault, l.overhead+l.hangDt, args), Hang
 	}
 	return l.Launch(ready, label, dur), OK
-}
-
-func (l *Launcher) submit(ready *engine.Event, label string, d engine.Duration) *engine.Event {
-	if ready == nil {
-		return l.compute.Submit(label, d)
-	}
-	return l.compute.SubmitAfter(ready, label, d)
 }
 
 // Launch starts a kernel of the given duration once ready fires (nil means
 // immediately), paying the launch overhead. It returns the completion event.
 func (l *Launcher) Launch(ready *engine.Event, label string, dur engine.Duration) *engine.Event {
 	l.launches++
-	return l.submit(ready, label, l.overhead+dur)
+	args := map[string]any{"launch": true, "overhead": int64(l.overhead)}
+	return l.compute.SubmitTagged(ready, label, engine.CatKernel, l.overhead+dur, args)
 }
 
 // Persistent is a kernel launched once whose threads stay resident,
@@ -132,7 +136,8 @@ type Persistent struct {
 func (l *Launcher) LaunchPersistent(label string) *Persistent {
 	l.launches++
 	// The launch itself occupies the device for the overhead period.
-	startup := l.compute.Submit(label+":launch", l.overhead)
+	args := map[string]any{"launch": true, "persistent": true}
+	startup := l.compute.SubmitTagged(nil, label+":launch", engine.CatKernel, l.overhead, args)
 	return &Persistent{l: l, label: label, prev: startup, started: true}
 }
 
@@ -148,7 +153,8 @@ func (p *Persistent) RunBlock(ready *engine.Event, label string, dur engine.Dura
 	if ready != nil {
 		deps = engine.AllOf(p.l.sim, p.prev, ready)
 	}
-	done := p.l.compute.SubmitAfter(deps, label, dur)
+	args := map[string]any{"persistent": true, "block": p.blocks}
+	done := p.l.compute.SubmitTagged(deps, label, engine.CatKernel, dur, args)
 	p.prev = done
 	return done
 }
@@ -168,7 +174,8 @@ func (p *Persistent) TryRunBlock(ready *engine.Event, label string, dur engine.D
 		if ready != nil {
 			deps = engine.AllOf(p.l.sim, p.prev, ready)
 		}
-		done := p.l.compute.SubmitAfter(deps, label+"!hang", p.l.hangDt)
+		args := map[string]any{"kind": "hang", "persistent": true}
+		done := p.l.compute.SubmitTagged(deps, label+"!hang", engine.CatFault, p.l.hangDt, args)
 		p.prev = done
 		return done, Hang
 	}

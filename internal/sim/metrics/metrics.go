@@ -1,0 +1,383 @@
+// Package metrics derives per-resource utilization, overlap, occupancy and
+// duration-distribution metrics from a recorded execution timeline
+// (engine.Trace). It is the analysis layer between the raw span stream and
+// the human: cmd/compsim's -report flag, the bench harness's per-ablation
+// dumps, and the Stats↔Trace consistency suite all consume a Report.
+//
+// Everything here is a pure function of the trace: computing a Report can
+// never perturb a simulation, and the same trace always yields the same
+// Report (maps are avoided in favour of sorted slices so the JSON
+// serialization is byte-stable).
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"comp/internal/sim/engine"
+)
+
+// ResourceMetrics summarizes one resource's timeline.
+type ResourceMetrics struct {
+	// Resource is the simulated resource name (pcie-h2d, mic-compute, ...).
+	Resource string `json:"resource"`
+	// Spans counts the completed (non-instant) spans.
+	Spans int `json:"spans"`
+	// Instants counts the point events recorded on the resource.
+	Instants int `json:"instants,omitempty"`
+	// BusyNs is the summed span time in nanoseconds.
+	BusyNs int64 `json:"busyNs"`
+	// Utilization is busy time over the makespan (0 when the makespan is 0).
+	Utilization float64 `json:"utilization"`
+}
+
+// CategoryMetrics aggregates spans of one category across resources.
+type CategoryMetrics struct {
+	Category string `json:"category"`
+	Spans    int    `json:"spans"`
+	Instants int    `json:"instants,omitempty"`
+	BusyNs   int64  `json:"busyNs"`
+}
+
+// HistBucket is one power-of-two duration bucket.
+type HistBucket struct {
+	// LoNs inclusive, HiNs exclusive; [0,1) holds zero-duration spans.
+	LoNs  int64 `json:"loNs"`
+	HiNs  int64 `json:"hiNs"`
+	Count int   `json:"count"`
+}
+
+// Histogram is a log2-bucketed duration distribution.
+type Histogram struct {
+	Count   int          `json:"count"`
+	MinNs   int64        `json:"minNs"`
+	MaxNs   int64        `json:"maxNs"`
+	MeanNs  int64        `json:"meanNs"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// OccupancyLevel reports how long exactly K pipeline stages were
+// simultaneously busy.
+type OccupancyLevel struct {
+	Busy     int     `json:"busy"`
+	TimeNs   int64   `json:"timeNs"`
+	Fraction float64 `json:"fraction"`
+}
+
+// Report is the derived-metrics summary of one run's timeline.
+type Report struct {
+	// MakespanNs is the end-to-end virtual time the metrics are normalized
+	// against.
+	MakespanNs int64 `json:"makespanNs"`
+	// Resources, sorted by name.
+	Resources []ResourceMetrics `json:"resources"`
+	// Categories, sorted by name.
+	Categories []CategoryMetrics `json:"categories"`
+	// OverlapNs is the transfer↔compute concurrency: time a PCIe channel
+	// span and a device-compute span were simultaneously active.
+	OverlapNs int64 `json:"overlapNs"`
+	// OverlapFraction normalizes the overlap by its upper bound — the
+	// smaller of total transfer busy and device busy time — so 1.0 means
+	// every possible byte of transfer was hidden behind compute.
+	OverlapFraction float64 `json:"overlapFraction"`
+	// Occupancy is the pipeline-stage occupancy distribution: for each K,
+	// the share of the makespan during which exactly K resources were busy.
+	Occupancy []OccupancyLevel `json:"occupancy"`
+	// Transfers and Kernels are the duration distributions of DMA and
+	// device-compute spans.
+	Transfers Histogram `json:"transfers"`
+	Kernels   Histogram `json:"kernels"`
+}
+
+// Resource names of the standard platform, referenced for overlap math.
+const (
+	resH2D     = "pcie-h2d"
+	resD2H     = "pcie-d2h"
+	resCompute = "mic-compute"
+)
+
+// FromTrace computes a Report over the trace, normalizing against the given
+// makespan. A makespan of zero normalizes against the latest span end.
+func FromTrace(tr *engine.Trace, makespan engine.Duration) Report {
+	spans := tr.Spans()
+	if makespan == 0 {
+		for _, sp := range spans {
+			if d := engine.Duration(sp.End); d > makespan {
+				makespan = d
+			}
+		}
+	}
+
+	type racc struct {
+		spans, instants int
+		busy            engine.Duration
+	}
+	byRes := map[string]*racc{}
+	byCat := map[engine.Category]*racc{}
+	var transferDurs, kernelDurs []engine.Duration
+	for _, sp := range spans {
+		r := byRes[sp.Resource]
+		if r == nil {
+			r = &racc{}
+			byRes[sp.Resource] = r
+		}
+		c := byCat[sp.Cat]
+		if c == nil {
+			c = &racc{}
+			byCat[sp.Cat] = c
+		}
+		if sp.Instant {
+			r.instants++
+			c.instants++
+			continue
+		}
+		r.spans++
+		c.spans++
+		r.busy += sp.Duration()
+		c.busy += sp.Duration()
+		switch sp.Cat {
+		case engine.CatDMAIn, engine.CatDMAOut:
+			transferDurs = append(transferDurs, sp.Duration())
+		case engine.CatKernel:
+			kernelDurs = append(kernelDurs, sp.Duration())
+		}
+	}
+
+	rep := Report{MakespanNs: int64(makespan)}
+	for _, name := range sortedKeys(byRes) {
+		r := byRes[name]
+		m := ResourceMetrics{
+			Resource: name,
+			Spans:    r.spans,
+			Instants: r.instants,
+			BusyNs:   int64(r.busy),
+		}
+		if makespan > 0 {
+			m.Utilization = float64(r.busy) / float64(makespan)
+		}
+		rep.Resources = append(rep.Resources, m)
+	}
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, string(c))
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		a := byCat[engine.Category(c)]
+		name := c
+		if name == "" {
+			name = "(uncategorised)"
+		}
+		rep.Categories = append(rep.Categories, CategoryMetrics{
+			Category: name,
+			Spans:    a.spans,
+			Instants: a.instants,
+			BusyNs:   int64(a.busy),
+		})
+	}
+
+	overlap := tr.Overlap(resH2D, resCompute) + tr.Overlap(resD2H, resCompute)
+	rep.OverlapNs = int64(overlap)
+	transferBusy := tr.BusyTime(resH2D) + tr.BusyTime(resD2H)
+	bound := transferBusy
+	if compute := tr.BusyTime(resCompute); compute < bound {
+		bound = compute
+	}
+	if bound > 0 {
+		rep.OverlapFraction = float64(overlap) / float64(bound)
+	}
+
+	rep.Occupancy = occupancy(spans, makespan)
+	rep.Transfers = histogram(transferDurs)
+	rep.Kernels = histogram(kernelDurs)
+	return rep
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// occupancy sweeps the span boundaries and measures, for each K, the time
+// during which exactly K distinct resources had an active span. Instants
+// and zero-length spans contribute nothing.
+func occupancy(spans []engine.Span, makespan engine.Duration) []OccupancyLevel {
+	type edge struct {
+		at       engine.Time
+		resource string
+		delta    int
+	}
+	var edges []edge
+	resources := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Instant || sp.End <= sp.Start {
+			continue
+		}
+		resources[sp.Resource] = true
+		edges = append(edges, edge{sp.Start, sp.Resource, +1}, edge{sp.End, sp.Resource, -1})
+	}
+	if len(edges) == 0 || makespan <= 0 {
+		return nil
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		// Closings before openings at the same instant, so back-to-back
+		// spans do not double-count the boundary point.
+		return edges[i].delta < edges[j].delta
+	})
+	active := map[string]int{}
+	busyCount := func() int {
+		n := 0
+		for _, c := range active {
+			if c > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	timeAt := make([]engine.Duration, len(resources)+1)
+	var cursor engine.Time
+	for i := 0; i < len(edges); {
+		at := edges[i].at
+		if at > cursor {
+			k := busyCount()
+			timeAt[k] += engine.Duration(at - cursor)
+			cursor = at
+		}
+		for i < len(edges) && edges[i].at == at {
+			active[edges[i].resource] += edges[i].delta
+			i++
+		}
+	}
+	if tail := engine.Time(makespan); tail > cursor {
+		timeAt[0] += engine.Duration(tail - cursor)
+	}
+	var out []OccupancyLevel
+	for k, t := range timeAt {
+		if t == 0 && k > 0 {
+			continue
+		}
+		out = append(out, OccupancyLevel{
+			Busy:     k,
+			TimeNs:   int64(t),
+			Fraction: float64(t) / float64(makespan),
+		})
+	}
+	return out
+}
+
+// histogram builds a log2-bucketed duration distribution.
+func histogram(durs []engine.Duration) Histogram {
+	h := Histogram{Count: len(durs)}
+	if len(durs) == 0 {
+		return h
+	}
+	var sum int64
+	h.MinNs = int64(durs[0])
+	buckets := map[int]int{}
+	for _, d := range durs {
+		ns := int64(d)
+		sum += ns
+		if ns < h.MinNs {
+			h.MinNs = ns
+		}
+		if ns > h.MaxNs {
+			h.MaxNs = ns
+		}
+		buckets[bucketOf(ns)]++
+	}
+	h.MeanNs = sum / int64(len(durs))
+	idxs := make([]int, 0, len(buckets))
+	for i := range buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		lo, hi := bucketBounds(i)
+		h.Buckets = append(h.Buckets, HistBucket{LoNs: lo, HiNs: hi, Count: buckets[i]})
+	}
+	return h
+}
+
+// bucketOf maps a duration to its bucket index: 0 holds [0,1), index i>0
+// holds [2^(i-1), 2^i).
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns))
+}
+
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// WriteJSON serializes the report with stable field order and indentation.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders the report as aligned, human-readable text.
+func (r Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %v\n", engine.Duration(r.MakespanNs))
+	fmt.Fprintf(&b, "\n%-12s %8s %9s %14s %12s\n", "resource", "spans", "instants", "busy", "utilization")
+	for _, m := range r.Resources {
+		fmt.Fprintf(&b, "%-12s %8d %9d %14v %11.1f%%\n",
+			m.Resource, m.Spans, m.Instants, engine.Duration(m.BusyNs), 100*m.Utilization)
+	}
+	fmt.Fprintf(&b, "\n%-16s %8s %9s %14s\n", "category", "spans", "instants", "busy")
+	for _, m := range r.Categories {
+		fmt.Fprintf(&b, "%-16s %8d %9d %14v\n",
+			m.Category, m.Spans, m.Instants, engine.Duration(m.BusyNs))
+	}
+	fmt.Fprintf(&b, "\ntransfer/compute overlap %v (%.1f%% of the achievable bound)\n",
+		engine.Duration(r.OverlapNs), 100*r.OverlapFraction)
+	if len(r.Occupancy) > 0 {
+		fmt.Fprintf(&b, "\npipeline-stage occupancy (share of makespan with K resources busy)\n")
+		for _, o := range r.Occupancy {
+			fmt.Fprintf(&b, "  K=%d %14v %6.1f%%\n", o.Busy, engine.Duration(o.TimeNs), 100*o.Fraction)
+		}
+	}
+	formatHist := func(name string, h Histogram) {
+		if h.Count == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "\n%s: %d spans, min %v, mean %v, max %v\n",
+			name, h.Count, engine.Duration(h.MinNs), engine.Duration(h.MeanNs), engine.Duration(h.MaxNs))
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "  [%12v, %12v) %6d %s\n",
+				engine.Duration(bk.LoNs), engine.Duration(bk.HiNs), bk.Count, strings.Repeat("#", scaleBar(bk.Count, h.Count)))
+		}
+	}
+	formatHist("transfer durations", r.Transfers)
+	formatHist("kernel durations", r.Kernels)
+	return b.String()
+}
+
+// scaleBar sizes a histogram bar to at most 40 columns.
+func scaleBar(count, total int) int {
+	if total == 0 {
+		return 0
+	}
+	n := count * 40 / total
+	if n == 0 && count > 0 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"comp/internal/sim/engine"
+)
+
+// sampleTrace builds a small pipelined timeline:
+//
+//	pcie-h2d    |<<<<....<<<<....|
+//	mic-compute |....####....####|
+//
+// with one overlapping pair and one fault instant.
+func sampleTrace() *engine.Trace {
+	tr := engine.NewTrace()
+	tr.Add(engine.Span{Resource: "pcie-h2d", Label: "in0", Cat: engine.CatDMAIn, Start: 0, End: 40,
+		Args: map[string]any{"bytes": 1024}})
+	tr.Add(engine.Span{Resource: "mic-compute", Label: "k0", Cat: engine.CatKernel, Start: 40, End: 80})
+	tr.Add(engine.Span{Resource: "pcie-h2d", Label: "in1", Cat: engine.CatDMAIn, Start: 60, End: 100})
+	tr.Add(engine.Span{Resource: "mic-compute", Label: "k1", Cat: engine.CatKernel, Start: 100, End: 140})
+	tr.Instant("runtime", "inject:dma", engine.CatFault, 60, map[string]any{"kind": "dma"})
+	return tr
+}
+
+func TestFromTraceResourceAggregation(t *testing.T) {
+	rep := FromTrace(sampleTrace(), 160)
+	if rep.MakespanNs != 160 {
+		t.Fatalf("makespan = %d, want 160", rep.MakespanNs)
+	}
+	byName := map[string]ResourceMetrics{}
+	for _, m := range rep.Resources {
+		byName[m.Resource] = m
+	}
+	h2d := byName["pcie-h2d"]
+	if h2d.Spans != 2 || h2d.BusyNs != 80 {
+		t.Errorf("pcie-h2d = %+v, want 2 spans / 80ns busy", h2d)
+	}
+	if got, want := h2d.Utilization, 0.5; got != want {
+		t.Errorf("pcie-h2d utilization = %v, want %v", got, want)
+	}
+	rt := byName["runtime"]
+	if rt.Spans != 0 || rt.Instants != 1 {
+		t.Errorf("runtime = %+v, want 0 spans / 1 instant", rt)
+	}
+	// Resources must be sorted by name for byte-stable JSON.
+	for i := 1; i < len(rep.Resources); i++ {
+		if rep.Resources[i-1].Resource > rep.Resources[i].Resource {
+			t.Fatalf("resources not sorted: %v", rep.Resources)
+		}
+	}
+}
+
+func TestFromTraceOverlap(t *testing.T) {
+	rep := FromTrace(sampleTrace(), 160)
+	// in1 [60,100) overlaps k0 [40,80) for 20ns.
+	if rep.OverlapNs != 20 {
+		t.Errorf("overlap = %d, want 20", rep.OverlapNs)
+	}
+	// Bound = min(transfer busy 80, compute busy 80) = 80.
+	if got, want := rep.OverlapFraction, 0.25; got != want {
+		t.Errorf("overlap fraction = %v, want %v", got, want)
+	}
+}
+
+func TestFromTraceOccupancy(t *testing.T) {
+	rep := FromTrace(sampleTrace(), 160)
+	// Busy intervals: [0,40) 1, [40,60) 1, [60,80) 2, [80,100) 1, [100,140) 1, [140,160) 0.
+	want := map[int]int64{0: 20, 1: 120, 2: 20}
+	got := map[int]int64{}
+	var frac float64
+	for _, o := range rep.Occupancy {
+		got[o.Busy] = o.TimeNs
+		frac += o.Fraction
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("occupancy K=%d = %d, want %d (all: %v)", k, got[k], w, rep.Occupancy)
+		}
+	}
+	if frac < 0.999 || frac > 1.001 {
+		t.Errorf("occupancy fractions sum to %v, want 1", frac)
+	}
+}
+
+func TestFromTraceHistograms(t *testing.T) {
+	rep := FromTrace(sampleTrace(), 160)
+	if rep.Transfers.Count != 2 || rep.Transfers.MinNs != 40 || rep.Transfers.MaxNs != 40 || rep.Transfers.MeanNs != 40 {
+		t.Errorf("transfers = %+v, want 2 spans of 40ns", rep.Transfers)
+	}
+	if rep.Kernels.Count != 2 {
+		t.Errorf("kernels count = %d, want 2", rep.Kernels.Count)
+	}
+	// 40ns lands in bucket [32,64).
+	if len(rep.Transfers.Buckets) != 1 || rep.Transfers.Buckets[0].LoNs != 32 || rep.Transfers.Buckets[0].HiNs != 64 {
+		t.Errorf("transfer buckets = %v, want single [32,64)", rep.Transfers.Buckets)
+	}
+}
+
+func TestFromTraceZeroMakespanFallsBackToSpanEnd(t *testing.T) {
+	rep := FromTrace(sampleTrace(), 0)
+	if rep.MakespanNs != 140 {
+		t.Errorf("inferred makespan = %d, want 140 (latest span end)", rep.MakespanNs)
+	}
+}
+
+func TestFromTraceEmpty(t *testing.T) {
+	rep := FromTrace(engine.NewTrace(), 0)
+	if len(rep.Resources) != 0 || rep.OverlapNs != 0 || rep.Transfers.Count != 0 {
+		t.Errorf("empty trace report = %+v, want zero values", rep)
+	}
+	if rep.Occupancy != nil {
+		t.Errorf("empty trace occupancy = %v, want nil", rep.Occupancy)
+	}
+}
+
+func TestBucketOfBounds(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		wantLo int64
+		wantHi int64
+	}{
+		{0, 0, 1},
+		{1, 1, 2},
+		{2, 2, 4},
+		{3, 2, 4},
+		{1023, 512, 1024},
+		{1024, 1024, 2048},
+	}
+	for _, c := range cases {
+		lo, hi := bucketBounds(bucketOf(c.ns))
+		if lo != c.wantLo || hi != c.wantHi {
+			t.Errorf("bucket of %d = [%d,%d), want [%d,%d)", c.ns, lo, hi, c.wantLo, c.wantHi)
+		}
+		if !(c.ns >= lo && c.ns < hi) {
+			t.Errorf("%d not inside its own bucket [%d,%d)", c.ns, lo, hi)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := FromTrace(sampleTrace(), 160)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.MakespanNs != rep.MakespanNs || back.OverlapNs != rep.OverlapNs ||
+		len(back.Resources) != len(rep.Resources) {
+		t.Errorf("round-tripped report differs: %+v vs %+v", back, rep)
+	}
+	// Determinism: encoding twice yields identical bytes.
+	var buf2 bytes.Buffer
+	if err := FromTrace(sampleTrace(), 160).WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("report JSON is not byte-stable")
+	}
+}
+
+func TestFormatMentionsKeySections(t *testing.T) {
+	out := FromTrace(sampleTrace(), 160).Format()
+	for _, want := range []string{"makespan", "resource", "category", "overlap", "occupancy", "transfer durations", "kernel durations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScaleBar(t *testing.T) {
+	if scaleBar(0, 10) != 0 {
+		t.Error("zero count should give zero bar")
+	}
+	if scaleBar(1, 1000) != 1 {
+		t.Error("nonzero count should give at least one column")
+	}
+	if scaleBar(10, 10) != 40 {
+		t.Error("full share should give 40 columns")
+	}
+	if scaleBar(5, 0) != 0 {
+		t.Error("zero total should give zero bar")
+	}
+}

@@ -86,14 +86,19 @@ func New(sim *engine.Sim, cfg Config) *Bus {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	h2d := sim.NewResource("pcie-h2d", 1)
+	h2d.SetCategory(engine.CatDMAIn)
+	d2h := sim.NewResource("pcie-d2h", 1)
+	d2h.SetCategory(engine.CatDMAOut)
 	return &Bus{
-		cfg: cfg,
-		chans: [2]*engine.Resource{
-			sim.NewResource("pcie-h2d", 1),
-			sim.NewResource("pcie-d2h", 1),
-		},
+		cfg:   cfg,
+		chans: [2]*engine.Resource{h2d, d2h},
 	}
 }
+
+// Resource exposes the DMA channel for one direction; the runtime attaches
+// engine.OverlapMeters to it so Stats.Overlap is trace-independent.
+func (b *Bus) Resource(dir Direction) *engine.Resource { return b.chans[dir] }
 
 // Config returns the bus parameters.
 func (b *Bus) Config() Config { return b.cfg }
@@ -121,10 +126,7 @@ func (b *Bus) TransferAfter(ready *engine.Event, dir Direction, label string, by
 	b.bytes[dir] += bytes
 	b.count[dir]++
 	d := b.TransferTime(bytes)
-	if ready == nil {
-		return ch.Submit(label, d)
-	}
-	return ch.SubmitAfter(ready, label, d)
+	return ch.SubmitTagged(ready, label, ch.Category(), d, map[string]any{"bytes": bytes})
 }
 
 // SetInjector attaches a fault injector; subsequent TryTransferAfter calls
@@ -143,10 +145,8 @@ func (b *Bus) TryTransferAfter(ready *engine.Event, dir Direction, label string,
 	b.faults++
 	ch := b.chans[dir]
 	d := b.cfg.SetupLatency + b.cfg.FaultLatency
-	if ready == nil {
-		return ch.Submit(label+"!fault", d), false
-	}
-	return ch.SubmitAfter(ready, label+"!fault", d), false
+	args := map[string]any{"bytes": bytes, "kind": "dma", "dir": dir.String()}
+	return ch.SubmitTagged(ready, label+"!fault", engine.CatFault, d, args), false
 }
 
 // FaultCount returns the number of injected DMA failures so far.

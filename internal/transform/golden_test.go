@@ -1,0 +1,89 @@
+package transform_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comp/internal/core"
+	"comp/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden transform outputs")
+
+// goldenOpts are the per-optimization configurations whose printed output
+// is pinned. Each is applied to every MiniC workload it fires on; the
+// golden file is the complete transformed source, so any change to the
+// streaming rewrite, offload merging or loop regularization shows up as a
+// reviewable source-level diff instead of a silent perf shift.
+var goldenOpts = []struct {
+	name string
+	opt  core.Options
+}{
+	{"streaming", core.Options{Streaming: true, ReduceMemory: true, Persistent: true, Blocks: 4}},
+	{"merge", core.Options{Merge: true}},
+	{"regularize", core.Options{Regularize: true}},
+	{"combined", func() core.Options { o := core.DefaultOptions(); o.Blocks = 4; return o }()},
+}
+
+// TestGoldenTransforms pins the printed output of each optimization on
+// each workload. Regenerate with:
+//
+//	go test ./internal/transform -run Golden -update
+func TestGoldenTransforms(t *testing.T) {
+	for _, b := range workloads.All() {
+		if b.SharedMem {
+			continue
+		}
+		b := b
+		for _, g := range goldenOpts {
+			g := g
+			t.Run(b.Name+"/"+g.name, func(t *testing.T) {
+				res, err := core.Optimize(b.Source, g.opt)
+				if err != nil {
+					t.Fatalf("optimize: %v", err)
+				}
+				var sb strings.Builder
+				fmt.Fprintf(&sb, "// golden: %s with %s\n", b.Name, g.name)
+				for _, a := range res.Report.Applied {
+					fmt.Fprintf(&sb, "// applied: %s\n", a)
+				}
+				sb.WriteString(res.Source())
+				got := sb.String()
+
+				path := filepath.Join("testdata", "golden", b.Name+"."+g.name+".c")
+				if *update {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update to create): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("transformed source differs from %s:\n%s\nregenerate with -update if the change is intended", path, diffHint(string(want), got))
+				}
+			})
+		}
+	}
+}
+
+// diffHint locates the first differing line for a readable failure.
+func diffHint(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first difference at line %d:\n-%s\n+%s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: golden %d lines, got %d lines", len(wl), len(gl))
+}

@@ -1,0 +1,47 @@
+// golden: bfs with merge
+int rs[16385];
+
+int col[98304];
+
+float dist[16384];
+
+float front[16384];
+
+float next[16384];
+
+int n;
+
+int levels;
+
+int main() {
+    int lvl;
+    int i;
+    int e;
+    n = 16384;
+    levels = 10;
+    for (lvl = 0; lvl < levels; lvl++) {
+        #pragma offload target(mic:0) in(rs : length(n + 1), col : length(98304), front : length(n), dist : length(n)) out(next : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            float nd = 0.0;
+            if (front[i] > 0.0) {
+                for (e = rs[i]; e < rs[i + 1]; e++) {
+                    float dn = dist[col[e]];
+                    if (dn > dist[i] + 1.0) {
+                        nd = nd + 1.0;
+                    }
+                }
+            }
+            next[i] = nd;
+        }
+        for (i = 0; i < n; i++) {
+            if (next[i] > 0.0) {
+                front[i] = 1.0;
+                dist[i] = dist[i] + exp(-next[i] * 0.125);
+            } else {
+                front[i] = front[i] * 0.5;
+            }
+        }
+    }
+    return 0;
+}

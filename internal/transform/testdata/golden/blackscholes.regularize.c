@@ -1,0 +1,61 @@
+// golden: blackscholes with regularize
+float sptprice[32768];
+
+float strike[32768];
+
+float rate[32768];
+
+float volatility[32768];
+
+float otime[32768];
+
+float prices[32768];
+
+int numOptions;
+
+int numRuns;
+
+float CNDF(float x) {
+    float sign = 1.0;
+    if (x < 0.0) {
+        x = -x;
+        sign = 0.0;
+    }
+    float k = 1.0 / (1.0 + 0.2316419 * x);
+    float kp = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    float nd = 1.0 - 0.39894228 * exp(-0.5 * x * x) * kp;
+    if (sign == 0.0) {
+        nd = 1.0 - nd;
+    }
+    return nd;
+}
+
+float BlkSchlsEqEuroNoDiv(float spt, float str, float r, float v, float t, int otype) {
+    float sqrtT = sqrt(t);
+    float d1 = (log(spt / str) + (r + 0.5 * v * v) * t) / (v * sqrtT);
+    float d2 = d1 - v * sqrtT;
+    float nd1 = CNDF(d1);
+    float nd2 = CNDF(d2);
+    float futureValue = str * exp(-r * t);
+    if (otype == 0) {
+        return spt * nd1 - futureValue * nd2;
+    }
+    return futureValue * (1.0 - nd2) - spt * (1.0 - nd1);
+}
+
+int main() {
+    int i;
+    int r;
+    numOptions = 32768;
+    numRuns = 2;
+    #pragma offload target(mic:0) in(sptprice : length(numOptions), strike : length(numOptions), rate : length(numOptions), volatility : length(numOptions), otime : length(numOptions)) out(prices : length(numOptions))
+    #pragma omp parallel for
+    for (i = 0; i < numOptions; i++) {
+        float price = 0.0;
+        for (r = 0; r < numRuns; r++) {
+            price = BlkSchlsEqEuroNoDiv(sptprice[i], strike[i], rate[i], volatility[i], otime[i], i % 2);
+        }
+        prices[i] = price;
+    }
+    return 0;
+}

@@ -1,0 +1,141 @@
+// golden: blackscholes with streaming
+// applied: stream at 46:5: pipelined into 4 blocks (reduceMemory=true persistent=true)
+float sptprice[32768];
+
+float strike[32768];
+
+float rate[32768];
+
+float volatility[32768];
+
+float otime[32768];
+
+float prices[32768];
+
+int numOptions;
+
+int numRuns;
+
+int __sig_a;
+
+int __sig_b;
+
+float *__sptprice_s1;
+
+float *__sptprice_s2;
+
+float *__strike_s1;
+
+float *__strike_s2;
+
+float *__rate_s1;
+
+float *__rate_s2;
+
+float *__volatility_s1;
+
+float *__volatility_s2;
+
+float *__otime_s1;
+
+float *__otime_s2;
+
+float *__prices_o;
+
+float CNDF(float x) {
+    float sign = 1.0;
+    if (x < 0.0) {
+        x = -x;
+        sign = 0.0;
+    }
+    float k = 1.0 / (1.0 + 0.2316419 * x);
+    float kp = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    float nd = 1.0 - 0.39894228 * exp(-0.5 * x * x) * kp;
+    if (sign == 0.0) {
+        nd = 1.0 - nd;
+    }
+    return nd;
+}
+
+float BlkSchlsEqEuroNoDiv(float spt, float str, float r, float v, float t, int otype) {
+    float sqrtT = sqrt(t);
+    float d1 = (log(spt / str) + (r + 0.5 * v * v) * t) / (v * sqrtT);
+    float d2 = d1 - v * sqrtT;
+    float nd1 = CNDF(d1);
+    float nd2 = CNDF(d2);
+    float futureValue = str * exp(-r * t);
+    if (otype == 0) {
+        return spt * nd1 - futureValue * nd2;
+    }
+    return futureValue * (1.0 - nd2) - spt * (1.0 - nd1);
+}
+
+int main() {
+    int i;
+    int r;
+    numOptions = 32768;
+    numRuns = 2;
+    {
+        int __n1 = numOptions - 0;
+        int __base3 = 0;
+        int __bs2 = (__n1 + 3) / 4;
+        #pragma offload_transfer target(mic:0) in(numOptions, numRuns) nocopy(__sptprice_s1 : length(__bs2) alloc_if(1) free_if(0), __sptprice_s2 : length(__bs2) alloc_if(1) free_if(0), __strike_s1 : length(__bs2) alloc_if(1) free_if(0), __strike_s2 : length(__bs2) alloc_if(1) free_if(0), __rate_s1 : length(__bs2) alloc_if(1) free_if(0), __rate_s2 : length(__bs2) alloc_if(1) free_if(0), __volatility_s1 : length(__bs2) alloc_if(1) free_if(0), __volatility_s2 : length(__bs2) alloc_if(1) free_if(0), __otime_s1 : length(__bs2) alloc_if(1) free_if(0), __otime_s2 : length(__bs2) alloc_if(1) free_if(0), __prices_o : length(__bs2) alloc_if(1) free_if(0))
+        int __len5 = __bs2;
+        if (0 + __bs2 > __n1) {
+            __len5 = __n1 - 0;
+        }
+        #pragma offload_transfer target(mic:0) in(sptprice[__base3 + 0 : __len5] : into(__sptprice_s1[0 : __len5]) alloc_if(0) free_if(0), strike[__base3 + 0 : __len5] : into(__strike_s1[0 : __len5]) alloc_if(0) free_if(0), rate[__base3 + 0 : __len5] : into(__rate_s1[0 : __len5]) alloc_if(0) free_if(0), volatility[__base3 + 0 : __len5] : into(__volatility_s1[0 : __len5]) alloc_if(0) free_if(0), otime[__base3 + 0 : __len5] : into(__otime_s1[0 : __len5]) alloc_if(0) free_if(0)) signal(&__sig_a)
+        for (int __blk4 = 0; __blk4 < 4; __blk4++) {
+            int __off6 = __blk4 * __bs2;
+            int __len7 = __bs2;
+            if (__off6 + __bs2 > __n1) {
+                __len7 = __n1 - __off6;
+            }
+            if (__len7 > 0) {
+                if (__blk4 % 2 == 0) {
+                    if (__blk4 + 1 < 4) {
+                        int __noff8 = (__blk4 + 1) * __bs2;
+                        int __nlen9 = __bs2;
+                        if (__noff8 + __bs2 > __n1) {
+                            __nlen9 = __n1 - __noff8;
+                        }
+                        if (__nlen9 > 0) {
+                            #pragma offload_transfer target(mic:0) in(sptprice[__base3 + __noff8 : __nlen9] : into(__sptprice_s2[0 : __nlen9]) alloc_if(0) free_if(0), strike[__base3 + __noff8 : __nlen9] : into(__strike_s2[0 : __nlen9]) alloc_if(0) free_if(0), rate[__base3 + __noff8 : __nlen9] : into(__rate_s2[0 : __nlen9]) alloc_if(0) free_if(0), volatility[__base3 + __noff8 : __nlen9] : into(__volatility_s2[0 : __nlen9]) alloc_if(0) free_if(0), otime[__base3 + __noff8 : __nlen9] : into(__otime_s2[0 : __nlen9]) alloc_if(0) free_if(0)) signal(&__sig_b)
+                        }
+                    }
+                    #pragma offload target(mic:0) out(__prices_o[0 : __len7] : into(prices[__base3 + __off6 : __len7]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a)
+                    #pragma omp parallel for
+                    for (int __j10 = 0; __j10 < __len7; __j10++) {
+                        float price = 0.0;
+                        for (r = 0; r < numRuns; r++) {
+                            price = BlkSchlsEqEuroNoDiv(__sptprice_s1[__j10], __strike_s1[__j10], __rate_s1[__j10], __volatility_s1[__j10], __otime_s1[__j10], (__base3 + __off6 + __j10) % 2);
+                        }
+                        __prices_o[__j10] = price;
+                    }
+                } else {
+                    if (__blk4 + 1 < 4) {
+                        int __noff11 = (__blk4 + 1) * __bs2;
+                        int __nlen12 = __bs2;
+                        if (__noff11 + __bs2 > __n1) {
+                            __nlen12 = __n1 - __noff11;
+                        }
+                        if (__nlen12 > 0) {
+                            #pragma offload_transfer target(mic:0) in(sptprice[__base3 + __noff11 : __nlen12] : into(__sptprice_s1[0 : __nlen12]) alloc_if(0) free_if(0), strike[__base3 + __noff11 : __nlen12] : into(__strike_s1[0 : __nlen12]) alloc_if(0) free_if(0), rate[__base3 + __noff11 : __nlen12] : into(__rate_s1[0 : __nlen12]) alloc_if(0) free_if(0), volatility[__base3 + __noff11 : __nlen12] : into(__volatility_s1[0 : __nlen12]) alloc_if(0) free_if(0), otime[__base3 + __noff11 : __nlen12] : into(__otime_s1[0 : __nlen12]) alloc_if(0) free_if(0)) signal(&__sig_a)
+                        }
+                    }
+                    #pragma offload target(mic:0) out(__prices_o[0 : __len7] : into(prices[__base3 + __off6 : __len7]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b)
+                    #pragma omp parallel for
+                    for (int __j13 = 0; __j13 < __len7; __j13++) {
+                        float price = 0.0;
+                        for (r = 0; r < numRuns; r++) {
+                            price = BlkSchlsEqEuroNoDiv(__sptprice_s2[__j13], __strike_s2[__j13], __rate_s2[__j13], __volatility_s2[__j13], __otime_s2[__j13], (__base3 + __off6 + __j13) % 2);
+                        }
+                        __prices_o[__j13] = price;
+                    }
+                }
+            }
+        }
+        #pragma offload_transfer target(mic:0) nocopy(__sptprice_s1 : length(1) alloc_if(0) free_if(1), __sptprice_s2 : length(1) alloc_if(0) free_if(1), __strike_s1 : length(1) alloc_if(0) free_if(1), __strike_s2 : length(1) alloc_if(0) free_if(1), __rate_s1 : length(1) alloc_if(0) free_if(1), __rate_s2 : length(1) alloc_if(0) free_if(1), __volatility_s1 : length(1) alloc_if(0) free_if(1), __volatility_s2 : length(1) alloc_if(0) free_if(1), __otime_s1 : length(1) alloc_if(0) free_if(1), __otime_s2 : length(1) alloc_if(0) free_if(1), __prices_o : length(1) alloc_if(0) free_if(1))
+    }
+    return 0;
+}

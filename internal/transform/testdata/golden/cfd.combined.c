@@ -1,0 +1,46 @@
+// golden: cfd with combined
+// applied: merge at 16:5: hoisted 3 inner offloads into one region
+float density[3072];
+
+float momentum[3072];
+
+float energy[3072];
+
+float stepf[3072];
+
+float flux[3072];
+
+int nb[3072];
+
+int n;
+
+int iters;
+
+int main() {
+    int it;
+    int i;
+    n = 3072;
+    iters = 200;
+    #pragma offload target(mic:0) in(nb : length(n)) inout(density : length(n), energy : length(n), flux : length(n), momentum : length(n), stepf : length(n))
+    for (it = 0; it < iters; it++) {
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            stepf[i] = 0.5 / (sqrt(fabs(density[i]) + 1.0) + momentum[i] * momentum[i]);
+        }
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            float f = density[i] * stepf[i];
+            if (nb[i] >= 0) {
+                f += density[nb[i]] * 0.25;
+            }
+            flux[i] = f;
+        }
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            density[i] = density[i] + flux[i] * stepf[i];
+            momentum[i] = momentum[i] * 0.9995;
+            energy[i] = energy[i] + flux[i] * 0.125;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,187 @@
+// golden: cfd with streaming
+// applied: stream at 19:9: pipelined into 4 blocks (reduceMemory=true persistent=true)
+// applied: stream at 33:9: pipelined into 4 blocks (reduceMemory=true persistent=true)
+float density[3072];
+
+float momentum[3072];
+
+float energy[3072];
+
+float stepf[3072];
+
+float flux[3072];
+
+int nb[3072];
+
+int n;
+
+int iters;
+
+int __sig_a;
+
+int __sig_b;
+
+float *__density_s1;
+
+float *__density_s2;
+
+float *__momentum_s1;
+
+float *__momentum_s2;
+
+float *__stepf_o;
+
+int __sig_a5;
+
+int __sig_b6;
+
+float *__flux_s1;
+
+float *__flux_s2;
+
+float *__stepf_s1;
+
+float *__stepf_s2;
+
+float *__density_s17;
+
+float *__density_s28;
+
+float *__momentum_s19;
+
+float *__momentum_s210;
+
+float *__energy_s1;
+
+float *__energy_s2;
+
+int main() {
+    int it;
+    int i;
+    n = 3072;
+    iters = 200;
+    for (it = 0; it < iters; it++) {
+        {
+            int __n1 = n - 0;
+            int __base3 = 0;
+            int __bs2 = (__n1 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(n) nocopy(__density_s1 : length(__bs2) alloc_if(1) free_if(0), __density_s2 : length(__bs2) alloc_if(1) free_if(0), __momentum_s1 : length(__bs2) alloc_if(1) free_if(0), __momentum_s2 : length(__bs2) alloc_if(1) free_if(0), __stepf_o : length(__bs2) alloc_if(1) free_if(0))
+            int __len5 = __bs2;
+            if (0 + __bs2 > __n1) {
+                __len5 = __n1 - 0;
+            }
+            #pragma offload_transfer target(mic:0) in(density[__base3 + 0 : __len5] : into(__density_s1[0 : __len5]) alloc_if(0) free_if(0), momentum[__base3 + 0 : __len5] : into(__momentum_s1[0 : __len5]) alloc_if(0) free_if(0)) signal(&__sig_a)
+            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
+                int __off6 = __blk4 * __bs2;
+                int __len7 = __bs2;
+                if (__off6 + __bs2 > __n1) {
+                    __len7 = __n1 - __off6;
+                }
+                if (__len7 > 0) {
+                    if (__blk4 % 2 == 0) {
+                        if (__blk4 + 1 < 4) {
+                            int __noff8 = (__blk4 + 1) * __bs2;
+                            int __nlen9 = __bs2;
+                            if (__noff8 + __bs2 > __n1) {
+                                __nlen9 = __n1 - __noff8;
+                            }
+                            if (__nlen9 > 0) {
+                                #pragma offload_transfer target(mic:0) in(density[__base3 + __noff8 : __nlen9] : into(__density_s2[0 : __nlen9]) alloc_if(0) free_if(0), momentum[__base3 + __noff8 : __nlen9] : into(__momentum_s2[0 : __nlen9]) alloc_if(0) free_if(0)) signal(&__sig_b)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__stepf_o[0 : __len7] : into(stepf[__base3 + __off6 : __len7]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a)
+                        #pragma omp parallel for
+                        for (int __j10 = 0; __j10 < __len7; __j10++) {
+                            __stepf_o[__j10] = 0.5 / (sqrt(fabs(__density_s1[__j10]) + 1.0) + __momentum_s1[__j10] * __momentum_s1[__j10]);
+                        }
+                    } else {
+                        if (__blk4 + 1 < 4) {
+                            int __noff11 = (__blk4 + 1) * __bs2;
+                            int __nlen12 = __bs2;
+                            if (__noff11 + __bs2 > __n1) {
+                                __nlen12 = __n1 - __noff11;
+                            }
+                            if (__nlen12 > 0) {
+                                #pragma offload_transfer target(mic:0) in(density[__base3 + __noff11 : __nlen12] : into(__density_s1[0 : __nlen12]) alloc_if(0) free_if(0), momentum[__base3 + __noff11 : __nlen12] : into(__momentum_s1[0 : __nlen12]) alloc_if(0) free_if(0)) signal(&__sig_a)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__stepf_o[0 : __len7] : into(stepf[__base3 + __off6 : __len7]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b)
+                        #pragma omp parallel for
+                        for (int __j13 = 0; __j13 < __len7; __j13++) {
+                            __stepf_o[__j13] = 0.5 / (sqrt(fabs(__density_s2[__j13]) + 1.0) + __momentum_s2[__j13] * __momentum_s2[__j13]);
+                        }
+                    }
+                }
+            }
+            #pragma offload_transfer target(mic:0) nocopy(__density_s1 : length(1) alloc_if(0) free_if(1), __density_s2 : length(1) alloc_if(0) free_if(1), __momentum_s1 : length(1) alloc_if(0) free_if(1), __momentum_s2 : length(1) alloc_if(0) free_if(1), __stepf_o : length(1) alloc_if(0) free_if(1))
+        }
+        #pragma offload target(mic:0) in(density : length(n), stepf : length(n), nb : length(n)) out(flux : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            float f = density[i] * stepf[i];
+            if (nb[i] >= 0) {
+                f += density[nb[i]] * 0.25;
+            }
+            flux[i] = f;
+        }
+        {
+            int __n1 = n - 0;
+            int __base3 = 0;
+            int __bs2 = (__n1 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(n) nocopy(__flux_s1 : length(__bs2) alloc_if(1) free_if(0), __flux_s2 : length(__bs2) alloc_if(1) free_if(0), __stepf_s1 : length(__bs2) alloc_if(1) free_if(0), __stepf_s2 : length(__bs2) alloc_if(1) free_if(0), __density_s17 : length(__bs2) alloc_if(1) free_if(0), __density_s28 : length(__bs2) alloc_if(1) free_if(0), __momentum_s19 : length(__bs2) alloc_if(1) free_if(0), __momentum_s210 : length(__bs2) alloc_if(1) free_if(0), __energy_s1 : length(__bs2) alloc_if(1) free_if(0), __energy_s2 : length(__bs2) alloc_if(1) free_if(0))
+            int __len11 = __bs2;
+            if (0 + __bs2 > __n1) {
+                __len11 = __n1 - 0;
+            }
+            #pragma offload_transfer target(mic:0) in(flux[__base3 + 0 : __len11] : into(__flux_s1[0 : __len11]) alloc_if(0) free_if(0), stepf[__base3 + 0 : __len11] : into(__stepf_s1[0 : __len11]) alloc_if(0) free_if(0), density[__base3 + 0 : __len11] : into(__density_s17[0 : __len11]) alloc_if(0) free_if(0), momentum[__base3 + 0 : __len11] : into(__momentum_s19[0 : __len11]) alloc_if(0) free_if(0), energy[__base3 + 0 : __len11] : into(__energy_s1[0 : __len11]) alloc_if(0) free_if(0)) signal(&__sig_a5)
+            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
+                int __off12 = __blk4 * __bs2;
+                int __len13 = __bs2;
+                if (__off12 + __bs2 > __n1) {
+                    __len13 = __n1 - __off12;
+                }
+                if (__len13 > 0) {
+                    if (__blk4 % 2 == 0) {
+                        if (__blk4 + 1 < 4) {
+                            int __noff14 = (__blk4 + 1) * __bs2;
+                            int __nlen15 = __bs2;
+                            if (__noff14 + __bs2 > __n1) {
+                                __nlen15 = __n1 - __noff14;
+                            }
+                            if (__nlen15 > 0) {
+                                #pragma offload_transfer target(mic:0) in(flux[__base3 + __noff14 : __nlen15] : into(__flux_s2[0 : __nlen15]) alloc_if(0) free_if(0), stepf[__base3 + __noff14 : __nlen15] : into(__stepf_s2[0 : __nlen15]) alloc_if(0) free_if(0), density[__base3 + __noff14 : __nlen15] : into(__density_s28[0 : __nlen15]) alloc_if(0) free_if(0), momentum[__base3 + __noff14 : __nlen15] : into(__momentum_s210[0 : __nlen15]) alloc_if(0) free_if(0), energy[__base3 + __noff14 : __nlen15] : into(__energy_s2[0 : __nlen15]) alloc_if(0) free_if(0)) signal(&__sig_b6)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__density_s17[0 : __len13] : into(density[__base3 + __off12 : __len13]) alloc_if(0) free_if(0), __momentum_s19[0 : __len13] : into(momentum[__base3 + __off12 : __len13]) alloc_if(0) free_if(0), __energy_s1[0 : __len13] : into(energy[__base3 + __off12 : __len13]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a5)
+                        #pragma omp parallel for
+                        for (int __j16 = 0; __j16 < __len13; __j16++) {
+                            __density_s17[__j16] = __density_s17[__j16] + __flux_s1[__j16] * __stepf_s1[__j16];
+                            __momentum_s19[__j16] = __momentum_s19[__j16] * 0.9995;
+                            __energy_s1[__j16] = __energy_s1[__j16] + __flux_s1[__j16] * 0.125;
+                        }
+                    } else {
+                        if (__blk4 + 1 < 4) {
+                            int __noff17 = (__blk4 + 1) * __bs2;
+                            int __nlen18 = __bs2;
+                            if (__noff17 + __bs2 > __n1) {
+                                __nlen18 = __n1 - __noff17;
+                            }
+                            if (__nlen18 > 0) {
+                                #pragma offload_transfer target(mic:0) in(flux[__base3 + __noff17 : __nlen18] : into(__flux_s1[0 : __nlen18]) alloc_if(0) free_if(0), stepf[__base3 + __noff17 : __nlen18] : into(__stepf_s1[0 : __nlen18]) alloc_if(0) free_if(0), density[__base3 + __noff17 : __nlen18] : into(__density_s17[0 : __nlen18]) alloc_if(0) free_if(0), momentum[__base3 + __noff17 : __nlen18] : into(__momentum_s19[0 : __nlen18]) alloc_if(0) free_if(0), energy[__base3 + __noff17 : __nlen18] : into(__energy_s1[0 : __nlen18]) alloc_if(0) free_if(0)) signal(&__sig_a5)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__density_s28[0 : __len13] : into(density[__base3 + __off12 : __len13]) alloc_if(0) free_if(0), __momentum_s210[0 : __len13] : into(momentum[__base3 + __off12 : __len13]) alloc_if(0) free_if(0), __energy_s2[0 : __len13] : into(energy[__base3 + __off12 : __len13]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b6)
+                        #pragma omp parallel for
+                        for (int __j19 = 0; __j19 < __len13; __j19++) {
+                            __density_s28[__j19] = __density_s28[__j19] + __flux_s2[__j19] * __stepf_s2[__j19];
+                            __momentum_s210[__j19] = __momentum_s210[__j19] * 0.9995;
+                            __energy_s2[__j19] = __energy_s2[__j19] + __flux_s2[__j19] * 0.125;
+                        }
+                    }
+                }
+            }
+            #pragma offload_transfer target(mic:0) nocopy(__flux_s1 : length(1) alloc_if(0) free_if(1), __flux_s2 : length(1) alloc_if(0) free_if(1), __stepf_s1 : length(1) alloc_if(0) free_if(1), __stepf_s2 : length(1) alloc_if(0) free_if(1), __density_s17 : length(1) alloc_if(0) free_if(1), __density_s28 : length(1) alloc_if(0) free_if(1), __momentum_s19 : length(1) alloc_if(0) free_if(1), __momentum_s210 : length(1) alloc_if(0) free_if(1), __energy_s1 : length(1) alloc_if(0) free_if(1), __energy_s2 : length(1) alloc_if(0) free_if(1))
+        }
+    }
+    return 0;
+}

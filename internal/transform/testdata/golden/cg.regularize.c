@@ -1,0 +1,39 @@
+// golden: cg with regularize
+float ad0[16384];
+
+float ad1[16384];
+
+float ad2[16384];
+
+float ad3[16384];
+
+float x[16384];
+
+float q[16384];
+
+float z[16384];
+
+int n;
+
+int iters;
+
+int main() {
+    int it;
+    int i;
+    n = 16384;
+    iters = 80;
+    for (it = 0; it < iters; it++) {
+        #pragma offload target(mic:0) in(ad0 : length(n), ad1 : length(n), ad2 : length(n), ad3 : length(n), x : length(n)) out(q : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            q[i] = ad0[i] * x[i] + ad1[i] * x[i] * 0.5 + ad2[i] * x[i] * 0.25 + ad3[i] * x[i] * 0.125;
+        }
+        #pragma offload target(mic:0) in(q : length(n)) inout(z : length(n), x : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            z[i] = z[i] + 0.3 * q[i];
+            x[i] = x[i] * 0.999 + z[i] * 0.001;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,182 @@
+// golden: cg with streaming
+// applied: stream at 22:9: pipelined into 4 blocks (reduceMemory=true persistent=true)
+// applied: stream at 28:9: pipelined into 4 blocks (reduceMemory=true persistent=true)
+float ad0[16384];
+
+float ad1[16384];
+
+float ad2[16384];
+
+float ad3[16384];
+
+float x[16384];
+
+float q[16384];
+
+float z[16384];
+
+int n;
+
+int iters;
+
+int __sig_a;
+
+int __sig_b;
+
+float *__ad0_s1;
+
+float *__ad0_s2;
+
+float *__ad1_s1;
+
+float *__ad1_s2;
+
+float *__ad2_s1;
+
+float *__ad2_s2;
+
+float *__ad3_s1;
+
+float *__ad3_s2;
+
+float *__x_s1;
+
+float *__x_s2;
+
+float *__q_o;
+
+int __sig_a5;
+
+int __sig_b6;
+
+float *__q_s1;
+
+float *__q_s2;
+
+float *__z_s1;
+
+float *__z_s2;
+
+float *__x_s17;
+
+float *__x_s28;
+
+int main() {
+    int it;
+    int i;
+    n = 16384;
+    iters = 80;
+    for (it = 0; it < iters; it++) {
+        {
+            int __n1 = n - 0;
+            int __base3 = 0;
+            int __bs2 = (__n1 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(n) nocopy(__ad0_s1 : length(__bs2) alloc_if(1) free_if(0), __ad0_s2 : length(__bs2) alloc_if(1) free_if(0), __ad1_s1 : length(__bs2) alloc_if(1) free_if(0), __ad1_s2 : length(__bs2) alloc_if(1) free_if(0), __ad2_s1 : length(__bs2) alloc_if(1) free_if(0), __ad2_s2 : length(__bs2) alloc_if(1) free_if(0), __ad3_s1 : length(__bs2) alloc_if(1) free_if(0), __ad3_s2 : length(__bs2) alloc_if(1) free_if(0), __x_s1 : length(__bs2) alloc_if(1) free_if(0), __x_s2 : length(__bs2) alloc_if(1) free_if(0), __q_o : length(__bs2) alloc_if(1) free_if(0))
+            int __len5 = __bs2;
+            if (0 + __bs2 > __n1) {
+                __len5 = __n1 - 0;
+            }
+            #pragma offload_transfer target(mic:0) in(ad0[__base3 + 0 : __len5] : into(__ad0_s1[0 : __len5]) alloc_if(0) free_if(0), ad1[__base3 + 0 : __len5] : into(__ad1_s1[0 : __len5]) alloc_if(0) free_if(0), ad2[__base3 + 0 : __len5] : into(__ad2_s1[0 : __len5]) alloc_if(0) free_if(0), ad3[__base3 + 0 : __len5] : into(__ad3_s1[0 : __len5]) alloc_if(0) free_if(0), x[__base3 + 0 : __len5] : into(__x_s1[0 : __len5]) alloc_if(0) free_if(0)) signal(&__sig_a)
+            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
+                int __off6 = __blk4 * __bs2;
+                int __len7 = __bs2;
+                if (__off6 + __bs2 > __n1) {
+                    __len7 = __n1 - __off6;
+                }
+                if (__len7 > 0) {
+                    if (__blk4 % 2 == 0) {
+                        if (__blk4 + 1 < 4) {
+                            int __noff8 = (__blk4 + 1) * __bs2;
+                            int __nlen9 = __bs2;
+                            if (__noff8 + __bs2 > __n1) {
+                                __nlen9 = __n1 - __noff8;
+                            }
+                            if (__nlen9 > 0) {
+                                #pragma offload_transfer target(mic:0) in(ad0[__base3 + __noff8 : __nlen9] : into(__ad0_s2[0 : __nlen9]) alloc_if(0) free_if(0), ad1[__base3 + __noff8 : __nlen9] : into(__ad1_s2[0 : __nlen9]) alloc_if(0) free_if(0), ad2[__base3 + __noff8 : __nlen9] : into(__ad2_s2[0 : __nlen9]) alloc_if(0) free_if(0), ad3[__base3 + __noff8 : __nlen9] : into(__ad3_s2[0 : __nlen9]) alloc_if(0) free_if(0), x[__base3 + __noff8 : __nlen9] : into(__x_s2[0 : __nlen9]) alloc_if(0) free_if(0)) signal(&__sig_b)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__q_o[0 : __len7] : into(q[__base3 + __off6 : __len7]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a)
+                        #pragma omp parallel for
+                        for (int __j10 = 0; __j10 < __len7; __j10++) {
+                            __q_o[__j10] = __ad0_s1[__j10] * __x_s1[__j10] + __ad1_s1[__j10] * __x_s1[__j10] * 0.5 + __ad2_s1[__j10] * __x_s1[__j10] * 0.25 + __ad3_s1[__j10] * __x_s1[__j10] * 0.125;
+                        }
+                    } else {
+                        if (__blk4 + 1 < 4) {
+                            int __noff11 = (__blk4 + 1) * __bs2;
+                            int __nlen12 = __bs2;
+                            if (__noff11 + __bs2 > __n1) {
+                                __nlen12 = __n1 - __noff11;
+                            }
+                            if (__nlen12 > 0) {
+                                #pragma offload_transfer target(mic:0) in(ad0[__base3 + __noff11 : __nlen12] : into(__ad0_s1[0 : __nlen12]) alloc_if(0) free_if(0), ad1[__base3 + __noff11 : __nlen12] : into(__ad1_s1[0 : __nlen12]) alloc_if(0) free_if(0), ad2[__base3 + __noff11 : __nlen12] : into(__ad2_s1[0 : __nlen12]) alloc_if(0) free_if(0), ad3[__base3 + __noff11 : __nlen12] : into(__ad3_s1[0 : __nlen12]) alloc_if(0) free_if(0), x[__base3 + __noff11 : __nlen12] : into(__x_s1[0 : __nlen12]) alloc_if(0) free_if(0)) signal(&__sig_a)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__q_o[0 : __len7] : into(q[__base3 + __off6 : __len7]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b)
+                        #pragma omp parallel for
+                        for (int __j13 = 0; __j13 < __len7; __j13++) {
+                            __q_o[__j13] = __ad0_s2[__j13] * __x_s2[__j13] + __ad1_s2[__j13] * __x_s2[__j13] * 0.5 + __ad2_s2[__j13] * __x_s2[__j13] * 0.25 + __ad3_s2[__j13] * __x_s2[__j13] * 0.125;
+                        }
+                    }
+                }
+            }
+            #pragma offload_transfer target(mic:0) nocopy(__ad0_s1 : length(1) alloc_if(0) free_if(1), __ad0_s2 : length(1) alloc_if(0) free_if(1), __ad1_s1 : length(1) alloc_if(0) free_if(1), __ad1_s2 : length(1) alloc_if(0) free_if(1), __ad2_s1 : length(1) alloc_if(0) free_if(1), __ad2_s2 : length(1) alloc_if(0) free_if(1), __ad3_s1 : length(1) alloc_if(0) free_if(1), __ad3_s2 : length(1) alloc_if(0) free_if(1), __x_s1 : length(1) alloc_if(0) free_if(1), __x_s2 : length(1) alloc_if(0) free_if(1), __q_o : length(1) alloc_if(0) free_if(1))
+        }
+        {
+            int __n1 = n - 0;
+            int __base3 = 0;
+            int __bs2 = (__n1 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(n) nocopy(__q_s1 : length(__bs2) alloc_if(1) free_if(0), __q_s2 : length(__bs2) alloc_if(1) free_if(0), __z_s1 : length(__bs2) alloc_if(1) free_if(0), __z_s2 : length(__bs2) alloc_if(1) free_if(0), __x_s17 : length(__bs2) alloc_if(1) free_if(0), __x_s28 : length(__bs2) alloc_if(1) free_if(0))
+            int __len9 = __bs2;
+            if (0 + __bs2 > __n1) {
+                __len9 = __n1 - 0;
+            }
+            #pragma offload_transfer target(mic:0) in(q[__base3 + 0 : __len9] : into(__q_s1[0 : __len9]) alloc_if(0) free_if(0), z[__base3 + 0 : __len9] : into(__z_s1[0 : __len9]) alloc_if(0) free_if(0), x[__base3 + 0 : __len9] : into(__x_s17[0 : __len9]) alloc_if(0) free_if(0)) signal(&__sig_a5)
+            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
+                int __off10 = __blk4 * __bs2;
+                int __len11 = __bs2;
+                if (__off10 + __bs2 > __n1) {
+                    __len11 = __n1 - __off10;
+                }
+                if (__len11 > 0) {
+                    if (__blk4 % 2 == 0) {
+                        if (__blk4 + 1 < 4) {
+                            int __noff12 = (__blk4 + 1) * __bs2;
+                            int __nlen13 = __bs2;
+                            if (__noff12 + __bs2 > __n1) {
+                                __nlen13 = __n1 - __noff12;
+                            }
+                            if (__nlen13 > 0) {
+                                #pragma offload_transfer target(mic:0) in(q[__base3 + __noff12 : __nlen13] : into(__q_s2[0 : __nlen13]) alloc_if(0) free_if(0), z[__base3 + __noff12 : __nlen13] : into(__z_s2[0 : __nlen13]) alloc_if(0) free_if(0), x[__base3 + __noff12 : __nlen13] : into(__x_s28[0 : __nlen13]) alloc_if(0) free_if(0)) signal(&__sig_b6)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__z_s1[0 : __len11] : into(z[__base3 + __off10 : __len11]) alloc_if(0) free_if(0), __x_s17[0 : __len11] : into(x[__base3 + __off10 : __len11]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a5)
+                        #pragma omp parallel for
+                        for (int __j14 = 0; __j14 < __len11; __j14++) {
+                            __z_s1[__j14] = __z_s1[__j14] + 0.3 * __q_s1[__j14];
+                            __x_s17[__j14] = __x_s17[__j14] * 0.999 + __z_s1[__j14] * 0.001;
+                        }
+                    } else {
+                        if (__blk4 + 1 < 4) {
+                            int __noff15 = (__blk4 + 1) * __bs2;
+                            int __nlen16 = __bs2;
+                            if (__noff15 + __bs2 > __n1) {
+                                __nlen16 = __n1 - __noff15;
+                            }
+                            if (__nlen16 > 0) {
+                                #pragma offload_transfer target(mic:0) in(q[__base3 + __noff15 : __nlen16] : into(__q_s1[0 : __nlen16]) alloc_if(0) free_if(0), z[__base3 + __noff15 : __nlen16] : into(__z_s1[0 : __nlen16]) alloc_if(0) free_if(0), x[__base3 + __noff15 : __nlen16] : into(__x_s17[0 : __nlen16]) alloc_if(0) free_if(0)) signal(&__sig_a5)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__z_s2[0 : __len11] : into(z[__base3 + __off10 : __len11]) alloc_if(0) free_if(0), __x_s28[0 : __len11] : into(x[__base3 + __off10 : __len11]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b6)
+                        #pragma omp parallel for
+                        for (int __j17 = 0; __j17 < __len11; __j17++) {
+                            __z_s2[__j17] = __z_s2[__j17] + 0.3 * __q_s2[__j17];
+                            __x_s28[__j17] = __x_s28[__j17] * 0.999 + __z_s2[__j17] * 0.001;
+                        }
+                    }
+                }
+            }
+            #pragma offload_transfer target(mic:0) nocopy(__q_s1 : length(1) alloc_if(0) free_if(1), __q_s2 : length(1) alloc_if(0) free_if(1), __z_s1 : length(1) alloc_if(0) free_if(1), __z_s2 : length(1) alloc_if(0) free_if(1), __x_s17 : length(1) alloc_if(0) free_if(1), __x_s28 : length(1) alloc_if(0) free_if(1))
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+// golden: dedup with combined
+float chunks[65536];
+
+float hashes[65536];
+
+float *buf1;
+
+float *buf2;
+
+float *outb;
+
+int sig0;
+
+int sig1;
+
+int n;
+
+int main() {
+    int i;
+    int blk;
+    n = 65536;
+    int bs = n / 16;
+    #pragma offload_transfer target(mic:0) nocopy(buf1 : length(bs) alloc_if(1) free_if(0), buf2 : length(bs) alloc_if(1) free_if(0), outb : length(bs) alloc_if(1) free_if(0))
+    #pragma offload_transfer target(mic:0) in(chunks[0 : bs] : into(buf1) alloc_if(0) free_if(0)) signal(&sig0)
+    for (blk = 0; blk < 16; blk++) {
+        if (blk % 2 == 0) {
+            if (blk + 1 < 16) {
+                #pragma offload_transfer target(mic:0) in(chunks[(blk + 1) * bs : bs] : into(buf2) alloc_if(0) free_if(0)) signal(&sig1)
+            }
+            #pragma offload target(mic:0) out(outb[0 : bs] : into(hashes[blk * bs : bs]) alloc_if(0) free_if(0)) wait(&sig0)
+            #pragma omp parallel for
+            for (i = 0; i < bs; i++) {
+                float h = buf1[i] * 2654435761.0;
+                h = h - floor(h / 65536.0) * 65536.0;
+                float roll = h;
+                roll = roll * 31.0 + buf1[i];
+                roll = roll - floor(roll / 8191.0) * 8191.0;
+                float mix = exp(-roll * 0.0001) + log(h + 2.0) + pow(roll + 1.0, 0.25);
+                outb[i] = roll + sqrt(h + 1.0) + mix * 0.001 + exp(-h * 0.00001);
+            }
+        } else {
+            if (blk + 1 < 16) {
+                #pragma offload_transfer target(mic:0) in(chunks[(blk + 1) * bs : bs] : into(buf1) alloc_if(0) free_if(0)) signal(&sig0)
+            }
+            #pragma offload target(mic:0) out(outb[0 : bs] : into(hashes[blk * bs : bs]) alloc_if(0) free_if(0)) wait(&sig1)
+            #pragma omp parallel for
+            for (i = 0; i < bs; i++) {
+                float h = buf2[i] * 2654435761.0;
+                h = h - floor(h / 65536.0) * 65536.0;
+                float roll = h;
+                roll = roll * 31.0 + buf2[i];
+                roll = roll - floor(roll / 8191.0) * 8191.0;
+                float mix = exp(-roll * 0.0001) + log(h + 2.0) + pow(roll + 1.0, 0.25);
+                outb[i] = roll + sqrt(h + 1.0) + mix * 0.001 + exp(-h * 0.00001);
+            }
+        }
+    }
+    return 0;
+}

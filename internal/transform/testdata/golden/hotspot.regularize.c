@@ -1,0 +1,35 @@
+// golden: hotspot with regularize
+float temp[32768];
+
+float temp2[32768];
+
+float power[32768];
+
+int n;
+
+int steps;
+
+int main() {
+    int s;
+    int i;
+    n = 32768;
+    steps = 50;
+    float acc = 0.0;
+    for (i = 0; i < n; i++) {
+        acc = acc + power[i] * 0.01 + exp(-power[i]) + log(power[i] + 1.5) + pow(power[i] + 0.5, 0.3);
+        acc = acc - floor(acc) + sqrt(acc + 2.0) * 0.001;
+    }
+    #pragma offload target(mic:0) in(power : length(n)) inout(temp : length(n), temp2 : length(n))
+    for (s = 0; s < steps; s++) {
+        #pragma omp parallel for
+        for (i = 1; i < n - 1; i++) {
+            temp2[i] = temp[i] + 0.1 * (temp[i - 1] + temp[i + 1] - 2.0 * temp[i]) + 0.05 * power[i];
+        }
+        #pragma omp parallel for
+        for (i = 1; i < n - 1; i++) {
+            temp[i] = temp2[i] + 0.1 * (temp2[i - 1] + temp2[i + 1] - 2.0 * temp2[i]) + 0.05 * power[i];
+        }
+    }
+    printf("acc %f\n", acc);
+    return 0;
+}

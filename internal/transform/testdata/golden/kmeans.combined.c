@@ -1,0 +1,179 @@
+// golden: kmeans with combined
+// applied: stream at 30:5: pipelined into 4 blocks (reduceMemory=true persistent=true)
+float p0[12288];
+
+float p1[12288];
+
+float p2[12288];
+
+float p3[12288];
+
+float p4[12288];
+
+float p5[12288];
+
+float p6[12288];
+
+float p7[12288];
+
+float c0[16];
+
+float c1[16];
+
+float c2[16];
+
+float c3[16];
+
+float c4[16];
+
+float c5[16];
+
+float c6[16];
+
+float c7[16];
+
+float membership[12288];
+
+float mindist[12288];
+
+int n;
+
+int k;
+
+int __sig_a;
+
+int __sig_b;
+
+float *__p0_s1;
+
+float *__p0_s2;
+
+float *__p1_s1;
+
+float *__p1_s2;
+
+float *__p2_s1;
+
+float *__p2_s2;
+
+float *__p3_s1;
+
+float *__p3_s2;
+
+float *__p4_s1;
+
+float *__p4_s2;
+
+float *__p5_s1;
+
+float *__p5_s2;
+
+float *__p6_s1;
+
+float *__p6_s2;
+
+float *__p7_s1;
+
+float *__p7_s2;
+
+float *__membership_o;
+
+float *__mindist_o;
+
+int main() {
+    int i;
+    int j;
+    n = 12288;
+    k = 16;
+    {
+        int __n1 = n - 0;
+        int __base3 = 0;
+        int __bs2 = (__n1 + 3) / 4;
+        #pragma offload_transfer target(mic:0) in(c0 : length(k) alloc_if(1) free_if(0), c1 : length(k) alloc_if(1) free_if(0), c2 : length(k) alloc_if(1) free_if(0), c3 : length(k) alloc_if(1) free_if(0), c4 : length(k) alloc_if(1) free_if(0), c5 : length(k) alloc_if(1) free_if(0), c6 : length(k) alloc_if(1) free_if(0), c7 : length(k) alloc_if(1) free_if(0), n, k) nocopy(__p0_s1 : length(__bs2) alloc_if(1) free_if(0), __p0_s2 : length(__bs2) alloc_if(1) free_if(0), __p1_s1 : length(__bs2) alloc_if(1) free_if(0), __p1_s2 : length(__bs2) alloc_if(1) free_if(0), __p2_s1 : length(__bs2) alloc_if(1) free_if(0), __p2_s2 : length(__bs2) alloc_if(1) free_if(0), __p3_s1 : length(__bs2) alloc_if(1) free_if(0), __p3_s2 : length(__bs2) alloc_if(1) free_if(0), __p4_s1 : length(__bs2) alloc_if(1) free_if(0), __p4_s2 : length(__bs2) alloc_if(1) free_if(0), __p5_s1 : length(__bs2) alloc_if(1) free_if(0), __p5_s2 : length(__bs2) alloc_if(1) free_if(0), __p6_s1 : length(__bs2) alloc_if(1) free_if(0), __p6_s2 : length(__bs2) alloc_if(1) free_if(0), __p7_s1 : length(__bs2) alloc_if(1) free_if(0), __p7_s2 : length(__bs2) alloc_if(1) free_if(0), __membership_o : length(__bs2) alloc_if(1) free_if(0), __mindist_o : length(__bs2) alloc_if(1) free_if(0))
+        int __len5 = __bs2;
+        if (0 + __bs2 > __n1) {
+            __len5 = __n1 - 0;
+        }
+        #pragma offload_transfer target(mic:0) in(p0[__base3 + 0 : __len5] : into(__p0_s1[0 : __len5]) alloc_if(0) free_if(0), p1[__base3 + 0 : __len5] : into(__p1_s1[0 : __len5]) alloc_if(0) free_if(0), p2[__base3 + 0 : __len5] : into(__p2_s1[0 : __len5]) alloc_if(0) free_if(0), p3[__base3 + 0 : __len5] : into(__p3_s1[0 : __len5]) alloc_if(0) free_if(0), p4[__base3 + 0 : __len5] : into(__p4_s1[0 : __len5]) alloc_if(0) free_if(0), p5[__base3 + 0 : __len5] : into(__p5_s1[0 : __len5]) alloc_if(0) free_if(0), p6[__base3 + 0 : __len5] : into(__p6_s1[0 : __len5]) alloc_if(0) free_if(0), p7[__base3 + 0 : __len5] : into(__p7_s1[0 : __len5]) alloc_if(0) free_if(0)) signal(&__sig_a)
+        for (int __blk4 = 0; __blk4 < 4; __blk4++) {
+            int __off6 = __blk4 * __bs2;
+            int __len7 = __bs2;
+            if (__off6 + __bs2 > __n1) {
+                __len7 = __n1 - __off6;
+            }
+            if (__len7 > 0) {
+                if (__blk4 % 2 == 0) {
+                    if (__blk4 + 1 < 4) {
+                        int __noff8 = (__blk4 + 1) * __bs2;
+                        int __nlen9 = __bs2;
+                        if (__noff8 + __bs2 > __n1) {
+                            __nlen9 = __n1 - __noff8;
+                        }
+                        if (__nlen9 > 0) {
+                            #pragma offload_transfer target(mic:0) in(p0[__base3 + __noff8 : __nlen9] : into(__p0_s2[0 : __nlen9]) alloc_if(0) free_if(0), p1[__base3 + __noff8 : __nlen9] : into(__p1_s2[0 : __nlen9]) alloc_if(0) free_if(0), p2[__base3 + __noff8 : __nlen9] : into(__p2_s2[0 : __nlen9]) alloc_if(0) free_if(0), p3[__base3 + __noff8 : __nlen9] : into(__p3_s2[0 : __nlen9]) alloc_if(0) free_if(0), p4[__base3 + __noff8 : __nlen9] : into(__p4_s2[0 : __nlen9]) alloc_if(0) free_if(0), p5[__base3 + __noff8 : __nlen9] : into(__p5_s2[0 : __nlen9]) alloc_if(0) free_if(0), p6[__base3 + __noff8 : __nlen9] : into(__p6_s2[0 : __nlen9]) alloc_if(0) free_if(0), p7[__base3 + __noff8 : __nlen9] : into(__p7_s2[0 : __nlen9]) alloc_if(0) free_if(0)) signal(&__sig_b)
+                        }
+                    }
+                    #pragma offload target(mic:0) out(__membership_o[0 : __len7] : into(membership[__base3 + __off6 : __len7]) alloc_if(0) free_if(0), __mindist_o[0 : __len7] : into(mindist[__base3 + __off6 : __len7]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a)
+                    #pragma omp parallel for
+                    for (int __j10 = 0; __j10 < __len7; __j10++) {
+                        float best = 1000000000.0;
+                        int bestj = 0;
+                        for (j = 0; j < k; j++) {
+                            float d0 = __p0_s1[__j10] - c0[j];
+                            float d1 = __p1_s1[__j10] - c1[j];
+                            float d2 = __p2_s1[__j10] - c2[j];
+                            float d3 = __p3_s1[__j10] - c3[j];
+                            float d4 = __p4_s1[__j10] - c4[j];
+                            float d5 = __p5_s1[__j10] - c5[j];
+                            float d6 = __p6_s1[__j10] - c6[j];
+                            float d7 = __p7_s1[__j10] - c7[j];
+                            float dist = sqrt(d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3 + d4 * d4 + d5 * d5 + d6 * d6 + d7 * d7);
+                            if (dist < best) {
+                                best = dist;
+                                bestj = j;
+                            }
+                        }
+                        __membership_o[__j10] = bestj;
+                        __mindist_o[__j10] = best;
+                    }
+                } else {
+                    if (__blk4 + 1 < 4) {
+                        int __noff11 = (__blk4 + 1) * __bs2;
+                        int __nlen12 = __bs2;
+                        if (__noff11 + __bs2 > __n1) {
+                            __nlen12 = __n1 - __noff11;
+                        }
+                        if (__nlen12 > 0) {
+                            #pragma offload_transfer target(mic:0) in(p0[__base3 + __noff11 : __nlen12] : into(__p0_s1[0 : __nlen12]) alloc_if(0) free_if(0), p1[__base3 + __noff11 : __nlen12] : into(__p1_s1[0 : __nlen12]) alloc_if(0) free_if(0), p2[__base3 + __noff11 : __nlen12] : into(__p2_s1[0 : __nlen12]) alloc_if(0) free_if(0), p3[__base3 + __noff11 : __nlen12] : into(__p3_s1[0 : __nlen12]) alloc_if(0) free_if(0), p4[__base3 + __noff11 : __nlen12] : into(__p4_s1[0 : __nlen12]) alloc_if(0) free_if(0), p5[__base3 + __noff11 : __nlen12] : into(__p5_s1[0 : __nlen12]) alloc_if(0) free_if(0), p6[__base3 + __noff11 : __nlen12] : into(__p6_s1[0 : __nlen12]) alloc_if(0) free_if(0), p7[__base3 + __noff11 : __nlen12] : into(__p7_s1[0 : __nlen12]) alloc_if(0) free_if(0)) signal(&__sig_a)
+                        }
+                    }
+                    #pragma offload target(mic:0) out(__membership_o[0 : __len7] : into(membership[__base3 + __off6 : __len7]) alloc_if(0) free_if(0), __mindist_o[0 : __len7] : into(mindist[__base3 + __off6 : __len7]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b)
+                    #pragma omp parallel for
+                    for (int __j13 = 0; __j13 < __len7; __j13++) {
+                        float best = 1000000000.0;
+                        int bestj = 0;
+                        for (j = 0; j < k; j++) {
+                            float d0 = __p0_s2[__j13] - c0[j];
+                            float d1 = __p1_s2[__j13] - c1[j];
+                            float d2 = __p2_s2[__j13] - c2[j];
+                            float d3 = __p3_s2[__j13] - c3[j];
+                            float d4 = __p4_s2[__j13] - c4[j];
+                            float d5 = __p5_s2[__j13] - c5[j];
+                            float d6 = __p6_s2[__j13] - c6[j];
+                            float d7 = __p7_s2[__j13] - c7[j];
+                            float dist = sqrt(d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3 + d4 * d4 + d5 * d5 + d6 * d6 + d7 * d7);
+                            if (dist < best) {
+                                best = dist;
+                                bestj = j;
+                            }
+                        }
+                        __membership_o[__j13] = bestj;
+                        __mindist_o[__j13] = best;
+                    }
+                }
+            }
+        }
+        #pragma offload_transfer target(mic:0) nocopy(__p0_s1 : length(1) alloc_if(0) free_if(1), __p0_s2 : length(1) alloc_if(0) free_if(1), __p1_s1 : length(1) alloc_if(0) free_if(1), __p1_s2 : length(1) alloc_if(0) free_if(1), __p2_s1 : length(1) alloc_if(0) free_if(1), __p2_s2 : length(1) alloc_if(0) free_if(1), __p3_s1 : length(1) alloc_if(0) free_if(1), __p3_s2 : length(1) alloc_if(0) free_if(1), __p4_s1 : length(1) alloc_if(0) free_if(1), __p4_s2 : length(1) alloc_if(0) free_if(1), __p5_s1 : length(1) alloc_if(0) free_if(1), __p5_s2 : length(1) alloc_if(0) free_if(1), __p6_s1 : length(1) alloc_if(0) free_if(1), __p6_s2 : length(1) alloc_if(0) free_if(1), __p7_s1 : length(1) alloc_if(0) free_if(1), __p7_s2 : length(1) alloc_if(0) free_if(1), c0 : length(1) alloc_if(0) free_if(1), c1 : length(1) alloc_if(0) free_if(1), c2 : length(1) alloc_if(0) free_if(1), c3 : length(1) alloc_if(0) free_if(1), c4 : length(1) alloc_if(0) free_if(1), c5 : length(1) alloc_if(0) free_if(1), c6 : length(1) alloc_if(0) free_if(1), c7 : length(1) alloc_if(0) free_if(1), __membership_o : length(1) alloc_if(0) free_if(1), __mindist_o : length(1) alloc_if(0) free_if(1))
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+// golden: kmeans with regularize
+float p0[12288];
+
+float p1[12288];
+
+float p2[12288];
+
+float p3[12288];
+
+float p4[12288];
+
+float p5[12288];
+
+float p6[12288];
+
+float p7[12288];
+
+float c0[16];
+
+float c1[16];
+
+float c2[16];
+
+float c3[16];
+
+float c4[16];
+
+float c5[16];
+
+float c6[16];
+
+float c7[16];
+
+float membership[12288];
+
+float mindist[12288];
+
+int n;
+
+int k;
+
+int main() {
+    int i;
+    int j;
+    n = 12288;
+    k = 16;
+    #pragma offload target(mic:0) in(p0 : length(n), p1 : length(n), p2 : length(n), p3 : length(n), p4 : length(n), p5 : length(n), p6 : length(n), p7 : length(n), c0 : length(k), c1 : length(k), c2 : length(k), c3 : length(k), c4 : length(k), c5 : length(k), c6 : length(k), c7 : length(k)) out(membership : length(n), mindist : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float best = 1000000000.0;
+        int bestj = 0;
+        for (j = 0; j < k; j++) {
+            float d0 = p0[i] - c0[j];
+            float d1 = p1[i] - c1[j];
+            float d2 = p2[i] - c2[j];
+            float d3 = p3[i] - c3[j];
+            float d4 = p4[i] - c4[j];
+            float d5 = p5[i] - c5[j];
+            float d6 = p6[i] - c6[j];
+            float d7 = p7[i] - c7[j];
+            float dist = sqrt(d0 * d0 + d1 * d1 + d2 * d2 + d3 * d3 + d4 * d4 + d5 * d5 + d6 * d6 + d7 * d7);
+            if (dist < best) {
+                best = dist;
+                bestj = j;
+            }
+        }
+        membership[i] = bestj;
+        mindist[i] = best;
+    }
+    return 0;
+}

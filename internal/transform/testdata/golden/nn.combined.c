@@ -1,0 +1,159 @@
+// golden: nn with combined
+// applied: reorder at 21:5: regularized 2 accesses (gathers pipelined into streaming)
+// applied: pipeline-gather at 21:5: 2 gathers overlapped with transfer and compute
+// applied: stream at 21:5: pipelined into 4 blocks (reduceMemory=true persistent=true)
+float recs[262144];
+
+float dist[32768];
+
+float tlat;
+
+float tlng;
+
+int n;
+
+float *__recs_r;
+
+float *__recs_r1;
+
+int __sig_a;
+
+int __sig_b;
+
+int __ksig;
+
+float *____recs_r_s1;
+
+float *____recs_r_s2;
+
+float *____recs_r1_s1;
+
+float *____recs_r1_s2;
+
+float *__dist_o;
+
+int main() {
+    int i;
+    n = 32768;
+    tlat = 30.0;
+    tlng = 50.0;
+    float seen = 0.0;
+    for (i = 0; i < n; i++) {
+        seen = seen + recs[8 * i] * 0.001;
+        seen = seen - floor(seen);
+    }
+    __recs_r = malloc(n * sizeof(float));
+    __recs_r1 = malloc(n * sizeof(float));
+    {
+        int __n1 = n - 0;
+        int __base3 = 0;
+        int __bs2 = (__n1 + 3) / 4;
+        #pragma offload_transfer target(mic:0) in(n, tlat, tlng) nocopy(____recs_r_s1 : length(__bs2) alloc_if(1) free_if(0), ____recs_r_s2 : length(__bs2) alloc_if(1) free_if(0), ____recs_r1_s1 : length(__bs2) alloc_if(1) free_if(0), ____recs_r1_s2 : length(__bs2) alloc_if(1) free_if(0), __dist_o : length(__bs2) alloc_if(1) free_if(0))
+        int __len5 = __bs2;
+        if (0 + __bs2 > __n1) {
+            __len5 = __n1 - 0;
+        }
+        for (int __gv6 = __base3; __gv6 < __base3 + __len5; __gv6++) {
+            __recs_r[__gv6] = recs[8 * __gv6];
+        }
+        for (int __gv7 = __base3; __gv7 < __base3 + __len5; __gv7++) {
+            __recs_r1[__gv7] = recs[8 * __gv7 + 1];
+        }
+        int __len8 = __bs2;
+        if (__bs2 + __bs2 > __n1) {
+            __len8 = __n1 - __bs2;
+        }
+        if (__len8 > 0) {
+            for (int __gv9 = (__base3 + __bs2); __gv9 < (__base3 + __bs2) + __len8; __gv9++) {
+                __recs_r[__gv9] = recs[8 * __gv9];
+            }
+            for (int __gv10 = (__base3 + __bs2); __gv10 < (__base3 + __bs2) + __len8; __gv10++) {
+                __recs_r1[__gv10] = recs[8 * __gv10 + 1];
+            }
+        }
+        #pragma offload_transfer target(mic:0) in(__recs_r[__base3 + 0 : __len5] : into(____recs_r_s1[0 : __len5]) alloc_if(0) free_if(0), __recs_r1[__base3 + 0 : __len5] : into(____recs_r1_s1[0 : __len5]) alloc_if(0) free_if(0)) signal(&__sig_a)
+        for (int __blk4 = 0; __blk4 < 4; __blk4++) {
+            int __off11 = __blk4 * __bs2;
+            int __len12 = __bs2;
+            if (__off11 + __bs2 > __n1) {
+                __len12 = __n1 - __off11;
+            }
+            if (__len12 > 0) {
+                if (__blk4 % 2 == 0) {
+                    if (__blk4 + 1 < 4) {
+                        int __noff13 = (__blk4 + 1) * __bs2;
+                        int __nlen14 = __bs2;
+                        if (__noff13 + __bs2 > __n1) {
+                            __nlen14 = __n1 - __noff13;
+                        }
+                        if (__nlen14 > 0) {
+                            #pragma offload_transfer target(mic:0) in(__recs_r[__base3 + __noff13 : __nlen14] : into(____recs_r_s2[0 : __nlen14]) alloc_if(0) free_if(0), __recs_r1[__base3 + __noff13 : __nlen14] : into(____recs_r1_s2[0 : __nlen14]) alloc_if(0) free_if(0)) signal(&__sig_b)
+                        }
+                    }
+                    #pragma offload target(mic:0) out(__dist_o[0 : __len12] : into(dist[__base3 + __off11 : __len12]) alloc_if(0) free_if(0)) persist(1) signal(&__ksig) wait(&__sig_a)
+                    #pragma omp parallel for
+                    for (int __j15 = 0; __j15 < __len12; __j15++) {
+                        float dlat = ____recs_r_s1[__j15] - tlat;
+                        float dlng = ____recs_r1_s1[__j15] - tlng;
+                        __dist_o[__j15] = sqrt(dlat * dlat + dlng * dlng) + exp(-fabs(dlat) * 0.01);
+                    }
+                    if (__blk4 + 2 < 4) {
+                        int __goff16 = (__blk4 + 2) * __bs2;
+                        int __glen17 = __bs2;
+                        if (__goff16 + __bs2 > __n1) {
+                            __glen17 = __n1 - __goff16;
+                        }
+                        if (__glen17 > 0) {
+                            for (int __gv18 = (__base3 + __goff16); __gv18 < (__base3 + __goff16) + __glen17; __gv18++) {
+                                __recs_r[__gv18] = recs[8 * __gv18];
+                            }
+                            for (int __gv19 = (__base3 + __goff16); __gv19 < (__base3 + __goff16) + __glen17; __gv19++) {
+                                __recs_r1[__gv19] = recs[8 * __gv19 + 1];
+                            }
+                        }
+                    }
+                    #pragma offload_wait target(mic:0) wait(&__ksig)
+                } else {
+                    if (__blk4 + 1 < 4) {
+                        int __noff20 = (__blk4 + 1) * __bs2;
+                        int __nlen21 = __bs2;
+                        if (__noff20 + __bs2 > __n1) {
+                            __nlen21 = __n1 - __noff20;
+                        }
+                        if (__nlen21 > 0) {
+                            #pragma offload_transfer target(mic:0) in(__recs_r[__base3 + __noff20 : __nlen21] : into(____recs_r_s1[0 : __nlen21]) alloc_if(0) free_if(0), __recs_r1[__base3 + __noff20 : __nlen21] : into(____recs_r1_s1[0 : __nlen21]) alloc_if(0) free_if(0)) signal(&__sig_a)
+                        }
+                    }
+                    #pragma offload target(mic:0) out(__dist_o[0 : __len12] : into(dist[__base3 + __off11 : __len12]) alloc_if(0) free_if(0)) persist(1) signal(&__ksig) wait(&__sig_b)
+                    #pragma omp parallel for
+                    for (int __j22 = 0; __j22 < __len12; __j22++) {
+                        float dlat = ____recs_r_s2[__j22] - tlat;
+                        float dlng = ____recs_r1_s2[__j22] - tlng;
+                        __dist_o[__j22] = sqrt(dlat * dlat + dlng * dlng) + exp(-fabs(dlat) * 0.01);
+                    }
+                    if (__blk4 + 2 < 4) {
+                        int __goff23 = (__blk4 + 2) * __bs2;
+                        int __glen24 = __bs2;
+                        if (__goff23 + __bs2 > __n1) {
+                            __glen24 = __n1 - __goff23;
+                        }
+                        if (__glen24 > 0) {
+                            for (int __gv25 = (__base3 + __goff23); __gv25 < (__base3 + __goff23) + __glen24; __gv25++) {
+                                __recs_r[__gv25] = recs[8 * __gv25];
+                            }
+                            for (int __gv26 = (__base3 + __goff23); __gv26 < (__base3 + __goff23) + __glen24; __gv26++) {
+                                __recs_r1[__gv26] = recs[8 * __gv26 + 1];
+                            }
+                        }
+                    }
+                    #pragma offload_wait target(mic:0) wait(&__ksig)
+                }
+            }
+        }
+        #pragma offload_transfer target(mic:0) nocopy(____recs_r_s1 : length(1) alloc_if(0) free_if(1), ____recs_r_s2 : length(1) alloc_if(0) free_if(1), ____recs_r1_s1 : length(1) alloc_if(0) free_if(1), ____recs_r1_s2 : length(1) alloc_if(0) free_if(1), __dist_o : length(1) alloc_if(0) free_if(1))
+    }
+    free(__recs_r);
+    free(__recs_r1);
+    printf("seen %f\n", seen);
+    return 0;
+}

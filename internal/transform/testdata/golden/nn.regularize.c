@@ -1,0 +1,47 @@
+// golden: nn with regularize
+// applied: reorder at 21:5: regularized 2 irregular accesses
+float recs[262144];
+
+float dist[32768];
+
+float tlat;
+
+float tlng;
+
+int n;
+
+float *__recs_r;
+
+float *__recs_r2;
+
+int main() {
+    int i;
+    n = 32768;
+    tlat = 30.0;
+    tlng = 50.0;
+    float seen = 0.0;
+    for (i = 0; i < n; i++) {
+        seen = seen + recs[8 * i] * 0.001;
+        seen = seen - floor(seen);
+    }
+    int __g1 = 0;
+    __recs_r = malloc(n * sizeof(float));
+    for (__g1 = 0; __g1 < n; __g1++) {
+        __recs_r[__g1] = recs[8 * __g1];
+    }
+    __recs_r2 = malloc(n * sizeof(float));
+    for (__g1 = 0; __g1 < n; __g1++) {
+        __recs_r2[__g1] = recs[8 * __g1 + 1];
+    }
+    #pragma offload target(mic:0) in(__recs_r : length(n), __recs_r2 : length(n)) out(dist : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float dlat = __recs_r[i] - tlat;
+        float dlng = __recs_r2[i] - tlng;
+        dist[i] = sqrt(dlat * dlat + dlng * dlng) + exp(-fabs(dlat) * 0.01);
+    }
+    free(__recs_r);
+    free(__recs_r2);
+    printf("seen %f\n", seen);
+    return 0;
+}

@@ -1,0 +1,31 @@
+// golden: nn with streaming
+float recs[262144];
+
+float dist[32768];
+
+float tlat;
+
+float tlng;
+
+int n;
+
+int main() {
+    int i;
+    n = 32768;
+    tlat = 30.0;
+    tlng = 50.0;
+    float seen = 0.0;
+    for (i = 0; i < n; i++) {
+        seen = seen + recs[8 * i] * 0.001;
+        seen = seen - floor(seen);
+    }
+    #pragma offload target(mic:0) in(recs : length(8 * n)) out(dist : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float dlat = recs[8 * i] - tlat;
+        float dlng = recs[8 * i + 1] - tlng;
+        dist[i] = sqrt(dlat * dlat + dlng * dlng) + exp(-fabs(dlat) * 0.01);
+    }
+    printf("seen %f\n", seen);
+    return 0;
+}

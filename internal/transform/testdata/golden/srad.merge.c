@@ -1,0 +1,48 @@
+// golden: srad with merge
+float J[25000];
+
+int iN[24576];
+
+int iS[24576];
+
+int jW[24576];
+
+int jE[24576];
+
+float dN[24576];
+
+float dS[24576];
+
+float dW[24576];
+
+float dE[24576];
+
+float c[24576];
+
+int n;
+
+int main() {
+    int i;
+    n = 24576;
+    #pragma offload target(mic:0) in(J : length(25000), iN : length(n), iS : length(n), jW : length(n), jE : length(n)) out(dN : length(n), dS : length(n), dW : length(n), dE : length(n), c : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float jc = J[i];
+        float jn = J[iN[i]];
+        float js = J[iS[i]];
+        float jw = J[jW[i]];
+        float je = J[jE[i]];
+        dN[i] = jn - jc;
+        dS[i] = js - jc;
+        dW[i] = jw - jc;
+        dE[i] = je - jc;
+        float g2 = (dN[i] * dN[i] + dS[i] * dS[i] + dW[i] * dW[i] + dE[i] * dE[i]) / (jc * jc + 0.001);
+        float l = (dN[i] + dS[i] + dW[i] + dE[i]) / (jc + 0.001);
+        float num = 0.5 * g2 - 0.0625 * l * l;
+        float den = 1.0 + 0.25 * l;
+        float qsqr = num / (den * den + 0.001);
+        den = (qsqr - 0.25) / (0.25 * (1.0 + 0.25) + 0.001);
+        c[i] = 1.0 / (1.0 + den) + exp(-qsqr) * 0.001 + sqrt(fabs(den) + 0.001) * 0.01 + log(fabs(qsqr) + 1.0) * 0.001 + sqrt(g2 + 1.0) * 0.0001 + exp(-l * l) * 0.0001 + exp(-g2 * 0.5) * 0.0001 + sqrt(fabs(l) + 1.0) * 0.0001;
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+// golden: srad with regularize
+// applied: split at 19:5: peeled irregular prefix; regular remainder vectorizes
+float J[25000];
+
+int iN[24576];
+
+int iS[24576];
+
+int jW[24576];
+
+int jE[24576];
+
+float dN[24576];
+
+float dS[24576];
+
+float dW[24576];
+
+float dE[24576];
+
+float c[24576];
+
+int n;
+
+float *__t_jc;
+
+float *__t_jn;
+
+float *__t_js;
+
+float *__t_jw;
+
+float *__t_je;
+
+int main() {
+    int i;
+    n = 24576;
+    #pragma offload target(mic:0) in(J : length(25000), iN : length(n), iS : length(n), jW : length(n), jE : length(n)) out(dN : length(n), dS : length(n), dW : length(n), dE : length(n), c : length(n)) nocopy(__t_jc : length(n) alloc_if(1) free_if(1), __t_jn : length(n) alloc_if(1) free_if(1), __t_js : length(n) alloc_if(1) free_if(1), __t_jw : length(n) alloc_if(1) free_if(1), __t_je : length(n) alloc_if(1) free_if(1))
+    for (int __once1 = 0; __once1 < 1; __once1++) {
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            __t_jc[i] = J[i];
+            __t_jn[i] = J[iN[i]];
+            __t_js[i] = J[iS[i]];
+            __t_jw[i] = J[jW[i]];
+            __t_je[i] = J[jE[i]];
+        }
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            dN[i] = __t_jn[i] - __t_jc[i];
+            dS[i] = __t_js[i] - __t_jc[i];
+            dW[i] = __t_jw[i] - __t_jc[i];
+            dE[i] = __t_je[i] - __t_jc[i];
+            float g2 = (dN[i] * dN[i] + dS[i] * dS[i] + dW[i] * dW[i] + dE[i] * dE[i]) / (__t_jc[i] * __t_jc[i] + 0.001);
+            float l = (dN[i] + dS[i] + dW[i] + dE[i]) / (__t_jc[i] + 0.001);
+            float num = 0.5 * g2 - 0.0625 * l * l;
+            float den = 1.0 + 0.25 * l;
+            float qsqr = num / (den * den + 0.001);
+            den = (qsqr - 0.25) / (0.25 * (1.0 + 0.25) + 0.001);
+            c[i] = 1.0 / (1.0 + den) + exp(-qsqr) * 0.001 + sqrt(fabs(den) + 0.001) * 0.01 + log(fabs(qsqr) + 1.0) * 0.001 + sqrt(g2 + 1.0) * 0.0001 + exp(-l * l) * 0.0001 + exp(-g2 * 0.5) * 0.0001 + sqrt(fabs(l) + 1.0) * 0.0001;
+        }
+    }
+    return 0;
+}

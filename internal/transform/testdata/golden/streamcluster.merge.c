@@ -1,0 +1,54 @@
+// golden: streamcluster with merge
+// applied: merge at 21:5: hoisted 3 inner offloads into one region
+float px[8192];
+
+float py[8192];
+
+float wts[8192];
+
+float ids[8192];
+
+float cost[8192];
+
+float gain[8192];
+
+float assignv[8192];
+
+float cx;
+
+float cy;
+
+int n;
+
+int iters;
+
+int main() {
+    int it;
+    int i;
+    n = 8192;
+    iters = 200;
+    cx = 0.5;
+    cy = 0.25;
+    #pragma offload target(mic:0) in(ids : length(n), px : length(n), py : length(n), wts : length(n)) inout(assignv : length(n), cost : length(n), gain : length(n), cx, cy)
+    for (it = 0; it < iters; it++) {
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            float dx = px[i] - cx;
+            float dy = py[i] - cy;
+            cost[i] = (dx * dx + dy * dy) * wts[0] + ids[0] * 0.0;
+        }
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            gain[i] = cost[i] * 0.5 + 1.0 + wts[0] * 0.0 + ids[0] * 0.0;
+        }
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            if (gain[i] < assignv[i] + wts[0] * 0.0) {
+                assignv[i] = gain[i];
+            }
+        }
+        cx = cx + 0.001;
+        cy = cy - 0.0005;
+    }
+    return 0;
+}

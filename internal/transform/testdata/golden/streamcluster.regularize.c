@@ -1,0 +1,55 @@
+// golden: streamcluster with regularize
+float px[8192];
+
+float py[8192];
+
+float wts[8192];
+
+float ids[8192];
+
+float cost[8192];
+
+float gain[8192];
+
+float assignv[8192];
+
+float cx;
+
+float cy;
+
+int n;
+
+int iters;
+
+int main() {
+    int it;
+    int i;
+    n = 8192;
+    iters = 200;
+    cx = 0.5;
+    cy = 0.25;
+    for (it = 0; it < iters; it++) {
+        #pragma offload target(mic:0) in(px : length(n), py : length(n), wts : length(n), ids : length(n)) out(cost : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            float dx = px[i] - cx;
+            float dy = py[i] - cy;
+            cost[i] = (dx * dx + dy * dy) * wts[0] + ids[0] * 0.0;
+        }
+        #pragma offload target(mic:0) in(cost : length(n), wts : length(n), ids : length(n)) out(gain : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            gain[i] = cost[i] * 0.5 + 1.0 + wts[0] * 0.0 + ids[0] * 0.0;
+        }
+        #pragma offload target(mic:0) in(gain : length(n), wts : length(n)) inout(assignv : length(n))
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            if (gain[i] < assignv[i] + wts[0] * 0.0) {
+                assignv[i] = gain[i];
+            }
+        }
+        cx = cx + 0.001;
+        cy = cy - 0.0005;
+    }
+    return 0;
+}

@@ -1,0 +1,245 @@
+// golden: streamcluster with streaming
+// applied: stream at 24:9: pipelined into 4 blocks (reduceMemory=true persistent=true)
+// applied: stream at 31:9: pipelined into 4 blocks (reduceMemory=true persistent=true)
+// applied: stream at 36:9: pipelined into 4 blocks (reduceMemory=true persistent=true)
+float px[8192];
+
+float py[8192];
+
+float wts[8192];
+
+float ids[8192];
+
+float cost[8192];
+
+float gain[8192];
+
+float assignv[8192];
+
+float cx;
+
+float cy;
+
+int n;
+
+int iters;
+
+int __sig_a;
+
+int __sig_b;
+
+float *__px_s1;
+
+float *__px_s2;
+
+float *__py_s1;
+
+float *__py_s2;
+
+float *__cost_o;
+
+int __sig_a5;
+
+int __sig_b6;
+
+float *__cost_s1;
+
+float *__cost_s2;
+
+float *__gain_o;
+
+int __sig_a6;
+
+int __sig_b7;
+
+float *__gain_s1;
+
+float *__gain_s2;
+
+float *__assignv_s1;
+
+float *__assignv_s2;
+
+int main() {
+    int it;
+    int i;
+    n = 8192;
+    iters = 200;
+    cx = 0.5;
+    cy = 0.25;
+    for (it = 0; it < iters; it++) {
+        {
+            int __n1 = n - 0;
+            int __base3 = 0;
+            int __bs2 = (__n1 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(wts : length(n) alloc_if(1) free_if(0), ids : length(n) alloc_if(1) free_if(0), n, cx, cy) nocopy(__px_s1 : length(__bs2) alloc_if(1) free_if(0), __px_s2 : length(__bs2) alloc_if(1) free_if(0), __py_s1 : length(__bs2) alloc_if(1) free_if(0), __py_s2 : length(__bs2) alloc_if(1) free_if(0), __cost_o : length(__bs2) alloc_if(1) free_if(0))
+            int __len5 = __bs2;
+            if (0 + __bs2 > __n1) {
+                __len5 = __n1 - 0;
+            }
+            #pragma offload_transfer target(mic:0) in(px[__base3 + 0 : __len5] : into(__px_s1[0 : __len5]) alloc_if(0) free_if(0), py[__base3 + 0 : __len5] : into(__py_s1[0 : __len5]) alloc_if(0) free_if(0)) signal(&__sig_a)
+            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
+                int __off6 = __blk4 * __bs2;
+                int __len7 = __bs2;
+                if (__off6 + __bs2 > __n1) {
+                    __len7 = __n1 - __off6;
+                }
+                if (__len7 > 0) {
+                    if (__blk4 % 2 == 0) {
+                        if (__blk4 + 1 < 4) {
+                            int __noff8 = (__blk4 + 1) * __bs2;
+                            int __nlen9 = __bs2;
+                            if (__noff8 + __bs2 > __n1) {
+                                __nlen9 = __n1 - __noff8;
+                            }
+                            if (__nlen9 > 0) {
+                                #pragma offload_transfer target(mic:0) in(px[__base3 + __noff8 : __nlen9] : into(__px_s2[0 : __nlen9]) alloc_if(0) free_if(0), py[__base3 + __noff8 : __nlen9] : into(__py_s2[0 : __nlen9]) alloc_if(0) free_if(0)) signal(&__sig_b)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__cost_o[0 : __len7] : into(cost[__base3 + __off6 : __len7]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a)
+                        #pragma omp parallel for
+                        for (int __j10 = 0; __j10 < __len7; __j10++) {
+                            float dx = __px_s1[__j10] - cx;
+                            float dy = __py_s1[__j10] - cy;
+                            __cost_o[__j10] = (dx * dx + dy * dy) * wts[0] + ids[0] * 0.0;
+                        }
+                    } else {
+                        if (__blk4 + 1 < 4) {
+                            int __noff11 = (__blk4 + 1) * __bs2;
+                            int __nlen12 = __bs2;
+                            if (__noff11 + __bs2 > __n1) {
+                                __nlen12 = __n1 - __noff11;
+                            }
+                            if (__nlen12 > 0) {
+                                #pragma offload_transfer target(mic:0) in(px[__base3 + __noff11 : __nlen12] : into(__px_s1[0 : __nlen12]) alloc_if(0) free_if(0), py[__base3 + __noff11 : __nlen12] : into(__py_s1[0 : __nlen12]) alloc_if(0) free_if(0)) signal(&__sig_a)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__cost_o[0 : __len7] : into(cost[__base3 + __off6 : __len7]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b)
+                        #pragma omp parallel for
+                        for (int __j13 = 0; __j13 < __len7; __j13++) {
+                            float dx = __px_s2[__j13] - cx;
+                            float dy = __py_s2[__j13] - cy;
+                            __cost_o[__j13] = (dx * dx + dy * dy) * wts[0] + ids[0] * 0.0;
+                        }
+                    }
+                }
+            }
+            #pragma offload_transfer target(mic:0) nocopy(__px_s1 : length(1) alloc_if(0) free_if(1), __px_s2 : length(1) alloc_if(0) free_if(1), __py_s1 : length(1) alloc_if(0) free_if(1), __py_s2 : length(1) alloc_if(0) free_if(1), wts : length(1) alloc_if(0) free_if(1), ids : length(1) alloc_if(0) free_if(1), __cost_o : length(1) alloc_if(0) free_if(1))
+        }
+        {
+            int __n1 = n - 0;
+            int __base3 = 0;
+            int __bs2 = (__n1 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(wts : length(n) alloc_if(1) free_if(0), ids : length(n) alloc_if(1) free_if(0), n) nocopy(__cost_s1 : length(__bs2) alloc_if(1) free_if(0), __cost_s2 : length(__bs2) alloc_if(1) free_if(0), __gain_o : length(__bs2) alloc_if(1) free_if(0))
+            int __len7 = __bs2;
+            if (0 + __bs2 > __n1) {
+                __len7 = __n1 - 0;
+            }
+            #pragma offload_transfer target(mic:0) in(cost[__base3 + 0 : __len7] : into(__cost_s1[0 : __len7]) alloc_if(0) free_if(0)) signal(&__sig_a5)
+            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
+                int __off8 = __blk4 * __bs2;
+                int __len9 = __bs2;
+                if (__off8 + __bs2 > __n1) {
+                    __len9 = __n1 - __off8;
+                }
+                if (__len9 > 0) {
+                    if (__blk4 % 2 == 0) {
+                        if (__blk4 + 1 < 4) {
+                            int __noff10 = (__blk4 + 1) * __bs2;
+                            int __nlen11 = __bs2;
+                            if (__noff10 + __bs2 > __n1) {
+                                __nlen11 = __n1 - __noff10;
+                            }
+                            if (__nlen11 > 0) {
+                                #pragma offload_transfer target(mic:0) in(cost[__base3 + __noff10 : __nlen11] : into(__cost_s2[0 : __nlen11]) alloc_if(0) free_if(0)) signal(&__sig_b6)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__gain_o[0 : __len9] : into(gain[__base3 + __off8 : __len9]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a5)
+                        #pragma omp parallel for
+                        for (int __j12 = 0; __j12 < __len9; __j12++) {
+                            __gain_o[__j12] = __cost_s1[__j12] * 0.5 + 1.0 + wts[0] * 0.0 + ids[0] * 0.0;
+                        }
+                    } else {
+                        if (__blk4 + 1 < 4) {
+                            int __noff13 = (__blk4 + 1) * __bs2;
+                            int __nlen14 = __bs2;
+                            if (__noff13 + __bs2 > __n1) {
+                                __nlen14 = __n1 - __noff13;
+                            }
+                            if (__nlen14 > 0) {
+                                #pragma offload_transfer target(mic:0) in(cost[__base3 + __noff13 : __nlen14] : into(__cost_s1[0 : __nlen14]) alloc_if(0) free_if(0)) signal(&__sig_a5)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__gain_o[0 : __len9] : into(gain[__base3 + __off8 : __len9]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b6)
+                        #pragma omp parallel for
+                        for (int __j15 = 0; __j15 < __len9; __j15++) {
+                            __gain_o[__j15] = __cost_s2[__j15] * 0.5 + 1.0 + wts[0] * 0.0 + ids[0] * 0.0;
+                        }
+                    }
+                }
+            }
+            #pragma offload_transfer target(mic:0) nocopy(__cost_s1 : length(1) alloc_if(0) free_if(1), __cost_s2 : length(1) alloc_if(0) free_if(1), wts : length(1) alloc_if(0) free_if(1), ids : length(1) alloc_if(0) free_if(1), __gain_o : length(1) alloc_if(0) free_if(1))
+        }
+        {
+            int __n1 = n - 0;
+            int __base3 = 0;
+            int __bs2 = (__n1 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(wts : length(n) alloc_if(1) free_if(0), n) nocopy(__gain_s1 : length(__bs2) alloc_if(1) free_if(0), __gain_s2 : length(__bs2) alloc_if(1) free_if(0), __assignv_s1 : length(__bs2) alloc_if(1) free_if(0), __assignv_s2 : length(__bs2) alloc_if(1) free_if(0))
+            int __len8 = __bs2;
+            if (0 + __bs2 > __n1) {
+                __len8 = __n1 - 0;
+            }
+            #pragma offload_transfer target(mic:0) in(gain[__base3 + 0 : __len8] : into(__gain_s1[0 : __len8]) alloc_if(0) free_if(0), assignv[__base3 + 0 : __len8] : into(__assignv_s1[0 : __len8]) alloc_if(0) free_if(0)) signal(&__sig_a6)
+            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
+                int __off9 = __blk4 * __bs2;
+                int __len10 = __bs2;
+                if (__off9 + __bs2 > __n1) {
+                    __len10 = __n1 - __off9;
+                }
+                if (__len10 > 0) {
+                    if (__blk4 % 2 == 0) {
+                        if (__blk4 + 1 < 4) {
+                            int __noff11 = (__blk4 + 1) * __bs2;
+                            int __nlen12 = __bs2;
+                            if (__noff11 + __bs2 > __n1) {
+                                __nlen12 = __n1 - __noff11;
+                            }
+                            if (__nlen12 > 0) {
+                                #pragma offload_transfer target(mic:0) in(gain[__base3 + __noff11 : __nlen12] : into(__gain_s2[0 : __nlen12]) alloc_if(0) free_if(0), assignv[__base3 + __noff11 : __nlen12] : into(__assignv_s2[0 : __nlen12]) alloc_if(0) free_if(0)) signal(&__sig_b7)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__assignv_s1[0 : __len10] : into(assignv[__base3 + __off9 : __len10]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a6)
+                        #pragma omp parallel for
+                        for (int __j13 = 0; __j13 < __len10; __j13++) {
+                            if (__gain_s1[__j13] < __assignv_s1[__j13] + wts[0] * 0.0) {
+                                __assignv_s1[__j13] = __gain_s1[__j13];
+                            }
+                        }
+                    } else {
+                        if (__blk4 + 1 < 4) {
+                            int __noff14 = (__blk4 + 1) * __bs2;
+                            int __nlen15 = __bs2;
+                            if (__noff14 + __bs2 > __n1) {
+                                __nlen15 = __n1 - __noff14;
+                            }
+                            if (__nlen15 > 0) {
+                                #pragma offload_transfer target(mic:0) in(gain[__base3 + __noff14 : __nlen15] : into(__gain_s1[0 : __nlen15]) alloc_if(0) free_if(0), assignv[__base3 + __noff14 : __nlen15] : into(__assignv_s1[0 : __nlen15]) alloc_if(0) free_if(0)) signal(&__sig_a6)
+                            }
+                        }
+                        #pragma offload target(mic:0) out(__assignv_s2[0 : __len10] : into(assignv[__base3 + __off9 : __len10]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b7)
+                        #pragma omp parallel for
+                        for (int __j16 = 0; __j16 < __len10; __j16++) {
+                            if (__gain_s2[__j16] < __assignv_s2[__j16] + wts[0] * 0.0) {
+                                __assignv_s2[__j16] = __gain_s2[__j16];
+                            }
+                        }
+                    }
+                }
+            }
+            #pragma offload_transfer target(mic:0) nocopy(__gain_s1 : length(1) alloc_if(0) free_if(1), __gain_s2 : length(1) alloc_if(0) free_if(1), wts : length(1) alloc_if(0) free_if(1), __assignv_s1 : length(1) alloc_if(0) free_if(1), __assignv_s2 : length(1) alloc_if(0) free_if(1))
+        }
+        cx = cx + 0.001;
+        cy = cy - 0.0005;
+    }
+    return 0;
+}

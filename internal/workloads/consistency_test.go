@@ -1,0 +1,313 @@
+package workloads
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"comp/internal/core"
+	"comp/internal/runtime"
+	"comp/internal/sim/engine"
+)
+
+// The Stats↔Trace consistency suite: every aggregate the runtime reports
+// must be re-derivable from the span stream, and disabling the trace must
+// not change anything except the span stream itself. Together the two
+// directions prove the timeline honest — the trace shows neither more nor
+// less work than the run actually did, and observing the run does not
+// perturb it.
+
+// spanBytes reads the "bytes" arg every DMA span carries.
+func spanBytes(t *testing.T, sp engine.Span) int64 {
+	t.Helper()
+	v, ok := sp.Args["bytes"].(int64)
+	if !ok {
+		t.Fatalf("span %s/%s has no int64 bytes arg: %v", sp.Resource, sp.Label, sp.Args)
+	}
+	return v
+}
+
+// checkStatsTrace asserts each Stats aggregate against its span-level
+// oracle. Exact equality throughout: the engine is deterministic and both
+// sides count the same simulated nanoseconds.
+func checkStatsTrace(t *testing.T, st runtime.Stats, tr *engine.Trace) {
+	t.Helper()
+	if tr == nil {
+		t.Fatal("no trace recorded")
+	}
+
+	// Overlap: the online busy-counter meter vs pairwise span overlap.
+	// Equal because all three resources are single-server.
+	wantOverlap := tr.Overlap("pcie-h2d", "mic-compute") + tr.Overlap("pcie-d2h", "mic-compute")
+	if st.Overlap != wantOverlap {
+		t.Errorf("Stats.Overlap = %v, trace overlap = %v", st.Overlap, wantOverlap)
+	}
+
+	// Busy times: resource counters vs summed span lengths. Fault spans
+	// occupy their channel, so they count on both sides.
+	if want := tr.BusyTime("pcie-h2d") + tr.BusyTime("pcie-d2h"); st.TransferBusy != want {
+		t.Errorf("Stats.TransferBusy = %v, trace busy = %v", st.TransferBusy, want)
+	}
+	if want := tr.BusyTime("mic-compute"); st.DeviceBusy != want {
+		t.Errorf("Stats.DeviceBusy = %v, trace busy = %v", st.DeviceBusy, want)
+	}
+	if want := tr.BusyTime("cpu"); st.HostBusy != want {
+		t.Errorf("Stats.HostBusy = %v, trace busy = %v", st.HostBusy, want)
+	}
+
+	// Kernel launches: exactly the spans carrying the launch marker
+	// (per-launch kernels, persistent-kernel startups, and hangs — which
+	// pay the launch; failed launches do not).
+	var launches int64
+	for _, sp := range tr.ByResource("mic-compute") {
+		if v, ok := sp.Args["launch"].(bool); ok && v {
+			launches++
+		}
+	}
+	if st.KernelLaunches != launches {
+		t.Errorf("Stats.KernelLaunches = %d, launch-marked spans = %d", st.KernelLaunches, launches)
+	}
+
+	// DMA counts and payloads: successful transfers only (fault attempts
+	// are CatFault and move no data).
+	var nDMA, bytesIn, bytesOut int64
+	for _, sp := range tr.Spans() {
+		switch sp.Cat {
+		case engine.CatDMAIn:
+			nDMA++
+			bytesIn += spanBytes(t, sp)
+		case engine.CatDMAOut:
+			nDMA++
+			bytesOut += spanBytes(t, sp)
+		}
+	}
+	if st.Transfers != nDMA {
+		t.Errorf("Stats.Transfers = %d, DMA spans = %d", st.Transfers, nDMA)
+	}
+	if st.BytesIn != bytesIn || st.BytesOut != bytesOut {
+		t.Errorf("Stats bytes in/out = %d/%d, trace = %d/%d", st.BytesIn, st.BytesOut, bytesIn, bytesOut)
+	}
+
+	// Makespan covers every span.
+	for _, sp := range tr.Spans() {
+		if engine.Duration(sp.End) > st.Time {
+			t.Errorf("span %s/%s ends at %v, after the makespan %v", sp.Resource, sp.Label, sp.End, st.Time)
+			break
+		}
+	}
+}
+
+// TestStatsTraceConsistencyAllWorkloads checks the oracle on every member
+// of the 12-benchmark suite, naive and fully optimized.
+func TestStatsTraceConsistencyAllWorkloads(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if b.SharedMem {
+				checkSharedConsistency(t, b)
+				return
+			}
+			variants := []struct {
+				name string
+				ro   RunOptions
+			}{
+				{"naive", RunOptions{Variant: MICNaive}},
+				{"optimized", RunOptions{Variant: MICOptimized, Opt: core.DefaultOptions()}},
+			}
+			for _, v := range variants {
+				res, err := b.Run(v.ro)
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				if len(res.Trace.Spans()) == 0 {
+					t.Fatalf("%s: empty trace", v.name)
+				}
+				checkStatsTrace(t, res.Stats, res.Trace)
+			}
+		})
+	}
+}
+
+// checkSharedConsistency is the span-level oracle for the two §V
+// benchmarks, which report SharedResult counters instead of Stats.
+func checkSharedConsistency(t *testing.T, b *Benchmark) {
+	scale := b.Shared.MYOScale // a scale every mechanism can run at
+	for _, mech := range []Mechanism{MechMYO, MechCOMP} {
+		res, err := RunSharedTraced(b, mech, scale, true)
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		tr := res.Trace
+		if tr == nil || len(tr.Spans()) == 0 {
+			t.Fatalf("%v: empty trace", mech)
+		}
+		var nDMA, total int64
+		for _, sp := range tr.Spans() {
+			switch sp.Cat {
+			case engine.CatDMAIn, engine.CatDMAOut:
+				nDMA++
+				total += spanBytes(t, sp)
+			}
+		}
+		if res.Transfers != nDMA {
+			t.Errorf("%v: Transfers = %d, DMA spans = %d", mech, res.Transfers, nDMA)
+		}
+		if res.Bytes != total {
+			t.Errorf("%v: Bytes = %d, trace payload = %d", mech, res.Bytes, total)
+		}
+	}
+}
+
+// TestStatsTraceConsistencyUnderFaults reruns the oracle under an
+// aggressive fault schedule: retries, hangs, watchdog aborts and fallbacks
+// must keep the books balanced, and the recovery machinery must show up in
+// the trace.
+func TestStatsTraceConsistencyUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault consistency skipped in -short mode")
+	}
+	for _, name := range []string{"blackscholes", "srad", "dedup"} {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := runtime.DefaultConfig()
+			cfg.Faults = chaosConfig(11)
+			res, err := b.Run(RunOptions{Variant: MICNaive, Config: &cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, tr := res.Stats, res.Trace
+			checkStatsTrace(t, st, tr)
+			if st.FaultsInjected < 1 {
+				t.Fatal("schedule injected nothing; the test is vacuous")
+			}
+			var injectInstants int64
+			for _, sp := range tr.ByResource("fault") {
+				if sp.Instant {
+					injectInstants++
+				}
+			}
+			if injectInstants != st.FaultsInjected {
+				t.Errorf("Stats.FaultsInjected = %d, injector instants = %d", st.FaultsInjected, injectInstants)
+			}
+			if st.Retries > 0 && len(tr.ByCategory(engine.CatRetry)) == 0 {
+				t.Errorf("%d retries happened but none reached the trace", st.Retries)
+			}
+			if len(st.Fallbacks) > 0 && len(tr.ByCategory(engine.CatFallback)) == 0 {
+				t.Errorf("degradation steps %v happened but none reached the trace", st.Fallbacks)
+			}
+		})
+	}
+}
+
+// TestDisableTraceDoesNotChangeResults is the observer-effect half of the
+// contract: with recording off, Stats, program outputs and (for the shared
+// benchmarks) every counter are bit-identical.
+func TestDisableTraceDoesNotChangeResults(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if b.SharedMem {
+				on, err := RunSharedTraced(b, MechCOMP, 1.0, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				off, err := RunSharedTraced(b, MechCOMP, 1.0, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if off.Trace != nil {
+					t.Error("disabled run still returned a trace")
+				}
+				on.Trace = nil
+				if !reflect.DeepEqual(on, off) {
+					t.Errorf("tracing changed the shared result:\n on: %+v\noff: %+v", on, off)
+				}
+				return
+			}
+			traced, err := b.Run(RunOptions{Variant: MICNaive})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := runtime.DefaultConfig()
+			cfg.DisableTrace = true
+			silent, err := b.Run(RunOptions{Variant: MICNaive, Config: &cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := len(silent.Trace.Spans()); n != 0 {
+				t.Errorf("DisableTrace still recorded %d spans", n)
+			}
+			if !reflect.DeepEqual(traced.Stats, silent.Stats) {
+				t.Errorf("tracing changed Stats:\n on: %+v\noff: %+v", traced.Stats, silent.Stats)
+			}
+			if err := b.CompareOutputs(traced, silent); err != nil {
+				t.Errorf("tracing changed outputs: %v", err)
+			}
+			if a, c := traced.Program.Output(), silent.Program.Output(); a != c {
+				t.Errorf("tracing changed printed output: %q vs %q", a, c)
+			}
+		})
+	}
+}
+
+// TestChromeExportRealWorkload is the acceptance check on a real run: the
+// exported trace is valid Chrome trace_event JSON with the run's spans in
+// it, not just a well-formed empty shell.
+func TestChromeExportRealWorkload(t *testing.T) {
+	b, err := Get("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(RunOptions{Variant: MICOptimized, Opt: core.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.ChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var kernels, dmas, threads int
+	for _, ev := range file.TraceEvents {
+		switch {
+		case ev.Phase == "M" && ev.Name == "thread_name":
+			threads++
+		case ev.Cat == "kernel" && ev.Phase == "X":
+			kernels++
+		case (ev.Cat == "dma-in" || ev.Cat == "dma-out") && ev.Phase == "X":
+			dmas++
+		}
+	}
+	if threads == 0 || kernels == 0 || dmas == 0 {
+		t.Errorf("export missing structure: %d threads, %d kernels, %d dmas", threads, kernels, dmas)
+	}
+	if int64(kernels) != res.Stats.KernelLaunches+countPersistentBlocks(res.Trace) {
+		t.Logf("note: %d kernel events vs %d launches (persistent blocks add spans)", kernels, res.Stats.KernelLaunches)
+	}
+}
+
+// countPersistentBlocks counts non-launch kernel spans (persistent-kernel
+// block executions).
+func countPersistentBlocks(tr *engine.Trace) int64 {
+	var n int64
+	for _, sp := range tr.ByCategory(engine.CatKernel) {
+		if v, ok := sp.Args["launch"].(bool); !ok || !v {
+			n++
+		}
+	}
+	return n
+}

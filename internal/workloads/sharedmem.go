@@ -93,6 +93,10 @@ type SharedResult struct {
 	// injected fault schedule (RunSharedFaulted).
 	Retries        int64
 	FaultsInjected int64
+	// Trace is the simulation's recorded execution timeline; nil for the
+	// CPU mechanism (which builds no simulation) and when recording was
+	// disabled via RunSharedTraced.
+	Trace *engine.Trace
 }
 
 // objectSizes deterministically spreads TotalBytes over Allocations
@@ -132,19 +136,26 @@ func (w *SharedWorkload) objectSizes(name string, scale float64) []int64 {
 // given input scale (1.0 = full input). MYO at full ferret input returns
 // its allocation-limit error — the paper's "cannot run" result.
 func RunShared(b *Benchmark, mech Mechanism, scale float64) (SharedResult, error) {
-	return runShared(b, mech, scale, myo.DefaultConfig(), shmem.DefaultConfig(), fault.Config{})
+	return runShared(b, mech, scale, myo.DefaultConfig(), shmem.DefaultConfig(), fault.Config{}, true)
+}
+
+// RunSharedTraced is RunShared with span recording controlled explicitly.
+// Disabling the trace must not change any result field except Trace itself;
+// the consistency suite asserts exactly that.
+func RunSharedTraced(b *Benchmark, mech Mechanism, scale float64, traceOn bool) (SharedResult, error) {
+	return runShared(b, mech, scale, myo.DefaultConfig(), shmem.DefaultConfig(), fault.Config{}, traceOn)
 }
 
 // RunSharedMYOConfig runs the MYO mechanism with a custom configuration
 // (page-size ablation).
 func RunSharedMYOConfig(b *Benchmark, scale float64, cfg myo.Config) (SharedResult, error) {
-	return runShared(b, MechMYO, scale, cfg, shmem.DefaultConfig(), fault.Config{})
+	return runShared(b, MechMYO, scale, cfg, shmem.DefaultConfig(), fault.Config{}, true)
 }
 
 // RunSharedSegment runs the COMP mechanism with a custom segment size
 // (§V-A ablation).
 func RunSharedSegment(b *Benchmark, scale float64, segmentBytes int64) (SharedResult, error) {
-	return runShared(b, MechCOMP, scale, myo.DefaultConfig(), shmem.Config{SegmentBytes: segmentBytes}, fault.Config{})
+	return runShared(b, MechCOMP, scale, myo.DefaultConfig(), shmem.Config{SegmentBytes: segmentBytes}, fault.Config{}, true)
 }
 
 // RunSharedFaulted runs the COMP mechanism under a seeded fault schedule:
@@ -152,10 +163,10 @@ func RunSharedSegment(b *Benchmark, scale float64, segmentBytes int64) (SharedRe
 // exponential-backoff policy. The analytic result is unaffected; only
 // timing and the recovery counters change, deterministically per seed.
 func RunSharedFaulted(b *Benchmark, scale float64, fc fault.Config) (SharedResult, error) {
-	return runShared(b, MechCOMP, scale, myo.DefaultConfig(), shmem.DefaultConfig(), fc)
+	return runShared(b, MechCOMP, scale, myo.DefaultConfig(), shmem.DefaultConfig(), fc, true)
 }
 
-func runShared(b *Benchmark, mech Mechanism, scale float64, myoCfg myo.Config, shmemCfg shmem.Config, fc fault.Config) (SharedResult, error) {
+func runShared(b *Benchmark, mech Mechanism, scale float64, myoCfg myo.Config, shmemCfg shmem.Config, fc fault.Config, traceOn bool) (SharedResult, error) {
 	if !b.SharedMem || b.Shared == nil {
 		return SharedResult{}, fmt.Errorf("workloads: %s is not a shared-memory benchmark", b.Name)
 	}
@@ -177,6 +188,7 @@ func runShared(b *Benchmark, mech Mechanism, scale float64, myoCfg myo.Config, s
 	}
 
 	sim := engine.New()
+	sim.Trace().SetEnabled(traceOn)
 	bus := pcie.New(sim, pcie.Default())
 	sizes := w.objectSizes(b.Name, scale)
 
@@ -204,13 +216,17 @@ func runShared(b *Benchmark, mech Mechanism, scale float64, myoCfg myo.Config, s
 		})
 		sim.Run()
 		total := engine.Duration(doneAt) + cpu.SerialTime(serial)
-		return SharedResult{
+		res := SharedResult{
 			Time:      total,
 			Faults:    heap.Faults(),
 			Transfers: bus.TotalTransfers(),
 			Bytes:     bus.TotalBytes(),
 			Allocs:    heap.AllocCount(),
-		}, nil
+		}
+		if traceOn {
+			res.Trace = sim.Trace()
+		}
+		return res, nil
 
 	case MechCOMP, MechCOMPLinear:
 		heap := shmem.NewHeap(shmemCfg)
@@ -251,7 +267,7 @@ func runShared(b *Benchmark, mech Mechanism, scale float64, myoCfg myo.Config, s
 		})
 		sim.Run()
 		total := engine.Duration(doneAt) + cpu.SerialTime(serial)
-		return SharedResult{
+		res := SharedResult{
 			Time:           total,
 			Transfers:      bus.TotalTransfers(),
 			Bytes:          bus.TotalBytes(),
@@ -260,7 +276,11 @@ func runShared(b *Benchmark, mech Mechanism, scale float64, myoCfg myo.Config, s
 			Reserved:       heap.TotalReserved(),
 			Retries:        retries,
 			FaultsInjected: bus.FaultCount(),
-		}, nil
+		}
+		if traceOn {
+			res.Trace = sim.Trace()
+		}
+		return res, nil
 	}
 	return SharedResult{}, fmt.Errorf("workloads: unknown mechanism %v", mech)
 }
