@@ -6,6 +6,8 @@
 //	compbench                 # all figures and tables
 //	compbench -only fig12     # one figure (fig1, fig4, fig10..fig15, table2, table3)
 //	compbench -ablations      # block-size sweep and design ablations
+//	compbench -streams 4      # multi-stream scheduler + autotuner report
+//	compbench -sweep          # pick block counts by exhaustive sweep (oracle)
 package main
 
 import (
@@ -20,12 +22,49 @@ func main() {
 	only := flag.String("only", "", "regenerate a single figure/table by id (e.g. fig12, table3)")
 	ablations := flag.Bool("ablations", false, "run the design ablations instead of the paper figures")
 	traceDir := flag.String("tracedir", "", "dump each run's Chrome trace + metrics report into this directory")
+	streams := flag.Int("streams", 0, "run the multi-stream scheduler report with this many streams (0 = off)")
+	requests := flag.Int("requests", 0, "concurrent requests per workload for -streams (0 = streams)")
+	streamsOut := flag.String("streams-out", "bench_streams.json", "write the -streams report as JSON to this file (\"-\" = stdout only)")
+	sweep := flag.Bool("sweep", false, "use the exhaustive block-count sweep instead of the autotuner")
 	flag.Parse()
 
 	r := bench.NewRunner()
+	r.UseSweep = *sweep
 	if *traceDir != "" {
 		r.SetTraceDir(*traceDir)
 	}
+
+	if *streams > 0 {
+		n := *requests
+		if n == 0 {
+			n = *streams
+		}
+		rep, err := r.Streams(*streams, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		if *streamsOut != "-" {
+			f, err := os.Create(*streamsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *streamsOut)
+		}
+		return
+	}
+
 	var figs []*bench.Figure
 	var err error
 	switch {

@@ -6,7 +6,9 @@
 //
 //	compsim file.c                  # run as written
 //	compsim -optimize file.c        # run through the COMP compiler first
+//	compsim -optimize -blocks auto file.c  # pick the block count by measurement
 //	compsim -cpu file.c             # strip offload pragmas, run host-only
+//	compsim -streams 4 file.c       # run 4 concurrent copies on 4 device streams
 //	compsim -trace out.json file.c  # dump the Chrome trace_event timeline
 //	compsim -timeline file.c        # print an ASCII timeline
 //	compsim -spans file.c           # print the raw span list
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"comp/internal/core"
 	"comp/internal/interp"
@@ -28,6 +31,7 @@ import (
 	"comp/internal/sim/engine"
 	"comp/internal/sim/fault"
 	"comp/internal/sim/metrics"
+	"comp/internal/transform"
 	"comp/internal/workloads"
 )
 
@@ -39,7 +43,9 @@ func main() {
 	spans := flag.Bool("spans", false, "print the raw simulated span list")
 	report := flag.Bool("report", false, "print derived per-resource utilization metrics")
 	width := flag.Int("timeline-width", 100, "column width of the -timeline chart")
-	blocks := flag.Int("blocks", 0, "streaming block count when optimizing (0 = default)")
+	blocks := flag.String("blocks", "0", "streaming block count when optimizing (0 = default, \"auto\" = tune by measurement)")
+	streams := flag.Int("streams", 1, "device streams; >1 runs concurrent copies through the multi-stream scheduler")
+	requests := flag.Int("requests", 0, "concurrent requests for the scheduler (0 = one per stream)")
 	faults := flag.Float64("faults", 0, "uniform fault injection rate in [0,1] for DMA/launch/hang/alloc (0 = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.Parse()
@@ -54,6 +60,15 @@ func main() {
 		fail(err)
 	}
 	src := string(raw)
+
+	cfg := runtime.DefaultConfig()
+	if *faults != 0 {
+		cfg.Faults = fault.Uniform(*faultSeed, *faults)
+	}
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
+
 	if *cpuOnly {
 		f, err := minic.Parse(src)
 		if err != nil {
@@ -62,8 +77,12 @@ func main() {
 		workloads.StripOffload(f)
 		src = minic.Print(f)
 	} else if *optimize {
+		nblocks, err := resolveBlocks(*blocks, src, cfg)
+		if err != nil {
+			fail(err)
+		}
 		opt := core.DefaultOptions()
-		opt.Blocks = *blocks
+		opt.Blocks = nblocks
 		res, err := core.Optimize(src, opt)
 		if err != nil {
 			fail(err)
@@ -74,15 +93,17 @@ func main() {
 		src = res.Source()
 	}
 
+	nReq := *requests
+	if nReq == 0 {
+		nReq = *streams
+	}
+	if *streams > 1 || nReq > 1 {
+		runScheduler(src, cfg, *streams, nReq, *spans, *timeline, *report, *width, *trace)
+		return
+	}
+
 	prog, err := interp.Compile(src)
 	if err != nil {
-		fail(err)
-	}
-	cfg := runtime.DefaultConfig()
-	if *faults != 0 {
-		cfg.Faults = fault.Uniform(*faultSeed, *faults)
-	}
-	if err := cfg.Validate(); err != nil {
 		fail(err)
 	}
 	rt := runtime.New(cfg)
@@ -119,18 +140,126 @@ func main() {
 	for _, w := range st.DeadlockWarnings {
 		fmt.Printf("WARNING: %s\n", w)
 	}
-	tr := rt.Trace()
-	if *spans {
+	dumpTrace(rt.Trace(), st.Time, *spans, *timeline, *report, *width, *trace)
+}
+
+// resolveBlocks parses the -blocks flag. "auto" tunes by measurement: one
+// unoptimized run seeds the §III-B model, then transform.AutoTuner probes
+// optimized runs at candidate counts and keeps the fastest.
+func resolveBlocks(flagVal, src string, cfg runtime.Config) (int, error) {
+	if flagVal != "auto" {
+		n, err := strconv.Atoi(flagVal)
+		if err != nil {
+			return 0, fmt.Errorf("-blocks must be an integer or \"auto\": %v", err)
+		}
+		return n, nil
+	}
+	measure := func(nblocks int) (engine.Duration, error) {
+		opt := core.DefaultOptions()
+		opt.Blocks = nblocks
+		res, err := core.Optimize(src, opt)
+		if err != nil {
+			return 0, err
+		}
+		p, err := interp.Compile(res.Source())
+		if err != nil {
+			return 0, err
+		}
+		r, err := runtime.Run(p, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return r.Stats.Time, nil
+	}
+	// Profile run of the program as written, for the analytic seed.
+	p, err := interp.Compile(src)
+	if err != nil {
+		return 0, err
+	}
+	base, err := runtime.Run(p, cfg)
+	if err != nil {
+		return 0, err
+	}
+	seed := core.ProfileFromStats(base.Stats, cfg.MIC.LaunchOverhead).Blocks()
+	var tuner transform.AutoTuner
+	tuned, err := tuner.Tune(flag.Arg(0), seed, measure)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(os.Stderr, "tuned blocks: %d (model seed %d, %d probes, best %v)\n",
+		tuned.Blocks, seed, tuned.Probes, tuned.Time)
+	return tuned.Blocks, nil
+}
+
+// runScheduler executes n concurrent copies of the program through the
+// multi-stream scheduler and prints global, per-stream and per-request
+// summaries.
+func runScheduler(src string, cfg runtime.Config, streams, n int, spans, timeline, report bool, width int, trace string) {
+	s, err := runtime.NewScheduler(cfg, streams)
+	if err != nil {
+		fail(err)
+	}
+	for i := 0; i < n; i++ {
+		p, err := interp.Compile(src)
+		if err != nil {
+			fail(err)
+		}
+		s.Submit(runtime.Request{Label: fmt.Sprintf("req-%02d", i), Program: p})
+	}
+	res, err := s.Run()
+	if err != nil {
+		fail(err)
+	}
+	st := res.Stats
+	fmt.Printf("time                 %v\n", st.Time)
+	fmt.Printf("cross-stream overlap %v\n", st.CrossStreamOverlap)
+	fmt.Printf("transfer busy        %v\n", st.TransferBusy)
+	fmt.Printf("kernel launches      %d\n", st.KernelLaunches)
+	fmt.Printf("dma transfers        %d\n", st.Transfers)
+	fmt.Printf("bytes in/out         %d / %d\n", st.BytesIn, st.BytesOut)
+	fmt.Printf("peak device mem      %d bytes\n", st.PeakDeviceBytes)
+	if st.FaultsInjected > 0 {
+		fmt.Printf("faults injected      %d\n", st.FaultsInjected)
+		fmt.Printf("retries              %d\n", st.Retries)
+		fmt.Printf("watchdog fires       %d\n", st.WatchdogFires)
+	}
+	for _, ss := range st.Streams {
+		fmt.Printf("stream %d: cores=%d threads=%d requests=%d busy=%v host=%v overlap=%v queue-wait=%v launches=%d\n",
+			ss.StreamID, ss.Cores, ss.Threads, ss.Requests, ss.DeviceBusy, ss.HostBusy,
+			ss.Overlap, ss.QueueWait, ss.KernelLaunches)
+	}
+	for _, rq := range st.Requests {
+		fmt.Printf("request %s: stream=%d wait=%v start=%v end=%v\n",
+			rq.Label, rq.StreamID, rq.QueueWait, rq.Start, rq.End)
+		for _, w := range rq.Fallbacks {
+			fmt.Printf("  FALLBACK: %s\n", w)
+		}
+		for _, w := range rq.FaultWarnings {
+			fmt.Printf("  FAULT: %s\n", w)
+		}
+		for _, w := range rq.RaceWarnings {
+			fmt.Printf("  WARNING: %s\n", w)
+		}
+		for _, w := range rq.DeadlockWarnings {
+			fmt.Printf("  WARNING: %s\n", w)
+		}
+	}
+	dumpTrace(res.Trace, st.Time, spans, timeline, report, width, trace)
+}
+
+// dumpTrace serves the timeline flags shared by both execution paths.
+func dumpTrace(tr *engine.Trace, makespan engine.Duration, spans, timeline, report bool, width int, trace string) {
+	if spans {
 		fmt.Print(tr.String())
 	}
-	if *timeline {
-		tr.Timeline(os.Stdout, *width)
+	if timeline {
+		tr.Timeline(os.Stdout, width)
 	}
-	if *report {
-		fmt.Print(metrics.FromTrace(tr, st.Time).Format())
+	if report {
+		fmt.Print(metrics.FromTrace(tr, makespan).Format())
 	}
-	if *trace != "" {
-		if err := writeChromeTrace(*trace, tr); err != nil {
+	if trace != "" {
+		if err := writeChromeTrace(trace, tr); err != nil {
 			fail(err)
 		}
 	}

@@ -23,7 +23,9 @@ import (
 
 	"comp/internal/core"
 	"comp/internal/runtime"
+	"comp/internal/sim/engine"
 	"comp/internal/sim/metrics"
+	"comp/internal/transform"
 	"comp/internal/workloads"
 )
 
@@ -122,6 +124,11 @@ type Runner struct {
 	results  map[string]runtime.Result
 	shared   map[string]workloads.SharedResult
 	traceDir string
+	// UseSweep restores the exhaustive block-count sweep in bestStreaming;
+	// by default the measured autotuner picks the count. The sweep is kept
+	// as the oracle the autotuner is validated against.
+	UseSweep bool
+	tuner    transform.AutoTuner
 }
 
 // NewRunner creates an empty cache.
@@ -129,6 +136,9 @@ func NewRunner() *Runner {
 	return &Runner{
 		results: map[string]runtime.Result{},
 		shared:  map[string]workloads.SharedResult{},
+		// The tuner walks the same ladder the sweep measures, so the oracle
+		// comparison is apples-to-apples.
+		tuner: transform.AutoTuner{Ladder: SweepBlocks},
 	}
 }
 
@@ -235,9 +245,28 @@ func (r *Runner) streamingBaseline(b *workloads.Benchmark) (runtime.Result, erro
 	return r.run(b, workloads.MICNaive, core.Options{})
 }
 
-// bestStreaming sweeps the block count and returns the fastest streamed
-// run and its block count.
+// bestStreaming returns the fastest streamed run and its block count —
+// found by the measured autotuner (TuneStreaming), or by the exhaustive
+// sweep oracle when UseSweep is set.
 func (r *Runner) bestStreaming(b *workloads.Benchmark) (runtime.Result, int, error) {
+	if r.UseSweep {
+		return r.SweepStreaming(b)
+	}
+	tr, err := r.TuneStreaming(b)
+	if err != nil {
+		return runtime.Result{}, 0, err
+	}
+	res, err := r.run(b, workloads.MICOptimized, streamingOptions(b, tr.Blocks))
+	if err != nil {
+		return runtime.Result{}, 0, err
+	}
+	return res, tr.Blocks, nil
+}
+
+// SweepStreaming tries every block count in SweepBlocks and returns the
+// fastest streamed run and its count. It is the oracle the autotuner's
+// choices are measured against.
+func (r *Runner) SweepStreaming(b *workloads.Benchmark) (runtime.Result, int, error) {
 	var best runtime.Result
 	bestN := 0
 	for _, n := range SweepBlocks {
@@ -250,6 +279,29 @@ func (r *Runner) bestStreaming(b *workloads.Benchmark) (runtime.Result, int, err
 		}
 	}
 	return best, bestN, nil
+}
+
+// TuneStreaming runs the online autotuner for a benchmark's streaming
+// block count. The search seeds from the §III-B analytic model evaluated
+// on the benchmark's streaming baseline, probes candidate counts by
+// simulated execution (memoized through the Runner's cache), and converges
+// within transform.DefaultMaxProbes runs. Results are cached per
+// (benchmark, machine) key, so repeated calls tune once.
+func (r *Runner) TuneStreaming(b *workloads.Benchmark) (transform.TuneResult, error) {
+	base, err := r.streamingBaseline(b)
+	if err != nil {
+		return transform.TuneResult{}, err
+	}
+	cfg := runtime.DefaultConfig()
+	seed := core.ProfileFromStats(base.Stats, cfg.MIC.LaunchOverhead).Blocks()
+	key := fmt.Sprintf("%s|%s|%s", b.Name, cfg.MIC.Name, cfg.CPU.Name)
+	return r.tuner.Tune(key, seed, func(blocks int) (engine.Duration, error) {
+		res, err := r.run(b, workloads.MICOptimized, streamingOptions(b, blocks))
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.Time, nil
+	})
 }
 
 // combinedOptions is the full optimization set used for Figures 10/11,

@@ -34,12 +34,20 @@ type Options struct {
 	// reordering, AoS→SoA).
 	Regularize bool
 	// Blocks fixes the streaming block count; 0 uses transform.DefaultBlocks
-	// or, if Profile is set, the §III-B analytic model.
+	// or, if Profile is set, the §III-B analytic model. BlocksAuto requests
+	// measured tuning.
 	Blocks int
 	// Profile optionally carries measurements from an unoptimized run for
 	// the block-count model.
 	Profile *Profile
 }
+
+// BlocksAuto marks Options.Blocks as "choose by measurement". Drivers that
+// can re-run the program (bench, the CLIs' -blocks auto) resolve it through
+// transform.AutoTuner before the final compile; OptimizeFile itself treats
+// it like 0 — the analytic model or DefaultBlocks — which is exactly the
+// tuner's seed.
+const BlocksAuto = -1
 
 // DefaultOptions enables every optimization.
 func DefaultOptions() Options {
@@ -210,6 +218,9 @@ func OptimizeFile(f *minic.File, opt Options) (*Result, error) {
 			continue
 		}
 		blocks := opt.Blocks
+		if blocks == BlocksAuto {
+			blocks = 0
+		}
 		if blocks == 0 && opt.Profile != nil {
 			blocks = opt.Profile.Blocks()
 		}

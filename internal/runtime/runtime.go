@@ -194,6 +194,12 @@ type Stats struct {
 }
 
 // Runtime implements interp.Backend over the discrete-event simulator.
+//
+// A Runtime normally owns the whole simulated platform (New). Under the
+// stream Scheduler, several Runtimes share one simulation: each executes one
+// request on its stream's slice of the device — a partitioned machine
+// config, a per-stream launcher and host resource, a shared PCIe bus and
+// shared device memory (see newOnStream).
 type Runtime struct {
 	cfg      Config
 	sim      *engine.Sim
@@ -201,6 +207,15 @@ type Runtime struct {
 	launcher *kernel.Launcher
 	mem      *devmem.Allocator
 	host     *engine.Resource
+
+	// mic and micThreads are the device model this runtime computes with:
+	// the full card for a standalone runtime, the stream's core share under
+	// the scheduler.
+	mic        machine.Config
+	micThreads int
+	// dmaArgs is merged onto every DMA span this runtime issues (the
+	// scheduler tags transfers with their stream id); nil for standalone.
+	dmaArgs map[string]any
 
 	// hostTail is the event after which the host thread is free again.
 	hostTail *engine.Event
@@ -282,7 +297,7 @@ func (iv interval) bounds() (engine.Time, engine.Time) {
 	return end - engine.Time(iv.dur), end
 }
 
-// New builds a runtime over a fresh simulation.
+// New builds a runtime over a fresh simulation it owns outright.
 func New(cfg Config) *Runtime {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -297,29 +312,77 @@ func New(cfg Config) *Runtime {
 	}
 	host := sim.NewResource("cpu", 1)
 	host.SetCategory(engine.CatHost)
-	r := &Runtime{
-		cfg:      cfg,
-		sim:      sim,
-		bus:      pcie.New(sim, cfg.PCIe),
-		launcher: kernel.NewLauncher(sim, cfg.MIC.LaunchOverhead),
-		mem:      devmem.New(memBytes, cfg.MIC.OSReservedBytes),
-		host:     host,
-		tags:     map[string]*engine.Event{},
-		persist:  map[*minic.Pragma]*kernel.Persistent{},
-		bufs:     map[string]*devmem.Block{},
-		rec:      cfg.Recovery.resolve(),
-	}
-	r.ovIn = sim.MeterOverlap(r.bus.Resource(pcie.HostToDevice), r.launcher.Resource())
-	r.ovOut = sim.MeterOverlap(r.bus.Resource(pcie.DeviceToHost), r.launcher.Resource())
-	r.mem.SetTrace(sim.Trace(), sim.Now)
+	bus := pcie.New(sim, cfg.PCIe)
+	launcher := kernel.NewLauncher(sim, cfg.MIC.LaunchOverhead)
+	mem := devmem.New(memBytes, cfg.MIC.OSReservedBytes)
+	r := newOnStream(cfg, streamParts{
+		sim:        sim,
+		bus:        bus,
+		mem:        mem,
+		launcher:   launcher,
+		host:       host,
+		mic:        cfg.MIC,
+		micThreads: cfg.MICThreads,
+	})
+	r.ovIn = sim.MeterOverlap(bus.Resource(pcie.HostToDevice), launcher.Resource())
+	r.ovOut = sim.MeterOverlap(bus.Resource(pcie.DeviceToHost), launcher.Resource())
+	mem.SetTrace(sim.Trace(), sim.Now)
 	if cfg.Faults.Enabled() {
 		r.inj = fault.New(cfg.Faults)
 		r.inj.SetTrace(sim.Trace(), sim.Now)
-		r.bus.SetInjector(r.inj)
-		r.launcher.SetFaults(r.inj, r.rec.watchdog)
-		r.mem.SetInjector(r.inj)
+		bus.SetInjector(r.inj)
+		launcher.SetFaults(r.inj, r.rec.watchdog)
+		mem.SetInjector(r.inj)
 	}
-	r.hostTail = sim.FiredEvent()
+	return r
+}
+
+// streamParts is the slice of a (possibly shared) simulated platform one
+// Runtime executes on. New fills it with a whole fresh platform; the
+// Scheduler fills it with shared sim/bus/memory plus the per-stream
+// launcher, host resource, device share and fault injector.
+type streamParts struct {
+	sim        *engine.Sim
+	bus        *pcie.Bus
+	mem        *devmem.Allocator
+	launcher   *kernel.Launcher
+	host       *engine.Resource
+	mic        machine.Config
+	micThreads int
+	// inj, dmaArgs, after are optional: the request's fault injector, the
+	// extra args stamped on its DMA spans, and the event gating its first
+	// operation (nil means start immediately).
+	inj     *fault.Injector
+	dmaArgs map[string]any
+	after   *engine.Event
+}
+
+// newOnStream builds a runtime over pre-built platform parts. The caller is
+// responsible for any overlap meters (they must exist before the first
+// submission) and for pointing the shared bus/memory injector at parts.inj
+// while this runtime's operations are being recorded.
+func newOnStream(cfg Config, p streamParts) *Runtime {
+	r := &Runtime{
+		cfg:        cfg,
+		sim:        p.sim,
+		bus:        p.bus,
+		launcher:   p.launcher,
+		mem:        p.mem,
+		host:       p.host,
+		mic:        p.mic,
+		micThreads: p.micThreads,
+		inj:        p.inj,
+		dmaArgs:    p.dmaArgs,
+		tags:       map[string]*engine.Event{},
+		persist:    map[*minic.Pragma]*kernel.Persistent{},
+		bufs:       map[string]*devmem.Block{},
+		rec:        cfg.Recovery.resolve(),
+	}
+	if p.after != nil {
+		r.hostTail = p.after
+	} else {
+		r.hostTail = p.sim.FiredEvent()
+	}
 	return r
 }
 
@@ -390,9 +453,9 @@ func (r *Runtime) traceRecovery(trigger *engine.Event, label string, cat engine.
 // permanently unless recovery is disabled.
 func (r *Runtime) dma(after *engine.Event, dir pcie.Direction, label string, bytes int64) (*engine.Event, error) {
 	if r.inj == nil {
-		return r.bus.TransferAfter(after, dir, label, bytes), nil
+		return r.bus.TransferAfterArgs(after, dir, label, bytes, r.dmaArgs), nil
 	}
-	ev, ok := r.bus.TryTransferAfter(after, dir, label, bytes)
+	ev, ok := r.bus.TryTransferAfterArgs(after, dir, label, bytes, r.dmaArgs)
 	if ok {
 		return ev, nil
 	}
@@ -404,7 +467,7 @@ func (r *Runtime) dma(after *engine.Event, dir pcie.Direction, label string, byt
 		r.traceRecovery(ev, "retry:"+label, engine.CatRetry,
 			map[string]any{"op": "dma", "attempt": attempt, "bytes": bytes})
 		ready := engine.Delay(r.sim, ev, r.backoffDur(attempt))
-		if ev, ok = r.bus.TryTransferAfter(ready, dir, label, bytes); ok {
+		if ev, ok = r.bus.TryTransferAfterArgs(ready, dir, label, bytes, r.dmaArgs); ok {
 			return ev, nil
 		}
 	}
@@ -414,7 +477,7 @@ func (r *Runtime) dma(after *engine.Event, dir pcie.Direction, label string, byt
 	r.faultWarns = append(r.faultWarns, fmt.Sprintf(
 		"DMA %q failed %d retries; escalated to a blocking channel reset", label, r.rec.maxRetries))
 	ready := engine.Delay(r.sim, ev, r.backoffDur(r.rec.maxRetries+1))
-	return r.bus.TransferAfter(ready, dir, label, bytes), nil
+	return r.bus.TransferAfterArgs(ready, dir, label, bytes, r.dmaArgs), nil
 }
 
 // launchKernel starts a kernel under the fault schedule. Failed launches
@@ -564,9 +627,9 @@ func (r *Runtime) ensureStaging(size uint64) error {
 		return err
 	}
 	r.staging = b
-	if r.cfg.MIC.AllocOverhead > 0 {
+	if r.mic.AllocOverhead > 0 {
 		r.hostTail = r.host.SubmitTagged(r.hostTail, "alloc", engine.CatAlloc,
-			r.cfg.MIC.AllocOverhead, map[string]any{"bytes": size, "buf": "staging"})
+			r.mic.AllocOverhead, map[string]any{"bytes": size, "buf": "staging"})
 	}
 	return nil
 }
@@ -595,8 +658,8 @@ func (r *Runtime) allocSpecs(specs []interp.TransferSpec) error {
 		r.bufs[sp.Dest] = b
 		allocs++
 	}
-	if allocs > 0 && r.cfg.MIC.AllocOverhead > 0 {
-		d := engine.Duration(allocs) * r.cfg.MIC.AllocOverhead
+	if allocs > 0 && r.mic.AllocOverhead > 0 {
+		d := engine.Duration(allocs) * r.mic.AllocOverhead
 		r.hostTail = r.host.SubmitTagged(r.hostTail, "alloc", engine.CatAlloc,
 			d, map[string]any{"allocs": allocs})
 	}
@@ -724,7 +787,7 @@ func (r *Runtime) offloadPipelined(op *interp.OffloadOp) error {
 	}
 	ready := engine.AllOf(r.sim, deps...)
 
-	dur := regionTime(r.cfg.MIC, op.Work, r.cfg.MICThreads)
+	dur := regionTime(r.mic, op.Work, r.micThreads)
 	var done *engine.Event
 	if op.Persist {
 		p := r.persist[op.Pragma]
@@ -793,7 +856,7 @@ func (r *Runtime) offloadSync(op *interp.OffloadOp) error {
 	if err != nil {
 		return err
 	}
-	dur := regionTime(r.cfg.MIC, op.Work, r.cfg.MICThreads)
+	dur := regionTime(r.mic, op.Work, r.micThreads)
 	done, err := r.launchKernel(tail, pragmaLabel(op.Pragma)+"!sync", dur)
 	if err != nil {
 		return err
@@ -959,24 +1022,24 @@ func pragmaLabel(p *minic.Pragma) string {
 }
 
 // Finish exits persistent kernels, drains the simulation, and returns the
-// run's statistics. It must be called exactly once.
+// run's statistics. It must be called exactly once. (Scheduler-managed
+// runtimes never call Finish — the scheduler closes every request's graph,
+// runs the shared simulation once, and collects per-request stats itself.)
 func (r *Runtime) Finish() Stats {
 	if r.finished {
 		panic("runtime: Finish called twice")
 	}
 	r.finished = true
-	for _, p := range r.persist {
-		p.Exit()
-	}
+	r.closeGraph()
 	end := r.sim.Run()
-	// The makespan also covers the host reaching its final point.
-	if r.hostTail.Fired() && r.hostTail.Time() > end {
-		end = r.hostTail.Time()
-	}
-	end = r.recoverStalls(end)
+	end = r.settle(end)
 	var injected int64
 	if r.inj != nil {
 		injected = r.inj.Injected()
+	}
+	var overlap engine.Duration
+	if r.ovIn != nil {
+		overlap = r.ovIn.Total() + r.ovOut.Total()
 	}
 	return Stats{
 		RaceWarnings:     r.detectRaces(),
@@ -985,7 +1048,7 @@ func (r *Runtime) Finish() Stats {
 		HostBusy:         r.host.BusyTime(),
 		DeviceBusy:       r.launcher.ComputeBusy(),
 		TransferBusy:     r.bus.BusyTime(pcie.HostToDevice) + r.bus.BusyTime(pcie.DeviceToHost),
-		Overlap:          r.ovIn.Total() + r.ovOut.Total(),
+		Overlap:          overlap,
 		KernelLaunches:   r.launcher.Launches(),
 		Transfers:        r.bus.TotalTransfers(),
 		BytesIn:          r.bus.BytesMoved(pcie.HostToDevice),
@@ -997,6 +1060,25 @@ func (r *Runtime) Finish() Stats {
 		Fallbacks:        truncateWarnings(r.fallbacks),
 		FaultWarnings:    truncateWarnings(r.faultWarns),
 	}
+}
+
+// closeGraph exits this runtime's persistent kernels so their device
+// occupancy ends; the event graph is complete afterwards. Exit submits no
+// new work, so map iteration order does not affect the simulation.
+func (r *Runtime) closeGraph() {
+	for _, p := range r.persist {
+		p.Exit()
+	}
+}
+
+// settle extends a drained simulation's end time to cover this runtime's
+// host tail and any end-of-run stall recovery.
+func (r *Runtime) settle(end engine.Time) engine.Time {
+	// The makespan also covers the host reaching its final point.
+	if r.hostTail.Fired() && r.hostTail.Time() > end {
+		end = r.hostTail.Time()
+	}
+	return r.recoverStalls(end)
 }
 
 // recoverStalls is the end-of-run watchdog: work that never completed

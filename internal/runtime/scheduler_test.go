@@ -1,0 +1,358 @@
+package runtime
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"comp/internal/interp"
+	"comp/internal/sim/engine"
+	"comp/internal/sim/fault"
+	"comp/internal/sim/metrics"
+)
+
+// schedPrograms compiles n independent copies of the double-buffered
+// streamed pipeline (each request needs its own Program: execution happens
+// at graph-construction time).
+func schedPrograms(t *testing.T, n int) []*interp.Program {
+	t.Helper()
+	out := make([]*interp.Program, n)
+	for i := range out {
+		p, err := interp.Compile(streamedSource(1<<16, 8, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// runSched builds a scheduler over cfg, submits the programs under labels
+// "req-%02d", and runs the batch.
+func runSched(t *testing.T, cfg Config, streams int, progs []*interp.Program) SchedResult {
+	t.Helper()
+	s, err := NewScheduler(cfg, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range progs {
+		s.Submit(Request{Label: fmt.Sprintf("req-%02d", i), Program: p})
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSchedulerDeterministic: two scheduler runs of the same batch agree on
+// every statistic bit-for-bit, the property TestRunsAreDeterministic pins
+// for the single-program runtime.
+func TestSchedulerDeterministic(t *testing.T) {
+	run := func() SchedStats {
+		return runSched(t, DefaultConfig(), 2, schedPrograms(t, 4)).Stats
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("scheduler runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSchedulerSubmissionOrderIndependence: the schedule is a function of
+// the submitted set (ordered by label), not of submission order.
+func TestSchedulerSubmissionOrderIndependence(t *testing.T) {
+	cfg := DefaultConfig()
+	forward := runSched(t, cfg, 2, schedPrograms(t, 4)).Stats
+
+	s, err := NewScheduler(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := schedPrograms(t, 4)
+	for i := len(progs) - 1; i >= 0; i-- {
+		s.Submit(Request{Label: fmt.Sprintf("req-%02d", i), Program: progs[i]})
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(forward, res.Stats) {
+		t.Fatalf("submission order changed the schedule:\n%+v\n%+v", forward, res.Stats)
+	}
+}
+
+// TestSchedulerConcurrentSubmitters: eight host goroutines race to Submit;
+// under `go test -race` this exercises the queue's synchronization, and the
+// result must equal the serially-submitted batch.
+func TestSchedulerConcurrentSubmitters(t *testing.T) {
+	const n = 8
+	cfg := DefaultConfig()
+	serial := runSched(t, cfg, 2, schedPrograms(t, n)).Stats
+
+	s, err := NewScheduler(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := schedPrograms(t, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Submit(Request{Label: fmt.Sprintf("req-%02d", i), Program: progs[i]})
+		}(i)
+	}
+	wg.Wait()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, res.Stats) {
+		t.Fatalf("concurrent submission changed the schedule:\n%+v\n%+v", serial, res.Stats)
+	}
+}
+
+// TestSchedulerQueueWait: on a single stream, requests serialize; the
+// second request's queue wait equals the first one's completion time.
+func TestSchedulerQueueWait(t *testing.T) {
+	res := runSched(t, DefaultConfig(), 1, schedPrograms(t, 2))
+	rq := res.Stats.Requests
+	if len(rq) != 2 {
+		t.Fatalf("got %d request stats, want 2", len(rq))
+	}
+	if rq[0].QueueWait != 0 {
+		t.Errorf("first request waited %v, want 0", rq[0].QueueWait)
+	}
+	if rq[1].QueueWait == 0 {
+		t.Error("second request on the same stream waited 0")
+	}
+	if rq[1].Start != rq[0].End {
+		t.Errorf("second request started at %v, first ended at %v", rq[1].Start, rq[0].End)
+	}
+	if res.Stats.CrossStreamOverlap != 0 {
+		t.Errorf("one stream cannot cross-overlap, got %v", res.Stats.CrossStreamOverlap)
+	}
+}
+
+// TestSchedulerSpreadsRequests: round-robin placement engages every stream.
+func TestSchedulerSpreadsRequests(t *testing.T) {
+	res := runSched(t, DefaultConfig(), 4, schedPrograms(t, 4))
+	if len(res.Stats.Streams) != 4 {
+		t.Fatalf("got %d stream stats, want 4", len(res.Stats.Streams))
+	}
+	for _, ss := range res.Stats.Streams {
+		if ss.Requests != 1 {
+			t.Errorf("stream %d ran %d requests, want 1", ss.StreamID, ss.Requests)
+		}
+		if ss.DeviceBusy == 0 {
+			t.Errorf("stream %d never computed", ss.StreamID)
+		}
+		if ss.Cores == 0 || ss.Threads == 0 {
+			t.Errorf("stream %d has empty share: %+v", ss.StreamID, ss)
+		}
+	}
+	if res.Stats.CrossStreamOverlap == 0 {
+		t.Error("four concurrent streams never overlapped")
+	}
+}
+
+// TestSchedulerStatsTraceConsistency extends the Stats↔Trace oracle to the
+// multi-stream scheduler: every per-stream aggregate must be re-derivable
+// from the "mic-s<i>"/"cpu-s<i>" span streams, DMA spans must carry their
+// stream id, and the online cross-stream meter must match the trace sweep
+// (via metrics.FromTrace, which implements it independently).
+func TestSchedulerStatsTraceConsistency(t *testing.T) {
+	res := runSched(t, DefaultConfig(), 2, schedPrograms(t, 4))
+	checkSchedStatsTrace(t, res)
+}
+
+func checkSchedStatsTrace(t *testing.T, res SchedResult) {
+	t.Helper()
+	st, tr := res.Stats, res.Trace
+	if tr == nil || len(tr.Spans()) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	for _, ss := range st.Streams {
+		compute := fmt.Sprintf("mic-s%d", ss.StreamID)
+		host := fmt.Sprintf("cpu-s%d", ss.StreamID)
+		if want := tr.BusyTime(compute); ss.DeviceBusy != want {
+			t.Errorf("stream %d DeviceBusy = %v, trace busy = %v", ss.StreamID, ss.DeviceBusy, want)
+		}
+		if want := tr.BusyTime(host); ss.HostBusy != want {
+			t.Errorf("stream %d HostBusy = %v, trace busy = %v", ss.StreamID, ss.HostBusy, want)
+		}
+		if want := tr.Overlap("pcie-h2d", compute) + tr.Overlap("pcie-d2h", compute); ss.Overlap != want {
+			t.Errorf("stream %d Overlap = %v, trace overlap = %v", ss.StreamID, ss.Overlap, want)
+		}
+		var launches int64
+		for _, sp := range tr.ByResource(compute) {
+			if v, ok := sp.Args["launch"].(bool); ok && v {
+				launches++
+			}
+		}
+		if ss.KernelLaunches != launches {
+			t.Errorf("stream %d KernelLaunches = %d, launch-marked spans = %d", ss.StreamID, ss.KernelLaunches, launches)
+		}
+	}
+
+	// Shared-resource books: DMA spans sum to the global counters, and every
+	// one is tagged with a valid stream id.
+	var nDMA, bytesIn, bytesOut int64
+	for _, sp := range tr.Spans() {
+		if sp.Cat != engine.CatDMAIn && sp.Cat != engine.CatDMAOut {
+			continue
+		}
+		nDMA++
+		b, ok := sp.Args["bytes"].(int64)
+		if !ok {
+			t.Fatalf("DMA span %s/%s has no bytes arg: %v", sp.Resource, sp.Label, sp.Args)
+		}
+		id, ok := sp.Args["stream"].(int64)
+		if !ok || id < 0 || int(id) >= len(st.Streams) {
+			t.Fatalf("DMA span %s/%s has no valid stream tag: %v", sp.Resource, sp.Label, sp.Args)
+		}
+		if sp.Cat == engine.CatDMAIn {
+			bytesIn += b
+		} else {
+			bytesOut += b
+		}
+	}
+	if st.Transfers != nDMA {
+		t.Errorf("Transfers = %d, DMA spans = %d", st.Transfers, nDMA)
+	}
+	if st.BytesIn != bytesIn || st.BytesOut != bytesOut {
+		t.Errorf("bytes in/out = %d/%d, trace = %d/%d", st.BytesIn, st.BytesOut, bytesIn, bytesOut)
+	}
+
+	// The online cross-stream meter vs the independent trace-side sweep in
+	// the metrics package, which also rebuilds the per-stream figures.
+	rep := metrics.FromTrace(tr, st.Time)
+	if rep.CrossStreamOverlapNs != int64(st.CrossStreamOverlap) {
+		t.Errorf("CrossStreamOverlap = %v, metrics sweep = %dns", st.CrossStreamOverlap, rep.CrossStreamOverlapNs)
+	}
+	if len(rep.Streams) != len(st.Streams) {
+		t.Fatalf("metrics found %d streams, scheduler ran %d", len(rep.Streams), len(st.Streams))
+	}
+	for i, sm := range rep.Streams {
+		ss := st.Streams[i]
+		if sm.ComputeBusyNs != int64(ss.DeviceBusy) || sm.HostBusyNs != int64(ss.HostBusy) ||
+			sm.OverlapNs != int64(ss.Overlap) {
+			t.Errorf("stream %d: metrics %+v disagree with stats %+v", ss.StreamID, sm, ss)
+		}
+	}
+
+	// Makespan covers every span.
+	for _, sp := range tr.Spans() {
+		if engine.Duration(sp.End) > st.Time {
+			t.Errorf("span %s/%s ends at %v, after the makespan %v", sp.Resource, sp.Label, sp.End, st.Time)
+			break
+		}
+	}
+}
+
+// TestSchedulerDisableTrace: recording off changes nothing but the span
+// stream (the observer-effect contract, scheduler edition).
+func TestSchedulerDisableTrace(t *testing.T) {
+	traced := runSched(t, DefaultConfig(), 2, schedPrograms(t, 4))
+	cfg := DefaultConfig()
+	cfg.DisableTrace = true
+	silent := runSched(t, cfg, 2, schedPrograms(t, 4))
+	if n := len(silent.Trace.Spans()); n != 0 {
+		t.Errorf("DisableTrace still recorded %d spans", n)
+	}
+	if !reflect.DeepEqual(traced.Stats, silent.Stats) {
+		t.Errorf("tracing changed scheduler stats:\n on: %+v\noff: %+v", traced.Stats, silent.Stats)
+	}
+}
+
+// TestSchedulerChaos: the PR-1 resilience ladder holds per stream — under
+// an aggressive fault schedule the batch completes, every request's outputs
+// match the fault-free run, and the same seed reproduces the same stats.
+func TestSchedulerChaos(t *testing.T) {
+	outputs := func(t *testing.T, progs []*interp.Program) [][]float64 {
+		var out [][]float64
+		for _, p := range progs {
+			b, err := p.ArrayData("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, append([]float64(nil), b...))
+		}
+		return out
+	}
+	cleanProgs := schedPrograms(t, 4)
+	clean := runSched(t, DefaultConfig(), 2, cleanProgs)
+	want := outputs(t, cleanProgs)
+
+	for i, seed := range []int64{11, 23, 47} {
+		cfg := DefaultConfig()
+		cfg.Faults = fault.Config{Seed: seed, DMARate: 0.5, LaunchRate: 0.25, HangRate: 0.15, AllocRate: 0.1}
+		progs := schedPrograms(t, 4)
+		res := runSched(t, cfg, 2, progs)
+		st := res.Stats
+		if st.FaultsInjected < 1 {
+			t.Errorf("seed %d: no faults injected; the schedule is too weak to test anything", seed)
+		}
+		if got := outputs(t, progs); !reflect.DeepEqual(want, got) {
+			t.Errorf("seed %d: outputs diverged from the fault-free run", seed)
+		}
+		if limit := 50*clean.Stats.Time + 50*engine.Millisecond; st.Time > limit {
+			t.Errorf("seed %d: makespan %v exceeds bound %v (clean %v)", seed, st.Time, limit, clean.Stats.Time)
+		}
+		for _, rq := range st.Requests {
+			if len(rq.DeadlockWarnings) != 0 {
+				t.Errorf("seed %d: request %s left deadlocks: %v", seed, rq.Label, rq.DeadlockWarnings)
+			}
+		}
+		// Per-stream fault schedules are independent and must reach the
+		// stream totals.
+		var perStream int64
+		for _, ss := range st.Streams {
+			perStream += ss.FaultsInjected
+		}
+		if perStream != st.FaultsInjected {
+			t.Errorf("seed %d: stream fault totals %d != global %d", seed, perStream, st.FaultsInjected)
+		}
+		// The consistency oracle must hold under chaos too.
+		checkSchedStatsTrace(t, res)
+		if i == 0 {
+			again := runSched(t, cfg, 2, schedPrograms(t, 4))
+			if !reflect.DeepEqual(st, again.Stats) {
+				t.Errorf("seed %d: rerun produced different stats:\n%+v\n%+v", seed, st, again.Stats)
+			}
+		}
+	}
+}
+
+// TestNewSchedulerValidation: impossible partitions are rejected up front.
+func TestNewSchedulerValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := NewScheduler(cfg, 0); err == nil {
+		t.Error("0 streams accepted")
+	}
+	// 200 threads engage 50 cores; 51 streams cannot each get a whole core.
+	if _, err := NewScheduler(cfg, 51); err == nil {
+		t.Error("more streams than engaged cores accepted")
+	}
+	if _, err := NewScheduler(cfg, 4); err != nil {
+		t.Errorf("4 streams rejected: %v", err)
+	}
+}
+
+// TestSchedulerSubmitAfterRunPanics pins the single-batch contract.
+func TestSchedulerSubmitAfterRunPanics(t *testing.T) {
+	s, err := NewScheduler(DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit after Run did not panic")
+		}
+	}()
+	s.Submit(Request{Label: "late"})
+}

@@ -13,8 +13,12 @@ type Resource struct {
 	busy    int
 	queue   []job
 	busyTot Duration // aggregate busy time across servers, for utilization
-	meters  []*OverlapMeter
+	meters  []busyObserver
 }
+
+// busyObserver is notified whenever the resource's busy count changes;
+// OverlapMeter and ConcurrencyMeter implement it.
+type busyObserver interface{ update() }
 
 type job struct {
 	label string
@@ -164,6 +168,61 @@ func (m *OverlapMeter) update() {
 
 // Total returns the accumulated overlap, including any interval still open.
 func (m *OverlapMeter) Total() Duration {
+	if m.active {
+		return m.total + Duration(m.sim.now-m.since)
+	}
+	return m.total
+}
+
+// ConcurrencyMeter measures the total virtual time during which at least
+// `threshold` resources of a set are simultaneously busy. The device-sharing
+// scheduler uses it with threshold 2 over the per-stream compute resources
+// to report cross-stream overlap — the utilization a single pipeline leaves
+// idle — without depending on trace recording.
+type ConcurrencyMeter struct {
+	sim       *Sim
+	resources []*Resource
+	threshold int
+	total     Duration
+	since     Time
+	active    bool
+}
+
+// MeterConcurrency attaches a concurrency meter to a set of resources.
+// Like MeterOverlap, it must be created before any job is submitted to any
+// of them. A threshold below 1 is clamped to 1.
+func (s *Sim) MeterConcurrency(threshold int, rs ...*Resource) *ConcurrencyMeter {
+	if threshold < 1 {
+		threshold = 1
+	}
+	m := &ConcurrencyMeter{sim: s, resources: rs, threshold: threshold}
+	for _, r := range rs {
+		r.meters = append(r.meters, m)
+	}
+	return m
+}
+
+func (m *ConcurrencyMeter) update() {
+	n := 0
+	for _, r := range m.resources {
+		if r.busy > 0 {
+			n++
+		}
+	}
+	on := n >= m.threshold
+	switch {
+	case on && !m.active:
+		m.active = true
+		m.since = m.sim.now
+	case !on && m.active:
+		m.active = false
+		m.total += Duration(m.sim.now - m.since)
+	}
+}
+
+// Total returns the accumulated concurrency time, including any interval
+// still open.
+func (m *ConcurrencyMeter) Total() Duration {
 	if m.active {
 		return m.total + Duration(m.sim.now-m.since)
 	}

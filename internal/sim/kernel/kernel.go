@@ -52,9 +52,19 @@ type Launcher struct {
 	faults int64
 }
 
-// NewLauncher creates a launcher with the given per-launch overhead.
+// NewLauncher creates a launcher with the given per-launch overhead over
+// the whole device compute fabric.
 func NewLauncher(sim *engine.Sim, overhead engine.Duration) *Launcher {
-	compute := sim.NewResource("mic-compute", 1)
+	return NewLauncherOn(sim, "mic-compute", overhead)
+}
+
+// NewLauncherOn is NewLauncher with an explicit compute-resource name. The
+// device-sharing scheduler creates one launcher per stream ("mic-s0",
+// "mic-s1", ...), each modelling the core partition that stream owns;
+// kernels on different streams then run concurrently while kernels within
+// a stream keep their FIFO order.
+func NewLauncherOn(sim *engine.Sim, resource string, overhead engine.Duration) *Launcher {
+	compute := sim.NewResource(resource, 1)
 	compute.SetCategory(engine.CatKernel)
 	return &Launcher{
 		sim:      sim,

@@ -69,6 +69,17 @@ type Config struct {
 	ScalarEff float64
 	// MemBandwidthGBs is the aggregate DRAM bandwidth in GB/s.
 	MemBandwidthGBs float64
+	// SaturationCores is how many cores it takes to saturate the DRAM
+	// bandwidth; a kernel engaging fewer cores sustains only a
+	// proportional fraction. Zero means any core count reaches full
+	// bandwidth (the pre-partitioning behaviour, kept for the host, whose
+	// prefetchers saturate DRAM from very few cores). On the in-order
+	// manycore card this is what makes device sharing profitable: a
+	// quarter of the cores sustains well over a quarter of aggregate
+	// bandwidth only up to the saturation knee, so one memory-bound
+	// kernel on all cores leaves compute throughput idle that concurrent
+	// streams can recover.
+	SaturationCores int
 	// CacheLineBytes is the line size used for irregular-access accounting.
 	CacheLineBytes int
 	// RandomAccessBytes is the useful payload per line on a gathered access
@@ -108,6 +119,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine %s: cache line/random payload must be positive", c.Name)
 	case c.RandomAccessBytes > c.CacheLineBytes:
 		return fmt.Errorf("machine %s: random payload %d > line %d", c.Name, c.RandomAccessBytes, c.CacheLineBytes)
+	case c.SaturationCores < 0:
+		return fmt.Errorf("machine %s: saturation cores %d < 0", c.Name, c.SaturationCores)
 	}
 	return nil
 }
@@ -146,17 +159,36 @@ func (c Config) SerialTime(flops float64) engine.Duration {
 	return engine.DurationOf(flops / (c.ClockGHz * 1e9 * c.SingleThreadIPC))
 }
 
+// BandwidthAt returns the sustained DRAM bandwidth in GB/s reachable with
+// the given number of engaged cores: linear up to SaturationCores, flat at
+// the aggregate beyond. With SaturationCores zero it is always the
+// aggregate.
+func (c Config) BandwidthAt(cores int) float64 {
+	if c.SaturationCores <= 0 || cores >= c.SaturationCores {
+		return c.MemBandwidthGBs
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	return c.MemBandwidthGBs * float64(cores) / float64(c.SaturationCores)
+}
+
 // EffectiveBandwidth returns memory bandwidth in bytes/s given the fraction
-// of traffic that is irregular. Each irregular element drags a whole cache
-// line across the memory system but uses only RandomAccessBytes of it.
+// of traffic that is irregular, assuming enough cores to saturate DRAM.
+// Each irregular element drags a whole cache line across the memory system
+// but uses only RandomAccessBytes of it.
 func (c Config) EffectiveBandwidth(irregularFrac float64) float64 {
+	return c.effectiveBandwidthAt(irregularFrac, c.Cores)
+}
+
+func (c Config) effectiveBandwidthAt(irregularFrac float64, cores int) float64 {
 	if irregularFrac < 0 {
 		irregularFrac = 0
 	}
 	if irregularFrac > 1 {
 		irregularFrac = 1
 	}
-	peak := c.MemBandwidthGBs * 1e9
+	peak := c.BandwidthAt(cores) * 1e9
 	lineWaste := float64(c.CacheLineBytes) / float64(c.RandomAccessBytes)
 	// Weighted harmonic combination of regular and irregular traffic.
 	denom := (1 - irregularFrac) + irregularFrac*lineWaste
@@ -196,10 +228,48 @@ func (c Config) WorkTime(flops, bytes, irregularFrac float64, vectorizable bool,
 		tp *= c.ScalarEff
 	}
 	computeSec := flops / tp
-	memSec := bytes / c.EffectiveBandwidth(irregularFrac)
+	memSec := bytes / c.effectiveBandwidthAt(irregularFrac, c.coresFor(threads))
 	sec := computeSec
 	if memSec > sec {
 		sec = memSec
 	}
 	return engine.DurationOf(sec)
+}
+
+// Share is one stream's slice of a partitioned device: a derated Config
+// (core count reduced; the memory roofline follows via SaturationCores)
+// plus the software thread count filling exactly those cores.
+type Share struct {
+	Config  Config
+	Cores   int
+	Threads int
+}
+
+// Partition splits the device engaged by `threads` software threads into
+// `parts` core-disjoint shares, whole cores only, remainders handed out
+// from the first share on. Thread counts are multiples of ThreadsPerCore so
+// every share's cores run with full pipelines (no single-thread IPC
+// penalty). It errors when there are not enough engaged cores to give every
+// share at least one.
+func (c Config) Partition(threads, parts int) ([]Share, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("machine %s: partition into %d parts", c.Name, parts)
+	}
+	total := c.coresFor(threads)
+	if parts > total {
+		return nil, fmt.Errorf("machine %s: %d streams exceed the %d cores engaged by %d threads",
+			c.Name, parts, total, threads)
+	}
+	base, rem := total/parts, total%parts
+	shares := make([]Share, parts)
+	for i := range shares {
+		cores := base
+		if i < rem {
+			cores++
+		}
+		cfg := c
+		cfg.Cores = cores
+		shares[i] = Share{Config: cfg, Cores: cores, Threads: cores * c.ThreadsPerCore}
+	}
+	return shares, nil
 }

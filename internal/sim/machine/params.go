@@ -53,6 +53,7 @@ func XeonPhi() Config {
 		VectorEff:         0.35,
 		ScalarEff:         0.40, // in-order cores on branchy scalar code
 		MemBandwidthGBs:   140,
+		SaturationCores:   24, // ~40% of the cores saturate GDDR5 (STREAM-style)
 		CacheLineBytes:    64,
 		RandomAccessBytes: 4,
 		MemBytes:          8 << 30,

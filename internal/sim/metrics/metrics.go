@@ -16,6 +16,7 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 
 	"comp/internal/sim/engine"
@@ -68,6 +69,25 @@ type OccupancyLevel struct {
 	Fraction float64 `json:"fraction"`
 }
 
+// StreamMetrics summarizes one scheduler stream's timeline, derived from
+// its per-stream resources ("mic-s<i>", "cpu-s<i>") and the stream ids the
+// runtime stamps on DMA spans.
+type StreamMetrics struct {
+	Stream int `json:"stream"`
+	// ComputeBusyNs and HostBusyNs are the stream's compute-fabric and host
+	// thread busy times; Utilization normalizes compute by the makespan.
+	ComputeBusyNs int64   `json:"computeBusyNs"`
+	HostBusyNs    int64   `json:"hostBusyNs"`
+	Utilization   float64 `json:"utilization"`
+	// OverlapNs is DMA↔compute concurrency for this stream's kernels.
+	OverlapNs int64 `json:"overlapNs"`
+	// Transfers counts DMA spans tagged with this stream id; BytesIn and
+	// BytesOut their payloads by direction.
+	Transfers int   `json:"transfers"`
+	BytesIn   int64 `json:"bytesIn"`
+	BytesOut  int64 `json:"bytesOut"`
+}
+
 // Report is the derived-metrics summary of one run's timeline.
 type Report struct {
 	// MakespanNs is the end-to-end virtual time the metrics are normalized
@@ -91,6 +111,12 @@ type Report struct {
 	// device-compute spans.
 	Transfers Histogram `json:"transfers"`
 	Kernels   Histogram `json:"kernels"`
+	// Streams is populated only for scheduler traces (per-stream resources
+	// "mic-s<i>" present). CrossStreamOverlapNs is the time during which at
+	// least two streams' compute fabrics were simultaneously busy — the
+	// quantity the multi-stream scheduler exists to maximize.
+	Streams              []StreamMetrics `json:"streams,omitempty"`
+	CrossStreamOverlapNs int64           `json:"crossStreamOverlapNs,omitempty"`
 }
 
 // Resource names of the standard platform, referenced for overlap math.
@@ -194,7 +220,145 @@ func FromTrace(tr *engine.Trace, makespan engine.Duration) Report {
 	rep.Occupancy = occupancy(spans, makespan)
 	rep.Transfers = histogram(transferDurs)
 	rep.Kernels = histogram(kernelDurs)
+	rep.Streams, rep.CrossStreamOverlapNs = streamMetrics(tr, spans, makespan)
 	return rep
+}
+
+// streamComputeRes and streamHostRes are the scheduler's per-stream resource
+// naming scheme (see runtime.Scheduler).
+const (
+	streamComputePrefix = "mic-s"
+	streamHostPrefix    = "cpu-s"
+)
+
+// streamID extracts the stream index from a per-stream compute resource name
+// ("mic-s3" → 3, true).
+func streamID(resource string) (int, bool) {
+	rest, ok := strings.CutPrefix(resource, streamComputePrefix)
+	if !ok || rest == "" {
+		return 0, false
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil || id < 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// streamMetrics derives per-stream summaries and the cross-stream compute
+// overlap. Returns (nil, 0) for single-stream traces, leaving the classic
+// Report shape untouched.
+func streamMetrics(tr *engine.Trace, spans []engine.Span, makespan engine.Duration) ([]StreamMetrics, int64) {
+	ids := map[int]bool{}
+	for _, name := range tr.Resources() {
+		if id, ok := streamID(name); ok {
+			ids[id] = true
+		}
+	}
+	if len(ids) == 0 {
+		return nil, 0
+	}
+	byID := map[int]*StreamMetrics{}
+	order := make([]int, 0, len(ids))
+	for id := range ids {
+		order = append(order, id)
+	}
+	sort.Ints(order)
+	for _, id := range order {
+		compute := fmt.Sprintf("%s%d", streamComputePrefix, id)
+		m := &StreamMetrics{
+			Stream:        id,
+			ComputeBusyNs: int64(tr.BusyTime(compute)),
+			HostBusyNs:    int64(tr.BusyTime(fmt.Sprintf("%s%d", streamHostPrefix, id))),
+			OverlapNs:     int64(tr.Overlap(resH2D, compute) + tr.Overlap(resD2H, compute)),
+		}
+		if makespan > 0 {
+			m.Utilization = float64(m.ComputeBusyNs) / float64(makespan)
+		}
+		byID[id] = m
+	}
+	// DMA attribution: the runtime stamps each transfer span with the
+	// submitting stream's id.
+	for _, sp := range spans {
+		if sp.Instant || (sp.Cat != engine.CatDMAIn && sp.Cat != engine.CatDMAOut) {
+			continue
+		}
+		id, ok := sp.Args["stream"].(int64)
+		if !ok {
+			continue
+		}
+		m := byID[int(id)]
+		if m == nil {
+			continue
+		}
+		m.Transfers++
+		bytes, _ := sp.Args["bytes"].(int64)
+		if sp.Cat == engine.CatDMAIn {
+			m.BytesIn += bytes
+		} else {
+			m.BytesOut += bytes
+		}
+	}
+	out := make([]StreamMetrics, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out, int64(crossStreamOverlap(spans))
+}
+
+// crossStreamOverlap sweeps the compute spans of all streams and sums the
+// time during which two or more distinct stream compute resources were busy.
+func crossStreamOverlap(spans []engine.Span) engine.Duration {
+	type edge struct {
+		at       engine.Time
+		resource string
+		delta    int
+	}
+	var edges []edge
+	for _, sp := range spans {
+		if sp.Instant || sp.End <= sp.Start {
+			continue
+		}
+		if _, ok := streamID(sp.Resource); !ok {
+			continue
+		}
+		edges = append(edges, edge{sp.Start, sp.Resource, +1}, edge{sp.End, sp.Resource, -1})
+	}
+	if len(edges) == 0 {
+		return 0
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta
+	})
+	active := map[string]int{}
+	busy := func() int {
+		n := 0
+		for _, c := range active {
+			if c > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	var total engine.Duration
+	var cursor engine.Time
+	for i := 0; i < len(edges); {
+		at := edges[i].at
+		if at > cursor {
+			if busy() >= 2 {
+				total += engine.Duration(at - cursor)
+			}
+			cursor = at
+		}
+		for i < len(edges) && edges[i].at == at {
+			active[edges[i].resource] += edges[i].delta
+			i++
+		}
+	}
+	return total
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -348,6 +512,16 @@ func (r Report) Format() string {
 	}
 	fmt.Fprintf(&b, "\ntransfer/compute overlap %v (%.1f%% of the achievable bound)\n",
 		engine.Duration(r.OverlapNs), 100*r.OverlapFraction)
+	if len(r.Streams) > 0 {
+		fmt.Fprintf(&b, "\n%-8s %14s %12s %14s %10s %12s %12s\n",
+			"stream", "compute", "utilization", "dma-overlap", "transfers", "bytesIn", "bytesOut")
+		for _, s := range r.Streams {
+			fmt.Fprintf(&b, "s%-7d %14v %11.1f%% %14v %10d %12d %12d\n",
+				s.Stream, engine.Duration(s.ComputeBusyNs), 100*s.Utilization,
+				engine.Duration(s.OverlapNs), s.Transfers, s.BytesIn, s.BytesOut)
+		}
+		fmt.Fprintf(&b, "cross-stream compute overlap %v\n", engine.Duration(r.CrossStreamOverlapNs))
+	}
 	if len(r.Occupancy) > 0 {
 		fmt.Fprintf(&b, "\npipeline-stage occupancy (share of makespan with K resources busy)\n")
 		for _, o := range r.Occupancy {

@@ -174,6 +174,96 @@ func TestFormatMentionsKeySections(t *testing.T) {
 	}
 }
 
+// streamTrace builds a two-stream scheduler timeline:
+//
+//	mic-s0   |..####........|
+//	mic-s1   |....####......|  → 20ns cross-stream overlap [40,60)
+//	pcie-h2d |<<<<...<<<<...|  stream-tagged DMA
+func streamTrace() *engine.Trace {
+	tr := engine.NewTrace()
+	tr.Add(engine.Span{Resource: "pcie-h2d", Label: "in0", Cat: engine.CatDMAIn, Start: 0, End: 20,
+		Args: map[string]any{"bytes": int64(100), "stream": int64(0)}})
+	tr.Add(engine.Span{Resource: "mic-s0", Label: "k0", Cat: engine.CatKernel, Start: 20, End: 60})
+	tr.Add(engine.Span{Resource: "pcie-h2d", Label: "in1", Cat: engine.CatDMAIn, Start: 20, End: 40,
+		Args: map[string]any{"bytes": int64(200), "stream": int64(1)}})
+	tr.Add(engine.Span{Resource: "mic-s1", Label: "k1", Cat: engine.CatKernel, Start: 40, End: 80})
+	tr.Add(engine.Span{Resource: "pcie-d2h", Label: "out1", Cat: engine.CatDMAOut, Start: 80, End: 90,
+		Args: map[string]any{"bytes": int64(50), "stream": int64(1)}})
+	tr.Add(engine.Span{Resource: "cpu-s0", Label: "host", Cat: engine.CatHost, Start: 0, End: 10})
+	return tr
+}
+
+func TestFromTraceStreamMetrics(t *testing.T) {
+	rep := FromTrace(streamTrace(), 100)
+	if len(rep.Streams) != 2 {
+		t.Fatalf("streams = %+v, want 2 entries", rep.Streams)
+	}
+	s0, s1 := rep.Streams[0], rep.Streams[1]
+	if s0.Stream != 0 || s1.Stream != 1 {
+		t.Fatalf("streams out of order: %+v", rep.Streams)
+	}
+	if s0.ComputeBusyNs != 40 || s1.ComputeBusyNs != 40 {
+		t.Errorf("compute busy = %d/%d, want 40/40", s0.ComputeBusyNs, s1.ComputeBusyNs)
+	}
+	if s0.HostBusyNs != 10 || s1.HostBusyNs != 0 {
+		t.Errorf("host busy = %d/%d, want 10/0", s0.HostBusyNs, s1.HostBusyNs)
+	}
+	if got, want := s0.Utilization, 0.4; got != want {
+		t.Errorf("s0 utilization = %v, want %v", got, want)
+	}
+	// in1 [20,40) overlaps k0 [20,60) for 20ns on stream 0's compute.
+	if s0.OverlapNs != 20 {
+		t.Errorf("s0 dma overlap = %d, want 20", s0.OverlapNs)
+	}
+	if s0.Transfers != 1 || s0.BytesIn != 100 || s0.BytesOut != 0 {
+		t.Errorf("s0 dma books = %+v, want 1 transfer / 100 in / 0 out", s0)
+	}
+	if s1.Transfers != 2 || s1.BytesIn != 200 || s1.BytesOut != 50 {
+		t.Errorf("s1 dma books = %+v, want 2 transfers / 200 in / 50 out", s1)
+	}
+	// k0 [20,60) and k1 [40,80) are both busy over [40,60).
+	if rep.CrossStreamOverlapNs != 20 {
+		t.Errorf("cross-stream overlap = %d, want 20", rep.CrossStreamOverlapNs)
+	}
+}
+
+func TestStreamMetricsAbsentForSingleStreamTraces(t *testing.T) {
+	rep := FromTrace(sampleTrace(), 160)
+	if rep.Streams != nil || rep.CrossStreamOverlapNs != 0 {
+		t.Errorf("classic trace grew stream metrics: %+v", rep.Streams)
+	}
+}
+
+func TestStreamFormatSection(t *testing.T) {
+	out := FromTrace(streamTrace(), 100).Format()
+	for _, want := range []string{"stream", "cross-stream compute overlap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStreamID(t *testing.T) {
+	cases := []struct {
+		in string
+		id int
+		ok bool
+	}{
+		{"mic-s0", 0, true},
+		{"mic-s12", 12, true},
+		{"mic-compute", 0, false},
+		{"mic-s", 0, false},
+		{"mic-sx", 0, false},
+		{"cpu-s1", 0, false},
+	}
+	for _, c := range cases {
+		id, ok := streamID(c.in)
+		if id != c.id || ok != c.ok {
+			t.Errorf("streamID(%q) = %d,%v want %d,%v", c.in, id, ok, c.id, c.ok)
+		}
+	}
+}
+
 func TestScaleBar(t *testing.T) {
 	if scaleBar(0, 10) != 0 {
 		t.Error("zero count should give zero bar")

@@ -122,11 +122,27 @@ func (b *Bus) Transfer(dir Direction, label string, bytes int64) *engine.Event {
 // Transfers in the same direction serialize on the channel FIFO; opposite
 // directions overlap freely.
 func (b *Bus) TransferAfter(ready *engine.Event, dir Direction, label string, bytes int64) *engine.Event {
+	return b.TransferAfterArgs(ready, dir, label, bytes, nil)
+}
+
+// TransferAfterArgs is TransferAfter with extra structured args merged onto
+// the transfer's trace span. The stream scheduler tags each DMA with its
+// stream id this way, so per-stream transfer accounting can be re-derived
+// from the trace; the link itself stays shared — streams arbitrate for the
+// same two channel FIFOs.
+func (b *Bus) TransferAfterArgs(ready *engine.Event, dir Direction, label string, bytes int64, extra map[string]any) *engine.Event {
 	ch := b.chans[dir]
 	b.bytes[dir] += bytes
 	b.count[dir]++
 	d := b.TransferTime(bytes)
-	return ch.SubmitTagged(ready, label, ch.Category(), d, map[string]any{"bytes": bytes})
+	return ch.SubmitTagged(ready, label, ch.Category(), d, mergeArgs(map[string]any{"bytes": bytes}, extra))
+}
+
+func mergeArgs(base, extra map[string]any) map[string]any {
+	for k, v := range extra {
+		base[k] = v
+	}
+	return base
 }
 
 // SetInjector attaches a fault injector; subsequent TryTransferAfter calls
@@ -139,13 +155,20 @@ func (b *Bus) SetInjector(inj *fault.Injector) { b.inj = inj }
 // the returned event fires when the channel is released and ok is false.
 // With no injector attached it is exactly TransferAfter.
 func (b *Bus) TryTransferAfter(ready *engine.Event, dir Direction, label string, bytes int64) (done *engine.Event, ok bool) {
+	return b.TryTransferAfterArgs(ready, dir, label, bytes, nil)
+}
+
+// TryTransferAfterArgs is TryTransferAfter with extra span args, the
+// fault-injected counterpart of TransferAfterArgs. Failed attempts carry the
+// extra args too, so chaos-schedule traces keep their stream attribution.
+func (b *Bus) TryTransferAfterArgs(ready *engine.Event, dir Direction, label string, bytes int64, extra map[string]any) (done *engine.Event, ok bool) {
 	if b.inj == nil || !b.inj.Next(fault.DMA) {
-		return b.TransferAfter(ready, dir, label, bytes), true
+		return b.TransferAfterArgs(ready, dir, label, bytes, extra), true
 	}
 	b.faults++
 	ch := b.chans[dir]
 	d := b.cfg.SetupLatency + b.cfg.FaultLatency
-	args := map[string]any{"bytes": bytes, "kind": "dma", "dir": dir.String()}
+	args := mergeArgs(map[string]any{"bytes": bytes, "kind": "dma", "dir": dir.String()}, extra)
 	return ch.SubmitTagged(ready, label+"!fault", engine.CatFault, d, args), false
 }
 

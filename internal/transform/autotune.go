@@ -1,0 +1,190 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"comp/internal/sim/engine"
+)
+
+// Online block-count autotuning. The §III-B model picks N analytically from
+// D, C and K, but its assumptions — uniform blocks, a stable K, transfer
+// and compute that scale linearly with block size — break under irregular
+// workloads and shared devices. Zhang et al. ("Tuning Streamed Applications
+// on Intel Xeon Phi") show measured feedback beats the closed form there.
+// AutoTuner keeps the model as the starting point and replaces trust with
+// measurement: it probes actual simulated run times, hill-climbing along a
+// small ladder of candidate block counts.
+
+// DefaultLadder is the candidate block counts the tuner walks: the paper's
+// sweep {10, 20, 40, 50} widened downward so transfer-dominated kernels
+// that want shallow pipelines are reachable. It must be sorted ascending.
+func DefaultLadder() []int { return []int{2, 4, 8, 10, 20, 40, 50} }
+
+// DefaultMaxProbes bounds measured runs per tuning key. A hill-climb on the
+// 7-point default ladder probes every rung in the worst case; 8 gives it
+// one spare.
+const DefaultMaxProbes = 8
+
+// Measurement is one probe: the measured execution time at a block count.
+type Measurement struct {
+	Blocks int
+	Time   engine.Duration
+}
+
+// TuneResult is the outcome of one Tune call.
+type TuneResult struct {
+	// Blocks is the chosen block count; Time its measured execution time.
+	Blocks int
+	Time   engine.Duration
+	// Probes is how many measured runs the search spent (0 on cache hits).
+	Probes int
+	// Cached reports the result came from the per-key cache.
+	Cached bool
+	// History lists the probes in measurement order.
+	History []Measurement
+}
+
+// AutoTuner searches block counts by measurement. The zero value is ready
+// to use (default ladder and probe budget). Safe for concurrent use; probe
+// results are cached per key, so a (workload, machine) pair is tuned once.
+type AutoTuner struct {
+	// Ladder is the ascending candidate list; nil means DefaultLadder.
+	Ladder []int
+	// MaxProbes bounds measured runs per key; 0 means DefaultMaxProbes.
+	MaxProbes int
+
+	mu    sync.Mutex
+	cache map[string]TuneResult
+}
+
+// Tune returns the best block count for key, measuring with measure. The
+// search seeds at the ladder rung nearest seed (callers pass the §III-B
+// OptimalBlocks answer, or DefaultBlocks without a profile), then probes
+// neighbouring rungs and moves downhill while the measured time improves,
+// stopping at a local minimum or when the probe budget is spent. Results
+// are cached: a second Tune with the same key returns the stored result
+// with Cached set and measure never called.
+func (t *AutoTuner) Tune(key string, seed int, measure func(blocks int) (engine.Duration, error)) (TuneResult, error) {
+	t.mu.Lock()
+	if r, ok := t.cache[key]; ok {
+		t.mu.Unlock()
+		r.Cached = true
+		r.Probes = 0
+		return r, nil
+	}
+	t.mu.Unlock()
+
+	ladder := t.Ladder
+	if ladder == nil {
+		ladder = DefaultLadder()
+	}
+	if len(ladder) == 0 {
+		return TuneResult{}, fmt.Errorf("transform: AutoTuner has an empty ladder")
+	}
+	if !sort.IntsAreSorted(ladder) {
+		return TuneResult{}, fmt.Errorf("transform: AutoTuner ladder %v is not ascending", ladder)
+	}
+	budget := t.MaxProbes
+	if budget == 0 {
+		budget = DefaultMaxProbes
+	}
+
+	res := TuneResult{}
+	seen := map[int]engine.Duration{}
+	probe := func(i int) (engine.Duration, error) {
+		blocks := ladder[i]
+		if d, ok := seen[blocks]; ok {
+			return d, nil
+		}
+		if res.Probes >= budget {
+			return 0, errBudget
+		}
+		d, err := measure(blocks)
+		if err != nil {
+			return 0, err
+		}
+		res.Probes++
+		seen[blocks] = d
+		res.History = append(res.History, Measurement{Blocks: blocks, Time: d})
+		if res.Blocks == 0 || d < res.Time {
+			res.Blocks, res.Time = blocks, d
+		}
+		return d, nil
+	}
+
+	// Start at the rung nearest the analytic seed.
+	at := nearestRung(ladder, seed)
+	cur, err := probe(at)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	// Pick the downhill direction by peeking at both neighbours, then keep
+	// walking while the measured time improves.
+	dir := 0
+	bestN := cur
+	for _, d := range []int{-1, +1} {
+		j := at + d
+		if j < 0 || j >= len(ladder) {
+			continue
+		}
+		n, err := probe(j)
+		if err == errBudget {
+			break
+		}
+		if err != nil {
+			return TuneResult{}, err
+		}
+		if n < bestN {
+			bestN, dir = n, d
+		}
+	}
+	for dir != 0 {
+		at += dir
+		cur = bestN
+		j := at + dir
+		if j < 0 || j >= len(ladder) {
+			break
+		}
+		n, err := probe(j)
+		if err == errBudget {
+			break
+		}
+		if err != nil {
+			return TuneResult{}, err
+		}
+		if n >= cur {
+			break
+		}
+		bestN = n
+	}
+
+	t.mu.Lock()
+	if t.cache == nil {
+		t.cache = map[string]TuneResult{}
+	}
+	t.cache[key] = res
+	t.mu.Unlock()
+	return res, nil
+}
+
+// errBudget is the internal out-of-probes signal; the search returns the
+// best measurement so far when it surfaces.
+var errBudget = fmt.Errorf("transform: probe budget exhausted")
+
+// nearestRung returns the index of the ladder value closest to seed, the
+// lower rung on ties.
+func nearestRung(ladder []int, seed int) int {
+	best, bestDist := 0, -1
+	for i, v := range ladder {
+		d := v - seed
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

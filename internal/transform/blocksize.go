@@ -35,10 +35,6 @@ func ModelTime(d, c, k engine.Duration, n int) engine.Duration {
 // range either launch overhead (large N) or lost overlap (small N)
 // dominates.
 func OptimalBlocks(d, c, k engine.Duration) int {
-	const (
-		minBlocks = 2
-		maxBlocks = 64
-	)
 	if k <= 0 {
 		return maxBlocks
 	}
@@ -50,20 +46,15 @@ func OptimalBlocks(d, c, k engine.Duration) int {
 		// Compute-bound: N* = sqrt(D/K).
 		n = math.Sqrt(float64(d) / float64(k))
 	} else {
-		// Transfer-bound: N* = (D - C)/K, but never below the
-		// compute-bound answer.
+		// Transfer-bound: N* = (D - C)/K. When D−C < 2K this lands below
+		// two blocks — no pipeline at all — even though sqrt(D/K) may
+		// round to 1 as well; clampBlocks pins the floor either way.
 		n = float64(d-c) / float64(k)
 		if s := math.Sqrt(float64(d) / float64(k)); n < s {
 			n = s
 		}
 	}
-	best := int(n + 0.5)
-	if best < minBlocks {
-		best = minBlocks
-	}
-	if best > maxBlocks {
-		best = maxBlocks
-	}
+	best := clampBlocks(int(n + 0.5))
 	// The model is coarse; refine by direct evaluation around the analytic
 	// answer (cheap, and robust to the max() kink).
 	bestT := ModelTime(d, c, k, best)
@@ -73,6 +64,27 @@ func OptimalBlocks(d, c, k engine.Duration) int {
 		}
 	}
 	return best
+}
+
+// Block-count bounds: below two blocks there is no pipeline to overlap;
+// beyond 64 launch overhead always dominates at the paper's scales.
+const (
+	minBlocks = 2
+	maxBlocks = 64
+)
+
+// clampBlocks pins a candidate block count to [minBlocks, maxBlocks]. Both
+// analytic branches of OptimalBlocks can land outside the range (the
+// transfer-bound optimum (D−C)/K drops below 2 whenever D−C < 2K), so the
+// clamp is the single place the invariant lives.
+func clampBlocks(n int) int {
+	if n < minBlocks {
+		return minBlocks
+	}
+	if n > maxBlocks {
+		return maxBlocks
+	}
+	return n
 }
 
 // DefaultBlocks is used when no profile is available; the paper sweeps

@@ -1,0 +1,83 @@
+package workloads
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"comp/internal/core"
+	"comp/internal/runtime"
+	"comp/internal/sim/engine"
+)
+
+// schedulerBatch prepares `requests` independent copies of the workload's
+// optimized variant and runs them through the multi-stream scheduler.
+func schedulerBatch(t *testing.T, b *Benchmark, cfg runtime.Config, streams, requests int) (runtime.SchedResult, []*runtime.Result) {
+	t.Helper()
+	s, err := runtime.NewScheduler(cfg, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := RunOptions{Variant: MICOptimized, Opt: core.DefaultOptions(), Config: &cfg}
+	results := make([]*runtime.Result, requests)
+	for i := 0; i < requests; i++ {
+		p, _, err := b.Prepare(ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = &runtime.Result{Program: p}
+		s.Submit(runtime.Request{Label: fmt.Sprintf("%s-%02d", b.Name, i), Program: p, Setup: b.Setup})
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, results
+}
+
+// TestChaosMultiStream extends the chaos contract to the scheduler: real
+// workloads sharing the device across streams must complete under every
+// chaos seed with outputs bitwise-identical to the fault-free batch,
+// bounded slowdown, and per-seed reproducibility.
+func TestChaosMultiStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-stream chaos skipped in -short mode")
+	}
+	for _, name := range []string{"blackscholes", "srad", "dedup"} {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			clean, cleanRes := schedulerBatch(t, b, runtime.DefaultConfig(), 2, 4)
+			for i, seed := range chaosSeeds {
+				cfg := runtime.DefaultConfig()
+				cfg.Faults = chaosConfig(seed)
+				res, faulted := schedulerBatch(t, b, cfg, 2, 4)
+				st := res.Stats
+				if st.FaultsInjected < 1 {
+					t.Errorf("seed %d: no faults injected; the schedule is too weak to test anything", seed)
+				}
+				for r := range faulted {
+					if err := b.CompareOutputs(*cleanRes[r], *faulted[r]); err != nil {
+						t.Errorf("seed %d: request %d diverged from the fault-free batch: %v", seed, r, err)
+					}
+				}
+				if limit := 50*clean.Stats.Time + 50*engine.Millisecond; st.Time > limit {
+					t.Errorf("seed %d: makespan %v exceeds bound %v (clean %v)", seed, st.Time, limit, clean.Stats.Time)
+				}
+				for _, rq := range st.Requests {
+					if len(rq.DeadlockWarnings) != 0 {
+						t.Errorf("seed %d: request %s left deadlocks: %v", seed, rq.Label, rq.DeadlockWarnings)
+					}
+				}
+				if i == 0 {
+					again, _ := schedulerBatch(t, b, cfg, 2, 4)
+					if !reflect.DeepEqual(st, again.Stats) {
+						t.Errorf("seed %d: rerun produced different stats:\n%+v\n%+v", seed, st, again.Stats)
+					}
+				}
+			}
+		})
+	}
+}

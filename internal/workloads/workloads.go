@@ -188,27 +188,39 @@ type RunOptions struct {
 
 // Run executes a MiniC benchmark variant and returns its result.
 func (b *Benchmark) Run(ro RunOptions) (runtime.Result, error) {
+	p, cfg, err := b.Prepare(ro)
+	if err != nil {
+		return runtime.Result{}, err
+	}
+	return runtime.RunWithSetup(p, cfg, b.Setup)
+}
+
+// Prepare compiles a benchmark variant without executing it, returning the
+// program and the effective platform config. The stream scheduler uses it
+// to build one fresh program per request (each request needs its own
+// instance) and the autotuner to recompile at each probed block count.
+func (b *Benchmark) Prepare(ro RunOptions) (*interp.Program, runtime.Config, error) {
 	if b.SharedMem {
-		return runtime.Result{}, fmt.Errorf("workloads: %s is a shared-memory benchmark; use RunShared", b.Name)
+		return nil, runtime.Config{}, fmt.Errorf("workloads: %s is a shared-memory benchmark; use RunShared", b.Name)
 	}
 	src := b.Source
 	switch ro.Variant {
 	case CPU:
 		s, err := b.CPUSource()
 		if err != nil {
-			return runtime.Result{}, err
+			return nil, runtime.Config{}, err
 		}
 		src = s
 	case MICOptimized:
 		res, err := core.Optimize(b.Source, ro.Opt)
 		if err != nil {
-			return runtime.Result{}, fmt.Errorf("%s: optimize: %w", b.Name, err)
+			return nil, runtime.Config{}, fmt.Errorf("%s: optimize: %w", b.Name, err)
 		}
 		src = res.Source()
 	}
 	p, err := interp.Compile(src)
 	if err != nil {
-		return runtime.Result{}, fmt.Errorf("%s: compile: %w\n%s", b.Name, err, src)
+		return nil, runtime.Config{}, fmt.Errorf("%s: compile: %w\n%s", b.Name, err, src)
 	}
 	cfg := runtime.DefaultConfig()
 	if ro.Config != nil {
@@ -217,7 +229,7 @@ func (b *Benchmark) Run(ro RunOptions) (runtime.Result, error) {
 	if b.CPUThreads > 0 {
 		cfg.CPUThreads = b.CPUThreads
 	}
-	return runtime.RunWithSetup(p, cfg, b.Setup)
+	return p, cfg, nil
 }
 
 // OptimizeReport runs the compiler over the benchmark source and returns
