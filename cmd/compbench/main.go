@@ -7,6 +7,7 @@
 //	compbench -only fig12     # one figure (fig1, fig4, fig10..fig15, table2, table3)
 //	compbench -ablations      # block-size sweep and design ablations
 //	compbench -streams 4      # multi-stream scheduler + autotuner report
+//	compbench -serve          # serving-layer load report (steady + overload)
 //	compbench -sweep          # pick block counts by exhaustive sweep (oracle)
 package main
 
@@ -26,12 +27,47 @@ func main() {
 	requests := flag.Int("requests", 0, "concurrent requests per workload for -streams (0 = streams)")
 	streamsOut := flag.String("streams-out", "bench_streams.json", "write the -streams report as JSON to this file (\"-\" = stdout only)")
 	sweep := flag.Bool("sweep", false, "use the exhaustive block-count sweep instead of the autotuner")
+	serveMode := flag.Bool("serve", false, "drive the offload serving layer with a synthetic client fleet")
+	serveClients := flag.Int("serve-clients", 32, "concurrent clients for -serve")
+	servePer := flag.Int("serve-requests", 2, "requests per client for -serve")
+	serveOut := flag.String("serve-out", "-", "write the -serve report as JSON to this file (\"-\" = stdout only)")
 	flag.Parse()
 
 	r := bench.NewRunner()
 	r.UseSweep = *sweep
 	if *traceDir != "" {
 		r.SetTraceDir(*traceDir)
+	}
+
+	if *serveMode {
+		ns := *streams
+		if ns == 0 {
+			ns = 4
+		}
+		rep, err := r.ServeLoad(ns, *serveClients, *servePer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		if *serveOut != "-" {
+			f, err := os.Create(*serveOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *serveOut)
+		}
+		return
 	}
 
 	if *streams > 0 {

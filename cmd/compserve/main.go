@@ -1,0 +1,180 @@
+// Command compserve drives the offload serving layer (internal/serve) with
+// a synthetic client fleet and prints the server metrics report: queue
+// depth, shed count, plan-cache hit ratio and latency histograms.
+//
+// Usage:
+//
+//	compserve                          # 64 clients × 2 requests over nn+dedup+srad
+//	compserve -clients 16 -requests 4  # different fleet shape
+//	compserve -workloads nn,srad       # restrict the workload mix
+//	compserve -queue 8                 # undersized queue: observe ErrOverloaded shedding
+//	compserve -deadline 100ms          # per-request deadlines
+//	compserve -verify                  # run the trace twice, assert bit-identical outputs
+//	compserve -json report.json        # also dump the metrics report as JSON
+//
+// Every value a request computes comes from the deterministic interpreter;
+// the simulated platform only assigns timing. compserve -verify exploits
+// that: it replays the identical trace against a second fresh server (new
+// plan cache, different wall-clock interleaving, different batch
+// boundaries) and fails unless every request's output arrays match
+// bit-for-bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"comp/internal/serve"
+	"comp/internal/sim/metrics"
+)
+
+func main() {
+	clients := flag.Int("clients", 64, "concurrent synthetic clients")
+	requests := flag.Int("requests", 2, "requests each client submits")
+	workloadsFlag := flag.String("workloads", "nn,dedup,srad", "comma-separated workload mix clients draw from round-robin")
+	streams := flag.Int("streams", 4, "device streams the server schedules over")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = clients × requests, nothing sheds)")
+	batch := flag.Int("batch", 0, "max requests per scheduler batch (0 = queue depth)")
+	deadline := flag.Duration("deadline", 0, "per-request deadline (0 = none)")
+	verify := flag.Bool("verify", false, "replay the trace on a second fresh server and require bit-identical outputs")
+	jsonOut := flag.String("json", "", "also write the metrics report as JSON to this file (\"-\" = stdout)")
+	flag.Parse()
+
+	mix := strings.Split(*workloadsFlag, ",")
+	for i := range mix {
+		mix[i] = strings.TrimSpace(mix[i])
+	}
+	depth := *queue
+	if depth == 0 {
+		depth = *clients * *requests
+	}
+
+	rep, outs, err := runFleet(mix, *streams, depth, *batch, *clients, *requests, *deadline)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(rep.Format())
+
+	if *verify {
+		rep2, outs2, err := runFleet(mix, *streams, depth, *batch, *clients, *requests, *deadline)
+		if err != nil {
+			fail(fmt.Errorf("verify replay: %w", err))
+		}
+		mismatches := 0
+		compared := 0
+		for id, a := range outs {
+			b, ok := outs2[id]
+			if !ok {
+				continue // shed/expired in one run but not the other: a timing difference, not a value one
+			}
+			compared++
+			if !sameOutputs(a, b) {
+				mismatches++
+				fmt.Fprintf(os.Stderr, "compserve: VERIFY FAIL: request %s outputs differ between runs\n", id)
+			}
+		}
+		if mismatches > 0 {
+			fail(fmt.Errorf("verify: %d of %d replayed requests differ", mismatches, compared))
+		}
+		fmt.Printf("verify: %d requests replayed bit-identically (run2: %d completed, %d shed, %d expired)\n",
+			compared, rep2.Completed, rep2.Shed, rep2.Expired)
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, rep); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runFleet submits the full client trace against a fresh server and returns
+// the metrics report plus the per-request outputs, keyed "client/job".
+func runFleet(mix []string, streams, queue, batch, clients, perClient int, deadline time.Duration) (*metrics.ServerReport, map[string]map[string][]float64, error) {
+	s, err := serve.New(serve.Config{Streams: streams, QueueDepth: queue, MaxBatch: batch})
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		mu   sync.Mutex
+		outs = map[string]map[string][]float64{}
+		errs []error
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				job := serve.Job{Workload: mix[(c+j)%len(mix)], Deadline: deadline}
+				resp, err := s.Do(job)
+				switch {
+				case err == nil:
+					mu.Lock()
+					outs[fmt.Sprintf("%d/%d", c, j)] = resp.Outputs
+					mu.Unlock()
+				case err == serve.ErrOverloaded, err == serve.ErrDeadlineExceeded:
+					// Typed rejections are expected behavior under pressure.
+				default:
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("client %d: %w", c, err))
+					mu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	s.Close()
+	if len(errs) > 0 {
+		return nil, nil, errs[0]
+	}
+	rep := s.Report()
+	return &rep, outs, nil
+}
+
+// sameOutputs compares two output-array maps bit-for-bit.
+func sameOutputs(a, b map[string][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func writeJSON(path string, rep *metrics.ServerReport) error {
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "compserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFleetServesAndAccounts drives the fleet helper directly with a
+// small trace: every request must be answered, the report must account
+// for all of them, and the collected outputs must be non-empty and
+// self-consistent under sameOutputs.
+func TestRunFleetServesAndAccounts(t *testing.T) {
+	rep, outs, err := runFleet([]string{"nn"}, 2, 8, 0, 4, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 8 || rep.Completed+rep.Shed+rep.Expired != 8 || rep.Failed != 0 {
+		t.Fatalf("accounting: %+v", rep)
+	}
+	if int64(len(outs)) != rep.Completed {
+		t.Fatalf("collected %d output sets for %d completions", len(outs), rep.Completed)
+	}
+	for id, o := range outs {
+		if len(o) == 0 {
+			t.Fatalf("request %s completed with no output arrays", id)
+		}
+		if !sameOutputs(o, o) {
+			t.Fatalf("request %s: sameOutputs not reflexive", id)
+		}
+	}
+	// All clients ran the same workload with the same plan: outputs agree
+	// pairwise, and perturbing one element must be detected.
+	var first map[string][]float64
+	for _, o := range outs {
+		if first == nil {
+			first = o
+			continue
+		}
+		if !sameOutputs(first, o) {
+			t.Fatal("same-plan requests produced different outputs")
+		}
+	}
+	for name, data := range first {
+		if len(data) == 0 {
+			continue
+		}
+		mutated := map[string][]float64{}
+		for n, d := range first {
+			mutated[n] = append([]float64(nil), d...)
+		}
+		mutated[name][0] += 1.0
+		if sameOutputs(first, mutated) {
+			t.Fatalf("sameOutputs missed a perturbed element in %s", name)
+		}
+		break
+	}
+	if sameOutputs(first, map[string][]float64{}) {
+		t.Fatal("sameOutputs ignored a missing array set")
+	}
+}
+
+func TestWriteJSONReport(t *testing.T) {
+	rep, _, err := runFleet([]string{"nn"}, 2, 4, 0, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := writeJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"submitted"`, `"planHitRatio"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("JSON report missing %s", key)
+		}
+	}
+	if err := writeJSON(filepath.Join(t.TempDir(), "no", "such", "dir.json"), rep); err == nil {
+		t.Error("writeJSON to an unwritable path reported success")
+	}
+	if err := writeJSON("-", rep); err != nil {
+		t.Errorf("writeJSON to stdout: %v", err)
+	}
+}
+
+func TestSameOutputsMismatchedNames(t *testing.T) {
+	a := map[string][]float64{"x": {1, 2}}
+	b := map[string][]float64{"y": {1, 2}}
+	if sameOutputs(a, b) {
+		t.Error("sameOutputs matched maps with different array names")
+	}
+	if !sameOutputs(map[string][]float64{}, map[string][]float64{}) {
+		t.Error("sameOutputs rejected two empty sets")
+	}
+	if sameOutputs(a, map[string][]float64{"x": {1, 3}}) {
+		t.Error("sameOutputs missed a differing element")
+	}
+}

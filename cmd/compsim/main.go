@@ -9,6 +9,7 @@
 //	compsim -optimize -blocks auto file.c  # pick the block count by measurement
 //	compsim -cpu file.c             # strip offload pragmas, run host-only
 //	compsim -streams 4 file.c       # run 4 concurrent copies on 4 device streams
+//	compsim -streams 4 -requests 8 file.c  # 8 queued requests over 4 streams
 //	compsim -trace out.json file.c  # dump the Chrome trace_event timeline
 //	compsim -timeline file.c        # print an ASCII timeline
 //	compsim -spans file.c           # print the raw span list
@@ -52,6 +53,8 @@ func main() {
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: compsim [flags] file.c")
+		fmt.Fprintln(os.Stderr, "  e.g. compsim -optimize -blocks auto file.c     (tune block count by measurement)")
+		fmt.Fprintln(os.Stderr, "       compsim -streams 4 -requests 8 file.c    (8 requests over 4 device streams)")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

@@ -13,7 +13,10 @@
 //     transfer and memory statistics;
 //   - Benchmarks and NewBenchRunner expose the 12-benchmark evaluation
 //     suite and the harness that regenerates every figure and table in the
-//     paper.
+//     paper;
+//   - NewServer stands up the offload serving layer: a plan-cached,
+//     admission-controlled service that batches concurrent requests into
+//     deterministic scheduler runs (DESIGN.md §10).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
@@ -24,6 +27,7 @@ import (
 	"comp/internal/core"
 	"comp/internal/interp"
 	"comp/internal/runtime"
+	"comp/internal/serve"
 	"comp/internal/workloads"
 )
 
@@ -49,6 +53,27 @@ type Benchmark = workloads.Benchmark
 
 // Figure is one regenerated table or figure.
 type Figure = bench.Figure
+
+// Server is the long-running offload service: plan-cached, admission
+// controlled, deterministic per-request results.
+type Server = serve.Server
+
+// ServeConfig configures a Server (streams, queue depth, batching).
+type ServeConfig = serve.Config
+
+// ServeJob is one request to a Server: a registry workload by name or
+// inline MiniC source.
+type ServeJob = serve.Job
+
+// ServeResponse is a served request's outputs plus its serving metadata.
+type ServeResponse = serve.Response
+
+// ErrOverloaded is returned by Server.Do when the admission queue is full;
+// ErrDeadlineExceeded when a request's deadline passed while queued.
+var (
+	ErrOverloaded       = serve.ErrOverloaded
+	ErrDeadlineExceeded = serve.ErrDeadlineExceeded
+)
 
 // DefaultOptions enables the full optimization pipeline.
 func DefaultOptions() Options { return core.DefaultOptions() }
@@ -91,3 +116,6 @@ func GetBenchmark(name string) (*Benchmark, error) { return workloads.Get(name) 
 // NewBenchRunner creates the evaluation harness with an empty result
 // cache.
 func NewBenchRunner() *bench.Runner { return bench.NewRunner() }
+
+// NewServer stands up an offload serving layer; Close it when done.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"comp/internal/serve"
+)
+
+// The serve report measures the serving layer the way the streams report
+// measures the scheduler: a synthetic client fleet drives serve.Server
+// through a repeated-workload trace and the report records what a service
+// owner watches — completion/shed accounting, plan-cache effectiveness,
+// batching, and wall latency. Two scenarios bracket the envelope: "steady"
+// provisions the queue for the offered load, "overload" offers 2× the
+// queue capacity at once and must shed, not stall.
+
+// ServeWorkloads is the registry mix the serve scenarios draw from:
+// tuned-streaming, hand-pipelined, and regularization-dependent workloads,
+// all cheap enough to serve hundreds of times.
+var ServeWorkloads = []string{"nn", "dedup", "srad"}
+
+// ServeRow is one scenario's line.
+type ServeRow struct {
+	Scenario   string `json:"scenario"`
+	Clients    int    `json:"clients"`
+	PerClient  int    `json:"per_client"`
+	QueueDepth int    `json:"queue_depth"`
+
+	Completed int64 `json:"completed"`
+	Shed      int64 `json:"shed"`
+	Expired   int64 `json:"expired,omitempty"`
+	Batches   int64 `json:"batches"`
+	MaxBatch  int   `json:"max_batch"`
+
+	PlanHitRatio float64 `json:"plan_hit_ratio"`
+	TuneProbes   int64   `json:"tune_probes"`
+
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	MaxLatencyMs  float64 `json:"max_latency_ms"`
+}
+
+// ServeReport aggregates the scenario rows.
+type ServeReport struct {
+	Streams   int        `json:"streams"`
+	Workloads []string   `json:"workloads"`
+	Rows      []ServeRow `json:"scenarios"`
+}
+
+// ServeLoad drives the serving layer through the two bracket scenarios and
+// returns the report. Counters are exact; latencies are wall-clock and
+// vary run to run.
+func (r *Runner) ServeLoad(streams, clients, perClient int) (*ServeReport, error) {
+	rep := &ServeReport{Streams: streams, Workloads: ServeWorkloads}
+	scenarios := []struct {
+		name  string
+		queue int
+	}{
+		{"steady", clients * perClient},
+		{"overload", clients * perClient / 4},
+	}
+	// One shared planner: the steady scenario warms the cache, overload
+	// reuses it — the serving pattern the layer exists for.
+	planner := serve.NewPlanner()
+	for _, sc := range scenarios {
+		row, err := serveScenario(sc.name, planner, streams, clients, perClient, sc.queue)
+		if err != nil {
+			return nil, fmt.Errorf("serve %s: %w", sc.name, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// serveScenario runs one client fleet against a fresh server.
+func serveScenario(name string, planner *serve.Planner, streams, clients, perClient, queue int) (ServeRow, error) {
+	s, err := serve.New(serve.Config{Streams: streams, QueueDepth: queue, Planner: planner})
+	if err != nil {
+		return ServeRow{}, err
+	}
+	var wg sync.WaitGroup
+	errC := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				job := serve.Job{Workload: ServeWorkloads[(c+j)%len(ServeWorkloads)]}
+				if _, err := s.Do(job); err != nil && err != serve.ErrOverloaded {
+					errC <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	s.Close()
+	select {
+	case err := <-errC:
+		return ServeRow{}, err
+	default:
+	}
+	m := s.Report()
+	row := ServeRow{
+		Scenario:     name,
+		Clients:      clients,
+		PerClient:    perClient,
+		QueueDepth:   queue,
+		Completed:    m.Completed,
+		Shed:         m.Shed,
+		Expired:      m.Expired,
+		Batches:      m.Batches,
+		MaxBatch:     m.MaxBatch,
+		PlanHitRatio: m.PlanHitRatio,
+		TuneProbes:   m.TuneProbes,
+	}
+	row.MeanLatencyMs = float64(m.Latency.MeanNs) / float64(time.Millisecond)
+	row.MaxLatencyMs = float64(m.Latency.MaxNs) / float64(time.Millisecond)
+	if m.Submitted != m.Completed+m.Shed+m.Expired+m.Failed {
+		return ServeRow{}, fmt.Errorf("accounting: %+v", m)
+	}
+	return row, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (rep *ServeReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Format renders the report as an aligned text table.
+func (rep *ServeReport) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "offload service — workloads %s, %d streams\n",
+		strings.Join(rep.Workloads, "+"), rep.Streams)
+	fmt.Fprintf(&sb, "%-10s %8s %6s %10s %6s %8s %8s %7s %6s %10s\n",
+		"scenario", "offered", "queue", "completed", "shed", "batches", "maxbatch", "hit%", "probes", "mean(ms)")
+	for _, row := range rep.Rows {
+		fmt.Fprintf(&sb, "%-10s %8d %6d %10d %6d %8d %8d %6.1f%% %6d %10.1f\n",
+			row.Scenario, row.Clients*row.PerClient, row.QueueDepth, row.Completed, row.Shed,
+			row.Batches, row.MaxBatch, 100*row.PlanHitRatio, row.TuneProbes, row.MeanLatencyMs)
+	}
+	sb.WriteString("  note: overload sheds with ErrOverloaded; completed+shed always equals offered\n")
+	return sb.String()
+}

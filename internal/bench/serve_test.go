@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServeLoadReport runs a reduced fleet through both serving scenarios
+// and checks the report invariants that hold at any scale: exact
+// accounting, a warm shared plan cache (overload re-tunes nothing), and
+// the guaranteed floor on overload completions (the first QueueDepth
+// admissions always land before any shed).
+func TestServeLoadReport(t *testing.T) {
+	rep, err := NewRunner().ServeLoad(2, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 || rep.Rows[0].Scenario != "steady" || rep.Rows[1].Scenario != "overload" {
+		t.Fatalf("scenario rows: %+v", rep.Rows)
+	}
+	steady, overload := rep.Rows[0], rep.Rows[1]
+	offered := int64(6 * 2)
+	if steady.Completed != offered || steady.Shed != 0 {
+		t.Fatalf("steady scenario shed with a full-size queue: %+v", steady)
+	}
+	if overload.Completed+overload.Shed+overload.Expired != offered {
+		t.Fatalf("overload accounting: %+v", overload)
+	}
+	if overload.Completed < int64(overload.QueueDepth) {
+		t.Fatalf("overload completed %d < queue depth %d; initial admissions lost", overload.Completed, overload.QueueDepth)
+	}
+	// The planner is shared across scenarios: overload serves entirely from
+	// the cache the steady run warmed.
+	if overload.TuneProbes != steady.TuneProbes {
+		t.Fatalf("overload re-tuned: probes %d vs %d after steady", overload.TuneProbes, steady.TuneProbes)
+	}
+	if overload.PlanHitRatio <= steady.PlanHitRatio {
+		t.Fatalf("cumulative hit ratio did not improve: %.2f then %.2f", steady.PlanHitRatio, overload.PlanHitRatio)
+	}
+
+	out := rep.Format()
+	for _, want := range []string{"steady", "overload", "nn+dedup+srad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"plan_hit_ratio"`) {
+		t.Errorf("JSON report missing plan_hit_ratio:\n%s", buf.String())
+	}
+}

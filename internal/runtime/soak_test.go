@@ -1,0 +1,120 @@
+package runtime
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"comp/internal/interp"
+	"comp/internal/sim/fault"
+)
+
+// soakSource is a small double-buffer-free offload program; the soak cares
+// about submission concurrency and fault recovery, not pipeline shape.
+const soakSource = `
+float a[16384];
+float b[16384];
+int n;
+int main(void) {
+    int i;
+    n = 16384;
+    for (i = 0; i < n; i++) {
+        a[i] = i * 0.25 + 1.0;
+    }
+    #pragma offload target(mic:0) in(a : length(n)) out(b : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        b[i] = sqrt(a[i]) * 2.0 + exp(a[i] * 0.0001);
+    }
+    return 0;
+}
+`
+
+// soakRun submits 32 submitters × perEach requests from concurrent
+// goroutines (or serially when parallelSubmit is false) and runs the batch
+// under chaos faults.
+func soakRun(t *testing.T, parallelSubmit bool, perEach int) (SchedStats, [][]float64) {
+	t.Helper()
+	const submitters = 32
+	cfg := DefaultConfig()
+	cfg.DisableTrace = true
+	cfg.Faults = fault.Uniform(11, 0.3)
+	sched, err := NewScheduler(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := make([]*interp.Program, submitters*perEach)
+	submit := func(c int) {
+		for j := 0; j < perEach; j++ {
+			idx := c*perEach + j
+			p, err := interp.Compile(soakSource)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[idx] = p
+			sched.Submit(Request{Label: fmt.Sprintf("soak-%03d", idx), Program: p})
+		}
+	}
+	if parallelSubmit {
+		var wg sync.WaitGroup
+		for c := 0; c < submitters; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				submit(c)
+			}(c)
+		}
+		wg.Wait()
+	} else {
+		for c := 0; c < submitters; c++ {
+			submit(c)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	res, err := sched.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]float64, len(progs))
+	for i, p := range progs {
+		data, err := p.ArrayData("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = append([]float64(nil), data...)
+	}
+	return res.Stats, outs
+}
+
+// TestSoakScheduler32SubmittersChaos is the scheduler half of the CI race
+// job: 32 goroutines racing Submit against a chaos-faulted platform, then
+// the whole batch executed. The schedule must be a pure function of the
+// submitted set: a serially-submitted run of the same set must produce the
+// identical stats and identical per-request outputs.
+func TestSoakScheduler32SubmittersChaos(t *testing.T) {
+	concurrent, outsA := soakRun(t, true, 2)
+	serial, outsB := soakRun(t, false, 2)
+	if !reflect.DeepEqual(concurrent, serial) {
+		t.Fatalf("stats differ between concurrent and serial submission:\n%+v\nvs\n%+v", concurrent, serial)
+	}
+	for i := range outsA {
+		if !reflect.DeepEqual(outsA[i], outsB[i]) {
+			t.Fatalf("request %d outputs differ between submission interleavings", i)
+		}
+	}
+	if concurrent.FaultsInjected == 0 {
+		t.Fatal("chaos soak injected no faults; the schedule exercised nothing")
+	}
+	if len(concurrent.Requests) != 64 {
+		t.Fatalf("requests executed %d, want 64", len(concurrent.Requests))
+	}
+	for _, rq := range concurrent.Requests {
+		if len(rq.DeadlockWarnings) != 0 {
+			t.Fatalf("request %s deadlocked: %v", rq.Label, rq.DeadlockWarnings)
+		}
+	}
+}

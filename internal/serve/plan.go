@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"comp/internal/core"
+	"comp/internal/interp"
+	"comp/internal/runtime"
+	"comp/internal/sim/engine"
+	"comp/internal/transform"
+	"comp/internal/workloads"
+)
+
+// Plan is one cached serving plan: everything expensive about preparing a
+// request — optimizing the source and tuning the streaming block count by
+// measurement — computed once per (workload, machine) key. Executing a
+// request from a plan only needs a fresh interp.Compile of the stored
+// source, which every request pays anyway because Program instances cannot
+// be shared across concurrent executions.
+type Plan struct {
+	// Key identifies the plan in the cache: the job key plus the machine
+	// configuration it was tuned for.
+	Key string
+	// Source is the optimized MiniC source requests execute.
+	Source string
+	// Blocks is the tuned streaming block count (0 when the workload does
+	// not stream).
+	Blocks int
+	// TuneProbes is how many measured runs building the plan spent; cache
+	// hits spend zero.
+	TuneProbes int
+	// Outputs lists the global arrays a Response reports back.
+	Outputs []string
+	// setup injects the workload's generated inputs (nil for inline-source
+	// jobs without a setup hook).
+	setup func(*interp.Program) error
+}
+
+// planEntry is a cache slot with singleflight semantics: the first
+// requester builds, concurrent requesters for the same key block on ready
+// and share the result (they count as hits — they trigger no tuning).
+type planEntry struct {
+	ready chan struct{}
+	plan  *Plan
+	err   error
+}
+
+// Planner builds and caches serving plans. It is safe for concurrent use
+// and may be shared between servers so a fleet warms one cache.
+type Planner struct {
+	tuner transform.AutoTuner
+
+	mu     sync.Mutex
+	plans  map[string]*planEntry
+	hits   int64
+	misses int64
+	probes int64
+}
+
+// NewPlanner returns an empty plan cache.
+func NewPlanner() *Planner {
+	return &Planner{plans: map[string]*planEntry{}}
+}
+
+// Stats returns the cache counters: hits, misses, and total tuning probes
+// spent building plans. Probes stop growing once every key in the request
+// trace has been planned — the "tune once, serve forever" property the
+// serving layer exists to provide.
+func (pl *Planner) Stats() (hits, misses, probes int64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.hits, pl.misses, pl.probes
+}
+
+// cacheKey derives the plan-cache key for a job on a platform: tuning
+// decisions depend on both the workload and the machine it runs on.
+func cacheKey(job Job, cfg runtime.Config) (string, error) {
+	base := job.Key
+	if base == "" {
+		base = job.Workload
+	}
+	if base == "" {
+		return "", fmt.Errorf("serve: job names neither a workload nor a key")
+	}
+	return fmt.Sprintf("%s|%s|%s", base, cfg.MIC.Name, cfg.CPU.Name), nil
+}
+
+// planFor returns the plan for a job, building it on first use. The cached
+// return reports whether the plan (or an in-flight build of it) already
+// existed.
+func (pl *Planner) planFor(job Job, cfg runtime.Config) (plan *Plan, cached bool, err error) {
+	key, err := cacheKey(job, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	pl.mu.Lock()
+	if e, ok := pl.plans[key]; ok {
+		pl.hits++
+		pl.mu.Unlock()
+		<-e.ready
+		return e.plan, true, e.err
+	}
+	e := &planEntry{ready: make(chan struct{})}
+	if pl.plans == nil {
+		pl.plans = map[string]*planEntry{}
+	}
+	pl.plans[key] = e
+	pl.misses++
+	pl.mu.Unlock()
+
+	// Build outside the lock; errors are cached too — plan building is
+	// deterministic, so a failed key would fail identically on retry.
+	e.plan, e.err = pl.build(key, job, cfg)
+	if e.plan != nil {
+		pl.mu.Lock()
+		pl.probes += int64(e.plan.TuneProbes)
+		pl.mu.Unlock()
+	}
+	close(e.ready)
+	return e.plan, false, e.err
+}
+
+// build constructs the plan: resolve the source, tune the block count by
+// measurement when the job streams, and optimize.
+func (pl *Planner) build(key string, job Job, cfg runtime.Config) (*Plan, error) {
+	if job.Source != "" {
+		return pl.buildSource(key, job, cfg)
+	}
+	b, err := workloads.Get(job.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if b.SharedMem {
+		return nil, fmt.Errorf("serve: %s is a shared-memory benchmark; the scheduler serves MiniC offload programs", b.Name)
+	}
+	probeCfg := cfg
+	probeCfg.DisableTrace = true
+	if b.CPUThreads > 0 {
+		probeCfg.CPUThreads = b.CPUThreads
+	}
+	opt := core.DefaultOptions()
+	probes := 0
+	if b.Has("streaming") {
+		// Seed the tuner from the §III-B model evaluated on the workload's
+		// streaming baseline (the same recipe the bench harness validated
+		// against the exhaustive sweep), then hill-climb on measured runs of
+		// the full optimization set — measure what will be served.
+		baseVariant, baseOpt := workloads.MICNaive, core.Options{}
+		if b.Has("regularization") {
+			baseVariant, baseOpt = workloads.MICOptimized, core.Options{Regularize: true}
+		}
+		base, err := b.Run(workloads.RunOptions{Variant: baseVariant, Opt: baseOpt, Config: &probeCfg})
+		if err != nil {
+			return nil, fmt.Errorf("serve: plan %s baseline: %w", key, err)
+		}
+		seed := core.ProfileFromStats(base.Stats, probeCfg.MIC.LaunchOverhead).Blocks()
+		tr, err := pl.tuner.Tune(key, seed, func(blocks int) (engine.Duration, error) {
+			o := core.DefaultOptions()
+			o.Blocks = blocks
+			res, err := b.Run(workloads.RunOptions{Variant: workloads.MICOptimized, Opt: o, Config: &probeCfg})
+			if err != nil {
+				return 0, err
+			}
+			return res.Stats.Time, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: plan %s tuning: %w", key, err)
+		}
+		opt.Blocks = tr.Blocks
+		probes = tr.Probes
+	}
+	res, err := core.Optimize(b.Source, opt)
+	if err != nil {
+		return nil, fmt.Errorf("serve: plan %s optimize: %w", key, err)
+	}
+	return &Plan{
+		Key:        key,
+		Source:     res.Source(),
+		Blocks:     opt.Blocks,
+		TuneProbes: probes,
+		Outputs:    append([]string(nil), b.Outputs...),
+		setup:      b.Setup,
+	}, nil
+}
+
+// buildSource plans an inline-source job. Without Optimize the source is
+// served as written (the plan still validates it compiles); with Optimize
+// the block count is tuned by measurement and the COMP pipeline applied,
+// exactly as for registry workloads.
+func (pl *Planner) buildSource(key string, job Job, cfg runtime.Config) (*Plan, error) {
+	probeCfg := cfg
+	probeCfg.DisableTrace = true
+	src := job.Source
+	blocks, probes := 0, 0
+	if job.Optimize {
+		base, err := runProbe(job.Source, probeCfg, job.Setup)
+		if err != nil {
+			return nil, fmt.Errorf("serve: plan %s baseline: %w", key, err)
+		}
+		seed := core.ProfileFromStats(base.Stats, probeCfg.MIC.LaunchOverhead).Blocks()
+		tr, err := pl.tuner.Tune(key, seed, func(n int) (engine.Duration, error) {
+			o := core.DefaultOptions()
+			o.Blocks = n
+			res, err := core.Optimize(job.Source, o)
+			if err != nil {
+				return 0, err
+			}
+			probed, err := runProbe(res.Source(), probeCfg, job.Setup)
+			if err != nil {
+				return 0, err
+			}
+			return probed.Stats.Time, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: plan %s tuning: %w", key, err)
+		}
+		o := core.DefaultOptions()
+		o.Blocks = tr.Blocks
+		res, err := core.Optimize(job.Source, o)
+		if err != nil {
+			return nil, fmt.Errorf("serve: plan %s optimize: %w", key, err)
+		}
+		src, blocks, probes = res.Source(), tr.Blocks, tr.Probes
+	} else if _, err := interp.Compile(src); err != nil {
+		return nil, fmt.Errorf("serve: plan %s: %w", key, err)
+	}
+	return &Plan{
+		Key:        key,
+		Source:     src,
+		Blocks:     blocks,
+		TuneProbes: probes,
+		Outputs:    append([]string(nil), job.Outputs...),
+		setup:      job.Setup,
+	}, nil
+}
+
+// runProbe executes one measured run for inline-source tuning.
+func runProbe(src string, cfg runtime.Config, setup func(*interp.Program) error) (runtime.Result, error) {
+	p, err := interp.Compile(src)
+	if err != nil {
+		return runtime.Result{}, err
+	}
+	return runtime.RunWithSetup(p, cfg, setup)
+}

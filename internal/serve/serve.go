@@ -1,0 +1,463 @@
+// Package serve is the offload-as-a-service layer: a long-running front
+// end that multiplexes many clients onto the multi-stream scheduler
+// (runtime.Scheduler) the way a serving system fronts a model or a
+// database — with a plan cache, admission control, and batching.
+//
+// The paper's kernel-launch minimization (§III) amortizes per-offload
+// setup across many small requests; this layer amortizes the other
+// per-workload costs a service pays: compiling the optimized program and
+// tuning its streaming block count by measurement run once per
+// (workload, machine) key and are reused by every later request (Zhang et
+// al.: tuning decisions are a property of the workload/platform pair, not
+// of the request). Admitted requests are grouped into batches, each batch
+// executed as one deterministic Scheduler run across N device streams
+// (Li et al.: multiplexing streams recovers the utilization a single
+// pipeline leaves idle).
+//
+// Determinism: a request's results are a pure function of its plan source
+// and input setup. The interpreter computes every value itself — the
+// simulated platform only times operations (proven by the differential
+// suite in internal/interp) — so batch composition, stream assignment,
+// arrival interleaving, and injected faults change timing but never
+// outputs. Two runs of the same request trace therefore return
+// bit-identical per-request results even though batch boundaries differ.
+//
+// Admission control never stalls a caller: a full queue rejects with
+// ErrOverloaded immediately, and every admitted request is answered
+// exactly once (a result, its error, or ErrDeadlineExceeded) — requests
+// are never dropped silently.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"comp/internal/interp"
+	"comp/internal/runtime"
+	"comp/internal/sim/engine"
+	"comp/internal/sim/metrics"
+)
+
+// Typed admission-control errors.
+var (
+	// ErrOverloaded rejects a submission because the admission queue is
+	// full. The caller sees it immediately — shedding never blocks.
+	ErrOverloaded = errors.New("serve: overloaded: admission queue full")
+	// ErrDeadlineExceeded answers an admitted request whose deadline passed
+	// while it waited in the queue.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded while queued")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Config assembles a server.
+type Config struct {
+	// Runtime is the simulated platform; nil means runtime.DefaultConfig
+	// with tracing disabled (server-level metrics come from the serving
+	// layer, not per-run span streams).
+	Runtime *runtime.Config
+	// Streams is the device-stream count each batch runs on (default 4).
+	Streams int
+	// QueueDepth bounds the admission queue (default 64). Submissions
+	// beyond it shed with ErrOverloaded.
+	QueueDepth int
+	// MaxBatch caps how many queued requests one Scheduler run executes
+	// (default QueueDepth).
+	MaxBatch int
+	// Planner is the plan cache; nil creates a private one. Share a
+	// Planner across servers to warm one cache for a fleet.
+	Planner *Planner
+}
+
+// Job is one client request.
+type Job struct {
+	// Workload names a registry benchmark (workloads.Get) to serve. Leave
+	// empty for inline-source jobs.
+	Workload string
+	// Source is an inline MiniC program; Key must then name the plan-cache
+	// entry (two jobs with the same Key share one plan, so the Key must
+	// identify the source and its setup).
+	Source string
+	Key    string
+	// Outputs lists the global arrays returned for inline-source jobs
+	// (workload jobs report the benchmark's output arrays).
+	Outputs []string
+	// Optimize runs inline source through the COMP pipeline with a
+	// measured-tuned block count when its plan is built.
+	Optimize bool
+	// Setup overrides the plan's input-injection hook for this request
+	// (same plan, different inputs). Nil uses the plan's own.
+	Setup func(*interp.Program) error
+	// Deadline is the wall-clock budget from submission; a request still
+	// queued when it expires is answered with ErrDeadlineExceeded. Zero
+	// means no deadline.
+	Deadline time.Duration
+}
+
+// Response is one served request's result.
+type Response struct {
+	// Label is the server-assigned request id inside its batch run.
+	Label string
+	// Plan identifies the plan that served the request; PlanCached reports
+	// whether it was reused (true for every request after a key's first).
+	PlanKey    string
+	PlanCached bool
+	// Blocks is the plan's tuned streaming block count (0 = non-streaming).
+	Blocks int
+	// Outputs holds the program's output arrays by name, copied out of the
+	// executed instance.
+	Outputs map[string][]float64
+	// QueueWaitSim is the request's simulated-time wait behind earlier
+	// requests on its stream; StreamID the stream it ran on.
+	QueueWaitSim engine.Duration
+	StreamID     int
+	// BatchSize is how many requests shared the scheduler run.
+	BatchSize int
+	// Latency is the wall-clock submit→response time.
+	Latency time.Duration
+}
+
+// pending is one admitted request waiting for its batch.
+type pending struct {
+	job      Job
+	label    string
+	enqueued time.Time
+	deadline time.Time // zero = none
+	resp     chan outcome
+}
+
+type outcome struct {
+	resp Response
+	err  error
+}
+
+// fail answers a pending request with an error. Each pending is answered
+// exactly once; resp is buffered so the dispatcher never blocks on a
+// caller.
+func (p *pending) fail(err error) { p.resp <- outcome{err: err} }
+
+// Server is the long-running offload service. Submissions (Do) are safe
+// from any number of goroutines; a single dispatcher goroutine drains the
+// admission queue into batched Scheduler runs.
+type Server struct {
+	cfg     Config
+	rtCfg   runtime.Config
+	planner *Planner
+	queue   chan *pending
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	nextID int64
+
+	// Counters (atomics; the slices under statsMu).
+	submitted int64
+	admitted  int64
+	completed int64
+	failed    int64
+	shed      int64
+	expired   int64
+	batches   int64
+	maxDepth  int64
+	maxBatch  int64
+
+	statsMu    sync.Mutex
+	latencies  []int64
+	queueWaits []int64
+	batchSizes []int64
+
+	// testHoldBatch, when set by tests, stalls the dispatcher at the top of
+	// every batch until the channel yields — the hook that makes overload
+	// and deadline behavior deterministic to test.
+	testHoldBatch chan struct{}
+}
+
+// New validates the configuration and starts the dispatcher.
+func New(cfg Config) (*Server, error) {
+	if cfg.Streams == 0 {
+		cfg.Streams = 4
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.QueueDepth < 0 || cfg.Streams < 0 || cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("serve: negative Config value")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = cfg.QueueDepth
+	}
+	rtCfg := runtime.DefaultConfig()
+	rtCfg.DisableTrace = true
+	if cfg.Runtime != nil {
+		rtCfg = *cfg.Runtime
+	}
+	// Validate platform and partition up front, not on the first batch.
+	if _, err := runtime.NewScheduler(rtCfg, cfg.Streams); err != nil {
+		return nil, err
+	}
+	planner := cfg.Planner
+	if planner == nil {
+		planner = NewPlanner()
+	}
+	s := &Server{
+		cfg:     cfg,
+		rtCfg:   rtCfg,
+		planner: planner,
+		queue:   make(chan *pending, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Planner returns the server's plan cache.
+func (s *Server) Planner() *Planner { return s.planner }
+
+// Do submits a job and blocks until it is served. It returns
+// ErrOverloaded immediately when the admission queue is full, ErrClosed
+// after Close, and ErrDeadlineExceeded if the job's deadline passed while
+// it was queued. Safe for concurrent use.
+func (s *Server) Do(job Job) (Response, error) {
+	atomic.AddInt64(&s.submitted, 1)
+	p := &pending{job: job, enqueued: time.Now(), resp: make(chan outcome, 1)}
+	if job.Deadline > 0 {
+		p.deadline = p.enqueued.Add(job.Deadline)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	s.nextID++
+	p.label = fmt.Sprintf("r%08d", s.nextID)
+	select {
+	case s.queue <- p:
+		depth := int64(len(s.queue))
+		s.mu.Unlock()
+		atomic.AddInt64(&s.admitted, 1)
+		for {
+			max := atomic.LoadInt64(&s.maxDepth)
+			if depth <= max || atomic.CompareAndSwapInt64(&s.maxDepth, max, depth) {
+				break
+			}
+		}
+	default:
+		s.mu.Unlock()
+		atomic.AddInt64(&s.shed, 1)
+		return Response{}, ErrOverloaded
+	}
+	out := <-p.resp
+	return out.resp, out.err
+}
+
+// Close stops admissions, serves every already-queued request, and waits
+// for the dispatcher to finish. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// dispatch is the single consumer of the admission queue. After quit it
+// drains what was admitted before Close and exits — queued requests are
+// served, never dropped.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case p := <-s.queue:
+			s.runBatch(s.drainBatch(p))
+		case <-s.quit:
+			for {
+				select {
+				case p := <-s.queue:
+					s.runBatch(s.drainBatch(p))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// drainBatch greedily collects everything already queued, up to MaxBatch.
+func (s *Server) drainBatch(first *pending) []*pending {
+	batch := []*pending{first}
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p := <-s.queue:
+			batch = append(batch, p)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch plans, compiles and executes one batch as a single Scheduler
+// run, then answers every request in it.
+func (s *Server) runBatch(batch []*pending) {
+	if s.testHoldBatch != nil {
+		<-s.testHoldBatch
+	}
+	atomic.AddInt64(&s.batches, 1)
+	for {
+		max := atomic.LoadInt64(&s.maxBatch)
+		if int64(len(batch)) <= max || atomic.CompareAndSwapInt64(&s.maxBatch, max, int64(len(batch))) {
+			break
+		}
+	}
+
+	// Shed expired requests before spending any work on them.
+	now := time.Now()
+	live := make([]*pending, 0, len(batch))
+	for _, p := range batch {
+		if !p.deadline.IsZero() && now.After(p.deadline) {
+			atomic.AddInt64(&s.expired, 1)
+			p.fail(ErrDeadlineExceeded)
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// Resolve plans (cache hits are free; first use per key tunes) and
+	// compile one fresh program per request.
+	type item struct {
+		p      *pending
+		plan   *Plan
+		cached bool
+		prog   *interp.Program
+	}
+	items := make([]item, 0, len(live))
+	for _, p := range live {
+		plan, cached, err := s.planner.planFor(p.job, s.rtCfg)
+		if err != nil {
+			atomic.AddInt64(&s.failed, 1)
+			p.fail(err)
+			continue
+		}
+		prog, err := interp.Compile(plan.Source)
+		if err != nil {
+			atomic.AddInt64(&s.failed, 1)
+			p.fail(fmt.Errorf("serve: plan %s compile: %w", plan.Key, err))
+			continue
+		}
+		items = append(items, item{p: p, plan: plan, cached: cached, prog: prog})
+	}
+	if len(items) == 0 {
+		return
+	}
+
+	failAll := func(err error) {
+		for _, it := range items {
+			atomic.AddInt64(&s.failed, 1)
+			it.p.fail(err)
+		}
+	}
+	sched, err := runtime.NewScheduler(s.rtCfg, s.cfg.Streams)
+	if err != nil {
+		failAll(err)
+		return
+	}
+	for _, it := range items {
+		setup := it.p.job.Setup
+		if setup == nil {
+			setup = it.plan.setup
+		}
+		sched.Submit(runtime.Request{Label: it.p.label, Program: it.prog, Setup: setup})
+	}
+	res, err := sched.Run()
+	if err != nil {
+		failAll(err)
+		return
+	}
+	byLabel := make(map[string]runtime.RequestStats, len(res.Stats.Requests))
+	for _, rq := range res.Stats.Requests {
+		byLabel[rq.Label] = rq
+	}
+
+	done := time.Now()
+	for _, it := range items {
+		outputs := make(map[string][]float64, len(it.plan.Outputs))
+		var outErr error
+		for _, name := range it.plan.Outputs {
+			data, err := it.prog.ArrayData(name)
+			if err != nil {
+				outErr = err
+				break
+			}
+			outputs[name] = append([]float64(nil), data...)
+		}
+		if outErr != nil {
+			atomic.AddInt64(&s.failed, 1)
+			it.p.fail(outErr)
+			continue
+		}
+		rq := byLabel[it.p.label]
+		resp := Response{
+			Label:        it.p.label,
+			PlanKey:      it.plan.Key,
+			PlanCached:   it.cached,
+			Blocks:       it.plan.Blocks,
+			Outputs:      outputs,
+			QueueWaitSim: rq.QueueWait,
+			StreamID:     rq.StreamID,
+			BatchSize:    len(items),
+			Latency:      done.Sub(it.p.enqueued),
+		}
+		atomic.AddInt64(&s.completed, 1)
+		s.statsMu.Lock()
+		s.latencies = append(s.latencies, int64(resp.Latency))
+		s.queueWaits = append(s.queueWaits, int64(rq.QueueWait))
+		s.statsMu.Unlock()
+		it.p.resp <- outcome{resp: resp}
+	}
+	s.statsMu.Lock()
+	s.batchSizes = append(s.batchSizes, int64(len(items)))
+	s.statsMu.Unlock()
+}
+
+// Report snapshots the server-level metrics as a metrics.ServerReport.
+func (s *Server) Report() metrics.ServerReport {
+	hits, misses, probes := s.planner.Stats()
+	rep := metrics.ServerReport{
+		Submitted:     atomic.LoadInt64(&s.submitted),
+		Admitted:      atomic.LoadInt64(&s.admitted),
+		Completed:     atomic.LoadInt64(&s.completed),
+		Failed:        atomic.LoadInt64(&s.failed),
+		Shed:          atomic.LoadInt64(&s.shed),
+		Expired:       atomic.LoadInt64(&s.expired),
+		Batches:       atomic.LoadInt64(&s.batches),
+		MaxBatch:      int(atomic.LoadInt64(&s.maxBatch)),
+		QueueCapacity: s.cfg.QueueDepth,
+		QueueDepth:    len(s.queue),
+		MaxQueueDepth: int(atomic.LoadInt64(&s.maxDepth)),
+		PlanHits:      hits,
+		PlanMisses:    misses,
+		TuneProbes:    probes,
+	}
+	if total := hits + misses; total > 0 {
+		rep.PlanHitRatio = float64(hits) / float64(total)
+	}
+	s.statsMu.Lock()
+	rep.Latency = metrics.HistogramOf(s.latencies)
+	rep.QueueWaitSim = metrics.HistogramOf(s.queueWaits)
+	rep.BatchSizes = metrics.HistogramOf(s.batchSizes)
+	s.statsMu.Unlock()
+	return rep
+}

@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"comp/internal/interp"
+)
+
+// synthSource builds a small offload program whose outputs depend on the
+// scale constant, so distinct keys provably serve distinct plans.
+func synthSource(scale int) string {
+	return fmt.Sprintf(`
+float a[16384];
+float b[16384];
+int n;
+int main(void) {
+    int i;
+    n = 16384;
+    for (i = 0; i < n; i++) {
+        a[i] = i * 0.5 + 1.0;
+    }
+    #pragma offload target(mic:0) in(a : length(n)) out(b : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        b[i] = sqrt(a[i] * %d.0) + exp(a[i] * 0.0001);
+    }
+    return 0;
+}
+`, scale)
+}
+
+// seededSetup injects a deterministic input for array "a", overriding the
+// source's static initialization — the per-request-inputs path.
+func seededSetup(seed int64) func(*interp.Program) error {
+	return func(p *interp.Program) error {
+		r := rand.New(rand.NewSource(seed))
+		data := make([]float64, 16384)
+		for i := range data {
+			data[i] = 1.0 + r.Float64()*100
+		}
+		return p.SetArray("a", data)
+	}
+}
+
+// jobFor maps a client index onto the test's job mix: four synthetic
+// sources (one tuned, one with per-request seeded inputs) plus the nn
+// workload, so the plan cache holds five keys.
+func jobFor(client int) Job {
+	switch client % 8 {
+	case 0:
+		return Job{Workload: "nn"}
+	case 1, 2:
+		return Job{Key: "synth-3", Source: synthSource(3), Outputs: []string{"b"}}
+	case 3, 4:
+		return Job{Key: "synth-7-opt", Source: synthSource(7), Outputs: []string{"b"}, Optimize: true}
+	case 5:
+		return Job{Key: "synth-11-seeded", Source: synthSource(11), Outputs: []string{"b"},
+			Setup: seededSetup(int64(1000 + client))}
+	default:
+		return Job{Key: "synth-5", Source: synthSource(5), Outputs: []string{"b"}}
+	}
+}
+
+// runTrace serves one fixed 64-client trace on a fresh server and returns
+// each client's outputs.
+func runTrace(t *testing.T, clients int) ([]map[string][]float64, *Server) {
+	t.Helper()
+	s, err := New(Config{Streams: 4, QueueDepth: clients, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]map[string][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := s.Do(jobFor(c))
+			results[c], errs[c] = resp.Outputs, err
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	return results, s
+}
+
+// TestServe64ClientsBitIdentical is the headline acceptance test: 64
+// concurrent clients, two independent server runs over the same trace,
+// bit-identical per-client results — batch boundaries and stream
+// assignment may differ between runs, outputs may not. -short keeps the
+// same double-run structure at a quarter of the fleet.
+func TestServe64ClientsBitIdentical(t *testing.T) {
+	clients := 64
+	if testing.Short() {
+		clients = 16
+	}
+	first, s1 := runTrace(t, clients)
+	s1.Close()
+	second, s2 := runTrace(t, clients)
+	s2.Close()
+	for c := 0; c < clients; c++ {
+		a, b := first[c], second[c]
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("client %d: output sets differ (%d vs %d arrays)", c, len(a), len(b))
+		}
+		for name, x := range a {
+			y, ok := b[name]
+			if !ok || len(x) != len(y) {
+				t.Fatalf("client %d: output %s missing or resized", c, name)
+			}
+			for i := range x {
+				if x[i] != y[i] {
+					t.Fatalf("client %d: %s[%d] = %v vs %v across runs", c, name, i, x[i], y[i])
+				}
+			}
+		}
+	}
+	rep := s1.Report()
+	if rep.Completed != int64(clients) || rep.Shed != 0 || rep.Expired != 0 || rep.Failed != 0 {
+		t.Fatalf("accounting: %+v", rep)
+	}
+	if rep.Submitted != rep.Completed+rep.Shed+rep.Expired+rep.Failed {
+		t.Fatalf("requests dropped silently: %+v", rep)
+	}
+}
+
+// TestServeOverloadSheds drives 2× the queue capacity into a server whose
+// dispatcher is pinned: exactly QueueDepth requests are admitted, the rest
+// shed with ErrOverloaded immediately, and after release every admitted
+// request completes — no deadlock, nothing dropped silently.
+func TestServeOverloadSheds(t *testing.T) {
+	const depth = 8
+	hold := make(chan struct{})
+	s, err := New(Config{Streams: 2, QueueDepth: depth, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testHoldBatch = hold
+	defer s.Close()
+
+	job := Job{Key: "synth-3", Source: synthSource(3), Outputs: []string{"b"}}
+	var wg sync.WaitGroup
+	firstDone := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := s.Do(job)
+		firstDone <- err
+	}()
+	// Wait until the dispatcher has dequeued the first request and is
+	// pinned at the hold point, so the queue is provably empty.
+	waitFor(t, func() bool {
+		rep := s.Report()
+		return rep.Admitted == 1 && rep.QueueDepth == 0
+	})
+
+	total := 2 * depth
+	errC := make(chan error, total)
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Do(job)
+			errC <- err
+		}()
+	}
+	// All shed decisions are immediate; admitted requests block. Wait for
+	// the queue to fill and the sheds to land.
+	waitFor(t, func() bool { return s.Report().Shed == int64(total-depth) })
+	if rep := s.Report(); rep.QueueDepth != depth {
+		t.Fatalf("queue depth %d, want %d", rep.QueueDepth, depth)
+	}
+
+	close(hold)
+	wg.Wait()
+	if err := <-firstDone; err != nil {
+		t.Fatalf("pinned request failed: %v", err)
+	}
+	var shed, completed int
+	for i := 0; i < total; i++ {
+		err := <-errC
+		switch {
+		case err == nil:
+			completed++
+		case errors.Is(err, ErrOverloaded):
+			shed++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if shed != depth || completed != depth {
+		t.Fatalf("shed %d completed %d, want %d and %d", shed, completed, depth, depth)
+	}
+	rep := s.Report()
+	if rep.Submitted != rep.Completed+rep.Shed {
+		t.Fatalf("requests dropped silently: %+v", rep)
+	}
+	if rep.MaxQueueDepth != depth {
+		t.Fatalf("high-water mark %d, want %d", rep.MaxQueueDepth, depth)
+	}
+}
+
+// TestServeDeadlineExpiresInQueue pins the dispatcher so a deadlined
+// request provably expires while queued and is answered with the typed
+// error, not dropped.
+func TestServeDeadlineExpiresInQueue(t *testing.T) {
+	hold := make(chan struct{})
+	s, err := New(Config{Streams: 2, QueueDepth: 4, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testHoldBatch = hold
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var pinnedErr error
+	go func() {
+		defer wg.Done()
+		_, pinnedErr = s.Do(Job{Key: "synth-3", Source: synthSource(3), Outputs: []string{"b"}})
+	}()
+	waitFor(t, func() bool {
+		rep := s.Report()
+		return rep.Admitted == 1 && rep.QueueDepth == 0
+	})
+
+	wg.Add(1)
+	var deadlineErr error
+	go func() {
+		defer wg.Done()
+		_, deadlineErr = s.Do(Job{Key: "synth-3", Source: synthSource(3), Outputs: []string{"b"},
+			Deadline: 10 * time.Millisecond})
+	}()
+	waitFor(t, func() bool { return s.Report().QueueDepth == 1 })
+	time.Sleep(30 * time.Millisecond)
+	close(hold)
+	wg.Wait()
+	if pinnedErr != nil {
+		t.Fatalf("pinned request failed: %v", pinnedErr)
+	}
+	if !errors.Is(deadlineErr, ErrDeadlineExceeded) {
+		t.Fatalf("deadlined request got %v, want ErrDeadlineExceeded", deadlineErr)
+	}
+	if rep := s.Report(); rep.Expired != 1 {
+		t.Fatalf("expired counter %d, want 1", rep.Expired)
+	}
+}
+
+// TestServePlanCacheHitRatio serves a repeated-workload trace and checks
+// the acceptance bar: hit ratio ≥ 90% and zero re-tuning probes after each
+// key's first use.
+func TestServePlanCacheHitRatio(t *testing.T) {
+	s, err := New(Config{Streams: 2, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	trace := []Job{
+		{Workload: "nn"},
+		{Key: "synth-3", Source: synthSource(3), Outputs: []string{"b"}},
+		{Key: "synth-7-opt", Source: synthSource(7), Outputs: []string{"b"}, Optimize: true},
+	}
+	// Warm each key once.
+	for _, job := range trace {
+		resp, err := s.Do(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.PlanCached {
+			t.Fatalf("first use of %s reported a cache hit", resp.PlanKey)
+		}
+	}
+	_, _, warmProbes := s.Planner().Stats()
+	if warmProbes == 0 {
+		t.Fatal("warmup spent no tuning probes; the trace does not exercise tuning")
+	}
+	// 19 rounds of 3 hits against 3 warm misses → 95% ratio; -short trims
+	// to 10 rounds (30/33 ≈ 91%), still above the 90% bar.
+	rounds := 19
+	if testing.Short() {
+		rounds = 10
+	}
+	for r := 0; r < rounds; r++ {
+		for _, job := range trace {
+			resp, err := s.Do(job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resp.PlanCached {
+				t.Fatalf("round %d: %s missed the plan cache", r, resp.PlanKey)
+			}
+		}
+	}
+	hits, misses, probes := s.Planner().Stats()
+	if probes != warmProbes {
+		t.Fatalf("re-tuning after warmup: %d probes grew to %d", warmProbes, probes)
+	}
+	ratio := float64(hits) / float64(hits+misses)
+	if ratio < 0.9 {
+		t.Fatalf("plan-cache hit ratio %.2f < 0.90 (%d hits, %d misses)", ratio, hits, misses)
+	}
+	if rep := s.Report(); rep.PlanHitRatio != ratio {
+		t.Fatalf("report hit ratio %v != planner ratio %v", rep.PlanHitRatio, ratio)
+	}
+}
+
+// TestServeCloseServesQueued checks Close semantics: already-admitted
+// requests are served, later submissions get ErrClosed.
+func TestServeCloseServesQueued(t *testing.T) {
+	hold := make(chan struct{})
+	s, err := New(Config{Streams: 2, QueueDepth: 4, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testHoldBatch = hold
+
+	job := Job{Key: "synth-5", Source: synthSource(5), Outputs: []string{"b"}}
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	wg.Add(1)
+	go func() { defer wg.Done(); _, errs[0] = s.Do(job) }()
+	waitFor(t, func() bool {
+		rep := s.Report()
+		return rep.Admitted == 1 && rep.QueueDepth == 0
+	})
+	for i := 1; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); _, errs[i] = s.Do(job) }(i)
+	}
+	waitFor(t, func() bool { return s.Report().QueueDepth == 2 })
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	close(hold)
+	<-closed
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("queued request %d not served across Close: %v", i, err)
+		}
+	}
+	if _, err := s.Do(job); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Do after Close = %v, want ErrClosed", err)
+	}
+	if rep := s.Report(); rep.Completed != 3 {
+		t.Fatalf("completed %d, want 3", rep.Completed)
+	}
+}
+
+// TestServeBadJobsFailTyped checks that unroutable jobs are answered with
+// their error (counted as failed), and shared-memory benchmarks are
+// refused.
+func TestServeBadJobsFailTyped(t *testing.T) {
+	s, err := New(Config{Streams: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Do(Job{Workload: "no-such-benchmark"}); err == nil {
+		t.Fatal("unknown workload served without error")
+	}
+	if _, err := s.Do(Job{Workload: "ferret"}); err == nil {
+		t.Fatal("shared-memory benchmark served without error")
+	}
+	if _, err := s.Do(Job{}); err == nil {
+		t.Fatal("empty job served without error")
+	}
+	if rep := s.Report(); rep.Failed != 3 {
+		t.Fatalf("failed counter %d, want 3", rep.Failed)
+	}
+}
+
+// waitFor polls a condition with a generous timeout; soak-safe under
+// -race scheduling jitter.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeConfigValidation pins the constructor's error paths: negative
+// knobs and an invalid runtime platform are rejected before any goroutine
+// starts, and Close is idempotent.
+func TestServeConfigValidation(t *testing.T) {
+	if _, err := New(Config{QueueDepth: -1}); err == nil {
+		t.Error("negative QueueDepth accepted")
+	}
+	if _, err := New(Config{MaxBatch: -2}); err == nil {
+		t.Error("negative MaxBatch accepted")
+	}
+	// More streams than the device has cores: scheduler validation fails.
+	if _, err := New(Config{Streams: 100000}); err == nil {
+		t.Error("unpartitionable stream count accepted")
+	}
+	s, err := New(Config{Streams: 2, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // second Close must return, not hang or panic
+}
+
+// TestServeBadSourceFailsTyped covers the inline-source validation path:
+// a job whose source does not compile is answered with the compile error.
+func TestServeBadSourceFailsTyped(t *testing.T) {
+	s, err := New(Config{Streams: 2, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Do(Job{Key: "broken", Source: "int main(void) { return }"}); err == nil {
+		t.Fatal("uncompilable source served without error")
+	}
+	// The error is cached: the retry fails identically without rebuilding.
+	_, misses1, _ := s.Planner().Stats()
+	if _, err := s.Do(Job{Key: "broken", Source: "int main(void) { return }"}); err == nil {
+		t.Fatal("uncompilable source served on retry")
+	}
+	hits, misses2, _ := s.Planner().Stats()
+	if misses2 != misses1 || hits == 0 {
+		t.Fatalf("failed plan rebuilt instead of served from cache: %d hits, misses %d -> %d", hits, misses1, misses2)
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"comp/internal/interp"
+	"comp/internal/runtime"
+	"comp/internal/sim/fault"
+)
+
+// The soak drives the server the way the CI race job needs it driven: 32
+// concurrent submitters hammering a small admission queue while the
+// simulated platform injects chaos faults, with deadlines on part of the
+// trace. It asserts the three serving invariants under that pressure:
+// every request is answered exactly once with a result or a typed error;
+// successful results are bit-identical to a fault-free reference (faults
+// perturb timing, never values); and the accounting adds up — nothing is
+// dropped silently and nothing deadlocks.
+func TestSoakServe32SubmittersChaos(t *testing.T) {
+	const (
+		submitters = 32
+		perClient  = 4
+	)
+	rtCfg := runtime.DefaultConfig()
+	rtCfg.DisableTrace = true
+	rtCfg.Faults = fault.Uniform(7, 0.25)
+	s, err := New(Config{Runtime: &rtCfg, Streams: 4, QueueDepth: 16, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Fault-free references, one per synthetic key: the interpreter
+	// computes values and the platform only times them, so chaos runs must
+	// reproduce these bit-for-bit.
+	scales := []int{3, 5, 7, 11}
+	refs := make(map[int][]float64, len(scales))
+	for _, scale := range scales {
+		p, err := interp.Compile(synthSource(scale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runtime.Run(p, runtime.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.Program.ArrayData("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[scale] = append([]float64(nil), data...)
+	}
+
+	type tally struct{ completed, shed, expired int }
+	tallies := make([]tally, submitters)
+	var wg sync.WaitGroup
+	for c := 0; c < submitters; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				scale := scales[(c+j)%len(scales)]
+				job := Job{
+					Key:     synthKey(scale),
+					Source:  synthSource(scale),
+					Outputs: []string{"b"},
+				}
+				if (c+j)%5 == 0 {
+					job.Deadline = 5 * time.Second // generous: only pathological stalls expire it
+				}
+				resp, err := s.Do(job)
+				switch {
+				case err == nil:
+					ref := refs[scale]
+					got := resp.Outputs["b"]
+					if len(got) != len(ref) {
+						t.Errorf("client %d job %d: output resized", c, j)
+						return
+					}
+					for i := range got {
+						if got[i] != ref[i] {
+							t.Errorf("client %d job %d: b[%d] = %v, fault-free reference %v", c, j, i, got[i], ref[i])
+							return
+						}
+					}
+					tallies[c].completed++
+				case errors.Is(err, ErrOverloaded):
+					tallies[c].shed++
+				case errors.Is(err, ErrDeadlineExceeded):
+					tallies[c].expired++
+				default:
+					t.Errorf("client %d job %d: unexpected error %v", c, j, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var completed, shed, expired int64
+	for _, y := range tallies {
+		completed += int64(y.completed)
+		shed += int64(y.shed)
+		expired += int64(y.expired)
+	}
+	if completed+shed+expired != submitters*perClient {
+		t.Fatalf("accounting: %d completed + %d shed + %d expired != %d submitted",
+			completed, shed, expired, submitters*perClient)
+	}
+	rep := s.Report()
+	if rep.Completed != completed || rep.Shed != shed || rep.Expired != expired || rep.Failed != 0 {
+		t.Fatalf("server counters disagree with client tallies: %+v", rep)
+	}
+	if rep.Submitted != rep.Completed+rep.Shed+rep.Expired {
+		t.Fatalf("requests dropped silently: %+v", rep)
+	}
+	if completed == 0 {
+		t.Fatal("soak completed nothing; queue too small for the trace")
+	}
+	// One plan per key, no matter how many submitters raced on first use.
+	if rep.PlanMisses != int64(len(scales)) {
+		t.Fatalf("plan misses %d, want %d (one per key)", rep.PlanMisses, len(scales))
+	}
+}
+
+func synthKey(scale int) string { return fmt.Sprintf("soak-synth-%d", scale) }

@@ -1,0 +1,169 @@
+package shmem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a random interleaving of Malloc and Free round-trips — every
+// live pointer frees exactly once, a second free of the same pointer is
+// rejected, and frees never perturb later allocation or the translation of
+// pointers that are still live. The ops stream drives a two-phase
+// interpretation of each byte: low bits pick the size, the high bit picks
+// "free the oldest live object" instead of allocating.
+func TestAllocFreeTranslateRoundTripProperty(t *testing.T) {
+	f := func(ops []uint8, devSeed uint32) bool {
+		h := heap(512)
+		var live []Ptr
+		var freed []Ptr
+		for _, op := range ops {
+			if op&0x80 != 0 && len(live) > 0 {
+				p := live[0]
+				live = live[1:]
+				if err := h.Free(p); err != nil {
+					return false
+				}
+				freed = append(freed, p)
+				continue
+			}
+			p, err := h.Malloc(int64(op&0x7f) + 1)
+			if err != nil {
+				return errors.Is(err, ErrTooManyBuffers)
+			}
+			live = append(live, p)
+		}
+		// Double frees and wild frees must be rejected, live frees accepted.
+		for _, p := range freed {
+			if h.Free(p) == nil {
+				return false
+			}
+		}
+		if h.Free(Ptr{Addr: 0xdead_beef, BID: 0}) == nil {
+			return false
+		}
+		if h.FreeCount() != int64(len(freed)) {
+			return false
+		}
+		if h.LiveBytes() > h.TotalUsed() || h.LiveBytes() < 0 {
+			return false
+		}
+		// Translation of live pointers is unaffected by the frees: bid-based
+		// and linear translation agree, and both land inside the pointer's
+		// segment image on the device.
+		if h.SegmentCount() == 0 {
+			return true
+		}
+		bases := make([]uint64, h.SegmentCount())
+		for i := range bases {
+			bases[i] = 1<<32 + uint64(devSeed) + uint64(i)*uint64(h.cfg.SegmentBytes+128)
+		}
+		if _, err := h.CopyToDevice(bases); err != nil {
+			return false
+		}
+		for _, p := range live {
+			a, err1 := h.Translate(p)
+			b, err2 := h.TranslateLinear(p.Addr)
+			if err1 != nil || err2 != nil || a != b {
+				return false
+			}
+			seg := h.Segments()[p.BID]
+			if a < seg.DevBase || a >= seg.DevBase+uint64(seg.Size) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: segment growth never moves data. Whatever allocation sequence
+// runs, the base address and id of every existing segment — and therefore
+// the address every outstanding pointer stores — are identical before and
+// after any number of later allocations force new segments.
+func TestGrowthNeverMovesDataProperty(t *testing.T) {
+	f := func(first, later []uint8) bool {
+		h := heap(256)
+		var ptrs []Ptr
+		for _, s := range first {
+			p, err := h.Malloc(int64(s%120) + 1)
+			if err != nil {
+				return errors.Is(err, ErrTooManyBuffers)
+			}
+			ptrs = append(ptrs, p)
+		}
+		type snap struct {
+			base uint64
+			id   uint8
+		}
+		before := make([]snap, h.SegmentCount())
+		for i, s := range h.Segments() {
+			before[i] = snap{s.Base, s.ID}
+		}
+		for _, s := range later {
+			if _, err := h.Malloc(int64(s%120) + 1); err != nil {
+				return errors.Is(err, ErrTooManyBuffers)
+			}
+		}
+		for i, want := range before {
+			s := h.Segments()[i]
+			if s.Base != want.base || s.ID != want.id {
+				return false
+			}
+		}
+		for _, p := range ptrs {
+			seg := h.Segments()[p.BID]
+			if p.Addr < seg.Base || p.Addr >= seg.End() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzBidExhaustion drives the heap to (and past) the 256-segment bid
+// limit with fuzzer-chosen segment sizes and allocation streams, checking
+// the failure mode is exactly ErrTooManyBuffers and the heap stays
+// consistent afterwards: ids dense, reservations accounted, no allocation
+// admitted past the limit.
+func FuzzBidExhaustion(f *testing.F) {
+	f.Add(uint16(64), []byte{255, 255, 255, 255})
+	f.Add(uint16(1), []byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add(uint16(512), []byte{})
+	f.Fuzz(func(t *testing.T, segBytesRaw uint16, sizes []byte) {
+		segBytes := int64(segBytesRaw%1024) + 1
+		h := heap(segBytes)
+		for _, s := range sizes {
+			size := int64(s)%segBytes + 1
+			_, err := h.Malloc(size)
+			if err != nil {
+				if !errors.Is(err, ErrTooManyBuffers) {
+					t.Fatalf("Malloc(%d) failed with %v, want ErrTooManyBuffers", size, err)
+				}
+				if h.SegmentCount() != 256 {
+					t.Fatalf("bid exhaustion reported at %d segments", h.SegmentCount())
+				}
+			}
+		}
+		// Exhausted or not, the heap must be consistent.
+		if n := h.SegmentCount(); n > 256 {
+			t.Fatalf("%d segments exceed the 1-byte bid space", n)
+		}
+		for i, s := range h.Segments() {
+			if int(s.ID) != i {
+				t.Fatalf("segment %d has id %d; ids must stay dense", i, s.ID)
+			}
+			if s.Used > s.Size {
+				t.Fatalf("segment %d overfilled: %d of %d", i, s.Used, s.Size)
+			}
+		}
+		if h.TotalUsed() > h.TotalReserved() {
+			t.Fatalf("used %d exceeds reserved %d", h.TotalUsed(), h.TotalReserved())
+		}
+	})
+}

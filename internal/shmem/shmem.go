@@ -66,6 +66,11 @@ type Heap struct {
 	segments []*Segment
 	nextBase uint64
 	allocs   int64
+	// live maps the address of each outstanding allocation to its size;
+	// Free validates against it and removes the entry.
+	live       map[uint64]int64
+	frees      int64
+	freedBytes int64
 	// delta[bid] = device base - host base, valid after CopyToDevice.
 	delta     []int64
 	deltaOK   bool
@@ -148,9 +153,44 @@ func (h *Heap) Malloc(size int64) (Ptr, error) {
 	p := Ptr{Addr: seg.Base + uint64(seg.Used), BID: seg.ID}
 	seg.Used += size
 	h.allocs++
+	if h.live == nil {
+		h.live = map[uint64]int64{}
+	}
+	h.live[p.Addr] = size
 	h.deltaOK = false // device copy is stale
 	return p, nil
 }
+
+// Free releases a shared object. Per §V-A the allocator is bump-style and
+// never moves data, so Free is bookkeeping only: the address range is
+// retired (double frees and wild pointers are detected) but not reused —
+// segments are torn down wholesale when the heap is dropped, which is how
+// the paper's offload sessions end. Freeing the null pointer is a no-op,
+// matching free(NULL).
+func (h *Heap) Free(p Ptr) error {
+	if p.IsNil() {
+		return nil
+	}
+	size, ok := h.live[p.Addr]
+	if !ok {
+		return fmt.Errorf("shmem: free of %#x: not a live shared object (wild pointer or double free)", p.Addr)
+	}
+	seg := h.findSegment(p.Addr)
+	if seg == nil || seg.ID != p.BID {
+		return fmt.Errorf("shmem: free of %#x: bid %d does not own the address", p.Addr, p.BID)
+	}
+	delete(h.live, p.Addr)
+	h.frees++
+	h.freedBytes += size
+	return nil
+}
+
+// FreeCount returns the number of successful Free calls.
+func (h *Heap) FreeCount() int64 { return h.frees }
+
+// LiveBytes returns bytes occupied by not-yet-freed objects. TotalUsed
+// still counts retired ranges: bump allocation never reuses them.
+func (h *Heap) LiveBytes() int64 { return h.TotalUsed() - h.freedBytes }
 
 // AddressOf implements Table I's `p = &obj`: it builds a pointer to a host
 // address, deriving the bid from the owning segment (the obj.bid field in

@@ -442,15 +442,26 @@ func occupancy(spans []engine.Span, makespan engine.Duration) []OccupancyLevel {
 
 // histogram builds a log2-bucketed duration distribution.
 func histogram(durs []engine.Duration) Histogram {
-	h := Histogram{Count: len(durs)}
-	if len(durs) == 0 {
+	ns := make([]int64, len(durs))
+	for i, d := range durs {
+		ns[i] = int64(d)
+	}
+	return HistogramOf(ns)
+}
+
+// HistogramOf builds a log2-bucketed distribution over raw int64 samples
+// (nanoseconds for latency histograms, plain counts for size histograms).
+// It is the plumbing the serving layer reuses for its server-level
+// latency, queue-wait and batch-size distributions.
+func HistogramOf(samples []int64) Histogram {
+	h := Histogram{Count: len(samples)}
+	if len(samples) == 0 {
 		return h
 	}
 	var sum int64
-	h.MinNs = int64(durs[0])
+	h.MinNs = samples[0]
 	buckets := map[int]int{}
-	for _, d := range durs {
-		ns := int64(d)
+	for _, ns := range samples {
 		sum += ns
 		if ns < h.MinNs {
 			h.MinNs = ns
@@ -460,7 +471,7 @@ func histogram(durs []engine.Duration) Histogram {
 		}
 		buckets[bucketOf(ns)]++
 	}
-	h.MeanNs = sum / int64(len(durs))
+	h.MeanNs = sum / int64(len(samples))
 	idxs := make([]int, 0, len(buckets))
 	for i := range buckets {
 		idxs = append(idxs, i)

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"comp/internal/sim/engine"
+)
+
+// ServerReport is the server-level metrics summary of an offload service
+// (internal/serve): admission-control counters, plan-cache effectiveness,
+// and the request-latency distributions. It rides the same report plumbing
+// as the per-run Report — stable JSON field order, WriteJSON, Format — so
+// cmd/compserve and compbench -serve dump it alongside the existing
+// artifacts.
+type ServerReport struct {
+	// Admission-control counters. Every submitted request is accounted for
+	// exactly once: Submitted = Completed + Failed + Shed + Expired +
+	// (still queued or in flight at snapshot time).
+	Submitted int64 `json:"submitted"`
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	// Failed counts requests that were admitted but errored (bad workload,
+	// compile failure); they receive the error, never a silent drop.
+	Failed int64 `json:"failed,omitempty"`
+	// Shed counts requests rejected at admission with ErrOverloaded.
+	Shed int64 `json:"shed"`
+	// Expired counts admitted requests whose deadline passed while queued.
+	Expired int64 `json:"expired,omitempty"`
+	// Batches is how many scheduler runs the served requests were grouped
+	// into; MaxBatch the largest single batch.
+	Batches  int64 `json:"batches"`
+	MaxBatch int   `json:"maxBatch,omitempty"`
+
+	// Queue state: capacity, depth at snapshot time, high-water mark.
+	QueueCapacity int `json:"queueCapacity"`
+	QueueDepth    int `json:"queueDepth"`
+	MaxQueueDepth int `json:"maxQueueDepth"`
+
+	// Plan-cache effectiveness. A miss builds the plan (compile + tuning);
+	// a hit reuses it. TuneProbes is the total measured tuning runs spent —
+	// it stops growing once every key in the trace has been planned.
+	PlanHits     int64   `json:"planHits"`
+	PlanMisses   int64   `json:"planMisses"`
+	PlanHitRatio float64 `json:"planHitRatio"`
+	TuneProbes   int64   `json:"tuneProbes"`
+
+	// Latency is the wall-clock submit→response distribution over completed
+	// requests; QueueWaitSim the simulated-time queue wait inside the
+	// scheduler batches; BatchSizes the distribution of batch sizes (plain
+	// counts, not nanoseconds).
+	Latency      Histogram `json:"latencyNs"`
+	QueueWaitSim Histogram `json:"queueWaitSimNs"`
+	BatchSizes   Histogram `json:"batchSizes"`
+}
+
+// WriteJSON serializes the report with stable field order and indentation.
+func (r ServerReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders the report as aligned, human-readable text.
+func (r ServerReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serve: %d submitted, %d admitted, %d completed, %d shed, %d expired, %d failed\n",
+		r.Submitted, r.Admitted, r.Completed, r.Shed, r.Expired, r.Failed)
+	fmt.Fprintf(&b, "queue: capacity %d, depth %d, high-water %d\n",
+		r.QueueCapacity, r.QueueDepth, r.MaxQueueDepth)
+	fmt.Fprintf(&b, "batches: %d (largest %d)\n", r.Batches, r.MaxBatch)
+	fmt.Fprintf(&b, "plan cache: %d hits, %d misses (hit ratio %.1f%%), %d tuning probes\n",
+		r.PlanHits, r.PlanMisses, 100*r.PlanHitRatio, r.TuneProbes)
+	formatLatency := func(name string, h Histogram) {
+		if h.Count == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s: %d samples, min %v, mean %v, max %v\n", name, h.Count,
+			time.Duration(h.MinNs), time.Duration(h.MeanNs), time.Duration(h.MaxNs))
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "  [%12v, %12v) %6d %s\n",
+				time.Duration(bk.LoNs), time.Duration(bk.HiNs), bk.Count, strings.Repeat("#", scaleBar(bk.Count, h.Count)))
+		}
+	}
+	formatLatency("wall latency", r.Latency)
+	if r.QueueWaitSim.Count > 0 {
+		fmt.Fprintf(&b, "sim queue wait: %d samples, min %v, mean %v, max %v\n",
+			r.QueueWaitSim.Count, engine.Duration(r.QueueWaitSim.MinNs),
+			engine.Duration(r.QueueWaitSim.MeanNs), engine.Duration(r.QueueWaitSim.MaxNs))
+	}
+	if r.BatchSizes.Count > 0 {
+		fmt.Fprintf(&b, "batch sizes: %d batches, min %d, mean %d, max %d\n",
+			r.BatchSizes.Count, r.BatchSizes.MinNs, r.BatchSizes.MeanNs, r.BatchSizes.MaxNs)
+	}
+	return b.String()
+}

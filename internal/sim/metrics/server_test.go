@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleServerReport() ServerReport {
+	return ServerReport{
+		Submitted: 20, Admitted: 17, Completed: 15, Failed: 1, Shed: 3, Expired: 1,
+		Batches: 4, MaxBatch: 6,
+		QueueCapacity: 8, QueueDepth: 0, MaxQueueDepth: 8,
+		PlanHits: 14, PlanMisses: 3, PlanHitRatio: 14.0 / 17.0, TuneProbes: 9,
+		Latency:      HistogramOf([]int64{1_000_000, 2_000_000, 40_000_000}),
+		QueueWaitSim: HistogramOf([]int64{0, 500, 1500}),
+		BatchSizes:   HistogramOf([]int64{2, 6, 4, 3}),
+	}
+}
+
+func TestServerReportFormat(t *testing.T) {
+	out := sampleServerReport().Format()
+	for _, want := range []string{
+		"serve: 20 submitted, 17 admitted, 15 completed, 3 shed, 1 expired, 1 failed",
+		"queue: capacity 8, depth 0, high-water 8",
+		"batches: 4 (largest 6)",
+		"plan cache: 14 hits, 3 misses (hit ratio 82.4%), 9 tuning probes",
+		"wall latency: 3 samples",
+		"sim queue wait: 3 samples",
+		"batch sizes: 4 batches, min 2, mean 3, max 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+	// Empty histograms are omitted entirely, not rendered as zero rows.
+	empty := ServerReport{Submitted: 1, Shed: 1}.Format()
+	for _, absent := range []string{"wall latency", "sim queue wait", "batch sizes"} {
+		if strings.Contains(empty, absent) {
+			t.Errorf("empty report renders %q:\n%s", absent, empty)
+		}
+	}
+}
+
+func TestServerReportWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleServerReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round ServerReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if round.Submitted != 20 || round.PlanHits != 14 || round.Latency.Count != 3 {
+		t.Fatalf("round-trip lost fields: %+v", round)
+	}
+	for _, key := range []string{`"planHitRatio"`, `"latencyNs"`, `"queueCapacity"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing %s", key)
+		}
+	}
+}
