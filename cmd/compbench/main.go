@@ -9,6 +9,7 @@
 //	compbench -streams 4      # multi-stream scheduler + autotuner report
 //	compbench -serve          # serving-layer load report (steady + overload)
 //	compbench -sweep          # pick block counts by exhaustive sweep (oracle)
+//	compbench -passes merge,streaming  # per-pass applied/skipped table for a pipeline spec
 package main
 
 import (
@@ -31,12 +32,23 @@ func main() {
 	serveClients := flag.Int("serve-clients", 32, "concurrent clients for -serve")
 	servePer := flag.Int("serve-requests", 2, "requests per client for -serve")
 	serveOut := flag.String("serve-out", "-", "write the -serve report as JSON to this file (\"-\" = stdout only)")
+	passes := flag.String("passes", "", "compile every benchmark under this pipeline `spec` (e.g. \"merge,regularize,streaming\") and print the per-pass applied/skipped table with full remark trails")
 	flag.Parse()
 
 	r := bench.NewRunner()
 	r.UseSweep = *sweep
 	if *traceDir != "" {
 		r.SetTraceDir(*traceDir)
+	}
+
+	if *passes != "" {
+		fig, err := r.PassFigure(*passes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Format())
+		return
 	}
 
 	if *serveMode {

@@ -6,8 +6,11 @@
 //
 //	compc file.c                       # all optimizations
 //	compc -streaming=false file.c      # disable individual passes
+//	compc -passes merge,streaming file.c  # explicit pipeline spec
 //	compc -blocks 16 file.c            # fix the streaming block count
 //	compc -report file.c               # report only, no source
+//	compc -remarks file.c              # full remark trail on stderr
+//	compc -remarks-json file.c         # remark trail as JSON on stdout
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 
 	"comp/internal/core"
+	"comp/internal/pass"
 )
 
 func main() {
@@ -25,12 +29,16 @@ func main() {
 	merge := flag.Bool("merge", true, "enable offload merging (SIII-C)")
 	regularize := flag.Bool("regularize", true, "enable regularization (SIV)")
 	blocks := flag.Int("blocks", 0, "streaming block count (0 = default)")
+	passes := flag.String("passes", "", "explicit pipeline `spec` (e.g. \"merge,streaming\"); overrides the per-pass flags")
 	reportOnly := flag.Bool("report", false, "print only the optimization report")
+	remarks := flag.Bool("remarks", false, "print the full remark trail (every applied and skipped decision) on stderr")
+	remarksJSON := flag.Bool("remarks-json", false, "print the remark trail as JSON on stdout instead of the source")
 	auto := flag.Bool("auto", false, "insert offload clauses into plain OpenMP code first (Apricot mode)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: compc [flags] file.c")
+		fmt.Fprintf(os.Stderr, "known passes for -passes: %v\n", pass.KnownPasses())
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -47,20 +55,39 @@ func main() {
 		Regularize:   *regularize,
 		Blocks:       *blocks,
 	}
-	optimize := core.Optimize
-	if *auto {
-		optimize = core.OffloadAndOptimize
+	var res *core.Result
+	switch {
+	case *passes != "":
+		spec := *passes
+		if *auto {
+			spec = "auto-offload," + spec
+		}
+		res, err = core.OptimizeSpec(string(src), spec, opt.PassConfig())
+	case *auto:
+		res, err = core.OffloadAndOptimize(string(src), opt)
+	default:
+		res, err = core.Optimize(string(src), opt)
 	}
-	res, err := optimize(string(src), opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "compc:", err)
 		os.Exit(1)
 	}
-	for _, a := range res.Report.Applied {
-		fmt.Fprintf(os.Stderr, "applied: %s\n", a)
+	if *remarks {
+		fmt.Fprint(os.Stderr, res.Report.Remarks.Render())
+	} else {
+		for _, a := range res.Report.Applied {
+			fmt.Fprintf(os.Stderr, "applied: %s\n", a)
+		}
+		for _, n := range res.Report.Notes {
+			fmt.Fprintf(os.Stderr, "note: %s\n", n)
+		}
 	}
-	for _, n := range res.Report.Notes {
-		fmt.Fprintf(os.Stderr, "note: %s\n", n)
+	if *remarksJSON {
+		if err := res.Report.Remarks.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "compc:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if !*reportOnly {
 		fmt.Print(res.Source())

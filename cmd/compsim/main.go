@@ -7,6 +7,7 @@
 //	compsim file.c                  # run as written
 //	compsim -optimize file.c        # run through the COMP compiler first
 //	compsim -optimize -blocks auto file.c  # pick the block count by measurement
+//	compsim -passes merge,streaming file.c # explicit pass pipeline (implies -optimize)
 //	compsim -cpu file.c             # strip offload pragmas, run host-only
 //	compsim -streams 4 file.c       # run 4 concurrent copies on 4 device streams
 //	compsim -streams 4 -requests 8 file.c  # 8 queued requests over 4 streams
@@ -28,6 +29,7 @@ import (
 	"comp/internal/core"
 	"comp/internal/interp"
 	"comp/internal/minic"
+	"comp/internal/pass"
 	"comp/internal/runtime"
 	"comp/internal/sim/engine"
 	"comp/internal/sim/fault"
@@ -45,6 +47,7 @@ func main() {
 	report := flag.Bool("report", false, "print derived per-resource utilization metrics")
 	width := flag.Int("timeline-width", 100, "column width of the -timeline chart")
 	blocks := flag.String("blocks", "0", "streaming block count when optimizing (0 = default, \"auto\" = tune by measurement)")
+	passes := flag.String("passes", "", "explicit pass pipeline `spec`, e.g. \"merge,regularize,streaming\" (implies -optimize)")
 	streams := flag.Int("streams", 1, "device streams; >1 runs concurrent copies through the multi-stream scheduler")
 	requests := flag.Int("requests", 0, "concurrent requests for the scheduler (0 = one per stream)")
 	faults := flag.Float64("faults", 0, "uniform fault injection rate in [0,1] for DMA/launch/hang/alloc (0 = off)")
@@ -54,7 +57,9 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: compsim [flags] file.c")
 		fmt.Fprintln(os.Stderr, "  e.g. compsim -optimize -blocks auto file.c     (tune block count by measurement)")
+		fmt.Fprintln(os.Stderr, "       compsim -passes merge,streaming file.c   (explicit pass pipeline)")
 		fmt.Fprintln(os.Stderr, "       compsim -streams 4 -requests 8 file.c    (8 requests over 4 device streams)")
+		fmt.Fprintf(os.Stderr, "  known passes: %v\n", pass.KnownPasses())
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -79,14 +84,19 @@ func main() {
 		}
 		workloads.StripOffload(f)
 		src = minic.Print(f)
-	} else if *optimize {
+	} else if *optimize || *passes != "" {
 		nblocks, err := resolveBlocks(*blocks, src, cfg)
 		if err != nil {
 			fail(err)
 		}
 		opt := core.DefaultOptions()
 		opt.Blocks = nblocks
-		res, err := core.Optimize(src, opt)
+		var res *core.Result
+		if *passes != "" {
+			res, err = core.OptimizeSpec(src, *passes, opt.PassConfig())
+		} else {
+			res, err = core.Optimize(src, opt)
+		}
 		if err != nil {
 			fail(err)
 		}

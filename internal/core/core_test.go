@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"comp/internal/interp"
+	"comp/internal/pass"
 	rt "comp/internal/runtime"
 	"comp/internal/sim/engine"
 	"comp/internal/sim/machine"
@@ -69,7 +70,7 @@ func TestOptimizeAppliesStreaming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Report.Has("stream") {
+	if !res.Report.Remarks.Has("stream") {
 		t.Fatalf("streaming not applied; report: %+v", res.Report)
 	}
 	src := res.Source()
@@ -96,10 +97,10 @@ func TestOptimizeRegularizesThenStreams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Report.Has("reorder") {
+	if !res.Report.Remarks.Has("reorder") {
 		t.Fatalf("reorder not applied; report: %+v", res.Report)
 	}
-	if !res.Report.Has("stream") {
+	if !res.Report.Remarks.Has("stream") {
 		t.Fatalf("stream not applied after regularization; report: %+v", res.Report)
 	}
 	base := runSource(t, gatherish)
@@ -143,7 +144,7 @@ int main(void) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Report.Has("merge") {
+	if !res.Report.Remarks.Has("merge") {
 		t.Fatalf("merge not applied; report: %+v", res.Report)
 	}
 	base := runSource(t, src)
@@ -227,10 +228,21 @@ func TestProfileFromStatsClampsNegativeCompute(t *testing.T) {
 	}
 }
 
-func TestReportStrings(t *testing.T) {
-	var r Report
-	r.apply("stream", struct{ Line, Col int }{3, 4}, "x")
-	_ = r
+func TestReportFromRemarks(t *testing.T) {
+	rs := pass.Remarks{
+		{Pass: "streaming", Op: "stream", Pos: "3:4", Verdict: pass.VerdictApplied, Reason: "x"},
+		{Pass: "streaming", Op: "stream", Pos: "7:4", Verdict: pass.VerdictSkippedIllegal, Reason: "no"},
+	}
+	r := ReportFromRemarks(rs)
+	if len(r.Applied) != 1 || r.Applied[0].Opt != "stream" || r.Applied[0].At != "3:4" {
+		t.Fatalf("Applied view = %+v", r.Applied)
+	}
+	if len(r.Notes) != 1 || !strings.Contains(r.Notes[0], "skipped-illegal") {
+		t.Fatalf("Notes view = %+v", r.Notes)
+	}
+	if !strings.Contains(r.Applied[0].String(), "stream at 3:4: x") {
+		t.Fatalf("Applied.String = %q", r.Applied[0].String())
+	}
 }
 
 func TestAppliedString(t *testing.T) {

@@ -1,0 +1,105 @@
+package pass
+
+import (
+	"comp/internal/analysis"
+	"comp/internal/minic"
+	"comp/internal/transform"
+)
+
+// Context is the state shared by every pass in one Manager.Run: the file
+// under transformation, one fresh-name sequencer (per-file, not per-pass,
+// so composed passes cannot mint colliding identifiers), a memoized
+// analysis cache with explicit invalidation, and the deferred-gather
+// handoff from regularization to streaming.
+type Context struct {
+	File *minic.File
+	// Names is the file-wide fresh-name sequencer; passes must hand it to
+	// every transform they invoke.
+	Names *transform.NameSeq
+
+	upcoming map[string]bool
+
+	analyses    map[*minic.ForStmt]analysisEntry
+	gathers     map[*minic.ForStmt][]transform.GatherInfo
+	gatherOrder []*minic.ForStmt
+}
+
+type analysisEntry struct {
+	info *analysis.LoopInfo
+	err  error
+}
+
+// NewContext prepares a context for one pipeline run over f.
+func NewContext(f *minic.File) *Context {
+	return &Context{
+		File:     f,
+		Names:    &transform.NameSeq{},
+		upcoming: map[string]bool{},
+		analyses: map[*minic.ForStmt]analysisEntry{},
+		gathers:  map[*minic.ForStmt][]transform.GatherInfo{},
+	}
+}
+
+// Analysis returns the memoized analysis.Analyze result for loop,
+// recomputing only after MarkMutated. Errors are cached too: a loop that
+// defeats analysis does so deterministically until the AST changes.
+func (c *Context) Analysis(loop *minic.ForStmt) (*analysis.LoopInfo, error) {
+	if e, ok := c.analyses[loop]; ok {
+		return e.info, e.err
+	}
+	info, err := analysis.Analyze(loop, c.File)
+	c.analyses[loop] = analysisEntry{info: info, err: err}
+	return info, err
+}
+
+// MarkMutated invalidates the analysis cache. Passes call it after every
+// transformation that fired; stale loop summaries must never survive an
+// AST mutation.
+func (c *Context) MarkMutated() {
+	clear(c.analyses)
+}
+
+// Upcoming reports whether a pass with the given name runs later in the
+// pipeline. Regularization uses it to decide whether deferring gathers
+// into streaming is sound.
+func (c *Context) Upcoming(name string) bool { return c.upcoming[name] }
+
+// DeferGathers records gathers that a later streaming pass must pipeline
+// into loop's block transfers.
+func (c *Context) DeferGathers(loop *minic.ForStmt, gs []transform.GatherInfo) {
+	if len(gs) == 0 {
+		return
+	}
+	if _, ok := c.gathers[loop]; !ok {
+		c.gatherOrder = append(c.gatherOrder, loop)
+	}
+	c.gathers[loop] = append(c.gathers[loop], gs...)
+}
+
+// TakeGathers removes and returns the gathers deferred for loop.
+func (c *Context) TakeGathers(loop *minic.ForStmt) []transform.GatherInfo {
+	gs := c.gathers[loop]
+	delete(c.gathers, loop)
+	return gs
+}
+
+// pendingGathers returns the loops with still-deferred gathers, in the
+// order they were deferred. The manager materializes these as upfront
+// gathers at the end of the run; a permutation array that is never filled
+// would be a wrong program, not a missed optimization.
+func (c *Context) pendingGathers() []*minic.ForStmt {
+	var out []*minic.ForStmt
+	for _, loop := range c.gatherOrder {
+		if _, ok := c.gathers[loop]; ok {
+			out = append(out, loop)
+		}
+	}
+	return out
+}
+
+func (c *Context) setUpcoming(names []string) {
+	clear(c.upcoming)
+	for _, n := range names {
+		c.upcoming[n] = true
+	}
+}

@@ -1,0 +1,206 @@
+package pass
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"comp/internal/minic"
+	"comp/internal/transform"
+)
+
+// Pass is one pipeline stage. Applies is the cheap legality gate: when it
+// returns false the manager records a skipped-illegal remark with the
+// reason and does not call Apply. Apply performs the transformation(s) on
+// one loop and returns the fine-grained remark trail; it returns a non-nil
+// error only for invariant violations (a half-transformed program), never
+// for an ordinary "declined" — those become skipped remarks.
+type Pass interface {
+	Name() string
+	Applies(ctx *Context, loop *minic.ForStmt) (bool, string)
+	Apply(ctx *Context, loop *minic.ForStmt) (Remarks, error)
+}
+
+// loopSelector lets a pass choose its own loop set (merge wants host-side
+// candidate loops, auto-offload wants un-offloaded parallel loops). Passes
+// without it run over every offloaded loop in source order.
+type loopSelector interface {
+	SelectLoops(ctx *Context) []*minic.ForStmt
+}
+
+// Config carries the knobs shared by pass constructors.
+type Config struct {
+	// Blocks fixes the streaming block count; 0 means transform.DefaultBlocks.
+	Blocks int
+	// ReduceMemory selects the §III-B double-buffer streaming variant.
+	ReduceMemory bool
+	// Persistent marks streamed kernels persist(1) (§III-C).
+	Persistent bool
+}
+
+// DefaultConfig enables the full streaming variant, matching
+// core.DefaultOptions.
+func DefaultConfig() Config { return Config{ReduceMemory: true, Persistent: true} }
+
+// DefaultSpec is the paper's profitable order: hoist merges first, then
+// regularize, then stream whatever is (or became) legal.
+const DefaultSpec = "merge,regularize,streaming"
+
+var registry = map[string]func(Config) Pass{
+	"auto-offload": func(Config) Pass { return autoOffloadPass{} },
+	"merge":        func(Config) Pass { return mergePass{} },
+	"regularize":   func(Config) Pass { return regularizePass{} },
+	"streaming": func(c Config) Pass {
+		return streamingPass{blocks: c.Blocks, reduceMemory: c.ReduceMemory, persistent: c.Persistent}
+	},
+}
+
+// KnownPasses returns the registered pass names, sorted.
+func KnownPasses() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseSpec validates a comma-separated pipeline spec ("merge,streaming")
+// and returns the pass names in order. Whitespace around names is
+// ignored. Empty specs, unknown names, and duplicates are errors.
+func ParseSpec(spec string) ([]string, error) {
+	var names []string
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("pass: empty pipeline spec (known passes: %s)", strings.Join(KnownPasses(), ", "))
+	}
+	if err := validateNames(names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+func validateNames(names []string) error {
+	seen := map[string]bool{}
+	for _, name := range names {
+		if _, ok := registry[name]; !ok {
+			return fmt.Errorf("pass: unknown pass %q (known passes: %s)", name, strings.Join(KnownPasses(), ", "))
+		}
+		if seen[name] {
+			return fmt.Errorf("pass: duplicate pass %q in pipeline spec", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// Manager runs an ordered pass pipeline deterministically: passes in spec
+// order, loops in source order, one shared Context.
+type Manager struct {
+	names  []string
+	passes []Pass
+}
+
+// New builds a Manager from pass names in order. An empty name list is
+// allowed: the manager then only re-checks the file.
+func New(names []string, cfg Config) (*Manager, error) {
+	if err := validateNames(names); err != nil {
+		return nil, err
+	}
+	m := &Manager{names: append([]string(nil), names...)}
+	for _, name := range names {
+		m.passes = append(m.passes, registry[name](cfg))
+	}
+	return m, nil
+}
+
+// Parse builds a Manager from a pipeline spec string.
+func Parse(spec string, cfg Config) (*Manager, error) {
+	names, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(names, cfg)
+}
+
+// Passes returns the pipeline's pass names in run order.
+func (m *Manager) Passes() []string { return append([]string(nil), m.names...) }
+
+// Run executes the pipeline over f in place and returns the remark trail.
+// The input must already be checked; the output is re-checked before
+// returning.
+func (m *Manager) Run(f *minic.File) (Remarks, error) {
+	ctx := NewContext(f)
+	var all Remarks
+	for i, p := range m.passes {
+		ctx.setUpcoming(m.names[i+1:])
+		loops := selectLoops(p, ctx)
+		for _, loop := range loops {
+			at := loop.Pos().String()
+			ok, reason := p.Applies(ctx, loop)
+			if !ok {
+				all = append(all, Remark{
+					Pass: p.Name(), Pos: at,
+					Verdict: VerdictSkippedIllegal, Reason: reason,
+				})
+				continue
+			}
+			rs, err := p.Apply(ctx, loop)
+			for j := range rs {
+				if rs[j].Pass == "" {
+					rs[j].Pass = p.Name()
+				}
+				if rs[j].Pos == "" {
+					rs[j].Pos = at
+				}
+			}
+			all = append(all, rs...)
+			if err != nil {
+				return all, err
+			}
+		}
+	}
+
+	// Safety net: a pipelined reorder whose streaming never happened (pass
+	// absent from the tail of the pipeline, or no stream consumed the
+	// gathers) leaves permutation arrays unfilled. Materialize them as
+	// upfront host gathers; this is a correctness obligation, not a choice.
+	for _, loop := range ctx.pendingGathers() {
+		gs := ctx.TakeGathers(loop)
+		at := loop.Pos().String()
+		info, err := ctx.Analysis(loop)
+		if err != nil {
+			return all, fmt.Errorf("pass: pipelined gathers stranded at %s: %v", at, err)
+		}
+		if err := transform.UpfrontGathers(f, loop, gs, info.Upper, ctx.Names); err != nil {
+			return all, fmt.Errorf("pass: %v", err)
+		}
+		ctx.MarkMutated()
+		all = append(all, Remark{
+			Pass: "pipeline", Op: "upfront-gather", Pos: at,
+			Verdict: VerdictApplied,
+			Reason:  fmt.Sprintf("%d deferred gathers materialized upfront (no streaming pass consumed them)", len(gs)),
+			Args:    map[string]any{"gathers": len(gs)},
+		})
+	}
+
+	if err := minic.Check(f).Err(); err != nil {
+		return all, fmt.Errorf("pass: transformed program fails checking: %w", err)
+	}
+	return all, nil
+}
+
+// selectLoops asks the pass for its loop set, defaulting to every
+// offloaded loop in source order.
+func selectLoops(p Pass, ctx *Context) []*minic.ForStmt {
+	if sel, ok := p.(loopSelector); ok {
+		return sel.SelectLoops(ctx)
+	}
+	return transform.FindOffloadLoops(ctx.File)
+}

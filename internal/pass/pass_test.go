@@ -1,0 +1,302 @@
+package pass_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"comp/internal/minic"
+	"comp/internal/pass"
+	"comp/internal/transform"
+)
+
+// twoLoops composes the two transforms that mint the most fresh names: a
+// gather loop (regularize reorders it, streaming consumes the pipelined
+// gather) and a second plain streaming loop. Before the shared per-Context
+// sequencer, each transform call started its own counter, so the two
+// streamed loops both minted __n1, __bs2, ... and only lexical scoping kept
+// the program legal.
+const twoLoops = `
+float a[65536];
+int idx[65536];
+float c[65536];
+float in2[65536];
+float out2[65536];
+int n;
+int main(void) {
+    int i;
+    n = 65536;
+    for (i = 0; i < n; i++) {
+        a[i] = i * 0.25;
+        idx[i] = (i * 31) % n;
+        in2[i] = i * 0.5;
+    }
+    #pragma offload target(mic:0) in(a, idx : length(n)) out(c : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        c[i] = a[idx[i]] + 1.0;
+    }
+    #pragma offload target(mic:0) in(in2 : length(n)) out(out2 : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        out2[i] = in2[i] * 2.0;
+    }
+    return 0;
+}
+`
+
+func mustParse(t *testing.T, src string) *minic.File {
+	t.Helper()
+	f, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(f).Err(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFreshNamesUniqueAcrossPasses is the regression test for the shared
+// per-Context name sequencer: composing regularization (ReorderArrays) with
+// streaming (Stream) over multiple loops must not declare the same
+// "__"-prefixed identifier twice anywhere in the file — not even in
+// disjoint scopes, where duplicates would be legal but unreadable and one
+// hoist away from a miscompile.
+func TestFreshNamesUniqueAcrossPasses(t *testing.T) {
+	f := mustParse(t, twoLoops)
+	m, err := pass.Parse("regularize,streaming", pass.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remarks, err := m.Run(f)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, remarks.Render())
+	}
+	// Both transforms must actually have fired for the test to mean anything.
+	if !remarks.Has("reorder") {
+		t.Fatalf("reorder did not fire:\n%s", remarks.Render())
+	}
+	if !remarks.Has("stream") {
+		t.Fatalf("stream did not fire:\n%s", remarks.Render())
+	}
+	streams := 0
+	for _, r := range remarks.Applied() {
+		if r.Op == "stream" {
+			streams++
+		}
+	}
+	if streams < 2 {
+		t.Fatalf("want both loops streamed, got %d:\n%s", streams, remarks.Render())
+	}
+
+	seen := map[string]int{}
+	minic.Inspect(f, func(n minic.Node) bool {
+		if d, ok := n.(*minic.VarDecl); ok && strings.HasPrefix(d.Name, "__") {
+			seen[d.Name]++
+		}
+		return true
+	})
+	if len(seen) == 0 {
+		t.Fatal("no generated identifiers declared; transforms did not run")
+	}
+	for name, count := range seen {
+		if count > 1 {
+			t.Errorf("generated identifier %s declared %d times", name, count)
+		}
+	}
+	if t.Failed() {
+		t.Logf("transformed source:\n%s", minic.Print(f))
+	}
+}
+
+// TestManagerDeterministic: two runs over fresh parses of the same source
+// produce byte-identical output and identical remark trails.
+func TestManagerDeterministic(t *testing.T) {
+	run := func() (string, string) {
+		f := mustParse(t, twoLoops)
+		m, err := pass.Parse(pass.DefaultSpec, pass.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		remarks, err := m.Run(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return minic.Print(f), remarks.Render()
+	}
+	src1, rem1 := run()
+	src2, rem2 := run()
+	if src1 != src2 {
+		t.Error("two runs printed different source")
+	}
+	if rem1 != rem2 {
+		t.Errorf("two runs produced different remark trails:\n--- first\n%s--- second\n%s", rem1, rem2)
+	}
+}
+
+// TestContextAnalysisMemoized: Analysis returns the cached summary until
+// MarkMutated invalidates it.
+func TestContextAnalysisMemoized(t *testing.T) {
+	f := mustParse(t, twoLoops)
+	loops := transform.FindOffloadLoops(f)
+	if len(loops) == 0 {
+		t.Fatal("no offload loops")
+	}
+	ctx := pass.NewContext(f)
+	info1, err := ctx.Analysis(loops[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	info2, err := ctx.Analysis(loops[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1 != info2 {
+		t.Error("second Analysis call did not return the memoized summary")
+	}
+	ctx.MarkMutated()
+	info3, err := ctx.Analysis(loops[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info3 == info1 {
+		t.Error("Analysis returned a stale summary after MarkMutated")
+	}
+}
+
+func TestRemarkFormatting(t *testing.T) {
+	r := pass.Remark{
+		Pass: "streaming", Op: "stream", Pos: "12:5",
+		Verdict: pass.VerdictApplied,
+		Reason:  "pipelined into 20 blocks",
+		Args:    map[string]any{"blocks": 20, "persistent": true},
+	}
+	want := "12:5 streaming/stream applied: pipelined into 20 blocks (blocks=20, persistent=true)"
+	if got := r.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+
+	// Op equal to Pass is not repeated; missing Pos and Args are dropped.
+	r2 := pass.Remark{Pass: "merge", Op: "merge", Verdict: pass.VerdictSkippedIllegal, Reason: "merge declined: x"}
+	if got, want := r2.String(), "merge skipped-illegal: merge declined: x"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+
+	rs := pass.Remarks{r, r2}
+	rendered := rs.Render()
+	if rendered != r.String()+"\n"+r2.String()+"\n" {
+		t.Errorf("Render() = %q", rendered)
+	}
+	if !rs.Has("stream") || !rs.Has("streaming") {
+		t.Error("Has should match applied remarks by op and by pass name")
+	}
+	if rs.Has("merge") {
+		t.Error("Has must ignore skipped remarks")
+	}
+	if len(rs.Applied()) != 1 || len(rs.Skipped()) != 1 {
+		t.Errorf("Applied/Skipped split wrong: %d/%d", len(rs.Applied()), len(rs.Skipped()))
+	}
+
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	js := buf.String()
+	for _, frag := range []string{`"pass": "streaming"`, `"op": "stream"`, `"verdict": "applied"`, `"blocks": 20`} {
+		if !strings.Contains(js, frag) {
+			t.Errorf("JSON missing %q:\n%s", frag, js)
+		}
+	}
+	if strings.Contains(js, `"pos": ""`) || strings.Contains(js, `"args": null`) {
+		t.Errorf("empty fields should be omitted:\n%s", js)
+	}
+}
+
+// TestSkippedRemarksCarryReasons: a pipeline over a file it cannot help
+// still explains itself — every loop gets a remark and every skip a reason.
+func TestSkippedRemarksCarryReasons(t *testing.T) {
+	// One offloaded loop with a loop-carried dependence: merge has no pair,
+	// regularize finds no irregular accesses, streaming declines.
+	src := `
+float a[4096];
+int n;
+int main(void) {
+    int i;
+    n = 4096;
+    #pragma offload target(mic:0) inout(a : length(n))
+    #pragma omp parallel for
+    for (i = 1; i < n; i++) {
+        a[i] = a[i - 1] * 0.5;
+    }
+    return 0;
+}
+`
+	f := mustParse(t, src)
+	m, err := pass.Parse(pass.DefaultSpec, pass.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remarks, err := m.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(remarks.Applied()); n != 0 {
+		t.Fatalf("nothing should fire, got %d applied:\n%s", n, remarks.Render())
+	}
+	if len(remarks.Skipped()) == 0 {
+		t.Fatal("expected skip remarks explaining the declines")
+	}
+	for _, r := range remarks.Skipped() {
+		if r.Reason == "" {
+			t.Errorf("skip remark without reason: %+v", r)
+		}
+		if r.Pass == "" {
+			t.Errorf("remark without pass name: %+v", r)
+		}
+	}
+}
+
+// TestStrandedGatherSafetyNet: a pipeline that regularizes with streaming
+// upcoming but whose streaming pass declines every loop must still fill the
+// permutation arrays (upfront gathers) — and say so in the trail.
+func TestStrandedGatherSafetyNet(t *testing.T) {
+	f := mustParse(t, twoLoops)
+	// regularize alone: no streaming in the tail, so gathers are never
+	// deferred — reorder materializes them itself. The trail must not
+	// contain the safety-net remark, and the program must still check.
+	m, err := pass.Parse("regularize", pass.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remarks, err := m.Run(f)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, remarks.Render())
+	}
+	if !remarks.Has("reorder") {
+		t.Fatalf("reorder did not fire:\n%s", remarks.Render())
+	}
+	for _, r := range remarks {
+		if r.Pass == "pipeline" {
+			t.Errorf("safety net fired although streaming was never upcoming: %s", r)
+		}
+	}
+	src := minic.Print(f)
+	if !strings.Contains(src, "__a_r") {
+		t.Errorf("reordered array missing from output:\n%s", src)
+	}
+}
+
+func ExampleRemarks_Render() {
+	rs := pass.Remarks{
+		{Pass: "regularize", Op: "split", Pos: "31:5", Verdict: pass.VerdictApplied,
+			Reason: "peeled irregular prefix; regular remainder vectorizes"},
+		{Pass: "streaming", Pos: "27:5", Verdict: pass.VerdictSkippedIllegal,
+			Reason: "serial offload region (merged or already wrapped); streaming requires a parallel loop"},
+	}
+	fmt.Print(rs.Render())
+	// Output:
+	// 31:5 regularize/split applied: peeled irregular prefix; regular remainder vectorizes
+	// 27:5 streaming skipped-illegal: serial offload region (merged or already wrapped); streaming requires a parallel loop
+}

@@ -1,0 +1,243 @@
+package pass
+
+import (
+	"fmt"
+
+	"comp/internal/analysis"
+	"comp/internal/minic"
+	"comp/internal/transform"
+)
+
+// mergePass hoists multiple inner offloads of a host loop into one region
+// (§III-C offload merging). It runs over merge candidates, not offload
+// loops: the interesting loop is the serial host loop around the offloads.
+type mergePass struct{}
+
+func (mergePass) Name() string { return "merge" }
+
+func (mergePass) SelectLoops(ctx *Context) []*minic.ForStmt {
+	return transform.MergeCandidates(ctx.File, 2)
+}
+
+func (mergePass) Applies(*Context, *minic.ForStmt) (bool, string) { return true, "" }
+
+func (mergePass) Apply(ctx *Context, outer *minic.ForStmt) (Remarks, error) {
+	inner := len(innerOffloads(outer))
+	if err := transform.MergeOffloads(ctx.File, outer); err != nil {
+		return Remarks{{
+			Op: "merge", Verdict: VerdictSkippedIllegal,
+			Reason: fmt.Sprintf("merge declined: %v", err),
+		}}, nil
+	}
+	ctx.MarkMutated()
+	return Remarks{{
+		Op: "merge", Verdict: VerdictApplied,
+		Reason: fmt.Sprintf("hoisted %d inner offloads into one region", inner),
+		Args:   map[string]any{"inner": inner},
+	}}, nil
+}
+
+func innerOffloads(outer *minic.ForStmt) []*minic.ForStmt {
+	var out []*minic.ForStmt
+	minic.Inspect(outer.Body, func(n minic.Node) bool {
+		if fs, ok := n.(*minic.ForStmt); ok && transform.OffloadPragma(fs) != nil {
+			out = append(out, fs)
+		}
+		return true
+	})
+	return out
+}
+
+// regularizePass applies the §IV transformations to one offloaded parallel
+// loop: loop splitting for gathers with a regular remainder, AoS→SoA
+// layout conversion, and array reordering (pipelined into streaming when a
+// streaming pass runs later, whole-array otherwise).
+type regularizePass struct{}
+
+func (regularizePass) Name() string { return "regularize" }
+
+func (regularizePass) Applies(ctx *Context, loop *minic.ForStmt) (bool, string) {
+	if transform.OmpPragma(loop) == nil {
+		return false, "serial offload region (merged or already wrapped); nothing to regularize"
+	}
+	return true, ""
+}
+
+func (regularizePass) Apply(ctx *Context, loop *minic.ForStmt) (Remarks, error) {
+	var rs Remarks
+	info, err := ctx.Analysis(loop)
+	if err != nil {
+		return Remarks{{
+			Verdict: VerdictSkippedIllegal,
+			Reason:  fmt.Sprintf("analysis failed: %v", err),
+		}}, nil
+	}
+	if len(info.IrregularAccesses()) == 0 {
+		return Remarks{{
+			Verdict: VerdictSkippedUnprofitable,
+			Reason:  "no irregular accesses; loop is already regular",
+		}}, nil
+	}
+
+	// Gathers with a regular remainder prefer splitting (free at runtime,
+	// §IV); strided and leftover patterns prefer array reordering, which
+	// also unlocks streaming. Splitting is only attempted when a gather is
+	// present so that pure strided loops (nn) take the reordering path.
+	hasGather := false
+	for _, ir := range analysis.ClassifyIrregular(info) {
+		if ir.Pattern == analysis.PatternGather {
+			hasGather = true
+		}
+	}
+	if hasGather {
+		split, err := transform.SplitLoop(ctx.File, loop, ctx.Names)
+		switch {
+		case err != nil:
+			rs = append(rs, Remark{
+				Op: "split", Verdict: VerdictSkippedIllegal,
+				Reason: fmt.Sprintf("split declined: %v", err),
+			})
+		case split:
+			ctx.MarkMutated()
+			rs = append(rs, Remark{
+				Op: "split", Verdict: VerdictApplied,
+				Reason: "peeled irregular prefix; regular remainder vectorizes",
+			})
+			// The loop was replaced by the wrapped pair; nothing left to do.
+			return rs, nil
+		default:
+			rs = append(rs, Remark{
+				Op: "split", Verdict: VerdictSkippedUnprofitable,
+				Reason: "split pattern does not apply (no promotable prefix)",
+			})
+		}
+	}
+
+	if n, err := transform.AoSToSoA(ctx.File, loop); err != nil {
+		rs = append(rs, Remark{
+			Op: "soa", Verdict: VerdictSkippedIllegal,
+			Reason: fmt.Sprintf("soa declined: %v", err),
+		})
+	} else if n > 0 {
+		ctx.MarkMutated()
+		rs = append(rs, Remark{
+			Op: "soa", Verdict: VerdictApplied,
+			Reason: fmt.Sprintf("converted %d struct arrays to SoA", n),
+			Args:   map[string]any{"arrays": n},
+		})
+	}
+
+	if ctx.Upcoming("streaming") {
+		// Defer read-only gathers into the streaming pipeline (§IV
+		// "pipelining regularization"): the gather of block i+1 overlaps
+		// the computation of block i. Only sound when a streaming pass
+		// runs later; otherwise the permutation arrays would stay empty.
+		n, gathers, err := transform.ReorderArraysPipelined(ctx.File, loop, ctx.Names)
+		switch {
+		case err != nil:
+			rs = append(rs, Remark{
+				Op: "reorder", Verdict: VerdictSkippedIllegal,
+				Reason: fmt.Sprintf("pipelined reorder declined: %v", err),
+			})
+		case n > 0:
+			ctx.MarkMutated()
+			ctx.DeferGathers(loop, gathers)
+			rs = append(rs, Remark{
+				Op: "reorder", Verdict: VerdictApplied,
+				Reason: fmt.Sprintf("regularized %d accesses (gathers pipelined into streaming)", n),
+				Args:   map[string]any{"accesses": n, "pipelined": true},
+			})
+		}
+	}
+
+	if n, err := transform.ReorderArrays(ctx.File, loop, ctx.Names); err != nil {
+		rs = append(rs, Remark{
+			Op: "reorder", Verdict: VerdictSkippedIllegal,
+			Reason: fmt.Sprintf("reorder declined: %v", err),
+		})
+	} else if n > 0 {
+		ctx.MarkMutated()
+		rs = append(rs, Remark{
+			Op: "reorder", Verdict: VerdictApplied,
+			Reason: fmt.Sprintf("regularized %d irregular accesses", n),
+			Args:   map[string]any{"accesses": n},
+		})
+	}
+	return rs, nil
+}
+
+// streamingPass rewrites one offloaded parallel loop into the pipelined,
+// block-transferred form of §III, consuming any gathers the regularize
+// pass deferred. When streaming declines on a loop with deferred gathers,
+// the pass falls back to upfront whole-array gathers — the permutation
+// arrays must be filled either way.
+type streamingPass struct {
+	blocks       int
+	reduceMemory bool
+	persistent   bool
+}
+
+func (streamingPass) Name() string { return "streaming" }
+
+func (streamingPass) Applies(ctx *Context, loop *minic.ForStmt) (bool, string) {
+	if transform.OmpPragma(loop) == nil {
+		return false, "serial offload region (merged or already wrapped); streaming requires a parallel loop"
+	}
+	return true, ""
+}
+
+func (p streamingPass) Apply(ctx *Context, loop *minic.ForStmt) (Remarks, error) {
+	var rs Remarks
+	at := loop.Pos().String()
+	gathers := ctx.TakeGathers(loop)
+	err := transform.Stream(ctx.File, loop, transform.StreamOptions{
+		Blocks:       p.blocks,
+		ReduceMemory: p.reduceMemory,
+		Persistent:   p.persistent,
+		Gathers:      gathers,
+		Names:        ctx.Names,
+	})
+	if err != nil {
+		rs = append(rs, Remark{
+			Op: "stream", Verdict: VerdictSkippedIllegal,
+			Reason: fmt.Sprintf("streaming declined: %v", err),
+		})
+		if len(gathers) > 0 {
+			// The permutation arrays still need filling; fall back to the
+			// upfront whole-array gather. Failure here is an invariant
+			// violation — the program would compute with garbage.
+			info, aerr := ctx.Analysis(loop)
+			if aerr != nil {
+				return rs, fmt.Errorf("pass: pipelined gathers stranded at %s: %v", at, aerr)
+			}
+			if gerr := transform.UpfrontGathers(ctx.File, loop, gathers, info.Upper, ctx.Names); gerr != nil {
+				return rs, fmt.Errorf("pass: %v", gerr)
+			}
+			ctx.MarkMutated()
+			rs = append(rs, Remark{
+				Op: "upfront-gather", Verdict: VerdictApplied,
+				Reason: fmt.Sprintf("%d pipelined gathers fell back to upfront gathering", len(gathers)),
+				Args:   map[string]any{"gathers": len(gathers)},
+			})
+		}
+		return rs, nil
+	}
+	ctx.MarkMutated()
+	if len(gathers) > 0 {
+		rs = append(rs, Remark{
+			Op: "pipeline-gather", Verdict: VerdictApplied,
+			Reason: fmt.Sprintf("%d gathers overlapped with transfer and compute", len(gathers)),
+			Args:   map[string]any{"gathers": len(gathers)},
+		})
+	}
+	n := p.blocks
+	if n <= 0 {
+		n = transform.DefaultBlocks
+	}
+	rs = append(rs, Remark{
+		Op: "stream", Verdict: VerdictApplied,
+		Reason: fmt.Sprintf("pipelined into %d blocks (reduceMemory=%v persistent=%v)", n, p.reduceMemory, p.persistent),
+		Args:   map[string]any{"blocks": n, "reduceMemory": p.reduceMemory, "persistent": p.persistent},
+	})
+	return rs, nil
+}

@@ -1,0 +1,139 @@
+// Package pass is the COMP pass manager: it runs an ordered pipeline of
+// optimization passes (offload merging §III-C, regularization §IV, data
+// streaming §III, plus the Apricot-style auto-offload front end) over a
+// MiniC translation unit and records every decision — applied,
+// skipped-illegal, skipped-unprofitable — as a structured remark in the
+// style of LLVM optimization remarks.
+//
+// The pipeline is specified as a comma-separated string of pass names
+// (DefaultSpec is "merge,regularize,streaming"), so CLIs and the serving
+// layer can request non-default pipelines without new driver code. All
+// passes share one Context: a single fresh-name sequencer (so composed
+// passes never mint colliding identifiers), a memoized analysis cache
+// invalidated on AST mutation, and the deferred-gather handoff between
+// regularization and streaming.
+package pass
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Verdict classifies one pass decision.
+type Verdict string
+
+const (
+	// VerdictApplied: the transformation fired.
+	VerdictApplied Verdict = "applied"
+	// VerdictSkippedIllegal: the transformation would be unsound or its
+	// preconditions do not hold (legality).
+	VerdictSkippedIllegal Verdict = "skipped-illegal"
+	// VerdictSkippedUnprofitable: legal but not worth doing here
+	// (profitability).
+	VerdictSkippedUnprofitable Verdict = "skipped-unprofitable"
+)
+
+// Applied reports whether the verdict records a fired transformation.
+func (v Verdict) Applied() bool { return v == VerdictApplied }
+
+// Remark is one structured pass decision, LLVM-optimization-remark style.
+type Remark struct {
+	// Pass is the pipeline stage that made the decision (e.g. "regularize").
+	Pass string `json:"pass"`
+	// Op is the concrete transformation within the pass (e.g. "split",
+	// "reorder", "stream"); equal to Pass for single-op passes.
+	Op string `json:"op,omitempty"`
+	// Pos locates the loop the decision is about, as "line:col".
+	Pos string `json:"pos,omitempty"`
+	// Verdict says what happened; Reason says why, human-readably.
+	Verdict Verdict `json:"verdict"`
+	Reason  string  `json:"reason"`
+	// Args carries the machine-readable parameters of the decision
+	// (e.g. blocks=20, accesses=2).
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// String renders the remark as one line:
+//
+//	pos pass/op verdict: reason (k=v, ...)
+func (r Remark) String() string {
+	var b strings.Builder
+	if r.Pos != "" {
+		fmt.Fprintf(&b, "%s ", r.Pos)
+	}
+	b.WriteString(r.Pass)
+	if r.Op != "" && r.Op != r.Pass {
+		b.WriteString("/" + r.Op)
+	}
+	fmt.Fprintf(&b, " %s: %s", r.Verdict, r.Reason)
+	if len(r.Args) > 0 {
+		keys := make([]string, 0, len(r.Args))
+		for k := range r.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%v", k, r.Args[k])
+		}
+		fmt.Fprintf(&b, " (%s)", strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// Remarks is an ordered remark trail.
+type Remarks []Remark
+
+// Has reports whether a transformation with the given op (or pass) name
+// was applied.
+func (rs Remarks) Has(name string) bool {
+	for _, r := range rs {
+		if r.Verdict.Applied() && (r.Op == name || r.Pass == name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Applied returns the subset of remarks whose transformations fired.
+func (rs Remarks) Applied() Remarks {
+	var out Remarks
+	for _, r := range rs {
+		if r.Verdict.Applied() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Skipped returns the subset of remarks that declined, with reasons.
+func (rs Remarks) Skipped() Remarks {
+	var out Remarks
+	for _, r := range rs {
+		if !r.Verdict.Applied() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Render returns the trail as text, one remark per line.
+func (rs Remarks) Render() string {
+	var b strings.Builder
+	for _, r := range rs {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteJSON writes the trail as indented JSON (deterministic: struct
+// field order plus sorted map keys).
+func (rs Remarks) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}

@@ -1,0 +1,106 @@
+package pass
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    []string
+		wantErr string
+	}{
+		{spec: "merge,regularize,streaming", want: []string{"merge", "regularize", "streaming"}},
+		{spec: DefaultSpec, want: []string{"merge", "regularize", "streaming"}},
+		{spec: "streaming", want: []string{"streaming"}},
+		{spec: " merge , streaming ", want: []string{"merge", "streaming"}},
+		{spec: "auto-offload,streaming", want: []string{"auto-offload", "streaming"}},
+		// Spec order is pipeline order; reversal is legal, just different.
+		{spec: "streaming,merge", want: []string{"streaming", "merge"}},
+		{spec: "", wantErr: "empty pipeline spec"},
+		{spec: " , ,", wantErr: "empty pipeline spec"},
+		{spec: "merge,vectorize", wantErr: `unknown pass "vectorize"`},
+		{spec: "merge,merge", wantErr: `duplicate pass "merge"`},
+		{spec: "merge,streaming,merge", wantErr: `duplicate pass "merge"`},
+	}
+	for _, c := range cases {
+		names, err := ParseSpec(c.spec)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("ParseSpec(%q) err = %v, want containing %q", c.spec, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if len(names) != len(c.want) {
+			t.Errorf("ParseSpec(%q) = %v, want %v", c.spec, names, c.want)
+			continue
+		}
+		for i := range names {
+			if names[i] != c.want[i] {
+				t.Errorf("ParseSpec(%q) = %v, want %v", c.spec, names, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestParseSpecErrorsListKnownPasses(t *testing.T) {
+	_, err := ParseSpec("bogus")
+	if err == nil {
+		t.Fatal("unknown pass accepted")
+	}
+	for _, name := range KnownPasses() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list known pass %q", err, name)
+		}
+	}
+}
+
+func TestKnownPassesSortedAndComplete(t *testing.T) {
+	names := KnownPasses()
+	want := []string{"auto-offload", "merge", "regularize", "streaming"}
+	if len(names) != len(want) {
+		t.Fatalf("KnownPasses = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("KnownPasses = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestManagerConstruction(t *testing.T) {
+	m, err := Parse(DefaultSpec, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Passes()
+	if len(got) != 3 || got[0] != "merge" || got[1] != "regularize" || got[2] != "streaming" {
+		t.Fatalf("Passes() = %v", got)
+	}
+	if _, err := Parse("nope", DefaultConfig()); err == nil {
+		t.Fatal("Parse accepted an unknown pass")
+	}
+	// New with no passes is legal: check-only manager (core uses it for
+	// Options with everything disabled).
+	if _, err := New(nil, DefaultConfig()); err != nil {
+		t.Fatalf("empty New: %v", err)
+	}
+	if _, err := New([]string{"merge", "merge"}, DefaultConfig()); err == nil {
+		t.Fatal("New accepted duplicate passes")
+	}
+}
+
+func TestVerdictHelpers(t *testing.T) {
+	if !VerdictApplied.Applied() {
+		t.Fatal("applied verdict not applied")
+	}
+	if VerdictSkippedIllegal.Applied() || VerdictSkippedUnprofitable.Applied() {
+		t.Fatal("skip verdict reports applied")
+	}
+}

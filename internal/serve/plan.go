@@ -2,12 +2,15 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"comp/internal/core"
 	"comp/internal/interp"
+	"comp/internal/pass"
 	"comp/internal/runtime"
 	"comp/internal/sim/engine"
+	"comp/internal/sim/metrics"
 	"comp/internal/transform"
 	"comp/internal/workloads"
 )
@@ -32,6 +35,10 @@ type Plan struct {
 	TuneProbes int
 	// Outputs lists the global arrays a Response reports back.
 	Outputs []string
+	// Remarks is the remark trail the compiler recorded while building the
+	// plan — why each pass applied or declined. Cache hits surface it in
+	// ServerReport without recompiling.
+	Remarks pass.Remarks
 	// setup injects the workload's generated inputs (nil for inline-source
 	// jobs without a setup hook).
 	setup func(*interp.Program) error
@@ -44,6 +51,8 @@ type planEntry struct {
 	ready chan struct{}
 	plan  *Plan
 	err   error
+	// hits counts reuses of this entry (guarded by Planner.mu).
+	hits int64
 }
 
 // Planner builds and caches serving plans. It is safe for concurrent use
@@ -73,6 +82,36 @@ func (pl *Planner) Stats() (hits, misses, probes int64) {
 	return pl.hits, pl.misses, pl.probes
 }
 
+// Explain reports every successfully built plan in the cache — key, tuned
+// shape, per-plan hit count, and the remark trail recorded at build time —
+// sorted by key. In-flight builds and cached failures are omitted. This is
+// how a cache hit explains its plan's shape without recompiling: the trail
+// was captured once, at build.
+func (pl *Planner) Explain() []metrics.PlanReport {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	var out []metrics.PlanReport
+	for _, e := range pl.plans {
+		select {
+		case <-e.ready:
+		default:
+			continue // still building
+		}
+		if e.err != nil || e.plan == nil {
+			continue
+		}
+		out = append(out, metrics.PlanReport{
+			Key:        e.plan.Key,
+			Blocks:     e.plan.Blocks,
+			TuneProbes: e.plan.TuneProbes,
+			Hits:       e.hits,
+			Remarks:    e.plan.Remarks,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // cacheKey derives the plan-cache key for a job on a platform: tuning
 // decisions depend on both the workload and the machine it runs on.
 func cacheKey(job Job, cfg runtime.Config) (string, error) {
@@ -97,6 +136,7 @@ func (pl *Planner) planFor(job Job, cfg runtime.Config) (plan *Plan, cached bool
 	pl.mu.Lock()
 	if e, ok := pl.plans[key]; ok {
 		pl.hits++
+		e.hits++
 		pl.mu.Unlock()
 		<-e.ready
 		return e.plan, true, e.err
@@ -180,6 +220,7 @@ func (pl *Planner) build(key string, job Job, cfg runtime.Config) (*Plan, error)
 		Blocks:     opt.Blocks,
 		TuneProbes: probes,
 		Outputs:    append([]string(nil), b.Outputs...),
+		Remarks:    res.Report.Remarks,
 		setup:      b.Setup,
 	}, nil
 }
@@ -193,6 +234,7 @@ func (pl *Planner) buildSource(key string, job Job, cfg runtime.Config) (*Plan, 
 	probeCfg.DisableTrace = true
 	src := job.Source
 	blocks, probes := 0, 0
+	var remarks pass.Remarks
 	if job.Optimize {
 		base, err := runProbe(job.Source, probeCfg, job.Setup)
 		if err != nil {
@@ -222,6 +264,7 @@ func (pl *Planner) buildSource(key string, job Job, cfg runtime.Config) (*Plan, 
 			return nil, fmt.Errorf("serve: plan %s optimize: %w", key, err)
 		}
 		src, blocks, probes = res.Source(), tr.Blocks, tr.Probes
+		remarks = res.Report.Remarks
 	} else if _, err := interp.Compile(src); err != nil {
 		return nil, fmt.Errorf("serve: plan %s: %w", key, err)
 	}
@@ -231,6 +274,7 @@ func (pl *Planner) buildSource(key string, job Job, cfg runtime.Config) (*Plan, 
 		Blocks:     blocks,
 		TuneProbes: probes,
 		Outputs:    append([]string(nil), job.Outputs...),
+		Remarks:    remarks,
 		setup:      job.Setup,
 	}, nil
 }

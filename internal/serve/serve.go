@@ -454,6 +454,10 @@ func (s *Server) Report() metrics.ServerReport {
 	if total := hits + misses; total > 0 {
 		rep.PlanHitRatio = float64(hits) / float64(total)
 	}
+	rep.Plans = s.planner.Explain()
+	for _, p := range rep.Plans {
+		rep.Passes = metrics.MergePassCounts(rep.Passes, metrics.PassCounts(p.Remarks))
+	}
 	s.statsMu.Lock()
 	rep.Latency = metrics.HistogramOf(s.latencies)
 	rep.QueueWaitSim = metrics.HistogramOf(s.queueWaits)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -434,5 +435,51 @@ func TestServeBadSourceFailsTyped(t *testing.T) {
 	hits, misses2, _ := s.Planner().Stats()
 	if misses2 != misses1 || hits == 0 {
 		t.Fatalf("failed plan rebuilt instead of served from cache: %d hits, misses %d -> %d", hits, misses1, misses2)
+	}
+}
+
+// TestServePlanRemarksSurvivesCacheHits: the remark trail is recorded once,
+// when the plan is built; every later cache hit surfaces it again in the
+// server report with zero recompiles. The nn workload is chosen because its
+// trail provably fired (reorder + stream under the default pipeline).
+func TestServePlanRemarksSurvivesCacheHits(t *testing.T) {
+	s, err := New(Config{Streams: 2, QueueDepth: 8, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const requests = 4
+	for i := 0; i < requests; i++ {
+		if _, err := s.Do(Job{Workload: "nn"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, misses, _ := s.Planner().Stats()
+	if misses != 1 {
+		t.Fatalf("plan rebuilt: %d misses for one key", misses)
+	}
+	rep := s.Report()
+	if len(rep.Plans) != 1 {
+		t.Fatalf("want 1 plan in report, got %d", len(rep.Plans))
+	}
+	p := rep.Plans[0]
+	if p.Hits != requests-1 {
+		t.Fatalf("plan hits = %d, want %d", p.Hits, requests-1)
+	}
+	if len(p.Remarks) == 0 {
+		t.Fatal("cache-hit plan lost its remark trail")
+	}
+	if !p.Remarks.Has("stream") || !p.Remarks.Has("reorder") {
+		t.Fatalf("nn plan trail missing expected applied remarks:\n%s", p.Remarks.Render())
+	}
+	if rep.Passes["streaming"].Applied == 0 || rep.Passes["regularize"].Applied == 0 {
+		t.Fatalf("pass counters not derived from plan remarks: %+v", rep.Passes)
+	}
+	// The rendered report carries the trail too — operators read Format().
+	text := rep.Format()
+	for _, frag := range []string{"plan nn|", "applied", "passes:"} {
+		if !strings.Contains(text, frag) {
+			t.Fatalf("Format() missing %q:\n%s", frag, text)
+		}
 	}
 }

@@ -1,0 +1,58 @@
+package metrics
+
+import "comp/internal/pass"
+
+// PassCount tallies one pass's decisions: how often its transformations
+// fired versus declined (either skip verdict).
+type PassCount struct {
+	Applied int64 `json:"applied"`
+	Skipped int64 `json:"skipped"`
+}
+
+// PassCounts tabulates per-pass applied/skipped counters from a remark
+// trail, keyed by the pipeline stage name (Remark.Pass).
+func PassCounts(rs pass.Remarks) map[string]PassCount {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := map[string]PassCount{}
+	for _, r := range rs {
+		c := out[r.Pass]
+		if r.Verdict.Applied() {
+			c.Applied++
+		} else {
+			c.Skipped++
+		}
+		out[r.Pass] = c
+	}
+	return out
+}
+
+// MergePassCounts accumulates src into dst, returning dst (allocated when
+// nil and src is not empty).
+func MergePassCounts(dst, src map[string]PassCount) map[string]PassCount {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = map[string]PassCount{}
+	}
+	for name, c := range src {
+		d := dst[name]
+		d.Applied += c.Applied
+		d.Skipped += c.Skipped
+		dst[name] = d
+	}
+	return dst
+}
+
+// PlanReport explains one cached serving plan: the remark trail recorded
+// when the plan was built, surfaced again on every cache hit without
+// recompiling.
+type PlanReport struct {
+	Key        string       `json:"key"`
+	Blocks     int          `json:"blocks"`
+	TuneProbes int          `json:"tuneProbes"`
+	Hits       int64        `json:"hits"`
+	Remarks    pass.Remarks `json:"remarks,omitempty"`
+}

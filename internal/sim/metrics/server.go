@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -48,6 +49,15 @@ type ServerReport struct {
 	PlanHitRatio float64 `json:"planHitRatio"`
 	TuneProbes   int64   `json:"tuneProbes"`
 
+	// Plans explains every successfully built plan in the cache: key,
+	// tuned shape, per-plan hit count, and the remark trail the compiler
+	// recorded when the plan was built. Hits surface the trail again
+	// without recompiling.
+	Plans []PlanReport `json:"plans,omitempty"`
+	// Passes tallies per-pass applied/skipped decisions across all plan
+	// builds (PassCounts over each plan's remarks, merged).
+	Passes map[string]PassCount `json:"passCounts,omitempty"`
+
 	// Latency is the wall-clock submit→response distribution over completed
 	// requests; QueueWaitSim the simulated-time queue wait inside the
 	// scheduler batches; BatchSizes the distribution of batch sizes (plain
@@ -74,6 +84,25 @@ func (r ServerReport) Format() string {
 	fmt.Fprintf(&b, "batches: %d (largest %d)\n", r.Batches, r.MaxBatch)
 	fmt.Fprintf(&b, "plan cache: %d hits, %d misses (hit ratio %.1f%%), %d tuning probes\n",
 		r.PlanHits, r.PlanMisses, 100*r.PlanHitRatio, r.TuneProbes)
+	for _, p := range r.Plans {
+		fmt.Fprintf(&b, "plan %s: blocks %d, probes %d, hits %d\n", p.Key, p.Blocks, p.TuneProbes, p.Hits)
+		for _, rm := range p.Remarks {
+			fmt.Fprintf(&b, "  %s\n", rm)
+		}
+	}
+	if len(r.Passes) > 0 {
+		names := make([]string, 0, len(r.Passes))
+		for name := range r.Passes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("passes:")
+		for _, name := range names {
+			c := r.Passes[name]
+			fmt.Fprintf(&b, " %s %d applied/%d skipped", name, c.Applied, c.Skipped)
+		}
+		b.WriteByte('\n')
+	}
 	formatLatency := func(name string, h Histogram) {
 		if h.Count == 0 {
 			return

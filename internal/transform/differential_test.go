@@ -26,9 +26,11 @@ type regPass struct {
 
 func regPasses() []regPass {
 	return []regPass{
-		{"ReorderArrays", transform.ReorderArrays},
+		{"ReorderArrays", func(f *minic.File, loop *minic.ForStmt) (int, error) {
+			return transform.ReorderArrays(f, loop, nil)
+		}},
 		{"SplitLoop", func(f *minic.File, loop *minic.ForStmt) (int, error) {
-			ok, err := transform.SplitLoop(f, loop)
+			ok, err := transform.SplitLoop(f, loop, nil)
 			if ok {
 				return 1, err
 			}

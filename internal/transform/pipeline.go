@@ -30,8 +30,9 @@ type GatherInfo struct {
 // StreamOptions.Gathers), which emits the per-block gather loops. Without
 // a subsequent successful Stream the permutation arrays are never filled,
 // so callers must only commit this transformation when streaming follows
-// (see core.OptimizeFile, which falls back to the upfront gather).
-func ReorderArraysPipelined(f *minic.File, loop *minic.ForStmt) (int, []GatherInfo, error) {
+// (see the pass manager, which falls back to the upfront gather). names
+// supplies fresh identifiers; nil uses a private sequence.
+func ReorderArraysPipelined(f *minic.File, loop *minic.ForStmt, names *NameSeq) (int, []GatherInfo, error) {
 	info, err := analysis.Analyze(loop, f)
 	if err != nil {
 		return 0, nil, err
@@ -68,7 +69,7 @@ func ReorderArraysPipelined(f *minic.File, loop *minic.ForStmt) (int, []GatherIn
 		}
 	}
 
-	seq := &nameSeq{}
+	seq := seqOrNew(names)
 	nExpr := info.Upper
 	var prologue, epilogue []minic.Stmt
 	var newGlobals []*minic.VarDecl
@@ -83,7 +84,7 @@ func ReorderArraysPipelined(f *minic.File, loop *minic.ForStmt) (int, []GatherIn
 		}
 		permName := "__" + g.array + "_r"
 		for declaredGlobal(f, permName) || taken[permName] {
-			permName = seq.fresh(g.array + "_r")
+			permName = seq.Fresh(g.array + "_r")
 		}
 		taken[permName] = true
 		newGlobals = append(newGlobals, &minic.VarDecl{Name: permName, Type: &minic.Pointer{Elem: elem}})
@@ -135,12 +136,13 @@ func ReorderArraysPipelined(f *minic.File, loop *minic.ForStmt) (int, []GatherIn
 
 // UpfrontGathers materializes deferred gathers as whole-array host loops
 // before the given statement — the fallback when streaming (which would
-// have pipelined them) does not apply after all.
-func UpfrontGathers(f *minic.File, loop minic.Stmt, gathers []GatherInfo, n minic.Expr) error {
-	seq := &nameSeq{}
+// have pipelined them) does not apply after all. names supplies fresh
+// identifiers; nil uses a private sequence.
+func UpfrontGathers(f *minic.File, loop minic.Stmt, gathers []GatherInfo, n minic.Expr, names *NameSeq) error {
+	seq := seqOrNew(names)
 	var stmts []minic.Stmt
 	for _, gi := range gathers {
-		gv := seq.fresh("gv")
+		gv := seq.Fresh("gv")
 		idx := cloneWithIndexVar(gi.Index, gi.IndexVar, gv)
 		lp := forLoop(gv, intLit(0), minic.CloneExpr(n), nil,
 			&minic.AssignStmt{Op: "=", LHS: index(gi.Perm, ident(gv)), RHS: index(gi.Src, idx)})

@@ -12,7 +12,7 @@ func TestPipelinedReorderEquivalence(t *testing.T) {
 
 	f := parse(t, gatherCandidate)
 	loop := findOffload(t, f)
-	n, gathers, err := ReorderArraysPipelined(f, loop)
+	n, gathers, err := ReorderArraysPipelined(f, loop, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestPipelinedGatherOverlapsCompute(t *testing.T) {
 	// and the generated source must gather inside the block loop.
 	f1 := parse(t, computeHeavyGather)
 	l1 := findOffload(t, f1)
-	if _, err := ReorderArrays(f1, l1); err != nil {
+	if _, err := ReorderArrays(f1, l1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := Stream(f1, l1, StreamOptions{Blocks: 8, ReduceMemory: true}); err != nil {
@@ -70,7 +70,7 @@ func TestPipelinedGatherOverlapsCompute(t *testing.T) {
 
 	f2 := parse(t, computeHeavyGather)
 	l2 := findOffload(t, f2)
-	_, gathers, err := ReorderArraysPipelined(f2, l2)
+	_, gathers, err := ReorderArraysPipelined(f2, l2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ int main(void) {
 }
 `
 	f := parse(t, src)
-	n, gathers, err := ReorderArraysPipelined(f, findOffload(t, f))
+	n, gathers, err := ReorderArraysPipelined(f, findOffload(t, f), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,13 +136,13 @@ func TestUpfrontGathersFallback(t *testing.T) {
 	base := runFile(t, parse(t, gatherCandidate))
 	f := parse(t, gatherCandidate)
 	loop := findOffload(t, f)
-	_, gathers, err := ReorderArraysPipelined(f, loop)
+	_, gathers, err := ReorderArraysPipelined(f, loop, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Instead of streaming, materialize the gathers up front.
 	info := mustAnalyze(t, f, loop)
-	if err := UpfrontGathers(f, loop, gathers, info.Upper); err != nil {
+	if err := UpfrontGathers(f, loop, gathers, info.Upper, nil); err != nil {
 		t.Fatal(err)
 	}
 	res := runFile(t, f)

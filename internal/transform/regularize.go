@@ -15,7 +15,8 @@ import (
 // becomes regular, enabling data streaming and vectorization.
 //
 // It returns the number of accesses regularized (0 if none applied).
-func ReorderArrays(f *minic.File, loop *minic.ForStmt) (int, error) {
+// names supplies fresh identifiers; nil uses a private sequence.
+func ReorderArrays(f *minic.File, loop *minic.ForStmt, names *NameSeq) (int, error) {
 	info, err := analysis.Analyze(loop, f)
 	if err != nil {
 		return 0, err
@@ -55,11 +56,11 @@ func ReorderArrays(f *minic.File, loop *minic.ForStmt) (int, error) {
 		}
 	}
 
-	seq := &nameSeq{}
+	seq := seqOrNew(names)
 	nExpr := info.Upper
 	var prologue, epilogue []minic.Stmt
 	var newGlobals []*minic.VarDecl
-	gVar := seq.fresh("g")
+	gVar := seq.Fresh("g")
 	prologue = append(prologue, declInt(gVar, intLit(0)))
 
 	count := 0
@@ -72,7 +73,7 @@ func ReorderArrays(f *minic.File, loop *minic.ForStmt) (int, error) {
 		}
 		permName := "__" + g.array + "_r"
 		for declaredGlobal(f, permName) || taken[permName] {
-			permName = seq.fresh(g.array + "_r")
+			permName = seq.Fresh(g.array + "_r")
 		}
 		taken[permName] = true
 		newGlobals = append(newGlobals, &minic.VarDecl{Name: permName, Type: &minic.Pointer{Elem: g.elem}})
@@ -195,8 +196,9 @@ func pruneUnusedItems(p *minic.Pragma, loop *minic.ForStmt) {
 // "this optimization is done statically, and there is no runtime
 // overhead".
 //
-// Returns false if the split pattern does not apply.
-func SplitLoop(f *minic.File, loop *minic.ForStmt) (bool, error) {
+// Returns false if the split pattern does not apply. names supplies fresh
+// identifiers; nil uses a private sequence.
+func SplitLoop(f *minic.File, loop *minic.ForStmt, names *NameSeq) (bool, error) {
 	info, err := analysis.Analyze(loop, f)
 	if err != nil {
 		return false, err
@@ -233,13 +235,13 @@ func SplitLoop(f *minic.File, loop *minic.ForStmt) (bool, error) {
 		return false, nil
 	}
 
-	seq := &nameSeq{}
+	seq := seqOrNew(names)
 	tmpOf := map[string]string{}
 	var newGlobals []*minic.VarDecl
 	for _, name := range promotedOrder {
 		tmp := "__t_" + name
 		for declaredGlobal(f, tmp) {
-			tmp = seq.fresh("t_" + name)
+			tmp = seq.Fresh("t_" + name)
 		}
 		tmpOf[name] = tmp
 		newGlobals = append(newGlobals, &minic.VarDecl{Name: tmp, Type: &minic.Pointer{Elem: promoted[name]}})
@@ -302,7 +304,7 @@ func SplitLoop(f *minic.File, loop *minic.ForStmt) (bool, error) {
 		}
 		wrapPragmas = append(wrapPragmas, mp)
 	}
-	onceVar := seq.fresh("once")
+	onceVar := seq.Fresh("once")
 	wrapper := forLoop(onceVar, intLit(0), intLit(1), wrapPragmas, loop1, loop2)
 	wrapper.Init = declInt(onceVar, intLit(0))
 

@@ -24,6 +24,9 @@ type StreamOptions struct {
 	// transfers, the generated code fills that block on the host, so the
 	// gather of block i+1 overlaps the computation of block i.
 	Gathers []GatherInfo
+	// Names supplies fresh identifiers; nil uses a private sequence (safe
+	// only when Stream is the sole transform applied to the file).
+	Names *NameSeq
 }
 
 type streamRole int
@@ -111,7 +114,7 @@ func Stream(f *minic.File, loop *minic.ForStmt, opt StreamOptions) error {
 	g := &streamGen{
 		f: f, loop: loop, info: info, off: off, omp: omp,
 		opt: opt, arrays: arrays, nblocks: nblocks,
-		seq: &nameSeq{},
+		seq: seqOrNew(opt.Names),
 	}
 	for _, gi := range opt.Gathers {
 		found := false
@@ -182,7 +185,7 @@ type streamGen struct {
 	opt     StreamOptions
 	arrays  []*streamArray
 	nblocks int
-	seq     *nameSeq
+	seq     *NameSeq
 
 	// generated names
 	nVar, bsVar, baseVar, blkVar string
@@ -191,10 +194,10 @@ type streamGen struct {
 }
 
 func (g *streamGen) generate() error {
-	g.nVar = g.seq.fresh("n")
-	g.bsVar = g.seq.fresh("bs")
-	g.baseVar = g.seq.fresh("base")
-	g.blkVar = g.seq.fresh("blk")
+	g.nVar = g.seq.Fresh("n")
+	g.bsVar = g.seq.Fresh("bs")
+	g.baseVar = g.seq.Fresh("base")
+	g.blkVar = g.seq.Fresh("blk")
 	g.sig[0] = g.uniqueGlobal("sig_a")
 	g.sig[1] = g.uniqueGlobal("sig_b")
 
@@ -251,7 +254,7 @@ func (g *streamGen) generate() error {
 func (g *streamGen) uniqueGlobal(base string) string {
 	name := "__" + base
 	for declaredGlobal(g.f, name) {
-		name = g.seq.fresh(base)
+		name = g.seq.Fresh(base)
 	}
 	return name
 }
@@ -319,14 +322,14 @@ func (g *streamGen) sectionIn(sa *streamArray, offExpr minic.Expr, lenName, buf 
 // firstTransfer moves block 0 before entering the loop, gathering any
 // pipelined permutation blocks first.
 func (g *streamGen) firstTransfer() []minic.Stmt {
-	len0 := g.seq.fresh("len")
+	len0 := g.seq.Fresh("len")
 	stmts := clampLen(len0, g.bsVar, g.nVar, intLit(0))
 	if len(g.opt.Gathers) > 0 {
 		// Prime the pipeline: blocks 0 and 1 are gathered up front; block
 		// i+2 is gathered while kernel i computes ("the only extra
 		// overhead is the time taken to regularize the first data block").
 		stmts = append(stmts, g.gatherStmts(ident(g.baseVar), len0)...)
-		len1 := g.seq.fresh("len")
+		len1 := g.seq.Fresh("len")
 		stmts = append(stmts, clampLen(len1, g.bsVar, g.nVar, ident(g.bsVar))...)
 		gatherOne := g.gatherStmts(bin("+", ident(g.baseVar), ident(g.bsVar)), len1)
 		stmts = append(stmts, &minic.IfStmt{
@@ -358,7 +361,7 @@ func (g *streamGen) firstTransfer() []minic.Stmt {
 func (g *streamGen) gatherStmts(start minic.Expr, lenName string) []minic.Stmt {
 	var out []minic.Stmt
 	for _, gi := range g.opt.Gathers {
-		gv := g.seq.fresh("gv")
+		gv := g.seq.Fresh("gv")
 		out = append(out, gatherBlock(gi, gv, start, lenName))
 	}
 	return out
@@ -377,8 +380,8 @@ func (g *streamGen) hasStreamedInputs() bool {
 // blockLoop builds the two-level pipelined loop with even/odd parity
 // bodies (Figure 5(c)).
 func (g *streamGen) blockLoop() minic.Stmt {
-	offVar := g.seq.fresh("off")
-	lenVar := g.seq.fresh("len")
+	offVar := g.seq.Fresh("off")
+	lenVar := g.seq.Fresh("len")
 	var body []minic.Stmt
 	body = append(body, declInt(offVar, bin("*", ident(g.blkVar), ident(g.bsVar))))
 	body = append(body, clampLen(lenVar, g.bsVar, g.nVar, ident(offVar))...)
@@ -403,8 +406,8 @@ func (g *streamGen) parityBody(parity int, offVar, lenVar string) []minic.Stmt {
 	var stmts []minic.Stmt
 	// Prefetch next block (asynchronously) into the other buffer.
 	if g.hasStreamedInputs() {
-		noff := g.seq.fresh("noff")
-		nlen := g.seq.fresh("nlen")
+		noff := g.seq.Fresh("noff")
+		nlen := g.seq.Fresh("nlen")
 		pre := []minic.Stmt{
 			declInt(noff, bin("*", paren(bin("+", ident(g.blkVar), intLit(1))), ident(g.bsVar))),
 		}
@@ -438,8 +441,8 @@ func (g *streamGen) parityBody(parity int, offVar, lenVar string) []minic.Stmt {
 	kstmt := g.kernel(parity, offVar, lenVar)
 	markKernelAsync(kstmt, g.ksig)
 	stmts = append(stmts, kstmt)
-	g2off := g.seq.fresh("goff")
-	g2len := g.seq.fresh("glen")
+	g2off := g.seq.Fresh("goff")
+	g2len := g.seq.Fresh("glen")
 	gath := []minic.Stmt{
 		declInt(g2off, bin("*", paren(bin("+", ident(g.blkVar), intLit(2))), ident(g.bsVar))),
 	}
@@ -517,7 +520,7 @@ func (g *streamGen) kernel(parity int, offVar, lenVar string) minic.Stmt {
 	}
 	// Figure 5(c): rewrite accesses onto the block buffers and rebase the
 	// index variable.
-	j := g.seq.fresh("j")
+	j := g.seq.Fresh("j")
 	bodyClone := minic.CloneBlock(g.loop.Body)
 	bufOf := map[string]string{}
 	for _, sa := range g.arrays {

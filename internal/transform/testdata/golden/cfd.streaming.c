@@ -31,9 +31,9 @@ float *__momentum_s2;
 
 float *__stepf_o;
 
-int __sig_a5;
+int __sig_a18;
 
-int __sig_b6;
+int __sig_b19;
 
 float *__flux_s1;
 
@@ -43,13 +43,13 @@ float *__stepf_s1;
 
 float *__stepf_s2;
 
-float *__density_s17;
+float *__density_s120;
 
-float *__density_s28;
+float *__density_s221;
 
-float *__momentum_s19;
+float *__momentum_s122;
 
-float *__momentum_s210;
+float *__momentum_s223;
 
 float *__energy_s1;
 
@@ -125,62 +125,62 @@ int main() {
             flux[i] = f;
         }
         {
-            int __n1 = n - 0;
-            int __base3 = 0;
-            int __bs2 = (__n1 + 3) / 4;
-            #pragma offload_transfer target(mic:0) in(n) nocopy(__flux_s1 : length(__bs2) alloc_if(1) free_if(0), __flux_s2 : length(__bs2) alloc_if(1) free_if(0), __stepf_s1 : length(__bs2) alloc_if(1) free_if(0), __stepf_s2 : length(__bs2) alloc_if(1) free_if(0), __density_s17 : length(__bs2) alloc_if(1) free_if(0), __density_s28 : length(__bs2) alloc_if(1) free_if(0), __momentum_s19 : length(__bs2) alloc_if(1) free_if(0), __momentum_s210 : length(__bs2) alloc_if(1) free_if(0), __energy_s1 : length(__bs2) alloc_if(1) free_if(0), __energy_s2 : length(__bs2) alloc_if(1) free_if(0))
-            int __len11 = __bs2;
-            if (0 + __bs2 > __n1) {
-                __len11 = __n1 - 0;
+            int __n14 = n - 0;
+            int __base16 = 0;
+            int __bs15 = (__n14 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(n) nocopy(__flux_s1 : length(__bs15) alloc_if(1) free_if(0), __flux_s2 : length(__bs15) alloc_if(1) free_if(0), __stepf_s1 : length(__bs15) alloc_if(1) free_if(0), __stepf_s2 : length(__bs15) alloc_if(1) free_if(0), __density_s120 : length(__bs15) alloc_if(1) free_if(0), __density_s221 : length(__bs15) alloc_if(1) free_if(0), __momentum_s122 : length(__bs15) alloc_if(1) free_if(0), __momentum_s223 : length(__bs15) alloc_if(1) free_if(0), __energy_s1 : length(__bs15) alloc_if(1) free_if(0), __energy_s2 : length(__bs15) alloc_if(1) free_if(0))
+            int __len24 = __bs15;
+            if (0 + __bs15 > __n14) {
+                __len24 = __n14 - 0;
             }
-            #pragma offload_transfer target(mic:0) in(flux[__base3 + 0 : __len11] : into(__flux_s1[0 : __len11]) alloc_if(0) free_if(0), stepf[__base3 + 0 : __len11] : into(__stepf_s1[0 : __len11]) alloc_if(0) free_if(0), density[__base3 + 0 : __len11] : into(__density_s17[0 : __len11]) alloc_if(0) free_if(0), momentum[__base3 + 0 : __len11] : into(__momentum_s19[0 : __len11]) alloc_if(0) free_if(0), energy[__base3 + 0 : __len11] : into(__energy_s1[0 : __len11]) alloc_if(0) free_if(0)) signal(&__sig_a5)
-            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
-                int __off12 = __blk4 * __bs2;
-                int __len13 = __bs2;
-                if (__off12 + __bs2 > __n1) {
-                    __len13 = __n1 - __off12;
+            #pragma offload_transfer target(mic:0) in(flux[__base16 + 0 : __len24] : into(__flux_s1[0 : __len24]) alloc_if(0) free_if(0), stepf[__base16 + 0 : __len24] : into(__stepf_s1[0 : __len24]) alloc_if(0) free_if(0), density[__base16 + 0 : __len24] : into(__density_s120[0 : __len24]) alloc_if(0) free_if(0), momentum[__base16 + 0 : __len24] : into(__momentum_s122[0 : __len24]) alloc_if(0) free_if(0), energy[__base16 + 0 : __len24] : into(__energy_s1[0 : __len24]) alloc_if(0) free_if(0)) signal(&__sig_a18)
+            for (int __blk17 = 0; __blk17 < 4; __blk17++) {
+                int __off25 = __blk17 * __bs15;
+                int __len26 = __bs15;
+                if (__off25 + __bs15 > __n14) {
+                    __len26 = __n14 - __off25;
                 }
-                if (__len13 > 0) {
-                    if (__blk4 % 2 == 0) {
-                        if (__blk4 + 1 < 4) {
-                            int __noff14 = (__blk4 + 1) * __bs2;
-                            int __nlen15 = __bs2;
-                            if (__noff14 + __bs2 > __n1) {
-                                __nlen15 = __n1 - __noff14;
+                if (__len26 > 0) {
+                    if (__blk17 % 2 == 0) {
+                        if (__blk17 + 1 < 4) {
+                            int __noff27 = (__blk17 + 1) * __bs15;
+                            int __nlen28 = __bs15;
+                            if (__noff27 + __bs15 > __n14) {
+                                __nlen28 = __n14 - __noff27;
                             }
-                            if (__nlen15 > 0) {
-                                #pragma offload_transfer target(mic:0) in(flux[__base3 + __noff14 : __nlen15] : into(__flux_s2[0 : __nlen15]) alloc_if(0) free_if(0), stepf[__base3 + __noff14 : __nlen15] : into(__stepf_s2[0 : __nlen15]) alloc_if(0) free_if(0), density[__base3 + __noff14 : __nlen15] : into(__density_s28[0 : __nlen15]) alloc_if(0) free_if(0), momentum[__base3 + __noff14 : __nlen15] : into(__momentum_s210[0 : __nlen15]) alloc_if(0) free_if(0), energy[__base3 + __noff14 : __nlen15] : into(__energy_s2[0 : __nlen15]) alloc_if(0) free_if(0)) signal(&__sig_b6)
+                            if (__nlen28 > 0) {
+                                #pragma offload_transfer target(mic:0) in(flux[__base16 + __noff27 : __nlen28] : into(__flux_s2[0 : __nlen28]) alloc_if(0) free_if(0), stepf[__base16 + __noff27 : __nlen28] : into(__stepf_s2[0 : __nlen28]) alloc_if(0) free_if(0), density[__base16 + __noff27 : __nlen28] : into(__density_s221[0 : __nlen28]) alloc_if(0) free_if(0), momentum[__base16 + __noff27 : __nlen28] : into(__momentum_s223[0 : __nlen28]) alloc_if(0) free_if(0), energy[__base16 + __noff27 : __nlen28] : into(__energy_s2[0 : __nlen28]) alloc_if(0) free_if(0)) signal(&__sig_b19)
                             }
                         }
-                        #pragma offload target(mic:0) out(__density_s17[0 : __len13] : into(density[__base3 + __off12 : __len13]) alloc_if(0) free_if(0), __momentum_s19[0 : __len13] : into(momentum[__base3 + __off12 : __len13]) alloc_if(0) free_if(0), __energy_s1[0 : __len13] : into(energy[__base3 + __off12 : __len13]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a5)
+                        #pragma offload target(mic:0) out(__density_s120[0 : __len26] : into(density[__base16 + __off25 : __len26]) alloc_if(0) free_if(0), __momentum_s122[0 : __len26] : into(momentum[__base16 + __off25 : __len26]) alloc_if(0) free_if(0), __energy_s1[0 : __len26] : into(energy[__base16 + __off25 : __len26]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a18)
                         #pragma omp parallel for
-                        for (int __j16 = 0; __j16 < __len13; __j16++) {
-                            __density_s17[__j16] = __density_s17[__j16] + __flux_s1[__j16] * __stepf_s1[__j16];
-                            __momentum_s19[__j16] = __momentum_s19[__j16] * 0.9995;
-                            __energy_s1[__j16] = __energy_s1[__j16] + __flux_s1[__j16] * 0.125;
+                        for (int __j29 = 0; __j29 < __len26; __j29++) {
+                            __density_s120[__j29] = __density_s120[__j29] + __flux_s1[__j29] * __stepf_s1[__j29];
+                            __momentum_s122[__j29] = __momentum_s122[__j29] * 0.9995;
+                            __energy_s1[__j29] = __energy_s1[__j29] + __flux_s1[__j29] * 0.125;
                         }
                     } else {
-                        if (__blk4 + 1 < 4) {
-                            int __noff17 = (__blk4 + 1) * __bs2;
-                            int __nlen18 = __bs2;
-                            if (__noff17 + __bs2 > __n1) {
-                                __nlen18 = __n1 - __noff17;
+                        if (__blk17 + 1 < 4) {
+                            int __noff30 = (__blk17 + 1) * __bs15;
+                            int __nlen31 = __bs15;
+                            if (__noff30 + __bs15 > __n14) {
+                                __nlen31 = __n14 - __noff30;
                             }
-                            if (__nlen18 > 0) {
-                                #pragma offload_transfer target(mic:0) in(flux[__base3 + __noff17 : __nlen18] : into(__flux_s1[0 : __nlen18]) alloc_if(0) free_if(0), stepf[__base3 + __noff17 : __nlen18] : into(__stepf_s1[0 : __nlen18]) alloc_if(0) free_if(0), density[__base3 + __noff17 : __nlen18] : into(__density_s17[0 : __nlen18]) alloc_if(0) free_if(0), momentum[__base3 + __noff17 : __nlen18] : into(__momentum_s19[0 : __nlen18]) alloc_if(0) free_if(0), energy[__base3 + __noff17 : __nlen18] : into(__energy_s1[0 : __nlen18]) alloc_if(0) free_if(0)) signal(&__sig_a5)
+                            if (__nlen31 > 0) {
+                                #pragma offload_transfer target(mic:0) in(flux[__base16 + __noff30 : __nlen31] : into(__flux_s1[0 : __nlen31]) alloc_if(0) free_if(0), stepf[__base16 + __noff30 : __nlen31] : into(__stepf_s1[0 : __nlen31]) alloc_if(0) free_if(0), density[__base16 + __noff30 : __nlen31] : into(__density_s120[0 : __nlen31]) alloc_if(0) free_if(0), momentum[__base16 + __noff30 : __nlen31] : into(__momentum_s122[0 : __nlen31]) alloc_if(0) free_if(0), energy[__base16 + __noff30 : __nlen31] : into(__energy_s1[0 : __nlen31]) alloc_if(0) free_if(0)) signal(&__sig_a18)
                             }
                         }
-                        #pragma offload target(mic:0) out(__density_s28[0 : __len13] : into(density[__base3 + __off12 : __len13]) alloc_if(0) free_if(0), __momentum_s210[0 : __len13] : into(momentum[__base3 + __off12 : __len13]) alloc_if(0) free_if(0), __energy_s2[0 : __len13] : into(energy[__base3 + __off12 : __len13]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b6)
+                        #pragma offload target(mic:0) out(__density_s221[0 : __len26] : into(density[__base16 + __off25 : __len26]) alloc_if(0) free_if(0), __momentum_s223[0 : __len26] : into(momentum[__base16 + __off25 : __len26]) alloc_if(0) free_if(0), __energy_s2[0 : __len26] : into(energy[__base16 + __off25 : __len26]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b19)
                         #pragma omp parallel for
-                        for (int __j19 = 0; __j19 < __len13; __j19++) {
-                            __density_s28[__j19] = __density_s28[__j19] + __flux_s2[__j19] * __stepf_s2[__j19];
-                            __momentum_s210[__j19] = __momentum_s210[__j19] * 0.9995;
-                            __energy_s2[__j19] = __energy_s2[__j19] + __flux_s2[__j19] * 0.125;
+                        for (int __j32 = 0; __j32 < __len26; __j32++) {
+                            __density_s221[__j32] = __density_s221[__j32] + __flux_s2[__j32] * __stepf_s2[__j32];
+                            __momentum_s223[__j32] = __momentum_s223[__j32] * 0.9995;
+                            __energy_s2[__j32] = __energy_s2[__j32] + __flux_s2[__j32] * 0.125;
                         }
                     }
                 }
             }
-            #pragma offload_transfer target(mic:0) nocopy(__flux_s1 : length(1) alloc_if(0) free_if(1), __flux_s2 : length(1) alloc_if(0) free_if(1), __stepf_s1 : length(1) alloc_if(0) free_if(1), __stepf_s2 : length(1) alloc_if(0) free_if(1), __density_s17 : length(1) alloc_if(0) free_if(1), __density_s28 : length(1) alloc_if(0) free_if(1), __momentum_s19 : length(1) alloc_if(0) free_if(1), __momentum_s210 : length(1) alloc_if(0) free_if(1), __energy_s1 : length(1) alloc_if(0) free_if(1), __energy_s2 : length(1) alloc_if(0) free_if(1))
+            #pragma offload_transfer target(mic:0) nocopy(__flux_s1 : length(1) alloc_if(0) free_if(1), __flux_s2 : length(1) alloc_if(0) free_if(1), __stepf_s1 : length(1) alloc_if(0) free_if(1), __stepf_s2 : length(1) alloc_if(0) free_if(1), __density_s120 : length(1) alloc_if(0) free_if(1), __density_s221 : length(1) alloc_if(0) free_if(1), __momentum_s122 : length(1) alloc_if(0) free_if(1), __momentum_s223 : length(1) alloc_if(0) free_if(1), __energy_s1 : length(1) alloc_if(0) free_if(1), __energy_s2 : length(1) alloc_if(0) free_if(1))
         }
     }
     return 0;

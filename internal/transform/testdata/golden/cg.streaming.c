@@ -45,9 +45,9 @@ float *__x_s2;
 
 float *__q_o;
 
-int __sig_a5;
+int __sig_a18;
 
-int __sig_b6;
+int __sig_b19;
 
 float *__q_s1;
 
@@ -57,9 +57,9 @@ float *__z_s1;
 
 float *__z_s2;
 
-float *__x_s17;
+float *__x_s120;
 
-float *__x_s28;
+float *__x_s221;
 
 int main() {
     int it;
@@ -122,60 +122,60 @@ int main() {
             #pragma offload_transfer target(mic:0) nocopy(__ad0_s1 : length(1) alloc_if(0) free_if(1), __ad0_s2 : length(1) alloc_if(0) free_if(1), __ad1_s1 : length(1) alloc_if(0) free_if(1), __ad1_s2 : length(1) alloc_if(0) free_if(1), __ad2_s1 : length(1) alloc_if(0) free_if(1), __ad2_s2 : length(1) alloc_if(0) free_if(1), __ad3_s1 : length(1) alloc_if(0) free_if(1), __ad3_s2 : length(1) alloc_if(0) free_if(1), __x_s1 : length(1) alloc_if(0) free_if(1), __x_s2 : length(1) alloc_if(0) free_if(1), __q_o : length(1) alloc_if(0) free_if(1))
         }
         {
-            int __n1 = n - 0;
-            int __base3 = 0;
-            int __bs2 = (__n1 + 3) / 4;
-            #pragma offload_transfer target(mic:0) in(n) nocopy(__q_s1 : length(__bs2) alloc_if(1) free_if(0), __q_s2 : length(__bs2) alloc_if(1) free_if(0), __z_s1 : length(__bs2) alloc_if(1) free_if(0), __z_s2 : length(__bs2) alloc_if(1) free_if(0), __x_s17 : length(__bs2) alloc_if(1) free_if(0), __x_s28 : length(__bs2) alloc_if(1) free_if(0))
-            int __len9 = __bs2;
-            if (0 + __bs2 > __n1) {
-                __len9 = __n1 - 0;
+            int __n14 = n - 0;
+            int __base16 = 0;
+            int __bs15 = (__n14 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(n) nocopy(__q_s1 : length(__bs15) alloc_if(1) free_if(0), __q_s2 : length(__bs15) alloc_if(1) free_if(0), __z_s1 : length(__bs15) alloc_if(1) free_if(0), __z_s2 : length(__bs15) alloc_if(1) free_if(0), __x_s120 : length(__bs15) alloc_if(1) free_if(0), __x_s221 : length(__bs15) alloc_if(1) free_if(0))
+            int __len22 = __bs15;
+            if (0 + __bs15 > __n14) {
+                __len22 = __n14 - 0;
             }
-            #pragma offload_transfer target(mic:0) in(q[__base3 + 0 : __len9] : into(__q_s1[0 : __len9]) alloc_if(0) free_if(0), z[__base3 + 0 : __len9] : into(__z_s1[0 : __len9]) alloc_if(0) free_if(0), x[__base3 + 0 : __len9] : into(__x_s17[0 : __len9]) alloc_if(0) free_if(0)) signal(&__sig_a5)
-            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
-                int __off10 = __blk4 * __bs2;
-                int __len11 = __bs2;
-                if (__off10 + __bs2 > __n1) {
-                    __len11 = __n1 - __off10;
+            #pragma offload_transfer target(mic:0) in(q[__base16 + 0 : __len22] : into(__q_s1[0 : __len22]) alloc_if(0) free_if(0), z[__base16 + 0 : __len22] : into(__z_s1[0 : __len22]) alloc_if(0) free_if(0), x[__base16 + 0 : __len22] : into(__x_s120[0 : __len22]) alloc_if(0) free_if(0)) signal(&__sig_a18)
+            for (int __blk17 = 0; __blk17 < 4; __blk17++) {
+                int __off23 = __blk17 * __bs15;
+                int __len24 = __bs15;
+                if (__off23 + __bs15 > __n14) {
+                    __len24 = __n14 - __off23;
                 }
-                if (__len11 > 0) {
-                    if (__blk4 % 2 == 0) {
-                        if (__blk4 + 1 < 4) {
-                            int __noff12 = (__blk4 + 1) * __bs2;
-                            int __nlen13 = __bs2;
-                            if (__noff12 + __bs2 > __n1) {
-                                __nlen13 = __n1 - __noff12;
+                if (__len24 > 0) {
+                    if (__blk17 % 2 == 0) {
+                        if (__blk17 + 1 < 4) {
+                            int __noff25 = (__blk17 + 1) * __bs15;
+                            int __nlen26 = __bs15;
+                            if (__noff25 + __bs15 > __n14) {
+                                __nlen26 = __n14 - __noff25;
                             }
-                            if (__nlen13 > 0) {
-                                #pragma offload_transfer target(mic:0) in(q[__base3 + __noff12 : __nlen13] : into(__q_s2[0 : __nlen13]) alloc_if(0) free_if(0), z[__base3 + __noff12 : __nlen13] : into(__z_s2[0 : __nlen13]) alloc_if(0) free_if(0), x[__base3 + __noff12 : __nlen13] : into(__x_s28[0 : __nlen13]) alloc_if(0) free_if(0)) signal(&__sig_b6)
+                            if (__nlen26 > 0) {
+                                #pragma offload_transfer target(mic:0) in(q[__base16 + __noff25 : __nlen26] : into(__q_s2[0 : __nlen26]) alloc_if(0) free_if(0), z[__base16 + __noff25 : __nlen26] : into(__z_s2[0 : __nlen26]) alloc_if(0) free_if(0), x[__base16 + __noff25 : __nlen26] : into(__x_s221[0 : __nlen26]) alloc_if(0) free_if(0)) signal(&__sig_b19)
                             }
                         }
-                        #pragma offload target(mic:0) out(__z_s1[0 : __len11] : into(z[__base3 + __off10 : __len11]) alloc_if(0) free_if(0), __x_s17[0 : __len11] : into(x[__base3 + __off10 : __len11]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a5)
+                        #pragma offload target(mic:0) out(__z_s1[0 : __len24] : into(z[__base16 + __off23 : __len24]) alloc_if(0) free_if(0), __x_s120[0 : __len24] : into(x[__base16 + __off23 : __len24]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a18)
                         #pragma omp parallel for
-                        for (int __j14 = 0; __j14 < __len11; __j14++) {
-                            __z_s1[__j14] = __z_s1[__j14] + 0.3 * __q_s1[__j14];
-                            __x_s17[__j14] = __x_s17[__j14] * 0.999 + __z_s1[__j14] * 0.001;
+                        for (int __j27 = 0; __j27 < __len24; __j27++) {
+                            __z_s1[__j27] = __z_s1[__j27] + 0.3 * __q_s1[__j27];
+                            __x_s120[__j27] = __x_s120[__j27] * 0.999 + __z_s1[__j27] * 0.001;
                         }
                     } else {
-                        if (__blk4 + 1 < 4) {
-                            int __noff15 = (__blk4 + 1) * __bs2;
-                            int __nlen16 = __bs2;
-                            if (__noff15 + __bs2 > __n1) {
-                                __nlen16 = __n1 - __noff15;
+                        if (__blk17 + 1 < 4) {
+                            int __noff28 = (__blk17 + 1) * __bs15;
+                            int __nlen29 = __bs15;
+                            if (__noff28 + __bs15 > __n14) {
+                                __nlen29 = __n14 - __noff28;
                             }
-                            if (__nlen16 > 0) {
-                                #pragma offload_transfer target(mic:0) in(q[__base3 + __noff15 : __nlen16] : into(__q_s1[0 : __nlen16]) alloc_if(0) free_if(0), z[__base3 + __noff15 : __nlen16] : into(__z_s1[0 : __nlen16]) alloc_if(0) free_if(0), x[__base3 + __noff15 : __nlen16] : into(__x_s17[0 : __nlen16]) alloc_if(0) free_if(0)) signal(&__sig_a5)
+                            if (__nlen29 > 0) {
+                                #pragma offload_transfer target(mic:0) in(q[__base16 + __noff28 : __nlen29] : into(__q_s1[0 : __nlen29]) alloc_if(0) free_if(0), z[__base16 + __noff28 : __nlen29] : into(__z_s1[0 : __nlen29]) alloc_if(0) free_if(0), x[__base16 + __noff28 : __nlen29] : into(__x_s120[0 : __nlen29]) alloc_if(0) free_if(0)) signal(&__sig_a18)
                             }
                         }
-                        #pragma offload target(mic:0) out(__z_s2[0 : __len11] : into(z[__base3 + __off10 : __len11]) alloc_if(0) free_if(0), __x_s28[0 : __len11] : into(x[__base3 + __off10 : __len11]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b6)
+                        #pragma offload target(mic:0) out(__z_s2[0 : __len24] : into(z[__base16 + __off23 : __len24]) alloc_if(0) free_if(0), __x_s221[0 : __len24] : into(x[__base16 + __off23 : __len24]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b19)
                         #pragma omp parallel for
-                        for (int __j17 = 0; __j17 < __len11; __j17++) {
-                            __z_s2[__j17] = __z_s2[__j17] + 0.3 * __q_s2[__j17];
-                            __x_s28[__j17] = __x_s28[__j17] * 0.999 + __z_s2[__j17] * 0.001;
+                        for (int __j30 = 0; __j30 < __len24; __j30++) {
+                            __z_s2[__j30] = __z_s2[__j30] + 0.3 * __q_s2[__j30];
+                            __x_s221[__j30] = __x_s221[__j30] * 0.999 + __z_s2[__j30] * 0.001;
                         }
                     }
                 }
             }
-            #pragma offload_transfer target(mic:0) nocopy(__q_s1 : length(1) alloc_if(0) free_if(1), __q_s2 : length(1) alloc_if(0) free_if(1), __z_s1 : length(1) alloc_if(0) free_if(1), __z_s2 : length(1) alloc_if(0) free_if(1), __x_s17 : length(1) alloc_if(0) free_if(1), __x_s28 : length(1) alloc_if(0) free_if(1))
+            #pragma offload_transfer target(mic:0) nocopy(__q_s1 : length(1) alloc_if(0) free_if(1), __q_s2 : length(1) alloc_if(0) free_if(1), __z_s1 : length(1) alloc_if(0) free_if(1), __z_s2 : length(1) alloc_if(0) free_if(1), __x_s120 : length(1) alloc_if(0) free_if(1), __x_s221 : length(1) alloc_if(0) free_if(1))
         }
     }
     return 0;

@@ -45,104 +45,104 @@ int main() {
     __recs_r = malloc(n * sizeof(float));
     __recs_r1 = malloc(n * sizeof(float));
     {
-        int __n1 = n - 0;
-        int __base3 = 0;
-        int __bs2 = (__n1 + 3) / 4;
-        #pragma offload_transfer target(mic:0) in(n, tlat, tlng) nocopy(____recs_r_s1 : length(__bs2) alloc_if(1) free_if(0), ____recs_r_s2 : length(__bs2) alloc_if(1) free_if(0), ____recs_r1_s1 : length(__bs2) alloc_if(1) free_if(0), ____recs_r1_s2 : length(__bs2) alloc_if(1) free_if(0), __dist_o : length(__bs2) alloc_if(1) free_if(0))
-        int __len5 = __bs2;
-        if (0 + __bs2 > __n1) {
-            __len5 = __n1 - 0;
+        int __n2 = n - 0;
+        int __base4 = 0;
+        int __bs3 = (__n2 + 3) / 4;
+        #pragma offload_transfer target(mic:0) in(n, tlat, tlng) nocopy(____recs_r_s1 : length(__bs3) alloc_if(1) free_if(0), ____recs_r_s2 : length(__bs3) alloc_if(1) free_if(0), ____recs_r1_s1 : length(__bs3) alloc_if(1) free_if(0), ____recs_r1_s2 : length(__bs3) alloc_if(1) free_if(0), __dist_o : length(__bs3) alloc_if(1) free_if(0))
+        int __len6 = __bs3;
+        if (0 + __bs3 > __n2) {
+            __len6 = __n2 - 0;
         }
-        for (int __gv6 = __base3; __gv6 < __base3 + __len5; __gv6++) {
-            __recs_r[__gv6] = recs[8 * __gv6];
+        for (int __gv7 = __base4; __gv7 < __base4 + __len6; __gv7++) {
+            __recs_r[__gv7] = recs[8 * __gv7];
         }
-        for (int __gv7 = __base3; __gv7 < __base3 + __len5; __gv7++) {
-            __recs_r1[__gv7] = recs[8 * __gv7 + 1];
+        for (int __gv8 = __base4; __gv8 < __base4 + __len6; __gv8++) {
+            __recs_r1[__gv8] = recs[8 * __gv8 + 1];
         }
-        int __len8 = __bs2;
-        if (__bs2 + __bs2 > __n1) {
-            __len8 = __n1 - __bs2;
+        int __len9 = __bs3;
+        if (__bs3 + __bs3 > __n2) {
+            __len9 = __n2 - __bs3;
         }
-        if (__len8 > 0) {
-            for (int __gv9 = (__base3 + __bs2); __gv9 < (__base3 + __bs2) + __len8; __gv9++) {
-                __recs_r[__gv9] = recs[8 * __gv9];
+        if (__len9 > 0) {
+            for (int __gv10 = (__base4 + __bs3); __gv10 < (__base4 + __bs3) + __len9; __gv10++) {
+                __recs_r[__gv10] = recs[8 * __gv10];
             }
-            for (int __gv10 = (__base3 + __bs2); __gv10 < (__base3 + __bs2) + __len8; __gv10++) {
-                __recs_r1[__gv10] = recs[8 * __gv10 + 1];
+            for (int __gv11 = (__base4 + __bs3); __gv11 < (__base4 + __bs3) + __len9; __gv11++) {
+                __recs_r1[__gv11] = recs[8 * __gv11 + 1];
             }
         }
-        #pragma offload_transfer target(mic:0) in(__recs_r[__base3 + 0 : __len5] : into(____recs_r_s1[0 : __len5]) alloc_if(0) free_if(0), __recs_r1[__base3 + 0 : __len5] : into(____recs_r1_s1[0 : __len5]) alloc_if(0) free_if(0)) signal(&__sig_a)
-        for (int __blk4 = 0; __blk4 < 4; __blk4++) {
-            int __off11 = __blk4 * __bs2;
-            int __len12 = __bs2;
-            if (__off11 + __bs2 > __n1) {
-                __len12 = __n1 - __off11;
+        #pragma offload_transfer target(mic:0) in(__recs_r[__base4 + 0 : __len6] : into(____recs_r_s1[0 : __len6]) alloc_if(0) free_if(0), __recs_r1[__base4 + 0 : __len6] : into(____recs_r1_s1[0 : __len6]) alloc_if(0) free_if(0)) signal(&__sig_a)
+        for (int __blk5 = 0; __blk5 < 4; __blk5++) {
+            int __off12 = __blk5 * __bs3;
+            int __len13 = __bs3;
+            if (__off12 + __bs3 > __n2) {
+                __len13 = __n2 - __off12;
             }
-            if (__len12 > 0) {
-                if (__blk4 % 2 == 0) {
-                    if (__blk4 + 1 < 4) {
-                        int __noff13 = (__blk4 + 1) * __bs2;
-                        int __nlen14 = __bs2;
-                        if (__noff13 + __bs2 > __n1) {
-                            __nlen14 = __n1 - __noff13;
+            if (__len13 > 0) {
+                if (__blk5 % 2 == 0) {
+                    if (__blk5 + 1 < 4) {
+                        int __noff14 = (__blk5 + 1) * __bs3;
+                        int __nlen15 = __bs3;
+                        if (__noff14 + __bs3 > __n2) {
+                            __nlen15 = __n2 - __noff14;
                         }
-                        if (__nlen14 > 0) {
-                            #pragma offload_transfer target(mic:0) in(__recs_r[__base3 + __noff13 : __nlen14] : into(____recs_r_s2[0 : __nlen14]) alloc_if(0) free_if(0), __recs_r1[__base3 + __noff13 : __nlen14] : into(____recs_r1_s2[0 : __nlen14]) alloc_if(0) free_if(0)) signal(&__sig_b)
+                        if (__nlen15 > 0) {
+                            #pragma offload_transfer target(mic:0) in(__recs_r[__base4 + __noff14 : __nlen15] : into(____recs_r_s2[0 : __nlen15]) alloc_if(0) free_if(0), __recs_r1[__base4 + __noff14 : __nlen15] : into(____recs_r1_s2[0 : __nlen15]) alloc_if(0) free_if(0)) signal(&__sig_b)
                         }
                     }
-                    #pragma offload target(mic:0) out(__dist_o[0 : __len12] : into(dist[__base3 + __off11 : __len12]) alloc_if(0) free_if(0)) persist(1) signal(&__ksig) wait(&__sig_a)
+                    #pragma offload target(mic:0) out(__dist_o[0 : __len13] : into(dist[__base4 + __off12 : __len13]) alloc_if(0) free_if(0)) persist(1) signal(&__ksig) wait(&__sig_a)
                     #pragma omp parallel for
-                    for (int __j15 = 0; __j15 < __len12; __j15++) {
-                        float dlat = ____recs_r_s1[__j15] - tlat;
-                        float dlng = ____recs_r1_s1[__j15] - tlng;
-                        __dist_o[__j15] = sqrt(dlat * dlat + dlng * dlng) + exp(-fabs(dlat) * 0.01);
+                    for (int __j16 = 0; __j16 < __len13; __j16++) {
+                        float dlat = ____recs_r_s1[__j16] - tlat;
+                        float dlng = ____recs_r1_s1[__j16] - tlng;
+                        __dist_o[__j16] = sqrt(dlat * dlat + dlng * dlng) + exp(-fabs(dlat) * 0.01);
                     }
-                    if (__blk4 + 2 < 4) {
-                        int __goff16 = (__blk4 + 2) * __bs2;
-                        int __glen17 = __bs2;
-                        if (__goff16 + __bs2 > __n1) {
-                            __glen17 = __n1 - __goff16;
+                    if (__blk5 + 2 < 4) {
+                        int __goff17 = (__blk5 + 2) * __bs3;
+                        int __glen18 = __bs3;
+                        if (__goff17 + __bs3 > __n2) {
+                            __glen18 = __n2 - __goff17;
                         }
-                        if (__glen17 > 0) {
-                            for (int __gv18 = (__base3 + __goff16); __gv18 < (__base3 + __goff16) + __glen17; __gv18++) {
-                                __recs_r[__gv18] = recs[8 * __gv18];
+                        if (__glen18 > 0) {
+                            for (int __gv19 = (__base4 + __goff17); __gv19 < (__base4 + __goff17) + __glen18; __gv19++) {
+                                __recs_r[__gv19] = recs[8 * __gv19];
                             }
-                            for (int __gv19 = (__base3 + __goff16); __gv19 < (__base3 + __goff16) + __glen17; __gv19++) {
-                                __recs_r1[__gv19] = recs[8 * __gv19 + 1];
+                            for (int __gv20 = (__base4 + __goff17); __gv20 < (__base4 + __goff17) + __glen18; __gv20++) {
+                                __recs_r1[__gv20] = recs[8 * __gv20 + 1];
                             }
                         }
                     }
                     #pragma offload_wait target(mic:0) wait(&__ksig)
                 } else {
-                    if (__blk4 + 1 < 4) {
-                        int __noff20 = (__blk4 + 1) * __bs2;
-                        int __nlen21 = __bs2;
-                        if (__noff20 + __bs2 > __n1) {
-                            __nlen21 = __n1 - __noff20;
+                    if (__blk5 + 1 < 4) {
+                        int __noff21 = (__blk5 + 1) * __bs3;
+                        int __nlen22 = __bs3;
+                        if (__noff21 + __bs3 > __n2) {
+                            __nlen22 = __n2 - __noff21;
                         }
-                        if (__nlen21 > 0) {
-                            #pragma offload_transfer target(mic:0) in(__recs_r[__base3 + __noff20 : __nlen21] : into(____recs_r_s1[0 : __nlen21]) alloc_if(0) free_if(0), __recs_r1[__base3 + __noff20 : __nlen21] : into(____recs_r1_s1[0 : __nlen21]) alloc_if(0) free_if(0)) signal(&__sig_a)
+                        if (__nlen22 > 0) {
+                            #pragma offload_transfer target(mic:0) in(__recs_r[__base4 + __noff21 : __nlen22] : into(____recs_r_s1[0 : __nlen22]) alloc_if(0) free_if(0), __recs_r1[__base4 + __noff21 : __nlen22] : into(____recs_r1_s1[0 : __nlen22]) alloc_if(0) free_if(0)) signal(&__sig_a)
                         }
                     }
-                    #pragma offload target(mic:0) out(__dist_o[0 : __len12] : into(dist[__base3 + __off11 : __len12]) alloc_if(0) free_if(0)) persist(1) signal(&__ksig) wait(&__sig_b)
+                    #pragma offload target(mic:0) out(__dist_o[0 : __len13] : into(dist[__base4 + __off12 : __len13]) alloc_if(0) free_if(0)) persist(1) signal(&__ksig) wait(&__sig_b)
                     #pragma omp parallel for
-                    for (int __j22 = 0; __j22 < __len12; __j22++) {
-                        float dlat = ____recs_r_s2[__j22] - tlat;
-                        float dlng = ____recs_r1_s2[__j22] - tlng;
-                        __dist_o[__j22] = sqrt(dlat * dlat + dlng * dlng) + exp(-fabs(dlat) * 0.01);
+                    for (int __j23 = 0; __j23 < __len13; __j23++) {
+                        float dlat = ____recs_r_s2[__j23] - tlat;
+                        float dlng = ____recs_r1_s2[__j23] - tlng;
+                        __dist_o[__j23] = sqrt(dlat * dlat + dlng * dlng) + exp(-fabs(dlat) * 0.01);
                     }
-                    if (__blk4 + 2 < 4) {
-                        int __goff23 = (__blk4 + 2) * __bs2;
-                        int __glen24 = __bs2;
-                        if (__goff23 + __bs2 > __n1) {
-                            __glen24 = __n1 - __goff23;
+                    if (__blk5 + 2 < 4) {
+                        int __goff24 = (__blk5 + 2) * __bs3;
+                        int __glen25 = __bs3;
+                        if (__goff24 + __bs3 > __n2) {
+                            __glen25 = __n2 - __goff24;
                         }
-                        if (__glen24 > 0) {
-                            for (int __gv25 = (__base3 + __goff23); __gv25 < (__base3 + __goff23) + __glen24; __gv25++) {
-                                __recs_r[__gv25] = recs[8 * __gv25];
+                        if (__glen25 > 0) {
+                            for (int __gv26 = (__base4 + __goff24); __gv26 < (__base4 + __goff24) + __glen25; __gv26++) {
+                                __recs_r[__gv26] = recs[8 * __gv26];
                             }
-                            for (int __gv26 = (__base3 + __goff23); __gv26 < (__base3 + __goff23) + __glen24; __gv26++) {
-                                __recs_r1[__gv26] = recs[8 * __gv26 + 1];
+                            for (int __gv27 = (__base4 + __goff24); __gv27 < (__base4 + __goff24) + __glen25; __gv27++) {
+                                __recs_r1[__gv27] = recs[8 * __gv27 + 1];
                             }
                         }
                     }

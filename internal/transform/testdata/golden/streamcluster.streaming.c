@@ -38,9 +38,9 @@ float *__py_s2;
 
 float *__cost_o;
 
-int __sig_a5;
+int __sig_a18;
 
-int __sig_b6;
+int __sig_b19;
 
 float *__cost_s1;
 
@@ -48,9 +48,9 @@ float *__cost_s2;
 
 float *__gain_o;
 
-int __sig_a6;
+int __sig_a33;
 
-int __sig_b7;
+int __sig_b34;
 
 float *__gain_s1;
 
@@ -127,53 +127,53 @@ int main() {
             #pragma offload_transfer target(mic:0) nocopy(__px_s1 : length(1) alloc_if(0) free_if(1), __px_s2 : length(1) alloc_if(0) free_if(1), __py_s1 : length(1) alloc_if(0) free_if(1), __py_s2 : length(1) alloc_if(0) free_if(1), wts : length(1) alloc_if(0) free_if(1), ids : length(1) alloc_if(0) free_if(1), __cost_o : length(1) alloc_if(0) free_if(1))
         }
         {
-            int __n1 = n - 0;
-            int __base3 = 0;
-            int __bs2 = (__n1 + 3) / 4;
-            #pragma offload_transfer target(mic:0) in(wts : length(n) alloc_if(1) free_if(0), ids : length(n) alloc_if(1) free_if(0), n) nocopy(__cost_s1 : length(__bs2) alloc_if(1) free_if(0), __cost_s2 : length(__bs2) alloc_if(1) free_if(0), __gain_o : length(__bs2) alloc_if(1) free_if(0))
-            int __len7 = __bs2;
-            if (0 + __bs2 > __n1) {
-                __len7 = __n1 - 0;
+            int __n14 = n - 0;
+            int __base16 = 0;
+            int __bs15 = (__n14 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(wts : length(n) alloc_if(1) free_if(0), ids : length(n) alloc_if(1) free_if(0), n) nocopy(__cost_s1 : length(__bs15) alloc_if(1) free_if(0), __cost_s2 : length(__bs15) alloc_if(1) free_if(0), __gain_o : length(__bs15) alloc_if(1) free_if(0))
+            int __len20 = __bs15;
+            if (0 + __bs15 > __n14) {
+                __len20 = __n14 - 0;
             }
-            #pragma offload_transfer target(mic:0) in(cost[__base3 + 0 : __len7] : into(__cost_s1[0 : __len7]) alloc_if(0) free_if(0)) signal(&__sig_a5)
-            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
-                int __off8 = __blk4 * __bs2;
-                int __len9 = __bs2;
-                if (__off8 + __bs2 > __n1) {
-                    __len9 = __n1 - __off8;
+            #pragma offload_transfer target(mic:0) in(cost[__base16 + 0 : __len20] : into(__cost_s1[0 : __len20]) alloc_if(0) free_if(0)) signal(&__sig_a18)
+            for (int __blk17 = 0; __blk17 < 4; __blk17++) {
+                int __off21 = __blk17 * __bs15;
+                int __len22 = __bs15;
+                if (__off21 + __bs15 > __n14) {
+                    __len22 = __n14 - __off21;
                 }
-                if (__len9 > 0) {
-                    if (__blk4 % 2 == 0) {
-                        if (__blk4 + 1 < 4) {
-                            int __noff10 = (__blk4 + 1) * __bs2;
-                            int __nlen11 = __bs2;
-                            if (__noff10 + __bs2 > __n1) {
-                                __nlen11 = __n1 - __noff10;
+                if (__len22 > 0) {
+                    if (__blk17 % 2 == 0) {
+                        if (__blk17 + 1 < 4) {
+                            int __noff23 = (__blk17 + 1) * __bs15;
+                            int __nlen24 = __bs15;
+                            if (__noff23 + __bs15 > __n14) {
+                                __nlen24 = __n14 - __noff23;
                             }
-                            if (__nlen11 > 0) {
-                                #pragma offload_transfer target(mic:0) in(cost[__base3 + __noff10 : __nlen11] : into(__cost_s2[0 : __nlen11]) alloc_if(0) free_if(0)) signal(&__sig_b6)
+                            if (__nlen24 > 0) {
+                                #pragma offload_transfer target(mic:0) in(cost[__base16 + __noff23 : __nlen24] : into(__cost_s2[0 : __nlen24]) alloc_if(0) free_if(0)) signal(&__sig_b19)
                             }
                         }
-                        #pragma offload target(mic:0) out(__gain_o[0 : __len9] : into(gain[__base3 + __off8 : __len9]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a5)
+                        #pragma offload target(mic:0) out(__gain_o[0 : __len22] : into(gain[__base16 + __off21 : __len22]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a18)
                         #pragma omp parallel for
-                        for (int __j12 = 0; __j12 < __len9; __j12++) {
-                            __gain_o[__j12] = __cost_s1[__j12] * 0.5 + 1.0 + wts[0] * 0.0 + ids[0] * 0.0;
+                        for (int __j25 = 0; __j25 < __len22; __j25++) {
+                            __gain_o[__j25] = __cost_s1[__j25] * 0.5 + 1.0 + wts[0] * 0.0 + ids[0] * 0.0;
                         }
                     } else {
-                        if (__blk4 + 1 < 4) {
-                            int __noff13 = (__blk4 + 1) * __bs2;
-                            int __nlen14 = __bs2;
-                            if (__noff13 + __bs2 > __n1) {
-                                __nlen14 = __n1 - __noff13;
+                        if (__blk17 + 1 < 4) {
+                            int __noff26 = (__blk17 + 1) * __bs15;
+                            int __nlen27 = __bs15;
+                            if (__noff26 + __bs15 > __n14) {
+                                __nlen27 = __n14 - __noff26;
                             }
-                            if (__nlen14 > 0) {
-                                #pragma offload_transfer target(mic:0) in(cost[__base3 + __noff13 : __nlen14] : into(__cost_s1[0 : __nlen14]) alloc_if(0) free_if(0)) signal(&__sig_a5)
+                            if (__nlen27 > 0) {
+                                #pragma offload_transfer target(mic:0) in(cost[__base16 + __noff26 : __nlen27] : into(__cost_s1[0 : __nlen27]) alloc_if(0) free_if(0)) signal(&__sig_a18)
                             }
                         }
-                        #pragma offload target(mic:0) out(__gain_o[0 : __len9] : into(gain[__base3 + __off8 : __len9]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b6)
+                        #pragma offload target(mic:0) out(__gain_o[0 : __len22] : into(gain[__base16 + __off21 : __len22]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b19)
                         #pragma omp parallel for
-                        for (int __j15 = 0; __j15 < __len9; __j15++) {
-                            __gain_o[__j15] = __cost_s2[__j15] * 0.5 + 1.0 + wts[0] * 0.0 + ids[0] * 0.0;
+                        for (int __j28 = 0; __j28 < __len22; __j28++) {
+                            __gain_o[__j28] = __cost_s2[__j28] * 0.5 + 1.0 + wts[0] * 0.0 + ids[0] * 0.0;
                         }
                     }
                 }
@@ -181,56 +181,56 @@ int main() {
             #pragma offload_transfer target(mic:0) nocopy(__cost_s1 : length(1) alloc_if(0) free_if(1), __cost_s2 : length(1) alloc_if(0) free_if(1), wts : length(1) alloc_if(0) free_if(1), ids : length(1) alloc_if(0) free_if(1), __gain_o : length(1) alloc_if(0) free_if(1))
         }
         {
-            int __n1 = n - 0;
-            int __base3 = 0;
-            int __bs2 = (__n1 + 3) / 4;
-            #pragma offload_transfer target(mic:0) in(wts : length(n) alloc_if(1) free_if(0), n) nocopy(__gain_s1 : length(__bs2) alloc_if(1) free_if(0), __gain_s2 : length(__bs2) alloc_if(1) free_if(0), __assignv_s1 : length(__bs2) alloc_if(1) free_if(0), __assignv_s2 : length(__bs2) alloc_if(1) free_if(0))
-            int __len8 = __bs2;
-            if (0 + __bs2 > __n1) {
-                __len8 = __n1 - 0;
+            int __n29 = n - 0;
+            int __base31 = 0;
+            int __bs30 = (__n29 + 3) / 4;
+            #pragma offload_transfer target(mic:0) in(wts : length(n) alloc_if(1) free_if(0), n) nocopy(__gain_s1 : length(__bs30) alloc_if(1) free_if(0), __gain_s2 : length(__bs30) alloc_if(1) free_if(0), __assignv_s1 : length(__bs30) alloc_if(1) free_if(0), __assignv_s2 : length(__bs30) alloc_if(1) free_if(0))
+            int __len35 = __bs30;
+            if (0 + __bs30 > __n29) {
+                __len35 = __n29 - 0;
             }
-            #pragma offload_transfer target(mic:0) in(gain[__base3 + 0 : __len8] : into(__gain_s1[0 : __len8]) alloc_if(0) free_if(0), assignv[__base3 + 0 : __len8] : into(__assignv_s1[0 : __len8]) alloc_if(0) free_if(0)) signal(&__sig_a6)
-            for (int __blk4 = 0; __blk4 < 4; __blk4++) {
-                int __off9 = __blk4 * __bs2;
-                int __len10 = __bs2;
-                if (__off9 + __bs2 > __n1) {
-                    __len10 = __n1 - __off9;
+            #pragma offload_transfer target(mic:0) in(gain[__base31 + 0 : __len35] : into(__gain_s1[0 : __len35]) alloc_if(0) free_if(0), assignv[__base31 + 0 : __len35] : into(__assignv_s1[0 : __len35]) alloc_if(0) free_if(0)) signal(&__sig_a33)
+            for (int __blk32 = 0; __blk32 < 4; __blk32++) {
+                int __off36 = __blk32 * __bs30;
+                int __len37 = __bs30;
+                if (__off36 + __bs30 > __n29) {
+                    __len37 = __n29 - __off36;
                 }
-                if (__len10 > 0) {
-                    if (__blk4 % 2 == 0) {
-                        if (__blk4 + 1 < 4) {
-                            int __noff11 = (__blk4 + 1) * __bs2;
-                            int __nlen12 = __bs2;
-                            if (__noff11 + __bs2 > __n1) {
-                                __nlen12 = __n1 - __noff11;
+                if (__len37 > 0) {
+                    if (__blk32 % 2 == 0) {
+                        if (__blk32 + 1 < 4) {
+                            int __noff38 = (__blk32 + 1) * __bs30;
+                            int __nlen39 = __bs30;
+                            if (__noff38 + __bs30 > __n29) {
+                                __nlen39 = __n29 - __noff38;
                             }
-                            if (__nlen12 > 0) {
-                                #pragma offload_transfer target(mic:0) in(gain[__base3 + __noff11 : __nlen12] : into(__gain_s2[0 : __nlen12]) alloc_if(0) free_if(0), assignv[__base3 + __noff11 : __nlen12] : into(__assignv_s2[0 : __nlen12]) alloc_if(0) free_if(0)) signal(&__sig_b7)
+                            if (__nlen39 > 0) {
+                                #pragma offload_transfer target(mic:0) in(gain[__base31 + __noff38 : __nlen39] : into(__gain_s2[0 : __nlen39]) alloc_if(0) free_if(0), assignv[__base31 + __noff38 : __nlen39] : into(__assignv_s2[0 : __nlen39]) alloc_if(0) free_if(0)) signal(&__sig_b34)
                             }
                         }
-                        #pragma offload target(mic:0) out(__assignv_s1[0 : __len10] : into(assignv[__base3 + __off9 : __len10]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a6)
+                        #pragma offload target(mic:0) out(__assignv_s1[0 : __len37] : into(assignv[__base31 + __off36 : __len37]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_a33)
                         #pragma omp parallel for
-                        for (int __j13 = 0; __j13 < __len10; __j13++) {
-                            if (__gain_s1[__j13] < __assignv_s1[__j13] + wts[0] * 0.0) {
-                                __assignv_s1[__j13] = __gain_s1[__j13];
+                        for (int __j40 = 0; __j40 < __len37; __j40++) {
+                            if (__gain_s1[__j40] < __assignv_s1[__j40] + wts[0] * 0.0) {
+                                __assignv_s1[__j40] = __gain_s1[__j40];
                             }
                         }
                     } else {
-                        if (__blk4 + 1 < 4) {
-                            int __noff14 = (__blk4 + 1) * __bs2;
-                            int __nlen15 = __bs2;
-                            if (__noff14 + __bs2 > __n1) {
-                                __nlen15 = __n1 - __noff14;
+                        if (__blk32 + 1 < 4) {
+                            int __noff41 = (__blk32 + 1) * __bs30;
+                            int __nlen42 = __bs30;
+                            if (__noff41 + __bs30 > __n29) {
+                                __nlen42 = __n29 - __noff41;
                             }
-                            if (__nlen15 > 0) {
-                                #pragma offload_transfer target(mic:0) in(gain[__base3 + __noff14 : __nlen15] : into(__gain_s1[0 : __nlen15]) alloc_if(0) free_if(0), assignv[__base3 + __noff14 : __nlen15] : into(__assignv_s1[0 : __nlen15]) alloc_if(0) free_if(0)) signal(&__sig_a6)
+                            if (__nlen42 > 0) {
+                                #pragma offload_transfer target(mic:0) in(gain[__base31 + __noff41 : __nlen42] : into(__gain_s1[0 : __nlen42]) alloc_if(0) free_if(0), assignv[__base31 + __noff41 : __nlen42] : into(__assignv_s1[0 : __nlen42]) alloc_if(0) free_if(0)) signal(&__sig_a33)
                             }
                         }
-                        #pragma offload target(mic:0) out(__assignv_s2[0 : __len10] : into(assignv[__base3 + __off9 : __len10]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b7)
+                        #pragma offload target(mic:0) out(__assignv_s2[0 : __len37] : into(assignv[__base31 + __off36 : __len37]) alloc_if(0) free_if(0)) persist(1) wait(&__sig_b34)
                         #pragma omp parallel for
-                        for (int __j16 = 0; __j16 < __len10; __j16++) {
-                            if (__gain_s2[__j16] < __assignv_s2[__j16] + wts[0] * 0.0) {
-                                __assignv_s2[__j16] = __gain_s2[__j16];
+                        for (int __j43 = 0; __j43 < __len37; __j43++) {
+                            if (__gain_s2[__j43] < __assignv_s2[__j43] + wts[0] * 0.0) {
+                                __assignv_s2[__j43] = __gain_s2[__j43];
                             }
                         }
                     }

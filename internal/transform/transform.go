@@ -21,12 +21,25 @@ import (
 	"comp/internal/minic"
 )
 
-// nameSeq hands out fresh identifiers per transformed file.
-type nameSeq struct{ n int }
+// NameSeq hands out fresh `__`-prefixed identifiers. Transforms that run
+// in sequence over one file must share a single NameSeq (the pass manager
+// carries one per Context); otherwise two passes can mint the same name.
+// Entry points accept a nil NameSeq and fall back to a private sequence,
+// which is only safe when a single transform runs on the file.
+type NameSeq struct{ n int }
 
-func (s *nameSeq) fresh(base string) string {
+// Fresh returns the next unused identifier derived from base.
+func (s *NameSeq) Fresh(base string) string {
 	s.n++
 	return fmt.Sprintf("__%s%d", base, s.n)
+}
+
+// seqOrNew returns names, or a private sequence when names is nil.
+func seqOrNew(names *NameSeq) *NameSeq {
+	if names == nil {
+		return &NameSeq{}
+	}
+	return names
 }
 
 // FindOffloadLoops returns every for loop carrying an offload pragma, in

@@ -502,7 +502,7 @@ int main(void) {
 func TestReorderArraysEquivalenceAndSpeedup(t *testing.T) {
 	base := runFile(t, parse(t, gatherCandidate))
 	f := parse(t, gatherCandidate)
-	nreg, err := ReorderArrays(f, findOffload(t, f))
+	nreg, err := ReorderArrays(f, findOffload(t, f), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -514,7 +514,7 @@ func TestReorderArraysEquivalenceAndSpeedup(t *testing.T) {
 
 	// After reordering the kernel loop is streamable and vectorizable.
 	f2 := parse(t, gatherCandidate)
-	if _, err := ReorderArrays(f2, findOffload(t, f2)); err != nil {
+	if _, err := ReorderArrays(f2, findOffload(t, f2), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := Stream(f2, findOffload(t, f2), StreamOptions{Blocks: 8, ReduceMemory: true}); err != nil {
@@ -547,7 +547,7 @@ int main(void) {
 `
 	base := runFile(t, parse(t, src))
 	f := parse(t, src)
-	if _, err := ReorderArrays(f, findOffload(t, f)); err != nil {
+	if _, err := ReorderArrays(f, findOffload(t, f), nil); err != nil {
 		t.Fatal(err)
 	}
 	reg := runFile(t, f)
@@ -579,7 +579,7 @@ int main(void) {
 `
 	base := runFile(t, parse(t, src))
 	f := parse(t, src)
-	nreg, err := ReorderArrays(f, findOffload(t, f))
+	nreg, err := ReorderArrays(f, findOffload(t, f), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -627,7 +627,7 @@ int main(void) {
 func TestSplitLoopEquivalenceAndVectorization(t *testing.T) {
 	base := runFile(t, parse(t, sradCandidate))
 	f := parse(t, sradCandidate)
-	ok, err := SplitLoop(f, findOffload(t, f))
+	ok, err := SplitLoop(f, findOffload(t, f), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -654,7 +654,7 @@ func TestSplitLoopEquivalenceAndVectorization(t *testing.T) {
 
 func TestSplitLoopPrintedShape(t *testing.T) {
 	f := parse(t, sradCandidate)
-	if _, err := SplitLoop(f, findOffload(t, f)); err != nil {
+	if _, err := SplitLoop(f, findOffload(t, f), nil); err != nil {
 		t.Fatal(err)
 	}
 	out := minic.Print(f)
@@ -667,7 +667,7 @@ func TestSplitLoopPrintedShape(t *testing.T) {
 
 func TestSplitLoopDoesNotApplyToRegularLoop(t *testing.T) {
 	f := parse(t, streamCandidate)
-	ok, err := SplitLoop(f, findOffload(t, f))
+	ok, err := SplitLoop(f, findOffload(t, f), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

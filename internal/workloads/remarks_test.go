@@ -1,0 +1,177 @@
+package workloads
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"comp/internal/core"
+	"comp/internal/pass"
+)
+
+var updateRemarks = flag.Bool("update", false, "rewrite the remark golden files")
+
+// remarkTrail returns the remark trail for a benchmark under the default
+// pipeline. Shared-memory benchmarks have no MiniC source, so their trail
+// is empty — the golden records that explicitly.
+func remarkTrail(t *testing.T, b *Benchmark) pass.Remarks {
+	t.Helper()
+	if b.SharedMem {
+		return pass.Remarks{}
+	}
+	res, err := b.OptimizeReport(core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	return res.Report.Remarks
+}
+
+// TestRemarkGoldens pins the remark trail — text and JSON — for every
+// benchmark in the suite under the default pipeline. Regenerate with
+//
+//	go test ./internal/workloads -run RemarkGoldens -update
+func TestRemarkGoldens(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			rs := remarkTrail(t, b)
+
+			var text bytes.Buffer
+			fmt.Fprintf(&text, "# %s remarks, pipeline %s\n", b.Name, pass.DefaultSpec)
+			if b.SharedMem {
+				text.WriteString("# shared-memory benchmark: no MiniC source, pipeline not applicable\n")
+			}
+			text.WriteString(rs.Render())
+
+			var js bytes.Buffer
+			if err := rs.WriteJSON(&js); err != nil {
+				t.Fatal(err)
+			}
+
+			checkGolden(t, filepath.Join("testdata", "remarks", b.Name+".txt"), text.Bytes())
+			checkGolden(t, filepath.Join("testdata", "remarks", b.Name+".json"), js.Bytes())
+		})
+	}
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateRemarks {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (regenerate with -update)\n--- got\n%s--- want\n%s", path, got, want)
+	}
+}
+
+// TestOptionsSpecEquivalence: the Options path (core.Optimize) and the
+// equivalent pipeline spec (core.OptimizeSpec with Options.Spec and
+// Options.PassConfig) must produce byte-identical printed source and
+// identical remark trails for every workload — they are the same manager
+// built two ways.
+func TestOptionsSpecEquivalence(t *testing.T) {
+	combos := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"streaming", core.Options{Streaming: true, ReduceMemory: true, Persistent: true, Blocks: 4}},
+		{"merge", core.Options{Merge: true}},
+		{"regularize", core.Options{Regularize: true}},
+		{"default", core.DefaultOptions()},
+	}
+	for _, b := range All() {
+		if b.SharedMem {
+			continue
+		}
+		for _, c := range combos {
+			t.Run(b.Name+"/"+c.name, func(t *testing.T) {
+				spec := c.opt.Spec()
+				if spec == "" {
+					t.Fatalf("combo %s resolves to an empty spec", c.name)
+				}
+				viaOpt, err := core.Optimize(b.Source, c.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				viaSpec, err := core.OptimizeSpec(b.Source, spec, c.opt.PassConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if viaOpt.Source() != viaSpec.Source() {
+					t.Errorf("Options path and spec %q printed different source", spec)
+				}
+				if viaOpt.Report.Remarks.Render() != viaSpec.Report.Remarks.Render() {
+					t.Errorf("Options path and spec %q produced different remark trails:\n--- options\n%s--- spec\n%s",
+						spec, viaOpt.Report.Remarks.Render(), viaSpec.Report.Remarks.Render())
+				}
+			})
+		}
+	}
+}
+
+// TestSradRemarkTrail is the acceptance check from the pass-manager issue:
+// srad's trail under the default pipeline must show the split actually
+// applied, and at least one other decision skipped with a stated reason (the
+// serial split wrapper that streaming declines).
+func TestSradRemarkTrail(t *testing.T) {
+	b, err := Get("srad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.OptimizeReport(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.Report.Remarks
+	if !rs.Has("split") {
+		t.Fatalf("srad trail missing applied split:\n%s", rs.Render())
+	}
+	found := false
+	for _, r := range rs.Skipped() {
+		if r.Reason != "" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("srad trail has no skipped-with-reason remark:\n%s", rs.Render())
+	}
+}
+
+// TestPrepareWithPassesSpec: RunOptions.Passes routes Prepare through the
+// explicit-pipeline compiler path and still yields a runnable program.
+func TestPrepareWithPassesSpec(t *testing.T) {
+	b, err := Get("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Blocks = 4
+	byOpt, err := b.Run(RunOptions{Variant: MICOptimized, Opt: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySpec, err := b.Run(RunOptions{Variant: MICOptimized, Opt: opt, Passes: opt.Spec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CompareOutputs(byOpt, bySpec); err != nil {
+		t.Fatalf("spec-compiled run diverged from options-compiled run: %v", err)
+	}
+	if _, err := b.Run(RunOptions{Variant: MICOptimized, Opt: opt, Passes: "no-such-pass"}); err == nil {
+		t.Fatal("bad pipeline spec accepted")
+	}
+}

@@ -182,6 +182,10 @@ type RunOptions struct {
 	Variant Variant
 	// Opt configures the compiler for MICOptimized.
 	Opt core.Options
+	// Passes, when non-empty, overrides Opt's pass selection with an explicit
+	// pipeline spec (e.g. "merge,streaming"); Opt still supplies the block
+	// count and streaming knobs. See pass.ParseSpec for the grammar.
+	Passes string
 	// Config overrides the platform (zero value = DefaultConfig).
 	Config *runtime.Config
 }
@@ -212,7 +216,13 @@ func (b *Benchmark) Prepare(ro RunOptions) (*interp.Program, runtime.Config, err
 		}
 		src = s
 	case MICOptimized:
-		res, err := core.Optimize(b.Source, ro.Opt)
+		var res *core.Result
+		var err error
+		if ro.Passes != "" {
+			res, err = core.OptimizeSpec(b.Source, ro.Passes, ro.Opt.PassConfig())
+		} else {
+			res, err = core.Optimize(b.Source, ro.Opt)
+		}
 		if err != nil {
 			return nil, runtime.Config{}, fmt.Errorf("%s: optimize: %w", b.Name, err)
 		}

@@ -125,8 +125,8 @@ func TestOptimizerAppliesExpectedTransforms(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		for _, o := range opts {
-			if !res.Report.Has(o) {
-				t.Errorf("%s: transform %q not applied; report %+v notes %v", name, o, res.Report.Applied, res.Report.Notes)
+			if !res.Report.Remarks.Has(o) {
+				t.Errorf("%s: transform %q not applied; remarks:\n%s", name, o, res.Report.Remarks.Render())
 			}
 		}
 	}
@@ -142,8 +142,18 @@ func TestOptimizerDeclinesWhereNothingApplies(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if len(res.Report.Applied) != 0 {
-			t.Errorf("%s: expected no transforms, got %+v", name, res.Report.Applied)
+		if applied := res.Report.Remarks.Applied(); len(applied) != 0 {
+			t.Errorf("%s: expected no transforms, got %+v", name, applied)
+		}
+		// Every decline must carry a reason; "nothing applied" is itself
+		// an explained outcome under the pass manager.
+		if len(res.Report.Remarks.Skipped()) == 0 {
+			t.Errorf("%s: no skipped-with-reason remarks recorded", name)
+		}
+		for _, r := range res.Report.Remarks.Skipped() {
+			if r.Reason == "" {
+				t.Errorf("%s: skipped remark without reason: %+v", name, r)
+			}
 		}
 	}
 }
