@@ -8,6 +8,7 @@
 //	compbench -ablations      # block-size sweep and design ablations
 //	compbench -streams 4      # multi-stream scheduler + autotuner report
 //	compbench -serve          # serving-layer load report (steady + overload)
+//	compbench -scenarios      # built-in scenario table: admitted/rejected/deadline-miss/fault-recovery
 //	compbench -sweep          # pick block counts by exhaustive sweep (oracle)
 //	compbench -passes merge,streaming  # per-pass applied/skipped table for a pipeline spec
 package main
@@ -33,12 +34,24 @@ func main() {
 	servePer := flag.Int("serve-requests", 2, "requests per client for -serve")
 	serveOut := flag.String("serve-out", "-", "write the -serve report as JSON to this file (\"-\" = stdout only)")
 	passes := flag.String("passes", "", "compile every benchmark under this pipeline `spec` (e.g. \"merge,regularize,streaming\") and print the per-pass applied/skipped table with full remark trails")
+	scenarios := flag.Bool("scenarios", false, "replay every built-in serving scenario (internal/scenario) and print the per-scenario admission/fault-recovery table")
+	scenarioSeed := flag.Int64("scenario-seed", 1, "trace seed for -scenarios")
 	flag.Parse()
 
 	r := bench.NewRunner()
 	r.UseSweep = *sweep
 	if *traceDir != "" {
 		r.SetTraceDir(*traceDir)
+	}
+
+	if *scenarios {
+		fig, err := r.Scenarios(*scenarioSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Format())
+		return
 	}
 
 	if *passes != "" {

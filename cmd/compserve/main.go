@@ -30,6 +30,7 @@ import (
 
 	"comp/internal/serve"
 	"comp/internal/sim/metrics"
+	"comp/internal/workloads"
 )
 
 func main() {
@@ -44,9 +45,21 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the metrics report as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
-	mix := strings.Split(*workloadsFlag, ",")
-	for i := range mix {
-		mix[i] = strings.TrimSpace(mix[i])
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "compserve: unexpected argument %q\n", flag.Arg(0))
+		usage()
+		os.Exit(2)
+	}
+	mix, err := parseMix(*workloadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compserve:", err)
+		usage()
+		os.Exit(2)
+	}
+	if err := validateShape(*clients, *requests, *streams, *queue, *batch, *deadline); err != nil {
+		fmt.Fprintln(os.Stderr, "compserve:", err)
+		usage()
+		os.Exit(2)
 	}
 	depth := *queue
 	if depth == 0 {
@@ -171,6 +184,60 @@ func writeJSON(path string, rep *metrics.ServerReport) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// usage prints the flag summary with runnable examples, mirroring the
+// package comment.
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: compserve [flags]
+examples:
+  compserve                          # 64 clients x 2 requests over nn+dedup+srad
+  compserve -clients 16 -requests 4  # different fleet shape
+  compserve -queue 8 -verify         # undersized queue, bit-identical replay check
+flags:`)
+	flag.PrintDefaults()
+}
+
+// parseMix splits and validates the workload list: names must be known,
+// serveable registry benchmarks.
+func parseMix(spec string) ([]string, error) {
+	mix := strings.Split(spec, ",")
+	for i := range mix {
+		mix[i] = strings.TrimSpace(mix[i])
+		if mix[i] == "" {
+			return nil, fmt.Errorf("empty workload name in -workloads %q", spec)
+		}
+		b, err := workloads.Get(mix[i])
+		if err != nil {
+			return nil, err
+		}
+		if b.SharedMem {
+			return nil, fmt.Errorf("%s is a shared-memory benchmark and cannot be served", mix[i])
+		}
+	}
+	return mix, nil
+}
+
+// validateShape rejects meaningless fleet shapes before any server spins
+// up.
+func validateShape(clients, requests, streams, queue, batch int, deadline time.Duration) error {
+	switch {
+	case clients < 1:
+		return fmt.Errorf("-clients %d must be positive", clients)
+	case requests < 1:
+		return fmt.Errorf("-requests %d must be positive", requests)
+	case streams < 1:
+		return fmt.Errorf("-streams %d must be positive", streams)
+	case queue < 0:
+		return fmt.Errorf("-queue %d must not be negative", queue)
+	case batch < 0:
+		return fmt.Errorf("-batch %d must not be negative", batch)
+	case queue > 0 && batch > queue:
+		return fmt.Errorf("-batch %d exceeds -queue %d", batch, queue)
+	case deadline < 0:
+		return fmt.Errorf("-deadline %v must not be negative", deadline)
+	}
 	return nil
 }
 

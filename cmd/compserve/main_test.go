@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestRunFleetServesAndAccounts drives the fleet helper directly with a
@@ -98,5 +99,47 @@ func TestSameOutputsMismatchedNames(t *testing.T) {
 	}
 	if sameOutputs(a, map[string][]float64{"x": {1, 3}}) {
 		t.Error("sameOutputs missed a differing element")
+	}
+}
+
+// TestParseMixValidatesNames pins the pre-flight workload validation: bad
+// names and shared-memory benchmarks are rejected before a server starts.
+func TestParseMixValidatesNames(t *testing.T) {
+	mix, err := parseMix("nn, dedup,srad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 || mix[1] != "dedup" {
+		t.Fatalf("parseMix trimmed badly: %v", mix)
+	}
+	for _, spec := range []string{"", "nn,", "nope", "ferret", "nn,,srad"} {
+		if _, err := parseMix(spec); err == nil {
+			t.Errorf("parseMix(%q) accepted", spec)
+		}
+	}
+}
+
+// TestValidateShape pins the bad-arg-combo rejections behind the usage
+// exit.
+func TestValidateShape(t *testing.T) {
+	if err := validateShape(64, 2, 4, 0, 0, 0); err != nil {
+		t.Fatalf("default shape rejected: %v", err)
+	}
+	bad := []struct {
+		name                                     string
+		clients, requests, streams, queue, batch int
+		deadline                                 time.Duration
+	}{
+		{"zero clients", 0, 2, 4, 0, 0, 0},
+		{"zero requests", 4, 0, 4, 0, 0, 0},
+		{"zero streams", 4, 2, 0, 0, 0, 0},
+		{"negative queue", 4, 2, 4, -1, 0, 0},
+		{"batch above queue", 4, 2, 4, 2, 8, 0},
+		{"negative deadline", 4, 2, 4, 0, 0, -time.Second},
+	}
+	for _, c := range bad {
+		if err := validateShape(c.clients, c.requests, c.streams, c.queue, c.batch, c.deadline); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
 	}
 }

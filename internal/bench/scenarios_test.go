@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScenarioTable runs the compbench -scenarios table once: every
+// built-in row must be present with balanced accounting, and the stress
+// scenarios must show their signature columns (overload sheds, the
+// deadline scenario misses deadlines, the fault scenarios recover).
+func TestScenarioTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario table replays every built-in twice; skipped in -short")
+	}
+	r := NewRunner()
+	fig, err := r.Scenarios(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 8 {
+		t.Fatalf("scenario table has %d rows, want 8", len(fig.Rows))
+	}
+	for _, row := range fig.Rows {
+		req := row.Cells["requests"].Value
+		sum := row.Cells["completed"].Value + row.Cells["rejected"].Value +
+			row.Cells["ddl-miss"].Value + row.Cells["invalid"].Value
+		if req == 0 {
+			t.Errorf("%s: empty trace", row.Name)
+		}
+		if sum > req {
+			t.Errorf("%s: outcome columns sum to %v for %v requests", row.Name, sum, req)
+		}
+	}
+	for row, col := range map[string]string{
+		"overload":       "rejected",
+		"deadline-heavy": "ddl-miss",
+		"fault-storm":    "faults",
+		"hot-unplug":     "fallbacks",
+	} {
+		c, ok := fig.Cell(row, col)
+		if !ok || c.Value == 0 {
+			t.Errorf("%s: expected nonzero %s, got %+v", row, col, c)
+		}
+	}
+	out := fig.Format()
+	if !strings.Contains(out, "mixed-chaos") || !strings.Contains(out, "fallbacks") {
+		t.Fatalf("formatted table incomplete:\n%s", out)
+	}
+}

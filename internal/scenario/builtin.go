@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builtins constructs the built-in scenario table. Each call builds fresh
+// values so callers can mutate their copy; sizes are chosen to finish in
+// well under a second each so the whole table runs in CI with -race.
+func builtins() map[string]*Scenario {
+	table := []*Scenario{
+		New("steady", 8).
+			Describe("steady open-loop load under ample capacity; everything completes").
+			Arrive(Steady, 4).
+			Workload("nn", 2).Synth(3, 3, false).Workload("dedup", 1).
+			Server(4, 32, 8).
+			Expecting(Expect{MinCompleted: 32}).
+			MustBuild(),
+
+		New("overload", 6).
+			Describe("arrival rate far past service capacity; the queue sheds, admitted work still completes").
+			Arrive(Steady, 8).
+			Synth(2, 1, false).Synth(5, 1, false).
+			Server(2, 6, 3).
+			Expecting(Expect{MinCompleted: 18, MinShed: 15}).
+			MustBuild(),
+
+		New("burst", 9).
+			Describe("quiet baseline with a 13x burst every third window; bursts overflow the queue").
+			Arrive(Burst, 1).BurstEvery(12, 3).
+			Workload("nn", 1).Synth(4, 2, false).
+			Server(4, 10, 8).
+			Expecting(Expect{MinCompleted: 30, MinShed: 6}).
+			MustBuild(),
+
+		New("diurnal", 12).
+			Describe("Poisson load ramping through one diurnal peak and back down").
+			Arrive(Diurnal, 2).Peak(4).
+			Synth(3, 1, false).Synth(6, 1, false).Workload("nn", 1).
+			Server(4, 24, 8).
+			Expecting(Expect{MinCompleted: 10}).
+			MustBuild(),
+
+		New("deadline-heavy", 8).
+			Describe("tight deadlines against a deliberately small batch size; backlog growth expires the tail").
+			Arrive(Steady, 6).
+			Synth(3, 2, false).Workload("nn", 1).
+			Deadlines("uniform", 1, 2, 0.8).
+			Server(4, 24, 4).
+			Expecting(Expect{MinCompleted: 10, MinExpired: 5}).
+			MustBuild(),
+
+		New("fault-storm", 8).
+			Describe("low background fault rate with a mid-run storm; every request completes via retries").
+			Arrive(Steady, 3).
+			Synth(3, 2, false).Workload("nn", 1).
+			Faults(7, map[string]float64{"dma": 0.02}).
+			FaultStorm(2, 6, map[string]float64{"dma": 0.4, "hang": 0.25, "launch": 0.2}).
+			Server(4, 24, 8).
+			Expecting(Expect{MinCompleted: 24, MinFaults: 3, MinRetries: 1}).
+			MustBuild(),
+
+		New("hot-unplug", 8).
+			Describe("device disappears for four windows; requests survive on the host-fallback ladder until replug").
+			Arrive(Steady, 3).
+			Synth(2, 1, false).Synth(7, 1, false).
+			Unplug(2, 6).
+			Server(2, 24, 8).
+			Expecting(Expect{MinCompleted: 24, MinFaults: 2, MinFallbacks: 2}).
+			MustBuild(),
+
+		New("mixed-chaos", 10).
+			Describe("Poisson load with deadlines, malformed and non-compiling submissions, a fault storm, and a queue squeeze").
+			Arrive(Poisson, 4).
+			Workload("nn", 1).Synth(3, 2, false).Invalid(0.5).Broken(0.5).
+			Deadlines("uniform", 2, 4, 0.5).
+			Faults(11, map[string]float64{"dma": 0.05}).
+			FaultStorm(3, 6, map[string]float64{"dma": 0.3, "hang": 0.2}).
+			Squeeze(5, 8, 2).
+			Server(4, 12, 6).
+			Expecting(Expect{MinCompleted: 10, MinFaults: 1}).
+			MustBuild(),
+	}
+	m := make(map[string]*Scenario, len(table))
+	for _, sc := range table {
+		m[sc.Name] = sc
+	}
+	return m
+}
+
+// Builtins returns the built-in scenarios in name order. Each call returns
+// fresh values.
+func Builtins() []*Scenario {
+	m := builtins()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Scenario, 0, len(names))
+	for _, name := range names {
+		out = append(out, m[name])
+	}
+	return out
+}
+
+// Lookup returns the named built-in scenario.
+func Lookup(name string) (*Scenario, error) {
+	if sc, ok := builtins()[name]; ok {
+		return sc, nil
+	}
+	names := make([]string, 0)
+	for n := range builtins() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("scenario: unknown scenario %q (built-ins: %v)", name, names)
+}

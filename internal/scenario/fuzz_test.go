@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// clampForFuzz bounds a parsed scenario so one fuzz execution stays cheap:
+// small window counts and rates, synthetic-only workload classes (registry
+// workloads are orders of magnitude more expensive per request and are
+// covered by the built-in suite), and a modest queue. The interesting
+// structure — arrival processes, deadline distributions, event schedules,
+// invalid/broken mix entries — is preserved.
+func clampForFuzz(sc *Scenario) {
+	if sc.Windows > 6 {
+		sc.Windows = 6
+	}
+	if sc.Arrival.Rate > 6 {
+		sc.Arrival.Rate = 6
+	}
+	if sc.Arrival.Burst > 8 {
+		sc.Arrival.Burst = 8
+	}
+	if sc.Arrival.Clients > 8 {
+		sc.Arrival.Clients = 8
+	}
+	if sc.Arrival.Peak > 4 {
+		sc.Arrival.Peak = 4
+	}
+	if len(sc.Mix) > 4 {
+		sc.Mix = sc.Mix[:4]
+	}
+	for i := range sc.Mix {
+		m := &sc.Mix[i]
+		if m.Workload != "" || m.ExpectError {
+			*m = MixEntry{Synth: 2, Weight: m.Weight}
+		}
+		if m.Synth > 16 {
+			m.Synth = 1 + m.Synth%16
+		}
+		m.Optimize = false
+	}
+	if sc.Server.QueueDepth > 64 {
+		sc.Server.QueueDepth = 64
+	}
+	if sc.Server.MaxBatch > sc.Server.QueueDepth && sc.Server.QueueDepth > 0 {
+		sc.Server.MaxBatch = sc.Server.QueueDepth
+	}
+	if sc.Server.Streams > 4 {
+		sc.Server.Streams = 4
+	}
+	if len(sc.Events) > 6 {
+		sc.Events = sc.Events[:6]
+	}
+	for i := range sc.Events {
+		if sc.Events[i].At >= sc.Windows {
+			sc.Events[i].At = sc.Events[i].At % sc.Windows
+		}
+		if u := sc.Events[i].Until; u != 0 && u <= sc.Events[i].At {
+			sc.Events[i].Until = sc.Events[i].At + 1
+		}
+	}
+}
+
+// FuzzScenario throws arbitrary JSON at the scenario engine. Inputs that
+// fail to parse or validate must do so with an error, never a panic;
+// inputs that validate are clamped to a cheap size and must replay with
+// every serving invariant intact and bit-identical double-replay evidence.
+func FuzzScenario(f *testing.F) {
+	for _, sc := range Builtins() {
+		data, err := sc.JSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data, int64(1))
+	}
+	f.Add([]byte(`{"name":"tiny","windows":2,"arrival":{"process":"steady","rate":2},"mix":[{"synth":2}]}`), int64(7))
+	f.Add([]byte(`{"name":"bad","windows":-3}`), int64(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		sc, err := ParseJSON(data)
+		if err != nil {
+			return // malformed or invalid: a typed error is the contract
+		}
+		clampForFuzz(sc)
+		if err := sc.Validate(); err != nil {
+			return // clamping cannot repair every input
+		}
+		sc.Expect = Expect{} // expectations are author intent, not invariants
+		if _, err := Verify(sc, seed); err != nil {
+			t.Fatalf("scenario broke the serving invariants:\n%s\nseed %d: %v", data, seed, err)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Request is one concrete arrival in an expanded trace.
+type Request struct {
+	// ID is the global submission index; the replayer submits requests in
+	// ID order, so it doubles as the server label order.
+	ID int `json:"id"`
+	// Window is the dispatch window the request arrives in.
+	Window int `json:"window"`
+	// Arrival is the virtual arrival offset from the start of the run.
+	Arrival time.Duration `json:"arrival_ns"`
+	// Mix indexes the scenario mix entry that shaped the request.
+	Mix int `json:"mix"`
+	// Deadline is the per-request deadline (0 = none).
+	Deadline time.Duration `json:"deadline_ns,omitempty"`
+}
+
+// Trace is the deterministic expansion of (scenario, seed): the full
+// arrival schedule the replayer executes. Same scenario + same seed →
+// byte-identical trace.
+type Trace struct {
+	Scenario *Scenario     `json:"scenario"`
+	Seed     int64         `json:"seed"`
+	Window   time.Duration `json:"window_ns"`
+	Requests []Request     `json:"requests"`
+}
+
+// PRNG streams. Each sampled quantity draws from its own stream so adding
+// samples to one never perturbs another — the same property the fault
+// injector relies on.
+const (
+	streamArrivals = iota + 1
+	streamMix
+	streamDeadlineGate
+	streamDeadlineValue
+)
+
+// unit maps (seed, stream, n) to a uniform value in [0, 1) with the same
+// splitmix64-style finalizer the fault injector uses. No mutable state:
+// the Nth draw of a stream is a pure function of its inputs.
+func unit(seed int64, stream, n int64) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(stream)*0xD1B54A32D192ED03 + uint64(n)*0x8CB92BA72F3D8DD7
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(uint64(1)<<53)
+}
+
+// poissonDraw inverts the Poisson CDF at a uniform sample. Rates here are
+// small (≤ MaxRatePerWindow), so the linear walk is fine; the count is
+// capped at 4·lambda+16 to bound pathological tails.
+func poissonDraw(u, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	cap := int(4*lambda) + 16
+	p := math.Exp(-lambda)
+	cdf := p
+	for k := 0; k < cap; k++ {
+		if u < cdf {
+			return k
+		}
+		p *= lambda / float64(k+1)
+		cdf += p
+	}
+	return cap
+}
+
+// Generate expands the scenario into a concrete trace. It fails only when
+// the expansion exceeds MaxRequests (Validate bounds make this rare but a
+// fuzzer can still aim for it).
+func (s *Scenario) Generate(seed int64) (*Trace, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	counts := s.arrivalCounts(seed)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total > MaxRequests {
+		return nil, fmt.Errorf("scenario %s: trace of %d requests exceeds the %d cap", s.Name, total, MaxRequests)
+	}
+
+	win := s.windowDur()
+	tr := &Trace{Scenario: s, Seed: seed, Window: win, Requests: make([]Request, 0, total)}
+	weights := make([]float64, len(s.Mix))
+	var weightSum float64
+	for i, m := range s.Mix {
+		w := m.Weight
+		if w == 0 {
+			w = 1
+		}
+		weights[i] = w
+		weightSum += w
+	}
+
+	id := 0
+	for w, count := range counts {
+		for i := 0; i < count; i++ {
+			// Spread arrivals across the window at deterministic fractions.
+			frac := float64(i+1) / float64(count+1)
+			req := Request{
+				ID:      id,
+				Window:  w,
+				Arrival: time.Duration(w)*win + time.Duration(frac*float64(win)),
+				Mix:     pickMix(weights, weightSum, unit(seed, streamMix, int64(id))),
+			}
+			req.Deadline = s.sampleDeadline(seed, int64(id), win)
+			tr.Requests = append(tr.Requests, req)
+			id++
+		}
+	}
+	return tr, nil
+}
+
+// arrivalCounts returns the number of arrivals per window.
+func (s *Scenario) arrivalCounts(seed int64) []int {
+	a := s.Arrival
+	counts := make([]int, s.Windows)
+	switch a.Process {
+	case Steady:
+		for w := range counts {
+			counts[w] = steadyCount(a.Rate, w)
+		}
+	case Poisson:
+		for w := range counts {
+			counts[w] = poissonDraw(unit(seed, streamArrivals, int64(w)), a.Rate)
+		}
+	case Burst:
+		for w := range counts {
+			counts[w] = steadyCount(a.Rate, w)
+			if a.Period > 0 && (w+1)%a.Period == 0 {
+				counts[w] += a.Burst
+			}
+		}
+	case Diurnal:
+		peak := a.Peak
+		if peak == 0 {
+			peak = 3
+		}
+		for w := range counts {
+			shape := math.Sin(math.Pi * float64(w) / float64(s.Windows))
+			lambda := a.Rate * (1 + (peak-1)*shape*shape)
+			counts[w] = poissonDraw(unit(seed, streamArrivals, int64(w)), lambda)
+		}
+	case Closed:
+		// Closed loop under the replay service model: one batch of up to
+		// MaxBatch requests is served per window, and each client submits
+		// its next request in the window after its previous one was
+		// answered. backlog_w requests are pending at window start;
+		// arrivals are the clients not currently waiting.
+		sp := s.server()
+		backlog := 0
+		for w := range counts {
+			arrivals := a.Clients - backlog
+			if arrivals < 0 {
+				arrivals = 0
+			}
+			counts[w] = arrivals
+			backlog += arrivals
+			served := sp.MaxBatch
+			if served > backlog {
+				served = backlog
+			}
+			backlog -= served
+		}
+	}
+	return counts
+}
+
+// steadyCount spreads a fractional per-window rate over the run:
+// floor(rate·(w+1)) − floor(rate·w), so the cumulative count tracks
+// rate·windows exactly.
+func steadyCount(rate float64, w int) int {
+	return int(rate*float64(w+1)) - int(rate*float64(w))
+}
+
+// pickMix maps a uniform sample onto a weighted mix index.
+func pickMix(weights []float64, sum, u float64) int {
+	target := u * sum
+	for i, w := range weights {
+		target -= w
+		if target < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// sampleDeadline draws one request's deadline from the scenario
+// distribution (0 when the request carries none).
+func (s *Scenario) sampleDeadline(seed, id int64, win time.Duration) time.Duration {
+	d := s.Deadline
+	switch d.Dist {
+	case "", "none":
+		return 0
+	}
+	frac := d.Fraction
+	if frac == 0 {
+		frac = 1
+	}
+	if unit(seed, streamDeadlineGate, id) >= frac {
+		return 0
+	}
+	windows := d.MinWindows
+	if d.Dist == "uniform" {
+		windows += unit(seed, streamDeadlineValue, id) * (d.MaxWindows - d.MinWindows)
+	}
+	return time.Duration(windows * float64(win))
+}

@@ -1,0 +1,242 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuiltinsValidateAndRoundTrip(t *testing.T) {
+	scs := Builtins()
+	if len(scs) != 8 {
+		t.Fatalf("built-ins: got %d scenarios, want 8", len(scs))
+	}
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		data, err := sc.JSON()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", sc.Name, err)
+		}
+		back, err := ParseJSON(data)
+		if err != nil {
+			t.Fatalf("%s: round-trip parse: %v\n%s", sc.Name, err, data)
+		}
+		tr1, err := sc.Generate(42)
+		if err != nil {
+			t.Fatalf("%s: generate: %v", sc.Name, err)
+		}
+		tr2, err := back.Generate(42)
+		if err != nil {
+			t.Fatalf("%s: round-trip generate: %v", sc.Name, err)
+		}
+		if len(tr1.Requests) != len(tr2.Requests) {
+			t.Fatalf("%s: round-trip changed the trace: %d vs %d requests",
+				sc.Name, len(tr1.Requests), len(tr2.Requests))
+		}
+		for i := range tr1.Requests {
+			if tr1.Requests[i] != tr2.Requests[i] {
+				t.Fatalf("%s: round-trip changed request %d: %+v vs %+v",
+					sc.Name, i, tr1.Requests[i], tr2.Requests[i])
+			}
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	sc, err := Lookup("fault-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "fault-storm" {
+		t.Fatalf("Lookup returned %q", sc.Name)
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Fatal("Lookup(no-such-scenario) succeeded")
+	} else if !strings.Contains(err.Error(), "built-ins") {
+		t.Fatalf("Lookup error does not list built-ins: %v", err)
+	}
+}
+
+func TestParseJSONRejects(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty object", `{}`, "missing name"},
+		{"unknown field", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"synth":2}],"bogus":1}`, "bogus"},
+		{"trailing data", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"synth":2}]} 7`, "trailing"},
+		{"bad process", `{"name":"x","windows":2,"arrival":{"process":"fractal","rate":1},"mix":[{"synth":2}]}`, "arrival process"},
+		{"no mix", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1}}`, "empty mix"},
+		{"ambiguous mix", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"synth":2,"invalid":true}]}`, "exactly one"},
+		{"unknown workload", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"workload":"nope"}]}`, "unknown benchmark"},
+		{"shared-mem workload", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"workload":"ferret"}]}`, "shared-memory"},
+		{"bad deadline dist", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"synth":2}],"deadline":{"dist":"zipf"}}`, "deadline dist"},
+		{"bad event kind", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"synth":2}],"events":[{"kind":"meteor","at":0}]}`, "unknown kind"},
+		{"event out of range", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"synth":2}],"events":[{"kind":"unplug","at":5}]}`, "outside"},
+		{"storm without rates", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"synth":2}],"events":[{"kind":"fault-storm","at":0}]}`, "without rates"},
+		{"bad fault kind", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"synth":2}],"faults":{"rates":{"cosmic":0.5}}}`, "fault kind"},
+		{"fault rate range", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"synth":2}],"faults":{"rates":{"dma":1.5}}}`, "outside"},
+		{"max_batch above queue", `{"name":"x","windows":2,"arrival":{"process":"steady","rate":1},"mix":[{"synth":2}],"server":{"queue_depth":4,"max_batch":8}}`, "max_batch"},
+		{"worst case too big", `{"name":"x","windows":512,"arrival":{"process":"steady","rate":256},"mix":[{"synth":2}]}`, "cap"},
+	}
+	for _, c := range cases {
+		_, err := ParseJSON([]byte(c.in))
+		if err == nil {
+			t.Errorf("%s: parsed without error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndSeedSensitive(t *testing.T) {
+	sc, err := Lookup("mixed-chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sc.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("same seed, different trace sizes: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("same seed, request %d differs: %+v vs %+v", i, a.Requests[i], b.Requests[i])
+		}
+	}
+	c, err := sc.Generate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Requests) == len(c.Requests)
+	if same {
+		for i := range a.Requests {
+			if a.Requests[i] != c.Requests[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 5 and 6 expanded to identical traces")
+	}
+}
+
+func TestArrivalProcesses(t *testing.T) {
+	t.Run("steady fractional rate", func(t *testing.T) {
+		sc := New("s", 10).Arrive(Steady, 1.5).Synth(2, 1, false).MustBuild()
+		tr, err := sc.Generate(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Requests) != 15 {
+			t.Fatalf("steady 1.5 x 10 windows expanded to %d requests, want 15", len(tr.Requests))
+		}
+	})
+	t.Run("burst adds on period", func(t *testing.T) {
+		sc := New("b", 6).Arrive(Burst, 1).BurstEvery(5, 3).Synth(2, 1, false).MustBuild()
+		tr, err := sc.Generate(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perWindow := make(map[int]int)
+		for _, r := range tr.Requests {
+			perWindow[r.Window]++
+		}
+		if perWindow[2] != 6 || perWindow[5] != 6 {
+			t.Fatalf("burst windows got %d and %d arrivals, want 6 each", perWindow[2], perWindow[5])
+		}
+		if perWindow[0] != 1 {
+			t.Fatalf("baseline window got %d arrivals, want 1", perWindow[0])
+		}
+	})
+	t.Run("closed loop bounded by clients", func(t *testing.T) {
+		sc := New("c", 8).ClosedLoop(5).Synth(2, 1, false).Server(2, 16, 2).MustBuild()
+		tr, err := sc.Generate(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perWindow := make(map[int]int)
+		for _, r := range tr.Requests {
+			perWindow[r.Window]++
+		}
+		if perWindow[0] != 5 {
+			t.Fatalf("closed loop window 0 got %d arrivals, want all 5 clients", perWindow[0])
+		}
+		for w, n := range perWindow {
+			if n > 5 {
+				t.Fatalf("window %d has %d arrivals, more than the 5 clients", w, n)
+			}
+		}
+	})
+	t.Run("arrivals ordered and windowed", func(t *testing.T) {
+		sc, err := Lookup("diurnal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sc.Generate(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last time.Duration = -1
+		for _, r := range tr.Requests {
+			if r.Arrival <= last {
+				t.Fatalf("request %d arrival %v not after previous %v", r.ID, r.Arrival, last)
+			}
+			last = r.Arrival
+			lo := time.Duration(r.Window) * tr.Window
+			if r.Arrival < lo || r.Arrival >= lo+tr.Window {
+				t.Fatalf("request %d arrival %v outside its window %d", r.ID, r.Arrival, r.Window)
+			}
+		}
+	})
+}
+
+func TestDeadlineSampling(t *testing.T) {
+	sc := New("d", 4).Arrive(Steady, 8).Synth(2, 1, false).
+		Deadlines("uniform", 1, 3, 0.5).Server(2, 64, 8).MustBuild()
+	tr, err := sc.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, without := 0, 0
+	for _, r := range tr.Requests {
+		if r.Deadline == 0 {
+			without++
+			continue
+		}
+		with++
+		if r.Deadline < tr.Window || r.Deadline > 3*tr.Window {
+			t.Fatalf("deadline %v outside [1, 3] windows", r.Deadline)
+		}
+	}
+	if with == 0 || without == 0 {
+		t.Fatalf("fraction 0.5 drew %d with / %d without deadlines", with, without)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := New("", 4).Arrive(Steady, 1).Synth(2, 1, false).Build(); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New("x", 0).Arrive(Steady, 1).Synth(2, 1, false).Build(); err == nil {
+		t.Error("zero windows accepted")
+	}
+	if _, err := New("x", 4).Arrive(Steady, 1).Synth(2, 1, false).
+		Squeeze(1, 3, -1).Build(); err == nil {
+		t.Error("negative squeeze capacity accepted")
+	}
+	if _, err := New("x", 4).Arrive(Steady, 1).Synth(2, 1, false).
+		FaultStorm(3, 2, map[string]float64{"dma": 0.5}).Build(); err == nil {
+		t.Error("until before at accepted")
+	}
+}

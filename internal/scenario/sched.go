@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"comp/internal/interp"
+	"comp/internal/runtime"
+	"comp/internal/workloads"
+)
+
+// SchedReplay is the raw-scheduler replay of a trace: no serving layer, no
+// queue, no deadlines — every serveable arrival executes, one Scheduler
+// run per window. It is the control arm for the serve-level replay: the
+// same trace, the same fault windows, the same outputs, with the
+// admission-control machinery removed.
+type SchedReplay struct {
+	Trace *Trace
+	// Outputs holds each executed request's output arrays by request ID.
+	// Invalid, broken and expect-error entries have no scheduler
+	// equivalent and are skipped (recorded in Skipped).
+	Outputs map[int]map[string][]float64
+	Skipped int
+	// Windows is each non-empty window's scheduler stats, in window order.
+	Windows []runtime.SchedStats
+	// StatsJSON is the canonical marshalling of Windows that
+	// VerifyScheduler compares across replays.
+	StatsJSON []byte
+}
+
+// ReplayScheduler expands and replays the scenario on the raw scheduler.
+func ReplayScheduler(sc *Scenario, seed int64) (*SchedReplay, error) {
+	tr, err := sc.Generate(seed)
+	if err != nil {
+		return nil, err
+	}
+	return ReplayTraceScheduler(tr)
+}
+
+// ReplayTraceScheduler drives the trace through runtime.Scheduler directly:
+// for every window, the window's serveable arrivals become one batch on a
+// fresh scheduler configured with the window's effective fault schedule
+// (storms and unplug windows apply exactly as in the serve replay).
+func ReplayTraceScheduler(tr *Trace) (*SchedReplay, error) {
+	sc := tr.Scenario
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sp := sc.server()
+
+	rtCfg := runtime.DefaultConfig()
+	rtCfg.DisableTrace = true
+	if sp.MICThreads > 0 {
+		rtCfg.MICThreads = sp.MICThreads
+	}
+	if sp.CPUThreads > 0 {
+		rtCfg.CPUThreads = sp.CPUThreads
+	}
+	baseFaults, err := faultConfig(sc.Faults.Seed, sc.Faults.Rates)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &SchedReplay{Trace: tr, Outputs: make(map[int]map[string][]float64)}
+
+	byWindow := make([][]Request, sc.Windows)
+	for _, req := range tr.Requests {
+		byWindow[req.Window] = append(byWindow[req.Window], req)
+	}
+
+	type item struct {
+		id      int
+		prog    *interp.Program
+		outputs []string
+	}
+	for w := 0; w < sc.Windows; w++ {
+		fc, _ := activeState(sc, w, baseFaults)
+		cfg := rtCfg
+		cfg.Faults = fc
+
+		var items []item
+		for _, req := range byWindow[w] {
+			m := sc.Mix[req.Mix]
+			switch {
+			case m.Workload != "" && !m.ExpectError:
+				b, err := workloads.Get(m.Workload)
+				if err != nil {
+					return nil, err
+				}
+				prog, _, err := b.Prepare(workloads.RunOptions{Variant: workloads.MICNaive, Config: &cfg})
+				if err != nil {
+					return nil, fmt.Errorf("scenario %s: request %d: %w", sc.Name, req.ID, err)
+				}
+				items = append(items, item{id: req.ID, prog: prog, outputs: b.Outputs})
+			case m.Synth > 0:
+				prog, err := interp.Compile(synthSource(m.Synth))
+				if err != nil {
+					return nil, fmt.Errorf("scenario %s: synth-%d compile: %w", sc.Name, m.Synth, err)
+				}
+				items = append(items, item{id: req.ID, prog: prog, outputs: []string{"out"}})
+			default:
+				rep.Skipped++
+			}
+		}
+		if len(items) == 0 {
+			continue
+		}
+
+		sched, err := runtime.NewScheduler(cfg, sp.Streams)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			var setup func(*interp.Program) error
+			if m := sc.Mix[tr.Requests[it.id].Mix]; m.Workload != "" {
+				b, _ := workloads.Get(m.Workload)
+				setup = b.Setup
+			}
+			sched.Submit(runtime.Request{
+				Label:   fmt.Sprintf("w%03d-r%06d", w, it.id),
+				Program: it.prog,
+				Setup:   setup,
+			})
+		}
+		res, err := sched.Run()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: window %d: %w", sc.Name, w, err)
+		}
+		rep.Windows = append(rep.Windows, res.Stats)
+
+		for _, it := range items {
+			outs := make(map[string][]float64, len(it.outputs))
+			for _, name := range it.outputs {
+				data, err := it.prog.ArrayData(name)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %s: request %d output %s: %w", sc.Name, it.id, name, err)
+				}
+				outs[name] = append([]float64(nil), data...)
+			}
+			rep.Outputs[it.id] = outs
+		}
+	}
+
+	if rep.StatsJSON, err = json.Marshal(rep.Windows); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// VerifyScheduler replays the scenario twice on the raw scheduler and
+// demands bit-identical window stats and per-request outputs.
+func VerifyScheduler(sc *Scenario, seed int64) (*SchedReplay, error) {
+	first, err := ReplayScheduler(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	second, err := ReplayScheduler(sc, seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: second scheduler replay: %w", sc.Name, err)
+	}
+	if !bytes.Equal(first.StatsJSON, second.StatsJSON) {
+		return nil, fmt.Errorf("scenario %s: scheduler replay divergence: window stats differ for seed %d", sc.Name, seed)
+	}
+	for id, outs := range first.Outputs {
+		other, ok := second.Outputs[id]
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: scheduler replay divergence: request %d missing from second replay", sc.Name, id)
+		}
+		for name, data := range outs {
+			got := other[name]
+			if len(got) != len(data) {
+				return nil, fmt.Errorf("scenario %s: scheduler replay divergence: request %d output %s length", sc.Name, id, name)
+			}
+			for i := range data {
+				if data[i] != got[i] {
+					return nil, fmt.Errorf("scenario %s: scheduler replay divergence: request %d output %s[%d]", sc.Name, id, name, i)
+				}
+			}
+		}
+	}
+	return first, nil
+}

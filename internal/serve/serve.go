@@ -38,6 +38,7 @@ import (
 	"comp/internal/interp"
 	"comp/internal/runtime"
 	"comp/internal/sim/engine"
+	"comp/internal/sim/fault"
 	"comp/internal/sim/metrics"
 )
 
@@ -51,6 +52,11 @@ var (
 	ErrDeadlineExceeded = errors.New("serve: deadline exceeded while queued")
 	// ErrClosed rejects submissions after Close.
 	ErrClosed = errors.New("serve: server closed")
+	// ErrInvalidJob rejects a malformed Job at submission, before it is
+	// admitted — an empty job, an inline source without a cache key, or a
+	// negative deadline would otherwise fail deep inside the planner.
+	// Returned errors wrap it; match with errors.Is.
+	ErrInvalidJob = errors.New("serve: invalid job")
 )
 
 // Config assembles a server.
@@ -70,6 +76,18 @@ type Config struct {
 	// Planner is the plan cache; nil creates a private one. Share a
 	// Planner across servers to warm one cache for a fleet.
 	Planner *Planner
+	// Clock, when non-nil, replaces time.Now for every timestamp the
+	// server takes (enqueue times, deadline checks, completion times).
+	// Trace replay injects a virtual clock here so deadlines and latency
+	// histograms become a deterministic function of the trace instead of
+	// wall-clock scheduling noise.
+	Clock func() time.Time
+	// Stepped disables the background dispatcher: batches run only when
+	// the owner calls StepBatch, one batch per call, synchronously on the
+	// caller's goroutine. Combined with Clock this makes batch composition
+	// — and therefore every figure in the ServerReport — bit-identical
+	// across replays of the same submission sequence.
+	Stepped bool
 }
 
 // Job is one client request.
@@ -97,6 +115,24 @@ type Job struct {
 	Deadline time.Duration
 }
 
+// validate rejects malformed jobs before they are admitted. Every error
+// wraps ErrInvalidJob.
+func (j Job) validate() error {
+	switch {
+	case j.Workload == "" && j.Source == "" && j.Key == "":
+		return fmt.Errorf("%w: names neither a workload nor an inline source", ErrInvalidJob)
+	case j.Source == "" && j.Workload == "" && j.Key != "":
+		return fmt.Errorf("%w: key %q has no source and no workload", ErrInvalidJob, j.Key)
+	case j.Source != "" && j.Key == "":
+		return fmt.Errorf("%w: inline source requires a plan-cache Key", ErrInvalidJob)
+	case j.Source != "" && j.Workload != "":
+		return fmt.Errorf("%w: names both workload %q and an inline source", ErrInvalidJob, j.Workload)
+	case j.Deadline < 0:
+		return fmt.Errorf("%w: negative deadline %v", ErrInvalidJob, j.Deadline)
+	}
+	return nil
+}
+
 // Response is one served request's result.
 type Response struct {
 	// Label is the server-assigned request id inside its batch run.
@@ -118,6 +154,11 @@ type Response struct {
 	BatchSize int
 	// Latency is the wall-clock submit→response time.
 	Latency time.Duration
+	// Retries and Fallbacks are the request's fault-recovery footprint:
+	// reissued operations and degradation-ladder steps its scheduler run
+	// recorded for it (0 on fault-free runs).
+	Retries   int64
+	Fallbacks int
 }
 
 // pending is one admitted request waiting for its batch.
@@ -144,15 +185,25 @@ func (p *pending) fail(err error) { p.resp <- outcome{err: err} }
 // admission queue into batched Scheduler runs.
 type Server struct {
 	cfg     Config
-	rtCfg   runtime.Config
+	clock   func() time.Time
 	planner *Planner
 	queue   chan *pending
 	quit    chan struct{}
 	wg      sync.WaitGroup
 
+	// rtCfg is the simulated platform; rtMu guards it because SetFaults
+	// may retarget the fault schedule between batches.
+	rtMu  sync.Mutex
+	rtCfg runtime.Config
+
 	mu     sync.Mutex
 	closed bool
 	nextID int64
+
+	// admitLimit, when ≥ 0, caps the admitted queue depth below the
+	// channel's capacity — the runtime knob behind queue-capacity-squeeze
+	// scenarios. -1 means the full QueueDepth.
+	admitLimit int64
 
 	// Counters (atomics; the slices under statsMu).
 	submitted int64
@@ -161,9 +212,15 @@ type Server struct {
 	failed    int64
 	shed      int64
 	expired   int64
+	invalid   int64
 	batches   int64
 	maxDepth  int64
 	maxBatch  int64
+	// Fault-recovery totals accumulated from every batch's SchedStats.
+	faultsInjected int64
+	retries        int64
+	watchdogFires  int64
+	fallbacks      int64
 
 	statsMu    sync.Mutex
 	latencies  []int64
@@ -204,34 +261,117 @@ func New(cfg Config) (*Server, error) {
 		planner = NewPlanner()
 	}
 	s := &Server{
-		cfg:     cfg,
-		rtCfg:   rtCfg,
-		planner: planner,
-		queue:   make(chan *pending, cfg.QueueDepth),
-		quit:    make(chan struct{}),
+		cfg:        cfg,
+		clock:      cfg.Clock,
+		rtCfg:      rtCfg,
+		planner:    planner,
+		queue:      make(chan *pending, cfg.QueueDepth),
+		quit:       make(chan struct{}),
+		admitLimit: -1,
 	}
-	s.wg.Add(1)
-	go s.dispatch()
+	if s.clock == nil {
+		s.clock = time.Now
+	}
+	if !cfg.Stepped {
+		s.wg.Add(1)
+		go s.dispatch()
+	}
 	return s, nil
+}
+
+// now reads the server's clock (time.Now unless Config.Clock was set).
+func (s *Server) now() time.Time { return s.clock() }
+
+// SetFaults swaps the fault schedule used by every subsequent batch; it
+// validates the schedule and never disturbs batches already running.
+// Scenario replay uses it for fault storms and device unplug/replug
+// windows; it is safe to call concurrently with submissions.
+func (s *Server) SetFaults(fc fault.Config) error {
+	if err := fc.Validate(); err != nil {
+		return err
+	}
+	s.rtMu.Lock()
+	s.rtCfg.Faults = fc
+	s.rtMu.Unlock()
+	return nil
+}
+
+// Faults returns the currently configured fault schedule.
+func (s *Server) Faults() fault.Config {
+	s.rtMu.Lock()
+	defer s.rtMu.Unlock()
+	return s.rtCfg.Faults
+}
+
+// SetAdmitLimit caps the admitted queue depth below QueueDepth — the
+// queue-capacity-squeeze knob: submissions beyond the limit shed with
+// ErrOverloaded exactly as if the queue were that small. A negative limit
+// restores the full capacity. Requests already queued are unaffected.
+func (s *Server) SetAdmitLimit(n int) {
+	if n < 0 {
+		n = -1
+	}
+	atomic.StoreInt64(&s.admitLimit, int64(n))
 }
 
 // Planner returns the server's plan cache.
 func (s *Server) Planner() *Planner { return s.planner }
 
+// Ticket is an admitted request's claim on its eventual answer. Wait
+// consumes the answer; it may be called at most once.
+type Ticket struct {
+	label string
+	resp  chan outcome
+}
+
+// Label returns the server-assigned request id.
+func (t *Ticket) Label() string { return t.label }
+
+// Wait blocks until the ticket's request is served and returns its
+// response or error. Exactly one Wait per ticket.
+func (t *Ticket) Wait() (Response, error) {
+	out := <-t.resp
+	return out.resp, out.err
+}
+
 // Do submits a job and blocks until it is served. It returns
-// ErrOverloaded immediately when the admission queue is full, ErrClosed
-// after Close, and ErrDeadlineExceeded if the job's deadline passed while
-// it was queued. Safe for concurrent use.
+// ErrInvalidJob for malformed jobs, ErrOverloaded immediately when the
+// admission queue is full, ErrClosed after Close, and ErrDeadlineExceeded
+// if the job's deadline passed while it was queued. Safe for concurrent
+// use.
 func (s *Server) Do(job Job) (Response, error) {
+	t, err := s.Enqueue(job)
+	if err != nil {
+		return Response{}, err
+	}
+	return t.Wait()
+}
+
+// Enqueue is the non-blocking half of Do: it validates and admits the job
+// and returns a Ticket for the answer, or the typed admission error
+// (ErrInvalidJob, ErrOverloaded, ErrClosed) immediately. Admission outcome
+// is known synchronously, which is what lets a trace replayer submit a
+// request sequence with a deterministic queue order. Safe for concurrent
+// use.
+func (s *Server) Enqueue(job Job) (*Ticket, error) {
 	atomic.AddInt64(&s.submitted, 1)
-	p := &pending{job: job, enqueued: time.Now(), resp: make(chan outcome, 1)}
+	if err := job.validate(); err != nil {
+		atomic.AddInt64(&s.invalid, 1)
+		return nil, err
+	}
+	p := &pending{job: job, enqueued: s.now(), resp: make(chan outcome, 1)}
 	if job.Deadline > 0 {
 		p.deadline = p.enqueued.Add(job.Deadline)
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return Response{}, ErrClosed
+		return nil, ErrClosed
+	}
+	if limit := atomic.LoadInt64(&s.admitLimit); limit >= 0 && int64(len(s.queue)) >= limit {
+		s.mu.Unlock()
+		atomic.AddInt64(&s.shed, 1)
+		return nil, ErrOverloaded
 	}
 	s.nextID++
 	p.label = fmt.Sprintf("r%08d", s.nextID)
@@ -249,14 +389,14 @@ func (s *Server) Do(job Job) (Response, error) {
 	default:
 		s.mu.Unlock()
 		atomic.AddInt64(&s.shed, 1)
-		return Response{}, ErrOverloaded
+		return nil, ErrOverloaded
 	}
-	out := <-p.resp
-	return out.resp, out.err
+	return &Ticket{label: p.label, resp: p.resp}, nil
 }
 
 // Close stops admissions, serves every already-queued request, and waits
-// for the dispatcher to finish. Safe to call more than once.
+// for the dispatcher to finish. On a stepped server the remaining queue is
+// drained synchronously. Safe to call more than once.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -268,6 +408,34 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.quit)
 	s.wg.Wait()
+	if s.cfg.Stepped {
+		for s.stepOne() > 0 {
+		}
+	}
+}
+
+// StepBatch collects and runs exactly one batch on the caller's goroutine
+// and returns how many requests it answered (0 when the queue is empty).
+// Only valid on a server built with Config.Stepped; the caller is the
+// dispatcher, so StepBatch must not be called concurrently with itself or
+// with Close.
+func (s *Server) StepBatch() int {
+	if !s.cfg.Stepped {
+		panic("serve: StepBatch on a server without Config.Stepped")
+	}
+	return s.stepOne()
+}
+
+// stepOne drains and runs one batch if anything is queued.
+func (s *Server) stepOne() int {
+	select {
+	case p := <-s.queue:
+		batch := s.drainBatch(p)
+		s.runBatch(batch)
+		return len(batch)
+	default:
+		return 0
+	}
 }
 
 // dispatch is the single consumer of the admission queue. After quit it
@@ -320,8 +488,14 @@ func (s *Server) runBatch(batch []*pending) {
 		}
 	}
 
+	// Snapshot the platform config once per batch: SetFaults may swap the
+	// fault schedule between batches but never inside one.
+	s.rtMu.Lock()
+	rtCfg := s.rtCfg
+	s.rtMu.Unlock()
+
 	// Shed expired requests before spending any work on them.
-	now := time.Now()
+	now := s.now()
 	live := make([]*pending, 0, len(batch))
 	for _, p := range batch {
 		if !p.deadline.IsZero() && now.After(p.deadline) {
@@ -345,7 +519,7 @@ func (s *Server) runBatch(batch []*pending) {
 	}
 	items := make([]item, 0, len(live))
 	for _, p := range live {
-		plan, cached, err := s.planner.planFor(p.job, s.rtCfg)
+		plan, cached, err := s.planner.planFor(p.job, rtCfg)
 		if err != nil {
 			atomic.AddInt64(&s.failed, 1)
 			p.fail(err)
@@ -369,7 +543,7 @@ func (s *Server) runBatch(batch []*pending) {
 			it.p.fail(err)
 		}
 	}
-	sched, err := runtime.NewScheduler(s.rtCfg, s.cfg.Streams)
+	sched, err := runtime.NewScheduler(rtCfg, s.cfg.Streams)
 	if err != nil {
 		failAll(err)
 		return
@@ -387,11 +561,17 @@ func (s *Server) runBatch(batch []*pending) {
 		return
 	}
 	byLabel := make(map[string]runtime.RequestStats, len(res.Stats.Requests))
+	var fellBack int64
 	for _, rq := range res.Stats.Requests {
 		byLabel[rq.Label] = rq
+		fellBack += int64(len(rq.Fallbacks))
 	}
+	atomic.AddInt64(&s.faultsInjected, res.Stats.FaultsInjected)
+	atomic.AddInt64(&s.retries, res.Stats.Retries)
+	atomic.AddInt64(&s.watchdogFires, res.Stats.WatchdogFires)
+	atomic.AddInt64(&s.fallbacks, fellBack)
 
-	done := time.Now()
+	done := s.now()
 	for _, it := range items {
 		outputs := make(map[string][]float64, len(it.plan.Outputs))
 		var outErr error
@@ -419,6 +599,8 @@ func (s *Server) runBatch(batch []*pending) {
 			StreamID:     rq.StreamID,
 			BatchSize:    len(items),
 			Latency:      done.Sub(it.p.enqueued),
+			Retries:      rq.Retries,
+			Fallbacks:    len(rq.Fallbacks),
 		}
 		atomic.AddInt64(&s.completed, 1)
 		s.statsMu.Lock()
@@ -442,6 +624,7 @@ func (s *Server) Report() metrics.ServerReport {
 		Failed:        atomic.LoadInt64(&s.failed),
 		Shed:          atomic.LoadInt64(&s.shed),
 		Expired:       atomic.LoadInt64(&s.expired),
+		Invalid:       atomic.LoadInt64(&s.invalid),
 		Batches:       atomic.LoadInt64(&s.batches),
 		MaxBatch:      int(atomic.LoadInt64(&s.maxBatch)),
 		QueueCapacity: s.cfg.QueueDepth,
@@ -450,6 +633,11 @@ func (s *Server) Report() metrics.ServerReport {
 		PlanHits:      hits,
 		PlanMisses:    misses,
 		TuneProbes:    probes,
+
+		FaultsInjected: atomic.LoadInt64(&s.faultsInjected),
+		Retries:        atomic.LoadInt64(&s.retries),
+		WatchdogFires:  atomic.LoadInt64(&s.watchdogFires),
+		Fallbacks:      atomic.LoadInt64(&s.fallbacks),
 	}
 	if total := hits + misses; total > 0 {
 		rep.PlanHitRatio = float64(hits) / float64(total)

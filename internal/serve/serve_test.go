@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -373,11 +374,55 @@ func TestServeBadJobsFailTyped(t *testing.T) {
 	if _, err := s.Do(Job{Workload: "ferret"}); err == nil {
 		t.Fatal("shared-memory benchmark served without error")
 	}
-	if _, err := s.Do(Job{}); err == nil {
-		t.Fatal("empty job served without error")
+	if _, err := s.Do(Job{}); !errors.Is(err, ErrInvalidJob) {
+		t.Fatalf("empty job = %v, want ErrInvalidJob", err)
 	}
-	if rep := s.Report(); rep.Failed != 3 {
-		t.Fatalf("failed counter %d, want 3", rep.Failed)
+	rep := s.Report()
+	if rep.Failed != 2 {
+		t.Fatalf("failed counter %d, want 2", rep.Failed)
+	}
+	if rep.Invalid != 1 {
+		t.Fatalf("invalid counter %d, want 1", rep.Invalid)
+	}
+}
+
+// TestServeInvalidJobsRejectedBeforeAdmission is the ErrInvalidJob
+// regression suite: every malformed-job shape is refused synchronously
+// with the typed error, none is admitted or reaches the planner, and the
+// queue stays untouched.
+func TestServeInvalidJobsRejectedBeforeAdmission(t *testing.T) {
+	s, err := New(Config{Streams: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	bad := []struct {
+		name string
+		job  Job
+	}{
+		{"empty", Job{}},
+		{"key-without-source", Job{Key: "k"}},
+		{"source-without-key", Job{Source: synthSource(3)}},
+		{"workload-and-source", Job{Workload: "nn", Key: "k", Source: synthSource(3)}},
+		{"negative-deadline", Job{Workload: "nn", Deadline: -time.Second}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := s.Do(tc.job); !errors.Is(err, ErrInvalidJob) {
+				t.Fatalf("Do(%s) = %v, want ErrInvalidJob", tc.name, err)
+			}
+		})
+	}
+	rep := s.Report()
+	if rep.Invalid != int64(len(bad)) {
+		t.Fatalf("invalid counter %d, want %d", rep.Invalid, len(bad))
+	}
+	if rep.Admitted != 0 || rep.Failed != 0 || rep.PlanMisses != 0 {
+		t.Fatalf("invalid jobs leaked past admission: %+v", rep)
+	}
+	// A well-formed job on the same server still serves.
+	if _, err := s.Do(Job{Workload: "nn"}); err != nil {
+		t.Fatalf("valid job after invalid ones: %v", err)
 	}
 }
 
@@ -481,5 +526,150 @@ func TestServePlanRemarksSurvivesCacheHits(t *testing.T) {
 		if !strings.Contains(text, frag) {
 			t.Fatalf("Format() missing %q:\n%s", frag, text)
 		}
+	}
+}
+
+// TestServeSteppedVirtualClockDeterministic pins the replay substrate the
+// scenario engine builds on: a stepped server with an injected virtual
+// clock answers a fixed submission sequence with a bit-identical
+// ServerReport — including the latency histograms, which become virtual
+// durations — across two independent runs, and deadlines are judged
+// against the virtual clock, not the wall.
+func TestServeSteppedVirtualClockDeterministic(t *testing.T) {
+	run := func() ([]byte, []map[string][]float64) {
+		now := time.Unix(0, 0)
+		s, err := New(Config{
+			Streams: 2, QueueDepth: 8, MaxBatch: 4,
+			Stepped: true,
+			Clock:   func() time.Time { return now },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tickets []*Ticket
+		for i := 0; i < 6; i++ {
+			now = now.Add(time.Millisecond)
+			job := Job{Key: "synth-3", Source: synthSource(3), Outputs: []string{"b"}}
+			if i == 4 {
+				job.Deadline = time.Millisecond // expires: dispatch happens 10ms later
+			}
+			tk, err := s.Enqueue(job)
+			if err != nil {
+				t.Fatalf("enqueue %d: %v", i, err)
+			}
+			tickets = append(tickets, tk)
+		}
+		now = now.Add(10 * time.Millisecond)
+		served := 0
+		for served < len(tickets) {
+			n := s.StepBatch()
+			if n == 0 {
+				t.Fatalf("queue drained after %d of %d answers", served, len(tickets))
+			}
+			served += n
+		}
+		var outs []map[string][]float64
+		for i, tk := range tickets {
+			resp, err := tk.Wait()
+			if i == 4 {
+				if !errors.Is(err, ErrDeadlineExceeded) {
+					t.Fatalf("request %d: err = %v, want virtual-clock deadline expiry", i, err)
+				}
+				outs = append(outs, nil)
+				continue
+			}
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			if resp.Latency <= 0 || resp.Latency > 20*time.Millisecond {
+				t.Fatalf("request %d: latency %v is not on the virtual clock", i, resp.Latency)
+			}
+			outs = append(outs, resp.Outputs)
+		}
+		s.Close()
+		rep := s.Report()
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw, outs
+	}
+	rep1, outs1 := run()
+	rep2, outs2 := run()
+	if string(rep1) != string(rep2) {
+		t.Fatalf("stepped replays produced different reports:\n%s\n%s", rep1, rep2)
+	}
+	for i := range outs1 {
+		if !outputsEqual(outs1[i], outs2[i]) {
+			t.Fatalf("request %d outputs differ between replays", i)
+		}
+	}
+}
+
+func outputsEqual(a, b map[string][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPlanCacheCachedErrorFreezesProbes replays the same failing job
+// against a warm cache: the first build caches the error, every later
+// submission must be answered from the cached entry without re-probing or
+// re-building — the probe counter and miss counter stay frozen.
+func TestPlanCacheCachedErrorFreezesProbes(t *testing.T) {
+	s, err := New(Config{Streams: 2, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Warm the cache with a tuned plan so the probe counter is non-zero
+	// and a regression that re-probes has something to move.
+	if _, err := s.Do(Job{Key: "tuned", Source: synthSource(7), Outputs: []string{"b"}, Optimize: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, warmProbes := s.Planner().Stats()
+	if warmProbes == 0 {
+		t.Fatal("optimized job spent no probes; tuning not exercised")
+	}
+
+	// A job whose plan build fails: inline source that does not compile.
+	failing := Job{Key: "broken", Source: "int main(void) { return 0", Outputs: []string{"b"}}
+	var firstErr error
+	if _, firstErr = s.Do(failing); firstErr == nil {
+		t.Fatal("broken source served without error")
+	}
+	_, missesAfterFirst, _ := s.Planner().Stats()
+
+	for i := 0; i < 5; i++ {
+		_, err := s.Do(failing)
+		if err == nil {
+			t.Fatalf("replay %d: broken source served without error", i)
+		}
+		if err.Error() != firstErr.Error() {
+			t.Fatalf("replay %d: error %q differs from cached %q", i, err, firstErr)
+		}
+	}
+	hits, misses, probes := s.Planner().Stats()
+	if probes != warmProbes {
+		t.Fatalf("probe counter moved on cached-error replays: %d -> %d", warmProbes, probes)
+	}
+	if misses != missesAfterFirst {
+		t.Fatalf("cached error rebuilt: misses %d -> %d", missesAfterFirst, misses)
+	}
+	if hits < 5 {
+		t.Fatalf("cached-error replays counted %d hits, want >= 5", hits)
 	}
 }

@@ -73,6 +73,66 @@ func Uniform(seed int64, rate float64) Config {
 	return Config{Seed: seed, DMARate: rate, LaunchRate: rate, HangRate: rate, AllocRate: rate}
 }
 
+// Kinds lists every injectable kind in declaration order.
+func Kinds() []Kind { return []Kind{DMA, Launch, Hang, Alloc} }
+
+// FromRates returns a schedule with non-uniform per-kind rates: kinds
+// absent from the map do not fire. Unknown kinds are ignored, so a rate
+// map can be built from user input and validated by Config.Validate.
+func FromRates(seed int64, rates map[Kind]float64) Config {
+	c := Config{Seed: seed}
+	for k, r := range rates {
+		switch k {
+		case DMA:
+			c.DMARate = r
+		case Launch:
+			c.LaunchRate = r
+		case Hang:
+			c.HangRate = r
+		case Alloc:
+			c.AllocRate = r
+		}
+	}
+	return c
+}
+
+// Rate returns the configured rate for one kind (0 for unknown kinds).
+func (c Config) Rate(k Kind) float64 {
+	switch k {
+	case DMA:
+		return c.DMARate
+	case Launch:
+		return c.LaunchRate
+	case Hang:
+		return c.HangRate
+	case Alloc:
+		return c.AllocRate
+	}
+	return 0
+}
+
+// Describe renders the schedule compactly: the seed, every non-zero
+// per-kind rate in declaration order, and the fault cap when set. The
+// zero value describes itself as injecting nothing.
+func (c Config) Describe() string {
+	if !c.Enabled() {
+		return "faults: off"
+	}
+	s := fmt.Sprintf("faults: seed %d", c.Seed)
+	for _, k := range Kinds() {
+		if r := c.Rate(k); r > 0 {
+			s += fmt.Sprintf(" %s=%g", k, r)
+		}
+	}
+	if c.MaxFaults > 0 {
+		s += fmt.Sprintf(" max=%d", c.MaxFaults)
+	}
+	return s
+}
+
+// String implements fmt.Stringer as Describe.
+func (c Config) String() string { return c.Describe() }
+
 // Enabled reports whether any fault kind can fire.
 func (c Config) Enabled() bool {
 	return c.DMARate > 0 || c.LaunchRate > 0 || c.HangRate > 0 || c.AllocRate > 0

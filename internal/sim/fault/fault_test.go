@@ -128,3 +128,76 @@ func TestValidate(t *testing.T) {
 		t.Fatal("uniform 0.1 config reports disabled")
 	}
 }
+
+// TestFromRatesAndDescribe is the table test for the non-uniform
+// constructor and the human-readable schedule description.
+func TestFromRatesAndDescribe(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		want  string
+		rates map[Kind]float64
+	}{
+		{"zero", Config{}, "faults: off", nil},
+		{"uniform", Uniform(7, 0.25), "faults: seed 7 dma=0.25 launch=0.25 hang=0.25 alloc=0.25", nil},
+		{
+			"dma-only", FromRates(3, map[Kind]float64{DMA: 0.5}),
+			"faults: seed 3 dma=0.5",
+			map[Kind]float64{DMA: 0.5, Launch: 0, Hang: 0, Alloc: 0},
+		},
+		{
+			"storm", FromRates(11, map[Kind]float64{Launch: 0.4, Hang: 0.2}),
+			"faults: seed 11 launch=0.4 hang=0.2",
+			map[Kind]float64{DMA: 0, Launch: 0.4, Hang: 0.2, Alloc: 0},
+		},
+		{
+			"unknown-kind-ignored", FromRates(1, map[Kind]float64{Kind(99): 0.9, Alloc: 0.1}),
+			"faults: seed 1 alloc=0.1",
+			map[Kind]float64{DMA: 0, Launch: 0, Hang: 0, Alloc: 0.1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.cfg.Describe(); got != tc.want {
+				t.Errorf("Describe() = %q, want %q", got, tc.want)
+			}
+			if got := tc.cfg.String(); got != tc.want {
+				t.Errorf("String() = %q, want %q", got, tc.want)
+			}
+			for k, r := range tc.rates {
+				if got := tc.cfg.Rate(k); got != r {
+					t.Errorf("Rate(%s) = %v, want %v", k, got, r)
+				}
+			}
+			if err := tc.cfg.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+	capped := Uniform(2, 0.5)
+	capped.MaxFaults = 9
+	if got, want := capped.Describe(), "faults: seed 2 dma=0.5 launch=0.5 hang=0.5 alloc=0.5 max=9"; got != want {
+		t.Errorf("capped Describe() = %q, want %q", got, want)
+	}
+	if got := (Config{}).Rate(Kind(42)); got != 0 {
+		t.Errorf("Rate(unknown) = %v, want 0", got)
+	}
+}
+
+// TestFromRatesScheduleMatchesFieldConfig proves FromRates is only a
+// constructor: an injector built from it behaves identically to one built
+// from the equivalent field-set Config.
+func TestFromRatesScheduleMatchesFieldConfig(t *testing.T) {
+	a := New(FromRates(5, map[Kind]float64{DMA: 0.3, Hang: 0.7}))
+	b := New(Config{Seed: 5, DMARate: 0.3, HangRate: 0.7})
+	for i := 0; i < 500; i++ {
+		for _, k := range Kinds() {
+			if x, y := a.Next(k), b.Next(k); x != y {
+				t.Fatalf("decision %d for %s diverged: FromRates=%v fields=%v", i, k, x, y)
+			}
+		}
+	}
+	if a.Injected() == 0 {
+		t.Fatal("schedule injected nothing at rates 0.3/0.7 over 500 queries")
+	}
+}

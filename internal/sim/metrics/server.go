@@ -31,6 +31,9 @@ type ServerReport struct {
 	Shed int64 `json:"shed"`
 	// Expired counts admitted requests whose deadline passed while queued.
 	Expired int64 `json:"expired,omitempty"`
+	// Invalid counts submissions rejected before admission with
+	// ErrInvalidJob (malformed jobs never reach the queue).
+	Invalid int64 `json:"invalid,omitempty"`
 	// Batches is how many scheduler runs the served requests were grouped
 	// into; MaxBatch the largest single batch.
 	Batches  int64 `json:"batches"`
@@ -48,6 +51,15 @@ type ServerReport struct {
 	PlanMisses   int64   `json:"planMisses"`
 	PlanHitRatio float64 `json:"planHitRatio"`
 	TuneProbes   int64   `json:"tuneProbes"`
+
+	// Fault-recovery totals summed over every batch's scheduler run:
+	// injected faults, reissued operations, watchdog aborts, and
+	// degradation-ladder steps. They quantify how much of the served load
+	// survived on the recovery path (all zero on fault-free traces).
+	FaultsInjected int64 `json:"faultsInjected,omitempty"`
+	Retries        int64 `json:"retries,omitempty"`
+	WatchdogFires  int64 `json:"watchdogFires,omitempty"`
+	Fallbacks      int64 `json:"fallbacks,omitempty"`
 
 	// Plans explains every successfully built plan in the cache: key,
 	// tuned shape, per-plan hit count, and the remark trail the compiler
@@ -79,8 +91,15 @@ func (r ServerReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "serve: %d submitted, %d admitted, %d completed, %d shed, %d expired, %d failed\n",
 		r.Submitted, r.Admitted, r.Completed, r.Shed, r.Expired, r.Failed)
+	if r.Invalid > 0 {
+		fmt.Fprintf(&b, "invalid: %d submissions rejected before admission\n", r.Invalid)
+	}
 	fmt.Fprintf(&b, "queue: capacity %d, depth %d, high-water %d\n",
 		r.QueueCapacity, r.QueueDepth, r.MaxQueueDepth)
+	if r.FaultsInjected > 0 || r.Retries > 0 || r.WatchdogFires > 0 || r.Fallbacks > 0 {
+		fmt.Fprintf(&b, "faults: %d injected, %d retries, %d watchdog fires, %d fallbacks\n",
+			r.FaultsInjected, r.Retries, r.WatchdogFires, r.Fallbacks)
+	}
 	fmt.Fprintf(&b, "batches: %d (largest %d)\n", r.Batches, r.MaxBatch)
 	fmt.Fprintf(&b, "plan cache: %d hits, %d misses (hit ratio %.1f%%), %d tuning probes\n",
 		r.PlanHits, r.PlanMisses, 100*r.PlanHitRatio, r.TuneProbes)
