@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"comp/internal/bench"
+	"comp/internal/vm"
 )
 
 func main() {
@@ -36,12 +37,48 @@ func main() {
 	passes := flag.String("passes", "", "compile every benchmark under this pipeline `spec` (e.g. \"merge,regularize,streaming\") and print the per-pass applied/skipped table with full remark trails")
 	scenarios := flag.Bool("scenarios", false, "replay every built-in serving scenario (internal/scenario) and print the per-scenario admission/fault-recovery table")
 	scenarioSeed := flag.Int64("scenario-seed", 1, "trace seed for -scenarios")
+	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm or interp")
+	vmbench := flag.Bool("vmbench", false, "benchmark the bytecode VM against the tree-walker on every workload")
+	vmbenchIters := flag.Int("vmbench-iters", 3, "full runs per engine for -vmbench (best-of)")
+	vmbenchOut := flag.String("vmbench-out", "BENCH_vm.json", "write the -vmbench report as JSON to this file (\"-\" = stdout only)")
 	flag.Parse()
+
+	if err := vm.SetExecMode(*execMode); err != nil {
+		fmt.Fprintln(os.Stderr, "compbench:", err)
+		os.Exit(2)
+	}
 
 	r := bench.NewRunner()
 	r.UseSweep = *sweep
 	if *traceDir != "" {
 		r.SetTraceDir(*traceDir)
+	}
+
+	if *vmbench {
+		rep, err := r.VMBench(*vmbenchIters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		if *vmbenchOut != "-" {
+			f, err := os.Create(*vmbenchOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *vmbenchOut)
+		}
+		return
 	}
 
 	if *scenarios {

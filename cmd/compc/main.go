@@ -20,6 +20,7 @@ import (
 
 	"comp/internal/core"
 	"comp/internal/pass"
+	"comp/internal/vm"
 )
 
 func main() {
@@ -34,7 +35,13 @@ func main() {
 	remarks := flag.Bool("remarks", false, "print the full remark trail (every applied and skipped decision) on stderr")
 	remarksJSON := flag.Bool("remarks-json", false, "print the remark trail as JSON on stdout instead of the source")
 	auto := flag.Bool("auto", false, "insert offload clauses into plain OpenMP code first (Apricot mode)")
+	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine for measured tuning runs: vm or interp")
 	flag.Parse()
+
+	if err := vm.SetExecMode(*execMode); err != nil {
+		fmt.Fprintln(os.Stderr, "compc:", err)
+		os.Exit(2)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: compc [flags] file.c")

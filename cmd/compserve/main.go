@@ -30,6 +30,7 @@ import (
 
 	"comp/internal/serve"
 	"comp/internal/sim/metrics"
+	"comp/internal/vm"
 	"comp/internal/workloads"
 )
 
@@ -43,7 +44,13 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-request deadline (0 = none)")
 	verify := flag.Bool("verify", false, "replay the trace on a second fresh server and require bit-identical outputs")
 	jsonOut := flag.String("json", "", "also write the metrics report as JSON to this file (\"-\" = stdout)")
+	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm or interp")
 	flag.Parse()
+
+	if err := vm.SetExecMode(*execMode); err != nil {
+		fmt.Fprintln(os.Stderr, "compserve:", err)
+		os.Exit(2)
+	}
 
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "compserve: unexpected argument %q\n", flag.Arg(0))

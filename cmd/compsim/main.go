@@ -35,6 +35,7 @@ import (
 	"comp/internal/sim/fault"
 	"comp/internal/sim/metrics"
 	"comp/internal/transform"
+	"comp/internal/vm"
 	"comp/internal/workloads"
 )
 
@@ -52,7 +53,13 @@ func main() {
 	requests := flag.Int("requests", 0, "concurrent requests for the scheduler (0 = one per stream)")
 	faults := flag.Float64("faults", 0, "uniform fault injection rate in [0,1] for DMA/launch/hang/alloc (0 = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm or interp")
 	flag.Parse()
+
+	if err := vm.SetExecMode(*execMode); err != nil {
+		fmt.Fprintln(os.Stderr, "compsim:", err)
+		os.Exit(2)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: compsim [flags] file.c")

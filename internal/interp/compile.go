@@ -28,6 +28,30 @@ type Env struct {
 
 	work   *Work
 	retVal float64
+
+	// depth is the live MiniC call depth (bounded by maxCallDepth).
+	depth int
+	// budget counts down loop iterations when budgetOn (SetLoopBudget).
+	budget   int64
+	budgetOn bool
+}
+
+// maxCallDepth bounds MiniC recursion so runaway programs fault like any
+// other runtime error instead of exhausting the Go stack. Engines enforce
+// the same limit with the same message.
+const maxCallDepth = 10000
+
+// spendIteration enforces the optional per-run loop budget. It sits at
+// every loop head, before the condition, in both the tree-walker and the
+// VM, so budget faults fire at identical program points.
+func (e *Env) spendIteration(pos minic.Pos) {
+	if !e.budgetOn {
+		return
+	}
+	e.budget--
+	if e.budget < 0 {
+		throw(rtErrf(pos, "loop budget exhausted"))
+	}
 }
 
 type ctl int
@@ -443,6 +467,7 @@ func (c *compiler) compileWhile(x *minic.WhileStmt) (stmtFn, error) {
 			if iter > maxLoopIters {
 				throw(rtErrf(pos, "while loop exceeded %d iterations", int64(maxLoopIters)))
 			}
+			env.spendIteration(pos)
 			env.addWork(w, b, irr)
 			if cond.f(env) == 0 {
 				return ctlNormal
@@ -512,6 +537,10 @@ func (e *Env) addWork(w, b, irr float64) {
 
 // call invokes a compiled function with evaluated arguments.
 func (e *Env) call(cf *cfunc, args []float64, refArgs []*Array) float64 {
+	if e.depth >= maxCallDepth {
+		throw(rtErrf(minic.Pos{}, "call depth exceeded (%d frames)", maxCallDepth))
+	}
+	e.depth++
 	savedF, savedR, savedRet := e.f, e.r, e.retVal
 	e.f = make([]float64, cf.numSlots)
 	e.r = make([]*Array, cf.refSlots)
@@ -528,6 +557,7 @@ func (e *Env) call(cf *cfunc, args []float64, refArgs []*Array) float64 {
 	cf.body(e)
 	ret := e.retVal
 	e.f, e.r, e.retVal = savedF, savedR, savedRet
+	e.depth--
 	return ret
 }
 

@@ -86,6 +86,7 @@ func (c *compiler) compileFor(fs *minic.ForStmt) (stmtFn, error) {
 			if iter > maxLoopIters {
 				throw(rtErrf(pos, "for loop exceeded %d iterations", int64(maxLoopIters)))
 			}
+			env.spendIteration(pos)
 			if hasCond {
 				env.addWork(condW, condB, condIrr)
 				if cond.f(env) == 0 {
@@ -113,6 +114,7 @@ func (c *compiler) compileFor(fs *minic.ForStmt) (stmtFn, error) {
 			}
 		}
 		for {
+			env.spendIteration(pos)
 			if hasCond {
 				env.addWork(condW, condB, condIrr)
 				if cond.f(env) == 0 {

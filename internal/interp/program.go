@@ -24,6 +24,16 @@ type Program struct {
 	// sharedAllocs counts offload_shared_malloc calls (Table III's
 	// "dynamic shared allocations").
 	sharedAllocs int64
+
+	// engine, when set, replaces the tree-walker for Run (internal/vm);
+	// engineErr records why the default factory declined this program.
+	engine    Engine
+	engineErr error
+
+	// loopBudget caps total loop iterations per Run (0 = unlimited);
+	// enforced identically by the tree-walker and engines. See
+	// SetLoopBudget.
+	loopBudget int64
 }
 
 type gvar struct {
@@ -66,6 +76,13 @@ func CompileFile(f *minic.File) (*Program, error) {
 	}
 	if err := p.initGlobals(); err != nil {
 		return nil, err
+	}
+	if mk := defaultEngineFactory(); mk != nil {
+		if eng, err := mk(p); err != nil {
+			p.engineErr = err // fall back to the tree-walker
+		} else {
+			p.engine = eng
+		}
 	}
 	return p, nil
 }
@@ -126,6 +143,12 @@ func (p *Program) Run(b Backend) (err error) {
 	if main == nil {
 		return fmt.Errorf("interp: program has no main function")
 	}
+	if len(main.params) > 0 {
+		return fmt.Errorf("interp: main takes no parameters")
+	}
+	if p.engine != nil {
+		return p.engine.Run(p, b)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(*RuntimeError); ok {
@@ -136,6 +159,10 @@ func (p *Program) Run(b Backend) (err error) {
 		}
 	}()
 	env := &Env{p: p, backend: b, work: &Work{}}
+	if p.loopBudget > 0 {
+		env.budgetOn = true
+		env.budget = p.loopBudget
+	}
 	env.call(main, nil, nil)
 	// Flush trailing host work.
 	if !env.work.Zero() {

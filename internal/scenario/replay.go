@@ -158,6 +158,7 @@ func ReplayTrace(tr *Trace) (*Result, error) {
 		MaxBatch:   sp.MaxBatch,
 		Stepped:    true,
 		Clock:      func() time.Time { return epoch.Add(offset) },
+		Exec:       sp.Exec,
 	})
 	if err != nil {
 		return nil, err

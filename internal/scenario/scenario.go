@@ -156,6 +156,9 @@ type ServerSpec struct {
 	// MICThreads/CPUThreads override the default machine occupancy.
 	MICThreads int `json:"mic_threads,omitempty"`
 	CPUThreads int `json:"cpu_threads,omitempty"`
+	// Exec pins the execution engine for every program the scenario
+	// compiles ("vm", "interp", or "" = process default).
+	Exec string `json:"exec,omitempty"`
 }
 
 // FaultSpec is the baseline fault schedule (fault storms override it over

@@ -7,6 +7,7 @@ import (
 
 	"comp/internal/interp"
 	"comp/internal/runtime"
+	"comp/internal/vm"
 	"comp/internal/workloads"
 )
 
@@ -88,7 +89,7 @@ func ReplayTraceScheduler(tr *Trace) (*SchedReplay, error) {
 				if err != nil {
 					return nil, err
 				}
-				prog, _, err := b.Prepare(workloads.RunOptions{Variant: workloads.MICNaive, Config: &cfg})
+				prog, _, err := b.Prepare(workloads.RunOptions{Variant: workloads.MICNaive, Config: &cfg, Exec: sc.Server.Exec})
 				if err != nil {
 					return nil, fmt.Errorf("scenario %s: request %d: %w", sc.Name, req.ID, err)
 				}
@@ -97,6 +98,9 @@ func ReplayTraceScheduler(tr *Trace) (*SchedReplay, error) {
 				prog, err := interp.Compile(synthSource(m.Synth))
 				if err != nil {
 					return nil, fmt.Errorf("scenario %s: synth-%d compile: %w", sc.Name, m.Synth, err)
+				}
+				if err := vm.Apply(prog, sc.Server.Exec); err != nil {
+					return nil, fmt.Errorf("scenario %s: synth-%d: %w", sc.Name, m.Synth, err)
 				}
 				items = append(items, item{id: req.ID, prog: prog, outputs: []string{"out"}})
 			default:

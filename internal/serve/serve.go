@@ -40,6 +40,7 @@ import (
 	"comp/internal/sim/engine"
 	"comp/internal/sim/fault"
 	"comp/internal/sim/metrics"
+	"comp/internal/vm"
 )
 
 // Typed admission-control errors.
@@ -88,6 +89,10 @@ type Config struct {
 	// — and therefore every figure in the ServerReport — bit-identical
 	// across replays of the same submission sequence.
 	Stepped bool
+	// Exec pins the execution engine for every program this server
+	// compiles: vm.ExecVM for bytecode, vm.ExecInterp for the tree-walker,
+	// "" for the process-wide default (vm.SetExecMode).
+	Exec string
 }
 
 // Job is one client request.
@@ -529,6 +534,11 @@ func (s *Server) runBatch(batch []*pending) {
 		if err != nil {
 			atomic.AddInt64(&s.failed, 1)
 			p.fail(fmt.Errorf("serve: plan %s compile: %w", plan.Key, err))
+			continue
+		}
+		if err := vm.Apply(prog, s.cfg.Exec); err != nil {
+			atomic.AddInt64(&s.failed, 1)
+			p.fail(fmt.Errorf("serve: plan %s: %w", plan.Key, err))
 			continue
 		}
 		items = append(items, item{p: p, plan: plan, cached: cached, prog: prog})

@@ -6,6 +6,7 @@ import (
 	"comp/internal/interp"
 	"comp/internal/minic"
 	"comp/internal/transform"
+	"comp/internal/vm"
 	"comp/internal/workloads"
 )
 
@@ -195,4 +196,144 @@ func TestAoSToSoADifferential(t *testing.T) {
 	}
 	got := nullRunSource(t, minic.Print(f), nil)
 	diffOutputs(t, []string{"ke"}, ref, got)
+}
+
+// composePasses applies all three §IV passes to the same file in one
+// pipeline, returning per-pass application counts. Split runs before
+// reorder: reordering first rewrites the gathered loop into a shape whose
+// split precondition no longer holds (observed on srad), so the reverse
+// order would silently degrade the composition to a single pass. The
+// single-pass sweep above cannot catch interactions between rewrites that
+// are individually sound.
+func composePasses(t *testing.T, f *minic.File) map[string]int {
+	t.Helper()
+	passes := regPasses()
+	passes[0], passes[1] = passes[1], passes[0] // SplitLoop, ReorderArrays, AoSToSoA
+	fired := map[string]int{}
+	for _, pass := range passes {
+		fired[pass.name] = applyPassToFile(t, pass, f)
+	}
+	return fired
+}
+
+// vmRunSource is nullRunSource with the bytecode VM attached as the
+// execution engine, so the composed-transform differential also holds
+// under the second engine.
+func vmRunSource(t *testing.T, src string, setup func(*interp.Program) error) *interp.Program {
+	t.Helper()
+	p, err := interp.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := vm.Attach(p); err != nil {
+		t.Fatalf("vm attach: %v", err)
+	}
+	if err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if setup != nil {
+		if err := setup(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Run(interp.NullBackend{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return p
+}
+
+// gatherDifferentialSource is a pure-gather kernel: no irregular prefix for
+// SplitLoop to peel and no struct layout for AoSToSoA, so in the composed
+// pipeline ReorderArrays is the pass that fires on it.
+const gatherDifferentialSource = `
+float A[8192];
+int idx[8192];
+float out[8192];
+int n;
+int main(void) {
+    int i;
+    n = 8192;
+    for (i = 0; i < n; i++) {
+        A[i] = i * 0.125;
+        idx[i] = (i * 37) % n;
+    }
+    #pragma offload target(mic:0) in(A : length(n), idx : length(n)) out(out : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        out[i] = A[idx[i]] * 2.0 + 1.0;
+    }
+    return 0;
+}
+`
+
+// TestComposedPipelineDifferential applies all three §IV passes to one file
+// in a single pipeline over every workload (plus two synthetic kernels) and
+// requires the composed program to compute bit-identical outputs under BOTH
+// execution engines: the tree-walking interpreter and the bytecode VM. It
+// also pins the pass interactions: SplitLoop and ReorderArrays compete for
+// the same irregular loops, so whichever runs first claims them, and
+// ReorderArrays must refuse the wrapper loops SplitLoop leaves behind
+// (hoisting a gather out of the wrapper would read the inner loops'
+// induction variables before they are assigned).
+func TestComposedPipelineDifferential(t *testing.T) {
+	type unit struct {
+		name    string
+		source  string
+		setup   func(*interp.Program) error
+		outputs []string
+	}
+	units := []unit{
+		{"aos-synthetic", aosDifferentialSource, nil, []string{"ke"}},
+		{"gather-synthetic", gatherDifferentialSource, nil, []string{"out"}},
+	}
+	for _, b := range workloads.All() {
+		if b.SharedMem {
+			continue
+		}
+		units = append(units, unit{b.Name, b.Source, b.Setup, b.Outputs})
+	}
+	perUnit := map[string]map[string]int{}
+	for _, u := range units {
+		u := u
+		t.Run(u.name, func(t *testing.T) {
+			ref := nullRunSource(t, u.source, u.setup)
+			f, err := minic.Parse(u.source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			fired := composePasses(t, f)
+			perUnit[u.name] = fired
+			n := 0
+			for _, c := range fired {
+				n += c
+			}
+			if n == 0 {
+				t.Skip("no §IV pass applicable")
+			}
+			src := minic.Print(f)
+			t.Run("interp", func(t *testing.T) {
+				diffOutputs(t, u.outputs, ref, nullRunSource(t, src, u.setup))
+			})
+			t.Run("vm", func(t *testing.T) {
+				diffOutputs(t, u.outputs, ref, vmRunSource(t, src, u.setup))
+			})
+		})
+	}
+	// Composition pins. Each pass must fire somewhere in the composed
+	// sweep, on the unit whose shape it owns.
+	if perUnit["srad"]["SplitLoop"] == 0 {
+		t.Error("SplitLoop did not fire on srad in the composed pipeline")
+	}
+	if perUnit["gather-synthetic"]["ReorderArrays"] == 0 {
+		t.Error("ReorderArrays did not fire on the gather kernel in the composed pipeline")
+	}
+	if perUnit["aos-synthetic"]["AoSToSoA"] == 0 {
+		t.Error("AoSToSoA did not fire on the AoS kernel in the composed pipeline")
+	}
+	// Interaction pin: after SplitLoop claims srad, ReorderArrays must NOT
+	// fire on the split wrapper — its gather indices reference the inner
+	// loops' induction variables, which the wrapper body assigns.
+	if n := perUnit["srad"]["ReorderArrays"]; n != 0 {
+		t.Errorf("ReorderArrays fired %d times on split srad; hoisting from the wrapper is unsound", n)
+	}
 }

@@ -22,6 +22,19 @@ func ReorderArrays(f *minic.File, loop *minic.ForStmt, names *NameSeq) (int, err
 		return 0, err
 	}
 	cands := analysis.ReorderCandidates(info)
+	// The gather prologue evaluates each candidate's index with the loop
+	// variable substituted; every OTHER variable in the index must be
+	// loop-invariant or the hoisted read sees a different value than the
+	// loop body did. This matters for wrapper loops produced by SplitLoop,
+	// whose bodies assign the inner loops' induction variables.
+	mutated := assignedScalars(loop.Body)
+	kept := cands[:0]
+	for _, c := range cands {
+		if !referencesAny(c.Access.Index, mutated, info.IndexVar) {
+			kept = append(kept, c)
+		}
+	}
+	cands = kept
 	if len(cands) == 0 {
 		return 0, nil
 	}
@@ -145,6 +158,43 @@ func ReorderArrays(f *minic.File, loop *minic.ForStmt, names *NameSeq) (int, err
 		return 0, fmt.Errorf("transform: loop not found in file")
 	}
 	return count, nil
+}
+
+// assignedScalars collects every scalar variable name assigned anywhere in
+// the statement: assignment targets, ++/--, declarations with initializers,
+// and nested loop headers.
+func assignedScalars(s minic.Stmt) map[string]bool {
+	out := map[string]bool{}
+	record := func(e minic.Expr) {
+		if id, ok := e.(*minic.Ident); ok {
+			out[id.Name] = true
+		}
+	}
+	minic.Inspect(s, func(n minic.Node) bool {
+		switch st := n.(type) {
+		case *minic.AssignStmt:
+			record(st.LHS)
+		case *minic.IncDecStmt:
+			record(st.X)
+		case *minic.DeclStmt:
+			out[st.Decl.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// referencesAny reports whether e mentions any identifier in vars other
+// than exempt.
+func referencesAny(e minic.Expr, vars map[string]bool, exempt string) bool {
+	found := false
+	minic.Inspect(e, func(n minic.Node) bool {
+		if id, ok := n.(*minic.Ident); ok && id.Name != exempt && vars[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // cloneWithIndexVar clones idx replacing the loop variable with newVar.

@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Disassemble renders a chunk's serializable projection — frame layout,
+// parameters, constant pool, work table, and code — as text. Floats print
+// as hexadecimal literals so Assemble recovers them bit-exactly. The
+// descriptor tables (accesses, offload specs, printf sites...) hold AST
+// references and are not part of the textual form; Assemble reconstructs
+// everything Disassemble emits, and the round-trip property holds the pair
+// to Disassemble(Assemble(text)) == text.
+func Disassemble(ch *Chunk) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chunk %s slots=%d refs=%d maxf=%d maxr=%d\n",
+		ch.Name, ch.NumSlots, ch.RefSlots, ch.MaxF, ch.MaxR)
+	for _, p := range ch.Params {
+		kind := "num"
+		if p.IsRef {
+			kind = "ref"
+		}
+		fmt.Fprintf(&sb, "param %d %s\n", p.Slot, kind)
+	}
+	for i, c := range ch.Consts {
+		fmt.Fprintf(&sb, "const %d %s\n", i, fmtF(c))
+	}
+	for i, w := range ch.Works {
+		fmt.Fprintf(&sb, "work %d %s %s %s\n", i, fmtF(w.W), fmtF(w.B), fmtF(w.Irr))
+	}
+	for i, in := range ch.Code {
+		fmt.Fprintf(&sb, "%4d: %s %d %d\n", i, in.Op, in.A, in.B)
+	}
+	return sb.String()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(opCount))
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// Assemble parses Disassemble's output back into a chunk. Only the
+// serializable projection is rebuilt; descriptor tables come back empty.
+func Assemble(text string) (*Chunk, error) {
+	ch := &Chunk{}
+	sawHeader := false
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "chunk":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("line %d: malformed chunk header", ln+1)
+			}
+			ch.Name = fields[1]
+			for _, f := range fields[2:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fmt.Errorf("line %d: malformed header field %q", ln+1, f)
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				switch k {
+				case "slots":
+					ch.NumSlots = n
+				case "refs":
+					ch.RefSlots = n
+				case "maxf":
+					ch.MaxF = n
+				case "maxr":
+					ch.MaxR = n
+				default:
+					return nil, fmt.Errorf("line %d: unknown header field %q", ln+1, k)
+				}
+			}
+			sawHeader = true
+		case fields[0] == "param":
+			if len(fields) != 3 || (fields[2] != "num" && fields[2] != "ref") {
+				return nil, fmt.Errorf("line %d: malformed param", ln+1)
+			}
+			slot, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			ch.Params = append(ch.Params, ParamSlot{Slot: slot, IsRef: fields[2] == "ref"})
+		case fields[0] == "const":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: malformed const", ln+1)
+			}
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			ch.Consts = append(ch.Consts, v)
+		case fields[0] == "work":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("line %d: malformed work", ln+1)
+			}
+			var tri [3]float64
+			for i, f := range fields[2:5] {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				tri[i] = v
+			}
+			ch.Works = append(ch.Works, WorkTriple{W: tri[0], B: tri[1], Irr: tri[2]})
+		case strings.HasSuffix(fields[0], ":"):
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: malformed instruction", ln+1)
+			}
+			idx, err := strconv.Atoi(strings.TrimSuffix(fields[0], ":"))
+			if err != nil || idx != len(ch.Code) {
+				return nil, fmt.Errorf("line %d: instruction index %q out of sequence (want %d)", ln+1, fields[0], len(ch.Code))
+			}
+			op, ok := opByName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown opcode %q", ln+1, fields[1])
+			}
+			a, err := strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			b, err := strconv.ParseInt(fields[3], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			ch.Code = append(ch.Code, Instr{Op: op, A: int32(a), B: int32(b)})
+		default:
+			return nil, fmt.Errorf("line %d: unrecognized line %q", ln+1, line)
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("missing chunk header")
+	}
+	return ch, nil
+}

@@ -1,0 +1,33 @@
+package vm_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"comp/internal/interp"
+	"comp/internal/vm"
+	"comp/internal/workloads"
+)
+
+func TestDumpDisasm(t *testing.T) {
+	name := os.Getenv("VM_DUMP")
+	if name == "" {
+		t.Skip("set VM_DUMP=<workload> to dump")
+	}
+	wl, err := workloads.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := interp.Compile(wl.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := vm.CompileProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range mod.Funcs {
+		fmt.Println(vm.Disassemble(ch))
+	}
+}

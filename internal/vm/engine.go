@@ -1,0 +1,120 @@
+package vm
+
+import (
+	"fmt"
+
+	"comp/internal/interp"
+)
+
+// Engine executes a compiled Module as a drop-in replacement for the
+// tree-walker. One Engine is bound to one Program; each Run gets a fresh
+// machine, so an Engine is reusable across Reset/Run cycles.
+type Engine struct {
+	mod *Module
+}
+
+// NewEngine compiles a Program to bytecode.
+func NewEngine(p *interp.Program) (*Engine, error) {
+	mod, err := CompileProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{mod: mod}, nil
+}
+
+// Factory adapts NewEngine to interp.EngineFactory for SetDefaultEngine.
+func Factory(p *interp.Program) (interp.Engine, error) {
+	e, err := NewEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Install makes the VM the default engine for every subsequently compiled
+// program; Uninstall restores the tree-walker.
+func Install()   { interp.SetDefaultEngine(Factory) }
+func Uninstall() { interp.SetDefaultEngine(nil) }
+
+// Attach compiles p for the VM and installs the engine on it, overriding
+// whatever engine (or tree-walker default) it carries.
+func Attach(p *interp.Program) error {
+	e, err := NewEngine(p)
+	if err != nil {
+		return err
+	}
+	p.SetEngine(e)
+	return nil
+}
+
+// Module returns the compiled bytecode (for disassembly and tests).
+func (e *Engine) Module() *Module { return e.mod }
+
+// Run implements interp.Engine: execute main() against the backend,
+// converting VM faults to *interp.RuntimeError exactly like the
+// tree-walker's Run.
+func (e *Engine) Run(p *interp.Program, b interp.Backend) (err error) {
+	if p != e.mod.Prog {
+		return fmt.Errorf("vm: engine bound to a different program")
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*interp.RuntimeError); ok {
+				err = re
+				return
+			}
+			panic(r)
+		}
+	}()
+	m := &machine{p: p, backend: b, mod: e.mod}
+	m.work = &m.hostWork
+	m.refreshBucket()
+	if n := p.LoopBudget(); n > 0 {
+		m.budgetOn = true
+		m.budget = n
+	}
+	m.callFunc(e.mod.Funcs[e.mod.Main], nil, nil)
+	// Flush trailing host work.
+	if !m.hostWork.Zero() {
+		b.HostCompute(m.hostWork)
+		m.hostWork = interp.Work{}
+	}
+	return nil
+}
+
+// ExecModes lists the -exec flag values the cmds accept.
+const (
+	ExecInterp = "interp"
+	ExecVM     = "vm"
+)
+
+// SetExecMode configures the process-wide default engine from a -exec
+// flag value, returning an error on unknown modes.
+func SetExecMode(mode string) error {
+	switch mode {
+	case ExecInterp:
+		Uninstall()
+	case ExecVM:
+		Install()
+	default:
+		return fmt.Errorf("unknown exec mode %q (want %s or %s)", mode, ExecInterp, ExecVM)
+	}
+	return nil
+}
+
+// Apply pins one program's engine from an exec-mode string: "vm" compiles
+// it to bytecode, "interp" forces the tree-walker, "" leaves whatever the
+// process default (SetExecMode / Install) already attached.
+func Apply(p *interp.Program, mode string) error {
+	switch mode {
+	case "":
+		return nil
+	case ExecInterp:
+		p.SetEngine(nil)
+		return nil
+	case ExecVM:
+		return Attach(p)
+	default:
+		return fmt.Errorf("unknown exec mode %q (want %s or %s)", mode, ExecInterp, ExecVM)
+	}
+}

@@ -1,0 +1,560 @@
+package vm
+
+import (
+	"comp/internal/minic"
+)
+
+// expr emits code that pushes a numeric value and returns the
+// expression's static cost triple — the same triple the tree-walker
+// computes, charged later at the enclosing statement's OpWork.
+func (c *comp) expr(e minic.Expr) (cost, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		c.emit(OpConst, c.constIdx(float64(x.Value)), 0)
+		return cost{}, nil
+	case *minic.FloatLit:
+		c.emit(OpConst, c.constIdx(x.Value), 0)
+		return cost{}, nil
+	case *minic.SizeofExpr:
+		c.emit(OpConst, c.constIdx(float64(x.Of.Size())), 0)
+		return cost{}, nil
+	case *minic.StringLit:
+		c.emit(OpConst, c.constIdx(0), 0)
+		return cost{}, nil
+	case *minic.ParenExpr:
+		return c.expr(x.X)
+	case *minic.Ident:
+		return c.identExpr(x)
+	case *minic.UnaryExpr:
+		return c.unaryExpr(x)
+	case *minic.BinaryExpr:
+		return c.binaryExpr(x)
+	case *minic.IndexExpr:
+		return c.indexRead(x, "")
+	case *minic.MemberExpr:
+		ie, ok := x.X.(*minic.IndexExpr)
+		if !ok {
+			return cost{}, c.errf(x.Pos(), "member access requires an indexed struct array")
+		}
+		return c.indexRead(ie, x.Field)
+	case *minic.CallExpr:
+		return c.callExpr(x)
+	case *minic.CondExpr:
+		return c.condExpr(x)
+	}
+	return cost{}, c.errf(e.Pos(), "unsupported expression %T", e)
+}
+
+func (c *comp) identExpr(x *minic.Ident) (cost, error) {
+	bnd, ok := c.lookup(x.Name)
+	if !ok {
+		return cost{}, c.errf(x.Pos(), "undefined %s", x.Name)
+	}
+	switch bnd.kind {
+	case bindLocal:
+		c.emit(OpLoad, int32(bnd.slot), 0)
+		return cost{}, nil
+	case bindGlobal:
+		if isRefType(bnd.typ) {
+			return cost{}, c.errf(x.Pos(), "array %s used as a scalar", x.Name)
+		}
+		c.emit(OpLoadG, int32(bnd.gidx), 0)
+		return cost{}, nil
+	}
+	return cost{}, c.errf(x.Pos(), "pointer %s used as a scalar", x.Name)
+}
+
+func (c *comp) unaryExpr(x *minic.UnaryExpr) (cost, error) {
+	if x.Op == "*" {
+		// *p == p[0]
+		idx := &minic.IndexExpr{X: x.X, Index: &minic.IntLit{Value: 0}}
+		return c.indexRead(idx, "")
+	}
+	if x.Op == "&" {
+		return cost{}, c.errf(x.Pos(), "address-of is only supported inside pragma clauses")
+	}
+	sub, err := c.expr(x.X)
+	if err != nil {
+		return cost{}, err
+	}
+	switch x.Op {
+	case "-":
+		c.emit(OpNeg, 0, 0)
+	case "!":
+		c.emit(OpNot, 0, 0)
+	default:
+		return cost{}, c.errf(x.Pos(), "unsupported unary %q", x.Op)
+	}
+	return cost{sub.w + 1, sub.b, sub.irr}, nil
+}
+
+func (c *comp) binaryExpr(x *minic.BinaryExpr) (cost, error) {
+	// Short-circuit logical operators: costs are static (both sides
+	// charged), evaluation is lazy, and the result is normalized 0/1.
+	if x.Op == "&&" || x.Op == "||" {
+		a, err := c.expr(x.X)
+		if err != nil {
+			return cost{}, err
+		}
+		var skip int
+		if x.Op == "&&" {
+			skip = c.emitJump(OpJz)
+		} else {
+			skip = c.emitJump(OpJnz)
+		}
+		b, err := c.expr(x.Y)
+		if err != nil {
+			return cost{}, err
+		}
+		c.emit(OpBool, 0, 0)
+		end := c.emitJump(OpJmp)
+		c.patch(skip)
+		if x.Op == "&&" {
+			c.emit(OpConst, c.constIdx(0), 0)
+		} else {
+			c.emit(OpConst, c.constIdx(1), 0)
+		}
+		c.patch(end)
+		return cost{a.w + b.w + 1, a.b + b.b, a.irr + b.irr}, nil
+	}
+
+	intCtx := false
+	if t, ok := x.Type().(*minic.Basic); ok && t.IsInteger() {
+		intCtx = true
+	}
+	if x.Op == "%" || (x.Op == "/" && intCtx) {
+		// The tree-walker evaluates the denominator first and faults on
+		// zero before touching the numerator.
+		b, err := c.expr(x.Y)
+		if err != nil {
+			return cost{}, err
+		}
+		pi := c.posIdx(x.Pos())
+		isMod := int32(0)
+		if x.Op == "%" {
+			isMod = 1
+		}
+		c.emit(OpChkZ, pi, isMod)
+		a, err := c.expr(x.X)
+		if err != nil {
+			return cost{}, err
+		}
+		c.emit(OpSwap, 0, 0)
+		if x.Op == "%" {
+			c.emit(OpMod, pi, 0)
+		} else {
+			c.emit(OpDivI, pi, 0)
+		}
+		return cost{a.w + b.w + 1, a.b + b.b, a.irr + b.irr}, nil
+	}
+
+	a, err := c.expr(x.X)
+	if err != nil {
+		return cost{}, err
+	}
+	b, err := c.expr(x.Y)
+	if err != nil {
+		return cost{}, err
+	}
+	if err := c.emitBinOp(x.Op, intCtx, -1); err != nil {
+		return cost{}, c.errf(x.Pos(), "unsupported operator %q", x.Op)
+	}
+	return cost{a.w + b.w + 1, a.b + b.b, a.irr + b.irr}, nil
+}
+
+func (c *comp) condExpr(x *minic.CondExpr) (cost, error) {
+	cond, err := c.expr(x.Cond)
+	if err != nil {
+		return cost{}, err
+	}
+	jz := c.emitJump(OpJz)
+	then, err := c.expr(x.Then)
+	if err != nil {
+		return cost{}, err
+	}
+	jend := c.emitJump(OpJmp)
+	c.patch(jz)
+	els, err := c.expr(x.Else)
+	if err != nil {
+		return cost{}, err
+	}
+	c.patch(jend)
+	// Vectorized hardware evaluates both sides under a mask; charge both
+	// for cost, evaluate lazily for values.
+	return cost{
+		cond.w + then.w + els.w + 1,
+		cond.b + then.b + els.b,
+		cond.irr + then.irr + els.irr,
+	}, nil
+}
+
+func (c *comp) indexRead(x *minic.IndexExpr, field string) (cost, error) {
+	site, err := c.accessSite(x, field)
+	if err != nil {
+		return cost{}, err
+	}
+	if err := c.emitRefIdent(site.baseID, x.Pos()); err != nil {
+		return cost{}, err
+	}
+	idx, err := c.expr(x.Index)
+	if err != nil {
+		return cost{}, err
+	}
+	c.emit(OpLoadIdx, site.accIdx, 0)
+	out := cost{idx.w + 1, idx.b + site.elemBytes, idx.irr}
+	if site.irregular {
+		out.irr += site.elemBytes
+	}
+	return out, nil
+}
+
+// ---- calls ----
+
+func (c *comp) callExpr(x *minic.CallExpr) (cost, error) {
+	name := x.Fun.Name
+	// free / offload_shared_free are value-level no-ops; their arguments
+	// are never evaluated (matching the tree-walker).
+	if name == "free" || name == "offload_shared_free" {
+		c.emit(OpConst, c.constIdx(0), 0)
+		return cost{}, nil
+	}
+	if name == "printf" {
+		return c.printfExpr(x)
+	}
+	if b, ok := minic.Builtins[name]; ok {
+		return c.builtinExpr(x, b)
+	}
+	fi, ok := c.mod.ByName[name]
+	if !ok {
+		return cost{}, c.errf(x.Pos(), "call to undefined function %s", name)
+	}
+	fd := c.decl(name)
+	if fd == nil {
+		return cost{}, c.errf(x.Pos(), "call to undefined function %s", name)
+	}
+	if len(x.Args) != len(fd.Params) {
+		return cost{}, c.errf(x.Pos(), "%s expects %d args, got %d", name, len(fd.Params), len(x.Args))
+	}
+	// Numeric arguments evaluate first (in their relative order), then
+	// reference arguments — the tree-walker's env.call order. Only numeric
+	// argument costs are charged.
+	out := cost{w: 5}
+	nNum, nRef := 0, 0
+	for i, a := range x.Args {
+		if isRefType(fd.Params[i].Type) {
+			continue
+		}
+		k, err := c.expr(a)
+		if err != nil {
+			return cost{}, err
+		}
+		out.w += k.w
+		out.b += k.b
+		out.irr += k.irr
+		nNum++
+	}
+	for i, a := range x.Args {
+		if !isRefType(fd.Params[i].Type) {
+			continue
+		}
+		if err := c.ref(a, minic.ElemOf(fd.Params[i].Type)); err != nil {
+			return cost{}, err
+		}
+		nRef++
+	}
+	c.emit(OpCall, int32(fi), int32(nNum<<12|nRef))
+	return out, nil
+}
+
+func (c *comp) decl(name string) *minic.FuncDecl {
+	for _, fd := range c.file.Funcs() {
+		if fd.Name == name && fd.Body != nil {
+			return fd
+		}
+	}
+	return nil
+}
+
+func (c *comp) builtinExpr(x *minic.CallExpr, b minic.Builtin) (cost, error) {
+	kind, ok := builtinKind[b.Name]
+	if !ok {
+		return cost{}, c.errf(x.Pos(), "builtin %s not supported here", b.Name)
+	}
+	arity := builtinArity[kind]
+	if len(x.Args) < arity {
+		return cost{}, c.errf(x.Pos(), "%s expects %d args", b.Name, arity)
+	}
+	// The tree-walker charges every argument's cost but evaluates only the
+	// first `arity` of them.
+	out := cost{w: b.FlopCost}
+	for i, a := range x.Args {
+		if i < arity {
+			k, err := c.expr(a)
+			if err != nil {
+				return cost{}, err
+			}
+			out.w += k.w
+			out.b += k.b
+			out.irr += k.irr
+			continue
+		}
+		k, err := c.staticCost(a)
+		if err != nil {
+			return cost{}, err
+		}
+		out.w += k.w
+		out.b += k.b
+		out.irr += k.irr
+	}
+	c.emit(OpBuiltin, int32(kind), 0)
+	return out, nil
+}
+
+func (c *comp) printfExpr(x *minic.CallExpr) (cost, error) {
+	if len(x.Args) == 0 {
+		return cost{}, c.errf(x.Pos(), "printf needs a format string")
+	}
+	lit, ok := x.Args[0].(*minic.StringLit)
+	if !ok {
+		return cost{}, c.errf(x.Pos(), "printf format must be a string literal")
+	}
+	format := lit.Value
+	nArgs := len(x.Args) - 1
+	// Pre-translate the format: %d/%i render as int64 via %d, %f/%g/%e
+	// pass through, other verbs become %v. Verbs beyond the argument count
+	// stay literal (fmt then prints its MISSING artifact, byte-for-byte
+	// like the tree-walker's runtime translation).
+	out := make([]byte, 0, len(format)+16)
+	var kinds []byte
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' || i+1 >= len(format) {
+			out = append(out, ch)
+			continue
+		}
+		i++
+		verb := format[i]
+		if verb == '%' {
+			out = append(out, '%')
+			continue
+		}
+		if len(kinds) >= nArgs {
+			out = append(out, '%', verb)
+			continue
+		}
+		switch verb {
+		case 'd', 'i':
+			out = append(out, '%', 'd')
+			kinds = append(kinds, 'i')
+		case 'f', 'g', 'e':
+			out = append(out, '%', verb)
+			kinds = append(kinds, 'f')
+		default:
+			out = append(out, '%', 'v')
+			kinds = append(kinds, 'f')
+		}
+	}
+	// Only the consumed arguments are ever evaluated.
+	for i := 0; i < len(kinds); i++ {
+		if _, err := c.expr(x.Args[1+i]); err != nil {
+			return cost{}, err
+		}
+	}
+	c.fn.Printfs = append(c.fn.Printfs, &PrintfDesc{Format: string(out), Kinds: kinds})
+	c.emit(OpPrintf, int32(len(c.fn.Printfs)-1), 0)
+	return cost{}, nil
+}
+
+// ---- references ----
+
+// ref emits code that pushes an array reference. elemHint supplies the
+// element type for malloc-family calls.
+func (c *comp) ref(e minic.Expr, elemHint minic.Type) error {
+	switch x := e.(type) {
+	case *minic.ParenExpr:
+		return c.ref(x.X, elemHint)
+	case *minic.Ident:
+		bnd, ok := c.lookup(x.Name)
+		if !ok {
+			return c.errf(x.Pos(), "undefined %s", x.Name)
+		}
+		if !isRefType(bnd.typ) {
+			return c.errf(x.Pos(), "%s is not a pointer or array", x.Name)
+		}
+		return c.emitRefIdent(x, x.Pos())
+	case *minic.IntLit:
+		if x.Value == 0 {
+			c.emit(OpRefNull, 0, 0)
+			return nil
+		}
+	case *minic.CallExpr:
+		switch x.Fun.Name {
+		case "malloc", "offload_shared_malloc":
+			if elemHint == nil {
+				elemHint = minic.DoubleType
+			}
+			if len(x.Args) != 1 {
+				return c.errf(x.Pos(), "%s takes one argument", x.Fun.Name)
+			}
+			// The allocation size expression is evaluated but never
+			// charged (pointer assignments carry no work in the
+			// tree-walker either).
+			if _, err := c.expr(x.Args[0]); err != nil {
+				return err
+			}
+			c.fn.Mallocs = append(c.fn.Mallocs, MallocDesc{
+				Elem:   elemHint,
+				Shared: x.Fun.Name == "offload_shared_malloc",
+				Pos:    c.posIdx(x.Pos()),
+			})
+			c.emit(OpMalloc, int32(len(c.fn.Mallocs)-1), 0)
+			return nil
+		}
+	}
+	return c.errf(e.Pos(), "unsupported pointer expression %T", e)
+}
+
+// ---- static cost (no emission) ----
+
+// staticCost computes the tree-walker's cost triple for an expression
+// without emitting code. Used where an expression's cost is charged but
+// its code is emitted separately (index lvalues) or not at all (builtin
+// surplus arguments).
+func (c *comp) staticCost(e minic.Expr) (cost, error) {
+	switch x := e.(type) {
+	case *minic.IntLit, *minic.FloatLit, *minic.SizeofExpr, *minic.StringLit:
+		return cost{}, nil
+	case *minic.ParenExpr:
+		return c.staticCost(x.X)
+	case *minic.Ident:
+		return cost{}, nil
+	case *minic.UnaryExpr:
+		if x.Op == "*" {
+			idx := &minic.IndexExpr{X: x.X, Index: &minic.IntLit{Value: 0}}
+			return c.staticAccessCost(idx, "")
+		}
+		sub, err := c.staticCost(x.X)
+		if err != nil {
+			return cost{}, err
+		}
+		return cost{sub.w + 1, sub.b, sub.irr}, nil
+	case *minic.BinaryExpr:
+		a, err := c.staticCost(x.X)
+		if err != nil {
+			return cost{}, err
+		}
+		b, err := c.staticCost(x.Y)
+		if err != nil {
+			return cost{}, err
+		}
+		return cost{a.w + b.w + 1, a.b + b.b, a.irr + b.irr}, nil
+	case *minic.IndexExpr:
+		return c.staticAccessCost(x, "")
+	case *minic.MemberExpr:
+		ie, ok := x.X.(*minic.IndexExpr)
+		if !ok {
+			return cost{}, c.errf(x.Pos(), "member access requires an indexed struct array")
+		}
+		return c.staticAccessCost(ie, x.Field)
+	case *minic.CondExpr:
+		cond, err := c.staticCost(x.Cond)
+		if err != nil {
+			return cost{}, err
+		}
+		then, err := c.staticCost(x.Then)
+		if err != nil {
+			return cost{}, err
+		}
+		els, err := c.staticCost(x.Else)
+		if err != nil {
+			return cost{}, err
+		}
+		return cost{cond.w + then.w + els.w + 1, cond.b + then.b + els.b, cond.irr + then.irr + els.irr}, nil
+	case *minic.CallExpr:
+		return c.staticCallCost(x)
+	}
+	return cost{}, c.errf(e.Pos(), "unsupported expression %T", e)
+}
+
+func (c *comp) staticAccessCost(x *minic.IndexExpr, field string) (cost, error) {
+	id, ok := x.X.(*minic.Ident)
+	if !ok {
+		if p, isParen := x.X.(*minic.ParenExpr); isParen {
+			if id2, ok2 := p.X.(*minic.Ident); ok2 {
+				id = id2
+				ok = true
+			}
+		}
+	}
+	if !ok {
+		return cost{}, c.errf(x.Pos(), "unsupported array base expression")
+	}
+	bnd, found := c.lookup(id.Name)
+	if !found {
+		return cost{}, c.errf(id.Pos(), "undefined %s", id.Name)
+	}
+	if !isRefType(bnd.typ) {
+		return cost{}, c.errf(id.Pos(), "%s is not an array", id.Name)
+	}
+	elem := minic.ElemOf(bnd.typ)
+	elemBytes := float64(elem.Size())
+	if field != "" {
+		st, ok := elem.(*minic.StructType)
+		if !ok {
+			return cost{}, c.errf(x.Pos(), "%s is not a struct array", id.Name)
+		}
+		f := st.Field(field)
+		if f == nil {
+			return cost{}, c.errf(x.Pos(), "struct %s has no field %s", st.Name, field)
+		}
+		elemBytes = float64(f.Type.Size())
+	}
+	irregular := c.classifySite(x.Index) || field != ""
+	idx, err := c.staticCost(x.Index)
+	if err != nil {
+		return cost{}, err
+	}
+	out := cost{idx.w + 1, idx.b + elemBytes, idx.irr}
+	if irregular {
+		out.irr += elemBytes
+	}
+	return out, nil
+}
+
+func (c *comp) staticCallCost(x *minic.CallExpr) (cost, error) {
+	name := x.Fun.Name
+	if name == "free" || name == "offload_shared_free" || name == "printf" {
+		return cost{}, nil
+	}
+	if b, ok := minic.Builtins[name]; ok {
+		out := cost{w: b.FlopCost}
+		for _, a := range x.Args {
+			k, err := c.staticCost(a)
+			if err != nil {
+				return cost{}, err
+			}
+			out.w += k.w
+			out.b += k.b
+			out.irr += k.irr
+		}
+		return out, nil
+	}
+	fd := c.decl(name)
+	if fd == nil {
+		return cost{}, c.errf(x.Pos(), "call to undefined function %s", name)
+	}
+	out := cost{w: 5}
+	for i, a := range x.Args {
+		if i < len(fd.Params) && isRefType(fd.Params[i].Type) {
+			continue
+		}
+		k, err := c.staticCost(a)
+		if err != nil {
+			return cost{}, err
+		}
+		out.w += k.w
+		out.b += k.b
+		out.irr += k.irr
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package vm_test
+
+import (
+	"regexp"
+	"testing"
+
+	"comp/internal/interp"
+	"comp/internal/vm"
+	"comp/internal/workloads"
+)
+
+// bigLiteral rejects fuzz inputs that could allocate gigabyte arrays:
+// execution-fuzzing needs a memory bound the parse-only fuzzers don't.
+var bigLiteral = regexp.MustCompile(`[0-9]{6,}`)
+
+// FuzzVMDiff: any input the front end accepts must execute identically on
+// the tree-walker and the VM — same output, same globals, same backend
+// event stream, same error. A VM panic that is not a RuntimeError escapes
+// Run and fails the target. The checked-in corpus under testdata/fuzz
+// carries over the minic parser corpus; the generator seeds add full
+// programs with offload regions.
+func FuzzVMDiff(f *testing.F) {
+	for _, b := range workloads.All() {
+		if b.SharedMem {
+			continue
+		}
+		f.Add(b.Source)
+		if src, err := b.CPUSource(); err == nil {
+			f.Add(src)
+		}
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(genProgram(seed))
+	}
+	f.Add("int a; int main(void) { a = 1 / (a - a); return 0; }")
+	f.Add("int main(void) { printf(\"%d %d\\n\", 1); return 0; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 32<<10 || bigLiteral.MatchString(src) {
+			t.Skip("input too large to execute safely")
+		}
+		ref, err := interp.Compile(src)
+		if err != nil {
+			t.Skip("front end rejects input")
+		}
+		ref.SetEngine(nil)
+		got, err := interp.Compile(src)
+		if err != nil {
+			t.Fatalf("second compile of accepted input failed: %v", err)
+		}
+		if err := vm.Attach(got); err != nil {
+			t.Fatalf("vm rejects a program the tree-walker accepted: %v", err)
+		}
+		const budget = 50_000
+		compareRuns(t, execProgram(ref, nil, budget), execProgram(got, nil, budget))
+	})
+}

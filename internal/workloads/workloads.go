@@ -24,6 +24,7 @@ import (
 	"comp/internal/interp"
 	"comp/internal/minic"
 	"comp/internal/runtime"
+	"comp/internal/vm"
 )
 
 // Benchmark is one member of the evaluation suite.
@@ -188,6 +189,10 @@ type RunOptions struct {
 	Passes string
 	// Config overrides the platform (zero value = DefaultConfig).
 	Config *runtime.Config
+	// Exec pins the execution engine for the compiled program: vm.ExecVM
+	// compiles it to bytecode, vm.ExecInterp forces the tree-walker, ""
+	// keeps the process-wide default (vm.SetExecMode).
+	Exec string
 }
 
 // Run executes a MiniC benchmark variant and returns its result.
@@ -231,6 +236,9 @@ func (b *Benchmark) Prepare(ro RunOptions) (*interp.Program, runtime.Config, err
 	p, err := interp.Compile(src)
 	if err != nil {
 		return nil, runtime.Config{}, fmt.Errorf("%s: compile: %w\n%s", b.Name, err, src)
+	}
+	if err := vm.Apply(p, ro.Exec); err != nil {
+		return nil, runtime.Config{}, fmt.Errorf("%s: %w", b.Name, err)
 	}
 	cfg := runtime.DefaultConfig()
 	if ro.Config != nil {
