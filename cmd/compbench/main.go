@@ -16,11 +16,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"comp/internal/bench"
 	"comp/internal/vm"
 )
+
+// setExecMode installs the requested MiniC engine for the whole process,
+// or writes a one-line usage error naming the valid modes to stderr and
+// returns the usage exit code.
+func setExecMode(mode string, stderr io.Writer) int {
+	if err := vm.SetExecMode(mode); err != nil {
+		fmt.Fprintln(stderr, "compbench:", err)
+		return 2
+	}
+	return 0
+}
 
 func main() {
 	only := flag.String("only", "", "regenerate a single figure/table by id (e.g. fig12, table3)")
@@ -28,7 +40,7 @@ func main() {
 	traceDir := flag.String("tracedir", "", "dump each run's Chrome trace + metrics report into this directory")
 	streams := flag.Int("streams", 0, "run the multi-stream scheduler report with this many streams (0 = off)")
 	requests := flag.Int("requests", 0, "concurrent requests per workload for -streams (0 = streams)")
-	streamsOut := flag.String("streams-out", "bench_streams.json", "write the -streams report as JSON to this file (\"-\" = stdout only)")
+	streamsOut := flag.String("streams-out", "BENCH_streams.json", "write the -streams report as JSON to this file (\"-\" = stdout only)")
 	sweep := flag.Bool("sweep", false, "use the exhaustive block-count sweep instead of the autotuner")
 	serveMode := flag.Bool("serve", false, "drive the offload serving layer with a synthetic client fleet")
 	serveClients := flag.Int("serve-clients", 32, "concurrent clients for -serve")
@@ -37,21 +49,50 @@ func main() {
 	passes := flag.String("passes", "", "compile every benchmark under this pipeline `spec` (e.g. \"merge,regularize,streaming\") and print the per-pass applied/skipped table with full remark trails")
 	scenarios := flag.Bool("scenarios", false, "replay every built-in serving scenario (internal/scenario) and print the per-scenario admission/fault-recovery table")
 	scenarioSeed := flag.Int64("scenario-seed", 1, "trace seed for -scenarios")
-	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm or interp")
+	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm, interp, or columnar")
 	vmbench := flag.Bool("vmbench", false, "benchmark the bytecode VM against the tree-walker on every workload")
 	vmbenchIters := flag.Int("vmbench-iters", 3, "full runs per engine for -vmbench (best-of)")
 	vmbenchOut := flag.String("vmbench-out", "BENCH_vm.json", "write the -vmbench report as JSON to this file (\"-\" = stdout only)")
+	columnar := flag.Bool("columnar", false, "benchmark the columnar batch tier against the scalar VM on every workload plus the element-wise kernel set (AoS vs SoA included)")
+	columnarIters := flag.Int("columnar-iters", 3, "full runs per mode for -columnar (best-of)")
+	columnarOut := flag.String("columnar-out", "BENCH_columnar.json", "write the -columnar report as JSON to this file (\"-\" = stdout only)")
 	flag.Parse()
 
-	if err := vm.SetExecMode(*execMode); err != nil {
-		fmt.Fprintln(os.Stderr, "compbench:", err)
-		os.Exit(2)
+	if code := setExecMode(*execMode, os.Stderr); code != 0 {
+		os.Exit(code)
 	}
 
 	r := bench.NewRunner()
 	r.UseSweep = *sweep
 	if *traceDir != "" {
 		r.SetTraceDir(*traceDir)
+	}
+
+	if *columnar {
+		rep, err := r.ColumnarBench(*columnarIters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		if *columnarOut != "-" {
+			f, err := os.Create(*columnarOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *columnarOut)
+		}
+		return
 	}
 
 	if *vmbench {

@@ -16,12 +16,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"comp/internal/core"
 	"comp/internal/pass"
 	"comp/internal/vm"
 )
+
+// setExecMode installs the requested MiniC engine for the whole process,
+// or writes a one-line usage error naming the valid modes to stderr and
+// returns the usage exit code.
+func setExecMode(mode string, stderr io.Writer) int {
+	if err := vm.SetExecMode(mode); err != nil {
+		fmt.Fprintln(stderr, "compc:", err)
+		return 2
+	}
+	return 0
+}
 
 func main() {
 	streaming := flag.Bool("streaming", true, "enable data streaming (SIII)")
@@ -35,12 +47,11 @@ func main() {
 	remarks := flag.Bool("remarks", false, "print the full remark trail (every applied and skipped decision) on stderr")
 	remarksJSON := flag.Bool("remarks-json", false, "print the remark trail as JSON on stdout instead of the source")
 	auto := flag.Bool("auto", false, "insert offload clauses into plain OpenMP code first (Apricot mode)")
-	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine for measured tuning runs: vm or interp")
+	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine for measured tuning runs: vm, interp, or columnar")
 	flag.Parse()
 
-	if err := vm.SetExecMode(*execMode); err != nil {
-		fmt.Fprintln(os.Stderr, "compc:", err)
-		os.Exit(2)
+	if code := setExecMode(*execMode, os.Stderr); code != 0 {
+		os.Exit(code)
 	}
 
 	if flag.NArg() != 1 {

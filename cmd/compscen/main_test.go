@@ -7,7 +7,37 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"comp/internal/vm"
 )
+
+// TestExecFlagTable pins the -exec contract end-to-end through run(): the
+// three engine names are accepted, anything else exits 2 with a usage
+// error whose first line names every valid mode.
+func TestExecFlagTable(t *testing.T) {
+	defer vm.SetExecMode(vm.ExecVM)
+	for _, mode := range []string{"vm", "interp", "columnar"} {
+		code, _, stderr := runCLI("show", "-scenario", "steady", "-exec", mode)
+		if code != 0 {
+			t.Errorf("-exec %s: exit %d, stderr %s", mode, code, stderr)
+		}
+	}
+	for _, mode := range []string{"", "VM", "Columnar", "jit", "vm,interp"} {
+		code, _, stderr := runCLI("show", "-scenario", "steady", "-exec", mode)
+		if code != 2 {
+			t.Errorf("-exec %q: exit %d, want 2", mode, code)
+		}
+		first, _, _ := strings.Cut(stderr, "\n")
+		for _, want := range []string{"compscen:", "unknown exec mode", "interp", "vm", "columnar"} {
+			if !strings.Contains(first, want) {
+				t.Errorf("-exec %q: first stderr line lacks %q: %s", mode, want, first)
+			}
+		}
+		if !strings.Contains(stderr, "usage: compscen") {
+			t.Errorf("-exec %q: stderr lacks usage text", mode)
+		}
+	}
+}
 
 // runCLI invokes the command the way main does and captures its streams.
 func runCLI(args ...string) (code int, stdout, stderr string) {

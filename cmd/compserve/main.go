@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -34,6 +35,17 @@ import (
 	"comp/internal/workloads"
 )
 
+// setExecMode installs the requested MiniC engine for the whole process,
+// or writes a one-line usage error naming the valid modes to stderr and
+// returns the usage exit code.
+func setExecMode(mode string, stderr io.Writer) int {
+	if err := vm.SetExecMode(mode); err != nil {
+		fmt.Fprintln(stderr, "compserve:", err)
+		return 2
+	}
+	return 0
+}
+
 func main() {
 	clients := flag.Int("clients", 64, "concurrent synthetic clients")
 	requests := flag.Int("requests", 2, "requests each client submits")
@@ -44,12 +56,11 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-request deadline (0 = none)")
 	verify := flag.Bool("verify", false, "replay the trace on a second fresh server and require bit-identical outputs")
 	jsonOut := flag.String("json", "", "also write the metrics report as JSON to this file (\"-\" = stdout)")
-	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm or interp")
+	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm, interp, or columnar")
 	flag.Parse()
 
-	if err := vm.SetExecMode(*execMode); err != nil {
-		fmt.Fprintln(os.Stderr, "compserve:", err)
-		os.Exit(2)
+	if code := setExecMode(*execMode, os.Stderr); code != 0 {
+		os.Exit(code)
 	}
 
 	if flag.NArg() > 0 {

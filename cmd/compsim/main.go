@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -39,6 +40,17 @@ import (
 	"comp/internal/workloads"
 )
 
+// setExecMode installs the requested MiniC engine for the whole process,
+// or writes a one-line usage error naming the valid modes to stderr and
+// returns the usage exit code.
+func setExecMode(mode string, stderr io.Writer) int {
+	if err := vm.SetExecMode(mode); err != nil {
+		fmt.Fprintln(stderr, "compsim:", err)
+		return 2
+	}
+	return 0
+}
+
 func main() {
 	optimize := flag.Bool("optimize", false, "apply the COMP optimizations before running")
 	cpuOnly := flag.Bool("cpu", false, "strip offload pragmas and run on the host model only")
@@ -53,12 +65,11 @@ func main() {
 	requests := flag.Int("requests", 0, "concurrent requests for the scheduler (0 = one per stream)")
 	faults := flag.Float64("faults", 0, "uniform fault injection rate in [0,1] for DMA/launch/hang/alloc (0 = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
-	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm or interp")
+	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm, interp, or columnar")
 	flag.Parse()
 
-	if err := vm.SetExecMode(*execMode); err != nil {
-		fmt.Fprintln(os.Stderr, "compsim:", err)
-		os.Exit(2)
+	if code := setExecMode(*execMode, os.Stderr); code != 0 {
+		os.Exit(code)
 	}
 
 	if flag.NArg() != 1 {

@@ -9,7 +9,7 @@ import (
 
 // TestStreamsRegressionGuard regenerates the multi-stream report at the
 // committed configuration and fails if any workload's concurrent makespan
-// regressed more than 10% against bench_streams.json. The makespans are
+// regressed more than 10% against BENCH_streams.json. The makespans are
 // simulated time, so the comparison is deterministic — a failure always
 // means a code change altered the schedule, never measurement noise. The
 // full regeneration re-tunes every workload and takes minutes, so the
@@ -19,7 +19,7 @@ func TestStreamsRegressionGuard(t *testing.T) {
 	if os.Getenv("COMP_BENCH_REGRESS") == "" {
 		t.Skip("set COMP_BENCH_REGRESS=1 to run the bench regression guard")
 	}
-	raw, err := os.ReadFile("../../bench_streams.json")
+	raw, err := os.ReadFile("../../BENCH_streams.json")
 	if err != nil {
 		t.Fatalf("read committed report: %v", err)
 	}
@@ -72,7 +72,7 @@ func TestStreamsRegressionGuard(t *testing.T) {
 		t.Error(f)
 	}
 	if len(failures) > 0 {
-		t.Fatalf("%d workload(s) regressed; if intentional, regenerate bench_streams.json with compbench -streams %d -requests %d",
+		t.Fatalf("%d workload(s) regressed; if intentional, regenerate BENCH_streams.json with compbench -streams %d -requests %d",
 			len(failures), committed.Streams, committed.Requests)
 	}
 }

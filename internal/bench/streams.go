@@ -15,7 +15,7 @@ import (
 // serialized single-stream execution of the same concurrent request batch,
 // and (b) how close the online block-count autotuner lands to the
 // exhaustive-sweep oracle and how many probe runs it spent. compbench
-// -streams writes it as bench_streams.json.
+// -streams writes it as BENCH_streams.json.
 
 // StreamsRow is one workload's line.
 type StreamsRow struct {
@@ -142,7 +142,7 @@ func (r *Runner) Streams(streams, requests int) (*StreamsReport, error) {
 	return rep, nil
 }
 
-// WriteJSON emits the report as indented JSON (bench_streams.json).
+// WriteJSON emits the report as indented JSON (BENCH_streams.json).
 func (rep *StreamsReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

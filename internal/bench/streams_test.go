@@ -108,7 +108,7 @@ func TestTuneStreamingCaches(t *testing.T) {
 // concurrent batch must beat the serialized one by ≥1.3×. Uses the tuner
 // directly (not StreamsBenchmark) so the sweep oracle — already exercised
 // by TestAutotunerMatchesOracle — is not re-run; the full-suite figures
-// live in bench_streams.json (compbench -streams).
+// live in BENCH_streams.json (compbench -streams).
 func TestSchedulerBeatsSerialized(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scheduler comparison skipped in -short mode")

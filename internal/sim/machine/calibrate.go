@@ -1,0 +1,30 @@
+package machine
+
+// CalibrateVectorEff derives a Config.VectorEff value from a measured
+// vector-over-scalar speedup ratio. A machine with L lanes at efficiency
+// e runs vectorizable loops e*L times faster than scalar code, so the
+// observed ratio S maps back to e = S/L, clamped to (0, 1]: a ratio at
+// or below 1 means vectorization bought nothing (floor at a nominal 1%
+// so the factor stays usable as a multiplier), and a ratio above L*1.0
+// cannot be explained by lanes alone and saturates at perfect efficiency.
+func CalibrateVectorEff(measured float64, lanes int) float64 {
+	if lanes <= 0 {
+		return 0.01
+	}
+	eff := measured / float64(lanes)
+	if !(eff > 0.01) { // also catches NaN
+		return 0.01
+	}
+	if eff > 1 {
+		return 1
+	}
+	return eff
+}
+
+// WithMeasuredVectorRatio returns a copy of the config with VectorEff
+// recalibrated from a measured vector-over-scalar speedup on this
+// machine's lane count.
+func (c Config) WithMeasuredVectorRatio(measured float64) Config {
+	c.VectorEff = CalibrateVectorEff(measured, c.VectorLanes)
+	return c
+}

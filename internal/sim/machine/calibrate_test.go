@@ -1,0 +1,44 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrateVectorEff(t *testing.T) {
+	cases := []struct {
+		measured float64
+		lanes    int
+		want     float64
+	}{
+		{4.0, 8, 0.5},    // typical host-measured ratio
+		{3.2, 8, 0.4},    // exactly the committed XeonE5 value
+		{16.0, 8, 1.0},   // more than lanes can explain: saturate
+		{8.0, 8, 1.0},    // perfect efficiency
+		{1.0, 8, 0.125},  // vectorization bought a lane's worth of nothing extra
+		{0.5, 8, 0.0625}, // slowdown still maps into (0,1]
+		{0.05, 8, 0.01},  // floored
+		{-1.0, 8, 0.01},  // nonsense input floored
+		{math.NaN(), 8, 0.01},
+		{4.0, 0, 0.01},
+	}
+	for _, tc := range cases {
+		if got := CalibrateVectorEff(tc.measured, tc.lanes); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("CalibrateVectorEff(%v, %d) = %v, want %v", tc.measured, tc.lanes, got, tc.want)
+		}
+	}
+}
+
+func TestWithMeasuredVectorRatio(t *testing.T) {
+	c := XeonE5().WithMeasuredVectorRatio(4.0)
+	if c.VectorEff != 0.5 {
+		t.Errorf("VectorEff = %v, want 0.5", c.VectorEff)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("recalibrated config does not validate: %v", err)
+	}
+	// The committed defaults are untouched.
+	if XeonE5().VectorEff != 0.40 {
+		t.Errorf("XeonE5 default VectorEff changed: %v", XeonE5().VectorEff)
+	}
+}

@@ -221,11 +221,24 @@ func composePasses(t *testing.T, f *minic.File) map[string]int {
 // under the second engine.
 func vmRunSource(t *testing.T, src string, setup func(*interp.Program) error) *interp.Program {
 	t.Helper()
+	return engineRunSource(t, src, setup, vm.Attach)
+}
+
+// columnarRunSource is vmRunSource with the columnar batch tier enabled —
+// the transformed programs are exactly the regular, element-wise shapes
+// the tier targets, so this is where fused vector ops meet §IV rewrites.
+func columnarRunSource(t *testing.T, src string, setup func(*interp.Program) error) *interp.Program {
+	t.Helper()
+	return engineRunSource(t, src, setup, vm.AttachColumnar)
+}
+
+func engineRunSource(t *testing.T, src string, setup func(*interp.Program) error, attach func(*interp.Program) error) *interp.Program {
+	t.Helper()
 	p, err := interp.Compile(src)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	if err := vm.Attach(p); err != nil {
+	if err := attach(p); err != nil {
 		t.Fatalf("vm attach: %v", err)
 	}
 	if err := p.Reset(); err != nil {
@@ -316,6 +329,9 @@ func TestComposedPipelineDifferential(t *testing.T) {
 			})
 			t.Run("vm", func(t *testing.T) {
 				diffOutputs(t, u.outputs, ref, vmRunSource(t, src, u.setup))
+			})
+			t.Run("columnar", func(t *testing.T) {
+				diffOutputs(t, u.outputs, ref, columnarRunSource(t, src, u.setup))
 			})
 		})
 	}

@@ -52,7 +52,7 @@ func analyzeChunk(ch *Chunk, nGlobals, nFuncs int) (int, int, error) {
 		switch in.Op {
 		case OpNop, OpWork, OpZero, OpInc, OpJmp, OpParEnter, OpParExit,
 			OpOffEnter, OpOffExit, OpTransfer, OpWait, OpDevChk,
-			OpGuardW, OpGuardF, OpGuardPar, OpIterTick:
+			OpGuardW, OpGuardF, OpGuardPar, OpIterTick, OpVecLoop:
 			switch in.Op {
 			case OpWork:
 				err = inBounds(in.A, len(ch.Works), "work", ip)
@@ -74,6 +74,8 @@ func analyzeChunk(ch *Chunk, nGlobals, nFuncs int) (int, int, error) {
 				if err = inBounds(in.A, nGlobals, "global", ip); err == nil {
 					err = inBounds(in.B, len(ch.Positions), "pos", ip)
 				}
+			case OpVecLoop:
+				err = inBounds(in.A, len(ch.VecLoops), "vecloop", ip)
 			}
 		case OpConst:
 			df = 1
@@ -294,6 +296,9 @@ func analyzeChunk(ch *Chunk, nGlobals, nFuncs int) (int, int, error) {
 		if d.Pos < 0 || int(d.Pos) >= len(ch.Positions) {
 			return 0, 0, fmt.Errorf("newarr %d: pos index %d out of range", i, d.Pos)
 		}
+	}
+	if err := validateVecLoops(ch, nGlobals, nFuncs); err != nil {
+		return 0, 0, err
 	}
 
 	if n == 0 {

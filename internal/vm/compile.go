@@ -596,6 +596,16 @@ func (c *comp) forStmt(fs *minic.ForStmt) error {
 	g := c.newSlot()
 	pi := c.posIdx(pos)
 	c.emit(OpZero, int32(g), 0)
+	// Columnar tier: loops whose bodies reduce to element-wise arithmetic
+	// get a fused vector op ahead of the scalar head. At runtime it
+	// fast-forwards whole batches and falls through; the scalar loop below
+	// is unchanged and still owns ragged tails and faults.
+	if fs.Cond != nil && fs.Post != nil && fs.Body != nil {
+		if d := c.tryVecLoop(fs, omp != nil, g); d != nil {
+			c.fn.VecLoops = append(c.fn.VecLoops, d)
+			c.emit(OpVecLoop, int32(len(c.fn.VecLoops)-1), 0)
+		}
+	}
 	guardOp := OpGuardF
 	if omp != nil {
 		guardOp = OpGuardPar

@@ -30,6 +30,28 @@ func Disassemble(ch *Chunk) string {
 	for i, w := range ch.Works {
 		fmt.Fprintf(&sb, "work %d %s %s %s\n", i, fmtF(w.W), fmtF(w.B), fmtF(w.Irr))
 	}
+	for i, d := range ch.VecLoops {
+		fmt.Fprintf(&sb, "vecloop %d idx=%d idxg=%d guard=%d par=%d le=%d iota=%d regs=%d per=%s,%s,%s\n",
+			i, d.IdxSlot, d.IdxG, d.GuardSlot, b2i(d.Par), b2i(d.LE), d.IotaReg, d.NRegs,
+			fmtF(d.PerIter.W), fmtF(d.PerIter.B), fmtF(d.PerIter.Irr))
+		for _, in := range d.Upper {
+			fmt.Fprintf(&sb, "vecupper %d %s %d %d\n", i, in.Op, in.A, in.B)
+		}
+		for _, im := range d.Imms {
+			fmt.Fprintf(&sb, "vecimm %d %s %d %d\n", i, vimNames[im.Kind], im.A, im.Dst)
+		}
+		for _, s := range d.Sites {
+			kind := "global"
+			if s.Local {
+				kind = "local"
+			}
+			fmt.Fprintf(&sb, "vecsite %d %s %d\n", i, kind, s.A)
+		}
+		for _, in := range d.Prog {
+			fmt.Fprintf(&sb, "veccol %d %s %d %d %d %d %d\n",
+				i, colInfo[in.Kind].name, in.Dst, in.X, in.Y, in.Z, in.Site)
+		}
+	}
 	for i, in := range ch.Code {
 		fmt.Fprintf(&sb, "%4d: %s %d %d\n", i, in.Op, in.A, in.B)
 	}
@@ -37,6 +59,25 @@ func Disassemble(ch *Chunk) string {
 }
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var vimNames = map[int32]string{vimConst: "const", vimLocal: "local", vimGlobal: "global"}
+
+var vimByName = map[string]int32{"const": vimConst, "local": vimLocal, "global": vimGlobal}
+
+var colByName = func() map[string]int32 {
+	m := make(map[string]int32, int(cColCount))
+	for k := int32(0); k < cColCount; k++ {
+		m[colInfo[k].name] = k
+	}
+	return m
+}()
 
 var opByName = func() map[string]Op {
 	m := make(map[string]Op, int(opCount))
@@ -119,6 +160,121 @@ func Assemble(text string) (*Chunk, error) {
 				tri[i] = v
 			}
 			ch.Works = append(ch.Works, WorkTriple{W: tri[0], B: tri[1], Irr: tri[2]})
+		case fields[0] == "vecloop":
+			if len(fields) != 10 {
+				return nil, fmt.Errorf("line %d: malformed vecloop", ln+1)
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil || idx != len(ch.VecLoops) {
+				return nil, fmt.Errorf("line %d: vecloop index %q out of sequence (want %d)", ln+1, fields[1], len(ch.VecLoops))
+			}
+			d := &VecLoopDesc{}
+			for _, f := range fields[2:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fmt.Errorf("line %d: malformed vecloop field %q", ln+1, f)
+				}
+				if k == "per" {
+					parts := strings.Split(v, ",")
+					if len(parts) != 3 {
+						return nil, fmt.Errorf("line %d: malformed vecloop per triple %q", ln+1, v)
+					}
+					var tri [3]float64
+					for i, p := range parts {
+						w, err := strconv.ParseFloat(p, 64)
+						if err != nil {
+							return nil, fmt.Errorf("line %d: %v", ln+1, err)
+						}
+						tri[i] = w
+					}
+					d.PerIter = WorkTriple{W: tri[0], B: tri[1], Irr: tri[2]}
+					continue
+				}
+				n, err := strconv.ParseInt(v, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				switch k {
+				case "idx":
+					d.IdxSlot = int32(n)
+				case "idxg":
+					d.IdxG = int32(n)
+				case "guard":
+					d.GuardSlot = int32(n)
+				case "par":
+					d.Par = n != 0
+				case "le":
+					d.LE = n != 0
+				case "iota":
+					d.IotaReg = int32(n)
+				case "regs":
+					d.NRegs = int32(n)
+				default:
+					return nil, fmt.Errorf("line %d: unknown vecloop field %q", ln+1, k)
+				}
+			}
+			ch.VecLoops = append(ch.VecLoops, d)
+		case fields[0] == "vecupper":
+			d, err := vecAt(ch, fields, 5, ln)
+			if err != nil {
+				return nil, err
+			}
+			op, ok := opByName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown opcode %q", ln+1, fields[2])
+			}
+			a, errA := strconv.ParseInt(fields[3], 10, 32)
+			b, errB := strconv.ParseInt(fields[4], 10, 32)
+			if errA != nil || errB != nil {
+				return nil, fmt.Errorf("line %d: malformed vecupper operands", ln+1)
+			}
+			d.Upper = append(d.Upper, Instr{Op: op, A: int32(a), B: int32(b)})
+		case fields[0] == "vecimm":
+			d, err := vecAt(ch, fields, 5, ln)
+			if err != nil {
+				return nil, err
+			}
+			kind, ok := vimByName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown imm kind %q", ln+1, fields[2])
+			}
+			a, errA := strconv.ParseInt(fields[3], 10, 32)
+			dst, errD := strconv.ParseInt(fields[4], 10, 32)
+			if errA != nil || errD != nil {
+				return nil, fmt.Errorf("line %d: malformed vecimm operands", ln+1)
+			}
+			d.Imms = append(d.Imms, VecImm{Kind: kind, A: int32(a), Dst: int32(dst)})
+		case fields[0] == "vecsite":
+			d, err := vecAt(ch, fields, 4, ln)
+			if err != nil {
+				return nil, err
+			}
+			if fields[2] != "local" && fields[2] != "global" {
+				return nil, fmt.Errorf("line %d: unknown site kind %q", ln+1, fields[2])
+			}
+			a, err := strconv.ParseInt(fields[3], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			d.Sites = append(d.Sites, VecSite{Local: fields[2] == "local", A: int32(a)})
+		case fields[0] == "veccol":
+			d, err := vecAt(ch, fields, 8, ln)
+			if err != nil {
+				return nil, err
+			}
+			kind, ok := colByName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown column op %q", ln+1, fields[2])
+			}
+			var ops [5]int32
+			for i, f := range fields[3:8] {
+				n, err := strconv.ParseInt(f, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				ops[i] = int32(n)
+			}
+			d.Prog = append(d.Prog, ColIns{Kind: kind, Dst: ops[0], X: ops[1], Y: ops[2], Z: ops[3], Site: ops[4]})
 		case strings.HasSuffix(fields[0], ":"):
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("line %d: malformed instruction", ln+1)
@@ -148,4 +304,18 @@ func Assemble(text string) (*Chunk, error) {
 		return nil, fmt.Errorf("missing chunk header")
 	}
 	return ch, nil
+}
+
+// vecAt resolves a vecupper/vecimm/vecsite/veccol line's descriptor:
+// sub-lines always follow their vecloop header, so the index must name
+// the most recently opened descriptor.
+func vecAt(ch *Chunk, fields []string, want, ln int) (*VecLoopDesc, error) {
+	if len(fields) != want {
+		return nil, fmt.Errorf("line %d: malformed %s", ln+1, fields[0])
+	}
+	idx, err := strconv.Atoi(fields[1])
+	if err != nil || idx != len(ch.VecLoops)-1 || idx < 0 {
+		return nil, fmt.Errorf("line %d: %s index %q does not match open vecloop %d", ln+1, fields[0], fields[1], len(ch.VecLoops)-1)
+	}
+	return ch.VecLoops[idx], nil
 }

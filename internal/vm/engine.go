@@ -11,6 +11,9 @@ import (
 // machine, so an Engine is reusable across Reset/Run cycles.
 type Engine struct {
 	mod *Module
+	// columnar enables the batched columnar tier for qualifying loops;
+	// the bytecode is identical either way (OpVecLoop is a no-op when off).
+	columnar bool
 }
 
 // NewEngine compiles a Program to bytecode.
@@ -22,6 +25,17 @@ func NewEngine(p *interp.Program) (*Engine, error) {
 	return &Engine{mod: mod}, nil
 }
 
+// NewColumnarEngine compiles a Program to bytecode with the columnar
+// batch tier enabled.
+func NewColumnarEngine(p *interp.Program) (*Engine, error) {
+	e, err := NewEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	e.columnar = true
+	return e, nil
+}
+
 // Factory adapts NewEngine to interp.EngineFactory for SetDefaultEngine.
 func Factory(p *interp.Program) (interp.Engine, error) {
 	e, err := NewEngine(p)
@@ -31,15 +45,36 @@ func Factory(p *interp.Program) (interp.Engine, error) {
 	return e, nil
 }
 
+// ColumnarFactory is Factory with the columnar tier enabled.
+func ColumnarFactory(p *interp.Program) (interp.Engine, error) {
+	e, err := NewColumnarEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
 // Install makes the VM the default engine for every subsequently compiled
-// program; Uninstall restores the tree-walker.
-func Install()   { interp.SetDefaultEngine(Factory) }
-func Uninstall() { interp.SetDefaultEngine(nil) }
+// program; InstallColumnar additionally turns on the columnar batch tier;
+// Uninstall restores the tree-walker.
+func Install()         { interp.SetDefaultEngine(Factory) }
+func InstallColumnar() { interp.SetDefaultEngine(ColumnarFactory) }
+func Uninstall()       { interp.SetDefaultEngine(nil) }
 
 // Attach compiles p for the VM and installs the engine on it, overriding
 // whatever engine (or tree-walker default) it carries.
 func Attach(p *interp.Program) error {
 	e, err := NewEngine(p)
+	if err != nil {
+		return err
+	}
+	p.SetEngine(e)
+	return nil
+}
+
+// AttachColumnar is Attach with the columnar batch tier enabled.
+func AttachColumnar(p *interp.Program) error {
+	e, err := NewColumnarEngine(p)
 	if err != nil {
 		return err
 	}
@@ -66,7 +101,7 @@ func (e *Engine) Run(p *interp.Program, b interp.Backend) (err error) {
 			panic(r)
 		}
 	}()
-	m := &machine{p: p, backend: b, mod: e.mod}
+	m := &machine{p: p, backend: b, mod: e.mod, colOn: e.columnar}
 	m.work = &m.hostWork
 	m.refreshBucket()
 	if n := p.LoopBudget(); n > 0 {
@@ -84,8 +119,9 @@ func (e *Engine) Run(p *interp.Program, b interp.Backend) (err error) {
 
 // ExecModes lists the -exec flag values the cmds accept.
 const (
-	ExecInterp = "interp"
-	ExecVM     = "vm"
+	ExecInterp   = "interp"
+	ExecVM       = "vm"
+	ExecColumnar = "columnar"
 )
 
 // SetExecMode configures the process-wide default engine from a -exec
@@ -96,15 +132,18 @@ func SetExecMode(mode string) error {
 		Uninstall()
 	case ExecVM:
 		Install()
+	case ExecColumnar:
+		InstallColumnar()
 	default:
-		return fmt.Errorf("unknown exec mode %q (want %s or %s)", mode, ExecInterp, ExecVM)
+		return fmt.Errorf("unknown exec mode %q (want %s, %s, or %s)", mode, ExecInterp, ExecVM, ExecColumnar)
 	}
 	return nil
 }
 
 // Apply pins one program's engine from an exec-mode string: "vm" compiles
-// it to bytecode, "interp" forces the tree-walker, "" leaves whatever the
-// process default (SetExecMode / Install) already attached.
+// it to bytecode, "columnar" does the same with the batch tier on,
+// "interp" forces the tree-walker, "" leaves whatever the process default
+// (SetExecMode / Install) already attached.
 func Apply(p *interp.Program, mode string) error {
 	switch mode {
 	case "":
@@ -114,7 +153,9 @@ func Apply(p *interp.Program, mode string) error {
 		return nil
 	case ExecVM:
 		return Attach(p)
+	case ExecColumnar:
+		return AttachColumnar(p)
 	default:
-		return fmt.Errorf("unknown exec mode %q (want %s or %s)", mode, ExecInterp, ExecVM)
+		return fmt.Errorf("unknown exec mode %q (want %s, %s, or %s)", mode, ExecInterp, ExecVM, ExecColumnar)
 	}
 }

@@ -179,7 +179,11 @@ func (g *progGen) stmt(depth, d int) {
 		}
 		g.line(depth, "}")
 	case 7:
-		g.forLoop(depth, d, false)
+		if g.r.Intn(3) == 0 {
+			g.vecLoop(depth, d)
+		} else {
+			g.forLoop(depth, d, false)
+		}
 	case 8:
 		v := g.pick(g.intVars)
 		g.line(depth, "%s = 0;", v)
@@ -209,6 +213,82 @@ func (g *progGen) forLoop(depth, d int, omp bool) {
 	g.stmt(depth+1, d-1)
 	if g.r.Intn(3) == 0 {
 		g.stmt(depth+1, d-1)
+	}
+	g.loopVars = g.loopVars[:len(g.loopVars)-1]
+	g.line(depth, "}")
+}
+
+// vexpr emits an element-wise expression over the loop counter v: array
+// reads a[v], the counter itself, scalars, literals, and pure arithmetic
+// — the shapes the columnar pattern-matcher accepts, so generated
+// programs routinely exercise the batch tier.
+func (g *progGen) vexpr(v string, arrs []genArr, d int) string {
+	if d <= 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return g.flit()
+		case 1:
+			return g.pick(g.floatVars)
+		case 2:
+			return v
+		default:
+			return arrs[g.r.Intn(len(arrs))].name + "[" + v + "]"
+		}
+	}
+	switch g.r.Intn(6) {
+	case 0, 1:
+		op := g.pick([]string{"+", "-", "*"})
+		return "(" + g.vexpr(v, arrs, d-1) + " " + op + " " + g.vexpr(v, arrs, d-1) + ")"
+	case 2:
+		return "(" + g.vexpr(v, arrs, d-1) + " / (" + g.flit() + " + 1.0))"
+	case 3:
+		b := g.pick([]string{"sqrt", "fabs", "exp"})
+		return b + "(fabs(" + g.vexpr(v, arrs, d-1) + "))"
+	case 4:
+		b := g.pick([]string{"fmin", "fmax"})
+		return b + "(" + g.vexpr(v, arrs, d-1) + ", " + g.flit() + ")"
+	default:
+		// Eager select: sites may appear in the condition but the arms
+		// must stay pure for the loop to qualify.
+		return "((" + g.vexpr(v, arrs, d-1) + " > " + g.flit() + ") ? " + g.flit() + " : " + g.flit() + ")"
+	}
+}
+
+// vecLoop emits a loop shaped to pass the columnar qualifier: unit step,
+// element-wise body over a[v] sites, occasionally a ragged bound or a
+// compound store so tails and read-modify-write batches get coverage.
+func (g *progGen) vecLoop(depth, d int) {
+	if len(g.loopVars) >= 3 {
+		g.forLoop(depth, d, false)
+		return
+	}
+	v := []string{"i", "j", "k"}[len(g.loopVars)]
+	na := 1 + g.r.Intn(2)
+	arrs := make([]genArr, 0, na+1)
+	n := 1 << 30
+	for x := 0; x < na; x++ {
+		a := g.farrs[g.r.Intn(len(g.farrs))]
+		arrs = append(arrs, a)
+		if a.n < n {
+			n = a.n
+		}
+	}
+	out := g.farrs[g.r.Intn(len(g.farrs))]
+	if out.n < n {
+		n = out.n
+	}
+	if g.r.Intn(4) == 0 {
+		n -= g.r.Intn(3) // ragged vs the block size is fine; stay in bounds
+	}
+	g.line(depth, "for (%s = 0; %s < %d; %s++) {", v, v, n, v)
+	g.loopVars = append(g.loopVars, v)
+	if g.r.Intn(3) == 0 {
+		g.line(depth+1, "float tv = %s;", g.vexpr(v, arrs, d-1))
+		g.line(depth+1, "%s[%s] = tv + %s;", out.name, v, g.vexpr(v, arrs, d-1))
+	} else if g.r.Intn(3) == 0 {
+		g.line(depth+1, "%s[%s] %s %s;", out.name, v, g.pick([]string{"+=", "-=", "*="}), g.vexpr(v, arrs, d-1))
+	} else {
+		g.line(depth+1, "%s[%s] = %s;", out.name, v, g.vexpr(v, arrs, d-1))
 	}
 	g.loopVars = g.loopVars[:len(g.loopVars)-1]
 	g.line(depth, "}")

@@ -91,6 +91,15 @@ type machine struct {
 	// pfVals is printf's argument scratch; printf arguments are fully
 	// evaluated before the call, so it never nests.
 	pfVals []interface{}
+
+	// Columnar tier state: colOn gates OpVecLoop (a no-op when false);
+	// colPool holds reusable colBlock-sized columns, colRegs the per-batch
+	// register table (cLoad rebinds entries to array windows), colArrs the
+	// resolved site arrays. All scratch — reused across vector loops.
+	colOn   bool
+	colPool [][]float64
+	colRegs [][]float64
+	colArrs []*interp.Array
 }
 
 // frame holds one nesting level's locals and eval stacks.
@@ -501,6 +510,8 @@ func (m *machine) exec(ch *Chunk, code []Instr, f []float64, r []*interp.Array, 
 			if !reg.inline {
 				reg.iters++
 			}
+		case OpVecLoop:
+			m.runVecLoop(ch, ch.VecLoops[in.A], f, r)
 
 		case OpParEnter:
 			reg := &region{kind: rPar, inline: m.parallel}

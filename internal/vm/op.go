@@ -161,6 +161,15 @@ const (
 	OpIncJmp    // loop latch: f[B>>16] += (B&0xffff)-incBias; ip = A
 	OpBuiltin2L // push 2-arg builtin A applied to (f[B>>16], f[B&0xffff])
 
+	// Columnar tier. OpVecLoop sits immediately before a qualifying for
+	// loop's head and executes VecLoops[A] — a fused element-wise kernel —
+	// in blocked columnar batches, then falls through to the unchanged
+	// scalar head, which performs the final (failing) condition check and
+	// handles ragged tails, faults, and budget exhaustion natively. When
+	// the columnar tier is disabled (or the loop cannot engage at runtime)
+	// the op is a no-op and the scalar loop runs as before.
+	OpVecLoop
+
 	opCount // sentinel
 )
 
@@ -215,7 +224,7 @@ var opNames = [...]string{
 	OpNegL: "NegL", OpBuiltinL: "BuiltinL",
 	OpAddLL: "AddLL", OpSubLL: "SubLL", OpMulLL: "MulLL", OpDivLL: "DivLL",
 	OpRetV: "RetV", OpRetL: "RetL", OpIncJmp: "IncJmp",
-	OpBuiltin2L: "Builtin2L",
+	OpBuiltin2L: "Builtin2L", OpVecLoop: "VecLoop",
 }
 
 func (o Op) String() string {
@@ -375,6 +384,7 @@ type Chunk struct {
 	Offloads  []*OffloadDesc
 	Transfers []*TransferDesc
 	Waits     []string
+	VecLoops  []*VecLoopDesc
 }
 
 // GlobalRef resolves one global by a stable handle into the Program.

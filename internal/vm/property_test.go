@@ -74,6 +74,10 @@ func TestPropertyDisasmRoundTrip(t *testing.T) {
 				t.Logf("seed %d chunk %s: code differs", seed, ch.Name)
 				return false
 			}
+			if !reflect.DeepEqual(back.VecLoops, ch.VecLoops) && !(len(back.VecLoops) == 0 && len(ch.VecLoops) == 0) {
+				t.Logf("seed %d chunk %s: vector-loop descriptors differ", seed, ch.Name)
+				return false
+			}
 			if len(back.Consts) != len(ch.Consts) || len(back.Works) != len(ch.Works) {
 				t.Logf("seed %d chunk %s: pool sizes differ", seed, ch.Name)
 				return false

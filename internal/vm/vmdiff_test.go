@@ -135,40 +135,54 @@ func execProgram(p *interp.Program, setup func(*interp.Program) error, budget in
 	return res
 }
 
-// execSource compiles src and runs it on the requested engine. The
-// reference run pins the tree-walker explicitly so a process-wide
-// vm.Install from another test can never contaminate the oracle.
-func execSource(t *testing.T, src string, setup func(*interp.Program) error, useVM bool, budget int64) *runResult {
+// execSource compiles src and runs it on the requested engine
+// ("interp", "vm", or "columnar"). The reference run pins the
+// tree-walker explicitly so a process-wide vm.Install from another test
+// can never contaminate the oracle.
+func execSource(t *testing.T, src string, setup func(*interp.Program) error, mode string, budget int64) *runResult {
 	t.Helper()
 	p, err := interp.Compile(src)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
 	p.SetEngine(nil)
-	if useVM {
+	switch mode {
+	case vm.ExecInterp:
+	case vm.ExecVM:
 		if err := vm.Attach(p); err != nil {
 			t.Fatalf("vm attach: %v", err)
 		}
+	case vm.ExecColumnar:
+		if err := vm.AttachColumnar(p); err != nil {
+			t.Fatalf("columnar attach: %v", err)
+		}
+	default:
+		t.Fatalf("unknown exec mode %q", mode)
 	}
 	return execProgram(p, setup, budget)
 }
 
 func compareRuns(t *testing.T, ref, got *runResult) {
 	t.Helper()
+	compareRunsAs(t, ref, got, "vm")
+}
+
+func compareRunsAs(t *testing.T, ref, got *runResult, label string) {
+	t.Helper()
 	switch {
 	case ref.err == nil && got.err != nil:
-		t.Errorf("vm errored where the tree-walker succeeded: %v", got.err)
+		t.Errorf("%s errored where the tree-walker succeeded: %v", label, got.err)
 	case ref.err != nil && got.err == nil:
-		t.Errorf("vm succeeded where the tree-walker errored: %v", ref.err)
+		t.Errorf("%s succeeded where the tree-walker errored: %v", label, ref.err)
 	case ref.err != nil && got.err != nil && ref.err.Error() != got.err.Error():
-		t.Errorf("error mismatch:\n  interp: %v\n  vm:     %v", ref.err, got.err)
+		t.Errorf("error mismatch:\n  interp: %v\n  %s:     %v", ref.err, label, got.err)
 	}
 	if ref.out != got.out {
-		t.Errorf("output mismatch:\n  interp: %q\n  vm:     %q", clip(ref.out), clip(got.out))
+		t.Errorf("output mismatch:\n  interp: %q\n  %s:     %q", clip(ref.out), label, clip(got.out))
 	}
 	if ref.globals != got.globals {
-		t.Errorf("globals mismatch:\n  interp: %s\n  vm:     %s",
-			clip(firstDiffLine(ref.globals, got.globals)), clip(firstDiffLine(got.globals, ref.globals)))
+		t.Errorf("globals mismatch:\n  interp: %s\n  %s:     %s",
+			clip(firstDiffLine(ref.globals, got.globals)), label, clip(firstDiffLine(got.globals, ref.globals)))
 	}
 	for i := 0; i < len(ref.trace) || i < len(got.trace); i++ {
 		var a, b string
@@ -179,7 +193,7 @@ func compareRuns(t *testing.T, ref, got *runResult) {
 			b = got.trace[i]
 		}
 		if a != b {
-			t.Errorf("backend trace diverges at event %d:\n  interp: %s\n  vm:     %s", i, clip(a), clip(b))
+			t.Errorf("backend trace diverges at event %d:\n  interp: %s\n  %s:     %s", i, clip(a), label, clip(b))
 			return
 		}
 	}
@@ -204,12 +218,13 @@ func firstDiffLine(a, b string) string {
 	return ""
 }
 
-// diffRun executes src on both engines and requires bit-identical results.
+// diffRun executes src on the tree-walker, the scalar VM, and the
+// columnar VM, requiring all three bit-identical.
 func diffRun(t *testing.T, src string, setup func(*interp.Program) error, budget int64) {
 	t.Helper()
-	ref := execSource(t, src, setup, false, budget)
-	got := execSource(t, src, setup, true, budget)
-	compareRuns(t, ref, got)
+	ref := execSource(t, src, setup, vm.ExecInterp, budget)
+	compareRunsAs(t, ref, execSource(t, src, setup, vm.ExecVM, budget), "vm")
+	compareRunsAs(t, ref, execSource(t, src, setup, vm.ExecColumnar, budget), "columnar")
 }
 
 // TestVMDiffWorkloads runs every MiniC workload through both engines: the
