@@ -8,6 +8,7 @@
 //	compbench -ablations      # block-size sweep and design ablations
 //	compbench -streams 4      # multi-stream scheduler + autotuner report
 //	compbench -serve          # serving-layer load report (steady + overload)
+//	compbench -fleet          # sharded fleet scenario table (steady, overload, device-loss)
 //	compbench -scenarios      # built-in scenario table: admitted/rejected/deadline-miss/fault-recovery
 //	compbench -sweep          # pick block counts by exhaustive sweep (oracle)
 //	compbench -passes merge,streaming  # per-pass applied/skipped table for a pipeline spec
@@ -42,6 +43,11 @@ func main() {
 	requests := flag.Int("requests", 0, "concurrent requests per workload for -streams (0 = streams)")
 	streamsOut := flag.String("streams-out", "BENCH_streams.json", "write the -streams report as JSON to this file (\"-\" = stdout only)")
 	sweep := flag.Bool("sweep", false, "use the exhaustive block-count sweep instead of the autotuner")
+	fleetMode := flag.Bool("fleet", false, "replay the deterministic fleet scenario table (steady, overload, device-loss) against a sharded multi-device fleet")
+	fleetHosts := flag.Int("fleet-hosts", 2, "simulated hosts for -fleet")
+	fleetDevices := flag.Int("fleet-devices", 2, "devices per host for -fleet")
+	fleetRequests := flag.Int("fleet-requests", 48, "requests per scenario for -fleet")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "write the -fleet report as JSON to this file (\"-\" = stdout only)")
 	serveMode := flag.Bool("serve", false, "drive the offload serving layer with a synthetic client fleet")
 	serveClients := flag.Int("serve-clients", 32, "concurrent clients for -serve")
 	servePer := flag.Int("serve-requests", 2, "requests per client for -serve")
@@ -118,6 +124,33 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *vmbenchOut)
+		}
+		return
+	}
+
+	if *fleetMode {
+		rep, err := r.FleetLoad(*fleetHosts, *fleetDevices, *fleetRequests)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		if *fleetOut != "-" {
+			f, err := os.Create(*fleetOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *fleetOut)
 		}
 		return
 	}

@@ -11,13 +11,18 @@
 //	compserve -deadline 100ms          # per-request deadlines
 //	compserve -verify                  # run the trace twice, assert bit-identical outputs
 //	compserve -json report.json        # also dump the metrics report as JSON
+//	compserve -fleet                   # shard the trace over a 2×2 multi-device fleet
+//	compserve -fleet -hosts 4 -loss    # bigger fleet, with a mid-trace device loss + fault storm
+//	compserve -fleet -verify           # stepped double replay: bit-identical outputs AND report
 //
 // Every value a request computes comes from the deterministic interpreter;
 // the simulated platform only assigns timing. compserve -verify exploits
 // that: it replays the identical trace against a second fresh server (new
 // plan cache, different wall-clock interleaving, different batch
 // boundaries) and fails unless every request's output arrays match
-// bit-for-bit.
+// bit-for-bit. Under -fleet the verification is stronger: the replay runs
+// on a stepped fleet with a virtual clock, so the full fleet report —
+// placements, rejection set, makespan — must match bit-for-bit too.
 package main
 
 import (
@@ -29,7 +34,9 @@ import (
 	"sync"
 	"time"
 
+	"comp/internal/fleet"
 	"comp/internal/serve"
+	"comp/internal/sim/fault"
 	"comp/internal/sim/metrics"
 	"comp/internal/vm"
 	"comp/internal/workloads"
@@ -57,6 +64,11 @@ func main() {
 	verify := flag.Bool("verify", false, "replay the trace on a second fresh server and require bit-identical outputs")
 	jsonOut := flag.String("json", "", "also write the metrics report as JSON to this file (\"-\" = stdout)")
 	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm, interp, or columnar")
+	fleetMode := flag.Bool("fleet", false, "shard the trace over a multi-device fleet (consistent-hash routing + work stealing)")
+	hosts := flag.Int("hosts", 2, "simulated hosts for -fleet")
+	devices := flag.Int("devices", 2, "devices per host for -fleet")
+	steal := flag.Int("steal", 0, "queue depth at which the fleet router steals to a same-signature device (0 = half the queue, negative = off)")
+	loss := flag.Bool("loss", false, "fail one device mid-trace under a fault storm, then restore it")
 	flag.Parse()
 
 	if code := setExecMode(*execMode, os.Stderr); code != 0 {
@@ -65,6 +77,13 @@ func main() {
 
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "compserve: unexpected argument %q\n", flag.Arg(0))
+		usage()
+		os.Exit(2)
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlagDeps(*fleetMode, set); err != nil {
+		fmt.Fprintln(os.Stderr, "compserve:", err)
 		usage()
 		os.Exit(2)
 	}
@@ -78,6 +97,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "compserve:", err)
 		usage()
 		os.Exit(2)
+	}
+	if *fleetMode {
+		if err := validateFleetShape(*hosts, *devices, *loss); err != nil {
+			fmt.Fprintln(os.Stderr, "compserve:", err)
+			usage()
+			os.Exit(2)
+		}
+		if err := runFleetMode(mix, *hosts, *devices, *streams, *queue, *batch, *steal,
+			*clients, *requests, *deadline, *loss, *verify, *jsonOut); err != nil {
+			fail(err)
+		}
+		return
 	}
 	depth := *queue
 	if depth == 0 {
@@ -120,6 +151,101 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// fleetOnlyFlags are meaningless without -fleet: naming any of them in a
+// single-server invocation is a usage error, caught before anything runs.
+var fleetOnlyFlags = []string{"hosts", "devices", "steal", "loss"}
+
+// validateFlagDeps rejects contradictory flag combinations up front, in the
+// same one-line style as the -exec validation: the error names the flag and
+// what it requires.
+func validateFlagDeps(fleetMode bool, set map[string]bool) error {
+	if !fleetMode {
+		for _, name := range fleetOnlyFlags {
+			if set[name] {
+				return fmt.Errorf("-%s requires -fleet", name)
+			}
+		}
+	}
+	return nil
+}
+
+// validateFleetShape rejects meaningless fleet shapes.
+func validateFleetShape(hosts, devices int, loss bool) error {
+	switch {
+	case hosts < 1:
+		return fmt.Errorf("-hosts %d must be positive", hosts)
+	case devices < 1:
+		return fmt.Errorf("-devices %d must be positive", devices)
+	case loss && hosts*devices < 2:
+		return fmt.Errorf("-loss needs at least 2 devices, got %d×%d", hosts, devices)
+	}
+	return nil
+}
+
+// fleetVictim is the device -loss fails: the second device of host 0.
+const fleetVictim = "h0/d1"
+
+// fleetTrace turns the client fleet shape into a deterministic event trace:
+// clients×perClient submissions round-robin over the mix, a batch step
+// every eight submissions, and optionally a mid-trace storm + loss +
+// restore of one device.
+func fleetTrace(mix []string, clients, perClient int, deadline time.Duration, loss bool) []fleet.Event {
+	total := clients * perClient
+	var ev []fleet.Event
+	for i := 0; i < total; i++ {
+		ev = append(ev, fleet.Submit(serve.Job{Workload: mix[i%len(mix)], Deadline: deadline}))
+		if loss && i == total/3 {
+			ev = append(ev,
+				fleet.Storm(fleetVictim, fault.Uniform(11, 0.3)),
+				fleet.Fail(fleetVictim))
+		}
+		if loss && i == 2*total/3 {
+			ev = append(ev,
+				fleet.Restore(fleetVictim),
+				fleet.Storm(fleetVictim, fault.Config{}))
+		}
+		if i%8 == 7 {
+			ev = append(ev, fleet.Step())
+		}
+	}
+	return ev
+}
+
+// runFleetMode replays the client trace over a sharded fleet and prints the
+// fleet rollup. With verify the trace replays twice and the run fails
+// unless both replays are bit-identical: outputs, rejection set,
+// placements, and the full report.
+func runFleetMode(mix []string, hosts, devices, streams, queue, batch, steal, clients, perClient int,
+	deadline time.Duration, loss, verify bool, jsonOut string) error {
+	devs := fleet.DefaultDevices(hosts, devices, queue)
+	for i := range devs {
+		devs[i].Streams = streams
+		devs[i].MaxBatch = batch
+	}
+	cfg := fleet.Config{Devices: devs, StealThreshold: steal}
+	events := fleetTrace(mix, clients, perClient, deadline, loss)
+
+	var res *fleet.ReplayResult
+	var err error
+	if verify {
+		res, err = fleet.Verify(cfg, events)
+	} else {
+		res, err = fleet.Replay(cfg, events)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report.Format())
+	if verify {
+		fmt.Printf("verify: %d submissions replayed bit-identically (%d rejections, report %d bytes)\n",
+			len(res.Outcomes), len(res.Rejections()), len(res.ReportJSON))
+	}
+	if jsonOut != "" {
+		return writeJSON(jsonOut, res.Report)
+	}
+	return nil
 }
 
 // runFleet submits the full client trace against a fresh server and returns
@@ -186,7 +312,13 @@ func sameOutputs(a, b map[string][]float64) bool {
 	return true
 }
 
-func writeJSON(path string, rep *metrics.ServerReport) error {
+// jsonReport is any metrics document that can serialize itself; both the
+// single-server and the fleet reports satisfy it.
+type jsonReport interface {
+	WriteJSON(w io.Writer) error
+}
+
+func writeJSON(path string, rep jsonReport) error {
 	if path == "-" {
 		return rep.WriteJSON(os.Stdout)
 	}
@@ -213,6 +345,7 @@ examples:
   compserve                          # 64 clients x 2 requests over nn+dedup+srad
   compserve -clients 16 -requests 4  # different fleet shape
   compserve -queue 8 -verify         # undersized queue, bit-identical replay check
+  compserve -fleet -hosts 2 -loss    # sharded 2x2 fleet with a mid-trace device loss
 flags:`)
 	flag.PrintDefaults()
 }

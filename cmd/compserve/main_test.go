@@ -52,6 +52,71 @@ func TestExecFlagTable(t *testing.T) {
 	}
 }
 
+// TestValidateFlagDepsTable pins the mutually-exclusive flag contract:
+// every fleet-only flag is rejected without -fleet, with a one-line error
+// naming both the flag and its dependency; with -fleet all of them pass.
+func TestValidateFlagDepsTable(t *testing.T) {
+	for _, name := range fleetOnlyFlags {
+		err := validateFlagDeps(false, map[string]bool{name: true})
+		if err == nil {
+			t.Errorf("-%s without -fleet accepted", name)
+			continue
+		}
+		msg := err.Error()
+		if strings.Count(msg, "\n") != 0 {
+			t.Errorf("-%s: usage error is not one line: %q", name, msg)
+		}
+		for _, want := range []string{"-" + name, "requires -fleet"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("-%s: usage error lacks %q: %q", name, want, msg)
+			}
+		}
+		if err := validateFlagDeps(true, map[string]bool{name: true}); err != nil {
+			t.Errorf("-fleet -%s rejected: %v", name, err)
+		}
+	}
+	if err := validateFlagDeps(false, map[string]bool{"clients": true, "verify": true}); err != nil {
+		t.Errorf("single-server flags rejected without -fleet: %v", err)
+	}
+}
+
+// TestValidateFleetShape pins the fleet-shape rejections behind the usage
+// exit.
+func TestValidateFleetShape(t *testing.T) {
+	if err := validateFleetShape(2, 2, true); err != nil {
+		t.Fatalf("default fleet shape rejected: %v", err)
+	}
+	bad := []struct {
+		name           string
+		hosts, devices int
+		loss           bool
+	}{
+		{"zero hosts", 0, 2, false},
+		{"zero devices", 2, 0, false},
+		{"loss on a single device", 1, 1, true},
+	}
+	for _, c := range bad {
+		if err := validateFleetShape(c.hosts, c.devices, c.loss); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	if err := validateFleetShape(1, 1, false); err != nil {
+		t.Errorf("single-device fleet without -loss rejected: %v", err)
+	}
+}
+
+// TestRunFleetModeVerifies drives the sharded mode end to end at a small
+// scale: loss + verify must succeed, meaning the trace double-replayed
+// bit-identically through a device-loss fault storm.
+func TestRunFleetModeVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet replay serves every request through the simulator twice")
+	}
+	if err := runFleetMode([]string{"nn"}, 1, 2, 2, 8, 0, 0, 4, 2, 0, true, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunFleetServesAndAccounts drives the fleet helper directly with a
 // small trace: every request must be answered, the report must account
 // for all of them, and the collected outputs must be non-empty and

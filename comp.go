@@ -16,7 +16,10 @@
 //     paper;
 //   - NewServer stands up the offload serving layer: a plan-cached,
 //     admission-controlled service that batches concurrent requests into
-//     deterministic scheduler runs (DESIGN.md §10).
+//     deterministic scheduler runs (DESIGN.md §10);
+//   - NewFleet shards that serving layer over a multi-device fleet:
+//     consistent-hash routing on plan keys, plan-affine work stealing, a
+//     shared compiled-plan registry, and device-loss drains (DESIGN.md §15).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
@@ -25,10 +28,12 @@ package comp
 import (
 	"comp/internal/bench"
 	"comp/internal/core"
+	"comp/internal/fleet"
 	"comp/internal/interp"
 	"comp/internal/pass"
 	"comp/internal/runtime"
 	"comp/internal/serve"
+	"comp/internal/sim/metrics"
 	"comp/internal/workloads"
 )
 
@@ -87,6 +92,26 @@ var (
 	ErrDeadlineExceeded = serve.ErrDeadlineExceeded
 )
 
+// Fleet shards the serving layer over N simulated devices: consistent-hash
+// routing on compiled-plan keys keeps per-device plan caches hot, work
+// stealing respects plan affinity, and a shared registry lets stolen
+// requests reuse the donor's plan without recompiling.
+type Fleet = fleet.Fleet
+
+// FleetConfig assembles a Fleet from per-device configurations.
+type FleetConfig = fleet.Config
+
+// FleetDevice describes one fleet member: an ID plus its simulated
+// platform and server shape.
+type FleetDevice = fleet.DeviceConfig
+
+// FleetReport is the fleet-wide metrics rollup: per-device ServerReports
+// plus router accounting and the deterministic makespan.
+type FleetReport = metrics.FleetReport
+
+// ErrNoDevices rejects a fleet submission when every device has been lost.
+var ErrNoDevices = fleet.ErrNoDevices
+
 // DefaultOptions enables the full optimization pipeline.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
@@ -141,3 +166,13 @@ func NewBenchRunner() *bench.Runner { return bench.NewRunner() }
 
 // NewServer stands up an offload serving layer; Close it when done.
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewFleet stands up a sharded multi-device serving fleet; Close it when
+// done.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// DefaultFleetDevices builds a hosts × perHost heterogeneous device list
+// (alternating Xeon Phi ES2 and 3120-class cards) for NewFleet.
+func DefaultFleetDevices(hosts, perHost, queue int) []FleetDevice {
+	return fleet.DefaultDevices(hosts, perHost, queue)
+}

@@ -57,6 +57,32 @@ int main(void) {
 	// overlap gained: true
 }
 
+// ExampleNewFleet serves a registry workload through a sharded two-host
+// fleet and reads the deterministic rollup.
+func ExampleNewFleet() {
+	f, err := comp.NewFleet(comp.FleetConfig{Devices: comp.DefaultFleetDevices(2, 2, 8)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	resp, err := f.Do(comp.ServeJob{Workload: "nn"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := f.Do(comp.ServeJob{Workload: "nn"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := f.Report()
+	fmt.Printf("same owner both times: %v\n", resp.Device == again.Device)
+	fmt.Printf("second request reused the plan: %v\n", again.PlanCached)
+	fmt.Printf("routed: %d over %d devices\n", rep.Routed, len(rep.Devices))
+	// Output:
+	// same owner both times: true
+	// second request reused the plan: true
+	// routed: 2 over 4 devices
+}
+
 // ExampleBenchmarks lists the reproduced evaluation suite.
 func ExampleBenchmarks() {
 	for _, b := range comp.Benchmarks() {

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// A small fleet table must produce all three scenarios with exact
+// accounting, and — because the rows come from stepped virtual-clock
+// replays — a second run must reproduce every figure bit-for-bit.
+func TestFleetLoadDeterministicRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet bench replays every request through the simulator")
+	}
+	r := NewRunner()
+	rep, err := r.FleetLoad(1, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("want 3 scenarios, got %d", len(rep.Rows))
+	}
+	byName := map[string]FleetRow{}
+	for _, row := range rep.Rows {
+		byName[row.Scenario] = row
+		if row.MakespanNs <= 0 || row.TotalSimNs < row.MakespanNs {
+			t.Errorf("%s: makespan %d / total %d not plausible", row.Scenario, row.MakespanNs, row.TotalSimNs)
+		}
+	}
+	if byName["steady"].Shed+byName["steady"].NoDevice != 0 {
+		t.Errorf("steady scenario shed: %+v", byName["steady"])
+	}
+	if byName["overload"].Shed == 0 {
+		t.Errorf("overload scenario never shed: %+v", byName["overload"])
+	}
+	if byName["device-loss"].Rerouted == 0 {
+		t.Errorf("device-loss scenario never rerouted: %+v", byName["device-loss"])
+	}
+
+	again, err := r.FleetLoad(1, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Rows {
+		if rep.Rows[i] != again.Rows[i] {
+			t.Errorf("scenario %s not rerun-stable:\n  %+v\n  %+v",
+				rep.Rows[i].Scenario, rep.Rows[i], again.Rows[i])
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"scenario"`, `"makespan_ns"`, `"device-loss"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON report missing %s", key)
+		}
+	}
+	text := rep.Format()
+	for _, want := range []string{"steady", "overload", "device-loss", "makespan"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+
+	if _, err := r.FleetLoad(0, 2, 4); err == nil {
+		t.Error("zero hosts accepted")
+	}
+	if _, err := r.FleetLoad(1, 1, 4); err == nil {
+		t.Error("single-device fleet accepted for the device-loss scenario")
+	}
+}

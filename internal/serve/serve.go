@@ -226,6 +226,11 @@ type Server struct {
 	retries        int64
 	watchdogFires  int64
 	fallbacks      int64
+	// simBusy sums the simulated makespan of every batch this server ran.
+	// Batches on one device are sequential, so the sum is the device's
+	// simulated busy time — the deterministic per-device makespan figure
+	// the fleet layer rolls up.
+	simBusy int64
 
 	statsMu    sync.Mutex
 	latencies  []int64
@@ -321,6 +326,12 @@ func (s *Server) SetAdmitLimit(n int) {
 
 // Planner returns the server's plan cache.
 func (s *Server) Planner() *Planner { return s.planner }
+
+// Depth reports how many admitted requests are waiting in the queue right
+// now. It is a load signal, not a synchronized snapshot: the fleet router
+// reads it to pick the least-loaded device when a primary's queue grows
+// past the work-stealing threshold.
+func (s *Server) Depth() int { return len(s.queue) }
 
 // Ticket is an admitted request's claim on its eventual answer. Wait
 // consumes the answer; it may be called at most once.
@@ -580,6 +591,7 @@ func (s *Server) runBatch(batch []*pending) {
 	atomic.AddInt64(&s.retries, res.Stats.Retries)
 	atomic.AddInt64(&s.watchdogFires, res.Stats.WatchdogFires)
 	atomic.AddInt64(&s.fallbacks, fellBack)
+	atomic.AddInt64(&s.simBusy, int64(res.Stats.Time))
 
 	done := s.now()
 	for _, it := range items {
@@ -648,6 +660,7 @@ func (s *Server) Report() metrics.ServerReport {
 		Retries:        atomic.LoadInt64(&s.retries),
 		WatchdogFires:  atomic.LoadInt64(&s.watchdogFires),
 		Fallbacks:      atomic.LoadInt64(&s.fallbacks),
+		SimBusyNs:      atomic.LoadInt64(&s.simBusy),
 	}
 	if total := hits + misses; total > 0 {
 		rep.PlanHitRatio = float64(hits) / float64(total)

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"comp/internal/sim/engine"
+)
+
+// FleetDeviceReport is one device's slice of a fleet rollup: its identity
+// on the ring, its machine signature (the plan-affinity class work stealing
+// respects), its health, and the full per-device ServerReport.
+//
+// Plan-cache counters inside the embedded ServerReport are registry-global
+// when the fleet shares one compiled-plan registry across devices — a hit
+// on any device counts for all of them. The per-device figures that stay
+// truly per-device are the admission counters, batches, histograms, and
+// SimBusyNs.
+type FleetDeviceReport struct {
+	ID        string `json:"id"`
+	Signature string `json:"signature"`
+	Lost      bool   `json:"lost,omitempty"`
+	ServerReport
+}
+
+// FleetReport rolls a fleet of servers up into one document: per-device
+// reports plus aggregate counters and the router's own accounting. It rides
+// the same plumbing as ServerReport (stable JSON, WriteJSON, Format) so
+// compserve -fleet and compbench -fleet dump it alongside the existing
+// artifacts.
+type FleetReport struct {
+	// Router accounting. Routed counts placement decisions handed out;
+	// Stolen the placements redirected off a healthy primary by queue
+	// pressure; Rerouted the placements whose ring owner was a lost device
+	// (consistent hashing moved them); NoDevice the submissions rejected
+	// because no healthy device existed.
+	Routed   int64 `json:"routed"`
+	Stolen   int64 `json:"stolen,omitempty"`
+	Rerouted int64 `json:"rerouted,omitempty"`
+	NoDevice int64 `json:"noDevice,omitempty"`
+	// LossEvents / RestoreEvents count device-loss drains and rebalances.
+	LossEvents    int64 `json:"lossEvents,omitempty"`
+	RestoreEvents int64 `json:"restoreEvents,omitempty"`
+
+	// MakespanNs is the fleet makespan: the largest per-device SimBusyNs.
+	// TotalSimNs sums them — the fleet's total simulated busy time.
+	MakespanNs int64 `json:"makespanNs"`
+	TotalSimNs int64 `json:"totalSimNs"`
+
+	// Aggregate sums the per-device admission, batch, and fault-recovery
+	// counters; its plan-cache counters are taken from the shared registry
+	// once (not summed, which would multiply them by the device count).
+	// Histograms are left empty — they do not sum.
+	Aggregate ServerReport `json:"aggregate"`
+
+	// Devices lists every device in ID order.
+	Devices []FleetDeviceReport `json:"devices"`
+}
+
+// RollUp builds the aggregate section from the per-device reports: counter
+// sums, the registry-global plan figures from the first device (the shared
+// registry reports identically through every device), and the makespan
+// figures. Call it after populating Devices.
+func (r *FleetReport) RollUp() {
+	agg := ServerReport{}
+	r.MakespanNs, r.TotalSimNs = 0, 0
+	for _, d := range r.Devices {
+		agg.Submitted += d.Submitted
+		agg.Admitted += d.Admitted
+		agg.Completed += d.Completed
+		agg.Failed += d.Failed
+		agg.Shed += d.Shed
+		agg.Expired += d.Expired
+		agg.Invalid += d.Invalid
+		agg.Batches += d.Batches
+		if d.MaxBatch > agg.MaxBatch {
+			agg.MaxBatch = d.MaxBatch
+		}
+		agg.QueueCapacity += d.QueueCapacity
+		agg.QueueDepth += d.QueueDepth
+		if d.MaxQueueDepth > agg.MaxQueueDepth {
+			agg.MaxQueueDepth = d.MaxQueueDepth
+		}
+		agg.FaultsInjected += d.FaultsInjected
+		agg.Retries += d.Retries
+		agg.WatchdogFires += d.WatchdogFires
+		agg.Fallbacks += d.Fallbacks
+		agg.SimBusyNs += d.SimBusyNs
+		r.TotalSimNs += d.SimBusyNs
+		if d.SimBusyNs > r.MakespanNs {
+			r.MakespanNs = d.SimBusyNs
+		}
+	}
+	if len(r.Devices) > 0 {
+		first := r.Devices[0]
+		agg.PlanHits = first.PlanHits
+		agg.PlanMisses = first.PlanMisses
+		agg.PlanHitRatio = first.PlanHitRatio
+		agg.TuneProbes = first.TuneProbes
+		agg.Plans = first.Plans
+		agg.Passes = first.Passes
+	}
+	r.Aggregate = agg
+}
+
+// WriteJSON serializes the report with stable field order and indentation.
+func (r FleetReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format renders the rollup as an aligned, human-readable table: one line
+// per device, then the router and aggregate summary.
+func (r FleetReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d devices, %d routed (%d stolen, %d rerouted, %d no-device), %d loss / %d restore events\n",
+		len(r.Devices), r.Routed, r.Stolen, r.Rerouted, r.NoDevice, r.LossEvents, r.RestoreEvents)
+	fmt.Fprintf(&b, "%-10s %-18s %5s %9s %9s %6s %7s %8s %12s\n",
+		"device", "signature", "state", "submitted", "completed", "shed", "expired", "batches", "sim busy")
+	for _, d := range r.Devices {
+		state := "up"
+		if d.Lost {
+			state = "lost"
+		}
+		sig := d.Signature
+		if i := strings.IndexByte(sig, '|'); i >= 0 {
+			sig = sig[:i] // the device half identifies the class; keep the table narrow
+		}
+		fmt.Fprintf(&b, "%-10s %-18s %5s %9d %9d %6d %7d %8d %12v\n",
+			d.ID, sig, state, d.Submitted, d.Completed, d.Shed, d.Expired, d.Batches, engine.Duration(d.SimBusyNs))
+	}
+	a := r.Aggregate
+	fmt.Fprintf(&b, "aggregate: %d submitted, %d completed, %d shed, %d expired, %d failed, %d invalid\n",
+		a.Submitted, a.Completed, a.Shed, a.Expired, a.Failed, a.Invalid)
+	fmt.Fprintf(&b, "plan registry: %d hits, %d misses (hit ratio %.1f%%), %d tuning probes, %d plans\n",
+		a.PlanHits, a.PlanMisses, 100*a.PlanHitRatio, a.TuneProbes, len(a.Plans))
+	if a.FaultsInjected > 0 || a.Retries > 0 || a.WatchdogFires > 0 || a.Fallbacks > 0 {
+		fmt.Fprintf(&b, "faults: %d injected, %d retries, %d watchdog fires, %d fallbacks\n",
+			a.FaultsInjected, a.Retries, a.WatchdogFires, a.Fallbacks)
+	}
+	fmt.Fprintf(&b, "makespan: %v (total simulated busy %v across the fleet)\n",
+		engine.Duration(r.MakespanNs), engine.Duration(r.TotalSimNs))
+	return b.String()
+}

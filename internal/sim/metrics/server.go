@@ -61,6 +61,12 @@ type ServerReport struct {
 	WatchdogFires  int64 `json:"watchdogFires,omitempty"`
 	Fallbacks      int64 `json:"fallbacks,omitempty"`
 
+	// SimBusyNs is the summed simulated makespan of every batch the server
+	// ran. Batches on one server are sequential, so this is the server's
+	// simulated busy time — deterministic for a deterministic trace, which
+	// makes it the makespan figure fleet scenarios regress against.
+	SimBusyNs int64 `json:"simBusyNs,omitempty"`
+
 	// Plans explains every successfully built plan in the cache: key,
 	// tuned shape, per-plan hit count, and the remark trail the compiler
 	// recorded when the plan was built. Hits surface the trail again
@@ -101,6 +107,9 @@ func (r ServerReport) Format() string {
 			r.FaultsInjected, r.Retries, r.WatchdogFires, r.Fallbacks)
 	}
 	fmt.Fprintf(&b, "batches: %d (largest %d)\n", r.Batches, r.MaxBatch)
+	if r.SimBusyNs > 0 {
+		fmt.Fprintf(&b, "simulated busy: %v over all batches\n", engine.Duration(r.SimBusyNs))
+	}
 	fmt.Fprintf(&b, "plan cache: %d hits, %d misses (hit ratio %.1f%%), %d tuning probes\n",
 		r.PlanHits, r.PlanMisses, 100*r.PlanHitRatio, r.TuneProbes)
 	for _, p := range r.Plans {
