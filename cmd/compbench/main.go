@@ -10,8 +10,23 @@
 //	compbench -serve          # serving-layer load report (steady + overload)
 //	compbench -fleet          # sharded fleet scenario table (steady, overload, device-loss)
 //	compbench -scenarios      # built-in scenario table: admitted/rejected/deadline-miss/fault-recovery
+//	compbench -tune           # cost-model tuner vs exhaustive oracle, cold/warm/held-out
+//	compbench -vmbench        # bytecode VM vs tree-walker on every workload
+//	compbench -columnar       # columnar batch tier vs scalar VM
 //	compbench -sweep          # pick block counts by exhaustive sweep (oracle)
 //	compbench -passes merge,streaming  # per-pass applied/skipped table for a pipeline spec
+//
+// Output files. Every report mode also writes a committed JSON artifact
+// (pass "-" to print to stdout only); these are the goldens the env-gated
+// regression guards in internal/bench compare fresh runs against:
+//
+//	-streams   → -streams-out    (default BENCH_streams.json)
+//	-fleet     → -fleet-out      (default BENCH_fleet.json)
+//	-vmbench   → -vmbench-out    (default BENCH_vm.json)
+//	-columnar  → -columnar-out   (default BENCH_columnar.json)
+//	-tune      → -tune-out       (default BENCH_tune.json)
+//	             -tune-model     (default TUNE_model.json, the trained predictor)
+//	-serve     → -serve-out      (default "-": stdout only, no committed golden)
 package main
 
 import (
@@ -62,6 +77,9 @@ func main() {
 	columnar := flag.Bool("columnar", false, "benchmark the columnar batch tier against the scalar VM on every workload plus the element-wise kernel set (AoS vs SoA included)")
 	columnarIters := flag.Int("columnar-iters", 3, "full runs per mode for -columnar (best-of)")
 	columnarOut := flag.String("columnar-out", "BENCH_columnar.json", "write the -columnar report as JSON to this file (\"-\" = stdout only)")
+	tuneMode := flag.Bool("tune", false, "run the cost-model tuner against the exhaustive oracle on every workload (cold, warm-model repeat, held-out machine)")
+	tuneOut := flag.String("tune-out", "BENCH_tune.json", "write the -tune report as JSON to this file (\"-\" = stdout only)")
+	tuneModel := flag.String("tune-model", "TUNE_model.json", "write the -tune trained predictor model to this file (\"-\" = don't write)")
 	flag.Parse()
 
 	if code := setExecMode(*execMode, os.Stderr); code != 0 {
@@ -74,6 +92,24 @@ func main() {
 		r.SetTraceDir(*traceDir)
 	}
 
+	if *tuneMode {
+		rep, model, err := r.TuneBench()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Format())
+		writeJSON(*tuneOut, rep.WriteJSON)
+		if *tuneModel != "-" {
+			if err := model.Save(*tuneModel); err != nil {
+				fmt.Fprintln(os.Stderr, "compbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *tuneModel)
+		}
+		return
+	}
+
 	if *columnar {
 		rep, err := r.ColumnarBench(*columnarIters)
 		if err != nil {
@@ -81,23 +117,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.Format())
-		if *columnarOut != "-" {
-			f, err := os.Create(*columnarOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "compbench:", err)
-				os.Exit(1)
-			}
-			if err := rep.WriteJSON(f); err == nil {
-				err = f.Close()
-			} else {
-				f.Close()
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "compbench:", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *columnarOut)
-		}
+		writeJSON(*columnarOut, rep.WriteJSON)
 		return
 	}
 
@@ -108,23 +128,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.Format())
-		if *vmbenchOut != "-" {
-			f, err := os.Create(*vmbenchOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "compbench:", err)
-				os.Exit(1)
-			}
-			if err := rep.WriteJSON(f); err == nil {
-				err = f.Close()
-			} else {
-				f.Close()
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "compbench:", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *vmbenchOut)
-		}
+		writeJSON(*vmbenchOut, rep.WriteJSON)
 		return
 	}
 
@@ -135,23 +139,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.Format())
-		if *fleetOut != "-" {
-			f, err := os.Create(*fleetOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "compbench:", err)
-				os.Exit(1)
-			}
-			if err := rep.WriteJSON(f); err == nil {
-				err = f.Close()
-			} else {
-				f.Close()
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "compbench:", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *fleetOut)
-		}
+		writeJSON(*fleetOut, rep.WriteJSON)
 		return
 	}
 
@@ -186,23 +174,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.Format())
-		if *serveOut != "-" {
-			f, err := os.Create(*serveOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "compbench:", err)
-				os.Exit(1)
-			}
-			if err := rep.WriteJSON(f); err == nil {
-				err = f.Close()
-			} else {
-				f.Close()
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "compbench:", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *serveOut)
-		}
+		writeJSON(*serveOut, rep.WriteJSON)
 		return
 	}
 
@@ -217,23 +189,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(rep.Format())
-		if *streamsOut != "-" {
-			f, err := os.Create(*streamsOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "compbench:", err)
-				os.Exit(1)
-			}
-			if err := rep.WriteJSON(f); err == nil {
-				err = f.Close()
-			} else {
-				f.Close()
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "compbench:", err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *streamsOut)
-		}
+		writeJSON(*streamsOut, rep.WriteJSON)
 		return
 	}
 
@@ -254,6 +210,29 @@ func main() {
 	for _, f := range figs {
 		fmt.Println(f.Format())
 	}
+}
+
+// writeJSON writes one report to path via its WriteJSON method, exiting on
+// failure; "-" skips the file (the table already went to stdout).
+func writeJSON(path string, write func(io.Writer) error) {
+	if path == "-" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compbench:", err)
+		os.Exit(1)
+	}
+	if err := write(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func one(r *bench.Runner, id string) ([]*bench.Figure, error) {

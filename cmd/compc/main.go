@@ -8,6 +8,8 @@
 //	compc -streaming=false file.c      # disable individual passes
 //	compc -passes merge,streaming file.c  # explicit pipeline spec
 //	compc -blocks 16 file.c            # fix the streaming block count
+//	compc -tune file.c                 # pick pipeline + blocks with the cost-model tuner
+//	compc -tune -tune-model m.json file.c  # persist the tuner's learned model across runs
 //	compc -report file.c               # report only, no source
 //	compc -remarks file.c              # full remark trail on stderr
 //	compc -remarks-json file.c         # remark trail as JSON on stdout
@@ -21,6 +23,8 @@ import (
 
 	"comp/internal/core"
 	"comp/internal/pass"
+	"comp/internal/runtime"
+	"comp/internal/tune"
 	"comp/internal/vm"
 )
 
@@ -47,6 +51,8 @@ func main() {
 	remarks := flag.Bool("remarks", false, "print the full remark trail (every applied and skipped decision) on stderr")
 	remarksJSON := flag.Bool("remarks-json", false, "print the remark trail as JSON on stdout instead of the source")
 	auto := flag.Bool("auto", false, "insert offload clauses into plain OpenMP code first (Apricot mode)")
+	tuneFlag := flag.Bool("tune", false, "pick the pass pipeline and block count with the cost-model tuner (internal/tune); spends simulated probe runs, overrides -passes and the per-pass flags")
+	tuneModel := flag.String("tune-model", "", "JSON `file` the -tune learned model is loaded from and saved back to (repeat compiles converge in 0-2 probes)")
 	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine for measured tuning runs: vm, interp, or columnar")
 	flag.Parse()
 
@@ -75,6 +81,8 @@ func main() {
 	}
 	var res *core.Result
 	switch {
+	case *tuneFlag:
+		res, err = tuneCompile(string(src), flag.Arg(0), *tuneModel)
 	case *passes != "":
 		spec := *passes
 		if *auto {
@@ -110,4 +118,32 @@ func main() {
 	if !*reportOnly {
 		fmt.Print(res.Source())
 	}
+}
+
+// tuneCompile runs the cost-model tuner on the input (probing candidate
+// configurations by simulated execution) and compiles the winning
+// pipeline. With a model path the learned predictor persists across
+// invocations, so recompiling the same or a similar file converges in 0-2
+// probes.
+func tuneCompile(src, key, modelPath string) (*core.Result, error) {
+	model := tune.NewModel()
+	if modelPath != "" {
+		var err error
+		if model, err = tune.LoadModel(modelPath); err != nil {
+			return nil, err
+		}
+	}
+	cfg := runtime.DefaultConfig()
+	cfg.DisableTrace = true
+	d, err := core.TuneSource(&tune.Tuner{Model: model}, key, src, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "tuned: %s\n", d.Remark().Reason)
+	if modelPath != "" {
+		if err := model.Save(modelPath); err != nil {
+			return nil, err
+		}
+	}
+	return core.OptimizeTuned(src, &d.TuneDecision)
 }

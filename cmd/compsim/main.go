@@ -7,6 +7,8 @@
 //	compsim file.c                  # run as written
 //	compsim -optimize file.c        # run through the COMP compiler first
 //	compsim -optimize -blocks auto file.c  # pick the block count by measurement
+//	compsim -tune file.c            # pick pipeline + blocks with the cost-model tuner
+//	compsim -tune -tune-model m.json file.c  # persist the tuner's learned model
 //	compsim -passes merge,streaming file.c # explicit pass pipeline (implies -optimize)
 //	compsim -cpu file.c             # strip offload pragmas, run host-only
 //	compsim -streams 4 file.c       # run 4 concurrent copies on 4 device streams
@@ -36,6 +38,7 @@ import (
 	"comp/internal/sim/fault"
 	"comp/internal/sim/metrics"
 	"comp/internal/transform"
+	tunepkg "comp/internal/tune"
 	"comp/internal/vm"
 	"comp/internal/workloads"
 )
@@ -65,6 +68,8 @@ func main() {
 	requests := flag.Int("requests", 0, "concurrent requests for the scheduler (0 = one per stream)")
 	faults := flag.Float64("faults", 0, "uniform fault injection rate in [0,1] for DMA/launch/hang/alloc (0 = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+	tuneFlag := flag.Bool("tune", false, "pick the pass pipeline and block count with the cost-model tuner before running (overrides -optimize/-passes/-blocks)")
+	tuneModel := flag.String("tune-model", "", "JSON `file` the -tune learned model is loaded from and saved back to")
 	execMode := flag.String("exec", vm.ExecVM, "MiniC execution engine: vm, interp, or columnar")
 	flag.Parse()
 
@@ -102,6 +107,8 @@ func main() {
 		}
 		workloads.StripOffload(f)
 		src = minic.Print(f)
+	} else if *tuneFlag {
+		src = tuneSource(src, cfg, *tuneModel)
 	} else if *optimize || *passes != "" {
 		nblocks, err := resolveBlocks(*blocks, src, cfg)
 		if err != nil {
@@ -172,6 +179,42 @@ func main() {
 		fmt.Printf("WARNING: %s\n", w)
 	}
 	dumpTrace(rt.Trace(), st.Time, *spans, *timeline, *report, *width, *trace)
+}
+
+// tuneSource runs the cost-model tuner on the program (probing candidate
+// pipelines by simulated execution on the same platform configuration the
+// real run uses, minus fault injection noise) and returns the winning
+// compilation. With a model path the learned predictor persists across
+// invocations.
+func tuneSource(src string, cfg runtime.Config, modelPath string) string {
+	model := tunepkg.NewModel()
+	if modelPath != "" {
+		var err error
+		if model, err = tunepkg.LoadModel(modelPath); err != nil {
+			fail(err)
+		}
+	}
+	probeCfg := cfg
+	probeCfg.Faults = fault.Config{}
+	probeCfg.DisableTrace = true
+	d, err := core.TuneSource(&tunepkg.Tuner{Model: model}, flag.Arg(0), src, probeCfg, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "tuned: %s\n", d.Remark().Reason)
+	if modelPath != "" {
+		if err := model.Save(modelPath); err != nil {
+			fail(err)
+		}
+	}
+	res, err := core.OptimizeTuned(src, &d.TuneDecision)
+	if err != nil {
+		fail(err)
+	}
+	for _, a := range res.Report.Applied {
+		fmt.Fprintf(os.Stderr, "applied: %s\n", a)
+	}
+	return res.Source()
 }
 
 // resolveBlocks parses the -blocks flag. "auto" tunes by measurement: one

@@ -1,0 +1,30 @@
+/* A blackscholes-flavoured offloaded loop: five input arrays stream to the
+ * coprocessor, one result array streams back. Used by the README examples
+ * and CI's compc/compsim -tune smoke; any offload-annotated MiniC file
+ * works the same way. */
+float spot[65536];
+float strike[65536];
+float vol[65536];
+float rate[65536];
+float tte[65536];
+float price[65536];
+int n;
+
+int main(void) {
+    int i;
+    n = 65536;
+    for (i = 0; i < n; i++) {
+        spot[i] = 50.0 + i % 100;
+        strike[i] = 40.0 + i % 90;
+        vol[i] = 0.2 + (i % 10) * 0.01;
+        rate[i] = 0.03;
+        tte[i] = 0.5 + (i % 4) * 0.25;
+    }
+    #pragma offload target(mic:0) in(spot, strike, vol, rate, tte : length(n)) out(price : length(n))
+    #pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        float d1 = (log(spot[i] / strike[i]) + (rate[i] + 0.5 * vol[i] * vol[i]) * tte[i]) / (vol[i] * sqrt(tte[i]));
+        price[i] = spot[i] * d1 - strike[i] * exp(-rate[i] * tte[i]) * (d1 - vol[i] * sqrt(tte[i]));
+    }
+    return 0;
+}

@@ -1,34 +1,16 @@
 package bench
 
-import (
-	"encoding/json"
-	"fmt"
-	"os"
-	"testing"
-)
+import "testing"
 
 // TestColumnarRegressionGuard regenerates the scalar-VM-vs-columnar report
 // and fails if any vectorizable row's speedup ratio fell more than 10%
-// below the committed BENCH_columnar.json. Ratios, not nanoseconds, so it
-// transfers across machines; scalar-only rows (no fused vector ops) sit
-// near 1.0 by construction and are exempt from the per-row check. Like the
-// other bench guards it only runs when CI (or a developer) opts in with
-// COMP_BENCH_REGRESS=1.
+// below the committed BENCH_columnar.json. Scalar-only rows (no fused
+// vector ops) sit near 1.0 by construction and are exempt from the
+// per-row check.
 func TestColumnarRegressionGuard(t *testing.T) {
-	if os.Getenv("COMP_BENCH_REGRESS") == "" {
-		t.Skip("set COMP_BENCH_REGRESS=1 to run the bench regression guard")
-	}
-	raw, err := os.ReadFile("../../BENCH_columnar.json")
-	if err != nil {
-		t.Fatalf("read committed report: %v", err)
-	}
 	var committed ColumnarReport
-	if err := json.Unmarshal(raw, &committed); err != nil {
-		t.Fatalf("parse committed report: %v", err)
-	}
-	if len(committed.Rows) == 0 {
-		t.Fatal("committed report is empty; regenerate with compbench -columnar")
-	}
+	g := startGuard(t, "BENCH_columnar.json", "compbench -columnar", &committed)
+	g.requireRows(len(committed.Rows))
 
 	fresh, err := NewRunner().ColumnarBench(committed.Iters)
 	if err != nil {
@@ -39,38 +21,22 @@ func TestColumnarRegressionGuard(t *testing.T) {
 		freshRows[row.Name] = row
 	}
 
-	const tolerance = 0.90 // fresh speedup must stay within 10% of committed
-	var failures []string
 	for _, want := range committed.Rows {
 		if want.Note != "" || want.VecLoops == 0 {
 			continue
 		}
 		got, ok := freshRows[want.Name]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from fresh report", want.Name))
+			g.failf("%s: missing from fresh report", want.Name)
 			continue
 		}
 		if got.VecLoops < want.VecLoops {
-			failures = append(failures, fmt.Sprintf("%s: %d fused vector loops vs committed %d (qualifier regressed)",
-				want.Name, got.VecLoops, want.VecLoops))
+			g.failf("%s: %d fused vector loops vs committed %d (qualifier regressed)",
+				want.Name, got.VecLoops, want.VecLoops)
 			continue
 		}
-		if got.Speedup < want.Speedup*tolerance {
-			failures = append(failures, fmt.Sprintf("%s: columnar speedup %.2fx vs committed %.2fx (-%.1f%%, limit -10%%)",
-				want.Name, got.Speedup, want.Speedup, 100*(1-got.Speedup/want.Speedup)))
-		} else if got.Speedup < want.Speedup {
-			t.Logf("%s: columnar speedup drifted %.2fx -> %.2fx (within tolerance)",
-				want.Name, want.Speedup, got.Speedup)
-		}
+		g.speedup(want.Name, got.Speedup, want.Speedup)
 	}
-	if fresh.GeomeanSpeedup < committed.GeomeanSpeedup*tolerance {
-		failures = append(failures, fmt.Sprintf("geomean: %.2fx vs committed %.2fx",
-			fresh.GeomeanSpeedup, committed.GeomeanSpeedup))
-	}
-	for _, f := range failures {
-		t.Error(f)
-	}
-	if len(failures) > 0 {
-		t.Fatalf("%d row(s) regressed; if intentional, regenerate BENCH_columnar.json with compbench -columnar", len(failures))
-	}
+	g.speedup("geomean", fresh.GeomeanSpeedup, committed.GeomeanSpeedup)
+	g.finish()
 }

@@ -1,33 +1,18 @@
 package bench
 
-import (
-	"encoding/json"
-	"fmt"
-	"os"
-	"testing"
-)
+import "testing"
 
 // TestFleetRegressionGuard regenerates the fleet scenario table at the
 // committed configuration and fails if any scenario's makespan regressed
 // more than 10% against BENCH_fleet.json. The makespans come from a
 // stepped, virtual-clock replay, so they are bit-stable: a failure always
 // means a code change moved a placement or a batch boundary, never noise.
-// Opt in with COMP_BENCH_REGRESS=1 (the regeneration serves every request
-// through the full simulator and takes a while).
 func TestFleetRegressionGuard(t *testing.T) {
-	if os.Getenv("COMP_BENCH_REGRESS") == "" {
-		t.Skip("set COMP_BENCH_REGRESS=1 to run the bench regression guard")
-	}
-	raw, err := os.ReadFile("../../BENCH_fleet.json")
-	if err != nil {
-		t.Fatalf("read committed report: %v", err)
-	}
 	var committed FleetBenchReport
-	if err := json.Unmarshal(raw, &committed); err != nil {
-		t.Fatalf("parse committed report: %v", err)
-	}
-	if committed.Hosts == 0 || len(committed.Rows) == 0 {
-		t.Fatal("committed report is empty; regenerate with compbench -fleet")
+	g := startGuard(t, "BENCH_fleet.json", "compbench -fleet", &committed)
+	g.requireRows(len(committed.Rows))
+	if committed.Hosts == 0 {
+		t.Fatal("committed report has no host count; regenerate with compbench -fleet")
 	}
 
 	fresh, err := NewRunner().FleetLoad(committed.Hosts, committed.PerHost, committed.Requests)
@@ -39,39 +24,20 @@ func TestFleetRegressionGuard(t *testing.T) {
 		freshRows[row.Scenario] = row
 	}
 
-	const tolerance = 1.10
-	var failures []string
 	for _, want := range committed.Rows {
 		got, ok := freshRows[want.Scenario]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from fresh report", want.Scenario))
+			g.failf("%s: missing from fresh report", want.Scenario)
 			continue
 		}
 		if got.MakespanNs == 0 {
-			failures = append(failures, fmt.Sprintf("%s: fresh replay produced no makespan", want.Scenario))
+			g.failf("%s: fresh replay produced no makespan", want.Scenario)
 			continue
 		}
-		limit := int64(float64(want.MakespanNs) * tolerance)
-		if got.MakespanNs > limit {
-			failures = append(failures, fmt.Sprintf("%s: makespan %dns vs committed %dns (+%.1f%%, limit +10%%)",
-				want.Scenario, got.MakespanNs, want.MakespanNs,
-				100*(float64(got.MakespanNs)/float64(want.MakespanNs)-1)))
-		} else if got.MakespanNs != want.MakespanNs {
-			// Drift inside tolerance is legal but worth a line: simulated
-			// time only moves when placement or batching changed.
-			t.Logf("%s: makespan drifted %dns -> %dns (%+.1f%%)",
-				want.Scenario, want.MakespanNs, got.MakespanNs,
-				100*(float64(got.MakespanNs)/float64(want.MakespanNs)-1))
-		}
+		g.makespan(want.Scenario, got.MakespanNs, want.MakespanNs)
 		if got.Completed != want.Completed {
 			t.Logf("%s: completed drifted %d -> %d", want.Scenario, want.Completed, got.Completed)
 		}
 	}
-	for _, f := range failures {
-		t.Error(f)
-	}
-	if len(failures) > 0 {
-		t.Fatalf("%d scenario(s) regressed; if intentional, regenerate BENCH_fleet.json with compbench -fleet",
-			len(failures))
-	}
+	g.finish()
 }

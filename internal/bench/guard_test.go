@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// The bench regression guards share one harness: each guard regenerates a
+// committed BENCH_*.json golden and fails when a row regressed beyond
+// tolerance. Regeneration serves every request through the full simulator
+// and takes minutes, so every guard is opt-in via COMP_BENCH_REGRESS=1
+// (CI's bench-regress job sets it; `go test ./internal/bench` skips).
+
+// guardTolerance is the shared regression budget: makespans may grow, and
+// speedup ratios may shrink, by at most 10% against the committed golden.
+const guardTolerance = 0.10
+
+// guard carries the per-test state of one regression guard.
+type guard struct {
+	t *testing.T
+	// regen is the compbench invocation that refreshes the golden, quoted
+	// in every failure so an intentional change is one command away.
+	regen    string
+	failures []string
+}
+
+// startGuard is the shared scaffolding: skip unless COMP_BENCH_REGRESS=1,
+// read the committed golden from the repo root, and parse it into
+// committed (a pointer to the report type).
+func startGuard(t *testing.T, file, regen string, committed any) *guard {
+	t.Helper()
+	if os.Getenv("COMP_BENCH_REGRESS") == "" {
+		t.Skip("set COMP_BENCH_REGRESS=1 to run the bench regression guard")
+	}
+	raw, err := os.ReadFile("../../" + file)
+	if err != nil {
+		t.Fatalf("read committed report: %v", err)
+	}
+	if err := json.Unmarshal(raw, committed); err != nil {
+		t.Fatalf("parse committed report: %v", err)
+	}
+	return &guard{t: t, regen: regen}
+}
+
+// requireRows fails immediately when the committed golden carries no rows
+// (an empty golden would make every comparison vacuously pass).
+func (g *guard) requireRows(n int) {
+	g.t.Helper()
+	if n == 0 {
+		g.t.Fatalf("committed report is empty; regenerate with %s", g.regen)
+	}
+}
+
+// failf records one row's regression; the guard aggregates them so a run
+// reports every regressed row, not just the first.
+func (g *guard) failf(format string, args ...any) {
+	g.failures = append(g.failures, fmt.Sprintf(format, args...))
+}
+
+// makespan enforces the +10% ceiling on a simulated-time makespan. Drift
+// inside tolerance is logged: simulated time only moves when the schedule
+// changed, never from measurement noise.
+func (g *guard) makespan(name string, got, want int64) {
+	g.t.Helper()
+	if want <= 0 {
+		return
+	}
+	rel := 100 * (float64(got)/float64(want) - 1)
+	if got > int64(float64(want)*(1+guardTolerance)) {
+		g.failf("%s: makespan %dns vs committed %dns (+%.1f%%, limit +10%%)", name, got, want, rel)
+	} else if got != want {
+		g.t.Logf("%s: makespan drifted %dns -> %dns (%+.1f%%)", name, want, got, rel)
+	}
+}
+
+// speedup enforces the -10% floor on a speedup ratio (ratios transfer
+// across machines: both sides of the quotient ran on the same host).
+func (g *guard) speedup(name string, got, want float64) {
+	g.t.Helper()
+	if got < want*(1-guardTolerance) {
+		g.failf("%s: speedup %.2fx vs committed %.2fx (-%.1f%%, limit -10%%)",
+			name, got, want, 100*(1-got/want))
+	} else if got < want {
+		g.t.Logf("%s: speedup drifted %.2fx -> %.2fx (within tolerance)", name, want, got)
+	}
+}
+
+// finish reports the aggregated failures with the regeneration hint.
+func (g *guard) finish() {
+	g.t.Helper()
+	for _, f := range g.failures {
+		g.t.Error(f)
+	}
+	if len(g.failures) > 0 {
+		g.t.Fatalf("%d row(s) regressed; if intentional, regenerate with %s", len(g.failures), g.regen)
+	}
+}

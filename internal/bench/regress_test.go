@@ -1,34 +1,16 @@
 package bench
 
-import (
-	"encoding/json"
-	"fmt"
-	"os"
-	"testing"
-)
+import "testing"
 
 // TestStreamsRegressionGuard regenerates the multi-stream report at the
 // committed configuration and fails if any workload's concurrent makespan
-// regressed more than 10% against BENCH_streams.json. The makespans are
-// simulated time, so the comparison is deterministic — a failure always
-// means a code change altered the schedule, never measurement noise. The
-// full regeneration re-tunes every workload and takes minutes, so the
-// guard only runs when CI (or a developer) opts in with
-// COMP_BENCH_REGRESS=1.
+// regressed more than 10% against BENCH_streams.json.
 func TestStreamsRegressionGuard(t *testing.T) {
-	if os.Getenv("COMP_BENCH_REGRESS") == "" {
-		t.Skip("set COMP_BENCH_REGRESS=1 to run the bench regression guard")
-	}
-	raw, err := os.ReadFile("../../BENCH_streams.json")
-	if err != nil {
-		t.Fatalf("read committed report: %v", err)
-	}
 	var committed StreamsReport
-	if err := json.Unmarshal(raw, &committed); err != nil {
-		t.Fatalf("parse committed report: %v", err)
-	}
-	if committed.Streams == 0 || len(committed.Rows) == 0 {
-		t.Fatal("committed report is empty; regenerate with compbench -streams 4")
+	g := startGuard(t, "BENCH_streams.json", "compbench -streams 4", &committed)
+	g.requireRows(len(committed.Rows))
+	if committed.Streams == 0 {
+		t.Fatal("committed report has no stream count; regenerate with compbench -streams 4")
 	}
 
 	fresh, err := NewRunner().Streams(committed.Streams, committed.Requests)
@@ -40,39 +22,20 @@ func TestStreamsRegressionGuard(t *testing.T) {
 		freshRows[row.Name] = row
 	}
 
-	const tolerance = 1.10
-	var failures []string
 	for _, want := range committed.Rows {
 		if want.ConcurrentNs == 0 {
 			continue // shared-memory rows carry no scheduler makespan
 		}
 		got, ok := freshRows[want.Name]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from fresh report", want.Name))
+			g.failf("%s: missing from fresh report", want.Name)
 			continue
 		}
 		if got.ConcurrentNs == 0 {
-			failures = append(failures, fmt.Sprintf("%s: fresh run produced no makespan (note %q)", want.Name, got.Note))
+			g.failf("%s: fresh run produced no makespan (note %q)", want.Name, got.Note)
 			continue
 		}
-		limit := int64(float64(want.ConcurrentNs) * tolerance)
-		if got.ConcurrentNs > limit {
-			failures = append(failures, fmt.Sprintf("%s: concurrent makespan %dns vs committed %dns (+%.1f%%, limit +10%%)",
-				want.Name, got.ConcurrentNs, want.ConcurrentNs,
-				100*(float64(got.ConcurrentNs)/float64(want.ConcurrentNs)-1)))
-		} else if got.ConcurrentNs != want.ConcurrentNs {
-			// Drift inside tolerance is legal but worth seeing in the log:
-			// simulated time only moves when the schedule changes.
-			t.Logf("%s: concurrent makespan drifted %dns -> %dns (%+.1f%%)",
-				want.Name, want.ConcurrentNs, got.ConcurrentNs,
-				100*(float64(got.ConcurrentNs)/float64(want.ConcurrentNs)-1))
-		}
+		g.makespan(want.Name, got.ConcurrentNs, want.ConcurrentNs)
 	}
-	for _, f := range failures {
-		t.Error(f)
-	}
-	if len(failures) > 0 {
-		t.Fatalf("%d workload(s) regressed; if intentional, regenerate BENCH_streams.json with compbench -streams %d -requests %d",
-			len(failures), committed.Streams, committed.Requests)
-	}
+	g.finish()
 }

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"comp/internal/tune"
+)
+
+// TestTuneRegressionGuard regenerates the tuner-vs-oracle report and fails
+// when the tuner regressed against BENCH_tune.json: a tuned makespan more
+// than 10% above the committed one, a tuned-vs-oracle gap above 10%, or a
+// probe-budget overrun (cold past the budget, warm or held-out past 2).
+// The regenerated model must also match the committed TUNE_model.json
+// byte-for-byte — the simulator is deterministic, so any diff means a code
+// change moved a measurement or a search decision.
+func TestTuneRegressionGuard(t *testing.T) {
+	var committed TuneReport
+	g := startGuard(t, "BENCH_tune.json", "compbench -tune", &committed)
+	g.requireRows(len(committed.Rows))
+
+	fresh, model, err := NewRunner().TuneBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshRows := map[string]TuneRow{}
+	for _, row := range fresh.Rows {
+		freshRows[row.Name] = row
+	}
+
+	for _, want := range committed.Rows {
+		if want.Note != "" {
+			continue
+		}
+		got, ok := freshRows[want.Name]
+		if !ok {
+			g.failf("%s: missing from fresh report", want.Name)
+			continue
+		}
+		if got.Probes > committed.MaxProbes {
+			g.failf("%s: cold search spent %d probes, budget %d", want.Name, got.Probes, committed.MaxProbes)
+		}
+		if got.WarmProbes > 2 {
+			g.failf("%s: warm repeat spent %d probes, want ≤2", want.Name, got.WarmProbes)
+		}
+		if got.HeldOutProbes > 2 {
+			g.failf("%s: held-out machine spent %d probes, want ≤2", want.Name, got.HeldOutProbes)
+		}
+		if got.Gap > guardTolerance {
+			g.failf("%s: tuned makespan %.1f%% above the oracle (limit 10%%)", want.Name, got.Gap*100)
+		}
+		if got.HeldOutGap > guardTolerance {
+			g.failf("%s: held-out makespan %.1f%% above the oracle (limit 10%%)", want.Name, got.HeldOutGap*100)
+		}
+		g.makespan(want.Name, got.TunedNs, want.TunedNs)
+	}
+
+	// Model golden drift: retraining from scratch must reproduce the
+	// committed model exactly.
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	freshModel, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committedModel, err := os.ReadFile("../../TUNE_model.json")
+	if err != nil {
+		t.Fatalf("read committed model: %v", err)
+	}
+	if !bytes.Equal(freshModel, committedModel) {
+		g.failf("TUNE_model.json: retrained model differs from committed; if intentional, regenerate with compbench -tune")
+	}
+	g.finish()
+}
+
+// TestTuneModelGolden checks — without the env gate, so it runs in tier-1 —
+// that the committed TUNE_model.json loads, carries trained samples, and is
+// in the canonical form Save produces (load → save must round-trip
+// byte-identically, so every regeneration yields a minimal diff).
+func TestTuneModelGolden(t *testing.T) {
+	const golden = "../../TUNE_model.json"
+	m, err := tune.LoadModel(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() == 0 {
+		t.Fatal("committed model has no samples; regenerate with compbench -tune")
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved, committed) {
+		t.Error("TUNE_model.json is not in canonical form; regenerate with compbench -tune")
+	}
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"comp/internal/tune"
+)
+
+// TestTuneBenchSingle runs the full three-phase tuning comparison for one
+// workload as a tier-1 smoke of the whole recipe: the cold search must
+// match the exhaustive oracle within budget, the warm repeat must be
+// probe-free, and the held-out machine must converge in at most two.
+// The gated TestTuneRegressionGuard extends the same checks to the suite.
+func TestTuneBenchSingle(t *testing.T) {
+	rep, model, err := NewRunner().TuneBench("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	if row.Note != "" {
+		t.Fatalf("kmeans unexpectedly skipped: %s", row.Note)
+	}
+	if row.Probes == 0 || row.Probes > tune.DefaultMaxProbes {
+		t.Errorf("cold search spent %d probes, want 1..%d", row.Probes, tune.DefaultMaxProbes)
+	}
+	if row.Gap != 0 {
+		t.Errorf("tuned %dns vs oracle %dns (gap %.1f%%), want exact match",
+			row.TunedNs, row.OracleNs, row.Gap*100)
+	}
+	if row.WarmProbes != 0 {
+		t.Errorf("warm repeat spent %d probes, want 0", row.WarmProbes)
+	}
+	if row.WarmSource != "model" {
+		t.Errorf("warm source %q, want \"model\"", row.WarmSource)
+	}
+	if row.HeldOutProbes > 2 {
+		t.Errorf("held-out machine spent %d probes, want ≤2", row.HeldOutProbes)
+	}
+	if row.HeldOutGap != 0 {
+		t.Errorf("held-out %dns vs oracle %dns (gap %.1f%%), want exact match",
+			row.HeldOutNs, row.HeldOutOracleNs, row.HeldOutGap*100)
+	}
+	// The cold decision trains the model; both platforms should be present.
+	if model.Len() < 2 {
+		t.Errorf("model holds %d samples, want ≥2 (training + held-out)", model.Len())
+	}
+	if !strings.Contains(rep.Format(), "kmeans") {
+		t.Error("Format() does not mention the workload")
+	}
+}

@@ -1,35 +1,16 @@
 package bench
 
-import (
-	"encoding/json"
-	"fmt"
-	"os"
-	"testing"
-)
+import "testing"
 
 // TestVMRegressionGuard regenerates the interp-vs-VM report and fails if
 // any workload's VM speedup ratio fell more than 10% below the committed
-// BENCH_vm.json. The comparison is on ratios, not absolute nanoseconds, so
-// it transfers across machines: both engines run on the same host, and a
-// drop in the ratio means the VM specifically got slower relative to the
-// tree-walker. Wall-clock measurement takes a couple of minutes, so the
-// guard only runs when CI (or a developer) opts in with
-// COMP_BENCH_REGRESS=1.
+// BENCH_vm.json. Ratios, not absolute nanoseconds: both engines run on the
+// same host, so a drop means the VM specifically got slower relative to
+// the tree-walker.
 func TestVMRegressionGuard(t *testing.T) {
-	if os.Getenv("COMP_BENCH_REGRESS") == "" {
-		t.Skip("set COMP_BENCH_REGRESS=1 to run the bench regression guard")
-	}
-	raw, err := os.ReadFile("../../BENCH_vm.json")
-	if err != nil {
-		t.Fatalf("read committed report: %v", err)
-	}
 	var committed VMReport
-	if err := json.Unmarshal(raw, &committed); err != nil {
-		t.Fatalf("parse committed report: %v", err)
-	}
-	if len(committed.Rows) == 0 {
-		t.Fatal("committed report is empty; regenerate with compbench -vmbench")
-	}
+	g := startGuard(t, "BENCH_vm.json", "compbench -vmbench", &committed)
+	g.requireRows(len(committed.Rows))
 
 	fresh, err := NewRunner().VMBench(committed.Iters)
 	if err != nil {
@@ -40,33 +21,17 @@ func TestVMRegressionGuard(t *testing.T) {
 		freshRows[row.Name] = row
 	}
 
-	const tolerance = 0.90 // fresh speedup must stay within 10% of committed
-	var failures []string
 	for _, want := range committed.Rows {
 		if want.Note != "" {
 			continue
 		}
 		got, ok := freshRows[want.Name]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from fresh report", want.Name))
+			g.failf("%s: missing from fresh report", want.Name)
 			continue
 		}
-		if got.Speedup < want.Speedup*tolerance {
-			failures = append(failures, fmt.Sprintf("%s: VM speedup %.2fx vs committed %.2fx (-%.1f%%, limit -10%%)",
-				want.Name, got.Speedup, want.Speedup, 100*(1-got.Speedup/want.Speedup)))
-		} else if got.Speedup < want.Speedup {
-			t.Logf("%s: VM speedup drifted %.2fx -> %.2fx (within tolerance)",
-				want.Name, want.Speedup, got.Speedup)
-		}
+		g.speedup(want.Name, got.Speedup, want.Speedup)
 	}
-	if fresh.GeomeanSpeedup < committed.GeomeanSpeedup*tolerance {
-		failures = append(failures, fmt.Sprintf("geomean: %.2fx vs committed %.2fx",
-			fresh.GeomeanSpeedup, committed.GeomeanSpeedup))
-	}
-	for _, f := range failures {
-		t.Error(f)
-	}
-	if len(failures) > 0 {
-		t.Fatalf("%d workload(s) regressed; if intentional, regenerate BENCH_vm.json with compbench -vmbench", len(failures))
-	}
+	g.speedup("geomean", fresh.GeomeanSpeedup, committed.GeomeanSpeedup)
+	g.finish()
 }

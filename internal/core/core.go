@@ -190,6 +190,37 @@ func OptimizeFile(f *minic.File, opt Options) (*Result, error) {
 	return &Result{File: f, Report: ReportFromRemarks(remarks)}, nil
 }
 
+// TunedSpec prefixes a decision's pipeline spec with the tune stage so the
+// decision lands in the remark trail ("tune" alone when the tuner decided
+// no pass is profitable).
+func TunedSpec(d *pass.TuneDecision) string {
+	if d == nil || d.Spec == "" {
+		return "tune"
+	}
+	return "tune," + d.Spec
+}
+
+// OptimizeTuned compiles src under a tuner's decision: the decision's
+// pipeline spec runs behind a leading tune stage that records the decision
+// — predicted vs measured cost included — as a structured remark.
+func OptimizeTuned(src string, d *pass.TuneDecision) (*Result, error) {
+	return OptimizeSpec(src, TunedSpec(d), tunedConfig(d))
+}
+
+// OptimizeFileTuned is OptimizeTuned over a parsed and checked file.
+func OptimizeFileTuned(f *minic.File, d *pass.TuneDecision) (*Result, error) {
+	return OptimizeFileSpec(f, TunedSpec(d), tunedConfig(d))
+}
+
+func tunedConfig(d *pass.TuneDecision) pass.Config {
+	cfg := pass.DefaultConfig()
+	cfg.Tuned = d
+	if d != nil {
+		cfg.Blocks = d.Blocks
+	}
+	return cfg
+}
+
 // OptimizeSpec parses, checks, and optimizes a MiniC source text under an
 // explicit pipeline spec (see pass.ParseSpec) instead of boolean Options.
 func OptimizeSpec(src, spec string, cfg pass.Config) (*Result, error) {

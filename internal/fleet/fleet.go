@@ -12,6 +12,7 @@ import (
 	"comp/internal/sim/fault"
 	"comp/internal/sim/machine"
 	"comp/internal/sim/metrics"
+	"comp/internal/tune"
 )
 
 // ErrNoDevices rejects a submission when every device in the fleet has
@@ -62,6 +63,14 @@ type Config struct {
 	// Exec pins the execution engine for every device ("" = process-wide
 	// default).
 	Exec string
+	// Tune enables the cost-model pipeline tuner (serve.Config.Tune) on
+	// every device. Device signatures gain a "|tuned" marker so work
+	// stealing only pairs devices whose plan caches speak the same keys —
+	// tuned fleets stay plan-affine.
+	Tune bool
+	// TuneModel is the shared learned-predictor model for Tune; nil
+	// starts an empty model shared by the fleet's planner.
+	TuneModel *tune.Model
 }
 
 // device is one fleet member at runtime.
@@ -149,6 +158,8 @@ func New(cfg Config) (*Fleet, error) {
 			Clock:      cfg.Clock,
 			Stepped:    cfg.Stepped,
 			Exec:       cfg.Exec,
+			Tune:       cfg.Tune,
+			TuneModel:  cfg.TuneModel,
 		})
 		if err != nil {
 			f.closeAll()
@@ -158,9 +169,13 @@ func New(cfg Config) (*Fleet, error) {
 		if queue == 0 {
 			queue = 64 // serve's default
 		}
+		sig := rtCfg.MIC.Name + "|" + rtCfg.CPU.Name
+		if cfg.Tune {
+			sig += "|tuned"
+		}
 		d := &device{
 			id:    dc.ID,
-			sig:   rtCfg.MIC.Name + "|" + rtCfg.CPU.Name,
+			sig:   sig,
 			srv:   srv,
 			queue: queue,
 		}
@@ -473,7 +488,7 @@ func DefaultDevices(hosts, perHost, queue int) []DeviceConfig {
 			rtCfg := runtime.DefaultConfig()
 			rtCfg.DisableTrace = true
 			if (h*perHost+d)%2 == 1 {
-				rtCfg.MIC = phi3120()
+				rtCfg.MIC = machine.XeonPhi3120()
 			}
 			cfgCopy := rtCfg
 			out = append(out, DeviceConfig{
@@ -484,17 +499,4 @@ func DefaultDevices(hosts, perHost, queue int) []DeviceConfig {
 		}
 	}
 	return out
-}
-
-// phi3120 models the smaller card class: a 57-core Xeon Phi 3120-style
-// part at 1.1 GHz with 6 GB of GDDR5. Same microarchitectural constants as
-// the calibrated ES2 model — only the size knobs differ, which is exactly
-// what makes its plans non-interchangeable with the ES2's.
-func phi3120() machine.Config {
-	c := machine.XeonPhi()
-	c.Name = "xeon-phi-3120"
-	c.Cores = 57
-	c.ClockGHz = 1.1
-	c.MemBytes = 6 << 30
-	return c
 }

@@ -28,6 +28,13 @@ type loopSelector interface {
 	SelectLoops(ctx *Context) []*minic.ForStmt
 }
 
+// filePass marks a pass that runs once per translation unit instead of
+// per loop (the tune stage, which records the tuner's configuration
+// decision). The manager calls ApplyFile and skips loop iteration.
+type filePass interface {
+	ApplyFile(ctx *Context) (Remarks, error)
+}
+
 // Config carries the knobs shared by pass constructors.
 type Config struct {
 	// Blocks fixes the streaming block count; 0 means transform.DefaultBlocks.
@@ -36,6 +43,11 @@ type Config struct {
 	ReduceMemory bool
 	// Persistent marks streamed kernels persist(1) (§III-C).
 	Persistent bool
+	// Tuned carries the cost-model tuner's decision for pipelines that
+	// include the "tune" stage; the stage emits it as a structured remark
+	// with predicted-vs-measured cost. Nil makes the stage record a
+	// skipped remark.
+	Tuned *TuneDecision
 }
 
 // DefaultConfig enables the full streaming variant, matching
@@ -53,6 +65,7 @@ var registry = map[string]func(Config) Pass{
 	"streaming": func(c Config) Pass {
 		return streamingPass{blocks: c.Blocks, reduceMemory: c.ReduceMemory, persistent: c.Persistent}
 	},
+	"tune": func(c Config) Pass { return tunePass{d: c.Tuned} },
 }
 
 // KnownPasses returns the registered pass names, sorted.
@@ -140,6 +153,19 @@ func (m *Manager) Run(f *minic.File) (Remarks, error) {
 	var all Remarks
 	for i, p := range m.passes {
 		ctx.setUpcoming(m.names[i+1:])
+		if fp, ok := p.(filePass); ok {
+			rs, err := fp.ApplyFile(ctx)
+			for j := range rs {
+				if rs[j].Pass == "" {
+					rs[j].Pass = p.Name()
+				}
+			}
+			all = append(all, rs...)
+			if err != nil {
+				return all, err
+			}
+			continue
+		}
 		loops := selectLoops(p, ctx)
 		for _, loop := range loops {
 			at := loop.Pos().String()

@@ -63,7 +63,7 @@ func TestParseSpecErrorsListKnownPasses(t *testing.T) {
 
 func TestKnownPassesSortedAndComplete(t *testing.T) {
 	names := KnownPasses()
-	want := []string{"auto-offload", "merge", "regularize", "streaming"}
+	want := []string{"auto-offload", "merge", "regularize", "streaming", "tune"}
 	if len(names) != len(want) {
 		t.Fatalf("KnownPasses = %v, want %v", names, want)
 	}

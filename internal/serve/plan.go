@@ -12,6 +12,7 @@ import (
 	"comp/internal/sim/engine"
 	"comp/internal/sim/metrics"
 	"comp/internal/transform"
+	"comp/internal/tune"
 	"comp/internal/workloads"
 )
 
@@ -39,6 +40,10 @@ type Plan struct {
 	// plan — why each pass applied or declined. Cache hits surface it in
 	// ServerReport without recompiling.
 	Remarks pass.Remarks
+	// Tuned is the cost-model tuner's decision when the plan was built by
+	// the unified pipeline search (Config.Tune); nil for legacy
+	// block-only tuning.
+	Tuned *pass.TuneDecision
 	// setup injects the workload's generated inputs (nil for inline-source
 	// jobs without a setup hook).
 	setup func(*interp.Program) error
@@ -61,6 +66,7 @@ type Planner struct {
 	tuner transform.AutoTuner
 
 	mu     sync.Mutex
+	ct     *tune.Tuner // cost-model pipeline tuner; nil = legacy block tuning
 	plans  map[string]*planEntry
 	hits   int64
 	misses int64
@@ -70,6 +76,40 @@ type Planner struct {
 // NewPlanner returns an empty plan cache.
 func NewPlanner() *Planner {
 	return &Planner{plans: map[string]*planEntry{}}
+}
+
+// EnableTune switches the planner to the unified cost-model pipeline
+// search (internal/tune) for every plan built from now on. The model
+// seeds the search and accumulates every decision; nil starts an empty
+// private model. Idempotent: the first call wins, so servers sharing a
+// planner share one tuner and one model.
+func (pl *Planner) EnableTune(model *tune.Model) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.ct != nil {
+		return
+	}
+	if model == nil {
+		model = tune.NewModel()
+	}
+	pl.ct = &tune.Tuner{Model: model}
+}
+
+// TuneModel returns the learned-predictor model behind EnableTune (nil
+// when cost-model tuning is off) so callers can persist it after a run.
+func (pl *Planner) TuneModel() *tune.Model {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.ct == nil {
+		return nil
+	}
+	return pl.ct.Model
+}
+
+func (pl *Planner) costTuner() *tune.Tuner {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.ct
 }
 
 // Stats returns the cache counters: hits, misses, and total tuning probes
@@ -106,6 +146,7 @@ func (pl *Planner) Explain() []metrics.PlanReport {
 			TuneProbes: e.plan.TuneProbes,
 			Hits:       e.hits,
 			Remarks:    e.plan.Remarks,
+			Tuned:      e.plan.Tuned,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
@@ -113,8 +154,12 @@ func (pl *Planner) Explain() []metrics.PlanReport {
 }
 
 // cacheKey derives the plan-cache key for a job on a platform: tuning
-// decisions depend on both the workload and the machine it runs on.
-func cacheKey(job Job, cfg runtime.Config) (string, error) {
+// decisions depend on both the workload and the machine it runs on, and —
+// when the cost-model tuner is on — on the tuned pipeline configuration,
+// so tuned and legacy plans for the same workload never alias. Fleet
+// device signatures carry the same marker, which keeps work stealing
+// plan-affine across tuned fleets.
+func cacheKey(job Job, cfg runtime.Config, tuned bool) (string, error) {
 	base := job.Key
 	if base == "" {
 		base = job.Workload
@@ -122,14 +167,19 @@ func cacheKey(job Job, cfg runtime.Config) (string, error) {
 	if base == "" {
 		return "", fmt.Errorf("serve: job names neither a workload nor a key")
 	}
-	return fmt.Sprintf("%s|%s|%s", base, cfg.MIC.Name, cfg.CPU.Name), nil
+	key := fmt.Sprintf("%s|%s|%s", base, cfg.MIC.Name, cfg.CPU.Name)
+	if tuned {
+		key += "|tuned"
+	}
+	return key, nil
 }
 
 // planFor returns the plan for a job, building it on first use. The cached
 // return reports whether the plan (or an in-flight build of it) already
 // existed.
 func (pl *Planner) planFor(job Job, cfg runtime.Config) (plan *Plan, cached bool, err error) {
-	key, err := cacheKey(job, cfg)
+	ct := pl.costTuner()
+	key, err := cacheKey(job, cfg, ct != nil)
 	if err != nil {
 		return nil, false, err
 	}
@@ -151,7 +201,11 @@ func (pl *Planner) planFor(job Job, cfg runtime.Config) (plan *Plan, cached bool
 
 	// Build outside the lock; errors are cached too — plan building is
 	// deterministic, so a failed key would fail identically on retry.
-	e.plan, e.err = pl.build(key, job, cfg)
+	if ct != nil {
+		e.plan, e.err = pl.buildTuned(ct, key, job, cfg)
+	} else {
+		e.plan, e.err = pl.build(key, job, cfg)
+	}
 	if e.plan != nil {
 		pl.mu.Lock()
 		pl.probes += int64(e.plan.TuneProbes)
@@ -276,6 +330,61 @@ func (pl *Planner) buildSource(key string, job Job, cfg runtime.Config) (*Plan, 
 		Outputs:    append([]string(nil), job.Outputs...),
 		Remarks:    remarks,
 		setup:      job.Setup,
+	}, nil
+}
+
+// buildTuned constructs a plan through the unified cost-model pipeline
+// search: extract the workload's features, measure one unoptimized
+// baseline, let the tuner rank and probe candidate (spec, blocks)
+// configurations within its budget, then compile the winner behind a tune
+// stage so the decision — predicted vs measured cost included — lands in
+// the plan's remark trail.
+func (pl *Planner) buildTuned(ct *tune.Tuner, key string, job Job, cfg runtime.Config) (*Plan, error) {
+	if job.Source != "" && !job.Optimize {
+		// Inline source served as written: nothing to tune.
+		return pl.buildSource(key, job, cfg)
+	}
+	probeCfg := cfg
+	probeCfg.DisableTrace = true
+	src := job.Source
+	setup := job.Setup
+	outputs := append([]string(nil), job.Outputs...)
+	base := job.Key
+	if src == "" {
+		b, err := workloads.Get(job.Workload)
+		if err != nil {
+			return nil, err
+		}
+		if b.SharedMem {
+			return nil, fmt.Errorf("serve: %s is a shared-memory benchmark; the scheduler serves MiniC offload programs", b.Name)
+		}
+		if b.CPUThreads > 0 {
+			probeCfg.CPUThreads = b.CPUThreads
+		}
+		src, setup = b.Source, b.Setup
+		outputs = append([]string(nil), b.Outputs...)
+		if base == "" {
+			base = b.Name
+		}
+	}
+
+	d, err := core.TuneSource(ct, base, src, probeCfg, setup)
+	if err != nil {
+		return nil, fmt.Errorf("serve: plan %s: %w", key, err)
+	}
+	res, err := core.OptimizeTuned(src, &d.TuneDecision)
+	if err != nil {
+		return nil, fmt.Errorf("serve: plan %s optimize: %w", key, err)
+	}
+	return &Plan{
+		Key:        key,
+		Source:     res.Source(),
+		Blocks:     d.Blocks,
+		TuneProbes: d.Probes,
+		Outputs:    outputs,
+		Remarks:    res.Report.Remarks,
+		Tuned:      &d.TuneDecision,
+		setup:      setup,
 	}, nil
 }
 

@@ -40,6 +40,7 @@ import (
 	"comp/internal/sim/engine"
 	"comp/internal/sim/fault"
 	"comp/internal/sim/metrics"
+	"comp/internal/tune"
 	"comp/internal/vm"
 )
 
@@ -77,6 +78,18 @@ type Config struct {
 	// Planner is the plan cache; nil creates a private one. Share a
 	// Planner across servers to warm one cache for a fleet.
 	Planner *Planner
+	// Tune switches plan building to the unified cost-model pipeline
+	// search (internal/tune): candidate pipeline orderings and block
+	// counts are priced by the cost model and only the top candidates are
+	// probed, with the decision recorded in the plan's remark trail. Plan
+	// cache keys gain a "|tuned" marker so tuned and legacy plans never
+	// alias. Enabling it on any server sharing a Planner enables it for
+	// all of them (first enable wins).
+	Tune bool
+	// TuneModel seeds the tuner's learned predictor and accumulates every
+	// decision made while serving; nil starts an empty private model.
+	// Only read when Tune is set.
+	TuneModel *tune.Model
 	// Clock, when non-nil, replaces time.Now for every timestamp the
 	// server takes (enqueue times, deadline checks, completion times).
 	// Trace replay injects a virtual clock here so deadlines and latency
@@ -269,6 +282,9 @@ func New(cfg Config) (*Server, error) {
 	planner := cfg.Planner
 	if planner == nil {
 		planner = NewPlanner()
+	}
+	if cfg.Tune {
+		planner.EnableTune(cfg.TuneModel)
 	}
 	s := &Server{
 		cfg:        cfg,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"comp/internal/interp"
+	"comp/internal/tune"
 )
 
 // synthSource builds a small offload program whose outputs depend on the
@@ -671,5 +672,92 @@ func TestPlanCacheCachedErrorFreezesProbes(t *testing.T) {
 	}
 	if hits < 5 {
 		t.Fatalf("cached-error replays counted %d hits, want >= 5", hits)
+	}
+}
+
+// TestServeTunedPlans exercises the unified cost-model pipeline search end
+// to end through the serving layer: a tuned server builds its plan within
+// the probe budget, records the tuning decision (predicted vs measured
+// cost) in the plan report under a "|tuned" cache key, returns the same
+// values an untuned server does, and a second server sharing the learned
+// model rebuilds the plan without spending a single probe.
+func TestServeTunedPlans(t *testing.T) {
+	model := tune.NewModel()
+	s, err := New(Config{Streams: 2, QueueDepth: 8, MaxBatch: 4, Tune: true, TuneModel: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tunedResp, err := s.Do(Job{Workload: "nn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	s.Close()
+	if len(rep.Plans) != 1 {
+		t.Fatalf("want 1 plan, got %d", len(rep.Plans))
+	}
+	p := rep.Plans[0]
+	if !strings.HasSuffix(p.Key, "|tuned") {
+		t.Fatalf("tuned plan key %q missing |tuned marker", p.Key)
+	}
+	if p.Tuned == nil {
+		t.Fatal("tuned plan carries no decision")
+	}
+	if p.Tuned.PredictedNs <= 0 || p.Tuned.MeasuredNs <= 0 {
+		t.Fatalf("decision missing predicted/measured cost: %+v", p.Tuned)
+	}
+	if p.TuneProbes > tune.DefaultMaxProbes {
+		t.Fatalf("probe budget overrun: %d > %d", p.TuneProbes, tune.DefaultMaxProbes)
+	}
+	if !p.Remarks.Has("select") {
+		t.Fatalf("tuned plan trail missing the tune stage's select remark:\n%s", p.Remarks.Render())
+	}
+	if model.Len() == 0 {
+		t.Fatal("tuning decision was not observed into the shared model")
+	}
+
+	// Semantics: the tuned pipeline must serve the same values as the
+	// legacy path — transformations reshape timing, never outputs.
+	plain, err := New(Config{Streams: 2, QueueDepth: 8, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainResp, err := plain.Do(Job{Workload: "nn"})
+	plain.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range plainResp.Outputs {
+		got, ok := tunedResp.Outputs[name]
+		if !ok || len(got) != len(want) {
+			t.Fatalf("tuned output %s missing or resized", name)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tuned output %s[%d] = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Warm start: a fresh server sharing the model recognizes the exact
+	// (workload, platform) pair and replays the decision with zero probes.
+	warm, err := New(Config{Streams: 2, QueueDepth: 8, MaxBatch: 4, Tune: true, TuneModel: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Do(Job{Workload: "nn"}); err != nil {
+		t.Fatal(err)
+	}
+	wrep := warm.Report()
+	warm.Close()
+	if len(wrep.Plans) != 1 {
+		t.Fatalf("warm server: want 1 plan, got %d", len(wrep.Plans))
+	}
+	wp := wrep.Plans[0]
+	if wp.TuneProbes != 0 {
+		t.Fatalf("warm rebuild spent %d probes, want 0", wp.TuneProbes)
+	}
+	if wp.Tuned == nil || wp.Tuned.Source != "model" {
+		t.Fatalf("warm rebuild not served from the model: %+v", wp.Tuned)
 	}
 }

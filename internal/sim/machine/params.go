@@ -63,6 +63,21 @@ func XeonPhi() Config {
 	}
 }
 
+// XeonPhi3120 models the smaller card class: a 57-core Xeon Phi
+// 3120-style part at 1.1 GHz with 6 GB of GDDR5. Same microarchitectural
+// constants as the calibrated ES2 model — only the size knobs differ,
+// which is exactly what makes its tuned plans non-interchangeable with
+// the ES2's (and what makes it the held-out machine configuration the
+// tuner's learned predictor is tested against).
+func XeonPhi3120() Config {
+	c := XeonPhi()
+	c.Name = "xeon-phi-3120"
+	c.Cores = 57
+	c.ClockGHz = 1.1
+	c.MemBytes = 6 << 30
+	return c
+}
+
 // Default thread counts used throughout the evaluation (§VI).
 const (
 	DefaultCPUThreads = 4

@@ -55,4 +55,8 @@ type PlanReport struct {
 	TuneProbes int          `json:"tuneProbes"`
 	Hits       int64        `json:"hits"`
 	Remarks    pass.Remarks `json:"remarks,omitempty"`
+	// Tuned carries the cost-model tuner's decision when the plan was
+	// built by the unified pipeline search (predicted vs measured cost,
+	// chosen spec, probe spend); nil for legacy block-only tuning.
+	Tuned *pass.TuneDecision `json:"tuned,omitempty"`
 }

@@ -2,10 +2,10 @@ package transform
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"comp/internal/sim/engine"
+	"comp/internal/tune/search"
 )
 
 // Online block-count autotuning. The §III-B model picks N analytically from
@@ -16,6 +16,12 @@ import (
 // AutoTuner keeps the model as the starting point and replaces trust with
 // measurement: it probes actual simulated run times, hill-climbing along a
 // small ladder of candidate block counts.
+//
+// AutoTuner is now a shim over the shared search layer: the climb itself
+// lives in internal/tune/search, where the cost-model pipeline tuner
+// (internal/tune) reuses it as the block-dimension refinement of its wider
+// pipeline × streams × blocks search. This type keeps the per-key cache
+// and the stable API the bench and serving layers already depend on.
 
 // DefaultLadder is the candidate block counts the tuner walks: the paper's
 // sweep {10, 20, 40, 50} widened downward so transfer-dominated kernels
@@ -83,81 +89,20 @@ func (t *AutoTuner) Tune(key string, seed int, measure func(blocks int) (engine.
 	if len(ladder) == 0 {
 		return TuneResult{}, fmt.Errorf("transform: AutoTuner has an empty ladder")
 	}
-	if !sort.IntsAreSorted(ladder) {
-		return TuneResult{}, fmt.Errorf("transform: AutoTuner ladder %v is not ascending", ladder)
-	}
 	budget := t.MaxProbes
 	if budget == 0 {
 		budget = DefaultMaxProbes
 	}
-
-	res := TuneResult{}
-	seen := map[int]engine.Duration{}
-	probe := func(i int) (engine.Duration, error) {
-		blocks := ladder[i]
-		if d, ok := seen[blocks]; ok {
-			return d, nil
-		}
-		if res.Probes >= budget {
-			return 0, errBudget
-		}
-		d, err := measure(blocks)
-		if err != nil {
-			return 0, err
-		}
-		res.Probes++
-		seen[blocks] = d
-		res.History = append(res.History, Measurement{Blocks: blocks, Time: d})
-		if res.Blocks == 0 || d < res.Time {
-			res.Blocks, res.Time = blocks, d
-		}
-		return d, nil
-	}
-
-	// Start at the rung nearest the analytic seed.
-	at := nearestRung(ladder, seed)
-	cur, err := probe(at)
+	sr, err := search.Climb(ladder, seed, budget, measure)
 	if err != nil {
-		return TuneResult{}, err
+		return TuneResult{}, fmt.Errorf("transform: %w", err)
 	}
-	// Pick the downhill direction by peeking at both neighbours, then keep
-	// walking while the measured time improves.
-	dir := 0
-	bestN := cur
-	for _, d := range []int{-1, +1} {
-		j := at + d
-		if j < 0 || j >= len(ladder) {
-			continue
-		}
-		n, err := probe(j)
-		if err == errBudget {
-			break
-		}
-		if err != nil {
-			return TuneResult{}, err
-		}
-		if n < bestN {
-			bestN, dir = n, d
-		}
+	if sr.Probes == 0 {
+		return TuneResult{}, fmt.Errorf("transform: AutoTuner probe budget %d spent nothing", budget)
 	}
-	for dir != 0 {
-		at += dir
-		cur = bestN
-		j := at + dir
-		if j < 0 || j >= len(ladder) {
-			break
-		}
-		n, err := probe(j)
-		if err == errBudget {
-			break
-		}
-		if err != nil {
-			return TuneResult{}, err
-		}
-		if n >= cur {
-			break
-		}
-		bestN = n
+	res := TuneResult{Blocks: sr.Value, Time: sr.Time, Probes: sr.Probes}
+	for _, p := range sr.History {
+		res.History = append(res.History, Measurement{Blocks: p.Value, Time: p.Time})
 	}
 
 	t.mu.Lock()
@@ -167,24 +112,4 @@ func (t *AutoTuner) Tune(key string, seed int, measure func(blocks int) (engine.
 	t.cache[key] = res
 	t.mu.Unlock()
 	return res, nil
-}
-
-// errBudget is the internal out-of-probes signal; the search returns the
-// best measurement so far when it surfaces.
-var errBudget = fmt.Errorf("transform: probe budget exhausted")
-
-// nearestRung returns the index of the ladder value closest to seed, the
-// lower rung on ties.
-func nearestRung(ladder []int, seed int) int {
-	best, bestDist := 0, -1
-	for i, v := range ladder {
-		d := v - seed
-		if d < 0 {
-			d = -d
-		}
-		if bestDist < 0 || d < bestDist {
-			best, bestDist = i, d
-		}
-	}
-	return best
 }

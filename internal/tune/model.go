@@ -1,0 +1,161 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Sample is one remembered tuning outcome: where the workload sat in
+// feature space, which machine it ran on, which configuration won, and
+// the makespan the winning probe measured.
+type Sample struct {
+	Key        string   `json:"key"`
+	Workload   Features `json:"workload"`
+	Platform   Platform `json:"platform"`
+	Config     Config   `json:"config"`
+	MeasuredNs int64    `json:"measured_ns"`
+}
+
+// ModelVersion guards the on-disk format; a loaded model with a different
+// version is rejected rather than silently misread.
+const ModelVersion = 1
+
+// Model is the learned predictor: a nearest-neighbour memory over past
+// tuning decisions, persisted as JSON. It is deliberately simple — the
+// feature space is small and the samples are exact measurements, so
+// locality beats fitting — but the interface (Observe/Nearest) is what a
+// regression would implement too.
+type Model struct {
+	mu      sync.Mutex
+	Version int      `json:"version"`
+	Samples []Sample `json:"samples"`
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{Version: ModelVersion} }
+
+// Observe records a tuning outcome. A sample with the same key and device
+// name is replaced (latest measurement wins); otherwise the sample is
+// inserted keeping the list sorted by (key, device), so the serialized
+// model is independent of observation order.
+func (m *Model) Observe(s Sample) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.Samples {
+		if m.Samples[i].Key == s.Key && m.Samples[i].Platform.DevName == s.Platform.DevName {
+			m.Samples[i] = s
+			return
+		}
+	}
+	m.Samples = append(m.Samples, s)
+	sort.Slice(m.Samples, func(i, j int) bool {
+		if m.Samples[i].Key != m.Samples[j].Key {
+			return m.Samples[i].Key < m.Samples[j].Key
+		}
+		return m.Samples[i].Platform.DevName < m.Samples[j].Platform.DevName
+	})
+}
+
+// Len returns the sample count.
+func (m *Model) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.Samples)
+}
+
+// Nearest returns the sample closest to the query point and its distance.
+// Ties break toward the lexicographically smaller key so the answer is
+// deterministic. ok is false for an empty model.
+func (m *Model) Nearest(w Features, p Platform) (best Sample, dist float64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.Samples {
+		d := Distance(w, p, s.Workload, s.Platform)
+		if !ok || d < dist || (d == dist && s.Key < best.Key) {
+			best, dist, ok = s, d, true
+		}
+	}
+	return best, dist, ok
+}
+
+// MarshalJSON serializes version and samples (the mutex is not part of
+// the format).
+func (m *Model) MarshalJSON() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return json.Marshal(struct {
+		Version int      `json:"version"`
+		Samples []Sample `json:"samples"`
+	}{m.Version, m.Samples})
+}
+
+// UnmarshalJSON loads version and samples.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Version int      `json:"version"`
+		Samples []Sample `json:"samples"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Version = raw.Version
+	m.Samples = raw.Samples
+	return nil
+}
+
+// LoadModel reads a model file. A missing file yields a fresh empty model
+// (the common first-run case); a present but malformed or
+// version-mismatched file is an error.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewModel(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tune: load model: %w", err)
+	}
+	m := &Model{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("tune: model %s: %w", path, err)
+	}
+	if m.Version != ModelVersion {
+		return nil, fmt.Errorf("tune: model %s: version %d, want %d", path, m.Version, ModelVersion)
+	}
+	return m, nil
+}
+
+// Save writes the model as stable, human-diffable JSON (sorted samples,
+// indented, trailing newline) via a temp-file rename so a crashed save
+// never leaves a truncated model behind.
+func (m *Model) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tune: save model: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tune-model-*")
+	if err != nil {
+		return fmt.Errorf("tune: save model: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tune: save model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tune: save model: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tune: save model: %w", err)
+	}
+	return nil
+}

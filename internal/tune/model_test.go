@@ -1,0 +1,102 @@
+package tune
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFor(key, dev string, blocks int) Sample {
+	return Sample{
+		Key:      key,
+		Workload: Features{Loops: 1, Iters: float64(blocks) * 100},
+		Platform: Platform{DevName: dev, DevCores: 61, PCIeGBs: 6},
+		Config:   Config{Spec: "streaming", Blocks: blocks},
+
+		MeasuredNs: int64(blocks) * 1000,
+	}
+}
+
+func TestModelObserveReplacesAndSorts(t *testing.T) {
+	m := NewModel()
+	m.Observe(sampleFor("b", "phi", 10))
+	m.Observe(sampleFor("a", "phi", 20))
+	m.Observe(sampleFor("a", "other", 40))
+	m.Observe(sampleFor("b", "phi", 50)) // replaces the first
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	if m.Samples[0].Key != "a" || m.Samples[0].Platform.DevName != "other" {
+		t.Fatalf("samples not sorted: %+v", m.Samples)
+	}
+	if m.Samples[2].Config.Blocks != 50 {
+		t.Fatalf("replacement lost: %+v", m.Samples[2])
+	}
+}
+
+func TestModelSaveLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatalf("missing file should load empty: %v", err)
+	}
+	if loaded.Len() != 0 || loaded.Version != ModelVersion {
+		t.Fatalf("empty load: %+v", loaded)
+	}
+
+	m := NewModel()
+	m.Observe(sampleFor("w1", "phi", 20))
+	m.Observe(sampleFor("w2", "phi", 40))
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != 2 || again.Samples[0].Key != "w1" || again.Samples[1].Config.Blocks != 40 {
+		t.Fatalf("roundtrip mismatch: %+v", again.Samples)
+	}
+
+	// Saving the same content twice is byte-identical (golden stability).
+	a, _ := os.ReadFile(path)
+	if err := again.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(a) != string(b) {
+		t.Fatal("re-saving an unchanged model changed its bytes")
+	}
+	if !strings.HasSuffix(string(b), "\n") {
+		t.Fatal("model file missing trailing newline")
+	}
+}
+
+func TestModelVersionMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, []byte(`{"version": 999, "samples": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch not rejected: %v", err)
+	}
+}
+
+func TestModelNearestDeterministicTieBreak(t *testing.T) {
+	m := NewModel()
+	a := sampleFor("aaa", "phi", 10)
+	b := sampleFor("zzz", "phi", 10)
+	b.Workload = a.Workload // identical point, different key
+	m.Observe(b)
+	m.Observe(a)
+	got, dist, ok := m.Nearest(a.Workload, a.Platform)
+	if !ok || dist != 0 {
+		t.Fatalf("Nearest: ok=%v dist=%v", ok, dist)
+	}
+	if got.Key != "aaa" {
+		t.Fatalf("tie broke to %q, want lexicographically smaller \"aaa\"", got.Key)
+	}
+}

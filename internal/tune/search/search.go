@@ -1,0 +1,166 @@
+// Package search holds the measurement-driven search primitives shared by
+// the block-count autotuner (transform.AutoTuner) and the cost-model
+// pipeline tuner (internal/tune): a budgeted probe ledger and a ladder
+// hill-climb. It deliberately imports nothing but the simulator's time
+// type so both the transform layer and the tuning layer can use it
+// without an import cycle.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"comp/internal/sim/engine"
+)
+
+// Probe is one measurement: the measured execution time at a ladder value.
+type Probe struct {
+	Value int
+	Time  engine.Duration
+}
+
+// Result is the outcome of one Climb.
+type Result struct {
+	// Value is the chosen ladder value; Time its measured execution time.
+	Value int
+	Time  engine.Duration
+	// Probes is how many measured runs the search spent.
+	Probes int
+	// History lists the probes in measurement order.
+	History []Probe
+}
+
+// ErrBudget is the out-of-probes signal: the climb returns the best
+// measurement so far when it surfaces internally, and probe ledgers hand
+// it to callers that keep searching past their budget.
+var ErrBudget = fmt.Errorf("search: probe budget exhausted")
+
+// Ledger meters measurements against a probe budget while memoizing
+// repeats: probing the same value twice costs one probe. It also tracks
+// the best measurement seen.
+type Ledger struct {
+	budget  int
+	measure func(int) (engine.Duration, error)
+
+	seen map[int]engine.Duration
+	res  Result
+}
+
+// NewLedger wraps a measure function with a probe budget.
+func NewLedger(budget int, measure func(int) (engine.Duration, error)) *Ledger {
+	return &Ledger{budget: budget, measure: measure, seen: map[int]engine.Duration{}}
+}
+
+// Probe measures one value, charging the budget only for unseen values.
+// Past the budget it returns ErrBudget.
+func (l *Ledger) Probe(value int) (engine.Duration, error) {
+	if d, ok := l.seen[value]; ok {
+		return d, nil
+	}
+	if l.res.Probes >= l.budget {
+		return 0, ErrBudget
+	}
+	d, err := l.measure(value)
+	if err != nil {
+		return 0, err
+	}
+	l.res.Probes++
+	l.seen[value] = d
+	l.res.History = append(l.res.History, Probe{Value: value, Time: d})
+	if l.res.Value == 0 || d < l.res.Time {
+		l.res.Value, l.res.Time = value, d
+	}
+	return d, nil
+}
+
+// Best returns the search result so far.
+func (l *Ledger) Best() Result { return l.res }
+
+// Climb hill-climbs a sorted ladder of candidate values by measurement:
+// it seeds at the rung nearest seed, peeks at both neighbours to pick the
+// downhill direction, then keeps walking while the measured time improves,
+// stopping at a local minimum or when the probe budget is spent. The
+// ladder must be ascending and non-empty.
+func Climb(ladder []int, seed, budget int, measure func(int) (engine.Duration, error)) (Result, error) {
+	if len(ladder) == 0 {
+		return Result{}, fmt.Errorf("search: empty ladder")
+	}
+	if !sort.IntsAreSorted(ladder) {
+		return Result{}, fmt.Errorf("search: ladder %v is not ascending", ladder)
+	}
+	l := NewLedger(budget, measure)
+	if err := ClimbLedger(l, ladder, seed); err != nil {
+		return Result{}, err
+	}
+	return l.Best(), nil
+}
+
+// ClimbLedger runs the hill-climb against an existing ledger, so a caller
+// can spend one budget across seeding probes and the climb. Budget
+// exhaustion is not an error: the ledger keeps the best measurement.
+func ClimbLedger(l *Ledger, ladder []int, seed int) error {
+	// Start at the rung nearest the seed.
+	at := NearestRung(ladder, seed)
+	cur, err := l.Probe(ladder[at])
+	if err == ErrBudget {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	// Pick the downhill direction by peeking at both neighbours, then keep
+	// walking while the measured time improves.
+	dir := 0
+	bestN := cur
+	for _, d := range []int{-1, +1} {
+		j := at + d
+		if j < 0 || j >= len(ladder) {
+			continue
+		}
+		n, err := l.Probe(ladder[j])
+		if err == ErrBudget {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if n < bestN {
+			bestN, dir = n, d
+		}
+	}
+	for dir != 0 {
+		at += dir
+		j := at + dir
+		if j < 0 || j >= len(ladder) {
+			break
+		}
+		n, err := l.Probe(ladder[j])
+		if err == ErrBudget {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if n >= bestN {
+			break
+		}
+		bestN = n
+	}
+	return nil
+}
+
+// NearestRung returns the index of the ladder value closest to seed, the
+// lower rung on ties.
+func NearestRung(ladder []int, seed int) int {
+	best, bestDist := 0, -1
+	for i, v := range ladder {
+		d := v - seed
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
